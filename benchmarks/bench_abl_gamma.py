@@ -1,0 +1,70 @@
+"""Ablation: the power-frequency exponent γ (Eq. 20, §V-B-4).
+
+The paper assumes ΔP ∝ f^γ with γ ≥ 1 and sets γ=2 for SystemG.  This
+ablation sweeps γ ∈ {1, 1.5, 2, 3} and shows how the choice changes the
+DVFS story: at γ=1 active energy per instruction is frequency-neutral
+(lowering f always saves energy via shorter idle exposure — wait, via
+lower power at equal work), while larger γ increasingly rewards CG-style
+race-to-high-f.  It also re-fits γ from synthetic (f, ΔP) measurements.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from conftest import print_artifact
+
+from repro.analysis.report import ascii_table
+from repro.core.model import IsoEnergyModel
+from repro.microbench.fitting import fit_power_law
+from repro.paperdata import PAPER_CG_N, paper_machine, paper_model
+from repro.units import GHZ
+
+GAMMAS = (1.0, 1.5, 2.0, 3.0)
+F_LO, F_HI = 2.0 * GHZ, 2.8 * GHZ
+
+
+def _ee_gap_by_gamma():
+    """EE(f_hi) − EE(f_lo) for CG at p=64, per γ."""
+    model, _ = paper_model("CG", klass="B")
+    machine = paper_machine("CG")
+    gaps = []
+    for gamma in GAMMAS:
+        m = dataclasses.replace(machine, gamma=gamma)
+        mdl = IsoEnergyModel(m, model._workload)
+        gap = mdl.ee(n=PAPER_CG_N, p=64, f=F_HI) - mdl.ee(n=PAPER_CG_N, p=64, f=F_LO)
+        gaps.append((gamma, gap))
+    return gaps
+
+
+def test_ablation_gamma_sweep(benchmark):
+    gaps = benchmark(_ee_gap_by_gamma)
+    rows = [(g, round(gap, 5)) for g, gap in gaps]
+    body = ascii_table(["gamma", "EE(2.8GHz) − EE(2.0GHz), CG p=64"], rows)
+    body += "\n(γ=2 is the paper's SystemG setting)"
+    print_artifact("Ablation — power-frequency exponent γ", body)
+
+    by_gamma = dict(gaps)
+    # at γ=2 (the paper's setting) high frequency helps CG
+    assert by_gamma[2.0] > 0
+    # γ=1 pushes toward low frequency (tc·ΔP constant, idle term favors low f)
+    assert by_gamma[1.0] < by_gamma[2.0]
+    # the preference strengthens monotonically with γ
+    ordered = [by_gamma[g] for g in GAMMAS]
+    assert ordered == sorted(ordered)
+
+
+def test_ablation_gamma_refit_from_measurements(benchmark):
+    """PowerPack-style (f, ΔP) points must recover the configured γ."""
+
+    def _fit():
+        machine = paper_machine("CG")
+        fs = [1.6 * GHZ, 2.0 * GHZ, 2.4 * GHZ, 2.8 * GHZ]
+        dps = [machine.at_frequency(f).delta_pc for f in fs]
+        return fit_power_law(fs, dps)
+
+    a, gamma_hat = benchmark(_fit)
+    print_artifact(
+        "Ablation — γ re-fit", f"fitted γ = {gamma_hat:.4f} (configured 2.0)"
+    )
+    assert abs(gamma_hat - 2.0) < 1e-6

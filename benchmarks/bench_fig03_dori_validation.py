@@ -1,0 +1,54 @@
+"""Figure 3: model-vs-measured energy for the NAS suite on Dori, p=4.
+
+Paper: bar chart of actual vs. estimated joules for each suite member on
+the 4-node Dori configuration; "model accuracy for all the benchmarks are
+over 95%" (mean error < 5%).
+
+Long-running members are iteration-sampled (model and kernel both use the
+reduced count); EP/FT/IS/MG run at their full class-B iteration counts.
+"""
+
+from __future__ import annotations
+
+from conftest import print_artifact
+
+from repro.analysis.report import ascii_table
+from repro.npb.workloads import SUITE_BENCHMARKS
+from repro.validation.harness import validate_suite
+
+NITER_SAMPLING = {"CG": 375, "LU": 50, "BT": 40, "SP": 80}
+
+
+def _run(dori8):
+    return validate_suite(
+        dori8,
+        SUITE_BENCHMARKS,
+        klass="B",
+        p=4,
+        niter_overrides=NITER_SAMPLING,
+        seed=1,
+    )
+
+
+def test_fig3_dori_suite_validation(benchmark, dori8):
+    results = benchmark.pedantic(lambda: _run(dori8), rounds=1, iterations=1)
+    rows = [
+        (
+            r.benchmark,
+            round(r.measured_j / 1000, 2),
+            round(r.predicted_j / 1000, 2),
+            round(r.abs_error_pct, 2),
+        )
+        for r in results
+    ]
+    mean_err = sum(r.abs_error_pct for r in results) / len(results)
+    body = ascii_table(
+        ["benchmark", "measured kJ", "predicted kJ", "|error| %"], rows
+    )
+    body += f"\nmean |error| = {mean_err:.2f}%   (paper: <5% per member, Fig. 3)"
+    print_artifact("Figure 3 — Dori suite validation (p=4, class B)", body)
+
+    assert mean_err < 5.0
+    assert all(r.abs_error_pct < 10.0 for r in results)
+    # energies land in the paper's 0–200 kJ axis range
+    assert all(0 < r.measured_j < 200_000 for r in results)

@@ -1,0 +1,56 @@
+"""Figure 4: mean prediction error of EP/FT/CG on SystemG, p = 1..128.
+
+Paper values: EP 6.64%, FT 4.99%, CG 8.31% (class B, InfiniBand), with
+CG's excess attributed to memory-model inaccuracy.  The reproduction
+must land each benchmark within 2.5 percentage points and preserve the
+ordering CG > EP > FT.
+"""
+
+from __future__ import annotations
+
+from conftest import print_artifact
+
+from repro.analysis.report import ascii_table
+from repro.paperdata import PAPER_MEAN_ERROR_PCT, PAPER_P_SWEEP
+from repro.validation.study import error_by_parallelism, mean_error_table
+
+#: iteration sampling for the long-running codes (model+kernel consistent)
+NITER = {"EP": None, "FT": 5, "CG": 75}
+
+
+def _run(cluster):
+    results = {}
+    for name in ("EP", "FT", "CG"):
+        results[name] = error_by_parallelism(
+            cluster,
+            name,
+            p_values=PAPER_P_SWEEP,
+            klass="B",
+            niter=NITER[name],
+            seeds=(0,),
+        )
+    return results
+
+
+def test_fig4_mean_error_rates(benchmark, systemg128):
+    results = benchmark.pedantic(lambda: _run(systemg128), rounds=1, iterations=1)
+    table = dict(mean_error_table(results))
+
+    rows = []
+    for name in ("EP", "FT", "CG"):
+        per_p = [round(r.abs_error_pct, 1) for r in results[name]]
+        rows.append(
+            (name, round(table[name], 2), PAPER_MEAN_ERROR_PCT[name], str(per_p))
+        )
+    body = ascii_table(
+        ["benchmark", "mean |error| % (ours)", "paper %", "per-p errors"], rows
+    )
+    print_artifact("Figure 4 — SystemG error rates (p=1..128, class B)", body)
+
+    for name in ("EP", "FT", "CG"):
+        assert abs(table[name] - PAPER_MEAN_ERROR_PCT[name]) < 2.5, name
+    # the paper's ordering: CG worst (memory model), FT best
+    assert table["CG"] > table["EP"] > table["FT"]
+    # and the headline claim: overall average error ≈ 5%
+    overall = sum(table.values()) / 3
+    assert overall < 9.0

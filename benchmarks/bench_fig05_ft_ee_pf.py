@@ -1,0 +1,46 @@
+"""Figure 5: FT's EE surface over (p, f) at fixed workload.
+
+Paper: "the level of parallelism p most affects changes in energy
+efficiency versus frequency... frequency f has little impact" — FT is
+dominated by all-to-all communication, so DVFS barely moves its EE while
+scaling p erodes it dramatically.
+"""
+
+from __future__ import annotations
+
+from conftest import print_artifact
+
+from repro.analysis.report import ascii_heatmap
+from repro.analysis.surface import ee_surface
+from repro.paperdata import paper_model
+from repro.units import GHZ
+
+P_VALUES = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024]
+F_VALUES = [1.6 * GHZ, 2.0 * GHZ, 2.4 * GHZ, 2.8 * GHZ]
+
+
+def _surface():
+    model, n = paper_model("FT", klass="B")
+    return ee_surface(model, p_values=P_VALUES, f_values=F_VALUES, n=n)
+
+
+def test_fig5_ft_ee_over_p_and_f(benchmark):
+    surface = benchmark(_surface)
+    body = ascii_heatmap(
+        surface.values,
+        [int(p) for p in surface.x],
+        [f"{f / GHZ:.1f}" for f in surface.y],
+        title="EE(p, f) — FT class B, SystemG (rows: p, cols: GHz)",
+        lo=0.0,
+        hi=1.0,
+    )
+    body += "\nrows (p, EE@1.6..2.8GHz):\n" + "\n".join(
+        str(r) for r in surface.rows()
+    )
+    print_artifact("Figure 5 — FT EE(p, f)", body)
+
+    # p dominates: EE collapses along p…
+    assert surface.monotone_along_x(increasing=False)
+    assert surface.spread_along_x() > 0.3
+    # …while f "has little impact"
+    assert surface.spread_along_y() < 0.02

@@ -1,0 +1,48 @@
+"""Figure 6: FT's EE surface over (p, n) at f = 2.8 GHz.
+
+Paper: "p still dominates the variance of energy efficiency.  It is also
+obvious that increasing the problem size n does enhance the energy
+efficiency."
+"""
+
+from __future__ import annotations
+
+from conftest import print_artifact
+
+from repro.analysis.report import ascii_heatmap, format_si
+from repro.analysis.surface import ee_surface
+from repro.paperdata import PAPER_SYSTEM_G_FREQ, paper_model
+
+P_VALUES = [1, 4, 16, 64, 256, 1024]
+
+
+def _surface():
+    model, n_b = paper_model("FT", klass="B")
+    n_values = [n_b / 16, n_b / 4, n_b, 4 * n_b, 16 * n_b]
+    return ee_surface(
+        model, p_values=P_VALUES, n_values=n_values, f=PAPER_SYSTEM_G_FREQ
+    )
+
+
+def test_fig6_ft_ee_over_p_and_n(benchmark):
+    surface = benchmark(_surface)
+    body = ascii_heatmap(
+        surface.values,
+        [int(p) for p in surface.x],
+        [format_si(n) for n in surface.y],
+        title="EE(p, n) — FT at f=2.8 GHz (rows: p, cols: grid points)",
+        lo=0.0,
+        hi=1.0,
+    )
+    print_artifact("Figure 6 — FT EE(p, n)", body)
+
+    # growing n enhances EE at every p
+    assert surface.monotone_along_y(increasing=True)
+    # p still dominates the variance
+    assert surface.spread_along_x() > surface.spread_along_y()
+    # the n-effect is strongest where scaling hurt most (large p)
+    row_small_p = surface.values[0]
+    row_large_p = surface.values[-1]
+    assert (row_large_p.max() - row_large_p.min()) > (
+        row_small_p.max() - row_small_p.min()
+    )

@@ -1,0 +1,39 @@
+"""Figure 7: EP's EE surface over (p, f) — nearly ideal everywhere.
+
+Paper: "energy efficiency hardly changes with p and f.  Energy
+efficiency is close to 1 for different combinations of p and f because
+only minimum communication overhead is imposed."
+"""
+
+from __future__ import annotations
+
+from conftest import print_artifact
+
+from repro.analysis.report import ascii_table
+from repro.analysis.surface import ee_surface
+from repro.paperdata import paper_model
+from repro.units import GHZ
+
+P_VALUES = [1, 4, 16, 64, 256, 1024]
+F_VALUES = [1.6 * GHZ, 2.0 * GHZ, 2.4 * GHZ, 2.8 * GHZ]
+
+
+def _surface():
+    model, n = paper_model("EP", klass="B")
+    return ee_surface(model, p_values=P_VALUES, f_values=F_VALUES, n=n)
+
+
+def test_fig7_ep_ee_over_p_and_f(benchmark):
+    surface = benchmark(_surface)
+    rows = [
+        (int(p), *[round(float(v), 5) for v in surface.values[i]])
+        for i, p in enumerate(surface.x)
+    ]
+    body = ascii_table(
+        ["p"] + [f"{f / GHZ:.1f} GHz" for f in surface.y], rows
+    )
+    print_artifact("Figure 7 — EP EE(p, f): the iso-energy-efficient ideal", body)
+
+    assert float(surface.values.min()) > 0.98  # "close to 1"
+    assert surface.spread_along_y() < 0.005  # flat in f
+    assert surface.spread_along_x() < 0.02  # flat in p

@@ -1,0 +1,61 @@
+"""Figure 8: CG's EE surface over (p, n) at f = 2.8 GHz.
+
+Paper (§V-B-3, reading Fig. 8): "the energy efficiency decreases as p
+increases.  However, increasing the workload size n will improve the
+energy efficiency."  The EP companion surface (§V-B-2's point that EP
+cannot be rescued by n) is printed alongside for the contrast the paper
+draws between the two codes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import print_artifact
+
+from repro.analysis.report import ascii_heatmap, format_si
+from repro.analysis.surface import ee_surface
+from repro.paperdata import PAPER_CG_N, PAPER_SYSTEM_G_FREQ, paper_model
+
+P_VALUES = [1, 4, 16, 64, 256, 1024]
+N_FACTORS = [0.25, 0.5, 1.0, 2.0, 4.0]
+
+
+def _surfaces():
+    cg_model, _ = paper_model("CG", klass="B")
+    cg = ee_surface(
+        cg_model,
+        p_values=P_VALUES,
+        n_values=[f * PAPER_CG_N for f in N_FACTORS],
+        f=PAPER_SYSTEM_G_FREQ,
+    )
+    ep_model, n_ep = paper_model("EP", klass="B")
+    ep = ee_surface(
+        ep_model,
+        p_values=P_VALUES,
+        n_values=[f * n_ep for f in N_FACTORS],
+        f=PAPER_SYSTEM_G_FREQ,
+    )
+    return cg, ep
+
+
+def test_fig8_cg_ee_over_p_and_n(benchmark):
+    cg, ep = benchmark(_surfaces)
+    body = ascii_heatmap(
+        cg.values,
+        [int(p) for p in cg.x],
+        [format_si(n) for n in cg.y],
+        title="EE(p, n) — CG at f=2.8 GHz (rows: p, cols: matrix rows)",
+        lo=0.0,
+        hi=1.0,
+    )
+    body += "\nEP companion (flat in n, §V-B-6): EE spread across n per p = " + str(
+        [round(float(r.max() - r.min()), 6) for r in ep.values]
+    )
+    print_artifact("Figure 8 — CG EE(p, n) with EP companion", body)
+
+    # CG: p erodes EE, n restores it
+    assert cg.monotone_along_x(increasing=False)
+    assert cg.monotone_along_y(increasing=True)
+    assert cg.spread_along_y() > 0.1  # n is a real lever for CG
+    # EP: n is no lever at all
+    assert float(np.max(ep.values.max(axis=1) - ep.values.min(axis=1))) < 1e-9

@@ -1,0 +1,59 @@
+"""Figure 9: CG's EE surface over (p, f) at n = 75000.
+
+Paper: "energy efficiency declines with increase in the level of
+parallelism.  In contrast to EP, the energy efficiency increases with
+CPU frequency... In this strong scaling case, users can scale the
+frequency up using DVFS to achieve better energy efficiency."
+"""
+
+from __future__ import annotations
+
+from conftest import print_artifact
+
+from repro.analysis.report import ascii_heatmap
+from repro.analysis.surface import ee_surface
+from repro.core.scaling import ee_frequency_sensitivity, frequency_for_best_ee
+from repro.paperdata import PAPER_CG_N, paper_model
+from repro.units import GHZ
+
+P_VALUES = [1, 4, 16, 64, 256, 1024]
+F_VALUES = [2.0 * GHZ, 2.4 * GHZ, 2.8 * GHZ]
+
+
+def _surface():
+    model, _ = paper_model("CG", klass="B")
+    return ee_surface(model, p_values=P_VALUES, f_values=F_VALUES, n=PAPER_CG_N)
+
+
+def test_fig9_cg_ee_over_p_and_f(benchmark):
+    surface = benchmark(_surface)
+    body = ascii_heatmap(
+        surface.values,
+        [int(p) for p in surface.x],
+        [f"{f / GHZ:.1f}" for f in surface.y],
+        title=f"EE(p, f) — CG at n={PAPER_CG_N} (rows: p, cols: GHz)",
+        lo=0.0,
+        hi=1.0,
+    )
+    model, _ = paper_model("CG", klass="B")
+    best_f, best_ee = frequency_for_best_ee(
+        model, n=PAPER_CG_N, p=64, frequencies=F_VALUES
+    )
+    body += f"\nDVFS advice at p=64: run at {best_f / GHZ:.1f} GHz (EE={best_ee:.4f})"
+    print_artifact("Figure 9 — CG EE(p, f)", body)
+
+    # EE declines with p at every frequency
+    assert surface.monotone_along_x(increasing=False)
+    # and rises with f at every parallel p (the paper's §V-B-7 advice)
+    assert surface.values[1:].shape[0] > 0
+    for i in range(1, len(surface.x)):
+        col = list(surface.values[i])
+        assert col == sorted(col), f"EE not rising with f at p={surface.x[i]}"
+    # the advice lands on the top frequency
+    assert best_f == max(F_VALUES)
+
+    # contrast with EP (paper: "in contrast to EP")
+    ep_model, n_ep = paper_model("EP", klass="B")
+    s_ep = ee_frequency_sensitivity(ep_model, n=n_ep, p=64, frequencies=F_VALUES)
+    s_cg = ee_frequency_sensitivity(model, n=PAPER_CG_N, p=64, frequencies=F_VALUES)
+    assert s_cg > 5 * s_ep

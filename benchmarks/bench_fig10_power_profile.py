@@ -1,0 +1,79 @@
+"""Figure 10: component power profile of an MPI_FFT run.
+
+Paper: PowerPack traces of cpu/mem/disk/motherboard power over ~29 s of
+the HPCC MPI_FFT benchmark; each component fluctuates above its idle
+line, and the CPU's area splits into the idle region ``α·T·P_idle`` and
+the active region ``Wc·tc·ΔPc`` — the decomposition Eq. (9) integrates.
+
+Regenerated with the FT kernel (HPCC's MPI_FFT is the same computation)
+on one SystemG node pair, sampled at PowerPack-like rates.
+"""
+
+from __future__ import annotations
+
+from conftest import print_artifact
+
+from repro.analysis.report import ascii_table
+from repro.npb.ft import FtBenchmark
+from repro.powerpack.analysis import figure10_decomposition
+from repro.powerpack.profiler import PowerProfiler
+from repro.simmpi.engine import SimConfig, SimEngine
+from repro.validation.harness import default_noise
+
+
+def _profile(cluster):
+    bench, _ = FtBenchmark.for_class("W", niter=6)
+    n = bench.n_for_class("W")
+    config = SimConfig(
+        alpha=bench.alpha, cpi_factor=bench.cpi_factor, noise=default_noise(7)
+    )
+    result = SimEngine(cluster, config).run(bench.make_program(n, 2), size=2)
+    profiler = PowerProfiler(
+        cluster, sample_period=max(result.total_time / 120, 1e-4)
+    )
+    return result, profiler.profile(result, label="MPI_FFT")
+
+
+def test_fig10_component_power_profile(benchmark, systemg32):
+    result, profile = benchmark.pedantic(
+        lambda: _profile(systemg32), rounds=1, iterations=1
+    )
+    decomp = figure10_decomposition(profile, systemg32, result)
+
+    rows = [
+        (comp, round(idle, 1), round(active, 1))
+        for comp, idle, active in decomp.rows()
+    ]
+    body = ascii_table(["component", "idle J (below line)", "active J (shaded)"], rows)
+
+    # a compact textual power trace of the CPU series on node 0
+    cpu = profile.node_series(0, "cpu")
+    step = max(1, len(cpu.times) // 24)
+    sparkline = " ".join(f"{w:5.0f}" for w in cpu.watts[::step])
+    body += f"\nnode0 CPU watts over time: {sparkline}"
+    body += f"\nphases: {[(round(t, 4), name) for t, name in profile.phase_marks]}"
+    print_artifact("Figure 10 — MPI_FFT component power profile", body)
+
+    # every component's trace sits on/above its idle line
+    node = systemg32.nodes[0]
+    idle_levels = {
+        "cpu": node.power.cpu.p_idle,
+        "memory": node.power.memory.p_idle,
+        "io": node.power.io.p_idle,
+        "motherboard": node.power.others,
+    }
+    for comp, level in idle_levels.items():
+        series = profile.node_series(0, comp)
+        assert (series.watts >= level - 1e-9).all(), comp
+
+    # the CPU fluctuates: the butterfly phase pushes it well above idle…
+    assert cpu.watts.max() > idle_levels["cpu"] + 0.3 * node.power.cpu.delta_p
+    # …while memory-streaming phases let it sag back toward the idle line
+    assert cpu.watts.min() < idle_levels["cpu"] + 0.25 * node.power.cpu.delta_p
+    spread = float(cpu.watts.max() - cpu.watts.min())
+    assert spread > 0.3 * node.power.cpu.delta_p
+
+    # Eq. (9): idle + active areas reconstruct the measured energy
+    assert abs(decomp.total - profile.exact_energy) / profile.exact_energy < 1e-9
+    # and the active CPU area is the model's Wc·tc·ΔPc (within kernel bias)
+    assert decomp.active["cpu"] > 0

@@ -1,0 +1,45 @@
+"""§II positioning: EE against the related-work metrics.
+
+The paper's related-work argument in one table: performance
+isoefficiency sees only time, ERE flags energy loss without attributing
+it, and only EEF names the responsible overhead.  This bench evaluates
+all metrics side by side for CG and reports the parallelism at which an
+energy-blind analysis (perf-efficiency ≈ EE assumption) starts lying.
+"""
+
+from __future__ import annotations
+
+from conftest import print_artifact
+
+from repro.analysis.comparison import divergence_point, metric_comparison
+from repro.analysis.report import ascii_table
+from repro.paperdata import PAPER_CG_N, paper_model
+
+P_VALUES = [1, 4, 16, 64, 256, 1024]
+
+
+def _run():
+    model, _ = paper_model("CG", klass="B")
+    rows = metric_comparison(model, n=PAPER_CG_N, p_values=P_VALUES)
+    return rows, divergence_point(rows, tolerance=0.05)
+
+
+def test_metric_comparison_cg(benchmark):
+    rows, p_div = benchmark(_run)
+    body = ascii_table(
+        ["p", "perf-eff (Grama)", "To (s)", "ERE (Jiang)", "EEF", "EE", "EEF attribution"],
+        [r.as_tuple() for r in rows],
+    )
+    body += (
+        f"\nenergy- and performance-efficiency diverge beyond 5% at p = {p_div}"
+        "\n(only the EEF column says *why* — the paper's §II-D contrast)"
+    )
+    print_artifact("§II — metric face-off on CG", body)
+
+    # perf-efficiency always underestimates EE here (energy has an idle floor)
+    for r in rows[1:]:
+        assert r.ee != r.perf_efficiency
+    # divergence happens within the studied scale
+    assert p_div is not None and p_div <= 256
+    # every parallel row carries an attribution; no other metric does
+    assert all(r.attribution != "none" for r in rows[1:])

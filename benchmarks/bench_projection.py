@@ -1,0 +1,54 @@
+"""§V-A methodology: predict large systems from small-scale measurement.
+
+"Given the accuracy of our modeling techniques... we use measurements
+from smaller configurations to predict and analyze power-performance
+tradeoffs on larger systems."  This bench calibrates FT's workload
+coefficients from instrumented runs at p ≤ 8 only, projects energy to
+p = 16 and 32, then executes those scales and scores the prediction —
+the paper's core value proposition as a single regenerable experiment.
+"""
+
+from __future__ import annotations
+
+from conftest import print_artifact
+
+from repro.analysis.report import ascii_table
+from repro.npb.workloads import benchmark_for
+from repro.validation.projection import fit_projected_workload, verify_projection
+
+CALIBRATION_PS = (1, 2, 4, 8)
+TARGET_PS = (16, 32)
+
+
+def _run(cluster):
+    bench, n = benchmark_for("FT", "W", niter=2)
+    projected = fit_projected_workload(
+        cluster, bench, n, calibration_ps=CALIBRATION_PS, seed=21
+    )
+    reports = verify_projection(
+        cluster, bench, n, projected, target_ps=TARGET_PS, seed=60
+    )
+    return projected, reports
+
+
+def test_projection_from_small_scale(benchmark, systemg32):
+    projected, reports = benchmark.pedantic(
+        lambda: _run(systemg32), rounds=1, iterations=1
+    )
+    rows = [
+        (r.p, round(r.measured_j, 1), round(r.predicted_j, 1),
+         round(r.abs_error_pct, 2))
+        for r in reports
+    ]
+    body = ascii_table(
+        ["target p", "measured J", "projected J", "|error| %"], rows
+    )
+    body += (
+        f"\ncalibrated at p = {CALIBRATION_PS} only; "
+        f"fitted overhead forms: Wco ~ {projected.wco_form}, "
+        f"Wmo ~ {projected.wmo_form}"
+    )
+    print_artifact("§V-A — small-scale calibration, large-scale prediction", body)
+
+    for r in reports:
+        assert r.abs_error_pct < 12.0, (r.p, r.abs_error_pct)

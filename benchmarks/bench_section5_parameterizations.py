@@ -1,0 +1,72 @@
+"""Section V printed parameterizations: the EEF/EE closed forms.
+
+The paper prints, for each case study, the machine vector Θ1, the
+application vector Θ2(n, p), and the resulting EEF/EE expressions.  This
+bench evaluates our reconstructed parameterizations at representative
+points and prints the full set — the tabular equivalent of the paper's
+inline equations — then checks the cross-benchmark orderings the section
+argues from.
+"""
+
+from __future__ import annotations
+
+from conftest import print_artifact
+
+from repro.analysis.report import ascii_table, format_si
+from repro.core.efficiency import eef_terms
+from repro.paperdata import PAPER_CG_N, paper_machine, paper_model
+
+
+def _evaluate_all():
+    out = {}
+    for name in ("EP", "FT", "CG"):
+        model, n = paper_model(name, klass="B")
+        if name == "CG":
+            n = PAPER_CG_N
+        machine = paper_machine(name)
+        point = model.evaluate(n=n, p=64)
+        terms = eef_terms(machine, model.app_params(n, 64), 64)
+        out[name] = (machine, point, terms)
+    return out
+
+
+def test_section5_parameterizations(benchmark):
+    results = benchmark(_evaluate_all)
+
+    theta1_rows = []
+    point_rows = []
+    for name, (machine, point, terms) in results.items():
+        theta1_rows.append(
+            (
+                name,
+                format_si(machine.tc, "s"),
+                format_si(machine.tm, "s"),
+                format_si(machine.ts, "s"),
+                f"{machine.delta_pc:.0f}W",
+                f"{machine.p_system_idle:.0f}W",
+            )
+        )
+        dominant = max(
+            (k for k in terms if k != "sequential_energy"), key=terms.__getitem__
+        )
+        point_rows.append(
+            (name, round(point.eef, 4), round(point.ee, 4), dominant)
+        )
+    body = (
+        "Θ1 per application (SystemG, per-app CPI as in §IV-B):\n"
+        + ascii_table(["app", "tc", "tm", "ts", "ΔPc", "Psys-idle"], theta1_rows)
+        + "\n\nEEF/EE at p=64, class-B workloads:\n"
+        + ascii_table(["app", "EEF", "EE", "dominant overhead"], point_rows)
+    )
+    print_artifact("Section V — reconstructed parameterizations", body)
+
+    eefs = {name: results[name][1].eef for name in results}
+    # §V orderings: EP nearly ideal; CG's overhead worst at this point
+    assert eefs["EP"] < 0.01
+    assert eefs["CG"] > eefs["FT"] > eefs["EP"]
+    # FT's dominant loss at scale is communication/memory, never compute
+    ft_terms = results["FT"][2]
+    assert ft_terms["compute_overhead"] < max(
+        ft_terms["memory_overhead"],
+        ft_terms["message_startup"] + ft_terms["byte_transmission"],
+    )

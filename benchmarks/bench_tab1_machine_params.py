@@ -1,0 +1,63 @@
+"""Table 1: deriving the machine-dependent parameter vector Θ1.
+
+The paper measures each Table-1 entry with a dedicated tool (Perfmon →
+tc, LMbench lat_mem_rd → tm, MPPTest → ts/tw, PowerPack → power levels).
+This bench runs the full toolchain on both testbeds and prints measured
+vs. specification values; measurement must agree within tool-appropriate
+tolerances.
+"""
+
+from __future__ import annotations
+
+from conftest import print_artifact
+
+from repro.analysis.report import ascii_table, format_si
+from repro.validation.calibration import calibrate_machine_params, derive_machine_params
+
+
+def _calibrate(cluster):
+    return (
+        calibrate_machine_params(cluster, seed=13),
+        derive_machine_params(cluster),
+    )
+
+
+def _render(cluster_name, cal, spec):
+    rows = [
+        ("tc", format_si(cal.params.tc, "s"), format_si(spec.tc, "s"), "Perfmon CPI loop"),
+        ("tm", format_si(cal.params.tm, "s"), format_si(spec.tm, "s"), "lat_mem_rd tail plateau"),
+        ("ts", format_si(cal.params.ts, "s"), format_si(spec.ts, "s"), "MPPTest intercept"),
+        ("tw", format_si(cal.params.tw, "s/B"), format_si(spec.tw, "s/B"), "MPPTest slope"),
+        ("dPc", f"{cal.params.delta_pc:.1f}W", f"{spec.delta_pc:.1f}W", "PowerPack compute run"),
+        ("dPm", f"{cal.params.delta_pm:.1f}W", f"{spec.delta_pm:.1f}W", "PowerPack memory run"),
+        ("Pc-idle", f"{cal.params.pc_idle:.1f}W", f"{spec.pc_idle:.1f}W", "PowerPack idle run"),
+        ("Psys-idle", f"{cal.params.p_system_idle:.1f}W", f"{spec.p_system_idle:.1f}W", "sum of idle floors"),
+    ]
+    return ascii_table(
+        [f"{cluster_name} param", "measured", "spec", "tool"], rows
+    )
+
+
+def test_tab1_system_g_parameters(benchmark, systemg32):
+    cal, spec = benchmark.pedantic(
+        lambda: _calibrate(systemg32), rounds=1, iterations=1
+    )
+    print_artifact("Table 1 — SystemG machine parameters", _render("SystemG", cal, spec))
+    assert cal.params.tc == spec.tc * 1.0 or abs(cal.params.tc / spec.tc - 1) < 0.1
+    assert abs(cal.params.tm / spec.tm - 1) < 0.1
+    assert abs(cal.params.ts / spec.ts - 1) < 0.25
+    assert abs(cal.params.tw / spec.tw - 1) < 0.1
+    assert abs(cal.params.delta_pc / spec.delta_pc - 1) < 0.1
+    assert abs(cal.params.p_system_idle / spec.p_system_idle - 1) < 0.05
+
+
+def test_tab1_dori_parameters(benchmark, dori8):
+    cal, spec = benchmark.pedantic(
+        lambda: _calibrate(dori8), rounds=1, iterations=1
+    )
+    print_artifact("Table 1 — Dori machine parameters", _render("Dori", cal, spec))
+    assert abs(cal.params.tm / spec.tm - 1) < 0.1
+    assert abs(cal.params.ts / spec.ts - 1) < 0.25
+    assert abs(cal.params.tw / spec.tw - 1) < 0.1
+    # the two fabrics must be clearly distinguishable from measurement alone
+    assert cal.params.ts > 5 * 4e-6

@@ -1,0 +1,90 @@
+"""Table 2: deriving the application-dependent parameter vector Θ2.
+
+The paper obtains (Wc, Wm) from Perfmon counters, (M, B) from PMPI/TAU
+tracing, the overheads by subtracting the p=1 reference, α from timing,
+and fits the scaling coefficients (e.g. EP's 109.4 instructions/pair).
+This bench runs that entire measurement pipeline on instrumented runs
+and checks each derived quantity against the generating model.
+"""
+
+from __future__ import annotations
+
+from conftest import print_artifact
+
+from repro.analysis.report import ascii_table, format_si
+from repro.microbench.perfmon import measure_counters
+from repro.npb.workloads import benchmark_for
+from repro.simmpi.engine import SimConfig, SimEngine
+from repro.validation.calibration import (
+    fit_workload_scaling,
+    measure_app_params,
+    split_overheads,
+)
+
+
+def _measure_theta2(cluster, name, klass, p, niter=None):
+    bench, n = benchmark_for(name, klass, niter)
+    config = SimConfig(alpha=bench.alpha, cpi_factor=bench.cpi_factor)
+
+    seq_run = SimEngine(cluster, config).run(bench.make_program(n, 1), size=1)
+    par_run = SimEngine(cluster, config).run(bench.make_program(n, p), size=p)
+    seq = measure_app_params(seq_run, alpha=bench.alpha)
+    par = measure_app_params(par_run, alpha=bench.alpha)
+    return bench, n, split_overheads(seq, par)
+
+
+def _fit_ep_coefficient(cluster):
+    """Re-derive the paper's 109.4 instructions/pair from counter sweeps."""
+    from repro.npb.ep import EpBenchmark
+
+    ns, wcs = [], []
+    for n in (2**18, 2**19, 2**20):
+        bench = EpBenchmark()
+        run = SimEngine(cluster, SimConfig(alpha=bench.alpha)).run(
+            bench.make_program(float(n), 1), size=1
+        )
+        ns.append(float(n))
+        wcs.append(measure_counters(run).instructions)
+    return fit_workload_scaling(ns, wcs, "linear")
+
+
+def test_tab2_measured_theta2(benchmark, systemg8):
+    bench, n, theta2 = benchmark.pedantic(
+        lambda: _measure_theta2(systemg8, "FT", "S", p=8, niter=2),
+        rounds=1,
+        iterations=1,
+    )
+    model = bench.app_params(n, 8)
+    rows = [
+        ("alpha", round(theta2.alpha, 3), round(model.alpha, 3)),
+        ("Wc", format_si(theta2.wc), format_si(model.wc)),
+        ("Wm", format_si(theta2.wm), format_si(model.wm)),
+        ("Wco", format_si(theta2.wco), format_si(model.wco)),
+        ("Wmo", format_si(theta2.wmo), format_si(model.wmo)),
+        ("M", int(theta2.m_messages), int(model.m_messages)),
+        ("B", format_si(theta2.b_bytes), format_si(model.b_bytes)),
+    ]
+    print_artifact(
+        "Table 2 — FT.S application parameters (measured vs analytic)",
+        ascii_table(["param", "measured", "analytic"], rows),
+    )
+    # measured workload = analytic × declared kernel bias
+    assert abs(theta2.wc / (model.wc * bench.bias.compute_scale) - 1) < 0.02
+    assert theta2.m_messages == model.m_messages
+    assert abs(theta2.b_bytes / model.b_bytes - 1) < 0.01
+
+
+def test_tab2_ep_coefficient_fit(benchmark, systemg8):
+    coeff = benchmark.pedantic(
+        lambda: _fit_ep_coefficient(systemg8), rounds=1, iterations=1
+    )
+    from repro.npb.ep import EpBenchmark
+    from repro.paperdata import PAPER_EP_WC_PER_PAIR
+
+    expected = PAPER_EP_WC_PER_PAIR * EpBenchmark().bias.compute_scale
+    print_artifact(
+        "Table 2 — EP Wc coefficient fit",
+        f"fitted {coeff:.2f} instructions/pair "
+        f"(paper coefficient {PAPER_EP_WC_PER_PAIR}, kernel bias ×{EpBenchmark().bias.compute_scale})",
+    )
+    assert abs(coeff / expected - 1) < 0.01

@@ -1,0 +1,39 @@
+"""Shared bench configuration.
+
+Every bench regenerates one paper artifact (figure or table), prints the
+series it reproduces (paper-vs-measured where the paper gives numbers),
+and times the regeneration via pytest-benchmark.  Heavy simulation-backed
+benches use ``benchmark.pedantic`` with one round to keep wall time sane.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import dori, system_g
+
+
+@pytest.fixture(scope="session")
+def systemg128():
+    return system_g(128)
+
+
+@pytest.fixture(scope="session")
+def systemg32():
+    return system_g(32)
+
+
+@pytest.fixture(scope="session")
+def systemg8():
+    return system_g(8)
+
+
+@pytest.fixture(scope="session")
+def dori8():
+    return dori(8)
+
+
+def print_artifact(title: str, body: str) -> None:
+    """Uniform artifact banner so bench output is easy to scan/tee."""
+    bar = "=" * max(len(title) + 8, 40)
+    print(f"\n{bar}\n=== {title} ===\n{bar}\n{body}\n")

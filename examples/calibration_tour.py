@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Calibration tour: derive every model parameter from measurement.
+
+Walks the paper's full §IV-B toolchain against the simulated Dori
+cluster, printing each instrument's raw output and the Θ1/Θ2 vectors it
+yields, then validates the calibrated model end to end on an FT run —
+the complete practitioner workflow, no spec sheets consulted.
+
+Run:  python examples/calibration_tour.py
+"""
+
+from repro.analysis.report import ascii_table, format_si
+from repro.cluster import dori
+from repro.core.model import IsoEnergyModel
+from repro.microbench import lat_mem_rd, mpptest
+from repro.microbench.perfmon import measure_cpi
+from repro.npb.workloads import benchmark_for
+from repro.powerpack import PowerProfiler
+from repro.simmpi import SimConfig, SimEngine
+from repro.validation import calibrate_machine_params, measure_app_params
+from repro.validation.calibration import split_overheads
+
+def main() -> None:
+    cluster = dori(8)
+    bench, n = benchmark_for("FT", "W", niter=3)
+
+    # -- 1. Perfmon: CPI ---------------------------------------------------------
+    cpi, tc = measure_cpi(cluster, cpi_factor=bench.cpi_factor)
+    print(f"[perfmon]   CPI = {cpi:.3f}  ->  tc = {format_si(tc, 's')}")
+
+    # -- 2. lat_mem_rd: the latency staircase -------------------------------------
+    sizes, lats = lat_mem_rd(cluster.head, seed=1)
+    picks = list(range(0, len(sizes), max(1, len(sizes) // 8)))
+    print("[lat_mem_rd] working set -> latency:")
+    for i in picks:
+        print(f"             {format_si(sizes[i], 'B'):>8}  {format_si(lats[i], 's')}")
+
+    # -- 3. MPPTest: the Hockney line ----------------------------------------------
+    sweep = mpptest(cluster)
+    print(f"[mpptest]   ts = {format_si(sweep.ts, 's')}, "
+          f"tw = {format_si(sweep.tw, 's/B')} (r^2 = {sweep.fit.r_squared:.5f})")
+
+    # -- 4. PowerPack: power levels --------------------------------------------------
+    cal = calibrate_machine_params(cluster, cpi_factor=bench.cpi_factor, seed=1)
+    rows = [(k, f"{v:.1f} W") for k, v in cal.idle_power.items()]
+    rows += [("delta_Pc", f"{cal.delta_pc:.1f} W"), ("delta_Pm", f"{cal.delta_pm:.1f} W")]
+    print("[powerpack] measured power levels:")
+    print(ascii_table(["quantity", "value"], rows))
+
+    # -- 5. counters + PMPI trace: Θ2 -------------------------------------------------
+    config = SimConfig(alpha=bench.alpha, cpi_factor=bench.cpi_factor)
+    seq = measure_app_params(
+        SimEngine(cluster, config).run(bench.make_program(n, 1), 1), bench.alpha)
+    par = measure_app_params(
+        SimEngine(cluster, config).run(bench.make_program(n, 4), 4), bench.alpha)
+    theta2 = split_overheads(seq, par)
+    print(f"[pmpi/tau]  Theta2 at (n={format_si(n)}, p=4): "
+          f"Wc={format_si(theta2.wc)}, Wm={format_si(theta2.wm)}, "
+          f"Wco={format_si(theta2.wco)}, Wmo={format_si(theta2.wmo)}, "
+          f"M={int(theta2.m_messages)}, B={format_si(theta2.b_bytes, 'B')}")
+
+    # -- 6. the calibrated model against a fresh measured run ----------------------------
+    model = IsoEnergyModel(cal.params, bench.workload, name="FT.W calibrated")
+    predicted = model.predict_energy(n=n, p=4)
+    from repro.validation.harness import run_benchmark
+    run = run_benchmark(cluster, bench, n, 4, seed=42)
+    measured = PowerProfiler(cluster).measure_energy(run)
+    err = abs(predicted - measured) / measured * 100
+    print(f"\n[validate]  predicted {predicted:.0f} J vs measured {measured:.0f} J "
+          f"-> error {err:.2f}%")
+
+if __name__ == "__main__":
+    main()

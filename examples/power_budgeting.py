@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Power-constrained operation: scheduling under a site power budget.
+
+The exascale framing of the paper's introduction: performance must grow
+1000x on 10x the power.  This example plays a site operator with a hard
+power cap and a mixed machine:
+
+1. find the fastest legal (p, f) configuration under the cap,
+2. find the greenest configuration meeting a deadline,
+3. track "speedup per watt" as the machine scales (the 100x metric), and
+4. extend to a heterogeneous pool (the paper's stated future work) to
+   see when adding slower-but-efficient nodes helps.
+
+Run:  python examples/power_budgeting.py
+"""
+
+from repro.analysis.report import ascii_table
+from repro.core.hetero import HeteroIsoEnergyModel, ProcessorGroup
+from repro.core.powercap import (
+    fastest_under_cap,
+    greenest_under_deadline,
+    scaling_report,
+)
+from repro.paperdata import paper_machine, paper_model
+from repro.units import GHZ
+
+FREQS = [1.6 * GHZ, 2.0 * GHZ, 2.4 * GHZ, 2.8 * GHZ]
+PS = [1, 2, 4, 8, 16, 32, 64, 128, 256]
+
+def main() -> None:
+    model, n = paper_model("FT", klass="B")
+
+    # -- 1. fastest under the cap ------------------------------------------------
+    print("FT class B under a site power budget\n")
+    rows = []
+    for cap in (500.0, 2_000.0, 8_000.0, 32_000.0):
+        cfg = fastest_under_cap(
+            model, n=n, power_cap=cap, p_values=PS, frequencies=FREQS)
+        rows.append((f"{cap:,.0f} W", cfg.p, f"{cfg.f / GHZ:.1f}",
+                     round(cfg.tp, 2), round(cfg.avg_power, 0), round(cfg.ee, 3)))
+    print(ascii_table(
+        ["power cap", "p", "GHz", "Tp (s)", "draw (W)", "EE"], rows))
+
+    # -- 2. greenest under a deadline ----------------------------------------------
+    t_serial = model.evaluate(n=n, p=1).t1
+    print(f"\nGreenest configuration meeting a deadline (T1 = {t_serial:.0f} s):\n")
+    rows = []
+    for deadline_frac in (0.5, 0.1, 0.02):
+        deadline = t_serial * deadline_frac
+        cfg = greenest_under_deadline(
+            model, n=n, deadline=deadline, p_values=PS, frequencies=FREQS)
+        rows.append((f"{deadline:.1f} s", cfg.p, f"{cfg.f / GHZ:.1f}",
+                     round(cfg.ep / 1000, 2), round(cfg.ee, 3)))
+    print(ascii_table(["deadline", "p", "GHz", "Ep (kJ)", "EE"], rows))
+
+    # -- 3. the exascale metric -------------------------------------------------------
+    print("\nSpeedup per power-multiplier (1.0 = iso-energy-efficient scaling):\n")
+    report = scaling_report(model, n=n, p_values=[1, 8, 64, 256, 1024])
+    print(ascii_table(
+        ["p", "speedup", "power x", "speedup/power"],
+        [(p, round(s, 1), round(m, 1), round(spp, 3)) for p, s, m, spp in report]))
+
+    # -- 4. heterogeneous pool ------------------------------------------------------------
+    print("\nHeterogeneous pool: 8 full-clock nodes + 8 down-clocked nodes:\n")
+    fast = paper_machine("FT")
+    slow = fast.at_frequency(1.6 * GHZ)
+    pool = HeteroIsoEnergyModel([
+        ProcessorGroup(name="2.8GHz", machine=fast, count=8),
+        ProcessorGroup(name="1.6GHz", machine=slow, count=8),
+    ])
+    app = model.app_params(n, 16)
+    rows = []
+    for policy in ("balanced", "uniform"):
+        pt = pool.evaluate(app, policy=policy)
+        rows.append((policy,
+                     round(pt.group_shares["2.8GHz"], 3),
+                     round(pt.tp, 2), round(pt.ep / 1000, 2), round(pt.ee, 3)))
+    print(ascii_table(
+        ["split policy", "share to fast", "Tp (s)", "Ep (kJ)", "EE"], rows))
+    gap = pool.policy_gap(app)
+    print(f"\nnaive uniform splitting wastes {gap * 100:.1f}% extra energy on this pool")
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Quickstart: build an iso-energy-efficiency model and ask it questions.
+
+Five minutes with the public API:
+
+1. grab a paper-parameterized model (FT, class B, on SystemG),
+2. evaluate energy efficiency at a point,
+3. find the efficiency bottleneck,
+4. sweep parallelism to see the EE decay,
+5. ask the scaling tools how to hold EE at a target.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import paper_model
+from repro.analysis.report import ascii_table, format_si
+from repro.analysis.sweep import parallelism_sweep
+from repro.core.scaling import iso_workload, max_parallelism
+
+def main() -> None:
+    model, n = paper_model("FT", klass="B")
+    print(f"Model: {model.name}   problem size n = {format_si(n)} grid points\n")
+
+    # -- 2. one point ---------------------------------------------------------
+    point = model.evaluate(n=n, p=64)
+    print(f"At p=64:  EE = {point.ee:.3f}   EEF = {point.eef:.3f}   "
+          f"speedup = {point.speedup:.1f}   Ep = {point.ep / 1000:.1f} kJ")
+
+    # -- 3. why is it inefficient? ----------------------------------------------
+    print(f"Dominant energy overhead at p=64: {point.bottleneck}\n")
+
+    # -- 4. the EE decay curve ----------------------------------------------------
+    points = parallelism_sweep(model, n=n, p_values=[1, 4, 16, 64, 256, 1024])
+    rows = [
+        (pt.p, round(pt.ee, 3), round(pt.perf_efficiency, 3),
+         round(pt.tp, 2), round(pt.ep / 1000, 1), pt.bottleneck)
+        for pt in points
+    ]
+    print(ascii_table(
+        ["p", "EE", "perf-eff", "Tp (s)", "Ep (kJ)", "bottleneck"], rows))
+
+    # -- 5. decision support --------------------------------------------------------
+    p_max = max_parallelism(model, n=n, min_ee=0.8)
+    print(f"\nLargest power-of-two p keeping EE >= 0.8 at this n: {p_max}")
+
+    n_needed = iso_workload(model, p=1024, target_ee=0.7, n_lo=1e5, n_hi=1e13)
+    print(f"Problem size needed to hold EE = 0.7 at p=1024: "
+          f"{format_si(n_needed)} points ({n_needed / n:.1f}x class B)")
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""repro — iso-energy-efficiency modeling for power-constrained parallel computation.
+
+A full reproduction of Song, Su, Ge, Vishnu & Cameron, *"Iso-energy-
+efficiency: An approach to power-constrained parallel computation"*
+(IPDPS 2011): the analytical energy-performance model (EEF / EE), the
+power-aware cluster and MPI substrates it was validated on, the
+PowerPack-style measurement stack, the NAS Parallel Benchmark workloads,
+and the calibration + validation pipeline.
+
+Quick start::
+
+    from repro import paper_model
+    model, n = paper_model("FT", klass="B")
+    print(model.ee(n=n, p=64))              # iso-energy-efficiency
+    print(model.evaluate(n=n, p=64).bottleneck)
+
+See ``examples/`` for complete scenarios and ``benchmarks/`` for the
+scripts regenerating every figure and table of the paper.
+"""
+
+from repro.core import (
+    AppParams,
+    IsoEnergyModel,
+    MachineParams,
+    ModelPoint,
+    eef,
+    energy_efficiency,
+    parallel_energy,
+    sequential_energy,
+)
+from repro.cluster import Cluster, dori, system_g
+from repro.npb import ProblemClass, benchmark_for
+from repro.paperdata import paper_machine, paper_model
+from repro.validation import validate, validate_suite
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AppParams",
+    "IsoEnergyModel",
+    "MachineParams",
+    "ModelPoint",
+    "eef",
+    "energy_efficiency",
+    "parallel_energy",
+    "sequential_energy",
+    "Cluster",
+    "dori",
+    "system_g",
+    "ProblemClass",
+    "benchmark_for",
+    "paper_machine",
+    "paper_model",
+    "validate",
+    "validate_suite",
+    "__version__",
+]

@@ -1,0 +1,94 @@
+"""Metric comparison: EE against the related-work metrics (§II).
+
+The paper positions iso-energy-efficiency against three families:
+performance isoefficiency (blind to energy), the ERE-style ratios
+(flag inefficiency but "do not identify causal relationships"), and
+power-aware speedup (captures DVFS effects but "provides little insight
+to the root cause").  :func:`metric_comparison` evaluates all of them
+side by side across p, and — the point of the exercise — shows that
+only EEF comes with an attribution column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.baselines import (
+    ere_metric,
+    grama_isoefficiency_overhead,
+    performance_efficiency,
+)
+from repro.core.efficiency import dominant_overhead, eef
+from repro.core.model import IsoEnergyModel
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class MetricRow:
+    """All §II metrics at one parallelism level."""
+
+    p: int
+    perf_efficiency: float  # Grama
+    overhead_seconds: float  # Grama's To
+    ere: float  # Jiang-style ratio
+    eef: float  # this paper
+    ee: float  # this paper
+    attribution: str  # only EEF provides this
+
+    def as_tuple(self) -> tuple:
+        return (
+            self.p,
+            round(self.perf_efficiency, 4),
+            round(self.overhead_seconds, 4),
+            round(self.ere, 3),
+            round(self.eef, 4),
+            round(self.ee, 4),
+            self.attribution,
+        )
+
+
+def metric_comparison(
+    model: IsoEnergyModel,
+    *,
+    n: float,
+    p_values: Sequence[int],
+    f: float | None = None,
+) -> list[MetricRow]:
+    """Evaluate every §II metric at each p."""
+    if not p_values:
+        raise ParameterError("no p values supplied")
+    machine = model.machine_at(f)
+    rows = []
+    for p in p_values:
+        app = model.app_params(n, p)
+        rows.append(
+            MetricRow(
+                p=p,
+                perf_efficiency=performance_efficiency(machine, app, p),
+                overhead_seconds=grama_isoefficiency_overhead(machine, app, p),
+                ere=ere_metric(machine, app, p),
+                eef=eef(machine, app, p),
+                ee=1.0 / (1.0 + eef(machine, app, p)),
+                attribution="none" if p == 1 else dominant_overhead(machine, app, p),
+            )
+        )
+    return rows
+
+
+def divergence_point(
+    rows: Sequence[MetricRow], tolerance: float = 0.05
+) -> int | None:
+    """Smallest p where energy and performance efficiency part ways.
+
+    Performance isoefficiency alone would treat these as one curve; the
+    first p where |EE − perf-eff| exceeds ``tolerance`` is where an
+    energy-blind analysis starts giving wrong answers.  Returns None if
+    they never diverge over the evaluated range.
+    """
+    if tolerance <= 0:
+        raise ParameterError("tolerance must be positive")
+    for row in rows:
+        if abs(row.ee - row.perf_efficiency) > tolerance:
+            return row.p
+    return None

@@ -1,0 +1,93 @@
+"""Terminal rendering: aligned tables and heatmaps for figures' data."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+#: shading ramp for heatmaps, light to dark
+_RAMP = " .:-=+*#%@"
+
+
+def format_si(value: float, unit: str = "") -> str:
+    """Human-readable engineering notation: 3.36e7 → '33.6M'."""
+    if value == 0:
+        return f"0{unit}"
+    magnitude = abs(value)
+    for factor, suffix in [(1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "k")]:
+        if magnitude >= factor:
+            return f"{value / factor:.3g}{suffix}{unit}"
+    if magnitude >= 1:
+        return f"{value:.3g}{unit}"
+    for factor, suffix in [(1e-3, "m"), (1e-6, "µ"), (1e-9, "n")]:
+        if magnitude >= factor:
+            return f"{value / factor:.3g}{suffix}{unit}"
+    return f"{value:.3g}{unit}"
+
+
+def ascii_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render an aligned, pipe-separated table."""
+    if not headers:
+        raise ParameterError("a table needs headers")
+    str_rows = [[_cell(c) for c in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ParameterError(
+                f"row width {len(row)} does not match {len(headers)} headers"
+            )
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    def fmt(cells):
+        return " | ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [fmt(list(headers)), sep]
+    lines.extend(fmt(r) for r in str_rows)
+    return "\n".join(lines)
+
+
+def ascii_heatmap(
+    values: np.ndarray,
+    x_labels: Sequence,
+    y_labels: Sequence,
+    title: str = "",
+    lo: float | None = None,
+    hi: float | None = None,
+) -> str:
+    """Shade a 2-D array as a character heatmap (rows = x, cols = y).
+
+    The terminal stand-in for the paper's 3-D surface plots: darker cells
+    are higher EE.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.shape != (len(x_labels), len(y_labels)):
+        raise ParameterError("value shape must match label counts")
+    vmin = float(values.min()) if lo is None else lo
+    vmax = float(values.max()) if hi is None else hi
+    span = max(vmax - vmin, 1e-12)
+    label_w = max(len(str(x)) for x in x_labels)
+    lines = []
+    if title:
+        lines.append(title)
+    header = " " * (label_w + 1) + " ".join(f"{str(y):>5}" for y in y_labels)
+    lines.append(header)
+    for i, xl in enumerate(x_labels):
+        cells = []
+        for j in range(len(y_labels)):
+            frac = (values[i, j] - vmin) / span
+            idx = min(len(_RAMP) - 1, max(0, int(frac * (len(_RAMP) - 1) + 0.5)))
+            cells.append(f"{_RAMP[idx] * 3:>5}")
+        lines.append(f"{str(xl):>{label_w}} " + " ".join(cells))
+    lines.append(f"scale: '{_RAMP[0]}'={vmin:.3f} .. '{_RAMP[-1]}'={vmax:.3f}")
+    return "\n".join(lines)
+
+
+def _cell(c) -> str:
+    if isinstance(c, float):
+        return f"{c:.4g}"
+    return str(c)

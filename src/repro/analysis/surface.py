@@ -1,0 +1,118 @@
+"""EE surfaces: the data behind the paper's 3-D plots (Figs. 5–9).
+
+An :class:`EESurface` evaluates EE over a 2-D grid — (p, f) at fixed n,
+or (p, n) at fixed f — and exposes the series row-by-row for printing,
+regression-testing, and rendering as a terminal heatmap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.model import IsoEnergyModel
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class EESurface:
+    """EE evaluated over a grid of two axes.
+
+    ``x`` is the first axis (always p in the paper's figures), ``y`` the
+    second (f or n); ``values[i, j] = EE(x=x[i], y=y[j])``.
+    """
+
+    x_name: str
+    y_name: str
+    x: tuple[float, ...]
+    y: tuple[float, ...]
+    values: np.ndarray
+    fixed: dict[str, float]
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.values.shape != (len(self.x), len(self.y)):
+            raise ParameterError(
+                f"values shape {self.values.shape} does not match axes "
+                f"({len(self.x)}, {len(self.y)})"
+            )
+
+    def at(self, xv: float, yv: float) -> float:
+        i = self.x.index(xv)
+        j = self.y.index(yv)
+        return float(self.values[i, j])
+
+    def rows(self) -> list[tuple]:
+        """One row per x value: (x, EE(y0), EE(y1), ...)."""
+        return [
+            (self.x[i], *[round(float(v), 4) for v in self.values[i]])
+            for i in range(len(self.x))
+        ]
+
+    def column(self, yv: float) -> list[tuple[float, float]]:
+        """The (x, EE) series at one fixed y — a slice of the surface."""
+        j = self.y.index(yv)
+        return [(self.x[i], float(self.values[i, j])) for i in range(len(self.x))]
+
+    # -- shape diagnostics used by regression tests ------------------------------
+
+    def monotone_along_x(self, increasing: bool) -> bool:
+        """True if every y-column is monotone along x in the given direction."""
+        diffs = np.diff(self.values, axis=0)
+        return bool(np.all(diffs >= -1e-12)) if increasing else bool(
+            np.all(diffs <= 1e-12)
+        )
+
+    def monotone_along_y(self, increasing: bool) -> bool:
+        diffs = np.diff(self.values, axis=1)
+        return bool(np.all(diffs >= -1e-12)) if increasing else bool(
+            np.all(diffs <= 1e-12)
+        )
+
+    def spread_along_y(self) -> float:
+        """Max over x of (max−min) across y — the frequency-sensitivity."""
+        return float(np.max(self.values.max(axis=1) - self.values.min(axis=1)))
+
+    def spread_along_x(self) -> float:
+        return float(np.max(self.values.max(axis=0) - self.values.min(axis=0)))
+
+
+def ee_surface(
+    model: IsoEnergyModel,
+    *,
+    p_values: Sequence[int],
+    f_values: Sequence[float] | None = None,
+    n_values: Sequence[float] | None = None,
+    n: float | None = None,
+    f: float | None = None,
+    label: str = "",
+) -> EESurface:
+    """Evaluate EE over (p × f) at fixed n, or (p × n) at fixed f."""
+    if (f_values is None) == (n_values is None):
+        raise ParameterError("sweep exactly one of f_values or n_values")
+    if f_values is not None:
+        if n is None:
+            raise ParameterError("fix n when sweeping frequency")
+        y_name, ys = "f", [float(v) for v in f_values]
+        values = np.array(
+            [[model.ee(n=n, p=p, f=fv) for fv in ys] for p in p_values]
+        )
+        fixed = {"n": float(n)}
+    else:
+        assert n_values is not None
+        y_name, ys = "n", [float(v) for v in n_values]
+        values = np.array(
+            [[model.ee(n=nv, p=p, f=f) for nv in ys] for p in p_values]
+        )
+        fixed = {"f": float(f if f is not None else model.machine.f)}
+    return EESurface(
+        x_name="p",
+        y_name=y_name,
+        x=tuple(float(p) for p in p_values),
+        y=tuple(ys),
+        values=values,
+        fixed=fixed,
+        label=label or model.name,
+    )

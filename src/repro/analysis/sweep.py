@@ -1,0 +1,67 @@
+"""One-dimensional model sweeps with printed-row output."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.model import IsoEnergyModel, ModelPoint
+from repro.errors import ParameterError
+
+
+def parallelism_sweep(
+    model: IsoEnergyModel,
+    *,
+    n: float,
+    p_values: Sequence[int],
+    f: float | None = None,
+) -> list[ModelPoint]:
+    """Evaluate the model across processor counts at fixed (n, f)."""
+    if not p_values:
+        raise ParameterError("no p values supplied")
+    return [model.evaluate(n=n, p=int(p), f=f) for p in p_values]
+
+
+def frequency_slice(
+    model: IsoEnergyModel,
+    *,
+    n: float,
+    p: int,
+    f_values: Sequence[float],
+) -> list[ModelPoint]:
+    """Evaluate the model across DVFS frequencies at fixed (n, p)."""
+    if not f_values:
+        raise ParameterError("no frequencies supplied")
+    return [model.evaluate(n=n, p=p, f=f) for f in f_values]
+
+
+def problem_size_slice(
+    model: IsoEnergyModel,
+    *,
+    p: int,
+    n_values: Sequence[float],
+    f: float | None = None,
+) -> list[ModelPoint]:
+    """Evaluate the model across problem sizes at fixed (p, f)."""
+    if not n_values:
+        raise ParameterError("no problem sizes supplied")
+    return [model.evaluate(n=n, p=p, f=f) for n in n_values]
+
+
+def points_table(points: list[ModelPoint]) -> list[tuple]:
+    """Rows (p, f_GHz, n, T1, Tp, E1, Ep, EEF, EE, speedup, bottleneck)."""
+    return [
+        (
+            pt.p,
+            round(pt.f / 1e9, 3),
+            pt.n,
+            round(pt.t1, 3),
+            round(pt.tp, 3),
+            round(pt.e1, 1),
+            round(pt.ep, 1),
+            round(pt.eef, 4),
+            round(pt.ee, 4),
+            round(pt.speedup, 2),
+            pt.bottleneck,
+        )
+        for pt in points
+    ]

@@ -1,0 +1,179 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four commands cover the everyday workflows:
+
+* ``evaluate``  — EE/EEF/energy at one (benchmark, cluster, p, f, class)
+* ``sweep``     — the EE-vs-p table for a benchmark
+* ``validate``  — one model-vs-measurement experiment
+* ``surface``   — a terminal heatmap of EE over (p × f) or (p × n)
+
+All output is plain text suitable for piping; exit status is nonzero on
+configuration errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.report import ascii_heatmap, ascii_table, format_si
+from repro.analysis.surface import ee_surface
+from repro.cluster import dori, system_g
+from repro.core.model import IsoEnergyModel
+from repro.errors import ReproError
+from repro.npb.workloads import benchmark_for, benchmark_names
+from repro.units import GHZ
+from repro.validation.calibration import derive_machine_params
+
+
+def _cluster(name: str, nodes: int):
+    if name.lower() == "systemg":
+        return system_g(nodes)
+    if name.lower() == "dori":
+        return dori(min(nodes, 8))
+    raise ReproError(f"unknown cluster {name!r}; choose systemg or dori")
+
+
+def _model(args) -> tuple[IsoEnergyModel, float]:
+    cluster = _cluster(args.cluster, max(args.p if hasattr(args, "p") else 1, 1))
+    bench, n = benchmark_for(args.benchmark, args.klass, getattr(args, "niter", None))
+    machine = derive_machine_params(cluster, cpi_factor=bench.cpi_factor)
+    return (
+        IsoEnergyModel(
+            machine, bench.workload, name=f"{bench.name}.{args.klass} on {cluster.name}"
+        ),
+        n,
+    )
+
+
+def cmd_evaluate(args) -> int:
+    model, n = _model(args)
+    f = args.freq * GHZ if args.freq else None
+    pt = model.evaluate(n=n, p=args.p, f=f)
+    rows = [
+        ("model", model.name),
+        ("n", format_si(pt.n)),
+        ("p", pt.p),
+        ("f", f"{pt.f / GHZ:.2f} GHz"),
+        ("T1", f"{pt.t1:.3f} s"),
+        ("Tp", f"{pt.tp:.3f} s"),
+        ("speedup", f"{pt.speedup:.2f}"),
+        ("E1", f"{pt.e1:.1f} J"),
+        ("Ep", f"{pt.ep:.1f} J"),
+        ("EEF", f"{pt.eef:.4f}"),
+        ("EE", f"{pt.ee:.4f}"),
+        ("bottleneck", pt.bottleneck),
+    ]
+    print(ascii_table(["quantity", "value"], rows))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    model, n = _model(args)
+    ps = [int(x) for x in args.p_values.split(",")]
+    rows = []
+    for p in ps:
+        pt = model.evaluate(n=n, p=p)
+        rows.append(
+            (p, round(pt.ee, 4), round(pt.perf_efficiency, 4),
+             round(pt.tp, 3), round(pt.ep, 1), pt.bottleneck)
+        )
+    print(ascii_table(["p", "EE", "perf-eff", "Tp (s)", "Ep (J)", "bottleneck"], rows))
+    return 0
+
+
+def cmd_validate(args) -> int:
+    from repro.validation.harness import validate
+
+    cluster = _cluster(args.cluster, args.p)
+    result = validate(
+        cluster, args.benchmark, klass=args.klass, p=args.p,
+        niter=args.niter, seed=args.seed,
+    )
+    rows = [
+        ("benchmark", result.benchmark),
+        ("p", result.p),
+        ("measured", f"{result.measured_j:.1f} J"),
+        ("predicted", f"{result.predicted_j:.1f} J"),
+        ("|error|", f"{result.abs_error_pct:.2f} %"),
+        ("sim time", f"{result.sim_seconds:.2f} s"),
+        ("messages", result.messages),
+    ]
+    print(ascii_table(["quantity", "value"], rows))
+    return 0
+
+
+def cmd_surface(args) -> int:
+    model, n = _model(args)
+    ps = [int(x) for x in args.p_values.split(",")]
+    if args.axis == "f":
+        fs = [float(x) * GHZ for x in args.f_values.split(",")]
+        surf = ee_surface(model, p_values=ps, f_values=fs, n=n)
+        labels = [f"{f / GHZ:.1f}" for f in surf.y]
+    else:
+        n_values = [n * float(x) for x in args.n_factors.split(",")]
+        surf = ee_surface(model, p_values=ps, n_values=n_values)
+        labels = [format_si(v) for v in surf.y]
+    print(
+        ascii_heatmap(
+            surf.values, [int(p) for p in surf.x], labels,
+            title=f"EE surface — {model.name}", lo=0.0, hi=1.0,
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Iso-energy-efficiency model (Song et al., IPDPS 2011)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--benchmark", default="FT", choices=list(benchmark_names()))
+        p.add_argument("--cluster", default="systemg")
+        p.add_argument("--klass", default="B", help="NPB class (S/W/A/B/C/D)")
+        p.add_argument("--niter", type=int, default=None,
+                       help="iteration override (time sampling)")
+
+    p_eval = sub.add_parser("evaluate", help="model outputs at one point")
+    common(p_eval)
+    p_eval.add_argument("--p", type=int, default=64)
+    p_eval.add_argument("--freq", type=float, default=None, help="GHz")
+    p_eval.set_defaults(func=cmd_evaluate)
+
+    p_sweep = sub.add_parser("sweep", help="EE table across p")
+    common(p_sweep)
+    p_sweep.add_argument("--p-values", default="1,2,4,8,16,32,64,128")
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_val = sub.add_parser("validate", help="model vs simulated measurement")
+    common(p_val)
+    p_val.add_argument("--p", type=int, default=4)
+    p_val.add_argument("--seed", type=int, default=0)
+    p_val.set_defaults(func=cmd_validate)
+
+    p_surf = sub.add_parser("surface", help="EE heatmap over (p × f) or (p × n)")
+    common(p_surf)
+    p_surf.add_argument("--axis", choices=["f", "n"], default="f")
+    p_surf.add_argument("--p-values", default="1,4,16,64,256,1024")
+    p_surf.add_argument("--f-values", default="1.6,2.0,2.4,2.8", help="GHz list")
+    p_surf.add_argument("--n-factors", default="0.25,1,4", help="×class-size list")
+    p_surf.set_defaults(func=cmd_surface)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,38 @@
+"""Power-aware cluster hardware model.
+
+This subpackage is the substrate standing in for the paper's two physical
+testbeds (SystemG and Dori).  It describes CPUs with DVFS P-states, a
+memory hierarchy, network interconnects, per-component power states, and
+Dominion-PX-style measured power outlets, assembled into nodes and
+clusters.  Everything downstream (the MPI simulator, PowerPack profiler,
+microbenchmarks and the iso-energy-efficiency model itself) consumes
+hardware characteristics exclusively through these classes.
+"""
+
+from repro.cluster.cpu import Cpu, DvfsState, PowerLaw
+from repro.cluster.memory import CacheLevel, MemoryHierarchy
+from repro.cluster.network import Interconnect, ethernet_1g, infiniband_qdr
+from repro.cluster.power import ComponentPower, NodePowerModel
+from repro.cluster.pdu import PowerDistributionUnit, OutletSample
+from repro.cluster.node import Node
+from repro.cluster.cluster import Cluster
+from repro.cluster.presets import dori, system_g
+
+__all__ = [
+    "Cpu",
+    "DvfsState",
+    "PowerLaw",
+    "CacheLevel",
+    "MemoryHierarchy",
+    "Interconnect",
+    "ethernet_1g",
+    "infiniband_qdr",
+    "ComponentPower",
+    "NodePowerModel",
+    "PowerDistributionUnit",
+    "OutletSample",
+    "Node",
+    "Cluster",
+    "dori",
+    "system_g",
+]

@@ -1,0 +1,102 @@
+"""Cluster assembly: a homogeneous collection of nodes plus a fabric."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.network import Interconnect
+from repro.cluster.node import Node
+from repro.cluster.pdu import PowerDistributionUnit
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class Cluster:
+    """A power-aware cluster.
+
+    The iso-energy-efficiency model assumes *homogeneous* processors
+    (Table 1: "Number of homogeneous processors available"); the
+    constructor enforces that every node shares the CPU model, memory
+    hierarchy and NIC.  Heterogeneity for failure-injection tests is
+    introduced at the simulator level (per-node jitter), not here.
+    """
+
+    name: str
+    nodes: list[Node]
+    interconnect: Interconnect
+    pdu: PowerDistributionUnit = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ConfigurationError("a cluster needs at least one node")
+        head = self.nodes[0]
+        for n in self.nodes[1:]:
+            if n.cpu.name != head.cpu.name:
+                raise ConfigurationError(
+                    f"heterogeneous CPUs: {n.cpu.name} vs {head.cpu.name}"
+                )
+            if n.memory != head.memory:
+                raise ConfigurationError("heterogeneous memory hierarchies")
+            if n.nic != head.nic:
+                raise ConfigurationError("heterogeneous NICs")
+        for n in self.nodes:
+            if n.nic != self.interconnect:
+                raise ConfigurationError(
+                    f"node {n.name} NIC does not match cluster interconnect"
+                )
+        if self.pdu is None:
+            self.pdu = PowerDistributionUnit(outlets=len(self.nodes))
+
+    # -- shape ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def total_cores(self) -> int:
+        return sum(n.cores for n in self.nodes)
+
+    @property
+    def head(self) -> Node:
+        """Representative node (homogeneity makes any node representative)."""
+        return self.nodes[0]
+
+    # -- DVFS -------------------------------------------------------------------
+
+    def set_frequency(self, f: float) -> None:
+        """Set every node to P-state ``f`` (cluster-wide DVFS)."""
+        for n in self.nodes:
+            n.set_frequency(f)
+
+    @property
+    def frequency(self) -> float:
+        return self.head.frequency
+
+    @property
+    def available_frequencies(self) -> tuple[float, ...]:
+        return tuple(s.frequency for s in self.head.cpu.pstates)
+
+    # -- aggregate power ------------------------------------------------------------
+
+    @property
+    def p_system_idle(self) -> float:
+        """Idle power of the whole cluster (sum over nodes)."""
+        return sum(n.p_system_idle for n in self.nodes)
+
+    def subcluster(self, n_nodes: int) -> "Cluster":
+        """The first ``n_nodes`` nodes as a new cluster.
+
+        This is how the paper's methodology works in practice: measure a
+        "smaller representative portion of a large scale system", then
+        project to bigger node counts.
+        """
+        if not (1 <= n_nodes <= len(self.nodes)):
+            raise ConfigurationError(
+                f"cannot take {n_nodes} nodes from a {len(self.nodes)}-node cluster"
+            )
+        return Cluster(
+            name=f"{self.name}[0:{n_nodes}]",
+            nodes=self.nodes[:n_nodes],
+            interconnect=self.interconnect,
+            pdu=PowerDistributionUnit(outlets=n_nodes),
+        )

@@ -1,0 +1,194 @@
+"""CPU core model with DVFS P-states and a power-frequency law.
+
+The paper models on-chip computation with two machine parameters:
+
+* ``tc`` — average time per on-chip instruction, ``tc = CPI / f`` (Table 1,
+  citing Hennessy & Patterson), and
+* dynamic CPU power ``ΔPc ∝ f^γ`` with ``γ ≥ 1`` (Eq. 20, citing Kim et al.;
+  the paper uses γ=2 for SystemG).
+
+:class:`Cpu` carries both: a nominal CPI, a set of DVFS frequencies, and a
+:class:`PowerLaw` mapping frequency to running/idle power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.units import GHZ
+
+
+@dataclass(frozen=True)
+class PowerLaw:
+    """Power as a function of clock frequency.
+
+    Dynamic (running minus idle) power follows ``ΔP(f) = ΔP_ref·(f/f_ref)^γ``
+    and idle power follows a shallower law ``P_idle(f) = P_idle_ref ·
+    (f/f_ref)^γ_idle`` — leakage shrinks only weakly with frequency, which is
+    why the paper treats idle powers as "also functions of f" without giving
+    them the full exponent.
+
+    Parameters
+    ----------
+    delta_p_ref:
+        Dynamic power draw (watts) at the reference frequency.
+    p_idle_ref:
+        Idle power draw (watts) at the reference frequency.
+    f_ref:
+        Reference frequency in hertz.
+    gamma:
+        Dynamic power exponent γ ≥ 1 (Eq. 20).
+    gamma_idle:
+        Idle power exponent; 0 keeps idle power frequency-independent.
+    """
+
+    delta_p_ref: float
+    p_idle_ref: float
+    f_ref: float
+    gamma: float = 2.0
+    gamma_idle: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.f_ref <= 0:
+            raise ConfigurationError(f"f_ref must be positive, got {self.f_ref}")
+        if self.gamma < 1.0:
+            raise ConfigurationError(
+                f"gamma must be >= 1 (paper Eq. 20), got {self.gamma}"
+            )
+        if self.delta_p_ref < 0 or self.p_idle_ref < 0:
+            raise ConfigurationError("power draws must be non-negative")
+        if self.gamma_idle < 0:
+            raise ConfigurationError("gamma_idle must be non-negative")
+
+    def delta_p(self, f: float) -> float:
+        """Dynamic power ΔP at frequency ``f`` (watts)."""
+        self._check_f(f)
+        return self.delta_p_ref * (f / self.f_ref) ** self.gamma
+
+    def p_idle(self, f: float) -> float:
+        """Idle power at frequency ``f`` (watts)."""
+        self._check_f(f)
+        return self.p_idle_ref * (f / self.f_ref) ** self.gamma_idle
+
+    def p_running(self, f: float) -> float:
+        """Total running-state power ``P_idle(f) + ΔP(f)`` (watts)."""
+        return self.p_idle(f) + self.delta_p(f)
+
+    @staticmethod
+    def _check_f(f: float) -> None:
+        if f <= 0:
+            raise ConfigurationError(f"frequency must be positive, got {f}")
+
+
+@dataclass(frozen=True)
+class DvfsState:
+    """One DVFS operating point (P-state)."""
+
+    frequency: float  # Hz
+    voltage: float  # volts; informational, power is carried by PowerLaw
+
+    def __post_init__(self) -> None:
+        if self.frequency <= 0:
+            raise ConfigurationError("P-state frequency must be positive")
+        if self.voltage <= 0:
+            raise ConfigurationError("P-state voltage must be positive")
+
+
+@dataclass
+class Cpu:
+    """A CPU with DVFS support.
+
+    Parameters
+    ----------
+    name:
+        Human-readable model name.
+    base_cpi:
+        Nominal cycles-per-instruction for the on-chip workload mix; the
+        machine parameter ``tc`` is derived as ``CPI / f``.
+    pstates:
+        Available DVFS operating points, sorted ascending by frequency.
+    power:
+        The CPU component's :class:`PowerLaw`.
+    cores:
+        Physical cores exposed by this CPU package.
+    """
+
+    name: str
+    base_cpi: float
+    pstates: tuple[DvfsState, ...]
+    power: PowerLaw
+    cores: int = 1
+    _current: int = field(default=-1, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.base_cpi <= 0:
+            raise ConfigurationError("base_cpi must be positive")
+        if not self.pstates:
+            raise ConfigurationError("a Cpu needs at least one P-state")
+        if self.cores < 1:
+            raise ConfigurationError("a Cpu needs at least one core")
+        freqs = [s.frequency for s in self.pstates]
+        if sorted(freqs) != freqs:
+            raise ConfigurationError("P-states must be sorted by frequency")
+        if len(set(freqs)) != len(freqs):
+            raise ConfigurationError("duplicate P-state frequencies")
+        if self._current == -1:
+            # default to the highest operating point, like cpufreq's
+            # `performance` governor
+            object.__setattr__(self, "_current", len(self.pstates) - 1)
+
+    # -- frequency control ---------------------------------------------------
+
+    @property
+    def frequency(self) -> float:
+        """Current clock frequency (Hz)."""
+        return self.pstates[self._current].frequency
+
+    @property
+    def max_frequency(self) -> float:
+        return self.pstates[-1].frequency
+
+    @property
+    def min_frequency(self) -> float:
+        return self.pstates[0].frequency
+
+    def set_frequency(self, f: float) -> None:
+        """Switch to the P-state with frequency ``f`` (exact match required)."""
+        for i, s in enumerate(self.pstates):
+            if abs(s.frequency - f) < 0.5:  # sub-hertz tolerance
+                self._current = i
+                return
+        raise ConfigurationError(
+            f"{self.name}: no P-state at {f / GHZ:.3f} GHz; available: "
+            + ", ".join(f"{s.frequency / GHZ:.3f}" for s in self.pstates)
+        )
+
+    def nearest_pstate(self, f: float) -> DvfsState:
+        """The P-state whose frequency is closest to ``f``."""
+        return min(self.pstates, key=lambda s: abs(s.frequency - f))
+
+    # -- derived machine parameters ------------------------------------------
+
+    def tc(self, f: float | None = None) -> float:
+        """Average seconds per on-chip instruction at frequency ``f``.
+
+        This is the paper's ``tc = CPI / f`` (Table 1).
+        """
+        freq = self.frequency if f is None else f
+        if freq <= 0:
+            raise ConfigurationError("frequency must be positive")
+        return self.base_cpi / freq
+
+    def instructions_per_second(self, f: float | None = None) -> float:
+        return 1.0 / self.tc(f)
+
+    def delta_p(self, f: float | None = None) -> float:
+        """Dynamic power at ``f`` (defaults to current P-state)."""
+        return self.power.delta_p(self.frequency if f is None else f)
+
+    def p_idle(self, f: float | None = None) -> float:
+        return self.power.p_idle(self.frequency if f is None else f)
+
+    def p_running(self, f: float | None = None) -> float:
+        return self.power.p_running(self.frequency if f is None else f)

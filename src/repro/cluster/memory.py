@@ -1,0 +1,137 @@
+"""Memory-hierarchy model: cache levels over DRAM.
+
+The iso-energy-efficiency model needs a single machine parameter ``tm``
+(average main-memory access latency, Table 1) which the paper measures with
+LMbench's ``lat_mem_rd``.  To make that measurement *derivable* rather than
+assumed, the hierarchy here exposes latency as a function of working-set
+size — a pointer chase over a working set that fits in L1 sees L1 latency, a
+chase over a set larger than the last-level cache sees DRAM latency.  The
+``lat_mem_rd`` analog in :mod:`repro.microbench.lmbench` walks this curve and
+detects the plateaus exactly the way the real tool does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """One level of cache.
+
+    Parameters
+    ----------
+    name:
+        Level label, e.g. ``"L1"``.
+    capacity:
+        Capacity in bytes.
+    latency:
+        Load-to-use latency in seconds for a hit at this level.
+    line_size:
+        Cache line size in bytes (used by the miss model).
+    """
+
+    name: str
+    capacity: int
+    latency: float
+    line_size: int = 64
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ConfigurationError(f"{self.name}: capacity must be positive")
+        if self.latency <= 0:
+            raise ConfigurationError(f"{self.name}: latency must be positive")
+        if self.line_size <= 0:
+            raise ConfigurationError(f"{self.name}: line size must be positive")
+
+
+@dataclass(frozen=True)
+class MemoryHierarchy:
+    """Cache levels (fastest first) backed by DRAM.
+
+    Parameters
+    ----------
+    levels:
+        Cache levels ordered ascending by capacity (L1, L2, ...).
+    dram_latency:
+        Main-memory access latency in seconds — the paper's ``tm``.
+    dram_capacity:
+        Installed DRAM in bytes.
+    """
+
+    levels: tuple[CacheLevel, ...]
+    dram_latency: float
+    dram_capacity: int
+
+    def __post_init__(self) -> None:
+        if self.dram_latency <= 0:
+            raise ConfigurationError("dram_latency must be positive")
+        if self.dram_capacity <= 0:
+            raise ConfigurationError("dram_capacity must be positive")
+        caps = [lvl.capacity for lvl in self.levels]
+        if sorted(caps) != caps:
+            raise ConfigurationError("cache levels must grow in capacity")
+        lats = [lvl.latency for lvl in self.levels]
+        if sorted(lats) != lats:
+            raise ConfigurationError("cache latency must grow with level")
+        if self.levels and self.levels[-1].latency >= self.dram_latency:
+            raise ConfigurationError(
+                "last-level cache latency must be below DRAM latency"
+            )
+
+    @property
+    def tm(self) -> float:
+        """The paper's ``tm``: average main-memory access latency (s)."""
+        return self.dram_latency
+
+    def latency_for_working_set(self, working_set: int) -> float:
+        """Latency (s) of a dependent load whose working set is ``working_set`` bytes.
+
+        This is the curve ``lat_mem_rd`` traces: the latency of the smallest
+        level that still holds the working set, or DRAM if none does.
+        """
+        if working_set <= 0:
+            raise ConfigurationError("working set must be positive")
+        for lvl in self.levels:
+            if working_set <= lvl.capacity:
+                return lvl.latency
+        return self.dram_latency
+
+    def miss_chain_latency(self, working_set: int) -> float:
+        """Latency including traversal of every missed level.
+
+        A DRAM access on real hardware pays the lookup of each cache level it
+        misses.  ``latency_for_working_set`` reports the *service* level only;
+        this variant accumulates the tag-check cost of the missed levels,
+        which is what a calibrated ``tm`` actually absorbs.
+        """
+        total = 0.0
+        for lvl in self.levels:
+            if working_set <= lvl.capacity:
+                return total + lvl.latency
+            total += 0.1 * lvl.latency  # tag check on the way down
+        return total + self.dram_latency
+
+    def effective_latency(self, hit_fractions: dict[str, float]) -> float:
+        """Weighted latency given per-level hit fractions.
+
+        ``hit_fractions`` maps level names (plus ``"DRAM"``) to the fraction
+        of accesses served there; fractions must sum to 1.
+        """
+        total_frac = sum(hit_fractions.values())
+        if abs(total_frac - 1.0) > 1e-9:
+            raise ConfigurationError(
+                f"hit fractions must sum to 1, got {total_frac}"
+            )
+        by_name = {lvl.name: lvl.latency for lvl in self.levels}
+        by_name["DRAM"] = self.dram_latency
+        acc = 0.0
+        for name, frac in hit_fractions.items():
+            if frac < 0:
+                raise ConfigurationError(f"negative hit fraction for {name}")
+            if name not in by_name:
+                raise ConfigurationError(f"unknown level {name!r}")
+            acc += frac * by_name[name]
+        return acc

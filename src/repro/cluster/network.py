@@ -1,0 +1,129 @@
+"""Interconnect models (InfiniBand, Ethernet).
+
+The paper's communication parameters (Table 1) are the Hockney model's two
+constants:
+
+* ``ts``  — average message start-up time, and
+* ``tw``  — average time to transmit one 8-bit word (i.e. per byte),
+
+measured with MPPTest on both a 40 Gb/s InfiniBand fabric (SystemG) and
+1 Gb/s Ethernet (Dori).  :class:`Interconnect` carries those constants plus
+enough structure (signalling rate, protocol efficiency, switch hops) for the
+MPPTest analog to *derive* them from ping-pong sweeps rather than read them
+off a config.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import GIGA, MICRO, gbit_per_s
+
+
+@dataclass(frozen=True)
+class Interconnect:
+    """A cluster interconnect described by Hockney-model constants.
+
+    Parameters
+    ----------
+    name:
+        Fabric name, e.g. ``"InfiniBand QDR"``.
+    startup_latency:
+        ``ts`` in seconds: fixed per-message cost (software stack + switch).
+    per_byte_time:
+        ``tw`` in seconds/byte: inverse effective bandwidth.
+    link_rate:
+        Raw signalling rate in bytes/second (marketing number).
+    switch_hop_latency:
+        Additional latency per switch hop, folded into multi-hop sends.
+    full_duplex:
+        Whether a link carries traffic both ways at full rate.
+    """
+
+    name: str
+    startup_latency: float
+    per_byte_time: float
+    link_rate: float
+    switch_hop_latency: float = 100e-9
+    full_duplex: bool = True
+
+    def __post_init__(self) -> None:
+        if self.startup_latency <= 0:
+            raise ConfigurationError("startup_latency (ts) must be positive")
+        if self.per_byte_time <= 0:
+            raise ConfigurationError("per_byte_time (tw) must be positive")
+        if self.link_rate <= 0:
+            raise ConfigurationError("link_rate must be positive")
+        if self.per_byte_time < 1.0 / self.link_rate:
+            raise ConfigurationError(
+                f"{self.name}: effective bandwidth exceeds raw link rate"
+            )
+        if self.switch_hop_latency < 0:
+            raise ConfigurationError("switch_hop_latency must be >= 0")
+
+    # -- Hockney model --------------------------------------------------------
+
+    @property
+    def ts(self) -> float:
+        """Message start-up time (s) — paper's ``ts``."""
+        return self.startup_latency
+
+    @property
+    def tw(self) -> float:
+        """Per-byte transmission time (s/byte) — paper's ``tw``."""
+        return self.per_byte_time
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Achievable large-message bandwidth, bytes/second (= 1/tw)."""
+        return 1.0 / self.per_byte_time
+
+    def ptp_time(self, nbytes: int, hops: int = 1) -> float:
+        """Point-to-point time of a single ``nbytes`` message over ``hops``.
+
+        The Hockney model ``ts + n·tw`` plus a per-hop switch penalty.
+        """
+        if nbytes < 0:
+            raise ConfigurationError("message size must be non-negative")
+        if hops < 1:
+            raise ConfigurationError("a message traverses at least one hop")
+        return self.ts + nbytes * self.tw + (hops - 1) * self.switch_hop_latency
+
+    def half_bandwidth_point(self) -> float:
+        """Message size n_1/2 where achieved bandwidth is half of peak.
+
+        A classic fabric figure of merit: ``n_1/2 = ts / tw``.
+        """
+        return self.ts / self.tw
+
+
+def infiniband_qdr() -> Interconnect:
+    """SystemG's fabric: Mellanox 40 Gb/s (QDR) InfiniBand.
+
+    QDR signals at 40 Gb/s but 8b/10b coding and protocol overhead cap
+    useful payload bandwidth around 3.2 GB/s; small-message latency of MPI
+    over IB verbs sits in the low microseconds.
+    """
+    return Interconnect(
+        name="InfiniBand QDR 40Gb/s",
+        startup_latency=2.6 * MICRO,
+        per_byte_time=1.0 / (3.2 * GIGA),
+        link_rate=gbit_per_s(40),
+        switch_hop_latency=100e-9,
+    )
+
+
+def ethernet_1g() -> Interconnect:
+    """Dori's fabric: 1 Gb/s Ethernet.
+
+    TCP/IP over GigE: ~50 µs end-to-end small-message latency and roughly
+    112 MB/s sustained payload bandwidth.
+    """
+    return Interconnect(
+        name="Gigabit Ethernet",
+        startup_latency=50.0 * MICRO,
+        per_byte_time=1.0 / (0.112 * GIGA),
+        link_rate=gbit_per_s(1),
+        switch_hop_latency=2.0 * MICRO,
+    )

@@ -1,0 +1,110 @@
+"""A compute node: sockets × cores, memory hierarchy, NIC, power model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.cluster.cpu import Cpu
+from repro.cluster.memory import MemoryHierarchy
+from repro.cluster.network import Interconnect
+from repro.cluster.power import ComponentPower, NodePowerModel
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class Node:
+    """One node of a power-aware cluster.
+
+    Frequency is set node-wide (both of the paper's testbeds scale all
+    sockets of a node together).  The node's power model tracks the CPU
+    component through DVFS changes via Eq. (20).
+    """
+
+    name: str
+    cpu: Cpu
+    sockets: int
+    memory: MemoryHierarchy
+    nic: Interconnect
+    power: NodePowerModel
+
+    def __post_init__(self) -> None:
+        if self.sockets < 1:
+            raise ConfigurationError("a node needs at least one socket")
+
+    # -- topology ---------------------------------------------------------------
+
+    @property
+    def cores(self) -> int:
+        """Total cores on the node."""
+        return self.sockets * self.cpu.cores
+
+    # -- DVFS ---------------------------------------------------------------------
+
+    @property
+    def frequency(self) -> float:
+        return self.cpu.frequency
+
+    def set_frequency(self, f: float) -> None:
+        """Change the node's P-state; rescales the CPU power component."""
+        f_old = self.cpu.frequency
+        self.cpu.set_frequency(f)
+        self.power = self.power.scaled_to_frequency(
+            f=f,
+            f_ref=f_old,
+            gamma=self.cpu.power.gamma,
+            gamma_idle=self.cpu.power.gamma_idle,
+        )
+
+    def at_frequency(self, f: float) -> "Node":
+        """A copy of this node pinned to frequency ``f`` (original untouched)."""
+        cpu_copy = replace(self.cpu)
+        clone = Node(
+            name=self.name,
+            cpu=cpu_copy,
+            sockets=self.sockets,
+            memory=self.memory,
+            nic=self.nic,
+            power=self.power,
+        )
+        clone.set_frequency(f)
+        return clone
+
+    # -- derived machine parameters --------------------------------------------------
+
+    def tc(self) -> float:
+        """Seconds per instruction at the current frequency (paper ``tc``)."""
+        return self.cpu.tc()
+
+    def tm(self) -> float:
+        """Main-memory latency (paper ``tm``)."""
+        return self.memory.tm
+
+    def ts(self) -> float:
+        """Message start-up time (paper ``ts``)."""
+        return self.nic.ts
+
+    def tw(self) -> float:
+        """Per-byte transmit time (paper ``tw``)."""
+        return self.nic.tw
+
+    @property
+    def p_system_idle(self) -> float:
+        return self.power.p_system_idle
+
+    @property
+    def delta_pc(self) -> float:
+        return self.power.cpu.delta_p
+
+    @property
+    def delta_pm(self) -> float:
+        return self.power.memory.delta_p
+
+    def cpu_component_at(self, f: float) -> ComponentPower:
+        """CPU power component this node would have at frequency ``f``."""
+        scaled = self.power.scaled_to_frequency(
+            f=f,
+            f_ref=self.cpu.frequency,
+            gamma=self.cpu.power.gamma,
+            gamma_idle=self.cpu.power.gamma_idle,
+        )
+        return scaled.cpu

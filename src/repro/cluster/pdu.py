@@ -1,0 +1,118 @@
+"""Intelligent power distribution unit (Dominion PX analog).
+
+SystemG attaches Dominion PX units to adjacent machines so users can
+"dynamically profile power consumption of controlled machines or remotely
+turn on/off nodes".  This module provides the same affordances for the
+simulated cluster: per-outlet on/off state and sampled apparent power, with
+configurable sample period and quantization — the coarse, node-level
+counterpart to PowerPack's fine-grained component meters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, MeasurementError
+
+
+@dataclass(frozen=True)
+class OutletSample:
+    """One reading from a PDU outlet."""
+
+    time: float  # seconds since profiling start
+    watts: float
+
+
+@dataclass
+class PowerDistributionUnit:
+    """A bank of measured, switchable outlets.
+
+    Parameters
+    ----------
+    outlets:
+        Number of outlets on the unit.
+    sample_period:
+        Seconds between readings when sampling a power timeline.
+    quantum:
+        Measurement quantization in watts (PX units report whole watts).
+    """
+
+    outlets: int
+    sample_period: float = 1.0
+    quantum: float = 1.0
+    _on: list[bool] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.outlets < 1:
+            raise ConfigurationError("a PDU needs at least one outlet")
+        if self.sample_period <= 0:
+            raise ConfigurationError("sample_period must be positive")
+        if self.quantum < 0:
+            raise ConfigurationError("quantum must be >= 0")
+        if not self._on:
+            self._on = [True] * self.outlets
+
+    # -- switching -------------------------------------------------------------
+
+    def is_on(self, outlet: int) -> bool:
+        self._check(outlet)
+        return self._on[outlet]
+
+    def power_off(self, outlet: int) -> None:
+        """Remotely cut power to an outlet (kills the attached node)."""
+        self._check(outlet)
+        self._on[outlet] = False
+
+    def power_on(self, outlet: int) -> None:
+        self._check(outlet)
+        self._on[outlet] = True
+
+    # -- measurement -------------------------------------------------------------
+
+    def sample_timeline(
+        self,
+        outlet: int,
+        power_fn,
+        duration: float,
+    ) -> list[OutletSample]:
+        """Sample ``power_fn(t) -> watts`` every ``sample_period`` seconds.
+
+        Readings are quantized to ``quantum`` watts, mimicking the PX's
+        integer-watt reporting.  A powered-off outlet reads zero.
+        """
+        self._check(outlet)
+        if duration <= 0:
+            raise MeasurementError("sampling duration must be positive")
+        samples: list[OutletSample] = []
+        t = 0.0
+        while t <= duration:
+            if self._on[outlet]:
+                raw = float(power_fn(t))
+                if raw < 0:
+                    raise MeasurementError(f"negative power reading at t={t}")
+                if self.quantum > 0:
+                    raw = round(raw / self.quantum) * self.quantum
+            else:
+                raw = 0.0
+            samples.append(OutletSample(time=t, watts=raw))
+            t += self.sample_period
+        return samples
+
+    @staticmethod
+    def energy(samples: list[OutletSample]) -> float:
+        """Trapezoidal energy (joules) of a sampled timeline."""
+        if len(samples) < 2:
+            raise MeasurementError("need at least two samples to integrate")
+        total = 0.0
+        for a, b in zip(samples, samples[1:]):
+            dt = b.time - a.time
+            if dt < 0:
+                raise MeasurementError("samples must be time-ordered")
+            total += 0.5 * (a.watts + b.watts) * dt
+        return total
+
+    def _check(self, outlet: int) -> None:
+        if not (0 <= outlet < self.outlets):
+            raise ConfigurationError(
+                f"outlet {outlet} out of range 0..{self.outlets - 1}"
+            )

@@ -1,0 +1,108 @@
+"""Per-component power states and the node power model.
+
+Equation (8) of the paper splits each component's energy into a running
+and an idle state::
+
+    E = (Pc·Tc + Pc_idle·Tc_idle) + (Pm·Tm + Pm_idle·Tm_idle)
+        + (Pio·Tio + Pio_idle·Tio_idle) + Pothers·T
+
+:class:`ComponentPower` carries one component's two power levels;
+:class:`NodePowerModel` aggregates the CPU, memory, NIC/IO, and "others"
+(motherboard, fans, PSU losses) into the node-level quantities the model
+needs — in particular ``P_system_idle``, the sum of every component's idle
+draw, which multiplies total runtime in Eq. (9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ComponentPower:
+    """Idle/running power levels for one node component.
+
+    ``delta_p = p_running − p_idle`` is the paper's ΔP for this component.
+    """
+
+    name: str
+    p_idle: float
+    p_running: float
+
+    def __post_init__(self) -> None:
+        if self.p_idle < 0:
+            raise ConfigurationError(f"{self.name}: idle power must be >= 0")
+        if self.p_running < self.p_idle:
+            raise ConfigurationError(
+                f"{self.name}: running power ({self.p_running} W) below idle "
+                f"power ({self.p_idle} W)"
+            )
+
+    @property
+    def delta_p(self) -> float:
+        """Extra power while active: ΔP = P_running − P_idle (watts)."""
+        return self.p_running - self.p_idle
+
+
+@dataclass(frozen=True)
+class NodePowerModel:
+    """Aggregate power description of one node.
+
+    Components follow the paper's decomposition: CPU, memory, IO (NIC +
+    disk), and "others" (motherboard, fans, PSU overhead) which has no
+    active state — Eq. (8) charges ``P_others`` for the whole runtime.
+    """
+
+    cpu: ComponentPower
+    memory: ComponentPower
+    io: ComponentPower
+    others: float  # watts, always-on
+
+    def __post_init__(self) -> None:
+        if self.others < 0:
+            raise ConfigurationError("others power must be >= 0")
+
+    @property
+    def p_system_idle(self) -> float:
+        """Idle power of the whole node (paper's ``P_system-idle``)."""
+        return self.cpu.p_idle + self.memory.p_idle + self.io.p_idle + self.others
+
+    @property
+    def p_system_peak(self) -> float:
+        """Everything active simultaneously — an upper bound used in tests."""
+        return (
+            self.cpu.p_running
+            + self.memory.p_running
+            + self.io.p_running
+            + self.others
+        )
+
+    def components(self) -> dict[str, ComponentPower]:
+        """Named access to the three stateful components."""
+        return {"cpu": self.cpu, "memory": self.memory, "io": self.io}
+
+    def with_cpu(self, cpu: ComponentPower) -> "NodePowerModel":
+        """A copy with the CPU component replaced (used by DVFS rescaling)."""
+        return NodePowerModel(cpu=cpu, memory=self.memory, io=self.io, others=self.others)
+
+    def scaled_to_frequency(
+        self, f: float, f_ref: float, gamma: float, gamma_idle: float = 0.0
+    ) -> "NodePowerModel":
+        """Rescale the CPU component for a DVFS change using Eq. (20).
+
+        ``ΔPc(f) = ΔPc_ref · (f/f_ref)^γ`` and idle power optionally follows
+        a shallower exponent.  Memory/IO/others are frequency-independent,
+        matching the paper's simplifying assumption.
+        """
+        if f <= 0 or f_ref <= 0:
+            raise ConfigurationError("frequencies must be positive")
+        if gamma < 1:
+            raise ConfigurationError("gamma must be >= 1 (Eq. 20)")
+        ratio = f / f_ref
+        idle = self.cpu.p_idle * ratio**gamma_idle
+        delta = self.cpu.delta_p * ratio**gamma
+        return self.with_cpu(
+            ComponentPower(name=self.cpu.name, p_idle=idle, p_running=idle + delta)
+        )

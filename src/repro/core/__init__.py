@@ -1,0 +1,71 @@
+"""The paper's primary contribution: the iso-energy-efficiency model.
+
+Public surface:
+
+* :class:`~repro.core.parameters.MachineParams` — the machine-dependent
+  vector Θ1 = (tc, tm, ts, tw, ΔPc, ΔPm, ΔPio, P*-idle, f, γ) of Table 1.
+* :class:`~repro.core.parameters.AppParams` — the application-dependent
+  vector Θ2 = (α, Wc, Wm, Wco, Wmo, M, B) of Table 2.
+* :mod:`~repro.core.performance` — Eq. (5)/(6)/(10): T1, ΣTi, Tp, speedup.
+* :mod:`~repro.core.energy` — Eq. (13)/(15)/(16)/(18): E1, Ep, ΔE.
+* :mod:`~repro.core.efficiency` — Eq. (19)/(21): EEF and EE.
+* :class:`~repro.core.model.IsoEnergyModel` — a facade evaluating all of
+  the above over (p, f, n) grids.
+* :mod:`~repro.core.scaling` — iso-contour solvers ("how must n scale with
+  p to hold EE constant?") and DVFS tuning.
+* :mod:`~repro.core.baselines` — the related-work models the paper
+  contrasts against (Grama isoefficiency, power-aware speedup, ERE).
+"""
+
+from repro.core.parameters import AppParams, MachineParams
+from repro.core.performance import (
+    comm_time,
+    parallel_time,
+    sequential_time,
+    speedup,
+    total_parallel_time,
+)
+from repro.core.energy import (
+    EnergyBreakdown,
+    delta_energy,
+    parallel_energy,
+    sequential_energy,
+)
+from repro.core.efficiency import eef, energy_efficiency
+from repro.core.model import IsoEnergyModel, ModelPoint
+from repro.core.scaling import (
+    frequency_for_best_ee,
+    iso_workload,
+    max_parallelism,
+)
+from repro.core.baselines import (
+    ere_metric,
+    grama_isoefficiency_overhead,
+    performance_efficiency,
+    power_aware_speedup,
+)
+
+__all__ = [
+    "AppParams",
+    "MachineParams",
+    "comm_time",
+    "parallel_time",
+    "sequential_time",
+    "speedup",
+    "total_parallel_time",
+    "EnergyBreakdown",
+    "delta_energy",
+    "parallel_energy",
+    "sequential_energy",
+    "eef",
+    "energy_efficiency",
+    "IsoEnergyModel",
+    "ModelPoint",
+    "frequency_for_best_ee",
+    "iso_workload",
+    "max_parallelism",
+    "ere_metric",
+    "grama_isoefficiency_overhead",
+    "performance_efficiency",
+    "power_aware_speedup",
+]

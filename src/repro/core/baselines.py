@@ -1,0 +1,104 @@
+"""Related-work models the paper positions itself against (§II).
+
+* **Performance isoefficiency** (Grama, Gupta & Kumar): efficiency
+  ``E = T1/(p·Tp) = 1/(1 + To/W·tc)`` with total overhead
+  ``To = p·Tp − T1``; the isoefficiency function asks how W must grow with
+  p to hold E constant.  Our Figure-2 curves plot this next to EE.
+* **Power-aware speedup** (Ge & Cameron, IPDPS'07): Amdahl-style speedup
+  generalized with per-phase frequency scaling.
+* **ERE** (Jiang, Pisharath & Choudhary): a high-level energy/performance
+  ratio that flags tradeoffs without attributing causes — implemented to
+  let benches contrast "metric says inefficient" vs. the EEF term
+  breakdown that says *why*.
+"""
+
+from __future__ import annotations
+
+from repro.core.parameters import AppParams, MachineParams
+from repro.core.performance import parallel_time, sequential_time
+from repro.errors import ParameterError
+
+
+def performance_efficiency(
+    machine: MachineParams, app: AppParams, p: int
+) -> float:
+    """Grama's parallel efficiency E = T1 / (p · Tp) ∈ (0, 1]."""
+    if p < 1:
+        raise ParameterError(f"p must be >= 1, got {p}")
+    t1 = sequential_time(machine, app)
+    tp = parallel_time(machine, app, p)
+    return t1 / (p * tp)
+
+
+def grama_isoefficiency_overhead(
+    machine: MachineParams, app: AppParams, p: int
+) -> float:
+    """Total overhead To(W, p) = p·Tp − T1 (seconds).
+
+    The isoefficiency function is ``W = K·To(W, p)`` for constant
+    ``K = E/(1−E)``; reporting To directly lets callers build that curve
+    for any target efficiency.
+    """
+    if p < 1:
+        raise ParameterError(f"p must be >= 1, got {p}")
+    t1 = sequential_time(machine, app)
+    tp = parallel_time(machine, app, p)
+    return p * tp - t1
+
+
+def isoefficiency_constant(target_efficiency: float) -> float:
+    """K = E/(1−E): the multiplier in Grama's W = K·To(W,p) relation."""
+    if not (0.0 < target_efficiency < 1.0):
+        raise ParameterError(
+            f"target efficiency must be in (0, 1), got {target_efficiency}"
+        )
+    return target_efficiency / (1.0 - target_efficiency)
+
+
+def power_aware_speedup(
+    machine: MachineParams,
+    app: AppParams,
+    p: int,
+    f: float,
+) -> float:
+    """Ge & Cameron's power-aware speedup.
+
+    Speedup of the p-processor run at frequency ``f`` relative to the
+    sequential run at the machine's reference frequency::
+
+        S(p, f) = T1(f_ref) / Tp(f)
+
+    Captures the entangled effect the paper highlights: lowering f slows
+    compute-bound phases (tc grows as 1/f) but leaves memory- and
+    network-bound phases untouched.
+    """
+    if p < 1:
+        raise ParameterError(f"p must be >= 1, got {p}")
+    t1_ref = sequential_time(machine, app)
+    tp_f = parallel_time(machine.at_frequency(f), app, p)
+    return t1_ref / tp_f
+
+
+def ere_metric(
+    machine: MachineParams, app: AppParams, p: int
+) -> float:
+    """Energy Resource Efficiency: throughput gained per unit energy spent.
+
+    Following Jiang et al.'s framing (performance variation over energy
+    variation), we define ERE as relative-performance / relative-energy::
+
+        ERE = (T1/Tp) / (Ep/E1)  = speedup / energy-blowup
+
+    ERE = p would be ideal linear scaling with no energy overhead; values
+    well below the speedup indicate the energy cost of scaling.  Unlike
+    EEF, ERE carries no attribution — that contrast is the point (§II-D).
+    """
+    from repro.core.energy import parallel_energy, sequential_energy
+
+    if p < 1:
+        raise ParameterError(f"p must be >= 1, got {p}")
+    t1 = sequential_time(machine, app)
+    tp = parallel_time(machine, app, p)
+    e1 = sequential_energy(machine, app)
+    ep = parallel_energy(machine, app, p)
+    return (t1 / tp) / (ep / e1)

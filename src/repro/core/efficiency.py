@@ -1,0 +1,73 @@
+"""Energy Efficiency Factor and iso-energy-efficiency — Eqs. (19) and (21).
+
+::
+
+    EEF = ΔE / E1
+        =  α·(Wco·tc + Wmo·tm + M·ts + B·tw)·P_sys_idle
+           + Wco·tc·ΔPc + Wmo·tm·ΔPm
+          ─────────────────────────────────────────────
+           α·(Wc·tc + Wm·tm)·P_sys_idle
+           + Wc·tc·ΔPc + Wm·tm·ΔPm
+
+    EE  = 1 / (1 + EEF)  =  E1 / Ep
+
+A large EEF means the parallel run burns much more energy than the
+sequential one for the same work → low energy efficiency.  EE ∈ (0, 1],
+with EE = 1 the iso-energy-efficient ideal (EP comes close; FT and CG
+decay as p grows).
+"""
+
+from __future__ import annotations
+
+from repro.core.energy import delta_energy, sequential_energy
+from repro.core.parameters import AppParams, MachineParams
+from repro.errors import ParameterError
+
+
+def eef(machine: MachineParams, app: AppParams, p: int) -> float:
+    """Energy Efficiency Factor (Eq. 19): parallel energy overhead over E1."""
+    if p < 1:
+        raise ParameterError(f"p must be >= 1, got {p}")
+    e1 = sequential_energy(machine, app)
+    if e1 <= 0:
+        raise ParameterError("sequential energy must be positive")
+    return delta_energy(machine, app, p) / e1
+
+
+def energy_efficiency(machine: MachineParams, app: AppParams, p: int) -> float:
+    """Iso-energy-efficiency EE = 1/(1 + EEF) (Eq. 21)."""
+    return 1.0 / (1.0 + eef(machine, app, p))
+
+
+def eef_terms(
+    machine: MachineParams, app: AppParams, p: int
+) -> dict[str, float]:
+    """The additive pieces of Eq. (19)'s numerator, for root-cause analysis.
+
+    The paper's headline use case is identifying *which* overhead dominates
+    the energy-efficiency loss; this returns the numerator split into its
+    four sources, plus the denominator, all in joules.
+    """
+    if p < 1:
+        raise ParameterError(f"p must be >= 1, got {p}")
+    psys = machine.p_system_idle
+    a = app.alpha
+    num_compute = app.wco * machine.tc * (a * psys + machine.delta_pc)
+    num_memory = app.wmo * machine.tm * (a * psys + machine.delta_pm)
+    num_startup = a * app.m_messages * machine.ts * psys
+    num_transmit = a * app.b_bytes * machine.tw * psys
+    denom = sequential_energy(machine, app)
+    return {
+        "compute_overhead": num_compute,
+        "memory_overhead": num_memory,
+        "message_startup": num_startup,
+        "byte_transmission": num_transmit,
+        "sequential_energy": denom,
+    }
+
+
+def dominant_overhead(machine: MachineParams, app: AppParams, p: int) -> str:
+    """Name of the largest EEF numerator term — the efficiency bottleneck."""
+    terms = eef_terms(machine, app, p)
+    terms.pop("sequential_energy")
+    return max(terms, key=terms.__getitem__)

@@ -1,0 +1,134 @@
+"""Energy model — Equations (7)–(18) of the paper.
+
+The total energy of an execution decomposes by component (Eq. 7) and by
+state (Eq. 8), which collapses to the intuitive Eq. (9): the whole system
+draws idle power for the entire runtime, and each component additionally
+draws its ΔP while it is actively working::
+
+    E  = T_total·P_system_idle  +  Wc·tc·ΔPc  +  Wm·tm·ΔPm  +  T_IO·ΔPio
+
+Sequential (Eq. 13, no messages)::
+
+    E1 = T1·P_system_idle + Wc·tc·ΔPc + Wm·tm·ΔPm [+ T_IO·ΔPio]
+
+Parallel over p processors (Eqs. 14–15, 18)::
+
+    Ep = (Σ Ti)·P_system_idle + (Wc+Wco)·tc·ΔPc + (Wm+Wmo)·tm·ΔPm [+ …]
+
+and the parallel energy overhead (Eqs. 1, 16)::
+
+    ΔE = Ep − E1
+       = α·(Wco·tc + Wmo·tm + M·ts + B·tw)·P_system_idle
+         + Wco·tc·ΔPc + Wmo·tm·ΔPm
+
+Note the asymmetry the paper builds in deliberately: *time* terms carry the
+overlap factor α (overlap shortens the run and thus idle-power energy), but
+*active* energy terms ``W·t·ΔP`` do not — the work is performed regardless
+of how well it overlaps, exactly as in the Fig. 10 shading.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.parameters import AppParams, MachineParams
+from repro.core.performance import (
+    comm_time,
+    sequential_time,
+    total_parallel_time,
+)
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Per-source decomposition of a predicted energy (joules).
+
+    ``idle`` is the system-idle floor over the full runtime; the remaining
+    fields are the active (ΔP) energies per component.
+    """
+
+    idle: float
+    cpu_active: float
+    memory_active: float
+    io_active: float
+
+    @property
+    def total(self) -> float:
+        return self.idle + self.cpu_active + self.memory_active + self.io_active
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "idle": self.idle,
+            "cpu_active": self.cpu_active,
+            "memory_active": self.memory_active,
+            "io_active": self.io_active,
+            "total": self.total,
+        }
+
+
+def sequential_energy_breakdown(
+    machine: MachineParams, app: AppParams
+) -> EnergyBreakdown:
+    """E1's components (Eq. 13)."""
+    seq = app.sequential()
+    t1 = sequential_time(machine, app)
+    return EnergyBreakdown(
+        idle=t1 * machine.p_system_idle,
+        cpu_active=seq.wc * machine.tc * machine.delta_pc,
+        memory_active=seq.wm * machine.tm * machine.delta_pm,
+        io_active=seq.t_io * machine.delta_pio,
+    )
+
+
+def sequential_energy(machine: MachineParams, app: AppParams) -> float:
+    """E1 — total energy of the sequential execution (Eq. 13)."""
+    return sequential_energy_breakdown(machine, app).total
+
+
+def parallel_energy_breakdown(
+    machine: MachineParams, app: AppParams, p: int
+) -> EnergyBreakdown:
+    """Ep's components (Eqs. 15/18)."""
+    if p < 1:
+        raise ParameterError(f"p must be >= 1, got {p}")
+    if p == 1:
+        return sequential_energy_breakdown(machine, app)
+    sum_ti = total_parallel_time(machine, app, p)
+    return EnergyBreakdown(
+        idle=sum_ti * machine.p_system_idle,
+        cpu_active=app.total_instructions * machine.tc * machine.delta_pc,
+        memory_active=app.total_mem_accesses * machine.tm * machine.delta_pm,
+        io_active=app.t_io * machine.delta_pio,
+    )
+
+
+def parallel_energy(machine: MachineParams, app: AppParams, p: int) -> float:
+    """Ep — total energy across all p processors (Eqs. 15/18)."""
+    return parallel_energy_breakdown(machine, app, p).total
+
+
+def delta_energy(machine: MachineParams, app: AppParams, p: int) -> float:
+    """ΔE = Ep − E1, evaluated in closed form (Eq. 16).
+
+    Closed form and the difference of the two totals agree to rounding;
+    tests assert this identity.
+    """
+    if p < 1:
+        raise ParameterError(f"p must be >= 1, got {p}")
+    if p == 1:
+        return 0.0
+    idle_part = (
+        app.alpha
+        * (
+            app.wco * machine.tc
+            + app.wmo * machine.tm
+            + comm_time(machine, app)
+        )
+        * machine.p_system_idle
+    )
+    active_part = (
+        app.wco * machine.tc * machine.delta_pc
+        + app.wmo * machine.tm * machine.delta_pm
+    )
+    return idle_part + active_part

@@ -1,0 +1,58 @@
+"""Frequency-dependence helpers — Equation (20) and Table 1's ``tc = CPI/f``.
+
+The paper's machine-dependent vector is explicitly a function of frequency::
+
+    Θ1 = f(f, bandwidth)
+
+with two laws: instruction time shrinks as ``1/f`` while dynamic CPU power
+grows as ``f^γ`` (γ ≥ 1, from Kim et al. on leakage/dynamic power; γ=2 on
+SystemG).  These helpers expose the laws standalone — useful for ablation
+benches that sweep γ — while :meth:`MachineParams.at_frequency` applies them
+to whole vectors.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParameterError
+
+
+def tc_from_cpi(cpi: float, f: float) -> float:
+    """Average instruction time ``tc = CPI / f`` (Table 1)."""
+    if cpi <= 0:
+        raise ParameterError("cpi must be positive")
+    if f <= 0:
+        raise ParameterError("frequency must be positive")
+    return cpi / f
+
+
+def dynamic_power(delta_p_ref: float, f: float, f_ref: float, gamma: float) -> float:
+    """Dynamic power law ``ΔP(f) = ΔP_ref · (f/f_ref)^γ`` (Eq. 20)."""
+    if delta_p_ref < 0:
+        raise ParameterError("delta_p_ref must be >= 0")
+    if f <= 0 or f_ref <= 0:
+        raise ParameterError("frequencies must be positive")
+    if gamma < 1.0:
+        raise ParameterError(f"gamma must be >= 1 (Eq. 20), got {gamma}")
+    return delta_p_ref * (f / f_ref) ** gamma
+
+
+def energy_per_instruction(
+    cpi: float, f: float, delta_p_ref: float, f_ref: float, gamma: float
+) -> float:
+    """Active CPU energy of one instruction: ``tc(f) · ΔP(f)``.
+
+    Scales as ``f^(γ−1)``: for γ>1 higher frequency costs more energy per
+    instruction even though it finishes sooner — the race-to-idle trade-off
+    the CG case study exercises (§V-B-7).
+    """
+    return tc_from_cpi(cpi, f) * dynamic_power(delta_p_ref, f, f_ref, gamma)
+
+
+def race_to_idle_break_even_gamma() -> float:
+    """γ at which active CPU energy per instruction is frequency-neutral.
+
+    ``tc·ΔPc ∝ f^(γ−1)``, so γ=1 is the break-even: below it faster clocks
+    save active energy, above it they cost active energy (but still save
+    idle-power·time energy — which is why CG prefers high f).
+    """
+    return 1.0

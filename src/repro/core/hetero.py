@@ -1,0 +1,167 @@
+"""Heterogeneous-system extension of the iso-energy-efficiency model.
+
+The paper closes with "we want to extend the current model to
+heterogeneous systems" (§VII).  This module implements that extension
+under the natural generalization of Eqs. (14)–(15): processors belong
+to *groups*, each with its own machine vector Θ1ᵍ and processor count
+pᵍ; workload is distributed across groups by a split policy and the
+group energies sum::
+
+    Ep = Σ_g [ ΣTᵢᵍ·P_sys_idleᵍ + Wcᵍ·tcᵍ·ΔPcᵍ + Wmᵍ·tmᵍ·ΔPmᵍ ]
+
+EEF keeps its meaning (ΔE against the *best* single processor running
+the job alone), so EE remains comparable with the homogeneous model.
+
+Two split policies are provided: proportional-to-speed (makespan-
+balanced, what a good scheduler does) and uniform (what a naive
+launcher does) — the gap between them is itself a useful output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.parameters import AppParams, MachineParams
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class ProcessorGroup:
+    """A homogeneous pool inside a heterogeneous system."""
+
+    name: str
+    machine: MachineParams
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ParameterError(f"group {self.name}: count must be >= 1")
+
+    def unit_work_time(self, app: AppParams) -> float:
+        """Seconds for one processor here to do a unit of (Wc, Wm) mix."""
+        total = app.wc + app.wm
+        if total <= 0:
+            raise ParameterError("workload has no work")
+        frac_c = app.wc / total
+        frac_m = app.wm / total
+        return frac_c * self.machine.tc + frac_m * self.machine.tm
+
+
+@dataclass(frozen=True)
+class HeteroPoint:
+    """Model outputs for one heterogeneous evaluation."""
+
+    tp: float
+    ep: float
+    e1_best: float
+    ee: float
+    group_shares: dict[str, float]
+    group_energies: dict[str, float]
+
+
+class HeteroIsoEnergyModel:
+    """Iso-energy-efficiency over processor groups.
+
+    Parameters
+    ----------
+    groups:
+        The processor pools.  Communication uses the slowest group's
+        (ts, tw) — messages cross the common fabric.
+    """
+
+    def __init__(self, groups: Sequence[ProcessorGroup]) -> None:
+        if not groups:
+            raise ParameterError("need at least one processor group")
+        names = [g.name for g in groups]
+        if len(set(names)) != len(names):
+            raise ParameterError("group names must be unique")
+        self.groups = list(groups)
+
+    @property
+    def total_processors(self) -> int:
+        return sum(g.count for g in self.groups)
+
+    # -- workload split ----------------------------------------------------------
+
+    def split_shares(self, app: AppParams, policy: str = "balanced") -> dict[str, float]:
+        """Fraction of the workload each group receives.
+
+        ``balanced`` splits proportional to aggregate speed (equal
+        finish times); ``uniform`` splits proportional to processor
+        count only (ignores speed differences).
+        """
+        if policy == "balanced":
+            speeds = {
+                g.name: g.count / g.unit_work_time(app) for g in self.groups
+            }
+        elif policy == "uniform":
+            speeds = {g.name: float(g.count) for g in self.groups}
+        else:
+            raise ParameterError(f"unknown split policy {policy!r}")
+        total = sum(speeds.values())
+        return {name: s / total for name, s in speeds.items()}
+
+    # -- evaluation ------------------------------------------------------------------
+
+    def evaluate(self, app: AppParams, policy: str = "balanced") -> HeteroPoint:
+        """Tp, Ep, and EE for the workload across all groups."""
+        shares = self.split_shares(app, policy)
+        comm_ts = max(g.machine.ts for g in self.groups)
+        comm_tw = max(g.machine.tw for g in self.groups)
+        comm_total = app.m_messages * comm_ts + app.b_bytes * comm_tw
+
+        group_tp: dict[str, float] = {}
+        group_e: dict[str, float] = {}
+        for g in self.groups:
+            share = shares[g.name]
+            wc = (app.wc + app.wco) * share
+            wm = (app.wm + app.wmo) * share
+            comm = comm_total * share
+            busy = app.alpha * (
+                wc * g.machine.tc + wm * g.machine.tm + comm
+            )
+            group_tp[g.name] = busy / g.count
+            group_e[g.name] = (
+                busy * g.machine.p_system_idle
+                + wc * g.machine.tc * g.machine.delta_pc
+                + wm * g.machine.tm * g.machine.delta_pm
+            )
+
+        tp = max(group_tp.values())
+        # stragglers make the finished groups idle until the last one ends
+        idle_tail = sum(
+            (tp - group_tp[g.name]) * g.count * g.machine.p_system_idle
+            for g in self.groups
+        )
+        ep = sum(group_e.values()) + idle_tail
+        e1 = self.best_sequential_energy(app)
+        return HeteroPoint(
+            tp=tp,
+            ep=ep,
+            e1_best=e1,
+            ee=min(e1 / ep, 1.0) if ep > 0 else 1.0,
+            group_shares=shares,
+            group_energies=group_e,
+        )
+
+    def best_sequential_energy(self, app: AppParams) -> float:
+        """E1 on the most energy-efficient single processor (the EE anchor)."""
+        seq = app.sequential()
+        best = None
+        for g in self.groups:
+            t1 = seq.alpha * (seq.wc * g.machine.tc + seq.wm * g.machine.tm)
+            e1 = (
+                t1 * g.machine.p_system_idle
+                + seq.wc * g.machine.tc * g.machine.delta_pc
+                + seq.wm * g.machine.tm * g.machine.delta_pm
+            )
+            best = e1 if best is None else min(best, e1)
+        assert best is not None
+        return best
+
+    def policy_gap(self, app: AppParams) -> float:
+        """Energy penalty of uniform splitting vs. balanced: Ep_u/Ep_b − 1."""
+        balanced = self.evaluate(app, policy="balanced")
+        uniform = self.evaluate(app, policy="uniform")
+        return uniform.ep / balanced.ep - 1.0

@@ -1,0 +1,126 @@
+"""I/O energy components — the model term the paper defers.
+
+Section VI-B: "users can always replace T_IO·ΔP_IO with any
+combinations of specific I/O components according to their parallel
+applications", while the studied benchmarks exercise none.  This module
+supplies those combinations: a composite I/O vector with per-component
+(time, ΔP) contributions, a BTIO-style checkpointing workload that
+exercises it end to end, and helpers folding the composite back into
+the flat ``(t_io, delta_pio)`` the core equations consume.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.parameters import AppParams, MachineParams
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class IoComponent:
+    """One I/O device class: disks, SSDs, a parallel filesystem client…"""
+
+    name: str
+    delta_p: float  # extra watts while active
+    bandwidth: float  # bytes/second sustained
+    access_latency: float  # seconds per operation
+
+    def __post_init__(self) -> None:
+        if self.delta_p < 0:
+            raise ParameterError(f"{self.name}: delta_p must be >= 0")
+        if self.bandwidth <= 0:
+            raise ParameterError(f"{self.name}: bandwidth must be positive")
+        if self.access_latency < 0:
+            raise ParameterError(f"{self.name}: latency must be >= 0")
+
+    def time_for(self, nbytes: float, operations: int = 1) -> float:
+        """Seconds to move ``nbytes`` in ``operations`` requests."""
+        if nbytes < 0 or operations < 0:
+            raise ParameterError("I/O amounts must be non-negative")
+        return operations * self.access_latency + nbytes / self.bandwidth
+
+
+@dataclass(frozen=True)
+class IoPattern:
+    """What an application asks of one component."""
+
+    component: IoComponent
+    bytes_total: float
+    operations: int
+
+    @property
+    def time(self) -> float:
+        return self.component.time_for(self.bytes_total, self.operations)
+
+    @property
+    def energy(self) -> float:
+        """Active I/O energy: time × ΔP (idle power is in P_system_idle)."""
+        return self.time * self.component.delta_p
+
+
+def composite_io(patterns: Sequence[IoPattern]) -> tuple[float, float]:
+    """Fold component patterns into the model's flat (T_IO, ΔP_IO).
+
+    ``T_IO`` is the total component-busy time; ``ΔP_IO`` the
+    time-weighted average active power — chosen so that
+    ``T_IO·ΔP_IO`` equals the exact summed component energy.
+    """
+    if not patterns:
+        return 0.0, 0.0
+    t_total = sum(p.time for p in patterns)
+    e_total = sum(p.energy for p in patterns)
+    if t_total == 0:
+        return 0.0, 0.0
+    return t_total, e_total / t_total
+
+
+def with_io(app: AppParams, patterns: Sequence[IoPattern]) -> AppParams:
+    """A copy of Θ2 with the composite I/O time attached."""
+    t_io, _ = composite_io(patterns)
+    return dataclasses.replace(app, t_io=t_io)
+
+
+def machine_with_io(machine: MachineParams, patterns: Sequence[IoPattern]) -> MachineParams:
+    """A copy of Θ1 whose ΔP_IO matches the composite pattern."""
+    _, delta_pio = composite_io(patterns)
+    return dataclasses.replace(machine, delta_pio=delta_pio)
+
+
+# ---------------------------------------------------------------------------
+# Stock components (2011-era hardware, matching the testbed presets)
+# ---------------------------------------------------------------------------
+
+
+def sata_disk() -> IoComponent:
+    """A 7200 rpm SATA disk: ~8 ms seeks, ~90 MB/s streams, ~6 W active."""
+    return IoComponent(
+        name="sata-disk", delta_p=6.0, bandwidth=90e6, access_latency=8e-3
+    )
+
+
+def nfs_client() -> IoComponent:
+    """An NFS-over-GigE client: network-bound writes, NIC-side power."""
+    return IoComponent(
+        name="nfs-client", delta_p=3.0, bandwidth=70e6, access_latency=1.5e-3
+    )
+
+
+def checkpoint_pattern(
+    component: IoComponent,
+    *,
+    data_bytes: float,
+    intervals: int,
+) -> IoPattern:
+    """BTIO-style periodic checkpointing: the whole state, every interval."""
+    if intervals < 1:
+        raise ParameterError("need at least one checkpoint interval")
+    if data_bytes < 0:
+        raise ParameterError("checkpoint size must be >= 0")
+    return IoPattern(
+        component=component,
+        bytes_total=data_bytes * intervals,
+        operations=intervals,
+    )

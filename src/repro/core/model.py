@@ -1,0 +1,187 @@
+"""The :class:`IsoEnergyModel` facade.
+
+Binds a machine description (Θ1, re-derivable at any DVFS frequency) to a
+workload model (Θ2 as a function of problem size ``n`` and parallelism
+``p``) and evaluates every quantity the paper reports — times, energies,
+EEF, EE, speedup — at arbitrary ``(p, f, n)`` points.  This is the object
+the examples and benchmark harnesses drive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol, Sequence
+
+from repro.core.efficiency import dominant_overhead, eef, energy_efficiency
+from repro.core.energy import parallel_energy, sequential_energy
+from repro.core.parameters import AppParams, MachineParams
+from repro.core.performance import parallel_time, sequential_time, speedup
+from repro.errors import ParameterError
+
+
+class WorkloadModel(Protocol):
+    """Anything that produces Θ2 for a concrete (n, p).
+
+    The NPB workload models in :mod:`repro.npb.workloads` implement this;
+    so do fitted models from :mod:`repro.validation.calibration`.
+    """
+
+    def params(self, n: float, p: int) -> AppParams: ...
+
+
+@dataclass(frozen=True)
+class ModelPoint:
+    """Every model output at one (p, f, n) evaluation point."""
+
+    p: int
+    f: float
+    n: float
+    t1: float
+    tp: float
+    e1: float
+    ep: float
+    eef: float
+    ee: float
+    speedup: float
+    perf_efficiency: float
+    bottleneck: str
+
+    def as_dict(self) -> dict[str, float | int | str]:
+        return {
+            "p": self.p,
+            "f": self.f,
+            "n": self.n,
+            "t1": self.t1,
+            "tp": self.tp,
+            "e1": self.e1,
+            "ep": self.ep,
+            "eef": self.eef,
+            "ee": self.ee,
+            "speedup": self.speedup,
+            "perf_efficiency": self.perf_efficiency,
+            "bottleneck": self.bottleneck,
+        }
+
+
+class IsoEnergyModel:
+    """Evaluate the iso-energy-efficiency model over (p, f, n).
+
+    Parameters
+    ----------
+    machine:
+        Machine-dependent vector Θ1 at its calibration frequency.
+    workload:
+        A :class:`WorkloadModel` producing Θ2 for any (n, p).
+    name:
+        Label used in reports (e.g. ``"FT.B on SystemG"``).
+    """
+
+    def __init__(
+        self,
+        machine: MachineParams,
+        workload: WorkloadModel | Callable[[float, int], AppParams],
+        name: str = "model",
+    ) -> None:
+        self._machine = machine
+        if callable(workload) and not hasattr(workload, "params"):
+            fn = workload
+
+            class _Wrapped:
+                def params(self, n: float, p: int) -> AppParams:
+                    return fn(n, p)
+
+            workload = _Wrapped()
+        self._workload = workload
+        self.name = name
+
+    # -- accessors ---------------------------------------------------------------
+
+    @property
+    def machine(self) -> MachineParams:
+        return self._machine
+
+    def machine_at(self, f: float | None = None) -> MachineParams:
+        """Θ1 re-derived at frequency ``f`` (Eq. 20 + tc = CPI/f)."""
+        if f is None or abs(f - self._machine.f) < 0.5:
+            return self._machine
+        return self._machine.at_frequency(f)
+
+    def app_params(self, n: float, p: int) -> AppParams:
+        return self._workload.params(n, p)
+
+    # -- point evaluation -----------------------------------------------------------
+
+    def evaluate(self, *, n: float, p: int, f: float | None = None) -> ModelPoint:
+        """All model outputs at one (p, f, n) point."""
+        if p < 1:
+            raise ParameterError(f"p must be >= 1, got {p}")
+        mach = self.machine_at(f)
+        app = self.app_params(n, p)
+        t1 = sequential_time(mach, app)
+        tp = parallel_time(mach, app, p)
+        e1 = sequential_energy(mach, app)
+        ep = parallel_energy(mach, app, p)
+        point_eef = eef(mach, app, p)
+        return ModelPoint(
+            p=p,
+            f=mach.f,
+            n=n,
+            t1=t1,
+            tp=tp,
+            e1=e1,
+            ep=ep,
+            eef=point_eef,
+            ee=1.0 / (1.0 + point_eef),
+            speedup=speedup(mach, app, p),
+            perf_efficiency=t1 / (p * tp),
+            bottleneck="none" if p == 1 else dominant_overhead(mach, app, p),
+        )
+
+    # -- common shortcuts --------------------------------------------------------------
+
+    def ee(self, *, n: float, p: int, f: float | None = None) -> float:
+        """Iso-energy-efficiency EE at a point (Eq. 21)."""
+        mach = self.machine_at(f)
+        return energy_efficiency(mach, self.app_params(n, p), p)
+
+    def eef(self, *, n: float, p: int, f: float | None = None) -> float:
+        """Energy efficiency factor EEF at a point (Eq. 19)."""
+        mach = self.machine_at(f)
+        return eef(mach, self.app_params(n, p), p)
+
+    def predict_energy(self, *, n: float, p: int, f: float | None = None) -> float:
+        """Predicted total system energy Ep (Eq. 15) — the Fig. 3/4 quantity."""
+        mach = self.machine_at(f)
+        return parallel_energy(mach, self.app_params(n, p), p)
+
+    # -- sweeps ------------------------------------------------------------------------
+
+    def sweep(
+        self,
+        *,
+        n_values: Sequence[float] | None = None,
+        p_values: Sequence[int] | None = None,
+        f_values: Sequence[float] | None = None,
+        n: float | None = None,
+        p: int | None = None,
+        f: float | None = None,
+    ) -> list[ModelPoint]:
+        """Evaluate the cartesian product of the supplied axes.
+
+        Fixed values are given via ``n``/``p``/``f``; swept axes via the
+        ``*_values`` sequences.  At least one axis must be fixed or swept
+        for each of n and p (f defaults to the calibration frequency).
+        """
+        ns = list(n_values) if n_values is not None else [n]
+        ps = list(p_values) if p_values is not None else [p]
+        fs = list(f_values) if f_values is not None else [f]
+        if any(v is None for v in ns):
+            raise ParameterError("problem size n not specified for sweep")
+        if any(v is None for v in ps):
+            raise ParameterError("parallelism p not specified for sweep")
+        points = []
+        for nv in ns:
+            for pv in ps:
+                for fv in fs:
+                    points.append(self.evaluate(n=nv, p=int(pv), f=fv))
+        return points

@@ -1,0 +1,254 @@
+"""Model parameter vectors Θ1 (machine) and Θ2 (application).
+
+Tables 1 and 2 of the paper split every model input into a
+machine-dependent vector::
+
+    Θ1 = f(frequency, bandwidth) = (tc, tm, ts, tw,
+                                    ΔPc, ΔPm, ΔPio,
+                                    Pc-idle, Pm-idle, Pio-idle, Pothers, γ)
+
+and an application-dependent vector::
+
+    Θ2 = f(n, p) = (α, Wc, Wm, Wco, Wmo, M, B)
+
+Both are plain frozen dataclasses here: Θ1 knows how to re-derive itself at
+another DVFS frequency (Eq. 20 power law + ``tc = CPI/f``), Θ2 is produced
+for a concrete ``(n, p)`` by the workload models in
+:mod:`repro.npb.workloads` or fitted from measurements by
+:mod:`repro.validation.calibration`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class MachineParams:
+    """Machine-dependent parameter vector Θ1 (Table 1).
+
+    All times in seconds, powers in watts, per *processing element* — the
+    unit that the model counts with ``p``.  When a processing element is a
+    whole node (as in the paper's validations) these are node-level values.
+
+    Attributes
+    ----------
+    tc:
+        Average time per on-chip computation instruction, ``CPI / f``.
+    tm:
+        Average main-memory access latency.
+    ts:
+        Average message start-up time.
+    tw:
+        Average transmission time of one byte (an "8-bit word").
+    delta_pc, delta_pm, delta_pio:
+        Extra (running − idle) power of CPU, memory, and IO devices.
+    pc_idle, pm_idle, pio_idle:
+        Idle power of CPU, memory, and IO devices.
+    p_others:
+        Always-on power of remaining components (motherboard, fans, NIC…).
+    f:
+        Clock frequency (Hz) at which this vector is valid.
+    f_ref:
+        Reference frequency of the power law (Eq. 20).
+    gamma:
+        Power-frequency exponent γ ≥ 1 for ΔPc.
+    gamma_idle:
+        Exponent applied to CPU idle power under DVFS (0 = constant).
+    cpi:
+        Cycles per instruction; lets :meth:`at_frequency` recompute ``tc``.
+    """
+
+    tc: float
+    tm: float
+    ts: float
+    tw: float
+    delta_pc: float
+    delta_pm: float
+    pc_idle: float
+    pm_idle: float
+    p_others: float
+    f: float
+    delta_pio: float = 0.0
+    pio_idle: float = 0.0
+    f_ref: float | None = None
+    gamma: float = 2.0
+    gamma_idle: float = 0.0
+    cpi: float | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("tc", "tm", "ts", "tw"):
+            v = getattr(self, name)
+            if v <= 0:
+                raise ParameterError(f"{name} must be positive, got {v}")
+        for name in (
+            "delta_pc",
+            "delta_pm",
+            "delta_pio",
+            "pc_idle",
+            "pm_idle",
+            "pio_idle",
+            "p_others",
+        ):
+            v = getattr(self, name)
+            if v < 0:
+                raise ParameterError(f"{name} must be >= 0, got {v}")
+        if self.f <= 0:
+            raise ParameterError("f must be positive")
+        if self.gamma < 1.0:
+            raise ParameterError(f"gamma must be >= 1 (Eq. 20), got {self.gamma}")
+        if self.gamma_idle < 0:
+            raise ParameterError("gamma_idle must be >= 0")
+        if self.cpi is not None and self.cpi <= 0:
+            raise ParameterError("cpi must be positive when given")
+        if self.f_ref is not None and self.f_ref <= 0:
+            raise ParameterError("f_ref must be positive when given")
+        if self.cpi is not None:
+            derived = self.cpi / self.f
+            if abs(derived - self.tc) > 1e-6 * max(derived, self.tc):
+                raise ParameterError(
+                    f"tc={self.tc} inconsistent with cpi/f={derived} "
+                    "(Table 1 requires tc = CPI/f)"
+                )
+
+    # -- aggregates ------------------------------------------------------------
+
+    @property
+    def p_system_idle(self) -> float:
+        """Total idle power of one processing element (paper P_system-idle)."""
+        return self.pc_idle + self.pm_idle + self.pio_idle + self.p_others
+
+    # -- DVFS projection (Eq. 20) -------------------------------------------------
+
+    def at_frequency(self, f_new: float) -> "MachineParams":
+        """Re-derive Θ1 at a different clock frequency.
+
+        Applies ``tc = CPI/f`` and ``ΔPc(f) = ΔPc_ref·(f/f_ref)^γ`` with the
+        power law anchored at ``f_ref`` (defaulting to the current ``f``).
+        Memory and network characteristics are frequency-independent, per the
+        paper's simplifying assumption ("For simplicity, we assume they are
+        only affected by hardware").
+        """
+        if f_new <= 0:
+            raise ParameterError("target frequency must be positive")
+        if self.cpi is None:
+            # derive CPI from the current pair so the projection stays exact
+            cpi = self.tc * self.f
+        else:
+            cpi = self.cpi
+        anchor = self.f_ref if self.f_ref is not None else self.f
+        ratio = f_new / anchor
+        anchor_delta = self.delta_pc / ((self.f / anchor) ** self.gamma)
+        anchor_idle = (
+            self.pc_idle / ((self.f / anchor) ** self.gamma_idle)
+            if self.gamma_idle
+            else self.pc_idle
+        )
+        return replace(
+            self,
+            tc=cpi / f_new,
+            f=f_new,
+            f_ref=anchor,
+            cpi=cpi,
+            delta_pc=anchor_delta * ratio**self.gamma,
+            pc_idle=anchor_idle * ratio**self.gamma_idle
+            if self.gamma_idle
+            else self.pc_idle,
+        )
+
+    def scaled_network(self, bandwidth_factor: float) -> "MachineParams":
+        """Θ1 with network bandwidth scaled by ``bandwidth_factor``.
+
+        The paper lists network bandwidth alongside frequency as the main
+        machine-side tuning knob; this scales ``tw`` (inverse bandwidth)
+        while leaving the latency-dominated ``ts`` untouched.
+        """
+        if bandwidth_factor <= 0:
+            raise ParameterError("bandwidth_factor must be positive")
+        return replace(self, tw=self.tw / bandwidth_factor)
+
+
+@dataclass(frozen=True)
+class AppParams:
+    """Application-dependent parameter vector Θ2 (Table 2) at a given (n, p).
+
+    Attributes
+    ----------
+    alpha:
+        Overlap factor α ∈ (0, 1]: measured time / theoretical time (§VI-F).
+    wc:
+        Total on-chip computation workload (instructions), independent of p.
+    wm:
+        Total off-chip memory accesses, independent of p.
+    wco:
+        Total parallel computation overhead (extra instructions across all
+        p processors).
+    wmo:
+        Total extra memory accesses due to parallelization.
+    m_messages:
+        Total number of messages M across all processors.
+    b_bytes:
+        Total bytes transmitted B across all processors.
+    t_io:
+        Total I/O access time (seconds); zero for the studied benchmarks.
+    n:
+        Problem size this vector was produced for (bookkeeping).
+    p:
+        Processor count this vector was produced for (bookkeeping).
+    """
+
+    alpha: float
+    wc: float
+    wm: float = 0.0
+    wco: float = 0.0
+    wmo: float = 0.0
+    m_messages: float = 0.0
+    b_bytes: float = 0.0
+    t_io: float = 0.0
+    n: float | None = None
+    p: int | None = None
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.alpha <= 1.0):
+            raise ParameterError(
+                f"alpha must be in (0, 1] (paper §VI-A), got {self.alpha}"
+            )
+        if self.wc <= 0:
+            raise ParameterError("wc must be positive (some computation exists)")
+        for name in ("wm", "wco", "wmo", "m_messages", "b_bytes", "t_io"):
+            v = getattr(self, name)
+            if v < 0:
+                raise ParameterError(f"{name} must be >= 0, got {v}")
+        if self.p is not None and self.p < 1:
+            raise ParameterError("p must be >= 1 when given")
+        if self.p == 1 and (
+            self.wco or self.wmo or self.m_messages or self.b_bytes
+        ):
+            raise ParameterError(
+                "sequential execution (p=1) cannot carry parallel overheads"
+            )
+
+    # -- convenience -----------------------------------------------------------
+
+    @property
+    def total_instructions(self) -> float:
+        """All instructions including overhead: Wc + Wco."""
+        return self.wc + self.wco
+
+    @property
+    def total_mem_accesses(self) -> float:
+        """All memory accesses including overhead: Wm + Wmo."""
+        return self.wm + self.wmo
+
+    def sequential(self) -> "AppParams":
+        """The p=1 view of this workload: overheads stripped."""
+        return AppParams(
+            alpha=self.alpha,
+            wc=self.wc,
+            wm=self.wm,
+            t_io=self.t_io,
+            n=self.n,
+            p=1,
+        )

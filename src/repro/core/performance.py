@@ -1,0 +1,106 @@
+"""Performance model — Equations (5), (6), (10), (17) of the paper.
+
+Sequential::
+
+    T  = Wc·tc + Wm·tm + T_IO                         (5)
+    T1 = α · T                                        (6)
+
+Parallel, processor ``i`` of ``p``::
+
+    Ti = α · (Tcp_i + Tmp_i + Tnet_i + T_IO_i)        (10)
+
+with the accumulated network time decomposed Hockney-style::
+
+    Σ Tnet_i = M·ts + B·tw                            (17)
+
+Under the homogeneous-workload assumption (§V-B-5) every processor gets an
+equal share, so ``Σ Ti = α·((Wc+Wco)·tc + (Wm+Wmo)·tm + M·ts + B·tw)`` and
+the wall-clock parallel time is ``Tp = Σ Ti / p``.
+"""
+
+from __future__ import annotations
+
+from repro.core.parameters import AppParams, MachineParams
+from repro.errors import ParameterError
+
+
+def _check_p(p: int) -> None:
+    if p < 1:
+        raise ParameterError(f"p must be >= 1, got {p}")
+
+
+def comm_time(machine: MachineParams, app: AppParams) -> float:
+    """Accumulated network time across all processors (Eq. 17).
+
+    ``Σ Tnet_i = M·ts + B·tw`` — message start-ups plus byte transmission.
+    """
+    return app.m_messages * machine.ts + app.b_bytes * machine.tw
+
+
+def sequential_time(machine: MachineParams, app: AppParams) -> float:
+    """T1 = α·(Wc·tc + Wm·tm + T_IO)  (Eqs. 5–6).
+
+    Uses the workload's sequential view: parallel overheads do not exist
+    when the application runs on one processor.
+    """
+    seq = app.sequential()
+    theoretical = seq.wc * machine.tc + seq.wm * machine.tm + seq.t_io
+    return seq.alpha * theoretical
+
+
+def total_parallel_time(machine: MachineParams, app: AppParams, p: int) -> float:
+    """Σ Ti — total busy time accumulated over all ``p`` processors.
+
+    ``Σ Ti = α·((Wc+Wco)·tc + (Wm+Wmo)·tm + M·ts + B·tw + T_IO)``.
+    This is the quantity multiplying ``P_system_idle`` in Eq. (15).
+    """
+    _check_p(p)
+    if p == 1:
+        return sequential_time(machine, app)
+    theoretical = (
+        app.total_instructions * machine.tc
+        + app.total_mem_accesses * machine.tm
+        + comm_time(machine, app)
+        + app.t_io
+    )
+    return app.alpha * theoretical
+
+
+def parallel_time(machine: MachineParams, app: AppParams, p: int) -> float:
+    """Wall-clock time Tp of the parallel run (homogeneous split): Σ Ti / p."""
+    _check_p(p)
+    return total_parallel_time(machine, app, p) / p
+
+
+def speedup(machine: MachineParams, app: AppParams, p: int) -> float:
+    """Classic speedup S(p) = T1 / Tp."""
+    _check_p(p)
+    return sequential_time(machine, app) / parallel_time(machine, app, p)
+
+
+def overlap_alpha(
+    measured_time: float,
+    compute_time: float,
+    memory_time: float,
+    network_time: float = 0.0,
+    io_time: float = 0.0,
+) -> float:
+    """Derive the overlap factor α from measurements (§VI-F).
+
+    ``α = T_measured / (T_compute + T_memory + T_network + T_IO)``.
+
+    The denominator is the non-overlapped theoretical time; values below 1
+    mean the architecture/compiler overlapped some component latencies.
+    """
+    denom = compute_time + memory_time + network_time + io_time
+    if denom <= 0:
+        raise ParameterError("theoretical time components must sum positive")
+    if measured_time <= 0:
+        raise ParameterError("measured time must be positive")
+    alpha = measured_time / denom
+    if alpha > 1.0 + 1e-9:
+        raise ParameterError(
+            f"measured time exceeds theoretical time (alpha={alpha:.3f} > 1); "
+            "check the component measurements"
+        )
+    return min(alpha, 1.0)

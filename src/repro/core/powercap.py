@@ -1,0 +1,177 @@
+"""Power-constrained configuration — the paper's title, made executable.
+
+The motivating constraint (§I): an exaflop machine gets 1000× the
+performance of a petaflop machine on only 10× the power.  Given a
+system-level power budget, these tools search the (p, f) space for
+configurations that respect the cap and optimize what the operator
+cares about: throughput under the cap, energy under a deadline, or
+energy efficiency outright.
+
+Average power of a configuration is derived from the model's own
+quantities — ``P_avg(p, f) = Ep / Tp`` — so every decision inherits the
+model's validated energy accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.model import IsoEnergyModel, ModelPoint
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class CappedConfig:
+    """One feasible configuration under a power cap."""
+
+    p: int
+    f: float
+    avg_power: float
+    tp: float
+    ep: float
+    ee: float
+
+    @classmethod
+    def from_point(cls, pt: ModelPoint) -> "CappedConfig":
+        return cls(
+            p=pt.p,
+            f=pt.f,
+            avg_power=pt.ep / pt.tp,
+            tp=pt.tp,
+            ep=pt.ep,
+            ee=pt.ee,
+        )
+
+
+def average_power(model: IsoEnergyModel, *, n: float, p: int, f: float | None = None) -> float:
+    """System-average power draw of a run: Ep / Tp (watts)."""
+    pt = model.evaluate(n=n, p=p, f=f)
+    return pt.ep / pt.tp
+
+
+def feasible_configs(
+    model: IsoEnergyModel,
+    *,
+    n: float,
+    power_cap: float,
+    p_values: Sequence[int],
+    frequencies: Sequence[float],
+) -> list[CappedConfig]:
+    """All (p, f) whose average power stays within ``power_cap`` watts."""
+    if power_cap <= 0:
+        raise ParameterError("power_cap must be positive")
+    if not p_values or not frequencies:
+        raise ParameterError("need at least one p and one frequency")
+    out = []
+    for p in p_values:
+        for f in frequencies:
+            pt = model.evaluate(n=n, p=p, f=f)
+            if pt.ep / pt.tp <= power_cap:
+                out.append(CappedConfig.from_point(pt))
+    return out
+
+
+def fastest_under_cap(
+    model: IsoEnergyModel,
+    *,
+    n: float,
+    power_cap: float,
+    p_values: Sequence[int],
+    frequencies: Sequence[float],
+) -> CappedConfig:
+    """The minimum-runtime configuration whose power fits the cap.
+
+    The classic power-constrained question: the budget is fixed; how
+    fast can this workload legally run?
+
+    Raises
+    ------
+    ParameterError
+        If no configuration fits (cap below even the smallest config).
+    """
+    configs = feasible_configs(
+        model, n=n, power_cap=power_cap, p_values=p_values, frequencies=frequencies
+    )
+    if not configs:
+        raise ParameterError(
+            f"no (p, f) configuration fits under {power_cap:.0f} W; "
+            "smallest candidate draws more than the cap"
+        )
+    return min(configs, key=lambda c: c.tp)
+
+
+def greenest_under_deadline(
+    model: IsoEnergyModel,
+    *,
+    n: float,
+    deadline: float,
+    p_values: Sequence[int],
+    frequencies: Sequence[float],
+) -> CappedConfig:
+    """The minimum-energy configuration meeting a runtime deadline.
+
+    The dual problem: the SLA fixes Tp; minimize joules subject to it.
+    """
+    if deadline <= 0:
+        raise ParameterError("deadline must be positive")
+    candidates = []
+    for p in p_values:
+        for f in frequencies:
+            pt = model.evaluate(n=n, p=p, f=f)
+            if pt.tp <= deadline:
+                candidates.append(CappedConfig.from_point(pt))
+    if not candidates:
+        raise ParameterError(
+            f"no (p, f) configuration meets the {deadline:g} s deadline; "
+            "add processors or raise the deadline"
+        )
+    return min(candidates, key=lambda c: c.ep)
+
+
+def cap_for_scaling(
+    model: IsoEnergyModel,
+    *,
+    n: float,
+    p_from: int,
+    p_to: int,
+    f: float | None = None,
+) -> float:
+    """Power multiplier needed to scale from ``p_from`` to ``p_to``.
+
+    The DOE-style question inverted: scaling this workload from p_from
+    to p_to processors multiplies average power draw by how much?
+    (Speedup per watt is the companion output of :func:`scaling_report`.)
+    """
+    if p_from < 1 or p_to < p_from:
+        raise ParameterError("need 1 <= p_from <= p_to")
+    lo = average_power(model, n=n, p=p_from, f=f)
+    hi = average_power(model, n=n, p=p_to, f=f)
+    return hi / lo
+
+
+def scaling_report(
+    model: IsoEnergyModel,
+    *,
+    n: float,
+    p_values: Sequence[int],
+    f: float | None = None,
+) -> list[tuple[int, float, float, float]]:
+    """(p, speedup, power-multiplier, speedup-per-power) rows.
+
+    ``speedup_per_power`` is the exascale figure of merit: a perfectly
+    iso-energy-efficient system holds it at 1.0 while scaling; the DOE
+    target in the paper's introduction amounts to 100× (1000× perf on
+    10× power).
+    """
+    if not p_values:
+        raise ParameterError("no p values supplied")
+    base = model.evaluate(n=n, p=p_values[0], f=f)
+    base_power = base.ep / base.tp
+    rows = []
+    for p in p_values:
+        pt = model.evaluate(n=n, p=p, f=f)
+        speedup = base.tp / pt.tp
+        power_mult = (pt.ep / pt.tp) / base_power
+        rows.append((p, speedup, power_mult, speedup / power_mult))
+    return rows

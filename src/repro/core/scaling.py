@@ -1,0 +1,143 @@
+"""Iso-energy-efficiency scaling decisions (§V-B-5/6/7 of the paper).
+
+The point of the model is *decision-making*: given that EE decays with p,
+how must the problem size n grow to hold EE at a target (the iso-contour —
+the energy analog of Grama's isoefficiency function), which DVFS frequency
+maximizes EE, and how far can p scale before EE drops below a bound.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from scipy.optimize import brentq
+
+from repro.core.model import IsoEnergyModel
+from repro.errors import ParameterError
+
+
+def iso_workload(
+    model: IsoEnergyModel,
+    *,
+    p: int,
+    target_ee: float,
+    n_lo: float,
+    n_hi: float,
+    f: float | None = None,
+    tol: float = 1e-6,
+) -> float:
+    """Problem size n at which EE(n, p) == target_ee (the iso-contour).
+
+    Searches ``[n_lo, n_hi]`` with Brent's method.  Requires EE to bracket
+    the target across the interval — for FT/CG-like workloads EE rises with
+    n, so ``EE(n_lo) < target < EE(n_hi)`` is the usual bracketing.
+
+    Raises
+    ------
+    ParameterError
+        If the target is outside (0, 1] or not bracketed (e.g. EP, whose EE
+        is flat in n — the paper's point that scaling n cannot rescue EP).
+    """
+    if not (0.0 < target_ee <= 1.0):
+        raise ParameterError(f"target_ee must be in (0, 1], got {target_ee}")
+    if n_lo <= 0 or n_hi <= n_lo:
+        raise ParameterError("need 0 < n_lo < n_hi")
+
+    def gap(n: float) -> float:
+        return model.ee(n=n, p=p, f=f) - target_ee
+
+    g_lo, g_hi = gap(n_lo), gap(n_hi)
+    if g_lo * g_hi > 0:
+        raise ParameterError(
+            f"EE does not cross {target_ee} on [{n_lo:g}, {n_hi:g}] "
+            f"(EE range [{min(g_lo, g_hi) + target_ee:.4f}, "
+            f"{max(g_lo, g_hi) + target_ee:.4f}]); widen the interval or "
+            "accept that n cannot restore this EE (cf. EP, §V-B-6)"
+        )
+    return float(brentq(gap, n_lo, n_hi, xtol=tol * n_lo, rtol=tol))
+
+
+def iso_contour(
+    model: IsoEnergyModel,
+    *,
+    p_values: Sequence[int],
+    target_ee: float,
+    n_lo: float,
+    n_hi: float,
+    f: float | None = None,
+) -> list[tuple[int, float]]:
+    """The iso-energy-efficiency curve n(p): one iso_workload solve per p."""
+    return [
+        (p, iso_workload(model, p=p, target_ee=target_ee, n_lo=n_lo, n_hi=n_hi, f=f))
+        for p in p_values
+    ]
+
+
+def frequency_for_best_ee(
+    model: IsoEnergyModel,
+    *,
+    n: float,
+    p: int,
+    frequencies: Sequence[float],
+) -> tuple[float, float]:
+    """The DVFS frequency maximizing EE at (n, p): returns (f, EE(f)).
+
+    Implements the §V-B-7 guidance: CG improves at high f, FT/EP barely move
+    — the caller learns both which f to pick and how much it matters.
+    """
+    if not frequencies:
+        raise ParameterError("no frequencies supplied")
+    best_f, best_ee = None, -1.0
+    for f in frequencies:
+        ee = model.ee(n=n, p=p, f=f)
+        if ee > best_ee:
+            best_f, best_ee = f, ee
+    assert best_f is not None
+    return best_f, best_ee
+
+
+def ee_frequency_sensitivity(
+    model: IsoEnergyModel,
+    *,
+    n: float,
+    p: int,
+    frequencies: Sequence[float],
+) -> float:
+    """Spread of EE across the frequency range: max − min.
+
+    Near-zero for FT and EP (frequency "has little impact", §V-B-1/2);
+    clearly positive for CG (§V-B-3).
+    """
+    if not frequencies:
+        raise ParameterError("no frequencies supplied")
+    values = [model.ee(n=n, p=p, f=f) for f in frequencies]
+    return max(values) - min(values)
+
+
+def max_parallelism(
+    model: IsoEnergyModel,
+    *,
+    n: float,
+    min_ee: float,
+    p_limit: int = 4096,
+    f: float | None = None,
+) -> int:
+    """Largest power-of-two p with EE(n, p) >= min_ee.
+
+    The "scalability decision-making" use from the abstract: how far can
+    this workload scale before energy efficiency drops below a bound.
+    Returns 1 if even p=2 violates the bound.
+    """
+    if not (0.0 < min_ee <= 1.0):
+        raise ParameterError(f"min_ee must be in (0, 1], got {min_ee}")
+    if p_limit < 1:
+        raise ParameterError("p_limit must be >= 1")
+    best = 1
+    p = 2
+    while p <= p_limit:
+        if model.ee(n=n, p=p, f=f) >= min_ee:
+            best = p
+            p *= 2
+        else:
+            break
+    return best

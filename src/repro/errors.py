@@ -1,0 +1,40 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised by the library derives from :class:`ReproError` so
+applications can catch the whole family with one ``except`` clause while
+tests can assert on the specific subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ConfigurationError(ReproError):
+    """A hardware or model description is inconsistent or out of range."""
+
+
+class ParameterError(ReproError):
+    """A model parameter vector (Θ1/Θ2) fails validation."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an invalid state."""
+
+
+class DeadlockError(SimulationError):
+    """All ranks are blocked and no event can make progress."""
+
+
+class RankError(SimulationError):
+    """A rank program raised or misused the communication API."""
+
+
+class MeasurementError(ReproError):
+    """A measurement tool (powerpack / microbench) could not produce data."""
+
+
+class CalibrationError(ReproError):
+    """Parameter fitting failed to converge or had insufficient samples."""

@@ -1,0 +1,40 @@
+"""Measurement tools for deriving model input parameters.
+
+The paper's contribution list includes "a set of open source tools for
+deriving and measuring model input parameters": Perfmon for CPI and
+workload counters, LMbench's ``lat_mem_rd`` for memory latency, MPPTest
+for (ts, tw), TAU/PMPI for message counts, and ``/proc/stat`` for I/O
+time.  This subpackage reimplements each against the simulated cluster,
+so the calibration pipeline *derives* Θ1 and Θ2 from observations instead
+of reading them from configuration.
+"""
+
+from repro.microbench.fitting import (
+    LineFit,
+    PlateauFit,
+    fit_line,
+    fit_power_law,
+    largest_plateau,
+)
+from repro.microbench.lmbench import lat_mem_rd, estimate_tm
+from repro.microbench.mpptest import MpptestResult, mpptest, estimate_ts_tw
+from repro.microbench.perfmon import CounterReport, measure_counters, measure_cpi
+from repro.microbench.procstat import ProcStat, proc_stat
+
+__all__ = [
+    "LineFit",
+    "PlateauFit",
+    "fit_line",
+    "fit_power_law",
+    "largest_plateau",
+    "lat_mem_rd",
+    "estimate_tm",
+    "MpptestResult",
+    "mpptest",
+    "estimate_ts_tw",
+    "CounterReport",
+    "measure_counters",
+    "measure_cpi",
+    "ProcStat",
+    "proc_stat",
+]

@@ -1,0 +1,104 @@
+"""Regression helpers shared by the measurement tools."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CalibrationError
+
+
+@dataclass(frozen=True)
+class LineFit:
+    """Least-squares fit of y = intercept + slope·x."""
+
+    intercept: float
+    slope: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.intercept + self.slope * x
+
+
+def fit_line(x, y) -> LineFit:
+    """Ordinary least squares for a straight line.
+
+    This is how MPPTest-style sweeps become Hockney constants: message
+    time vs. size fits ``t = ts + n·tw``.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape or x.ndim != 1:
+        raise CalibrationError("x and y must be equal-length 1-D arrays")
+    if len(x) < 2:
+        raise CalibrationError("need at least two samples to fit a line")
+    if np.ptp(x) == 0:
+        raise CalibrationError("x values are all identical")
+    a = np.vstack([np.ones_like(x), x]).T
+    coef, *_ = np.linalg.lstsq(a, y, rcond=None)
+    pred = a @ coef
+    ss_res = float(np.sum((y - pred) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return LineFit(intercept=float(coef[0]), slope=float(coef[1]), r_squared=r2)
+
+
+def fit_power_law(x, y) -> tuple[float, float]:
+    """Fit ``y = a·x^b`` by least squares in log space; returns (a, b).
+
+    Used by the γ-ablation bench to recover the power-frequency exponent
+    from measured (f, ΔP) pairs.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if np.any(x <= 0) or np.any(y <= 0):
+        raise CalibrationError("power-law fit needs strictly positive data")
+    fit = fit_line(np.log(x), np.log(y))
+    return float(np.exp(fit.intercept)), fit.slope
+
+
+@dataclass(frozen=True)
+class PlateauFit:
+    """A detected plateau: mean level over a contiguous index range."""
+
+    level: float
+    start: int
+    stop: int  # exclusive
+
+    @property
+    def width(self) -> int:
+        return self.stop - self.start
+
+
+def largest_plateau(values, rel_tol: float = 0.08) -> PlateauFit:
+    """The widest run of consecutive values within ``rel_tol`` of each other.
+
+    ``lat_mem_rd`` output is a staircase (L1 / L2 / DRAM); the *last*
+    plateau is the DRAM latency.  This helper finds maximal runs; callers
+    slice the tail to pick the DRAM level.
+    """
+    v = np.asarray(values, dtype=float)
+    if v.ndim != 1 or len(v) == 0:
+        raise CalibrationError("need a non-empty 1-D series")
+    best = PlateauFit(level=float(v[0]), start=0, stop=1)
+    start = 0
+    for i in range(1, len(v) + 1):
+        run_ref = np.median(v[start:i]) if i > start else v[start]
+        if i == len(v) or abs(v[i] - run_ref) > rel_tol * run_ref:
+            if i - start > best.width:
+                best = PlateauFit(level=float(np.mean(v[start:i])), start=start, stop=i)
+            start = i
+    return best
+
+
+def tail_plateau(values, rel_tol: float = 0.08) -> PlateauFit:
+    """The plateau that includes the final sample (DRAM in lat_mem_rd)."""
+    v = np.asarray(values, dtype=float)
+    if v.ndim != 1 or len(v) == 0:
+        raise CalibrationError("need a non-empty 1-D series")
+    stop = len(v)
+    start = stop - 1
+    while start > 0 and abs(v[start - 1] - v[stop - 1]) <= rel_tol * v[stop - 1]:
+        start -= 1
+    return PlateauFit(level=float(np.mean(v[start:stop])), start=start, stop=stop)

@@ -1,0 +1,95 @@
+"""LMbench ``lat_mem_rd`` analog: memory latency vs. working-set size.
+
+The real tool chases a pointer chain through a working set of a given
+size; the measured per-load latency forms a staircase whose steps are the
+cache levels and whose final plateau is main memory — the paper estimates
+``tm`` this way.  Our analog chases through the simulated
+:class:`~repro.cluster.memory.MemoryHierarchy`, with optional measurement
+noise, and recovers ``tm`` from the tail plateau.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.node import Node
+from repro.errors import MeasurementError
+from repro.microbench.fitting import tail_plateau
+
+
+def default_sizes(max_bytes: int) -> list[int]:
+    """The classic lat_mem_rd sweep: powers of two (plus halves) up to max."""
+    sizes: list[int] = []
+    size = 1024
+    while size <= max_bytes:
+        sizes.append(size)
+        sizes.append(size + size // 2)
+        size *= 2
+    return [s for s in sizes if s <= max_bytes]
+
+
+def lat_mem_rd(
+    node: Node,
+    sizes: list[int] | None = None,
+    noise_sigma: float = 0.01,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Measure load latency (seconds) at each working-set size.
+
+    Returns (sizes, latencies).  Latencies include lognormal measurement
+    noise of relative width ``noise_sigma`` (set 0 for exact values).
+    """
+    if sizes is None:
+        # sweep to 4× the last-level cache so DRAM shows a clear plateau
+        llc = node.memory.levels[-1].capacity if node.memory.levels else 1 << 20
+        sizes = default_sizes(4 * llc)
+    if not sizes:
+        raise MeasurementError("no working-set sizes supplied")
+    if any(s <= 0 for s in sizes):
+        raise MeasurementError("working-set sizes must be positive")
+    rng = np.random.default_rng(seed)
+    lat = []
+    for s in sizes:
+        base = node.memory.latency_for_working_set(int(s))
+        if noise_sigma > 0:
+            base *= float(np.exp(rng.normal(-0.5 * noise_sigma**2, noise_sigma)))
+        lat.append(base)
+    return np.asarray(sizes, dtype=float), np.asarray(lat, dtype=float)
+
+
+def estimate_tm(
+    node: Node,
+    sizes: list[int] | None = None,
+    noise_sigma: float = 0.01,
+    seed: int = 0,
+) -> float:
+    """Derive the machine parameter ``tm`` from a lat_mem_rd sweep.
+
+    Takes the tail plateau of the latency staircase — the main-memory
+    level, exactly how the paper reads the LMbench output.
+    """
+    _, lat = lat_mem_rd(node, sizes=sizes, noise_sigma=noise_sigma, seed=seed)
+    plateau = tail_plateau(lat)
+    if plateau.width < 2:
+        raise MeasurementError(
+            "DRAM plateau too narrow; extend the working-set sweep"
+        )
+    return plateau.level
+
+
+def cache_capacities_from_sweep(
+    sizes: np.ndarray, latencies: np.ndarray, jump_factor: float = 1.5
+) -> list[int]:
+    """Detect cache-capacity boundaries: sizes where latency jumps.
+
+    Returns the largest working-set size *before* each latency jump — an
+    estimate of each level's capacity.  Used in tests to confirm the sweep
+    resolves the configured hierarchy.
+    """
+    if len(sizes) != len(latencies) or len(sizes) < 2:
+        raise MeasurementError("need aligned sweeps of length >= 2")
+    caps = []
+    for i in range(1, len(latencies)):
+        if latencies[i] > jump_factor * latencies[i - 1]:
+            caps.append(int(sizes[i - 1]))
+    return caps

@@ -1,0 +1,99 @@
+"""MPPTest analog: derive (ts, tw) from ping-pong message sweeps.
+
+MPPTest measures point-to-point time across message sizes; fitting the
+Hockney line ``t = ts + n·tw`` yields the paper's two communication
+parameters.  Our analog runs real ping-pong exchanges through the
+discrete-event engine (so congestion/noise settings affect the
+measurement, as they would on hardware) and fits the line by least
+squares over several repetitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.errors import MeasurementError
+from repro.microbench.fitting import LineFit, fit_line
+from repro.simmpi.engine import SimConfig, SimEngine
+from repro.simmpi.noise import NoiseModel
+
+
+@dataclass(frozen=True)
+class MpptestResult:
+    """Sweep data plus the fitted Hockney parameters."""
+
+    sizes: np.ndarray
+    times: np.ndarray  # one-way seconds per size (averaged over reps)
+    fit: LineFit
+
+    @property
+    def ts(self) -> float:
+        """Fitted message start-up time (s)."""
+        return self.fit.intercept
+
+    @property
+    def tw(self) -> float:
+        """Fitted per-byte time (s/byte)."""
+        return self.fit.slope
+
+
+def default_message_sizes() -> list[int]:
+    """Sizes spanning the latency- and bandwidth-dominated regimes."""
+    return [0, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576]
+
+
+def mpptest(
+    cluster: Cluster,
+    sizes: list[int] | None = None,
+    reps: int = 5,
+    noise: NoiseModel | None = None,
+) -> MpptestResult:
+    """Run a two-rank ping-pong sweep and fit the Hockney line.
+
+    Each measurement sends a message from rank 0 to rank 1 and back
+    ``reps`` times; the one-way time is half the round-trip average —
+    exactly the classic benchmark procedure.
+    """
+    if len(cluster) < 2:
+        raise MeasurementError("mpptest needs at least two nodes")
+    if reps < 1:
+        raise MeasurementError("reps must be >= 1")
+    sizes = default_message_sizes() if sizes is None else sizes
+    if not sizes or any(s < 0 for s in sizes):
+        raise MeasurementError("message sizes must be non-negative")
+
+    config = SimConfig(noise=noise or NoiseModel.quiet())
+    one_way: list[float] = []
+    for nbytes in sizes:
+
+        def program(ctx, nbytes=nbytes):
+            for r in range(reps):
+                if ctx.rank == 0:
+                    yield from ctx.send(dst=1, nbytes=nbytes, tag=r)
+                    yield from ctx.recv(src=1, tag=reps + r)
+                elif ctx.rank == 1:
+                    yield from ctx.recv(src=0, tag=r)
+                    yield from ctx.send(dst=0, nbytes=nbytes, tag=reps + r)
+
+        result = SimEngine(cluster, config).run(program, size=2)
+        one_way.append(result.total_time / (2 * reps))
+
+    times = np.asarray(one_way)
+    fit = fit_line(np.asarray(sizes, dtype=float), times)
+    if fit.intercept <= 0:
+        raise MeasurementError(
+            f"fitted ts={fit.intercept:.3e} s is non-positive; sweep too noisy"
+        )
+    return MpptestResult(sizes=np.asarray(sizes, dtype=float), times=times, fit=fit)
+
+
+def estimate_ts_tw(
+    cluster: Cluster,
+    noise: NoiseModel | None = None,
+) -> tuple[float, float]:
+    """Shortcut returning just (ts, tw) for calibration pipelines."""
+    res = mpptest(cluster, noise=noise)
+    return res.ts, res.tw

@@ -1,0 +1,102 @@
+"""Perfmon analog: hardware-counter measurement of simulated runs.
+
+The paper "built a tool using the Perfmon API from UT-Knoxville to
+automatically measure the average tc derived as CPI/f" and uses the same
+counters for the application-dependent workload parameters (Wc, Wm).  The
+simulator records exact operation counts on every work segment; this
+module reads them back the way a counter multiplexer would — totals,
+per-rank, per-phase — and derives CPI/tc from timed calibration loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.cluster import Cluster
+from repro.errors import MeasurementError
+from repro.simmpi.engine import SimConfig, SimEngine, SimResult
+from repro.simmpi.noise import NoiseModel
+
+
+@dataclass(frozen=True)
+class CounterReport:
+    """Counter totals harvested from one run."""
+
+    instructions: float
+    mem_accesses: float
+    cpu_seconds: float
+    mem_seconds: float
+    wall_seconds: float
+    per_rank_instructions: dict[int, float]
+    per_phase_instructions: dict[str, float]
+
+    @property
+    def measured_cpi_time(self) -> float:
+        """Average seconds per instruction (``tc``) from the counters."""
+        if self.instructions <= 0:
+            raise MeasurementError("no instructions retired")
+        return self.cpu_seconds / self.instructions
+
+    @property
+    def measured_tm(self) -> float:
+        """Average seconds per memory access from the counters."""
+        if self.mem_accesses <= 0:
+            raise MeasurementError("no memory accesses recorded")
+        return self.mem_seconds / self.mem_accesses
+
+
+def measure_counters(result: SimResult) -> CounterReport:
+    """Harvest counters from a finished run's work segments."""
+    instr = 0.0
+    mem = 0.0
+    cpu_s = 0.0
+    mem_s = 0.0
+    per_rank: dict[int, float] = {}
+    per_phase: dict[str, float] = {}
+    for seg in result.segments:
+        if seg.kind != "work":
+            continue
+        instr += seg.instructions
+        mem += seg.mem_ops
+        cpu_s += seg.cpu_active
+        mem_s += seg.mem_active
+        per_rank[seg.rank] = per_rank.get(seg.rank, 0.0) + seg.instructions
+        if seg.phase:
+            per_phase[seg.phase] = per_phase.get(seg.phase, 0.0) + seg.instructions
+    return CounterReport(
+        instructions=instr,
+        mem_accesses=mem,
+        cpu_seconds=cpu_s,
+        mem_seconds=mem_s,
+        wall_seconds=result.total_time,
+        per_rank_instructions=per_rank,
+        per_phase_instructions=per_phase,
+    )
+
+
+def measure_cpi(
+    cluster: Cluster,
+    cpi_factor: float = 1.0,
+    instructions: float = 1e8,
+    noise: NoiseModel | None = None,
+) -> tuple[float, float]:
+    """Time a pure-compute calibration loop; returns (cpi, tc).
+
+    Runs ``instructions`` arithmetic operations on one rank at the current
+    frequency and derives ``tc = elapsed/instructions`` and
+    ``CPI = tc·f`` — the Table-1 relation in reverse.
+    """
+    if instructions <= 0:
+        raise MeasurementError("calibration loop needs positive work")
+
+    def program(ctx):
+        yield from ctx.compute(instructions=instructions, mem_accesses=0.0)
+
+    config = SimConfig(
+        alpha=1.0, cpi_factor=cpi_factor, noise=noise or NoiseModel.quiet()
+    )
+    result = SimEngine(cluster, config).run(program, size=1)
+    report = measure_counters(result)
+    tc = report.measured_cpi_time
+    f = cluster.head.frequency
+    return tc * f, tc

@@ -1,0 +1,66 @@
+"""``/proc/stat`` analog: CPU-state time accounting per node.
+
+The paper notes T_IO "can be estimated by using the Linux pseudo file
+/proc/stat".  This module aggregates a run's segments into the familiar
+user/iowait/idle jiffy split per node, from which ``T_IO`` (and a sanity
+view of utilization) is read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MeasurementError
+from repro.simmpi.engine import SimResult
+
+
+@dataclass(frozen=True)
+class ProcStat:
+    """Per-node time accounting, in seconds (not jiffies, for sanity)."""
+
+    node: int
+    user: float  # compute segments
+    iowait: float  # io segments
+    network: float  # comm segments (counted as system time on hardware)
+    idle: float  # wall time not covered by any segment
+
+    @property
+    def wall(self) -> float:
+        return self.user + self.iowait + self.network + self.idle
+
+    @property
+    def utilization(self) -> float:
+        if self.wall <= 0:
+            raise MeasurementError("zero wall time")
+        return (self.user + self.network + self.iowait) / self.wall
+
+
+def proc_stat(result: SimResult, node: int) -> ProcStat:
+    """Aggregate the run's segments for one node into /proc/stat buckets.
+
+    With multiple ranks per node the buckets sum rank time (as per-core
+    jiffies do); idle is measured against ``ranks_on_node × wall``.
+    """
+    user = iowait = network = 0.0
+    ranks = set()
+    for seg in result.segments:
+        if seg.node != node:
+            continue
+        ranks.add(seg.rank)
+        if seg.kind == "work":
+            user += seg.duration
+        elif seg.kind == "io":
+            iowait += seg.duration
+        elif seg.kind == "comm":
+            network += seg.duration
+        # "wait" segments fall through to idle
+    if not ranks:
+        raise MeasurementError(f"node {node} ran no ranks")
+    capacity = len(ranks) * result.total_time
+    idle = max(0.0, capacity - user - iowait - network)
+    return ProcStat(node=node, user=user, iowait=iowait, network=network, idle=idle)
+
+
+def total_io_seconds(result: SimResult) -> float:
+    """T_IO across all ranks — the model's I/O time input."""
+    return sum(s.duration for s in result.segments if s.kind == "io")

@@ -1,0 +1,61 @@
+"""Simulated NAS Parallel Benchmarks.
+
+Every benchmark pairs an analytic workload model (Θ2 over (n, p) — the
+model-facing half) with an executable simulated kernel (the measurement-
+facing half).  FT, EP and CG follow the paper's §V case-study
+parameterizations; IS, MG, LU, BT and SP complete the suite for the Dori
+validation of Figure 3.
+"""
+
+from repro.npb.base import KernelBias, NpbBenchmark, ProblemClass
+from repro.npb.cg import CgBenchmark, CgWorkload, cg_comm_plan, cg_grid, cg_scipy_reference
+from repro.npb.ep import EpBenchmark, EpWorkload, ep_numpy_reference
+from repro.npb.ft import FtBenchmark, FtWorkload, ft_comm_plan, ft_numpy_reference
+from repro.npb.suite import (
+    BtBenchmark,
+    IsBenchmark,
+    LuBenchmark,
+    MgBenchmark,
+    PhasedBenchmark,
+    PhasedWorkload,
+    SpBenchmark,
+)
+from repro.npb.workloads import (
+    HEADLINE_BENCHMARKS,
+    SUITE_BENCHMARKS,
+    benchmark_class,
+    benchmark_for,
+    benchmark_names,
+    workload_for,
+)
+
+__all__ = [
+    "KernelBias",
+    "NpbBenchmark",
+    "ProblemClass",
+    "CgBenchmark",
+    "CgWorkload",
+    "cg_comm_plan",
+    "cg_grid",
+    "cg_scipy_reference",
+    "EpBenchmark",
+    "EpWorkload",
+    "ep_numpy_reference",
+    "FtBenchmark",
+    "FtWorkload",
+    "ft_comm_plan",
+    "ft_numpy_reference",
+    "BtBenchmark",
+    "IsBenchmark",
+    "LuBenchmark",
+    "MgBenchmark",
+    "PhasedBenchmark",
+    "PhasedWorkload",
+    "SpBenchmark",
+    "HEADLINE_BENCHMARKS",
+    "SUITE_BENCHMARKS",
+    "benchmark_class",
+    "benchmark_for",
+    "benchmark_names",
+    "workload_for",
+]

@@ -1,0 +1,139 @@
+"""NAS Parallel Benchmark abstractions: problem classes and kernels.
+
+Each benchmark couples an *analytic workload model* (Θ2 as a function of
+problem size ``n`` and parallelism ``p`` — what the iso-energy-efficiency
+model consumes) with an *executable simulated kernel* (a rank program that
+issues the corresponding compute/memory/message operations to the
+discrete-event engine — what PowerPack measures).
+
+The kernels deliberately deviate from their analytic models in small,
+systematic ways (remainder imbalance, per-phase constants, access-pattern
+biases configured per benchmark) — these deviations, plus engine noise,
+are what make the validation experiments (Figs. 3–4) honest rather than a
+model compared against itself.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Iterator, Protocol
+
+from repro.core.parameters import AppParams
+from repro.errors import ConfigurationError
+from repro.simmpi.program import Op, RankContext
+
+
+class ProblemClass(str, Enum):
+    """Standard NPB problem classes (S = sample … D = large)."""
+
+    S = "S"
+    W = "W"
+    A = "A"
+    B = "B"
+    C = "C"
+    D = "D"
+
+
+class NpbWorkload(Protocol):
+    """Analytic Θ2 model of one benchmark (the model-facing half)."""
+
+    alpha: float
+
+    def params(self, n: float, p: int) -> AppParams: ...
+
+
+@dataclass(frozen=True)
+class KernelBias:
+    """Systematic kernel-vs-model deviations (the honest-validation knobs).
+
+    Parameters
+    ----------
+    compute_scale:
+        Multiplier on issued instructions vs. the analytic Wc+Wco.
+    memory_scale:
+        Multiplier on issued memory accesses at p=1.
+    memory_scale_parallel:
+        Additional memory-traffic growth saturating with p:
+        issued ``= analytic · (memory_scale + memory_scale_parallel·(1−1/p))``.
+        Models partition-dependent cache behaviour the analytic Wm misses
+        (the paper attributes CG's 8.3% error to exactly this).
+    """
+
+    compute_scale: float = 1.0
+    memory_scale: float = 1.0
+    memory_scale_parallel: float = 0.0
+
+    def mem_factor(self, p: int) -> float:
+        return self.memory_scale + self.memory_scale_parallel * (1.0 - 1.0 / p)
+
+
+class NpbBenchmark:
+    """Base class binding a workload model, sizes, and a kernel factory."""
+
+    #: benchmark name, e.g. "FT"
+    name: str = "?"
+    #: problem sizes per class (the meaning of n is benchmark-specific)
+    class_sizes: dict[ProblemClass, float] = {}
+    #: iterations actually simulated per class (kernels may time-sample)
+    class_iterations: dict[ProblemClass, int] = {}
+    #: effective-CPI multiplier for this code's instruction mix (the paper
+    #: measures tc per application; see SimConfig.cpi_factor)
+    cpi_factor: float = 1.0
+
+    def __init__(self, workload: NpbWorkload, bias: KernelBias | None = None) -> None:
+        self.workload = workload
+        self.bias = bias or KernelBias()
+
+    # -- sizes ---------------------------------------------------------------
+
+    def n_for_class(self, cls: ProblemClass | str) -> float:
+        cls = ProblemClass(cls)
+        try:
+            return self.class_sizes[cls]
+        except KeyError:
+            raise ConfigurationError(
+                f"{self.name} has no class {cls.value}"
+            ) from None
+
+    def iterations_for_class(self, cls: ProblemClass | str) -> int:
+        cls = ProblemClass(cls)
+        return self.class_iterations.get(cls, 1)
+
+    # -- model-facing --------------------------------------------------------
+
+    def app_params(self, n: float, p: int) -> AppParams:
+        """Θ2 for (n, p) from the analytic workload model."""
+        return self.workload.params(n, p)
+
+    @property
+    def alpha(self) -> float:
+        return self.workload.alpha
+
+    # -- kernel-facing --------------------------------------------------------
+
+    def make_program(
+        self, n: float, p: int
+    ) -> Callable[[RankContext], Iterator[Op]]:
+        """Build the rank program for an (n, p) run.  Subclasses override."""
+        raise NotImplementedError
+
+    # -- helpers for subclasses -------------------------------------------------
+
+    @staticmethod
+    def split_even(total: float, p: int, rank: int) -> float:
+        """Rank ``rank``'s share of ``total`` under block distribution.
+
+        Uses integer-style remainder assignment: the first ``total % p``
+        conceptual units land on low ranks, creating the slight imbalance
+        real block distributions have (a model-vs-kernel deviation).
+        """
+        if p < 1:
+            raise ConfigurationError("p must be >= 1")
+        base = math.floor(total / p)
+        remainder = total - base * p
+        extra = 1.0 if rank < remainder and remainder >= 1.0 else 0.0
+        if rank == 0 and remainder < 1.0:
+            extra = remainder  # fractional crumbs go to rank 0
+        return base + extra

@@ -1,0 +1,290 @@
+"""NPB CG: conjugate gradient eigenvalue estimation (§V-B-3).
+
+CG finds the smallest eigenvalue of a large sparse matrix by repeated
+conjugate-gradient solves: per inner iteration one sparse matrix–vector
+product, vector updates, and three communication steps on a 2-D processor
+grid (row-group vector reductions, a transpose exchange, and scalar
+dot-product allreduces) — the √p-shaped traffic visible in the paper's
+printed CG parameterization.
+
+**The deliberate model gap.**  The paper reports CG as its least accurate
+benchmark (8.31% mean error) and attributes it to "inaccuracies in our
+memory model for this application".  We reproduce the cause, not just the
+number: the *analytic* workload model uses a constant off-chip access rate
+per row (``awm_model``), while the *kernel* issues traffic from a
+cache-capacity model — the partition of the sparse matrix resident in L2
+grows with p, cutting DRAM traffic in a p- and machine-dependent way the
+analytic Θ2 cannot express.  The same capacity effect produces CG's
+efficiency dip-and-recover shape in Figure 2b.
+
+``cg_scipy_reference`` runs a real conjugate-gradient solve on an NPB-style
+random sparse matrix for substrate verification.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.core.parameters import AppParams
+from repro.errors import ConfigurationError
+from repro.npb.base import KernelBias, NpbBenchmark, ProblemClass
+from repro.simmpi import collectives
+from repro.simmpi.program import Op, RankContext
+
+#: nonzeros per row (NPB class B value; folded into coefficients)
+_NONZER = 13
+#: bytes per stored nonzero (double value + int index)
+_NNZ_BYTES = 12
+
+
+def cg_grid(p: int) -> tuple[int, int]:
+    """NPB CG's 2-D processor grid (nprows, npcols) for power-of-two p."""
+    if p < 1:
+        raise ConfigurationError("p must be >= 1")
+    if p & (p - 1) != 0:
+        raise ConfigurationError("NPB CG requires a power-of-two processor count")
+    log2p = p.bit_length() - 1
+    npcols = 1 << math.ceil(log2p / 2)
+    return p // npcols, npcols
+
+
+def cg_comm_plan(n: float, p: int) -> dict[str, float]:
+    """Per-matvec communication totals shared by model and kernel.
+
+    Per rank per inner iteration: ``log2(npcols)`` row-group butterfly
+    exchanges of the 8·n/npcols-byte vector segment, one transpose
+    exchange of the same size (when the grid has ≥2 rows), and two 8-byte
+    scalar allreduces.
+    """
+    if p == 1:
+        return {"m": 0.0, "b": 0.0, "seg_bytes": 0.0, "row_steps": 0}
+    nprows, npcols = cg_grid(p)
+    seg_bytes = float(int(8 * n / npcols))
+    row_steps = npcols.bit_length() - 1  # log2(npcols)
+    transpose = 1 if nprows > 1 else 0
+    m_vector = p * (row_steps + transpose)
+    b_vector = m_vector * seg_bytes
+    m_scalar = 2 * collectives.allreduce_message_count(p)
+    b_scalar = 2 * collectives.allreduce_byte_count(p, 8)
+    return {
+        "m": float(m_vector + m_scalar),
+        "b": float(b_vector + b_scalar),
+        "seg_bytes": seg_bytes,
+        "row_steps": row_steps,
+    }
+
+
+@dataclass
+class CgWorkload:
+    """Analytic Θ2 model for CG (n = matrix rows).
+
+    Per-matvec coefficients:
+
+    * ``awc`` — instructions per row (≈8 per nonzero plus vector ops).
+    * ``awm_model`` — the *model's* constant off-chip accesses per row
+      (matrix streaming); deliberately blind to cache-capacity effects.
+    * ``bwc``/``bwm`` — parallel overhead per row, saturating with the
+      column count of the processor grid.
+    * ``niter`` — total inner iterations (outer × 25 for NPB sizes).
+    """
+
+    alpha: float = 0.85
+    awc: float = 113.6
+    awm_model: float = 2.2
+    bwc: float = 3.0
+    bwm: float = 0.5
+    niter: int = 1875  # class B: 75 outer × 25 inner
+
+    def _sat(self, p: int) -> float:
+        """Overhead saturation factor 1 − 1/npcols."""
+        if p == 1:
+            return 0.0
+        _, npcols = cg_grid(p)
+        return 1.0 - 1.0 / npcols
+
+    def wc(self, n: float) -> float:
+        return self.awc * n * self.niter
+
+    def wm(self, n: float) -> float:
+        return self.awm_model * n * self.niter
+
+    def wco(self, n: float, p: int) -> float:
+        return self.bwc * n * self._sat(p) * self.niter
+
+    def wmo(self, n: float, p: int) -> float:
+        return self.bwm * n * self._sat(p) * self.niter
+
+    def comm(self, n: float, p: int) -> tuple[float, float]:
+        plan = cg_comm_plan(n, p)
+        return plan["m"] * self.niter, plan["b"] * self.niter
+
+    def params(self, n: float, p: int) -> AppParams:
+        if n < 2:
+            raise ConfigurationError("CG needs at least a 2-row matrix")
+        m, b = self.comm(n, p)
+        return AppParams(
+            alpha=self.alpha,
+            wc=self.wc(n),
+            wm=self.wm(n),
+            wco=self.wco(n, p),
+            wmo=self.wmo(n, p),
+            m_messages=m,
+            b_bytes=b,
+            n=n,
+            p=p,
+        )
+
+
+def cg_kernel_memory_rate(
+    n: float, p: int, l2_capacity: float, awm_stream: float = 2.5
+) -> float:
+    """The kernel's true off-chip accesses per row per matvec.
+
+    A rank's matrix partition is ``156·n/p`` bytes (13 nonzeros × 12 B);
+    the fraction of it resident in L2 across consecutive matvecs avoids
+    DRAM re-reads, cutting effective traffic by up to 38% (indices, the
+    vectors, and conflict misses always move).  This machine- and
+    p-dependent rate is what the analytic model's constant ``awm_model``
+    cannot express: on SystemG (6 MB L2) the partition becomes resident
+    at small p and the model overshoots (the paper's 8.3% CG error); on
+    Dori (1 MB L2) it never does, and the model fits well (Fig. 3).
+    """
+    if l2_capacity <= 0:
+        raise ConfigurationError("l2_capacity must be positive")
+    partition_bytes = _NONZER * _NNZ_BYTES * n / p
+    resident = min(1.0, l2_capacity / partition_bytes)
+    return awm_stream * (1.0 - 0.38 * resident)
+
+
+class CgBenchmark(NpbBenchmark):
+    """CG: executable kernel + analytic model."""
+
+    name = "CG"
+    #: effective CPI multiplier: indexed gathers stall the pipeline
+    cpi_factor = 2.8
+    class_sizes = {
+        ProblemClass.S: 1400,
+        ProblemClass.W: 7000,
+        ProblemClass.A: 14000,
+        ProblemClass.B: 75000,
+        ProblemClass.C: 150000,
+        ProblemClass.D: 1_500_000,
+    }
+    #: total inner iterations (outer iterations × 25 CG steps)
+    class_iterations = {
+        ProblemClass.S: 15 * 25,
+        ProblemClass.W: 15 * 25,
+        ProblemClass.A: 15 * 25,
+        ProblemClass.B: 75 * 25,
+        ProblemClass.C: 75 * 25,
+        ProblemClass.D: 100 * 25,
+    }
+
+    def __init__(
+        self,
+        workload: CgWorkload | None = None,
+        bias: KernelBias | None = None,
+        l2_capacity: float = 6 * 1024 * 1024,
+    ) -> None:
+        if bias is None:
+            bias = KernelBias(compute_scale=1.02)
+        super().__init__(workload or CgWorkload(), bias)
+        self.l2_capacity = l2_capacity
+
+    @classmethod
+    def for_class(
+        cls,
+        klass: ProblemClass | str,
+        niter: int | None = None,
+        l2_capacity: float = 6 * 1024 * 1024,
+    ) -> tuple["CgBenchmark", float]:
+        klass = ProblemClass(klass)
+        bench = cls(
+            CgWorkload(niter=niter or cls.class_iterations.get(klass, 1875)),
+            l2_capacity=l2_capacity,
+        )
+        return bench, float(cls.class_sizes[klass])
+
+    # -- kernel ---------------------------------------------------------------
+
+    def make_program(
+        self, n: float, p: int
+    ) -> Callable[[RankContext], Iterator[Op]]:
+        wl: CgWorkload = self.workload  # type: ignore[assignment]
+        plan = cg_comm_plan(n, p)
+        niter = wl.niter
+        bias = self.bias
+        seg_bytes = int(plan["seg_bytes"])
+        row_steps = int(plan["row_steps"])
+        nprows, npcols = cg_grid(p) if p > 1 else (1, 1)
+
+        # instructions follow the analytic model (with bias); memory traffic
+        # follows the cache-capacity model the analytic Θ2 is blind to
+        wc_mv = (wl.wc(n) + wl.wco(n, p)) * bias.compute_scale / niter
+        mem_rate = cg_kernel_memory_rate(n, p, self.l2_capacity)
+        wm_mv = (mem_rate + wl.bwm * wl._sat(p)) * n * bias.mem_factor(p)
+
+        def program(ctx: RankContext) -> Iterator[Op]:
+            my_wc = self.split_even(wc_mv, p, ctx.rank)
+            my_wm = self.split_even(wm_mv, p, ctx.rank)
+            for _ in range(niter):
+                yield from ctx.phase("matvec")
+                yield from ctx.compute(my_wc * 0.8, my_wm * 0.9, label="spmv")
+                if p > 1:
+                    yield from ctx.phase("row-reduce")
+                    for k in range(row_steps):
+                        partner = ctx.rank ^ (1 << k)
+                        yield from ctx.exchange(
+                            dst=partner, src=partner, nbytes=seg_bytes, tag=900 + k
+                        )
+                    if nprows > 1:
+                        yield from ctx.phase("transpose")
+                        partner = ctx.rank ^ npcols
+                        yield from ctx.exchange(
+                            dst=partner, src=partner, nbytes=seg_bytes, tag=940
+                        )
+                yield from ctx.phase("vector-ops")
+                yield from ctx.compute(my_wc * 0.2, my_wm * 0.1, label="axpy")
+                if p > 1:
+                    yield from ctx.phase("dot-products")
+                    yield from collectives.allreduce(ctx, nbytes=8)
+                    yield from collectives.allreduce(ctx, nbytes=8)
+
+        return program
+
+
+def cg_scipy_reference(n: int = 1400, nonzer: int = 7, seed: int = 1618):
+    """A real CG solve on an NPB-style random sparse SPD matrix.
+
+    Builds ``A = I·(shift) + S·Sᵀ`` from a random sparse S (the NPB matrix
+    construction in spirit), runs scipy CG, and returns (iterations-taken,
+    residual-norm, smallest-eigenvalue-estimate).
+    """
+    if n < 2:
+        raise ConfigurationError("need n >= 2")
+    rng = np.random.default_rng(seed)
+    rows = np.repeat(np.arange(n), nonzer)
+    cols = rng.integers(0, n, size=n * nonzer)
+    vals = rng.standard_normal(n * nonzer) / math.sqrt(nonzer)
+    s = sp.csr_matrix((vals, (rows, cols)), shape=(n, n))
+    a = (s @ s.T + sp.identity(n) * 10.0).tocsr()
+    b = np.ones(n)
+    iters = 0
+
+    def count(_):
+        nonlocal iters
+        iters += 1
+
+    x, info = spla.cg(a, b, rtol=1e-8, maxiter=10 * n, callback=count)
+    if info != 0:
+        raise ConfigurationError(f"reference CG failed to converge (info={info})")
+    residual = float(np.linalg.norm(a @ x - b))
+    # one step of inverse power iteration estimates the smallest eigenvalue
+    lam = float((x @ (a @ x)) / (x @ x))
+    return iters, residual, lam

@@ -1,0 +1,166 @@
+"""NPB EP: embarrassingly parallel Gaussian-deviate generation (§V-B-2).
+
+EP generates pairs of Gaussian random deviates with the Marsaglia polar
+method and tallies them into ten annular bins; the only communication is
+a final tiny reduction.  The paper measures Θ2 = (0.93, 109.4·n,
+1.03e?·n, 0, 6.7e?·n·(p−1), 0, 0) — M and B are simply set to zero
+"since communication in embarrassingly parallel is trivial".
+
+The kernel issues the same per-rank workload plus the final allreduce the
+analytic model ignores (an honest, tiny model-vs-measurement gap), and
+``ep_numpy_reference`` runs the actual Marsaglia polar method so tests can
+verify the generated deviates are Gaussian.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.core.parameters import AppParams
+from repro.errors import ConfigurationError
+from repro.npb.base import KernelBias, NpbBenchmark, ProblemClass
+from repro.simmpi import collectives
+from repro.simmpi.program import Op, RankContext
+
+#: final reduction payload: 10 annulus counters + 2 sums (8 B each)
+_REDUCTION_BYTES = 96
+
+
+@dataclass
+class EpWorkload:
+    """Analytic Θ2 model for EP (n = number of random pairs).
+
+    * ``awc = 109.4`` instructions per pair (paper's measured value).
+    * ``awm`` — off-chip accesses per pair; EP's working set is a handful
+      of scalars, so this is tiny (reconstructed as 1.03e-2).
+    * ``bwm`` — per-pair memory overhead growing with (p−1): tally-table
+      interactions (reconstructed as 6.7e-6, keeping EE ≈ 1 at all p).
+    """
+
+    alpha: float = 0.93
+    awc: float = 109.4
+    awm: float = 1.03e-2
+    bwm: float = 6.7e-6
+
+    def wc(self, n: float) -> float:
+        return self.awc * n
+
+    def wm(self, n: float) -> float:
+        return self.awm * n
+
+    def wmo(self, n: float, p: int) -> float:
+        if p == 1:
+            return 0.0
+        return self.bwm * n * (p - 1)
+
+    def params(self, n: float, p: int) -> AppParams:
+        if n < 1:
+            raise ConfigurationError("EP needs at least one pair")
+        return AppParams(
+            alpha=self.alpha,
+            wc=self.wc(n),
+            wm=self.wm(n),
+            wco=0.0,
+            wmo=self.wmo(n, p),
+            m_messages=0.0,  # the paper sets M = 0 for EP
+            b_bytes=0.0,
+            n=n,
+            p=p,
+        )
+
+
+class EpBenchmark(NpbBenchmark):
+    """EP: executable kernel + analytic model."""
+
+    name = "EP"
+    #: tight arithmetic loop issues below machine-average CPI
+    cpi_factor = 0.9
+    class_sizes = {
+        ProblemClass.S: 2**24,
+        ProblemClass.W: 2**25,
+        ProblemClass.A: 2**28,
+        ProblemClass.B: 2**30,
+        ProblemClass.C: 2**32,
+        ProblemClass.D: 2**36,
+    }
+    class_iterations = {k: 1 for k in ProblemClass}
+
+    def __init__(
+        self,
+        workload: EpWorkload | None = None,
+        bias: KernelBias | None = None,
+    ) -> None:
+        if bias is None:
+            # The Marsaglia polar method rejects ≈21.5% of candidate pairs;
+            # the rejected work is real but the analytic 109.4/pair folds it
+            # in imperfectly — EP's measured error in the paper (6.6%) is
+            # the largest of the three, reproduced here as a compute bias.
+            bias = KernelBias(compute_scale=1.065, memory_scale=1.02)
+        super().__init__(workload or EpWorkload(), bias)
+
+    @classmethod
+    def for_class(cls, klass: ProblemClass | str) -> tuple["EpBenchmark", float]:
+        klass = ProblemClass(klass)
+        return cls(), float(cls.class_sizes[klass])
+
+    # -- kernel ---------------------------------------------------------------
+
+    def make_program(
+        self, n: float, p: int
+    ) -> Callable[[RankContext], Iterator[Op]]:
+        wl: EpWorkload = self.workload  # type: ignore[assignment]
+        ap = wl.params(n, p)
+        bias = self.bias
+        #: chunks let power profiles show EP's long flat compute plateau
+        chunks = 8
+
+        wc_total = ap.total_instructions * bias.compute_scale
+        wm_total = ap.total_mem_accesses * bias.mem_factor(p)
+
+        def program(ctx: RankContext) -> Iterator[Op]:
+            my_wc = self.split_even(wc_total, p, ctx.rank)
+            my_wm = self.split_even(wm_total, p, ctx.rank)
+            yield from ctx.phase("generate")
+            for _ in range(chunks):
+                yield from ctx.compute(my_wc / chunks, my_wm / chunks, label="polar")
+            yield from ctx.phase("reduce")
+            if p > 1:
+                # the tiny reduction the analytic model deliberately ignores
+                yield from collectives.allreduce(ctx, nbytes=_REDUCTION_BYTES)
+
+        return program
+
+
+def ep_numpy_reference(n_pairs: int = 100_000, seed: int = 271828):
+    """Actual Marsaglia polar method: returns (gaussians, acceptance_rate).
+
+    Draws uniform candidate pairs in [−1,1)², keeps those inside the unit
+    disk, and maps them to independent N(0,1) deviates — exactly EP's
+    per-pair computation.  Tests verify moments and the ≈π/4 acceptance.
+    """
+    if n_pairs < 1:
+        raise ConfigurationError("need at least one pair")
+    rng = np.random.default_rng(seed)
+    out = np.empty(2 * n_pairs)
+    filled = 0
+    drawn = 0
+    accepted = 0
+    while filled < 2 * n_pairs:
+        remaining_pairs = n_pairs - filled // 2
+        todo = max(1024, int(remaining_pairs / 0.75) + 16)
+        x = rng.uniform(-1.0, 1.0, todo)
+        y = rng.uniform(-1.0, 1.0, todo)
+        s = x * x + y * y
+        keep = (s > 0.0) & (s < 1.0)
+        drawn += todo
+        accepted += int(keep.sum())
+        xs, ys, ss = x[keep], y[keep], s[keep]
+        factor = np.sqrt(-2.0 * np.log(ss) / ss)
+        g = np.concatenate([xs * factor, ys * factor])
+        take = min(len(g), 2 * n_pairs - filled)
+        out[filled : filled + take] = g[:take]
+        filled += take
+    return out, accepted / drawn

@@ -1,0 +1,343 @@
+"""The remaining NPB kernels and pseudo-applications: IS, MG, LU, BT, SP.
+
+Figure 3 validates the model across the whole NAS suite on Dori; these
+five benchmarks complete it.  Each is expressed as a
+:class:`PhasedBenchmark`: an analytic Θ2 model built from per-iteration
+coefficient forms plus a communication plan, and a generic kernel that
+executes that plan.  The coefficient forms follow each code's published
+algorithm structure:
+
+* **IS** — bucketed integer sort: one all-to-all-v of the key population
+  per iteration plus a bucket-size allreduce.
+* **MG** — V-cycle multigrid: halo exchanges on every level; surface-to-
+  volume traffic ∝ (n/p)^(2/3) per rank.
+* **LU** — SSOR with 2-D pencil wavefronts: many small north/south/east/
+  west exchanges per sweep.
+* **BT / SP** — ADI solvers on a √p×√p grid: face exchanges in the three
+  sweep directions per iteration, BT with larger per-face payloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.core.parameters import AppParams
+from repro.errors import ConfigurationError
+from repro.npb.base import KernelBias, NpbBenchmark, ProblemClass
+from repro.simmpi import collectives
+from repro.simmpi.program import Op, RankContext
+
+
+@dataclass
+class PhasedWorkload:
+    """Generic analytic Θ2: coefficient forms over (n, p) per iteration.
+
+    Workload forms::
+
+        Wc  = awc·n·niter                 Wm  = awm·n·niter
+        Wco = bwc·n·(1−1/p)·niter          Wmo = bwm·n^mexp·(1−1/p)·niter
+
+    Communication per iteration is one "bulk" pattern (alltoall-style:
+    M = p(p−1), B = cbulk·n·(p−1)/p) plus "halo" exchanges (M = chalo_m·p,
+    B = chalo_m·p · chalo_b·8·(n/p)^(2/3)) plus ``n_allreduce`` scalar
+    allreduces — zeroing coefficients selects the pattern mix.
+    """
+
+    alpha: float
+    awc: float
+    awm: float
+    bwc: float = 0.0
+    bwm: float = 0.0
+    mexp: float = 1.0
+    cbulk: float = 0.0
+    chalo_m: float = 0.0
+    chalo_b: float = 1.0
+    n_allreduce: int = 0
+    niter: int = 1
+
+    def halo_bytes(self, n: float, p: int) -> float:
+        """Per-message halo payload: surface of a rank's subdomain."""
+        return float(int(self.chalo_b * 8.0 * (n / p) ** (2.0 / 3.0)))
+
+    def bulk_pair_bytes(self, n: float, p: int) -> float:
+        """Per-pair payload of the bulk all-to-all."""
+        if p == 1 or self.cbulk == 0.0:
+            return 0.0
+        return float(int(self.cbulk * n / (p * p)))
+
+    def comm(self, n: float, p: int) -> tuple[float, float]:
+        if p == 1:
+            return 0.0, 0.0
+        m = 0.0
+        b = 0.0
+        if self.cbulk > 0.0:
+            pair = int(self.bulk_pair_bytes(n, p))
+            m += collectives.alltoall_message_count(p)
+            b += collectives.alltoall_byte_count(p, pair)
+        if self.chalo_m > 0.0:
+            halo_msgs = round(self.chalo_m * p)
+            m += halo_msgs
+            b += halo_msgs * self.halo_bytes(n, p)
+        if self.n_allreduce:
+            m += self.n_allreduce * collectives.allreduce_message_count(p)
+            b += self.n_allreduce * collectives.allreduce_byte_count(p, 8)
+        return m * self.niter, b * self.niter
+
+    def params(self, n: float, p: int) -> AppParams:
+        if n < 1:
+            raise ConfigurationError("problem size must be >= 1")
+        sat = 0.0 if p == 1 else 1.0 - 1.0 / p
+        m, b = self.comm(n, p)
+        return AppParams(
+            alpha=self.alpha,
+            wc=self.awc * n * self.niter,
+            wm=self.awm * n * self.niter,
+            wco=self.bwc * n * sat * self.niter,
+            wmo=self.bwm * (n**self.mexp) * sat * self.niter,
+            m_messages=m,
+            b_bytes=b,
+            n=n,
+            p=p,
+        )
+
+
+class PhasedBenchmark(NpbBenchmark):
+    """Generic kernel executing a :class:`PhasedWorkload`'s plan."""
+
+    def __init__(
+        self, workload: PhasedWorkload, bias: KernelBias | None = None
+    ) -> None:
+        super().__init__(workload, bias)
+
+    @classmethod
+    def for_class(
+        cls, klass: ProblemClass | str, niter: int | None = None
+    ) -> tuple["PhasedBenchmark", float]:
+        klass = ProblemClass(klass)
+        wl = cls.default_workload()
+        wl.niter = niter or cls.class_iterations.get(klass, 1)
+        return cls(wl), float(cls.class_sizes[klass])
+
+    @classmethod
+    def default_workload(cls) -> PhasedWorkload:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def make_program(
+        self, n: float, p: int
+    ) -> Callable[[RankContext], Iterator[Op]]:
+        wl: PhasedWorkload = self.workload  # type: ignore[assignment]
+        ap = wl.params(n, p)
+        bias = self.bias
+        niter = wl.niter
+        wc_it = ap.total_instructions * bias.compute_scale / niter
+        wm_it = ap.total_mem_accesses * bias.mem_factor(p) / niter
+        bulk_pair = int(wl.bulk_pair_bytes(n, p))
+        halo_bytes = int(wl.halo_bytes(n, p))
+        halo_rounds = max(1, round(wl.chalo_m)) if wl.chalo_m > 0 else 0
+
+        def program(ctx: RankContext) -> Iterator[Op]:
+            my_wc = self.split_even(wc_it, p, ctx.rank)
+            my_wm = self.split_even(wm_it, p, ctx.rank)
+            for _ in range(niter):
+                yield from ctx.phase("compute")
+                yield from ctx.compute(my_wc * 0.7, my_wm * 0.7)
+                if p > 1:
+                    if bulk_pair or wl.cbulk > 0:
+                        yield from ctx.phase("alltoall")
+                        yield from collectives.alltoall(ctx, nbytes_per_pair=bulk_pair)
+                    if halo_rounds:
+                        yield from ctx.phase("halo")
+                        for k in range(halo_rounds):
+                            # cycle through non-self neighbours so any
+                            # halo_rounds works on any communicator size
+                            offset = (k % (ctx.size - 1)) + 1
+                            dst = (ctx.rank + offset) % ctx.size
+                            src = (ctx.rank - offset) % ctx.size
+                            yield from ctx.exchange(
+                                dst=dst, src=src, nbytes=halo_bytes, tag=500 + k
+                            )
+                yield from ctx.phase("update")
+                yield from ctx.compute(my_wc * 0.3, my_wm * 0.3)
+                if p > 1 and wl.n_allreduce:
+                    yield from ctx.phase("norm")
+                    for _ in range(wl.n_allreduce):
+                        yield from collectives.allreduce(ctx, nbytes=8)
+
+        return program
+
+
+# ---------------------------------------------------------------------------
+# Concrete suite members
+# ---------------------------------------------------------------------------
+
+
+class IsBenchmark(PhasedBenchmark):
+    """IS: bucketed integer sort (n = number of keys)."""
+
+    name = "IS"
+    cpi_factor = 1.3  # random bucket scatters
+    class_sizes = {
+        ProblemClass.S: 2**16,
+        ProblemClass.W: 2**20,
+        ProblemClass.A: 2**23,
+        ProblemClass.B: 2**25,
+        ProblemClass.C: 2**27,
+        ProblemClass.D: 2**31,
+    }
+    class_iterations = {k: 10 for k in ProblemClass}
+
+    @classmethod
+    def default_workload(cls) -> PhasedWorkload:
+        return PhasedWorkload(
+            alpha=0.90,
+            awc=42.0,
+            awm=1.8,
+            bwc=1.1,
+            bwm=0.25,
+            cbulk=4.0,  # 4-byte keys redistributed each iteration
+            n_allreduce=1,
+            niter=10,
+        )
+
+
+class MgBenchmark(PhasedBenchmark):
+    """MG: V-cycle multigrid (n = fine-grid points)."""
+
+    name = "MG"
+    cpi_factor = 1.1
+    class_sizes = {
+        ProblemClass.S: 32**3,
+        ProblemClass.W: 128**3,
+        ProblemClass.A: 256**3,
+        ProblemClass.B: 256**3,
+        ProblemClass.C: 512**3,
+        ProblemClass.D: 1024**3,
+    }
+    class_iterations = {
+        ProblemClass.S: 4,
+        ProblemClass.W: 4,
+        ProblemClass.A: 4,
+        ProblemClass.B: 20,
+        ProblemClass.C: 20,
+        ProblemClass.D: 50,
+    }
+
+    @classmethod
+    def default_workload(cls) -> PhasedWorkload:
+        return PhasedWorkload(
+            alpha=0.82,
+            awc=62.0,
+            awm=3.1,
+            bwc=2.0,
+            bwm=0.3,
+            chalo_m=12.0,  # 6 faces × 2 V-cycle legs
+            chalo_b=1.0,
+            n_allreduce=1,
+            niter=20,
+        )
+
+
+class LuBenchmark(PhasedBenchmark):
+    """LU: SSOR solver with pencil wavefronts (n = grid points)."""
+
+    name = "LU"
+    cpi_factor = 1.0
+    class_sizes = {
+        ProblemClass.S: 12**3,
+        ProblemClass.W: 33**3,
+        ProblemClass.A: 64**3,
+        ProblemClass.B: 102**3,
+        ProblemClass.C: 162**3,
+        ProblemClass.D: 408**3,
+    }
+    class_iterations = {
+        ProblemClass.S: 50,
+        ProblemClass.W: 300,
+        ProblemClass.A: 250,
+        ProblemClass.B: 250,
+        ProblemClass.C: 250,
+        ProblemClass.D: 300,
+    }
+
+    @classmethod
+    def default_workload(cls) -> PhasedWorkload:
+        return PhasedWorkload(
+            alpha=0.88,
+            awc=155.0,
+            awm=1.9,
+            bwc=3.0,
+            bwm=0.2,
+            chalo_m=8.0,  # N/S/E/W × lower+upper sweeps
+            chalo_b=0.5,  # thin wavefront slabs
+            n_allreduce=1,
+            niter=250,
+        )
+
+
+class BtBenchmark(PhasedBenchmark):
+    """BT: block-tridiagonal ADI solver (n = grid points)."""
+
+    name = "BT"
+    cpi_factor = 0.95  # dense 5×5 block arithmetic
+    class_sizes = {
+        ProblemClass.S: 12**3,
+        ProblemClass.W: 24**3,
+        ProblemClass.A: 64**3,
+        ProblemClass.B: 102**3,
+        ProblemClass.C: 162**3,
+        ProblemClass.D: 408**3,
+    }
+    class_iterations = {
+        ProblemClass.S: 60,
+        ProblemClass.W: 200,
+        ProblemClass.A: 200,
+        ProblemClass.B: 200,
+        ProblemClass.C: 200,
+        ProblemClass.D: 250,
+    }
+
+    @classmethod
+    def default_workload(cls) -> PhasedWorkload:
+        return PhasedWorkload(
+            alpha=0.89,
+            awc=530.0,  # ~5× LU per point: 5×5 block solves
+            awm=4.0,
+            bwc=6.0,
+            bwm=0.4,
+            chalo_m=6.0,  # 3 sweep directions × 2 faces
+            chalo_b=5.0,  # 5 solution components per face cell
+            n_allreduce=1,
+            niter=200,
+        )
+
+
+class SpBenchmark(PhasedBenchmark):
+    """SP: scalar-pentadiagonal ADI solver (n = grid points)."""
+
+    name = "SP"
+    cpi_factor = 1.05
+    class_sizes = dict(BtBenchmark.class_sizes)
+    class_sizes[ProblemClass.W] = 36**3
+    class_iterations = {
+        ProblemClass.S: 100,
+        ProblemClass.W: 400,
+        ProblemClass.A: 400,
+        ProblemClass.B: 400,
+        ProblemClass.C: 400,
+        ProblemClass.D: 500,
+    }
+
+    @classmethod
+    def default_workload(cls) -> PhasedWorkload:
+        return PhasedWorkload(
+            alpha=0.87,
+            awc=240.0,
+            awm=3.4,
+            bwc=4.0,
+            bwm=0.35,
+            chalo_m=6.0,
+            chalo_b=3.0,
+            n_allreduce=1,
+            niter=400,
+        )

@@ -1,0 +1,105 @@
+"""Aggregated access to every benchmark's analytic workload model.
+
+This module is the single lookup point used by benches and examples:
+``workload_for("FT", klass="B")`` returns a ready Θ2 model, and
+``benchmark_for("FT", klass="B")`` the full executable benchmark plus its
+problem size.  The headline trio (FT, EP, CG — the paper's §V case
+studies) and the whole-suite list (Fig. 3) are exported as constants.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.npb.base import NpbBenchmark, ProblemClass
+from repro.npb.cg import CgBenchmark, CgWorkload
+from repro.npb.ep import EpBenchmark, EpWorkload
+from repro.npb.ft import FtBenchmark, FtWorkload
+from repro.npb.suite import (
+    BtBenchmark,
+    IsBenchmark,
+    LuBenchmark,
+    MgBenchmark,
+    SpBenchmark,
+)
+
+#: the paper's three scalability case studies (§V-B)
+HEADLINE_BENCHMARKS = ("EP", "FT", "CG")
+
+#: the full suite used in the Dori validation (Fig. 3)
+SUITE_BENCHMARKS = ("EP", "FT", "CG", "IS", "MG", "LU", "BT", "SP")
+
+_REGISTRY: dict[str, type[NpbBenchmark]] = {
+    "EP": EpBenchmark,
+    "FT": FtBenchmark,
+    "CG": CgBenchmark,
+    "IS": IsBenchmark,
+    "MG": MgBenchmark,
+    "LU": LuBenchmark,
+    "BT": BtBenchmark,
+    "SP": SpBenchmark,
+}
+
+
+def benchmark_names() -> tuple[str, ...]:
+    """All registered benchmark names."""
+    return tuple(_REGISTRY)
+
+
+def benchmark_class(name: str) -> type[NpbBenchmark]:
+    """The benchmark class registered under ``name``."""
+    try:
+        return _REGISTRY[name.upper()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown NPB benchmark {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def benchmark_for(
+    name: str,
+    klass: ProblemClass | str = ProblemClass.B,
+    niter: int | None = None,
+) -> tuple[NpbBenchmark, float]:
+    """(benchmark, n) for a named benchmark at an NPB class.
+
+    ``niter`` overrides the class's iteration count — validation harnesses
+    use this to time-sample long-running codes (model and kernel stay
+    consistent because both read the workload's ``niter``).
+    """
+    cls = benchmark_class(name)
+    if name.upper() == "EP":
+        if niter is not None and niter != 1:
+            raise ConfigurationError("EP has no iteration structure")
+        return cls.for_class(klass)  # type: ignore[attr-defined]
+    return cls.for_class(klass, niter=niter)  # type: ignore[attr-defined]
+
+
+def workload_for(
+    name: str,
+    klass: ProblemClass | str = ProblemClass.B,
+    niter: int | None = None,
+):
+    """Just the analytic Θ2 model (with its problem size) for a benchmark."""
+    bench, n = benchmark_for(name, klass, niter)
+    return bench.workload, n
+
+
+__all__ = [
+    "HEADLINE_BENCHMARKS",
+    "SUITE_BENCHMARKS",
+    "benchmark_names",
+    "benchmark_class",
+    "benchmark_for",
+    "workload_for",
+    "FtWorkload",
+    "EpWorkload",
+    "CgWorkload",
+    "FtBenchmark",
+    "EpBenchmark",
+    "CgBenchmark",
+    "IsBenchmark",
+    "MgBenchmark",
+    "LuBenchmark",
+    "BtBenchmark",
+    "SpBenchmark",
+]

@@ -1,0 +1,31 @@
+"""PowerPack analog: component-level power profiling of simulated runs.
+
+PowerPack (Ge et al., IEEE TPDS 2009) pairs direct hardware power
+measurement with software that "automatically collects, processes and
+synchronizes power data with system load".  This subpackage does the same
+for the discrete-event simulator: it converts a run's activity timeline
+into per-node, per-component power traces (cpu / memory / io /
+motherboard), integrates them into energies, and decomposes them into the
+idle-state and active-state areas shaded in the paper's Figure 10.
+"""
+
+from repro.powerpack.profile import ComponentSeries, PowerProfile
+from repro.powerpack.profiler import PowerProfiler
+from repro.powerpack.analysis import (
+    Figure10Decomposition,
+    component_energy_breakdown,
+    figure10_decomposition,
+)
+from repro.powerpack.io import profile_from_json, profile_to_csv, profile_to_json
+
+__all__ = [
+    "ComponentSeries",
+    "PowerProfile",
+    "PowerProfiler",
+    "Figure10Decomposition",
+    "component_energy_breakdown",
+    "figure10_decomposition",
+    "profile_from_json",
+    "profile_to_csv",
+    "profile_to_json",
+]

@@ -1,0 +1,126 @@
+"""Energy analysis of power profiles — the Figure-10 decomposition.
+
+Figure 10 of the paper shades each component's power trace into a lower
+idle-state area (``α·T·(P_idle)``) and an upper active area
+(``W·t·ΔP``).  :func:`figure10_decomposition` computes both areas per
+component from a profile, which is exactly the decomposition Eq. (9) sums.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.cluster import Cluster
+from repro.errors import MeasurementError
+from repro.powerpack.profile import COMPONENTS, PowerProfile
+from repro.simmpi.engine import SimResult
+
+
+@dataclass(frozen=True)
+class Figure10Decomposition:
+    """Idle vs. active energy areas per component (joules)."""
+
+    idle: dict[str, float]
+    active: dict[str, float]
+
+    @property
+    def total_idle(self) -> float:
+        return sum(self.idle.values())
+
+    @property
+    def total_active(self) -> float:
+        return sum(self.active.values())
+
+    @property
+    def total(self) -> float:
+        return self.total_idle + self.total_active
+
+    def rows(self) -> list[tuple[str, float, float]]:
+        """(component, idle J, active J) in Fig.-10 legend order."""
+        return [(c, self.idle.get(c, 0.0), self.active.get(c, 0.0)) for c in COMPONENTS]
+
+
+def figure10_decomposition(
+    profile: PowerProfile, cluster: Cluster, result: SimResult
+) -> Figure10Decomposition:
+    """Split each component's measured energy into idle and active areas.
+
+    The idle area is ``duration × Σ P_idle`` over used nodes (the region
+    below the dashed idle line in Fig. 10); the active area is the exact
+    component energy minus that floor (the shaded region above it).
+    """
+    nodes_used = sorted({s.node for s in result.segments})
+    if not nodes_used:
+        raise MeasurementError("run produced no activity segments")
+    idle: dict[str, float] = {c: 0.0 for c in COMPONENTS}
+    for node in nodes_used:
+        pw = cluster.nodes[node].power
+        idle["cpu"] += pw.cpu.p_idle * profile.duration
+        idle["memory"] += pw.memory.p_idle * profile.duration
+        idle["io"] += pw.io.p_idle * profile.duration
+        idle["motherboard"] += pw.others * profile.duration
+    active = {
+        c: max(profile.exact_component_energy.get(c, 0.0) - idle[c], 0.0)
+        for c in COMPONENTS
+    }
+    return Figure10Decomposition(idle=idle, active=active)
+
+
+def component_energy_breakdown(profile: PowerProfile) -> dict[str, float]:
+    """Exact energy per component plus the total (joules)."""
+    out = dict(profile.exact_component_energy)
+    out["total"] = profile.exact_energy
+    return out
+
+
+def average_power(profile: PowerProfile) -> float:
+    """Mean system power over the run (watts)."""
+    if profile.duration <= 0:
+        raise MeasurementError("profile has zero duration")
+    return profile.exact_energy / profile.duration
+
+
+def energy_delay_product(profile: PowerProfile) -> float:
+    """EDP = E·T, a common HPC energy-performance figure of merit."""
+    return profile.exact_energy * profile.duration
+
+
+def peak_power(profile: PowerProfile) -> float:
+    """Maximum sampled whole-system power (watts).
+
+    The quantity a facility breaker or rack PDU actually enforces —
+    power-cap planning (repro.core.powercap) bounds *average* power, so
+    comparing the two shows the headroom bursty codes need.
+    """
+    _, watts = profile.total_power_series()
+    return float(watts.max())
+
+
+def power_headroom_ratio(profile: PowerProfile) -> float:
+    """Peak over average power: 1.0 = perfectly flat draw.
+
+    Facilities provision for peak; energy bills follow average.  High
+    ratios mean capping to average would throttle the bursts.
+    """
+    avg = average_power(profile)
+    if avg <= 0:
+        raise MeasurementError("average power is zero")
+    return peak_power(profile) / avg
+
+
+def sustained_power_above(profile: PowerProfile, threshold: float) -> float:
+    """Seconds the system power exceeds ``threshold`` watts.
+
+    Used by power-cap validation: a configuration chosen for a cap
+    should spend ~no time above it.
+    """
+    if threshold < 0:
+        raise MeasurementError("threshold must be >= 0")
+    times, watts = profile.total_power_series()
+    if len(times) < 2:
+        raise MeasurementError("need at least two samples")
+    total = 0.0
+    for i in range(len(times) - 1):
+        if watts[i] > threshold:
+            total += times[i + 1] - times[i]
+    return total

@@ -1,0 +1,71 @@
+"""Profile persistence: CSV for spreadsheets, JSON for round-trips."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import MeasurementError
+from repro.powerpack.profile import ComponentSeries, PowerProfile
+
+
+def profile_to_csv(profile: PowerProfile, path: str | Path) -> None:
+    """Write the sampled traces as long-form CSV: time,node,component,watts."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["time_s", "node", "component", "watts"])
+        for s in profile.series:
+            for t, w in zip(s.times, s.watts):
+                writer.writerow([f"{t:.6f}", s.node, s.component, f"{w:.4f}"])
+
+
+def profile_to_json(profile: PowerProfile, path: str | Path) -> None:
+    """Write a lossless JSON representation (including exact energies)."""
+    path = Path(path)
+    doc = {
+        "label": profile.label,
+        "duration": profile.duration,
+        "exact_component_energy": profile.exact_component_energy,
+        "phase_marks": [[t, name] for t, name in profile.phase_marks],
+        "series": [
+            {
+                "node": s.node,
+                "component": s.component,
+                "times": s.times.tolist(),
+                "watts": s.watts.tolist(),
+            }
+            for s in profile.series
+        ],
+    }
+    path.write_text(json.dumps(doc))
+
+
+def profile_from_json(path: str | Path) -> PowerProfile:
+    """Load a profile written by :func:`profile_to_json`."""
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise MeasurementError(f"cannot load profile from {path}: {exc}") from exc
+    series = [
+        ComponentSeries(
+            node=int(s["node"]),
+            component=s["component"],
+            times=np.asarray(s["times"], dtype=float),
+            watts=np.asarray(s["watts"], dtype=float),
+        )
+        for s in doc["series"]
+    ]
+    return PowerProfile(
+        duration=float(doc["duration"]),
+        series=series,
+        exact_component_energy={
+            k: float(v) for k, v in doc["exact_component_energy"].items()
+        },
+        phase_marks=[(float(t), str(n)) for t, n in doc["phase_marks"]],
+        label=doc.get("label", ""),
+    )

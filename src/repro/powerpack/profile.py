@@ -1,0 +1,109 @@
+"""PowerProfile: the time-synchronized power record of one run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import MeasurementError
+
+#: Component names in reporting order (matches Fig. 10's legend).
+COMPONENTS = ("cpu", "memory", "io", "motherboard")
+
+
+@dataclass
+class ComponentSeries:
+    """Sampled power of one component on one node."""
+
+    node: int
+    component: str
+    times: np.ndarray  # seconds, shared grid
+    watts: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.component not in COMPONENTS:
+            raise MeasurementError(
+                f"unknown component {self.component!r}; expected {COMPONENTS}"
+            )
+        if self.times.shape != self.watts.shape:
+            raise MeasurementError("times and watts must align")
+        if len(self.times) and np.any(np.diff(self.times) < 0):
+            raise MeasurementError("sample times must be non-decreasing")
+
+    def energy(self) -> float:
+        """Trapezoidal energy of the sampled series (joules)."""
+        if len(self.times) < 2:
+            raise MeasurementError("need at least two samples to integrate")
+        return float(np.trapezoid(self.watts, self.times))
+
+
+@dataclass
+class PowerProfile:
+    """All component series of a run plus exact (unsampled) energies.
+
+    ``exact_energy`` integrates the activity timeline analytically and is
+    what validation experiments treat as "measured energy" — sampling can
+    then be as coarse as a real meter without biasing validation.
+    """
+
+    duration: float
+    series: list[ComponentSeries]
+    exact_component_energy: dict[str, float]
+    phase_marks: list[tuple[float, str]] = field(default_factory=list)
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise MeasurementError("duration must be >= 0")
+        for name in self.exact_component_energy:
+            if name not in COMPONENTS:
+                raise MeasurementError(f"unknown component {name!r}")
+
+    # -- energies ---------------------------------------------------------------
+
+    @property
+    def exact_energy(self) -> float:
+        """Total measured energy (joules), exact integration."""
+        return sum(self.exact_component_energy.values())
+
+    def sampled_energy(self, component: str | None = None) -> float:
+        """Energy from the sampled traces (what a physical meter reports)."""
+        total = 0.0
+        found = False
+        for s in self.series:
+            if component is None or s.component == component:
+                total += s.energy()
+                found = True
+        if not found:
+            raise MeasurementError(f"no series for component {component!r}")
+        return total
+
+    # -- views -------------------------------------------------------------------
+
+    def nodes(self) -> list[int]:
+        return sorted({s.node for s in self.series})
+
+    def node_series(self, node: int, component: str) -> ComponentSeries:
+        for s in self.series:
+            if s.node == node and s.component == component:
+                return s
+        raise MeasurementError(f"no series for node {node} / {component!r}")
+
+    def system_series(self, component: str) -> ComponentSeries:
+        """Component power summed over all nodes, on the shared grid."""
+        parts = [s for s in self.series if s.component == component]
+        if not parts:
+            raise MeasurementError(f"no series for component {component!r}")
+        watts = np.sum([s.watts for s in parts], axis=0)
+        return ComponentSeries(
+            node=-1, component=component, times=parts[0].times, watts=watts
+        )
+
+    def total_power_series(self) -> tuple[np.ndarray, np.ndarray]:
+        """(times, watts) of whole-system power — the PDU's view."""
+        times = self.series[0].times
+        watts = np.zeros_like(times)
+        for s in self.series:
+            watts = watts + s.watts
+        return times, watts

@@ -1,0 +1,148 @@
+"""Convert a simulated run's activity timeline into power traces.
+
+The attribution rule mirrors the energy model's Eq. (9): every used node
+draws its component idle powers for the whole run; a segment with
+``cpu_active`` active-seconds adds ``cpu_active · ΔPc_share`` joules of CPU
+energy, smeared uniformly over the segment's wall interval (which is how a
+physical meter sees overlapped work).  ``ΔP_share`` divides a node's
+component ΔP among the ranks placed on it, so co-located ranks cannot
+double-count the package power.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.errors import MeasurementError
+from repro.powerpack.profile import COMPONENTS, ComponentSeries, PowerProfile
+from repro.simmpi.engine import SimResult
+
+
+class PowerProfiler:
+    """Attach PowerPack-style measurement to simulated runs.
+
+    Parameters
+    ----------
+    cluster:
+        The cluster the run executed on (provides component power levels).
+    sample_period:
+        Meter sampling period in seconds.  PowerPack samples at tens of Hz;
+        the default 0.05 s ≈ 20 Hz.
+    meter_sigma:
+        Relative gaussian noise on sampled readings (instrument error).
+        Exact energies are never noised — they represent the ground truth
+        the instrument approximates.
+    seed:
+        Seed for the instrument-noise stream.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        sample_period: float = 0.05,
+        meter_sigma: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if sample_period <= 0:
+            raise MeasurementError("sample_period must be positive")
+        if meter_sigma < 0:
+            raise MeasurementError("meter_sigma must be >= 0")
+        self.cluster = cluster
+        self.sample_period = sample_period
+        self.meter_sigma = meter_sigma
+        self._rng = np.random.default_rng(seed)
+
+    # -----------------------------------------------------------------------------
+
+    def profile(self, result: SimResult, label: str = "") -> PowerProfile:
+        """Measure a finished run: exact energies + sampled traces."""
+        duration = result.total_time
+        if duration <= 0:
+            raise MeasurementError("cannot profile a zero-length run")
+        nodes_used = sorted({s.node for s in result.segments}) or [0]
+        ppn = result.config.procs_per_node
+
+        # --- exact per-component energies ------------------------------------
+        exact = self.exact_component_energies(result)
+
+        # --- sampled traces ----------------------------------------------------
+        n_samples = max(2, int(np.ceil(duration / self.sample_period)) + 1)
+        times = np.linspace(0.0, duration, n_samples)
+        series: list[ComponentSeries] = []
+        for node in nodes_used:
+            pw = self.cluster.nodes[node].power
+            grids = {
+                "cpu": np.full(n_samples, pw.cpu.p_idle),
+                "memory": np.full(n_samples, pw.memory.p_idle),
+                "io": np.full(n_samples, pw.io.p_idle),
+                "motherboard": np.full(n_samples, pw.others),
+            }
+            for seg in result.segments:
+                if seg.node != node or seg.duration <= 0:
+                    continue
+                # index range of samples inside [t0, t1) — O(log n) per segment
+                lo = int(np.searchsorted(times, seg.t0, side="left"))
+                hi = int(np.searchsorted(times, seg.t1, side="left"))
+                if hi <= lo:
+                    continue
+                d = seg.duration
+                grids["cpu"][lo:hi] += seg.cpu_active / d * pw.cpu.delta_p / ppn
+                grids["memory"][lo:hi] += seg.mem_active / d * pw.memory.delta_p / ppn
+                grids["io"][lo:hi] += seg.io_active / d * pw.io.delta_p / ppn
+            for comp, watts in grids.items():
+                if self.meter_sigma > 0:
+                    watts = watts * (
+                        1.0 + self._rng.normal(0.0, self.meter_sigma, n_samples)
+                    )
+                    watts = np.maximum(watts, 0.0)
+                series.append(
+                    ComponentSeries(
+                        node=node, component=comp, times=times, watts=watts
+                    )
+                )
+
+        phase_marks = _phase_marks(result)
+        return PowerProfile(
+            duration=duration,
+            series=series,
+            exact_component_energy=exact,
+            phase_marks=phase_marks,
+            label=label,
+        )
+
+    def measure_energy(self, result: SimResult) -> float:
+        """Exact measured energy (joules) of a run, skipping trace sampling."""
+        return sum(self.exact_component_energies(result).values())
+
+    def exact_component_energies(self, result: SimResult) -> dict[str, float]:
+        """Exact per-component energies without building sampled traces."""
+        duration = result.total_time
+        if duration <= 0:
+            raise MeasurementError("cannot profile a zero-length run")
+        nodes_used = sorted({s.node for s in result.segments}) or [0]
+        ppn = result.config.procs_per_node
+        exact = {c: 0.0 for c in COMPONENTS}
+        for node in nodes_used:
+            pw = self.cluster.nodes[node].power
+            exact["cpu"] += pw.cpu.p_idle * duration
+            exact["memory"] += pw.memory.p_idle * duration
+            exact["io"] += pw.io.p_idle * duration
+            exact["motherboard"] += pw.others * duration
+        for seg in result.segments:
+            pw = self.cluster.nodes[seg.node].power
+            exact["cpu"] += seg.cpu_active * pw.cpu.delta_p / ppn
+            exact["memory"] += seg.mem_active * pw.memory.delta_p / ppn
+            exact["io"] += seg.io_active * pw.io.delta_p / ppn
+        return exact
+
+
+def _phase_marks(result: SimResult) -> list[tuple[float, str]]:
+    """First entry time of each phase on rank 0 (annotation for plots)."""
+    marks: list[tuple[float, str]] = []
+    seen: set[str] = set()
+    for seg in sorted(result.segments, key=lambda s: s.t0):
+        if seg.rank == 0 and seg.phase and seg.phase not in seen:
+            seen.add(seg.phase)
+            marks.append((seg.t0, seg.phase))
+    return marks

@@ -1,0 +1,33 @@
+"""Discrete-event MPI simulator.
+
+Stands in for MPICH2 over InfiniBand/Ethernet on the paper's testbeds.
+Rank programs are Python generators driving a :class:`~repro.simmpi.engine.
+SimEngine`; point-to-point transfers follow the Hockney model of the
+cluster's interconnect, and collectives are implemented *as message
+patterns* (pairwise-exchange all-to-all, recursive-doubling allreduce,
+binomial broadcast, dissemination barrier) so that a PMPI-style tracer
+observes exactly the message counts (M) and byte volumes (B) the paper's
+analytic communication models predict.
+
+The engine also emits a per-rank activity timeline (compute / memory /
+network / IO / idle-wait active-seconds per segment) which is what the
+PowerPack profiler analog integrates into component power traces.
+"""
+
+from repro.simmpi.engine import SimConfig, SimEngine, SimResult
+from repro.simmpi.program import RankContext, Segment
+from repro.simmpi.noise import NoiseModel
+from repro.simmpi.trace import CommTrace, PhaseStats
+from repro.simmpi import collectives
+
+__all__ = [
+    "SimConfig",
+    "SimEngine",
+    "SimResult",
+    "RankContext",
+    "Segment",
+    "NoiseModel",
+    "CommTrace",
+    "PhaseStats",
+    "collectives",
+]

@@ -1,0 +1,339 @@
+"""MPI collectives implemented as point-to-point message patterns.
+
+The paper estimates FT's MPI_Alltoall with the *pairwise exchange /
+Hockney* model (§V-B-1, citing Pjesivac-Grbovic et al. and Thakur):
+
+    T_alltoall = (p − 1)·ts + (p − 1)·m·tw
+
+Implementing the collectives as real message patterns (rather than closed
+forms) means the tracer counts M and B from actual traffic, the congestion
+model applies, and alternative algorithms (Bruck, spread) are one flag away
+— which is what the ablation bench compares.
+
+All functions are generators over a :class:`RankContext`; drive them with
+``yield from``.  Tags are derived from a per-collective base so back-to-back
+collectives never cross-match.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from repro.errors import RankError
+from repro.simmpi.program import Op, RankContext, RecvPost, SendPost
+
+# Tag bases keep distinct collectives (and their rounds) on distinct
+# channels.  Round index is added to the base; user point-to-point traffic
+# should stay below _TAG_BASE.
+_TAG_BASE = 1 << 20
+_TAG_STRIDE = 1 << 12
+
+
+def _round_tag(collective_id: int, rnd: int) -> int:
+    return _TAG_BASE + collective_id * _TAG_STRIDE + rnd
+
+
+def barrier(ctx: RankContext) -> Iterator[Op]:
+    """Dissemination barrier: ⌈log2 p⌉ rounds of 0-byte exchanges."""
+    p = ctx.size
+    if p == 1:
+        return
+    rounds = math.ceil(math.log2(p))
+    for k in range(rounds):
+        dist = 1 << k
+        dst = (ctx.rank + dist) % p
+        src = (ctx.rank - dist) % p
+        yield from ctx.exchange(dst=dst, src=src, nbytes=0, tag=_round_tag(0, k))
+
+
+def bcast(ctx: RankContext, nbytes: int, root: int = 0) -> Iterator[Op]:
+    """Binomial-tree broadcast: ⌈log2 p⌉ rounds, p−1 messages total."""
+    p = ctx.size
+    _check_root(root, p)
+    if p == 1 or nbytes < 0:
+        if nbytes < 0:
+            raise RankError("nbytes must be non-negative")
+        return
+    vrank = (ctx.rank - root) % p  # virtual rank: root becomes 0
+    rounds = math.ceil(math.log2(p))
+    # ascending binomial tree: in round k every vrank < 2^k forwards to
+    # vrank + 2^k, so the set of data holders doubles each round
+    for k in range(rounds):
+        dist = 1 << k
+        if vrank < dist:
+            partner_v = vrank + dist
+            if partner_v < p:
+                dst = (partner_v + root) % p
+                yield from ctx.send(dst=dst, nbytes=nbytes, tag=_round_tag(1, k))
+        elif vrank < (dist << 1):
+            src = (vrank - dist + root) % p
+            yield from ctx.recv(src=src, tag=_round_tag(1, k))
+
+
+def reduce(ctx: RankContext, nbytes: int, root: int = 0) -> Iterator[Op]:
+    """Binomial-tree reduction toward ``root``: mirror image of bcast."""
+    p = ctx.size
+    _check_root(root, p)
+    if p == 1:
+        return
+    vrank = (ctx.rank - root) % p
+    rounds = math.ceil(math.log2(p))
+    alive = True
+    for k in range(rounds):
+        dist = 1 << k
+        if not alive:
+            break
+        if (vrank % (dist << 1)) == 0:
+            partner_v = vrank + dist
+            if partner_v < p:
+                src = (partner_v + root) % p
+                yield from ctx.recv(src=src, tag=_round_tag(2, k))
+        else:
+            dst = (vrank - dist + root) % p
+            yield from ctx.send(dst=dst, nbytes=nbytes, tag=_round_tag(2, k))
+            alive = False
+
+
+def allreduce(ctx: RankContext, nbytes: int) -> Iterator[Op]:
+    """Allreduce.
+
+    Power-of-two sizes use recursive doubling (log2 p rounds of pairwise
+    exchanges); other sizes fall back to binomial reduce + broadcast, the
+    standard MPICH fallback shape.
+    """
+    p = ctx.size
+    if p == 1:
+        return
+    if p & (p - 1) == 0:  # power of two
+        rounds = p.bit_length() - 1
+        for k in range(rounds):
+            partner = ctx.rank ^ (1 << k)
+            yield from ctx.exchange(
+                dst=partner, src=partner, nbytes=nbytes, tag=_round_tag(3, k)
+            )
+    else:
+        yield from reduce(ctx, nbytes=nbytes, root=0)
+        yield from bcast(ctx, nbytes=nbytes, root=0)
+
+
+def scatter(ctx: RankContext, nbytes_per_rank: int, root: int = 0) -> Iterator[Op]:
+    """Linear scatter: the root sends each rank its block (p−1 messages).
+
+    MPICH uses binomial scatters for large p, but NPB-era codes scatter
+    rarely and small; the linear form keeps the closed form obvious.
+    """
+    p = ctx.size
+    _check_root(root, p)
+    if nbytes_per_rank < 0:
+        raise RankError("nbytes_per_rank must be non-negative")
+    if p == 1:
+        return
+    if ctx.rank == root:
+        posts: list[SendPost | RecvPost] = [
+            SendPost(dst=r, nbytes=nbytes_per_rank, tag=_round_tag(8, 0))
+            for r in range(p)
+            if r != root
+        ]
+        yield from ctx.post(posts, label="scatter-root")
+    else:
+        yield from ctx.recv(src=root, tag=_round_tag(8, 0))
+
+
+def gather(ctx: RankContext, nbytes_per_rank: int, root: int = 0) -> Iterator[Op]:
+    """Linear gather: every rank sends its block to the root."""
+    p = ctx.size
+    _check_root(root, p)
+    if nbytes_per_rank < 0:
+        raise RankError("nbytes_per_rank must be non-negative")
+    if p == 1:
+        return
+    if ctx.rank == root:
+        posts: list[SendPost | RecvPost] = [
+            RecvPost(src=r, tag=_round_tag(9, 0)) for r in range(p) if r != root
+        ]
+        yield from ctx.post(posts, label="gather-root")
+    else:
+        yield from ctx.send(dst=root, nbytes=nbytes_per_rank, tag=_round_tag(9, 0))
+
+
+def scatter_message_count(p: int) -> int:
+    """Messages generated by one linear scatter (or gather): p − 1."""
+    if p < 1:
+        raise RankError("p must be >= 1")
+    return p - 1
+
+
+def gather_message_count(p: int) -> int:
+    """Messages generated by one linear gather: p − 1."""
+    return scatter_message_count(p)
+
+
+def allgather(ctx: RankContext, nbytes_per_rank: int) -> Iterator[Op]:
+    """Ring allgather: p−1 rounds forwarding one block to the right."""
+    p = ctx.size
+    if p == 1:
+        return
+    right = (ctx.rank + 1) % p
+    left = (ctx.rank - 1) % p
+    for k in range(p - 1):
+        yield from ctx.exchange(
+            dst=right, src=left, nbytes=nbytes_per_rank, tag=_round_tag(4, k)
+        )
+
+
+def alltoall(
+    ctx: RankContext, nbytes_per_pair: int, algorithm: str = "pairwise"
+) -> Iterator[Op]:
+    """All-to-all personalized exchange.
+
+    Algorithms:
+
+    * ``"pairwise"`` — the paper's model: p−1 rounds, in round k every rank
+      exchanges its block with partner ``(rank ± k) mod p``.  Per rank:
+      ``(p−1)·(ts + m·tw)``; totals M = p(p−1), B = p(p−1)·m.
+    * ``"bruck"`` — ⌈log2 p⌉ rounds of bulk exchanges (~p/2 blocks each):
+      fewer start-ups, more bytes moved; wins for tiny messages.
+    * ``"spread"`` — every rank posts all p−1 sends and receives at once;
+      one logical step, but the congestion model charges the fan-in.
+    """
+    p = ctx.size
+    if nbytes_per_pair < 0:
+        raise RankError("nbytes_per_pair must be non-negative")
+    if p == 1:
+        return
+    if algorithm == "pairwise":
+        for k in range(1, p):
+            dst = (ctx.rank + k) % p
+            src = (ctx.rank - k) % p
+            yield from ctx.exchange(
+                dst=dst, src=src, nbytes=nbytes_per_pair, tag=_round_tag(5, k)
+            )
+    elif algorithm == "bruck":
+        rounds = math.ceil(math.log2(p))
+        for k in range(rounds):
+            dist = 1 << k
+            # blocks whose k-th index bit is set travel this round
+            nblocks = sum(1 for b in range(1, p) if b & dist)
+            dst = (ctx.rank + dist) % p
+            src = (ctx.rank - dist) % p
+            yield from ctx.exchange(
+                dst=dst,
+                src=src,
+                nbytes=nblocks * nbytes_per_pair,
+                tag=_round_tag(6, k),
+            )
+    elif algorithm == "spread":
+        posts: list[SendPost | RecvPost] = []
+        for k in range(1, p):
+            dst = (ctx.rank + k) % p
+            src = (ctx.rank - k) % p
+            posts.append(SendPost(dst=dst, nbytes=nbytes_per_pair, tag=_round_tag(7, k)))
+            posts.append(RecvPost(src=src, tag=_round_tag(7, k)))
+        yield from ctx.post(posts, label="alltoall-spread")
+    else:
+        raise RankError(
+            f"unknown alltoall algorithm {algorithm!r}; "
+            "choose pairwise | bruck | spread"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Closed-form cost predictions (for tests and the analytic model)
+# ---------------------------------------------------------------------------
+
+
+def alltoall_message_count(p: int, algorithm: str = "pairwise") -> int:
+    """Total messages M generated by one all-to-all among p ranks."""
+    if p < 1:
+        raise RankError("p must be >= 1")
+    if p == 1:
+        return 0
+    if algorithm == "pairwise" or algorithm == "spread":
+        return p * (p - 1)
+    if algorithm == "bruck":
+        return p * math.ceil(math.log2(p))
+    raise RankError(f"unknown alltoall algorithm {algorithm!r}")
+
+
+def alltoall_byte_count(p: int, nbytes_per_pair: int, algorithm: str = "pairwise") -> int:
+    """Total bytes B generated by one all-to-all among p ranks."""
+    if p < 1:
+        raise RankError("p must be >= 1")
+    if p == 1:
+        return 0
+    if algorithm in ("pairwise", "spread"):
+        return p * (p - 1) * nbytes_per_pair
+    if algorithm == "bruck":
+        total_blocks = sum(
+            sum(1 for b in range(1, p) if b & (1 << k))
+            for k in range(math.ceil(math.log2(p)))
+        )
+        return p * total_blocks * nbytes_per_pair
+    raise RankError(f"unknown alltoall algorithm {algorithm!r}")
+
+
+def pairwise_alltoall_time(p: int, nbytes_per_pair: int, ts: float, tw: float) -> float:
+    """The paper's §V-B-1 closed form: T = (p−1)·ts + (p−1)·m·tw."""
+    if p < 1:
+        raise RankError("p must be >= 1")
+    if p == 1:
+        return 0.0
+    return (p - 1) * ts + (p - 1) * nbytes_per_pair * tw
+
+
+def bcast_message_count(p: int) -> int:
+    """Messages generated by one binomial broadcast: p − 1."""
+    if p < 1:
+        raise RankError("p must be >= 1")
+    return p - 1
+
+
+def reduce_message_count(p: int) -> int:
+    """Messages generated by one binomial reduction: p − 1."""
+    return bcast_message_count(p)
+
+
+def allreduce_message_count(p: int) -> int:
+    """Messages generated by one allreduce.
+
+    Recursive doubling for powers of two (p·log2 p exchanges → p·log2 p
+    messages since each exchange is a send+recv pair counted once per
+    direction... each of the log2 p rounds has p sends), otherwise
+    reduce+bcast (2(p−1)).
+    """
+    if p < 1:
+        raise RankError("p must be >= 1")
+    if p == 1:
+        return 0
+    if p & (p - 1) == 0:
+        return p * (p.bit_length() - 1)
+    return 2 * (p - 1)
+
+
+def allreduce_byte_count(p: int, nbytes: int) -> int:
+    """Bytes moved by one allreduce of an ``nbytes`` payload."""
+    return allreduce_message_count(p) * nbytes
+
+
+def allgather_message_count(p: int) -> int:
+    """Messages generated by one ring allgather: p·(p−1)."""
+    if p < 1:
+        raise RankError("p must be >= 1")
+    if p == 1:
+        return 0
+    return p * (p - 1)
+
+
+def barrier_message_count(p: int) -> int:
+    """Messages generated by one dissemination barrier: p·⌈log2 p⌉."""
+    if p < 1:
+        raise RankError("p must be >= 1")
+    if p == 1:
+        return 0
+    return p * math.ceil(math.log2(p))
+
+
+def _check_root(root: int, p: int) -> None:
+    if not (0 <= root < p):
+        raise RankError(f"root {root} out of range for size {p}")

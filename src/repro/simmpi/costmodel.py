@@ -1,0 +1,72 @@
+"""Communication cost model for the simulator.
+
+Point-to-point transfers follow the Hockney model of the cluster's
+interconnect (``ts + n·tw``), with three refinements the analytic model
+deliberately ignores — they are the source of genuine model-vs-measured
+disagreement in the validation experiments:
+
+* per-message stochastic jitter (retransmits, switch arbitration),
+* a congestion penalty growing with the number of concurrently active
+  transfers, and
+* cheaper intra-node transfers when multiple ranks share a node
+  (shared-memory transport).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.network import Interconnect
+from repro.errors import ConfigurationError
+from repro.simmpi.noise import NoiseModel
+
+
+@dataclass
+class CostModel:
+    """Transfer-time calculator.
+
+    Parameters
+    ----------
+    interconnect:
+        The fabric whose ``ts``/``tw`` drive inter-node transfers.
+    congestion_beta:
+        Slope of the congestion penalty: each transfer concurrently in
+        flight adds ``congestion_beta`` fractional slowdown.
+    intra_node_ts_factor, intra_node_tw_factor:
+        Multipliers applied to ts/tw for same-node transfers.
+    noise:
+        Per-message jitter source (``NoiseModel.quiet()`` disables it).
+    """
+
+    interconnect: Interconnect
+    congestion_beta: float = 0.0
+    intra_node_ts_factor: float = 0.2
+    intra_node_tw_factor: float = 0.1
+    noise: NoiseModel | None = None
+
+    def __post_init__(self) -> None:
+        if self.congestion_beta < 0:
+            raise ConfigurationError("congestion_beta must be >= 0")
+        if not (0 < self.intra_node_ts_factor <= 1):
+            raise ConfigurationError("intra_node_ts_factor must be in (0, 1]")
+        if not (0 < self.intra_node_tw_factor <= 1):
+            raise ConfigurationError("intra_node_tw_factor must be in (0, 1]")
+
+    def transfer_time(
+        self, nbytes: int, *, same_node: bool = False, concurrent: int = 0
+    ) -> float:
+        """Seconds to move ``nbytes`` with ``concurrent`` other live transfers."""
+        if nbytes < 0:
+            raise ConfigurationError("message size must be non-negative")
+        if concurrent < 0:
+            raise ConfigurationError("concurrent count must be >= 0")
+        ts = self.interconnect.ts
+        tw = self.interconnect.tw
+        if same_node:
+            ts *= self.intra_node_ts_factor
+            tw *= self.intra_node_tw_factor
+        base = ts + nbytes * tw
+        base *= 1.0 + self.congestion_beta * concurrent
+        if self.noise is not None:
+            base *= self.noise.network_factor()
+        return base

@@ -1,0 +1,369 @@
+"""The discrete-event simulation engine.
+
+Rank programs (generators yielding :mod:`repro.simmpi.program` operations)
+run against a :class:`~repro.cluster.cluster.Cluster`.  The engine advances
+each rank's virtual clock through compute and I/O operations immediately,
+blocks ranks on communication operations, and matches sends with receives
+using MPI ordering semantics (FIFO per (src, dst, tag) channel).  A matched
+transfer starts when both endpoints are ready and lasts according to the
+:class:`~repro.simmpi.costmodel.CostModel`.
+
+Outputs: per-rank :class:`~repro.simmpi.program.Segment` timelines (for the
+PowerPack profiler), a :class:`~repro.simmpi.trace.CommTrace` (M and B for
+calibration), and total wall-clock time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.cluster.cluster import Cluster
+from repro.errors import ConfigurationError, DeadlockError, RankError, SimulationError
+from repro.simmpi.costmodel import CostModel
+from repro.simmpi.noise import NoiseModel
+from repro.simmpi.program import (
+    CommOp,
+    ComputeOp,
+    IoOp,
+    Op,
+    PhaseMark,
+    RankContext,
+    Segment,
+    SendPost,
+    SleepOp,
+)
+from repro.simmpi.trace import CommTrace
+
+
+@dataclass
+class SimConfig:
+    """Knobs of one simulated execution.
+
+    Parameters
+    ----------
+    alpha:
+        Computational overlap factor applied to compute blocks (§VI-F):
+        a block of ``Tc + Tm`` theoretical seconds takes ``α·(Tc+Tm)``
+        wall seconds while still costing the full active energy.
+    procs_per_node:
+        MPI ranks placed on each node (block distribution).
+    noise:
+        Stochastic perturbation model; ``NoiseModel.quiet()`` for exact runs.
+    congestion_beta:
+        Congestion slope handed to the :class:`CostModel`.
+    cpi_factor:
+        Application-specific multiplier on the CPU's base CPI.  The paper
+        measures ``tc`` per application with Perfmon (gather-heavy codes
+        like CG stall far more than EP's tight arithmetic loop); kernels
+        carry their factor and the harness forwards it here so execution
+        and model use the same effective CPI.
+    """
+
+    alpha: float = 1.0
+    procs_per_node: int = 1
+    noise: NoiseModel = field(default_factory=NoiseModel.quiet)
+    congestion_beta: float = 0.0
+    cpi_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.alpha <= 1.0):
+            raise ConfigurationError(f"alpha must be in (0, 1], got {self.alpha}")
+        if self.procs_per_node < 1:
+            raise ConfigurationError("procs_per_node must be >= 1")
+        if self.cpi_factor <= 0:
+            raise ConfigurationError("cpi_factor must be positive")
+
+
+@dataclass
+class SimResult:
+    """Everything a simulated run produced."""
+
+    total_time: float
+    rank_times: list[float]
+    segments: list[Segment]
+    trace: CommTrace
+    size: int
+    nodes_used: int
+    config: SimConfig
+
+    def segments_for_rank(self, rank: int) -> list[Segment]:
+        return [s for s in self.segments if s.rank == rank]
+
+    def segments_for_node(self, node: int) -> list[Segment]:
+        return [s for s in self.segments if s.node == node]
+
+    def busy_seconds(self, kind: str | None = None) -> float:
+        """Total duration across ranks, optionally filtered by segment kind."""
+        return sum(
+            s.duration for s in self.segments if kind is None or s.kind == kind
+        )
+
+
+class _RankState:
+    __slots__ = (
+        "rank",
+        "node",
+        "gen",
+        "clock",
+        "status",
+        "pending_posts",
+        "completed_ends",
+        "blocked_at",
+        "phase",
+        "net_active_accum",
+    )
+
+    def __init__(self, rank: int, node: int, gen: Iterator[Op]) -> None:
+        self.rank = rank
+        self.node = node
+        self.gen = gen
+        self.clock = 0.0
+        self.status = "running"  # running | blocked | done
+        self.pending_posts: list = []
+        self.completed_ends: list[float] = []
+        self.blocked_at = 0.0
+        self.phase = ""
+        self.net_active_accum = 0.0
+
+
+class SimEngine:
+    """Run rank programs on a simulated cluster."""
+
+    def __init__(self, cluster: Cluster, config: SimConfig | None = None) -> None:
+        self.cluster = cluster
+        self.config = config or SimConfig()
+        self.cost = CostModel(
+            interconnect=cluster.interconnect,
+            congestion_beta=self.config.congestion_beta,
+            noise=None if _is_quiet(self.config.noise) else self.config.noise,
+        )
+
+    # -- placement ----------------------------------------------------------------
+
+    def node_of(self, rank: int) -> int:
+        return rank // self.config.procs_per_node
+
+    def max_ranks(self) -> int:
+        return len(self.cluster) * self.config.procs_per_node
+
+    # -- run ------------------------------------------------------------------------
+
+    def run(
+        self,
+        program: Callable[[RankContext], Iterator[Op]],
+        size: int,
+    ) -> SimResult:
+        """Execute ``size`` instances of ``program`` (SPMD) to completion."""
+        if size < 1:
+            raise ConfigurationError("need at least one rank")
+        if size > self.max_ranks():
+            raise ConfigurationError(
+                f"{size} ranks exceed capacity {self.max_ranks()} "
+                f"({len(self.cluster)} nodes × {self.config.procs_per_node} ppn)"
+            )
+
+        states = [
+            _RankState(rank=r, node=self.node_of(r), gen=program(RankContext(r, size)))
+            for r in range(size)
+        ]
+        segments: list[Segment] = []
+        trace = CommTrace()
+        # channel -> FIFO of (state, post) awaiting a partner
+        send_q: dict[tuple[int, int, int], deque] = {}
+        recv_q: dict[tuple[int, int, int], deque] = {}
+        # recently active transfers for the congestion estimate
+        live_transfers: list[tuple[float, float]] = []
+
+        def advance(st: _RankState) -> None:
+            """Run a rank until it blocks on comm or finishes."""
+            while True:
+                try:
+                    op = next(st.gen)
+                except StopIteration:
+                    st.status = "done"
+                    return
+                except RankError:
+                    raise
+                except Exception as exc:  # surface program bugs with context
+                    raise RankError(
+                        f"rank {st.rank} program raised: {exc!r}"
+                    ) from exc
+                if isinstance(op, PhaseMark):
+                    st.phase = op.name
+                elif isinstance(op, ComputeOp):
+                    self._apply_compute(st, op, segments)
+                elif isinstance(op, IoOp):
+                    segments.append(
+                        Segment(
+                            rank=st.rank,
+                            node=st.node,
+                            t0=st.clock,
+                            t1=st.clock + op.duration,
+                            kind="io",
+                            io_active=op.duration,
+                            phase=st.phase,
+                        )
+                    )
+                    st.clock += op.duration
+                elif isinstance(op, SleepOp):
+                    segments.append(
+                        Segment(
+                            rank=st.rank,
+                            node=st.node,
+                            t0=st.clock,
+                            t1=st.clock + op.duration,
+                            kind="wait",
+                            phase=st.phase,
+                        )
+                    )
+                    st.clock += op.duration
+                elif isinstance(op, CommOp):
+                    st.status = "blocked"
+                    st.blocked_at = st.clock
+                    st.pending_posts = list(op.posts)
+                    st.completed_ends = []
+                    st.net_active_accum = 0.0
+                    for post in op.posts:
+                        if isinstance(post, SendPost):
+                            key = (st.rank, post.dst, post.tag)
+                            send_q.setdefault(key, deque()).append((st, post))
+                        else:
+                            key = (post.src, st.rank, post.tag)
+                            recv_q.setdefault(key, deque()).append((st, post))
+                    return
+                else:  # pragma: no cover - exhaustive over Op
+                    raise SimulationError(f"unknown operation {op!r}")
+
+        def concurrent_at(t: float) -> int:
+            live_transfers[:] = [(s, e) for (s, e) in live_transfers if e > t]
+            return sum(1 for (s, e) in live_transfers if s <= t < e)
+
+        def match_all() -> bool:
+            """Complete every currently matchable transfer; True if any."""
+            matched_any = False
+            for key in list(send_q.keys()):
+                sq = send_q.get(key)
+                rq = recv_q.get(key)
+                while sq and rq:
+                    s_state, s_post = sq.popleft()
+                    r_state, r_post = rq.popleft()
+                    start = max(s_state.blocked_at, r_state.blocked_at)
+                    same_node = s_state.node == r_state.node
+                    dur = self.cost.transfer_time(
+                        s_post.nbytes,
+                        same_node=same_node,
+                        concurrent=concurrent_at(start),
+                    )
+                    end = start + dur
+                    live_transfers.append((start, end))
+                    trace.record_transfer(
+                        src=s_state.rank,
+                        dst=r_state.rank,
+                        nbytes=s_post.nbytes,
+                        seconds=dur,
+                        same_node=same_node,
+                        phase=s_state.phase,
+                    )
+                    for st, post in ((s_state, s_post), (r_state, r_post)):
+                        st.pending_posts.remove(post)
+                        st.completed_ends.append(end)
+                        st.net_active_accum += dur
+                    matched_any = True
+                if sq is not None and not sq:
+                    send_q.pop(key, None)
+                if rq is not None and not rq:
+                    recv_q.pop(key, None)
+            # unblock ranks whose posts all completed
+            for st in states:
+                if st.status == "blocked" and not st.pending_posts:
+                    end = max(st.completed_ends)
+                    segments.append(
+                        Segment(
+                            rank=st.rank,
+                            node=st.node,
+                            t0=st.blocked_at,
+                            t1=end,
+                            kind="comm",
+                            net_active=min(
+                                st.net_active_accum, end - st.blocked_at
+                            ),
+                            phase=st.phase,
+                        )
+                    )
+                    st.clock = end
+                    st.status = "running"
+            return matched_any
+
+        # main loop
+        while True:
+            progressed = False
+            for st in states:
+                if st.status == "running":
+                    advance(st)
+                    progressed = True
+            if match_all():
+                progressed = True
+            if all(st.status == "done" for st in states):
+                break
+            if not progressed:
+                blocked = [st.rank for st in states if st.status == "blocked"]
+                raise DeadlockError(
+                    f"no progress possible; blocked ranks: {blocked}"
+                )
+
+        total = max((st.clock for st in states), default=0.0)
+        return SimResult(
+            total_time=total,
+            rank_times=[st.clock for st in states],
+            segments=segments,
+            trace=trace,
+            size=size,
+            nodes_used=len({st.node for st in states}),
+            config=self.config,
+        )
+
+    # -- compute application ----------------------------------------------------------
+
+    def _apply_compute(
+        self, st: _RankState, op: ComputeOp, segments: list[Segment]
+    ) -> None:
+        node = self.cluster.nodes[st.node]
+        noise = self.config.noise
+        tc = (
+            node.cpu.tc()
+            * self.config.cpi_factor
+            * noise.node_cpu_factor(st.node)
+            * noise.compute_factor()
+        )
+        tm = node.memory.tm * noise.memory_factor()
+        t_cpu = op.instructions * tc
+        t_mem = op.mem_accesses * tm
+        wall = self.config.alpha * (t_cpu + t_mem)
+        wall += noise.os_preemption(wall)
+        segments.append(
+            Segment(
+                rank=st.rank,
+                node=st.node,
+                t0=st.clock,
+                t1=st.clock + wall,
+                kind="work",
+                cpu_active=t_cpu,
+                mem_active=t_mem,
+                instructions=op.instructions,
+                mem_ops=op.mem_accesses,
+                phase=st.phase,
+            )
+        )
+        st.clock += wall
+
+
+def _is_quiet(noise: NoiseModel) -> bool:
+    return (
+        noise.cpu_sigma == 0.0
+        and noise.mem_sigma == 0.0
+        and noise.net_sigma == 0.0
+        and noise.os_noise_rate == 0.0
+        and noise.mem_pattern_bias == 1.0
+    )

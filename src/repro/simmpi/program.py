@@ -1,0 +1,235 @@
+"""Rank program API and the activity timeline.
+
+A rank program is a generator function ``def program(ctx): ...`` that
+yields operation objects.  :class:`RankContext` provides the MPI-flavoured
+surface; every method is used with ``yield from`` so collectives composed
+of many point-to-point steps read naturally::
+
+    def program(ctx):
+        yield from ctx.compute(instructions=1e9, mem_accesses=1e7)
+        yield from ctx.exchange(dst=(ctx.rank+1) % ctx.size,
+                                src=(ctx.rank-1) % ctx.size,
+                                nbytes=65536)
+        yield from collectives.alltoall(ctx, nbytes_per_pair=4096)
+
+The engine translates operations into virtual time and records
+:class:`Segment` entries — the activity timeline PowerPack integrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import RankError
+
+
+# ---------------------------------------------------------------------------
+# Operations (internal protocol between programs and the engine)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ComputeOp:
+    """On-chip work plus off-chip accesses, overlappable per SimConfig.alpha."""
+
+    instructions: float
+    mem_accesses: float
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class IoOp:
+    """Blocking I/O of a fixed duration (the paper's flat I/O model)."""
+
+    duration: float
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class SleepOp:
+    """Pure idle time: the clock advances, nothing draws active power.
+
+    Used by measurement tools to observe a node's idle power floor and by
+    failure-injection tests to stagger ranks.
+    """
+
+    duration: float
+
+
+@dataclass(frozen=True)
+class SendPost:
+    dst: int
+    nbytes: int
+    tag: int
+
+
+@dataclass(frozen=True)
+class RecvPost:
+    src: int
+    tag: int
+
+
+@dataclass(frozen=True)
+class CommOp:
+    """A set of posted sends/recvs completed together (isend/irecv+waitall)."""
+
+    posts: tuple[SendPost | RecvPost, ...]
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class PhaseMark:
+    """Marks entry into a named phase (for the tracer's per-phase stats)."""
+
+    name: str
+
+
+Op = ComputeOp | IoOp | SleepOp | CommOp | PhaseMark
+
+
+# ---------------------------------------------------------------------------
+# Timeline segments (engine output)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One interval of a rank's activity timeline.
+
+    ``cpu_active``, ``mem_active``, ``net_active`` and ``io_active`` are
+    *active-seconds within the segment* — they may each be less than the
+    wall duration (waiting) and their sum may exceed it (overlap), which is
+    exactly how the model's energy accounting treats α (§VI-F).
+
+    ``instructions`` and ``mem_ops`` carry the exact operation counts of
+    work segments — what a hardware counter (the Perfmon analog) reads.
+    """
+
+    rank: int
+    node: int
+    t0: float
+    t1: float
+    kind: str  # "work" | "comm" | "wait" | "io"
+    cpu_active: float = 0.0
+    mem_active: float = 0.0
+    net_active: float = 0.0
+    io_active: float = 0.0
+    instructions: float = 0.0
+    mem_ops: float = 0.0
+    phase: str = ""
+
+    def __post_init__(self) -> None:
+        if self.t1 < self.t0:
+            raise RankError(f"segment ends before it starts: {self}")
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+
+# ---------------------------------------------------------------------------
+# RankContext
+# ---------------------------------------------------------------------------
+
+
+class RankContext:
+    """Per-rank handle passed to program generators."""
+
+    def __init__(self, rank: int, size: int) -> None:
+        if size < 1:
+            raise RankError("communicator size must be >= 1")
+        if not (0 <= rank < size):
+            raise RankError(f"rank {rank} out of range for size {size}")
+        self.rank = rank
+        self.size = size
+
+    # -- compute / io ---------------------------------------------------------
+
+    def compute(
+        self, instructions: float, mem_accesses: float = 0.0, label: str = ""
+    ) -> Iterator[Op]:
+        """Execute ``instructions`` on-chip ops and ``mem_accesses`` loads."""
+        if instructions < 0 or mem_accesses < 0:
+            raise RankError("work amounts must be non-negative")
+        if instructions == 0 and mem_accesses == 0:
+            return
+        yield ComputeOp(instructions=instructions, mem_accesses=mem_accesses, label=label)
+
+    def io(self, duration: float, label: str = "") -> Iterator[Op]:
+        """Block on I/O for ``duration`` seconds."""
+        if duration < 0:
+            raise RankError("io duration must be non-negative")
+        if duration == 0:
+            return
+        yield IoOp(duration=duration, label=label)
+
+    def sleep(self, duration: float) -> Iterator[Op]:
+        """Idle for ``duration`` seconds (no active power drawn)."""
+        if duration < 0:
+            raise RankError("sleep duration must be non-negative")
+        if duration == 0:
+            return
+        yield SleepOp(duration=duration)
+
+    # -- point-to-point ---------------------------------------------------------
+
+    def send(self, dst: int, nbytes: int, tag: int = 0) -> Iterator[Op]:
+        """Blocking send of ``nbytes`` to ``dst``."""
+        self._check_peer(dst)
+        self._check_bytes(nbytes)
+        yield CommOp(posts=(SendPost(dst=dst, nbytes=nbytes, tag=tag),))
+
+    def recv(self, src: int, tag: int = 0) -> Iterator[Op]:
+        """Blocking receive from ``src``."""
+        self._check_peer(src)
+        yield CommOp(posts=(RecvPost(src=src, tag=tag),))
+
+    def exchange(
+        self, dst: int, src: int, nbytes: int, tag: int = 0
+    ) -> Iterator[Op]:
+        """MPI_Sendrecv: post a send to ``dst`` and a recv from ``src``.
+
+        Both complete before the rank continues; posting them together is
+        what makes pairwise-exchange patterns deadlock-free.
+        """
+        self._check_peer(dst)
+        self._check_peer(src)
+        self._check_bytes(nbytes)
+        yield CommOp(
+            posts=(
+                SendPost(dst=dst, nbytes=nbytes, tag=tag),
+                RecvPost(src=src, tag=tag),
+            )
+        )
+
+    def post(self, posts: list[SendPost | RecvPost], label: str = "") -> Iterator[Op]:
+        """Arbitrary isend/irecv set completed together (waitall)."""
+        if not posts:
+            return
+        for pst in posts:
+            if isinstance(pst, SendPost):
+                self._check_peer(pst.dst)
+                self._check_bytes(pst.nbytes)
+            else:
+                self._check_peer(pst.src)
+        yield CommOp(posts=tuple(posts), label=label)
+
+    # -- phases -----------------------------------------------------------------
+
+    def phase(self, name: str) -> Iterator[Op]:
+        """Mark the start of a named phase (per-phase tracer statistics)."""
+        yield PhaseMark(name=name)
+
+    # -- checks ------------------------------------------------------------------
+
+    def _check_peer(self, peer: int) -> None:
+        if not (0 <= peer < self.size):
+            raise RankError(f"peer {peer} out of range for size {self.size}")
+        if peer == self.rank:
+            raise RankError("self-messaging is not supported; copy locally")
+
+    @staticmethod
+    def _check_bytes(nbytes: int) -> None:
+        if nbytes < 0:
+            raise RankError("message size must be non-negative")

@@ -1,0 +1,79 @@
+"""Unit constants and conversion helpers.
+
+All quantities inside :mod:`repro` are stored in base SI units:
+
+* time    — seconds
+* power   — watts
+* energy  — joules
+* rate    — hertz (clock frequency), bytes/second (bandwidth)
+
+The constants here exist so call sites can say ``2.8 * GHZ`` or
+``latency=96 * NANO`` instead of sprinkling bare exponents around, and so
+tests can assert round-trips through the helpers.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# SI prefixes (scale factors relative to the base unit)
+# ---------------------------------------------------------------------------
+
+NANO = 1e-9
+MICRO = 1e-6
+MILLI = 1e-3
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+TERA = 1e12
+
+# Frequency
+HZ = 1.0
+KHZ = KILO
+MHZ = MEGA
+GHZ = GIGA
+
+# Time
+SECOND = 1.0
+MS = MILLI
+US = MICRO
+NS = NANO
+
+# Data sizes (binary for capacities, decimal for link rates — matching how
+# vendors quote DRAM capacity vs. network bandwidth)
+BYTE = 1
+KIB = 1024
+MIB = 1024**2
+GIB = 1024**3
+
+# Link rates are quoted in bits/second by vendors; we store bytes/second.
+BITS_PER_BYTE = 8
+
+
+def gbit_per_s(gbits: float) -> float:
+    """Convert a link rate quoted in Gbit/s to bytes/second."""
+    return gbits * GIGA / BITS_PER_BYTE
+
+
+def bytes_per_s_to_gbit(rate: float) -> float:
+    """Convert bytes/second back to Gbit/s (inverse of :func:`gbit_per_s`)."""
+    return rate * BITS_PER_BYTE / GIGA
+
+
+def seconds_to_ns(t: float) -> float:
+    """Express a duration in nanoseconds."""
+    return t / NANO
+
+
+def ns_to_seconds(t_ns: float) -> float:
+    """Express a nanosecond duration in seconds."""
+    return t_ns * NANO
+
+
+def joules_to_kwh(e: float) -> float:
+    """Express energy in kilowatt-hours (for operator-facing reports)."""
+    return e / 3.6e6
+
+
+def watts(power: float) -> float:
+    """Identity helper used for call-site readability."""
+    return float(power)

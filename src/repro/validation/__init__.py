@@ -1,0 +1,44 @@
+"""Model validation: calibrate Θ1/Θ2, run, measure, predict, compare.
+
+This subpackage implements the paper's Section IV methodology: machine
+parameters derived from microbenchmarks, application parameters from
+hardware counters and message traces, then total-energy predictions
+compared against PowerPack measurements — per benchmark (Fig. 3) and per
+parallelism level (Fig. 4).
+"""
+
+from repro.validation.calibration import (
+    CalibratedMachine,
+    calibrate_machine_params,
+    derive_machine_params,
+    fit_workload_scaling,
+    measure_app_params,
+)
+from repro.validation.harness import (
+    ValidationResult,
+    run_benchmark,
+    validate,
+    validate_suite,
+)
+from repro.validation.study import (
+    EfficiencyPoint,
+    efficiency_study,
+    error_by_parallelism,
+    mean_error_table,
+)
+
+__all__ = [
+    "CalibratedMachine",
+    "calibrate_machine_params",
+    "derive_machine_params",
+    "fit_workload_scaling",
+    "measure_app_params",
+    "ValidationResult",
+    "run_benchmark",
+    "validate",
+    "validate_suite",
+    "EfficiencyPoint",
+    "efficiency_study",
+    "error_by_parallelism",
+    "mean_error_table",
+]

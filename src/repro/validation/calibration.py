@@ -1,0 +1,232 @@
+"""Parameter calibration: derive Θ1 from measurement, Θ2 from counters.
+
+Two routes to the machine vector:
+
+* :func:`derive_machine_params` — read the cluster's specifications
+  directly (exact; used when the study's subject is the model itself).
+* :func:`calibrate_machine_params` — run the microbenchmark toolchain
+  (Perfmon CPI loop, lat_mem_rd, MPPTest, PowerPack idle/active runs)
+  and build Θ1 from the observations, measurement noise included — the
+  paper's §IV-B procedure.
+
+And one route to the application vector: :func:`measure_app_params` runs
+an instrumented benchmark, harvests counters and the PMPI trace, and
+returns the Θ2 a practitioner would obtain (vs. the analytic Θ2 a model
+builder writes down).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.core.parameters import AppParams, MachineParams
+from repro.errors import CalibrationError
+from repro.microbench.lmbench import estimate_tm
+from repro.microbench.mpptest import estimate_ts_tw
+from repro.microbench.perfmon import measure_counters, measure_cpi
+from repro.microbench.procstat import total_io_seconds
+from repro.powerpack.profiler import PowerProfiler
+from repro.simmpi.engine import SimConfig, SimEngine, SimResult
+from repro.simmpi.noise import NoiseModel
+
+
+def derive_machine_params(
+    cluster: Cluster,
+    cpi_factor: float = 1.0,
+    f: float | None = None,
+) -> MachineParams:
+    """Θ1 straight from the cluster's hardware description (exact)."""
+    node = cluster.head
+    if f is not None and abs(f - node.frequency) > 0.5:
+        node = node.at_frequency(f)
+    freq = node.frequency
+    cpi = node.cpu.base_cpi * cpi_factor
+    return MachineParams(
+        tc=cpi / freq,
+        tm=node.memory.tm,
+        ts=node.nic.ts,
+        tw=node.nic.tw,
+        delta_pc=node.power.cpu.delta_p,
+        delta_pm=node.power.memory.delta_p,
+        delta_pio=node.power.io.delta_p,
+        pc_idle=node.power.cpu.p_idle,
+        pm_idle=node.power.memory.p_idle,
+        pio_idle=node.power.io.p_idle,
+        p_others=node.power.others,
+        f=freq,
+        f_ref=node.cpu.power.f_ref,
+        gamma=node.cpu.power.gamma,
+        gamma_idle=node.cpu.power.gamma_idle,
+        cpi=cpi,
+    )
+
+
+@dataclass(frozen=True)
+class CalibratedMachine:
+    """Measured Θ1 plus the raw observations that produced it."""
+
+    params: MachineParams
+    measured_cpi: float
+    measured_tm: float
+    measured_ts: float
+    measured_tw: float
+    idle_power: dict[str, float]
+    delta_pc: float
+    delta_pm: float
+
+
+def calibrate_machine_params(
+    cluster: Cluster,
+    cpi_factor: float = 1.0,
+    seed: int = 0,
+    noise: NoiseModel | None = None,
+) -> CalibratedMachine:
+    """Θ1 via the full measurement toolchain (the paper's §IV-B).
+
+    Timing parameters come from the Perfmon CPI loop, the lat_mem_rd
+    sweep, and the MPPTest ping-pong fit.  Power levels come from three
+    PowerPack-profiled runs: a pure-idle run (component floors), a pure-
+    compute run (ΔPc), and a memory-stress run (ΔPm).
+    """
+    noise = noise or NoiseModel(seed=seed)
+    cpi, tc = measure_cpi(cluster, cpi_factor=cpi_factor, noise=noise)
+    tm = estimate_tm(cluster.head, seed=seed)
+    ts, tw = estimate_ts_tw(cluster, noise=noise)
+    profiler = PowerProfiler(cluster)
+
+    # --- idle floors -----------------------------------------------------------
+    def idle_prog(ctx):
+        yield from ctx.sleep(10.0)
+
+    idle_run = SimEngine(cluster, SimConfig()).run(idle_prog, size=1)
+    idle_e = profiler.exact_component_energies(idle_run)
+    t = idle_run.total_time
+    idle_power = {comp: e / t for comp, e in idle_e.items()}
+
+    # --- ΔPc from a compute-bound run -------------------------------------------
+    def compute_prog(ctx):
+        yield from ctx.compute(instructions=2e9, mem_accesses=0.0)
+
+    crun = SimEngine(
+        cluster, SimConfig(cpi_factor=cpi_factor, noise=noise)
+    ).run(compute_prog, size=1)
+    ce = profiler.exact_component_energies(crun)
+    cpu_active = sum(s.cpu_active for s in crun.segments)
+    if cpu_active <= 0:
+        raise CalibrationError("compute calibration produced no CPU activity")
+    delta_pc = (ce["cpu"] - idle_power["cpu"] * crun.total_time) / cpu_active
+
+    # --- ΔPm from a memory-bound run ----------------------------------------------
+    def memory_prog(ctx):
+        yield from ctx.compute(instructions=1e6, mem_accesses=2e7)
+
+    mrun = SimEngine(cluster, SimConfig(noise=noise)).run(memory_prog, size=1)
+    me = profiler.exact_component_energies(mrun)
+    mem_active = sum(s.mem_active for s in mrun.segments)
+    if mem_active <= 0:
+        raise CalibrationError("memory calibration produced no memory activity")
+    delta_pm = (me["memory"] - idle_power["memory"] * mrun.total_time) / mem_active
+
+    node = cluster.head
+    params = MachineParams(
+        tc=tc,
+        tm=tm,
+        ts=ts,
+        tw=tw,
+        delta_pc=max(delta_pc, 0.0),
+        delta_pm=max(delta_pm, 0.0),
+        delta_pio=node.power.io.delta_p,  # exercised only by I/O tests
+        pc_idle=idle_power["cpu"],
+        pm_idle=idle_power["memory"],
+        pio_idle=idle_power["io"],
+        p_others=idle_power["motherboard"],
+        f=node.frequency,
+        f_ref=node.cpu.power.f_ref,
+        gamma=node.cpu.power.gamma,
+        gamma_idle=node.cpu.power.gamma_idle,
+        cpi=cpi,
+    )
+    return CalibratedMachine(
+        params=params,
+        measured_cpi=cpi,
+        measured_tm=tm,
+        measured_ts=ts,
+        measured_tw=tw,
+        idle_power=idle_power,
+        delta_pc=delta_pc,
+        delta_pm=delta_pm,
+    )
+
+
+def measure_app_params(result: SimResult, alpha: float) -> AppParams:
+    """Θ2 as a practitioner measures it: counters + PMPI trace.
+
+    Returns the *observed* totals of a parallel run (instructions, memory
+    accesses, messages, bytes).  Overheads cannot be split from base
+    workload by observation alone — that needs the p=1 reference run;
+    :func:`split_overheads` does the subtraction.
+    """
+    report = measure_counters(result)
+    return AppParams(
+        alpha=alpha,
+        wc=report.instructions,
+        wm=report.mem_accesses,
+        m_messages=result.trace.m_total,
+        b_bytes=result.trace.b_total,
+        t_io=total_io_seconds(result),
+        p=result.size if result.size > 1 else 1,
+    )
+
+
+def split_overheads(sequential: AppParams, parallel: AppParams) -> AppParams:
+    """Derive (Wco, Wmo) by subtracting the p=1 reference (Table 2).
+
+    ``Wco = Wc(p) − Wc(1)`` and likewise for memory — exactly how the
+    paper separates base workload from parallelization overhead.
+    """
+    wco = parallel.wc - sequential.wc
+    wmo = parallel.wm - sequential.wm
+    if wco < -0.01 * sequential.wc or wmo < -0.01 * max(sequential.wm, 1.0):
+        raise CalibrationError(
+            "parallel run retired less work than sequential run; "
+            "check that both executed the same problem size"
+        )
+    return AppParams(
+        alpha=parallel.alpha,
+        wc=sequential.wc,
+        wm=sequential.wm,
+        wco=max(wco, 0.0),
+        wmo=max(wmo, 0.0),
+        m_messages=parallel.m_messages,
+        b_bytes=parallel.b_bytes,
+        t_io=parallel.t_io,
+        n=parallel.n,
+        p=parallel.p,
+    )
+
+
+def fit_workload_scaling(ns, values, form: str = "linear") -> float:
+    """Fit one coefficient of a Table-2 scaling form by least squares.
+
+    Supported forms: ``"linear"`` (W = c·n), ``"nlogn"`` (W = c·n·log2 n).
+    Returns the coefficient c — e.g. the paper's ``109.4`` for EP's Wc.
+    """
+    ns = np.asarray(ns, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if ns.shape != values.shape or len(ns) == 0:
+        raise CalibrationError("need aligned, non-empty samples")
+    if form == "linear":
+        basis = ns
+    elif form == "nlogn":
+        if np.any(ns < 2):
+            raise CalibrationError("nlogn form needs n >= 2")
+        basis = ns * np.log2(ns)
+    else:
+        raise CalibrationError(f"unknown scaling form {form!r}")
+    denom = float(basis @ basis)
+    if denom == 0:
+        raise CalibrationError("degenerate basis")
+    return float((basis @ values) / denom)

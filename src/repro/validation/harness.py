@@ -1,0 +1,171 @@
+"""The model-vs-measurement harness (Figures 3 and 4).
+
+``validate()`` performs one complete experiment: build the benchmark,
+derive the machine vector, predict total energy with the
+iso-energy-efficiency model (Eq. 15), execute the benchmark kernel on the
+simulated cluster under realistic noise, measure its energy with the
+PowerPack profiler, and report the prediction error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.cluster import Cluster
+from repro.core.model import IsoEnergyModel
+from repro.errors import ConfigurationError
+from repro.npb.base import NpbBenchmark, ProblemClass
+from repro.npb.workloads import benchmark_for
+from repro.powerpack.profiler import PowerProfiler
+from repro.simmpi.engine import SimConfig, SimEngine, SimResult
+from repro.simmpi.noise import NoiseModel
+
+
+@dataclass(frozen=True)
+class ValidationResult:
+    """One model-vs-measurement comparison."""
+
+    benchmark: str
+    n: float
+    p: int
+    predicted_j: float
+    measured_j: float
+    sim_seconds: float
+    model_seconds: float
+    messages: int
+    bytes: int
+
+    @property
+    def error(self) -> float:
+        """Signed relative error: (predicted − measured)/measured."""
+        return (self.predicted_j - self.measured_j) / self.measured_j
+
+    @property
+    def abs_error_pct(self) -> float:
+        """|error| in percent — the Fig. 3/4 quantity."""
+        return abs(self.error) * 100.0
+
+    def row(self) -> tuple:
+        return (
+            self.benchmark,
+            self.p,
+            round(self.measured_j, 1),
+            round(self.predicted_j, 1),
+            round(self.abs_error_pct, 2),
+        )
+
+
+def default_noise(seed: int) -> NoiseModel:
+    """The harness's standard execution-noise model."""
+    return NoiseModel(
+        seed=seed,
+        cpu_sigma=0.015,
+        mem_sigma=0.03,
+        net_sigma=0.05,
+        os_noise_rate=0.01,
+        os_noise_duration=0.002,
+    )
+
+
+def run_benchmark(
+    cluster: Cluster,
+    bench: NpbBenchmark,
+    n: float,
+    p: int,
+    seed: int = 0,
+    congestion_beta: float = 0.004,
+    procs_per_node: int = 1,
+) -> SimResult:
+    """Execute a benchmark kernel on the cluster under harness noise."""
+    if p > len(cluster) * procs_per_node:
+        raise ConfigurationError(
+            f"p={p} exceeds {len(cluster)} nodes × {procs_per_node} ppn"
+        )
+    config = SimConfig(
+        alpha=bench.alpha,
+        procs_per_node=procs_per_node,
+        noise=default_noise(seed),
+        congestion_beta=congestion_beta,
+        cpi_factor=bench.cpi_factor,
+    )
+    engine = SimEngine(cluster, config)
+    return engine.run(bench.make_program(n, p), size=p)
+
+
+def validate(
+    cluster: Cluster,
+    benchmark: str,
+    klass: ProblemClass | str = ProblemClass.B,
+    p: int = 4,
+    niter: int | None = None,
+    seed: int = 0,
+    congestion_beta: float = 0.004,
+) -> ValidationResult:
+    """One Fig.-3-style experiment: predict vs. measure total energy.
+
+    ``niter`` time-samples long benchmarks (model and kernel both use the
+    reduced count, so the comparison stays apples-to-apples; total-energy
+    magnitudes scale accordingly).
+    """
+    bench, n = benchmark_for(benchmark, klass, niter)
+    _bind_to_cluster(bench, cluster)
+    machine = _machine_for(cluster, bench)
+    model = IsoEnergyModel(machine, bench.workload, name=f"{benchmark} on {cluster.name}")
+    predicted = model.predict_energy(n=n, p=p)
+    model_tp = model.evaluate(n=n, p=p).tp
+
+    result = run_benchmark(
+        cluster, bench, n, p, seed=seed, congestion_beta=congestion_beta
+    )
+    measured = PowerProfiler(cluster).measure_energy(result)
+    return ValidationResult(
+        benchmark=bench.name,
+        n=n,
+        p=p,
+        predicted_j=predicted,
+        measured_j=measured,
+        sim_seconds=result.total_time,
+        model_seconds=model_tp,
+        messages=result.trace.m_total,
+        bytes=result.trace.b_total,
+    )
+
+
+def validate_suite(
+    cluster: Cluster,
+    benchmarks: tuple[str, ...],
+    klass: ProblemClass | str = ProblemClass.B,
+    p: int = 4,
+    niter_overrides: dict[str, int] | None = None,
+    seed: int = 0,
+) -> list[ValidationResult]:
+    """Fig. 3: whole-suite validation at one parallelism level."""
+    niter_overrides = niter_overrides or {}
+    return [
+        validate(
+            cluster,
+            name,
+            klass=klass,
+            p=p,
+            niter=niter_overrides.get(name),
+            seed=seed + i,
+        )
+        for i, name in enumerate(benchmarks)
+    ]
+
+
+def _machine_for(cluster: Cluster, bench: NpbBenchmark):
+    from repro.validation.calibration import derive_machine_params
+
+    return derive_machine_params(cluster, cpi_factor=bench.cpi_factor)
+
+
+def _bind_to_cluster(bench: NpbBenchmark, cluster: Cluster) -> None:
+    """Give cache-aware kernels the machine's real last-level capacity.
+
+    Only kernels carry cache models (the analytic Θ2 stays machine-blind,
+    per the paper's Table-2 forms) — this is where CG's machine-dependent
+    memory behaviour enters the *measured* side of validation.
+    """
+    if hasattr(bench, "l2_capacity") and cluster.head.memory.levels:
+        bench.l2_capacity = cluster.head.memory.levels[-1].capacity

@@ -1,0 +1,124 @@
+"""Validation campaigns: error-vs-parallelism sweeps and efficiency curves.
+
+``error_by_parallelism`` produces Figure 4 (mean |error| per benchmark
+over p = 1..128); ``efficiency_study`` produces the Figure-2 curves
+(measured performance efficiency and energy efficiency vs. CPU count,
+with the model's predictions alongside).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.cluster import Cluster
+from repro.core.model import IsoEnergyModel
+from repro.errors import ConfigurationError
+from repro.npb.base import ProblemClass
+from repro.npb.workloads import benchmark_for
+from repro.powerpack.profiler import PowerProfiler
+from repro.validation.calibration import derive_machine_params
+from repro.validation.harness import (
+    ValidationResult,
+    _bind_to_cluster,
+    run_benchmark,
+    validate,
+)
+
+
+def error_by_parallelism(
+    cluster: Cluster,
+    benchmark: str,
+    p_values: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128),
+    klass: ProblemClass | str = ProblemClass.B,
+    niter: int | None = None,
+    seeds: tuple[int, ...] = (0,),
+) -> list[ValidationResult]:
+    """Validation at every parallelism level (the raw data behind Fig. 4)."""
+    results = []
+    for p in p_values:
+        if p > len(cluster):
+            raise ConfigurationError(
+                f"p={p} exceeds the {len(cluster)}-node cluster; "
+                "build a larger preset"
+            )
+        for seed in seeds:
+            results.append(
+                validate(cluster, benchmark, klass=klass, p=p, niter=niter, seed=seed)
+            )
+    return results
+
+
+def mean_error_table(
+    results_by_benchmark: dict[str, list[ValidationResult]],
+) -> list[tuple[str, float]]:
+    """(benchmark, mean |error| %) rows — Figure 4's bar heights."""
+    rows = []
+    for name, results in results_by_benchmark.items():
+        if not results:
+            raise ConfigurationError(f"no results for {name}")
+        rows.append(
+            (name, sum(r.abs_error_pct for r in results) / len(results))
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class EfficiencyPoint:
+    """One point of a Figure-2 curve."""
+
+    p: int
+    measured_perf_eff: float
+    measured_energy_eff: float
+    model_perf_eff: float
+    model_energy_eff: float
+    measured_seconds: float
+    measured_joules: float
+
+
+def efficiency_study(
+    cluster: Cluster,
+    benchmark: str,
+    p_values: tuple[int, ...] = (1, 2, 4, 8, 16, 32),
+    klass: ProblemClass | str = ProblemClass.B,
+    niter: int | None = None,
+    seed: int = 0,
+) -> list[EfficiencyPoint]:
+    """Measured + modeled efficiency curves vs. CPU count (Figs. 2a/2b).
+
+    Performance efficiency is ``T1/(p·Tp)`` and energy efficiency is
+    ``E1/Ep``, both relative to the measured single-CPU run — the paper's
+    "relative to the smallest node configuration" framing.
+    """
+    if 1 not in p_values:
+        p_values = (1,) + tuple(p_values)
+    bench, n = benchmark_for(benchmark, klass, niter)
+    _bind_to_cluster(bench, cluster)
+    machine = derive_machine_params(cluster, cpi_factor=bench.cpi_factor)
+    model = IsoEnergyModel(machine, bench.workload, name=benchmark)
+    profiler = PowerProfiler(cluster)
+
+    baseline_run = run_benchmark(cluster, bench, n, 1, seed=seed)
+    t1 = baseline_run.total_time
+    e1 = profiler.measure_energy(baseline_run)
+
+    points = []
+    for p in sorted(set(p_values)):
+        if p == 1:
+            run_t, run_e = t1, e1
+        else:
+            run = run_benchmark(cluster, bench, n, p, seed=seed + p)
+            run_t = run.total_time
+            run_e = profiler.measure_energy(run)
+        mp = model.evaluate(n=n, p=p)
+        points.append(
+            EfficiencyPoint(
+                p=p,
+                measured_perf_eff=t1 / (p * run_t),
+                measured_energy_eff=e1 / run_e,
+                model_perf_eff=mp.perf_efficiency,
+                model_energy_eff=mp.ee,
+                measured_seconds=run_t,
+                measured_joules=run_e,
+            )
+        )
+    return points

@@ -1,0 +1,139 @@
+"""Surfaces, sweeps, and terminal reports."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import ascii_heatmap, ascii_table, format_si
+from repro.analysis.surface import EESurface, ee_surface
+from repro.analysis.sweep import (
+    frequency_slice,
+    parallelism_sweep,
+    points_table,
+    problem_size_slice,
+)
+from repro.core.model import IsoEnergyModel
+from repro.errors import ParameterError
+from repro.npb.ft import FtWorkload
+from repro.units import GHZ
+
+
+@pytest.fixture()
+def model(machine):
+    return IsoEnergyModel(machine, FtWorkload(niter=5), name="FT")
+
+
+class TestEESurface:
+    def test_pf_surface_shape(self, model):
+        s = ee_surface(
+            model,
+            p_values=[1, 4, 16],
+            f_values=[2.0 * GHZ, 2.8 * GHZ],
+            n=2**22,
+        )
+        assert s.values.shape == (3, 2)
+        assert s.x_name == "p" and s.y_name == "f"
+        assert s.fixed == {"n": float(2**22)}
+
+    def test_pn_surface(self, model):
+        s = ee_surface(
+            model, p_values=[4, 16], n_values=[2**20, 2**24], f=2.8 * GHZ
+        )
+        assert s.y_name == "n"
+        # EE improves with n at fixed p for FT
+        assert s.monotone_along_y(increasing=True)
+
+    def test_ee_declines_with_p(self, model):
+        s = ee_surface(
+            model, p_values=[1, 4, 16, 64], n_values=[2**22], f=2.8 * GHZ
+        )
+        assert s.monotone_along_x(increasing=False)
+
+    def test_at_and_column(self, model):
+        s = ee_surface(
+            model, p_values=[1, 4], f_values=[2.8 * GHZ], n=2**22
+        )
+        assert s.at(1.0, 2.8 * GHZ) == pytest.approx(1.0)
+        col = s.column(2.8 * GHZ)
+        assert [x for x, _ in col] == [1.0, 4.0]
+
+    def test_rows_rounded(self, model):
+        s = ee_surface(model, p_values=[4], f_values=[2.8 * GHZ], n=2**22)
+        rows = s.rows()
+        assert len(rows) == 1 and len(rows[0]) == 2
+
+    def test_axis_validation(self, model):
+        with pytest.raises(ParameterError):
+            ee_surface(model, p_values=[1], n=2**20)  # no y-axis
+        with pytest.raises(ParameterError):
+            ee_surface(
+                model,
+                p_values=[1],
+                f_values=[2.8 * GHZ],
+                n_values=[2**20],
+            )  # both axes
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ParameterError):
+            EESurface(
+                x_name="p",
+                y_name="f",
+                x=(1.0,),
+                y=(1.0, 2.0),
+                values=np.zeros((2, 2)),
+                fixed={},
+            )
+
+
+class TestSweeps:
+    def test_parallelism_sweep(self, model):
+        pts = parallelism_sweep(model, n=2**22, p_values=[1, 2, 4])
+        assert [pt.p for pt in pts] == [1, 2, 4]
+
+    def test_frequency_slice(self, model):
+        pts = frequency_slice(
+            model, n=2**22, p=8, f_values=[2.0 * GHZ, 2.8 * GHZ]
+        )
+        assert [pt.f for pt in pts] == [2.0 * GHZ, 2.8 * GHZ]
+
+    def test_problem_size_slice(self, model):
+        pts = problem_size_slice(model, p=8, n_values=[2**20, 2**22])
+        assert [pt.n for pt in pts] == [2**20, 2**22]
+
+    def test_points_table_shape(self, model):
+        pts = parallelism_sweep(model, n=2**22, p_values=[1, 4])
+        rows = points_table(pts)
+        assert len(rows) == 2 and len(rows[0]) == 11
+
+    def test_empty_axes_rejected(self, model):
+        with pytest.raises(ParameterError):
+            parallelism_sweep(model, n=2**22, p_values=[])
+
+
+class TestReport:
+    def test_format_si(self):
+        assert format_si(3.36e7) == "33.6M"
+        assert format_si(2.6e-6, "s") == "2.6µs"
+        assert format_si(0) == "0"
+        assert format_si(42.0) == "42"
+
+    def test_ascii_table_alignment(self):
+        out = ascii_table(["a", "bb"], [[1, 2.5], [10, 3.25]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_ascii_table_width_mismatch(self):
+        with pytest.raises(ParameterError):
+            ascii_table(["a"], [[1, 2]])
+
+    def test_ascii_heatmap_renders(self):
+        values = np.array([[0.0, 1.0], [0.5, 0.25]])
+        out = ascii_heatmap(values, ["p1", "p2"], ["f1", "f2"], title="t")
+        assert out.startswith("t")
+        assert "scale:" in out
+        assert "@" in out  # the max cell uses the darkest glyph
+
+    def test_ascii_heatmap_shape_check(self):
+        with pytest.raises(ParameterError):
+            ascii_heatmap(np.zeros((2, 2)), ["a"], ["b", "c"])

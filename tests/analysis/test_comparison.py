@@ -1,0 +1,80 @@
+"""Metric comparison and divergence detection."""
+
+import pytest
+
+from repro.analysis.comparison import divergence_point, metric_comparison
+from repro.core.model import IsoEnergyModel
+from repro.errors import ParameterError
+from repro.npb.ft import FtWorkload
+from repro.paperdata import paper_model
+
+
+@pytest.fixture()
+def rows(machine):
+    model = IsoEnergyModel(machine, FtWorkload(niter=5))
+    return metric_comparison(model, n=2**22, p_values=[1, 4, 16, 64, 256])
+
+
+def test_all_metrics_present(rows):
+    assert [r.p for r in rows] == [1, 4, 16, 64, 256]
+    for r in rows:
+        assert 0 < r.perf_efficiency <= 1
+        assert 0 < r.ee <= 1
+        assert r.ere > 0
+
+
+def test_p1_is_ideal_everywhere(rows):
+    first = rows[0]
+    assert first.perf_efficiency == pytest.approx(1.0)
+    assert first.ee == pytest.approx(1.0)
+    assert first.eef == pytest.approx(0.0)
+    assert first.overhead_seconds == pytest.approx(0.0)
+    assert first.attribution == "none"
+
+
+def test_only_eef_attributes(rows):
+    for r in rows[1:]:
+        assert r.attribution in {
+            "compute_overhead",
+            "memory_overhead",
+            "message_startup",
+            "byte_transmission",
+        }
+
+
+def test_ere_equals_speedup_times_ee_over_p(machine):
+    """ERE = speedup·(E1/Ep) — consistency across the metric family."""
+    from repro.core.performance import speedup
+
+    model = IsoEnergyModel(machine, FtWorkload(niter=5))
+    n, p = 2**22, 16
+    app = model.app_params(n, p)
+    row = metric_comparison(model, n=n, p_values=[p])[0]
+    assert row.ere == pytest.approx(speedup(machine, app, p) * row.ee)
+
+
+def test_divergence_point_found_for_cg():
+    """CG's energy and performance curves part ways at moderate p."""
+    model, _ = paper_model("CG", klass="B")
+    rows = metric_comparison(model, n=75000, p_values=[1, 4, 16, 64, 256])
+    p_div = divergence_point(rows, tolerance=0.05)
+    assert p_div is not None
+    assert p_div <= 64
+
+
+def test_divergence_none_for_ideal(machine):
+    from repro.core.parameters import AppParams
+
+    ideal = IsoEnergyModel(
+        machine, lambda n, p: AppParams(alpha=0.9, wc=1e10, wm=1e8, p=p)
+    )
+    rows = metric_comparison(ideal, n=1e6, p_values=[1, 16, 256])
+    assert divergence_point(rows) is None
+
+
+def test_empty_inputs_rejected(machine):
+    model = IsoEnergyModel(machine, FtWorkload())
+    with pytest.raises(ParameterError):
+        metric_comparison(model, n=1e6, p_values=[])
+    with pytest.raises(ParameterError):
+        divergence_point([], tolerance=0.0)

@@ -1,0 +1,123 @@
+"""CPU model: DVFS states, tc = CPI/f, the power law."""
+
+import pytest
+
+from repro.cluster.cpu import Cpu, DvfsState, PowerLaw
+from repro.errors import ConfigurationError
+from repro.units import GHZ
+
+
+def make_cpu(**kw) -> Cpu:
+    defaults = dict(
+        name="test",
+        base_cpi=1.0,
+        pstates=(
+            DvfsState(frequency=1.0 * GHZ, voltage=0.9),
+            DvfsState(frequency=2.0 * GHZ, voltage=1.1),
+        ),
+        power=PowerLaw(delta_p_ref=100.0, p_idle_ref=20.0, f_ref=2.0 * GHZ, gamma=2.0),
+        cores=4,
+    )
+    defaults.update(kw)
+    return Cpu(**defaults)
+
+
+class TestPowerLaw:
+    def test_delta_p_at_reference(self):
+        law = PowerLaw(delta_p_ref=100.0, p_idle_ref=20.0, f_ref=2.0 * GHZ)
+        assert law.delta_p(2.0 * GHZ) == pytest.approx(100.0)
+
+    def test_delta_p_scales_quadratically(self):
+        law = PowerLaw(delta_p_ref=100.0, p_idle_ref=20.0, f_ref=2.0 * GHZ, gamma=2.0)
+        assert law.delta_p(1.0 * GHZ) == pytest.approx(25.0)
+
+    def test_gamma_one_is_linear(self):
+        law = PowerLaw(delta_p_ref=100.0, p_idle_ref=20.0, f_ref=2.0 * GHZ, gamma=1.0)
+        assert law.delta_p(1.0 * GHZ) == pytest.approx(50.0)
+
+    def test_idle_constant_by_default(self):
+        law = PowerLaw(delta_p_ref=100.0, p_idle_ref=20.0, f_ref=2.0 * GHZ)
+        assert law.p_idle(1.0 * GHZ) == pytest.approx(20.0)
+
+    def test_idle_scales_with_gamma_idle(self):
+        law = PowerLaw(
+            delta_p_ref=100.0, p_idle_ref=20.0, f_ref=2.0 * GHZ, gamma_idle=1.0
+        )
+        assert law.p_idle(1.0 * GHZ) == pytest.approx(10.0)
+
+    def test_running_is_idle_plus_delta(self):
+        law = PowerLaw(delta_p_ref=100.0, p_idle_ref=20.0, f_ref=2.0 * GHZ)
+        assert law.p_running(2.0 * GHZ) == pytest.approx(120.0)
+
+    def test_rejects_gamma_below_one(self):
+        with pytest.raises(ConfigurationError):
+            PowerLaw(delta_p_ref=100.0, p_idle_ref=20.0, f_ref=2.0 * GHZ, gamma=0.5)
+
+    def test_rejects_nonpositive_frequency(self):
+        law = PowerLaw(delta_p_ref=100.0, p_idle_ref=20.0, f_ref=2.0 * GHZ)
+        with pytest.raises(ConfigurationError):
+            law.delta_p(0.0)
+
+
+class TestCpu:
+    def test_defaults_to_highest_pstate(self):
+        assert make_cpu().frequency == pytest.approx(2.0 * GHZ)
+
+    def test_tc_is_cpi_over_f(self):
+        cpu = make_cpu(base_cpi=0.8)
+        assert cpu.tc() == pytest.approx(0.8 / (2.0 * GHZ))
+        assert cpu.tc(1.0 * GHZ) == pytest.approx(0.8 / (1.0 * GHZ))
+
+    def test_instructions_per_second_inverse_of_tc(self):
+        cpu = make_cpu()
+        assert cpu.instructions_per_second() == pytest.approx(1.0 / cpu.tc())
+
+    def test_set_frequency_switches_pstate(self):
+        cpu = make_cpu()
+        cpu.set_frequency(1.0 * GHZ)
+        assert cpu.frequency == pytest.approx(1.0 * GHZ)
+
+    def test_set_frequency_rejects_unknown(self):
+        with pytest.raises(ConfigurationError, match="no P-state"):
+            make_cpu().set_frequency(1.5 * GHZ)
+
+    def test_nearest_pstate(self):
+        cpu = make_cpu()
+        assert cpu.nearest_pstate(1.2 * GHZ).frequency == pytest.approx(1.0 * GHZ)
+
+    def test_pstates_must_be_sorted(self):
+        with pytest.raises(ConfigurationError, match="sorted"):
+            make_cpu(
+                pstates=(
+                    DvfsState(frequency=2.0 * GHZ, voltage=1.1),
+                    DvfsState(frequency=1.0 * GHZ, voltage=0.9),
+                )
+            )
+
+    def test_duplicate_pstates_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            make_cpu(
+                pstates=(
+                    DvfsState(frequency=1.0 * GHZ, voltage=0.9),
+                    DvfsState(frequency=1.0 * GHZ, voltage=1.0),
+                )
+            )
+
+    def test_min_max_frequency(self):
+        cpu = make_cpu()
+        assert cpu.min_frequency == pytest.approx(1.0 * GHZ)
+        assert cpu.max_frequency == pytest.approx(2.0 * GHZ)
+
+    def test_delta_p_tracks_current_pstate(self):
+        cpu = make_cpu()
+        at_max = cpu.delta_p()
+        cpu.set_frequency(1.0 * GHZ)
+        assert cpu.delta_p() == pytest.approx(at_max / 4.0)
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ConfigurationError):
+            make_cpu(cores=0)
+
+    def test_rejects_nonpositive_cpi(self):
+        with pytest.raises(ConfigurationError):
+            make_cpu(base_cpi=0.0)

@@ -1,0 +1,108 @@
+"""Memory hierarchy: latency staircase and validation."""
+
+import pytest
+
+from repro.cluster.memory import CacheLevel, MemoryHierarchy
+from repro.errors import ConfigurationError
+from repro.units import GIB, KIB, MIB, NS
+
+
+@pytest.fixture()
+def hierarchy() -> MemoryHierarchy:
+    return MemoryHierarchy(
+        levels=(
+            CacheLevel(name="L1", capacity=32 * KIB, latency=1.0 * NS),
+            CacheLevel(name="L2", capacity=4 * MIB, latency=5.0 * NS),
+        ),
+        dram_latency=90.0 * NS,
+        dram_capacity=8 * GIB,
+    )
+
+
+def test_tm_is_dram_latency(hierarchy):
+    assert hierarchy.tm == pytest.approx(90.0 * NS)
+
+
+def test_working_set_hits_l1(hierarchy):
+    assert hierarchy.latency_for_working_set(16 * KIB) == pytest.approx(1.0 * NS)
+
+
+def test_working_set_boundary_is_inclusive(hierarchy):
+    assert hierarchy.latency_for_working_set(32 * KIB) == pytest.approx(1.0 * NS)
+
+
+def test_working_set_hits_l2(hierarchy):
+    assert hierarchy.latency_for_working_set(1 * MIB) == pytest.approx(5.0 * NS)
+
+
+def test_working_set_falls_to_dram(hierarchy):
+    assert hierarchy.latency_for_working_set(64 * MIB) == pytest.approx(90.0 * NS)
+
+
+def test_miss_chain_adds_tag_checks(hierarchy):
+    # DRAM access pays 10% of each missed level's latency on the way down
+    expected = 90.0 * NS + 0.1 * (1.0 * NS + 5.0 * NS)
+    assert hierarchy.miss_chain_latency(64 * MIB) == pytest.approx(expected)
+
+
+def test_miss_chain_equals_hit_for_l1(hierarchy):
+    assert hierarchy.miss_chain_latency(1 * KIB) == pytest.approx(1.0 * NS)
+
+
+def test_effective_latency_weighted(hierarchy):
+    eff = hierarchy.effective_latency({"L1": 0.9, "L2": 0.08, "DRAM": 0.02})
+    expected = 0.9 * 1.0 * NS + 0.08 * 5.0 * NS + 0.02 * 90.0 * NS
+    assert eff == pytest.approx(expected)
+
+
+def test_effective_latency_requires_unit_sum(hierarchy):
+    with pytest.raises(ConfigurationError, match="sum to 1"):
+        hierarchy.effective_latency({"L1": 0.5})
+
+
+def test_effective_latency_rejects_unknown_level(hierarchy):
+    with pytest.raises(ConfigurationError, match="unknown level"):
+        hierarchy.effective_latency({"L3": 1.0})
+
+
+def test_rejects_zero_working_set(hierarchy):
+    with pytest.raises(ConfigurationError):
+        hierarchy.latency_for_working_set(0)
+
+
+def test_levels_must_grow_in_capacity():
+    with pytest.raises(ConfigurationError, match="grow in capacity"):
+        MemoryHierarchy(
+            levels=(
+                CacheLevel(name="L1", capacity=4 * MIB, latency=1.0 * NS),
+                CacheLevel(name="L2", capacity=32 * KIB, latency=5.0 * NS),
+            ),
+            dram_latency=90.0 * NS,
+            dram_capacity=GIB,
+        )
+
+
+def test_latency_must_grow_with_level():
+    with pytest.raises(ConfigurationError, match="latency must grow"):
+        MemoryHierarchy(
+            levels=(
+                CacheLevel(name="L1", capacity=32 * KIB, latency=5.0 * NS),
+                CacheLevel(name="L2", capacity=4 * MIB, latency=1.0 * NS),
+            ),
+            dram_latency=90.0 * NS,
+            dram_capacity=GIB,
+        )
+
+
+def test_llc_must_beat_dram():
+    with pytest.raises(ConfigurationError, match="below DRAM"):
+        MemoryHierarchy(
+            levels=(CacheLevel(name="L1", capacity=32 * KIB, latency=100.0 * NS),),
+            dram_latency=90.0 * NS,
+            dram_capacity=GIB,
+        )
+
+
+def test_cacheless_hierarchy_is_valid():
+    flat = MemoryHierarchy(levels=(), dram_latency=90.0 * NS, dram_capacity=GIB)
+    assert flat.latency_for_working_set(1) == pytest.approx(90.0 * NS)

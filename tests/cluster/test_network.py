@@ -1,0 +1,77 @@
+"""Interconnect models and Hockney costs."""
+
+import pytest
+
+from repro.cluster.network import Interconnect, ethernet_1g, infiniband_qdr
+from repro.errors import ConfigurationError
+from repro.units import MICRO
+
+
+def test_ptp_time_is_hockney():
+    net = Interconnect(
+        name="x", startup_latency=1e-6, per_byte_time=1e-9, link_rate=2e9
+    )
+    assert net.ptp_time(1000) == pytest.approx(1e-6 + 1000 * 1e-9)
+
+
+def test_ptp_zero_bytes_costs_startup():
+    net = Interconnect(
+        name="x", startup_latency=1e-6, per_byte_time=1e-9, link_rate=2e9
+    )
+    assert net.ptp_time(0) == pytest.approx(1e-6)
+
+
+def test_extra_hops_add_latency():
+    net = Interconnect(
+        name="x",
+        startup_latency=1e-6,
+        per_byte_time=1e-9,
+        link_rate=2e9,
+        switch_hop_latency=100e-9,
+    )
+    assert net.ptp_time(0, hops=3) == pytest.approx(1e-6 + 2 * 100e-9)
+
+
+def test_effective_bandwidth_inverse_of_tw():
+    net = Interconnect(
+        name="x", startup_latency=1e-6, per_byte_time=0.5e-9, link_rate=4e9
+    )
+    assert net.effective_bandwidth == pytest.approx(2e9)
+
+
+def test_half_bandwidth_point():
+    net = Interconnect(
+        name="x", startup_latency=1e-6, per_byte_time=1e-9, link_rate=2e9
+    )
+    assert net.half_bandwidth_point() == pytest.approx(1000.0)
+
+
+def test_effective_bandwidth_cannot_exceed_link_rate():
+    with pytest.raises(ConfigurationError, match="exceeds raw link rate"):
+        Interconnect(
+            name="x", startup_latency=1e-6, per_byte_time=1e-10, link_rate=1e9
+        )
+
+
+def test_negative_message_size_rejected():
+    net = ethernet_1g()
+    with pytest.raises(ConfigurationError):
+        net.ptp_time(-1)
+
+
+def test_infiniband_beats_ethernet():
+    ib, eth = infiniband_qdr(), ethernet_1g()
+    assert ib.ts < eth.ts
+    assert ib.tw < eth.tw
+    # the gap is what makes SystemG and Dori behave differently
+    assert eth.ts / ib.ts > 10
+    assert eth.tw / ib.tw > 10
+
+
+def test_ethernet_latency_order_of_magnitude():
+    assert 10 * MICRO < ethernet_1g().ts < 100 * MICRO
+
+
+def test_zero_hops_rejected():
+    with pytest.raises(ConfigurationError):
+        infiniband_qdr().ptp_time(10, hops=0)

@@ -1,0 +1,120 @@
+"""Node DVFS behaviour and cluster assembly/homogeneity."""
+
+import pytest
+
+from repro.cluster import Cluster, dori, system_g
+from repro.cluster.presets import _dori_node, _system_g_node
+from repro.errors import ConfigurationError
+from repro.units import GHZ
+
+
+class TestNode:
+    def test_core_count(self):
+        node = _system_g_node(0)
+        assert node.cores == 8  # 2 sockets × 4 cores
+
+    def test_machine_parameter_accessors(self):
+        node = _system_g_node(0)
+        assert node.tc() == pytest.approx(0.781 / (2.8 * GHZ))
+        assert node.tm() == pytest.approx(96e-9)
+        assert node.ts() > 0
+        assert node.tw() > 0
+
+    def test_set_frequency_rescales_power(self):
+        node = _system_g_node(0)
+        before = node.delta_pc
+        node.set_frequency(1.6 * GHZ)
+        assert node.frequency == pytest.approx(1.6 * GHZ)
+        assert node.delta_pc == pytest.approx(before * (1.6 / 2.8) ** 2)
+
+    def test_frequency_roundtrip_restores_power(self):
+        node = _system_g_node(0)
+        before = node.delta_pc
+        node.set_frequency(1.6 * GHZ)
+        node.set_frequency(2.8 * GHZ)
+        assert node.delta_pc == pytest.approx(before)
+
+    def test_at_frequency_leaves_original(self):
+        node = _system_g_node(0)
+        clone = node.at_frequency(2.0 * GHZ)
+        assert clone.frequency == pytest.approx(2.0 * GHZ)
+        assert node.frequency == pytest.approx(2.8 * GHZ)
+
+    def test_cpu_component_at_projects_without_mutation(self):
+        node = _system_g_node(0)
+        comp = node.cpu_component_at(1.6 * GHZ)
+        assert comp.delta_p == pytest.approx(node.delta_pc * (1.6 / 2.8) ** 2)
+        assert node.frequency == pytest.approx(2.8 * GHZ)
+
+
+class TestCluster:
+    def test_len_and_cores(self, systemg8):
+        assert len(systemg8) == 8
+        assert systemg8.total_cores == 64
+
+    def test_homogeneity_enforced(self):
+        nodes = [_system_g_node(0), _dori_node(1)]
+        with pytest.raises(ConfigurationError):
+            Cluster(name="mixed", nodes=nodes, interconnect=nodes[0].nic)
+
+    def test_cluster_wide_dvfs(self):
+        cl = system_g(3)
+        cl.set_frequency(2.0 * GHZ)
+        assert all(n.frequency == pytest.approx(2.0 * GHZ) for n in cl.nodes)
+        assert cl.frequency == pytest.approx(2.0 * GHZ)
+
+    def test_available_frequencies_sorted(self, systemg8):
+        freqs = systemg8.available_frequencies
+        assert list(freqs) == sorted(freqs)
+        assert 2.8 * GHZ in freqs
+
+    def test_p_system_idle_scales_with_nodes(self):
+        one = system_g(1).p_system_idle
+        four = system_g(4).p_system_idle
+        assert four == pytest.approx(4 * one)
+
+    def test_subcluster(self, systemg8):
+        sub = systemg8.subcluster(3)
+        assert len(sub) == 3
+        assert sub.head.cpu.name == systemg8.head.cpu.name
+
+    def test_subcluster_bounds(self, systemg8):
+        with pytest.raises(ConfigurationError):
+            systemg8.subcluster(9)
+        with pytest.raises(ConfigurationError):
+            systemg8.subcluster(0)
+
+    def test_pdu_autoprovisioned(self, systemg8):
+        assert systemg8.pdu.outlets == len(systemg8)
+
+
+class TestPresets:
+    def test_system_g_bounds(self):
+        with pytest.raises(ValueError):
+            system_g(0)
+        with pytest.raises(ValueError):
+            system_g(326)
+
+    def test_dori_bounds(self):
+        with pytest.raises(ValueError):
+            dori(9)
+
+    def test_system_g_is_infiniband(self, systemg8):
+        assert "InfiniBand" in systemg8.interconnect.name
+
+    def test_dori_is_ethernet(self, dori4):
+        assert "Ethernet" in dori4.interconnect.name
+
+    def test_paper_constraint_delta_pc_exceeds_alpha_psys(self, systemg8, dori4):
+        # §V-B-3 observes E1 increasing with f, which requires
+        # ΔPc > α·P_system_idle (see presets docstring); both testbeds
+        # must satisfy it for the CG frequency study to reproduce.
+        for cl in (systemg8, dori4):
+            node = cl.head
+            assert node.power.cpu.delta_p > 0.93 * node.power.p_system_idle
+
+    def test_dori_smaller_cache_than_system_g(self, systemg8, dori4):
+        assert (
+            dori4.head.memory.levels[-1].capacity
+            < systemg8.head.memory.levels[-1].capacity
+        )

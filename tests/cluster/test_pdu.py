@@ -1,0 +1,87 @@
+"""Power distribution unit: switching and sampling."""
+
+import math
+
+import pytest
+
+from repro.cluster.pdu import OutletSample, PowerDistributionUnit
+from repro.errors import ConfigurationError, MeasurementError
+
+
+def test_outlets_default_on():
+    pdu = PowerDistributionUnit(outlets=4)
+    assert all(pdu.is_on(i) for i in range(4))
+
+
+def test_power_off_on_cycle():
+    pdu = PowerDistributionUnit(outlets=2)
+    pdu.power_off(1)
+    assert not pdu.is_on(1)
+    assert pdu.is_on(0)
+    pdu.power_on(1)
+    assert pdu.is_on(1)
+
+
+def test_out_of_range_outlet_rejected():
+    pdu = PowerDistributionUnit(outlets=2)
+    with pytest.raises(ConfigurationError):
+        pdu.is_on(2)
+    with pytest.raises(ConfigurationError):
+        pdu.power_off(-1)
+
+
+def test_sampling_constant_power():
+    pdu = PowerDistributionUnit(outlets=1, sample_period=0.5, quantum=0.0)
+    samples = pdu.sample_timeline(0, lambda t: 100.0, duration=2.0)
+    assert len(samples) == 5  # t = 0, 0.5, 1.0, 1.5, 2.0
+    assert all(s.watts == pytest.approx(100.0) for s in samples)
+
+
+def test_sampling_quantizes_to_whole_watts():
+    pdu = PowerDistributionUnit(outlets=1, sample_period=1.0, quantum=1.0)
+    samples = pdu.sample_timeline(0, lambda t: 99.6, duration=1.0)
+    assert all(s.watts == pytest.approx(100.0) for s in samples)
+
+
+def test_powered_off_outlet_reads_zero():
+    pdu = PowerDistributionUnit(outlets=1, sample_period=1.0)
+    pdu.power_off(0)
+    samples = pdu.sample_timeline(0, lambda t: 100.0, duration=2.0)
+    assert all(s.watts == 0.0 for s in samples)
+
+
+def test_negative_reading_rejected():
+    pdu = PowerDistributionUnit(outlets=1)
+    with pytest.raises(MeasurementError, match="negative power"):
+        pdu.sample_timeline(0, lambda t: -1.0, duration=2.0)
+
+
+def test_energy_trapezoidal():
+    samples = [
+        OutletSample(time=0.0, watts=100.0),
+        OutletSample(time=1.0, watts=100.0),
+        OutletSample(time=2.0, watts=200.0),
+    ]
+    # 100 J over [0,1] + 150 J over [1,2]
+    assert PowerDistributionUnit.energy(samples) == pytest.approx(250.0)
+
+
+def test_energy_needs_two_samples():
+    with pytest.raises(MeasurementError):
+        PowerDistributionUnit.energy([OutletSample(time=0.0, watts=1.0)])
+
+
+def test_energy_rejects_unordered_samples():
+    samples = [
+        OutletSample(time=1.0, watts=1.0),
+        OutletSample(time=0.0, watts=1.0),
+    ]
+    with pytest.raises(MeasurementError, match="time-ordered"):
+        PowerDistributionUnit.energy(samples)
+
+
+def test_sampling_ramp_integrates_close_to_analytic():
+    pdu = PowerDistributionUnit(outlets=1, sample_period=0.01, quantum=0.0)
+    samples = pdu.sample_timeline(0, lambda t: 10.0 * t, duration=10.0)
+    energy = PowerDistributionUnit.energy(samples)
+    assert math.isclose(energy, 500.0, rel_tol=1e-3)

@@ -1,0 +1,79 @@
+"""Component power states and node power models."""
+
+import pytest
+
+from repro.cluster.power import ComponentPower, NodePowerModel
+from repro.errors import ConfigurationError
+from repro.units import GHZ
+
+
+@pytest.fixture()
+def node_power() -> NodePowerModel:
+    return NodePowerModel(
+        cpu=ComponentPower(name="cpu", p_idle=20.0, p_running=120.0),
+        memory=ComponentPower(name="memory", p_idle=8.0, p_running=24.0),
+        io=ComponentPower(name="io", p_idle=4.0, p_running=8.0),
+        others=40.0,
+    )
+
+
+def test_delta_p(node_power):
+    assert node_power.cpu.delta_p == pytest.approx(100.0)
+    assert node_power.memory.delta_p == pytest.approx(16.0)
+
+
+def test_p_system_idle_sums_components(node_power):
+    assert node_power.p_system_idle == pytest.approx(20 + 8 + 4 + 40)
+
+
+def test_p_system_peak(node_power):
+    assert node_power.p_system_peak == pytest.approx(120 + 24 + 8 + 40)
+
+
+def test_running_below_idle_rejected():
+    with pytest.raises(ConfigurationError, match="below idle"):
+        ComponentPower(name="cpu", p_idle=50.0, p_running=40.0)
+
+
+def test_negative_idle_rejected():
+    with pytest.raises(ConfigurationError):
+        ComponentPower(name="cpu", p_idle=-1.0, p_running=40.0)
+
+
+def test_components_accessor(node_power):
+    comps = node_power.components()
+    assert set(comps) == {"cpu", "memory", "io"}
+    assert comps["cpu"].delta_p == pytest.approx(100.0)
+
+
+def test_scaled_to_frequency_applies_gamma(node_power):
+    scaled = node_power.scaled_to_frequency(
+        f=1.4 * GHZ, f_ref=2.8 * GHZ, gamma=2.0
+    )
+    assert scaled.cpu.delta_p == pytest.approx(100.0 * 0.25)
+    assert scaled.cpu.p_idle == pytest.approx(20.0)  # idle constant
+
+
+def test_scaled_to_frequency_leaves_other_components(node_power):
+    scaled = node_power.scaled_to_frequency(f=1.4 * GHZ, f_ref=2.8 * GHZ, gamma=2.0)
+    assert scaled.memory == node_power.memory
+    assert scaled.io == node_power.io
+    assert scaled.others == node_power.others
+
+
+def test_scaled_idle_with_gamma_idle(node_power):
+    scaled = node_power.scaled_to_frequency(
+        f=1.4 * GHZ, f_ref=2.8 * GHZ, gamma=2.0, gamma_idle=1.0
+    )
+    assert scaled.cpu.p_idle == pytest.approx(10.0)
+
+
+def test_scaling_roundtrip_is_identity(node_power):
+    down = node_power.scaled_to_frequency(f=1.4 * GHZ, f_ref=2.8 * GHZ, gamma=2.0)
+    back = down.scaled_to_frequency(f=2.8 * GHZ, f_ref=1.4 * GHZ, gamma=2.0)
+    assert back.cpu.delta_p == pytest.approx(node_power.cpu.delta_p)
+
+
+def test_scaling_rejects_bad_gamma(node_power):
+    with pytest.raises(ConfigurationError):
+        node_power.scaled_to_frequency(f=1.0 * GHZ, f_ref=2.0 * GHZ, gamma=0.3)

@@ -1,0 +1,64 @@
+"""Shared fixtures: small clusters, reference parameter vectors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import dori, system_g
+from repro.core.parameters import AppParams, MachineParams
+from repro.units import GHZ, NS, US
+
+
+@pytest.fixture(scope="session")
+def systemg8():
+    """An 8-node SystemG slice (session-scoped: construction is cheap but
+    ubiquitous)."""
+    return system_g(8)
+
+
+@pytest.fixture(scope="session")
+def dori4():
+    return dori(4)
+
+
+@pytest.fixture()
+def machine() -> MachineParams:
+    """A hand-built Θ1 with SystemG-like values."""
+    return MachineParams(
+        tc=0.781 / (2.8 * GHZ),
+        tm=96 * NS,
+        ts=4 * US,
+        tw=1.0 / 3.2e9,
+        delta_pc=140.0,
+        delta_pm=18.0,
+        delta_pio=4.0,
+        pc_idle=15.0,
+        pm_idle=6.0,
+        pio_idle=4.0,
+        p_others=30.0,
+        f=2.8 * GHZ,
+        f_ref=2.8 * GHZ,
+        gamma=2.0,
+        cpi=0.781,
+    )
+
+
+@pytest.fixture()
+def app() -> AppParams:
+    """A mid-sized parallel workload with every overhead term active."""
+    return AppParams(
+        alpha=0.9,
+        wc=1e10,
+        wm=2e8,
+        wco=1e8,
+        wmo=4e6,
+        m_messages=5e4,
+        b_bytes=2e9,
+        n=1e6,
+        p=16,
+    )
+
+
+@pytest.fixture()
+def seq_app() -> AppParams:
+    return AppParams(alpha=0.9, wc=1e10, wm=2e8, n=1e6, p=1)

@@ -1,0 +1,94 @@
+"""Related-work baselines: isoefficiency, power-aware speedup, ERE."""
+
+import pytest
+
+from repro.core.baselines import (
+    ere_metric,
+    grama_isoefficiency_overhead,
+    isoefficiency_constant,
+    performance_efficiency,
+    power_aware_speedup,
+)
+from repro.core.parameters import AppParams
+from repro.core.performance import parallel_time, sequential_time
+from repro.errors import ParameterError
+from repro.units import GHZ
+
+
+def test_perf_efficiency_definition(machine, app):
+    t1 = sequential_time(machine, app)
+    tp = parallel_time(machine, app, 16)
+    assert performance_efficiency(machine, app, 16) == pytest.approx(
+        t1 / (16 * tp)
+    )
+
+
+def test_perf_efficiency_ideal_is_one(machine):
+    clean = AppParams(alpha=0.9, wc=1e10, wm=2e8, p=8)
+    assert performance_efficiency(machine, clean, 8) == pytest.approx(1.0)
+
+
+def test_overhead_to_definition(machine, app):
+    to = grama_isoefficiency_overhead(machine, app, 16)
+    t1 = sequential_time(machine, app)
+    tp = parallel_time(machine, app, 16)
+    assert to == pytest.approx(16 * tp - t1)
+    assert to > 0
+
+
+def test_overhead_links_to_efficiency(machine, app):
+    """E = T1/(T1 + To) — Grama's identity."""
+    to = grama_isoefficiency_overhead(machine, app, 16)
+    t1 = sequential_time(machine, app)
+    assert performance_efficiency(machine, app, 16) == pytest.approx(
+        t1 / (t1 + to)
+    )
+
+
+def test_isoefficiency_constant():
+    assert isoefficiency_constant(0.5) == pytest.approx(1.0)
+    assert isoefficiency_constant(0.8) == pytest.approx(4.0)
+    with pytest.raises(ParameterError):
+        isoefficiency_constant(1.0)
+
+
+def test_power_aware_speedup_at_reference_matches_plain(machine, app):
+    from repro.core.performance import speedup
+
+    s = power_aware_speedup(machine, app, 16, f=machine.f)
+    assert s == pytest.approx(speedup(machine, app, 16))
+
+
+def test_power_aware_speedup_drops_at_low_frequency(machine, app):
+    s_hi = power_aware_speedup(machine, app, 16, f=2.8 * GHZ)
+    s_lo = power_aware_speedup(machine, app, 16, f=1.4 * GHZ)
+    assert s_lo < s_hi
+
+
+def test_low_frequency_hurts_compute_bound_more(machine):
+    compute_bound = AppParams(alpha=0.9, wc=1e11, wm=1e6, p=8)
+    memory_bound = AppParams(alpha=0.9, wc=1e8, wm=1e9, p=8)
+    drop_c = power_aware_speedup(
+        machine, compute_bound, 8, f=1.4 * GHZ
+    ) / power_aware_speedup(machine, compute_bound, 8, f=2.8 * GHZ)
+    drop_m = power_aware_speedup(
+        machine, memory_bound, 8, f=1.4 * GHZ
+    ) / power_aware_speedup(machine, memory_bound, 8, f=2.8 * GHZ)
+    assert drop_c < drop_m  # compute-bound suffers more from DVFS
+
+
+def test_ere_ideal_equals_speedup(machine):
+    clean = AppParams(alpha=0.9, wc=1e10, wm=2e8, p=8)
+    assert ere_metric(machine, clean, 8) == pytest.approx(8.0)
+
+
+def test_ere_penalized_by_energy_overhead(machine, app):
+    from repro.core.performance import speedup
+
+    assert ere_metric(machine, app, 16) < speedup(machine, app, 16)
+
+
+def test_invalid_p(machine, app):
+    for fn in (performance_efficiency, grama_isoefficiency_overhead, ere_metric):
+        with pytest.raises(ParameterError):
+            fn(machine, app, 0)

@@ -1,0 +1,72 @@
+"""EEF and EE: Eqs. (19) and (21)."""
+
+import pytest
+
+from repro.core.efficiency import dominant_overhead, eef, eef_terms, energy_efficiency
+from repro.core.energy import delta_energy, sequential_energy
+from repro.core.parameters import AppParams
+from repro.errors import ParameterError
+
+
+def test_eef_is_delta_over_e1(machine, app):
+    expected = delta_energy(machine, app, 16) / sequential_energy(machine, app)
+    assert eef(machine, app, 16) == pytest.approx(expected)
+
+
+def test_ee_is_one_over_one_plus_eef(machine, app):
+    assert energy_efficiency(machine, app, 16) == pytest.approx(
+        1.0 / (1.0 + eef(machine, app, 16))
+    )
+
+
+def test_ee_equals_e1_over_ep(machine, app):
+    from repro.core.energy import parallel_energy
+
+    assert energy_efficiency(machine, app, 16) == pytest.approx(
+        sequential_energy(machine, app) / parallel_energy(machine, app, 16)
+    )
+
+
+def test_ideal_case_gives_ee_one(machine):
+    clean = AppParams(alpha=0.9, wc=1e10, wm=2e8, p=8)
+    assert eef(machine, clean, 8) == pytest.approx(0.0)
+    assert energy_efficiency(machine, clean, 8) == pytest.approx(1.0)
+
+
+def test_ee_bounded(machine, app):
+    ee = energy_efficiency(machine, app, 16)
+    assert 0.0 < ee <= 1.0
+
+
+def test_eef_terms_sum_to_delta(machine, app):
+    terms = eef_terms(machine, app, 16)
+    numerator = (
+        terms["compute_overhead"]
+        + terms["memory_overhead"]
+        + terms["message_startup"]
+        + terms["byte_transmission"]
+    )
+    assert numerator == pytest.approx(delta_energy(machine, app, 16))
+    assert terms["sequential_energy"] == pytest.approx(
+        sequential_energy(machine, app)
+    )
+
+
+def test_dominant_overhead_picks_largest(machine):
+    startup_heavy = AppParams(
+        alpha=0.9, wc=1e10, wm=2e8, m_messages=1e9, b_bytes=0.0, p=8
+    )
+    assert dominant_overhead(machine, startup_heavy, 8) == "message_startup"
+    mem_heavy = AppParams(alpha=0.9, wc=1e10, wm=2e8, wmo=1e8, p=8)
+    assert dominant_overhead(machine, mem_heavy, 8) == "memory_overhead"
+
+
+def test_eef_increases_with_overhead(machine):
+    small = AppParams(alpha=0.9, wc=1e10, wm=2e8, wmo=1e6, p=8)
+    large = AppParams(alpha=0.9, wc=1e10, wm=2e8, wmo=1e8, p=8)
+    assert eef(machine, large, 8) > eef(machine, small, 8)
+
+
+def test_invalid_p_rejected(machine, app):
+    with pytest.raises(ParameterError):
+        eef(machine, app, 0)

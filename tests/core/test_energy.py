@@ -1,0 +1,98 @@
+"""Energy model: Eqs. (13), (15), (16), (18)."""
+
+import pytest
+
+from repro.core.energy import (
+    delta_energy,
+    parallel_energy,
+    parallel_energy_breakdown,
+    sequential_energy,
+    sequential_energy_breakdown,
+)
+from repro.core.parameters import AppParams
+from repro.core.performance import sequential_time, total_parallel_time
+from repro.errors import ParameterError
+
+
+def test_e1_closed_form_eq13(machine, seq_app):
+    t1 = sequential_time(machine, seq_app)
+    expected = (
+        t1 * machine.p_system_idle
+        + seq_app.wc * machine.tc * machine.delta_pc
+        + seq_app.wm * machine.tm * machine.delta_pm
+    )
+    assert sequential_energy(machine, seq_app) == pytest.approx(expected)
+
+
+def test_ep_closed_form_eq15(machine, app):
+    sum_ti = total_parallel_time(machine, app, 16)
+    expected = (
+        sum_ti * machine.p_system_idle
+        + (app.wc + app.wco) * machine.tc * machine.delta_pc
+        + (app.wm + app.wmo) * machine.tm * machine.delta_pm
+    )
+    assert parallel_energy(machine, app, 16) == pytest.approx(expected)
+
+
+def test_delta_identity_eq16(machine, app):
+    """ΔE computed in closed form must equal Ep − E1 (Eq. 1 vs Eq. 16)."""
+    de = delta_energy(machine, app, 16)
+    ep = parallel_energy(machine, app, 16)
+    e1 = sequential_energy(machine, app)
+    assert de == pytest.approx(ep - e1, rel=1e-12)
+
+
+def test_delta_zero_at_p1(machine, seq_app):
+    assert delta_energy(machine, seq_app, 1) == 0.0
+
+
+def test_parallel_energy_exceeds_sequential(machine, app):
+    assert parallel_energy(machine, app, 16) > sequential_energy(machine, app)
+
+
+def test_no_overheads_means_no_delta(machine):
+    clean = AppParams(alpha=0.9, wc=1e10, wm=2e8, p=8)
+    assert delta_energy(machine, clean, 8) == pytest.approx(0.0)
+    assert parallel_energy(machine, clean, 8) == pytest.approx(
+        sequential_energy(machine, clean)
+    )
+
+
+def test_breakdown_sums_to_total(machine, app):
+    bd = parallel_energy_breakdown(machine, app, 16)
+    assert bd.total == pytest.approx(parallel_energy(machine, app, 16))
+    assert bd.idle > 0 and bd.cpu_active > 0 and bd.memory_active > 0
+
+
+def test_breakdown_as_dict(machine, seq_app):
+    d = sequential_energy_breakdown(machine, seq_app).as_dict()
+    assert set(d) == {"idle", "cpu_active", "memory_active", "io_active", "total"}
+    assert d["total"] == pytest.approx(sequential_energy(machine, seq_app))
+
+
+def test_io_energy_term(machine):
+    with_io = AppParams(alpha=0.9, wc=1e10, wm=0.0, t_io=10.0, p=1)
+    bd = sequential_energy_breakdown(machine, with_io)
+    assert bd.io_active == pytest.approx(10.0 * machine.delta_pio)
+
+
+def test_p1_parallel_equals_sequential(machine, seq_app):
+    assert parallel_energy(machine, seq_app, 1) == pytest.approx(
+        sequential_energy(machine, seq_app)
+    )
+
+
+def test_overlap_reduces_idle_energy_not_active(machine):
+    tight = AppParams(alpha=0.7, wc=1e10, wm=2e8, p=1)
+    loose = AppParams(alpha=1.0, wc=1e10, wm=2e8, p=1)
+    bd_tight = sequential_energy_breakdown(machine, tight)
+    bd_loose = sequential_energy_breakdown(machine, loose)
+    assert bd_tight.idle == pytest.approx(0.7 * bd_loose.idle)
+    assert bd_tight.cpu_active == pytest.approx(bd_loose.cpu_active)
+
+
+def test_invalid_p_rejected(machine, app):
+    with pytest.raises(ParameterError):
+        parallel_energy(machine, app, 0)
+    with pytest.raises(ParameterError):
+        delta_energy(machine, app, -3)

@@ -1,0 +1,52 @@
+"""Frequency laws: tc = CPI/f and ΔP ∝ f^γ (Eq. 20)."""
+
+import pytest
+
+from repro.core.frequency import (
+    dynamic_power,
+    energy_per_instruction,
+    race_to_idle_break_even_gamma,
+    tc_from_cpi,
+)
+from repro.errors import ParameterError
+from repro.units import GHZ
+
+
+def test_tc_from_cpi():
+    assert tc_from_cpi(1.0, 2.0 * GHZ) == pytest.approx(0.5e-9)
+
+
+def test_tc_rejects_bad_inputs():
+    with pytest.raises(ParameterError):
+        tc_from_cpi(0.0, 1 * GHZ)
+    with pytest.raises(ParameterError):
+        tc_from_cpi(1.0, 0.0)
+
+
+def test_dynamic_power_reference_point():
+    assert dynamic_power(100.0, 2 * GHZ, 2 * GHZ, 2.0) == pytest.approx(100.0)
+
+
+@pytest.mark.parametrize("gamma,expected", [(1.0, 50.0), (2.0, 25.0), (3.0, 12.5)])
+def test_dynamic_power_exponents(gamma, expected):
+    assert dynamic_power(100.0, 1 * GHZ, 2 * GHZ, gamma) == pytest.approx(expected)
+
+
+def test_dynamic_power_rejects_gamma_below_one():
+    with pytest.raises(ParameterError):
+        dynamic_power(100.0, 1 * GHZ, 2 * GHZ, 0.9)
+
+
+def test_energy_per_instruction_gamma2_linear_in_f():
+    """For γ=2, tc·ΔP ∝ f — active energy per instruction grows with f."""
+    e1 = energy_per_instruction(1.0, 1 * GHZ, 100.0, 2 * GHZ, 2.0)
+    e2 = energy_per_instruction(1.0, 2 * GHZ, 100.0, 2 * GHZ, 2.0)
+    assert e2 / e1 == pytest.approx(2.0)
+
+
+def test_energy_per_instruction_gamma1_frequency_neutral():
+    """γ=1 is the break-even: tc·ΔP is constant in f."""
+    e1 = energy_per_instruction(1.0, 1 * GHZ, 100.0, 2 * GHZ, 1.0)
+    e2 = energy_per_instruction(1.0, 2 * GHZ, 100.0, 2 * GHZ, 1.0)
+    assert e1 == pytest.approx(e2)
+    assert race_to_idle_break_even_gamma() == 1.0

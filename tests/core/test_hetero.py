@@ -1,0 +1,139 @@
+"""Heterogeneous-system extension."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.hetero import HeteroIsoEnergyModel, ProcessorGroup
+from repro.core.parameters import AppParams
+from repro.errors import ParameterError
+
+
+@pytest.fixture()
+def fast_machine(machine):
+    return machine
+
+
+@pytest.fixture()
+def slow_machine(machine):
+    # half the clock: twice the instruction time, quarter the ΔPc (γ=2)
+    return machine.at_frequency(machine.f / 2)
+
+
+@pytest.fixture()
+def hetero(fast_machine, slow_machine):
+    return HeteroIsoEnergyModel(
+        [
+            ProcessorGroup(name="fast", machine=fast_machine, count=4),
+            ProcessorGroup(name="slow", machine=slow_machine, count=4),
+        ]
+    )
+
+
+@pytest.fixture()
+def app():
+    return AppParams(
+        alpha=0.9, wc=1e10, wm=2e8, wco=5e7, wmo=1e6,
+        m_messages=1e3, b_bytes=1e8, p=8,
+    )
+
+
+def test_group_validation(fast_machine):
+    with pytest.raises(ParameterError):
+        ProcessorGroup(name="x", machine=fast_machine, count=0)
+    with pytest.raises(ParameterError):
+        HeteroIsoEnergyModel([])
+    with pytest.raises(ParameterError):
+        HeteroIsoEnergyModel(
+            [
+                ProcessorGroup(name="a", machine=fast_machine, count=1),
+                ProcessorGroup(name="a", machine=fast_machine, count=1),
+            ]
+        )
+
+
+def test_total_processors(hetero):
+    assert hetero.total_processors == 8
+
+
+def test_balanced_split_favors_fast_group(hetero, app):
+    shares = hetero.split_shares(app, policy="balanced")
+    assert shares["fast"] > shares["slow"]
+    assert sum(shares.values()) == pytest.approx(1.0)
+
+
+def test_uniform_split_ignores_speed(hetero, app):
+    shares = hetero.split_shares(app, policy="uniform")
+    assert shares["fast"] == pytest.approx(0.5)
+
+
+def test_unknown_policy_rejected(hetero, app):
+    with pytest.raises(ParameterError):
+        hetero.split_shares(app, policy="random")
+
+
+def test_balanced_faster_than_uniform(hetero, app):
+    balanced = hetero.evaluate(app, policy="balanced")
+    uniform = hetero.evaluate(app, policy="uniform")
+    assert balanced.tp <= uniform.tp
+
+
+def test_policy_gap_positive(hetero, app):
+    assert hetero.policy_gap(app) > 0.0
+
+
+def test_homogeneous_special_case_matches_core_model(fast_machine, app):
+    """One group of identical processors must reproduce the core model."""
+    from repro.core.energy import parallel_energy
+    from repro.core.performance import parallel_time
+
+    homo = HeteroIsoEnergyModel(
+        [ProcessorGroup(name="only", machine=fast_machine, count=8)]
+    )
+    point = homo.evaluate(app)
+    assert point.tp == pytest.approx(parallel_time(fast_machine, app, 8))
+    assert point.ep == pytest.approx(parallel_energy(fast_machine, app, 8))
+
+
+def test_ee_bounded(hetero, app):
+    point = hetero.evaluate(app)
+    assert 0.0 < point.ee <= 1.0
+
+
+def test_e1_anchor_is_best_single_processor(hetero, app, fast_machine, slow_machine):
+    from repro.core.energy import sequential_energy
+
+    e1 = hetero.best_sequential_energy(app)
+    candidates = [
+        sequential_energy(fast_machine, app),
+        sequential_energy(slow_machine, app),
+    ]
+    assert e1 == pytest.approx(min(candidates))
+
+
+def test_straggler_idle_tail_charged(fast_machine, slow_machine, app):
+    """Uniform split on unequal groups must cost straggler idle energy."""
+    hetero = HeteroIsoEnergyModel(
+        [
+            ProcessorGroup(name="fast", machine=fast_machine, count=4),
+            ProcessorGroup(name="slow", machine=slow_machine, count=4),
+        ]
+    )
+    uniform = hetero.evaluate(app, policy="uniform")
+    assert sum(uniform.group_energies.values()) < uniform.ep
+
+
+def test_adding_slow_processors_can_hurt_ee(fast_machine, slow_machine, app):
+    """The hetero headline: more (slow) silicon is not automatically greener."""
+    fast_only = HeteroIsoEnergyModel(
+        [ProcessorGroup(name="fast", machine=fast_machine, count=4)]
+    )
+    mixed_uniform = HeteroIsoEnergyModel(
+        [
+            ProcessorGroup(name="fast", machine=fast_machine, count=4),
+            ProcessorGroup(name="slow", machine=slow_machine, count=4),
+        ]
+    )
+    ee_fast = fast_only.evaluate(app).ee
+    ee_mixed = mixed_uniform.evaluate(app, policy="uniform").ee
+    assert ee_mixed < ee_fast

@@ -1,0 +1,90 @@
+"""Composite I/O components and the flat-model folding."""
+
+import pytest
+
+from repro.core.energy import sequential_energy
+from repro.core.iomodel import (
+    IoComponent,
+    IoPattern,
+    checkpoint_pattern,
+    composite_io,
+    machine_with_io,
+    nfs_client,
+    sata_disk,
+    with_io,
+)
+from repro.core.parameters import AppParams
+from repro.errors import ParameterError
+
+
+def test_component_time_model():
+    disk = sata_disk()
+    t = disk.time_for(nbytes=90e6, operations=1)
+    assert t == pytest.approx(8e-3 + 1.0)
+
+
+def test_component_validation():
+    with pytest.raises(ParameterError):
+        IoComponent(name="x", delta_p=-1, bandwidth=1e6, access_latency=0)
+    with pytest.raises(ParameterError):
+        IoComponent(name="x", delta_p=1, bandwidth=0, access_latency=0)
+    with pytest.raises(ParameterError):
+        sata_disk().time_for(-1)
+
+
+def test_pattern_energy():
+    pattern = IoPattern(component=sata_disk(), bytes_total=900e6, operations=10)
+    assert pattern.energy == pytest.approx(pattern.time * 6.0)
+
+
+def test_composite_preserves_energy():
+    patterns = [
+        IoPattern(component=sata_disk(), bytes_total=1e9, operations=100),
+        IoPattern(component=nfs_client(), bytes_total=5e8, operations=20),
+    ]
+    t_io, delta_pio = composite_io(patterns)
+    assert t_io == pytest.approx(sum(p.time for p in patterns))
+    assert t_io * delta_pio == pytest.approx(sum(p.energy for p in patterns))
+
+
+def test_composite_empty():
+    assert composite_io([]) == (0.0, 0.0)
+
+
+def test_checkpoint_pattern():
+    ckpt = checkpoint_pattern(sata_disk(), data_bytes=2e9, intervals=5)
+    assert ckpt.bytes_total == pytest.approx(1e10)
+    assert ckpt.operations == 5
+    with pytest.raises(ParameterError):
+        checkpoint_pattern(sata_disk(), data_bytes=1.0, intervals=0)
+
+
+def test_end_to_end_io_energy_term(machine):
+    """Folding I/O into Θ1/Θ2 must add exactly the component energy to E1."""
+    base = AppParams(alpha=0.9, wc=1e10, wm=1e8, p=1)
+    patterns = [checkpoint_pattern(sata_disk(), data_bytes=2e9, intervals=4)]
+
+    app_io = with_io(base, patterns)
+    mach_io = machine_with_io(machine, patterns)
+
+    e_without = sequential_energy(machine, base)
+    e_with = sequential_energy(mach_io, app_io)
+
+    t_io, delta_pio = composite_io(patterns)
+    expected_extra = (
+        t_io * delta_pio  # active I/O energy
+        + base.alpha * t_io * machine.p_system_idle  # longer runtime at idle
+    )
+    assert e_with - e_without == pytest.approx(expected_extra)
+
+
+def test_io_heavy_job_dominated_by_io_bottleneck(machine):
+    """A checkpoint-heavy run's EEF gains an I/O-driven idle-time term."""
+    from repro.core.performance import sequential_time
+
+    base = AppParams(alpha=0.9, wc=1e9, wm=1e6, p=1)
+    patterns = [checkpoint_pattern(sata_disk(), data_bytes=8e9, intervals=10)]
+    app_io = with_io(base, patterns)
+    t_plain = sequential_time(machine, base)
+    t_io_run = sequential_time(machine, app_io)
+    assert t_io_run > 2 * t_plain  # I/O dominates this configuration

@@ -1,0 +1,73 @@
+"""The IsoEnergyModel facade."""
+
+import pytest
+
+from repro.core.model import IsoEnergyModel
+from repro.core.parameters import AppParams
+from repro.errors import ParameterError
+from repro.npb.ft import FtWorkload
+from repro.units import GHZ
+
+
+@pytest.fixture()
+def model(machine) -> IsoEnergyModel:
+    return IsoEnergyModel(machine, FtWorkload(niter=5), name="FT-test")
+
+
+def test_evaluate_consistency(model):
+    pt = model.evaluate(n=2**20, p=8)
+    assert pt.ee == pytest.approx(1.0 / (1.0 + pt.eef))
+    assert pt.ee == pytest.approx(pt.e1 / pt.ep)
+    assert pt.speedup == pytest.approx(pt.t1 / pt.tp)
+    assert pt.perf_efficiency == pytest.approx(pt.speedup / pt.p)
+
+
+def test_p1_is_ideal(model):
+    pt = model.evaluate(n=2**20, p=1)
+    assert pt.ee == pytest.approx(1.0)
+    assert pt.bottleneck == "none"
+
+
+def test_machine_at_rescales(model, machine):
+    m2 = model.machine_at(1.4 * GHZ)
+    assert m2.f == pytest.approx(1.4 * GHZ)
+    assert model.machine_at(None) is machine
+
+
+def test_callable_workload_accepted(machine):
+    fn = lambda n, p: AppParams(alpha=0.9, wc=n, wm=0.0, p=p)  # noqa: E731
+    model = IsoEnergyModel(machine, fn)
+    assert model.ee(n=1e9, p=4) == pytest.approx(1.0)
+
+
+def test_predict_energy_matches_evaluate(model):
+    n = 2**20
+    assert model.predict_energy(n=n, p=8) == pytest.approx(
+        model.evaluate(n=n, p=8).ep
+    )
+
+
+def test_sweep_cartesian_product(model):
+    points = model.sweep(n_values=[2**18, 2**20], p_values=[1, 4, 16])
+    assert len(points) == 6
+    assert {(pt.n, pt.p) for pt in points} == {
+        (n, p) for n in (2**18, 2**20) for p in (1, 4, 16)
+    }
+
+
+def test_sweep_requires_axes(model):
+    with pytest.raises(ParameterError):
+        model.sweep(p_values=[1, 2])  # n missing
+    with pytest.raises(ParameterError):
+        model.sweep(n_values=[1e6])  # p missing
+
+
+def test_as_dict_round(model):
+    d = model.evaluate(n=2**20, p=8).as_dict()
+    assert d["p"] == 8
+    assert 0 < d["ee"] <= 1
+
+
+def test_invalid_p(model):
+    with pytest.raises(ParameterError):
+        model.evaluate(n=2**20, p=0)

@@ -1,0 +1,136 @@
+"""Θ1/Θ2 dataclasses: validation and DVFS projection."""
+
+import pytest
+
+from repro.core.parameters import AppParams, MachineParams
+from repro.errors import ParameterError
+from repro.units import GHZ
+
+
+class TestMachineParams:
+    def test_p_system_idle_sums(self, machine):
+        assert machine.p_system_idle == pytest.approx(15 + 6 + 4 + 30)
+
+    def test_tc_consistency_enforced(self, machine):
+        with pytest.raises(ParameterError, match="tc = CPI/f"):
+            MachineParams(
+                tc=1e-9,  # inconsistent with cpi/f
+                tm=machine.tm,
+                ts=machine.ts,
+                tw=machine.tw,
+                delta_pc=1,
+                delta_pm=1,
+                pc_idle=1,
+                pm_idle=1,
+                p_others=1,
+                f=2.8 * GHZ,
+                cpi=0.781,
+            )
+
+    def test_at_frequency_rescales_tc(self, machine):
+        m2 = machine.at_frequency(1.4 * GHZ)
+        assert m2.tc == pytest.approx(0.781 / (1.4 * GHZ))
+        assert m2.f == pytest.approx(1.4 * GHZ)
+
+    def test_at_frequency_applies_power_law(self, machine):
+        m2 = machine.at_frequency(1.4 * GHZ)
+        assert m2.delta_pc == pytest.approx(machine.delta_pc * 0.25)
+
+    def test_at_frequency_keeps_network_and_memory(self, machine):
+        m2 = machine.at_frequency(1.4 * GHZ)
+        assert m2.tm == machine.tm
+        assert m2.ts == machine.ts
+        assert m2.tw == machine.tw
+        assert m2.delta_pm == machine.delta_pm
+
+    def test_at_frequency_roundtrip(self, machine):
+        back = machine.at_frequency(1.4 * GHZ).at_frequency(2.8 * GHZ)
+        assert back.tc == pytest.approx(machine.tc)
+        assert back.delta_pc == pytest.approx(machine.delta_pc)
+
+    def test_at_frequency_without_cpi_derives_it(self, machine):
+        no_cpi = MachineParams(
+            tc=machine.tc,
+            tm=machine.tm,
+            ts=machine.ts,
+            tw=machine.tw,
+            delta_pc=machine.delta_pc,
+            delta_pm=machine.delta_pm,
+            pc_idle=machine.pc_idle,
+            pm_idle=machine.pm_idle,
+            p_others=machine.p_others,
+            f=machine.f,
+        )
+        m2 = no_cpi.at_frequency(1.4 * GHZ)
+        assert m2.tc == pytest.approx(machine.tc * 2.0)
+
+    def test_scaled_network(self, machine):
+        m2 = machine.scaled_network(2.0)
+        assert m2.tw == pytest.approx(machine.tw / 2.0)
+        assert m2.ts == machine.ts
+
+    def test_gamma_below_one_rejected(self, machine):
+        with pytest.raises(ParameterError, match="gamma"):
+            MachineParams(
+                tc=machine.tc,
+                tm=machine.tm,
+                ts=machine.ts,
+                tw=machine.tw,
+                delta_pc=1,
+                delta_pm=1,
+                pc_idle=1,
+                pm_idle=1,
+                p_others=1,
+                f=machine.f,
+                gamma=0.5,
+            )
+
+    @pytest.mark.parametrize("field", ["tc", "tm", "ts", "tw"])
+    def test_nonpositive_times_rejected(self, machine, field):
+        kwargs = dict(
+            tc=machine.tc,
+            tm=machine.tm,
+            ts=machine.ts,
+            tw=machine.tw,
+            delta_pc=1,
+            delta_pm=1,
+            pc_idle=1,
+            pm_idle=1,
+            p_others=1,
+            f=machine.f,
+        )
+        kwargs[field] = 0.0
+        with pytest.raises(ParameterError):
+            MachineParams(**kwargs)
+
+
+class TestAppParams:
+    def test_alpha_bounds(self):
+        with pytest.raises(ParameterError, match="alpha"):
+            AppParams(alpha=0.0, wc=1.0)
+        with pytest.raises(ParameterError, match="alpha"):
+            AppParams(alpha=1.2, wc=1.0)
+        AppParams(alpha=1.0, wc=1.0)  # boundary allowed
+
+    def test_sequential_cannot_have_overheads(self):
+        with pytest.raises(ParameterError, match="p=1"):
+            AppParams(alpha=0.9, wc=1.0, wco=1.0, p=1)
+
+    def test_totals(self, app):
+        assert app.total_instructions == pytest.approx(app.wc + app.wco)
+        assert app.total_mem_accesses == pytest.approx(app.wm + app.wmo)
+
+    def test_sequential_view_strips_overheads(self, app):
+        seq = app.sequential()
+        assert seq.p == 1
+        assert seq.wco == 0.0
+        assert seq.m_messages == 0.0
+        assert seq.wc == app.wc
+
+    def test_negative_overheads_rejected(self):
+        with pytest.raises(ParameterError):
+            AppParams(alpha=0.9, wc=1.0, wmo=-1.0)
+
+    def test_zero_compute_rejected(self):
+        with pytest.raises(ParameterError):
+            AppParams(alpha=0.9, wc=0.0)

@@ -1,0 +1,105 @@
+"""Performance model: Eqs. (5), (6), (10), (17)."""
+
+import pytest
+
+from repro.core.parameters import AppParams
+from repro.core.performance import (
+    comm_time,
+    overlap_alpha,
+    parallel_time,
+    sequential_time,
+    speedup,
+    total_parallel_time,
+)
+from repro.errors import ParameterError
+
+
+def test_sequential_time_eq6(machine, seq_app):
+    expected = seq_app.alpha * (
+        seq_app.wc * machine.tc + seq_app.wm * machine.tm
+    )
+    assert sequential_time(machine, seq_app) == pytest.approx(expected)
+
+
+def test_sequential_time_ignores_parallel_overheads(machine, app):
+    # T1 must use the sequential view even when handed a parallel Θ2
+    seq_only = sequential_time(machine, app.sequential())
+    assert sequential_time(machine, app) == pytest.approx(seq_only)
+
+
+def test_comm_time_eq17(machine, app):
+    expected = app.m_messages * machine.ts + app.b_bytes * machine.tw
+    assert comm_time(machine, app) == pytest.approx(expected)
+
+
+def test_total_parallel_time_eq15_inner(machine, app):
+    expected = app.alpha * (
+        (app.wc + app.wco) * machine.tc
+        + (app.wm + app.wmo) * machine.tm
+        + comm_time(machine, app)
+    )
+    assert total_parallel_time(machine, app, 16) == pytest.approx(expected)
+
+
+def test_parallel_time_divides_by_p(machine, app):
+    assert parallel_time(machine, app, 16) == pytest.approx(
+        total_parallel_time(machine, app, 16) / 16
+    )
+
+
+def test_p1_parallel_time_equals_sequential(machine, seq_app):
+    assert parallel_time(machine, seq_app, 1) == pytest.approx(
+        sequential_time(machine, seq_app)
+    )
+
+
+def test_speedup_below_ideal_with_overheads(machine, app):
+    s = speedup(machine, app, 16)
+    assert 1.0 < s < 16.0
+
+
+def test_speedup_ideal_without_overheads(machine):
+    clean = AppParams(alpha=0.9, wc=1e10, wm=2e8, p=16)
+    assert speedup(machine, clean, 16) == pytest.approx(16.0)
+
+
+def test_io_time_enters_sequential(machine):
+    with_io = AppParams(alpha=0.9, wc=1e10, wm=0.0, t_io=5.0, p=1)
+    without = AppParams(alpha=0.9, wc=1e10, wm=0.0, p=1)
+    delta = sequential_time(machine, with_io) - sequential_time(machine, without)
+    assert delta == pytest.approx(0.9 * 5.0)
+
+
+def test_invalid_p_rejected(machine, app):
+    with pytest.raises(ParameterError):
+        parallel_time(machine, app, 0)
+    with pytest.raises(ParameterError):
+        speedup(machine, app, -1)
+
+
+class TestOverlapAlpha:
+    def test_perfect_overlap_measurement(self):
+        assert overlap_alpha(
+            measured_time=8.0, compute_time=5.0, memory_time=5.0
+        ) == pytest.approx(0.8)
+
+    def test_no_overlap_gives_one(self):
+        assert overlap_alpha(10.0, 4.0, 6.0) == pytest.approx(1.0)
+
+    def test_measured_above_theoretical_rejected(self):
+        with pytest.raises(ParameterError, match="exceeds theoretical"):
+            overlap_alpha(11.0, 4.0, 6.0)
+
+    def test_includes_network_and_io(self):
+        alpha = overlap_alpha(
+            measured_time=9.0,
+            compute_time=4.0,
+            memory_time=3.0,
+            network_time=2.0,
+            io_time=1.0,
+        )
+        assert alpha == pytest.approx(0.9)
+
+    def test_zero_theoretical_rejected(self):
+        with pytest.raises(ParameterError):
+            overlap_alpha(1.0, 0.0, 0.0)

@@ -1,0 +1,128 @@
+"""Power-constrained configuration search."""
+
+import pytest
+
+from repro.core.model import IsoEnergyModel
+from repro.core.powercap import (
+    average_power,
+    cap_for_scaling,
+    fastest_under_cap,
+    feasible_configs,
+    greenest_under_deadline,
+    scaling_report,
+)
+from repro.errors import ParameterError
+from repro.npb.ft import FtWorkload
+from repro.units import GHZ
+
+FREQS = [1.6 * GHZ, 2.0 * GHZ, 2.4 * GHZ, 2.8 * GHZ]
+PS = [1, 2, 4, 8, 16, 32, 64]
+
+
+@pytest.fixture()
+def model(machine):
+    return IsoEnergyModel(machine, FtWorkload(niter=5), name="FT")
+
+
+@pytest.fixture()
+def n():
+    return float(2**24)
+
+
+def test_average_power_is_ep_over_tp(model, n):
+    pt = model.evaluate(n=n, p=8)
+    assert average_power(model, n=n, p=8) == pytest.approx(pt.ep / pt.tp)
+
+
+def test_average_power_grows_with_p(model, n):
+    assert average_power(model, n=n, p=32) > average_power(model, n=n, p=4)
+
+
+def test_feasible_configs_respect_cap(model, n):
+    cap = average_power(model, n=n, p=8) * 1.01
+    configs = feasible_configs(
+        model, n=n, power_cap=cap, p_values=PS, frequencies=FREQS
+    )
+    assert configs
+    assert all(c.avg_power <= cap for c in configs)
+    assert all(c.p <= 16 for c in configs)  # 32+ nodes cannot fit this cap
+
+
+def test_fastest_under_cap_is_fastest(model, n):
+    cap = average_power(model, n=n, p=16) * 1.05
+    best = fastest_under_cap(
+        model, n=n, power_cap=cap, p_values=PS, frequencies=FREQS
+    )
+    for c in feasible_configs(
+        model, n=n, power_cap=cap, p_values=PS, frequencies=FREQS
+    ):
+        assert best.tp <= c.tp + 1e-12
+
+
+def test_larger_cap_never_slower(model, n):
+    small = fastest_under_cap(
+        model, n=n, power_cap=800.0, p_values=PS, frequencies=FREQS
+    )
+    large = fastest_under_cap(
+        model, n=n, power_cap=4000.0, p_values=PS, frequencies=FREQS
+    )
+    assert large.tp <= small.tp
+
+
+def test_impossible_cap_rejected(model, n):
+    with pytest.raises(ParameterError, match="no \\(p, f\\)"):
+        fastest_under_cap(
+            model, n=n, power_cap=1.0, p_values=PS, frequencies=FREQS
+        )
+
+
+def test_greenest_under_deadline(model, n):
+    t_serial = model.evaluate(n=n, p=1).t1
+    cfg = greenest_under_deadline(
+        model, n=n, deadline=t_serial, p_values=PS, frequencies=FREQS
+    )
+    assert cfg.tp <= t_serial
+    # with a generous deadline, the greenest config is small and slow
+    assert cfg.p <= 4
+
+
+def test_unmeetable_deadline_rejected(model, n):
+    with pytest.raises(ParameterError, match="deadline"):
+        greenest_under_deadline(
+            model, n=n, deadline=1e-9, p_values=PS, frequencies=FREQS
+        )
+
+
+def test_cap_for_scaling_and_report_consistent(model, n):
+    mult = cap_for_scaling(model, n=n, p_from=1, p_to=64)
+    report = scaling_report(model, n=n, p_values=[1, 64])
+    assert report[1][2] == pytest.approx(mult)
+    # scaling 64x multiplies power by less than 64x per processor? no —
+    # total power grows roughly with p; sanity: more than 16x, less than 70x
+    assert 16 < mult < 70
+
+
+def test_speedup_per_power_degrades_with_overheads(model, n):
+    report = scaling_report(model, n=n, p_values=[1, 4, 16, 64])
+    spp = [row[3] for row in report]
+    assert spp[0] == pytest.approx(1.0)
+    assert spp[-1] < 1.0  # FT loses perf-per-watt as it scales
+    assert spp == sorted(spp, reverse=True)
+
+
+def test_ideal_workload_holds_speedup_per_power(machine, n):
+    from repro.core.parameters import AppParams
+
+    ideal = IsoEnergyModel(
+        machine, lambda n, p: AppParams(alpha=0.9, wc=1e10, wm=1e8, p=p)
+    )
+    report = scaling_report(ideal, n=n, p_values=[1, 16, 256])
+    for _, _, _, spp in report:
+        assert spp == pytest.approx(1.0, rel=1e-9)
+
+
+def test_empty_axes_rejected(model, n):
+    with pytest.raises(ParameterError):
+        feasible_configs(model, n=n, power_cap=100.0, p_values=[], frequencies=FREQS)
+    with pytest.raises(ParameterError):
+        scaling_report(model, n=n, p_values=[])

@@ -1,0 +1,114 @@
+"""Iso-contours, frequency tuning, parallelism bounds."""
+
+import pytest
+
+from repro.core.model import IsoEnergyModel
+from repro.core.scaling import (
+    ee_frequency_sensitivity,
+    frequency_for_best_ee,
+    iso_contour,
+    iso_workload,
+    max_parallelism,
+)
+from repro.errors import ParameterError
+from repro.npb.ep import EpWorkload
+from repro.npb.ft import FtWorkload
+from repro.units import GHZ
+
+
+@pytest.fixture()
+def ft_model(machine):
+    return IsoEnergyModel(machine, FtWorkload(niter=5), name="FT")
+
+
+@pytest.fixture()
+def ep_model(machine):
+    return IsoEnergyModel(machine, EpWorkload(), name="EP")
+
+
+class TestIsoWorkload:
+    # FT's memory overhead per point is constant in n, so EE saturates
+    # below 1 as n → ∞ (≈0.77 at p=256); targets must sit below that.
+    def test_solution_hits_target(self, ft_model):
+        target = 0.70
+        n = iso_workload(
+            ft_model, p=256, target_ee=target, n_lo=1e4, n_hi=1e12
+        )
+        assert ft_model.ee(n=n, p=256) == pytest.approx(target, abs=1e-4)
+
+    def test_required_n_grows_with_p(self, ft_model):
+        n64 = iso_workload(ft_model, p=64, target_ee=0.70, n_lo=1e3, n_hi=1e12)
+        n256 = iso_workload(ft_model, p=256, target_ee=0.70, n_lo=1e3, n_hi=1e12)
+        assert n256 > n64
+
+    def test_saturation_is_detected(self, ft_model):
+        # asking for more EE than the n→∞ plateau allows must refuse
+        with pytest.raises(ParameterError, match="does not cross"):
+            iso_workload(ft_model, p=256, target_ee=0.9, n_lo=1e5, n_hi=1e12)
+
+    def test_ep_cannot_be_rescued_by_n(self, ep_model):
+        # §V-B-6: EP's EE is flat in n — no bracketing, so the solver
+        # must refuse rather than fabricate an answer.
+        with pytest.raises(ParameterError, match="does not cross"):
+            iso_workload(ep_model, p=64, target_ee=0.99, n_lo=1e6, n_hi=1e12)
+
+    def test_invalid_target_rejected(self, ft_model):
+        with pytest.raises(ParameterError):
+            iso_workload(ft_model, p=8, target_ee=1.5, n_lo=1e4, n_hi=1e8)
+
+    def test_invalid_interval_rejected(self, ft_model):
+        with pytest.raises(ParameterError):
+            iso_workload(ft_model, p=8, target_ee=0.9, n_lo=1e8, n_hi=1e4)
+
+
+def test_iso_contour_is_monotone(ft_model):
+    contour = iso_contour(
+        ft_model, p_values=[64, 128, 256], target_ee=0.70, n_lo=1e3, n_hi=1e12
+    )
+    sizes = [n for _, n in contour]
+    assert sizes == sorted(sizes)
+
+
+class TestFrequencyTuning:
+    FREQS = tuple(f * GHZ for f in (1.6, 2.0, 2.4, 2.8))
+
+    def test_best_frequency_returns_max(self, ft_model):
+        f, ee = frequency_for_best_ee(
+            ft_model, n=2**22, p=64, frequencies=self.FREQS
+        )
+        assert f in self.FREQS
+        for other in self.FREQS:
+            assert ee >= ft_model.ee(n=2**22, p=64, f=other) - 1e-12
+
+    def test_sensitivity_nonnegative(self, ft_model):
+        s = ee_frequency_sensitivity(
+            ft_model, n=2**22, p=64, frequencies=self.FREQS
+        )
+        assert s >= 0.0
+
+    def test_ep_insensitive_to_frequency(self, ep_model):
+        s = ee_frequency_sensitivity(
+            ep_model, n=2**30, p=64, frequencies=self.FREQS
+        )
+        assert s < 0.005  # the paper's "EE hardly changes with p and f"
+
+    def test_empty_frequencies_rejected(self, ft_model):
+        with pytest.raises(ParameterError):
+            frequency_for_best_ee(ft_model, n=1e6, p=8, frequencies=[])
+
+
+class TestMaxParallelism:
+    def test_ep_scales_past_ft(self, ep_model, ft_model):
+        p_ep = max_parallelism(ep_model, n=2**30, min_ee=0.95, p_limit=4096)
+        p_ft = max_parallelism(ft_model, n=2**22, min_ee=0.95, p_limit=4096)
+        assert p_ep > p_ft
+
+    def test_bound_respected(self, ft_model):
+        p_max = max_parallelism(ft_model, n=2**22, min_ee=0.9, p_limit=2048)
+        assert ft_model.ee(n=2**22, p=p_max) >= 0.9
+        if p_max < 2048:
+            assert ft_model.ee(n=2**22, p=2 * p_max) < 0.9
+
+    def test_invalid_bound_rejected(self, ft_model):
+        with pytest.raises(ParameterError):
+            max_parallelism(ft_model, n=1e6, min_ee=0.0)

@@ -1,0 +1,81 @@
+"""Regression helpers: line fits, power laws, plateau detection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CalibrationError
+from repro.microbench.fitting import (
+    fit_line,
+    fit_power_law,
+    largest_plateau,
+    tail_plateau,
+)
+
+
+class TestFitLine:
+    def test_exact_recovery(self):
+        x = np.array([0.0, 1.0, 2.0, 3.0])
+        fit = fit_line(x, 2.0 + 3.0 * x)
+        assert fit.intercept == pytest.approx(2.0)
+        assert fit.slope == pytest.approx(3.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_noisy_recovery(self):
+        rng = np.random.default_rng(0)
+        x = np.linspace(0, 100, 200)
+        y = 5.0 + 0.25 * x + rng.normal(0, 0.5, 200)
+        fit = fit_line(x, y)
+        assert fit.intercept == pytest.approx(5.0, abs=0.3)
+        assert fit.slope == pytest.approx(0.25, abs=0.01)
+        assert fit.r_squared > 0.99
+
+    def test_predict(self):
+        fit = fit_line([0, 1], [1.0, 3.0])
+        assert fit.predict(2.0) == pytest.approx(5.0)
+
+    def test_degenerate_inputs(self):
+        with pytest.raises(CalibrationError):
+            fit_line([1.0], [2.0])
+        with pytest.raises(CalibrationError):
+            fit_line([1.0, 1.0], [2.0, 3.0])
+        with pytest.raises(CalibrationError):
+            fit_line([1.0, 2.0], [2.0])
+
+
+class TestFitPowerLaw:
+    def test_recovers_gamma(self):
+        f = np.array([1.6e9, 2.0e9, 2.4e9, 2.8e9])
+        delta_p = 140.0 * (f / 2.8e9) ** 2
+        a, b = fit_power_law(f, delta_p)
+        assert b == pytest.approx(2.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(CalibrationError):
+            fit_power_law([1.0, -2.0], [1.0, 2.0])
+
+
+class TestPlateaus:
+    def test_largest_plateau_on_staircase(self):
+        stairs = [1.0] * 3 + [5.0] * 8 + [90.0] * 5
+        plateau = largest_plateau(stairs)
+        assert plateau.level == pytest.approx(5.0)
+        assert plateau.width == 8
+
+    def test_tail_plateau_is_last_level(self):
+        stairs = [1.0] * 10 + [90.0] * 4
+        plateau = tail_plateau(stairs)
+        assert plateau.level == pytest.approx(90.0)
+        assert plateau.width == 4
+
+    def test_tail_plateau_with_noise(self):
+        rng = np.random.default_rng(1)
+        stairs = np.concatenate([np.full(10, 5.0), 90.0 * rng.normal(1, 0.02, 6)])
+        plateau = tail_plateau(stairs)
+        assert plateau.level == pytest.approx(90.0, rel=0.05)
+        assert plateau.start == 10
+
+    def test_empty_rejected(self):
+        with pytest.raises(CalibrationError):
+            largest_plateau([])
+        with pytest.raises(CalibrationError):
+            tail_plateau([])

@@ -1,0 +1,139 @@
+"""Measurement tools: lat_mem_rd, mpptest, perfmon, procstat."""
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.microbench.lmbench import (
+    cache_capacities_from_sweep,
+    default_sizes,
+    estimate_tm,
+    lat_mem_rd,
+)
+from repro.microbench.mpptest import estimate_ts_tw, mpptest
+from repro.microbench.perfmon import measure_counters, measure_cpi
+from repro.microbench.procstat import proc_stat, total_io_seconds
+from repro.simmpi.engine import SimConfig, SimEngine
+from repro.simmpi.noise import NoiseModel
+from repro.units import KIB, MIB
+
+
+class TestLmbench:
+    def test_staircase_shape(self, systemg8):
+        node = systemg8.nodes[0]
+        sizes, lat = lat_mem_rd(node, noise_sigma=0.0)
+        assert (lat[1:] >= lat[:-1] - 1e-15).all()  # non-decreasing
+        assert lat[0] == pytest.approx(node.memory.levels[0].latency)
+        assert lat[-1] == pytest.approx(node.memory.dram_latency)
+
+    def test_estimate_tm_exact(self, systemg8):
+        node = systemg8.nodes[0]
+        assert estimate_tm(node, noise_sigma=0.0) == pytest.approx(
+            node.memory.dram_latency
+        )
+
+    def test_estimate_tm_with_noise_close(self, systemg8):
+        node = systemg8.nodes[0]
+        tm = estimate_tm(node, noise_sigma=0.02, seed=5)
+        assert tm == pytest.approx(node.memory.dram_latency, rel=0.05)
+
+    def test_cache_capacity_detection(self, systemg8):
+        node = systemg8.nodes[0]
+        sizes, lat = lat_mem_rd(node, noise_sigma=0.0)
+        caps = cache_capacities_from_sweep(sizes, lat)
+        # detected boundaries within a factor of 1.5 of the real ones
+        assert len(caps) == 2
+        assert caps[0] / (32 * KIB) <= 1.5
+        assert caps[1] / (6 * MIB) <= 1.5
+
+    def test_default_sizes_bounded(self):
+        sizes = default_sizes(1 * MIB)
+        assert max(sizes) <= 1 * MIB
+        assert min(sizes) >= 1024
+
+    def test_invalid_sizes_rejected(self, systemg8):
+        with pytest.raises(MeasurementError):
+            lat_mem_rd(systemg8.nodes[0], sizes=[])
+        with pytest.raises(MeasurementError):
+            lat_mem_rd(systemg8.nodes[0], sizes=[0])
+
+
+class TestMpptest:
+    def test_recovers_fabric_constants(self, systemg8):
+        res = mpptest(systemg8)
+        net = systemg8.interconnect
+        assert res.ts == pytest.approx(net.ts, rel=0.02)
+        assert res.tw == pytest.approx(net.tw, rel=0.02)
+        assert res.fit.r_squared > 0.999
+
+    def test_noisy_sweep_still_close(self, systemg8):
+        res = mpptest(systemg8, noise=NoiseModel(seed=11, net_sigma=0.05), reps=10)
+        net = systemg8.interconnect
+        assert res.ts == pytest.approx(net.ts, rel=0.25)
+        assert res.tw == pytest.approx(net.tw, rel=0.10)
+
+    def test_estimate_shortcut(self, dori4):
+        ts, tw = estimate_ts_tw(dori4)
+        assert ts == pytest.approx(dori4.interconnect.ts, rel=0.02)
+        assert tw == pytest.approx(dori4.interconnect.tw, rel=0.02)
+
+    def test_needs_two_nodes(self):
+        from repro.cluster import system_g
+
+        with pytest.raises(MeasurementError):
+            mpptest(system_g(1))
+
+
+class TestPerfmon:
+    def test_measure_cpi_exact(self, systemg8):
+        cpi, tc = measure_cpi(systemg8)
+        assert cpi == pytest.approx(systemg8.head.cpu.base_cpi)
+        assert tc == pytest.approx(systemg8.head.cpu.tc())
+
+    def test_measure_cpi_with_factor(self, systemg8):
+        cpi, _ = measure_cpi(systemg8, cpi_factor=2.8)
+        assert cpi == pytest.approx(2.8 * systemg8.head.cpu.base_cpi)
+
+    def test_counters_exact(self, systemg8):
+        def prog(ctx):
+            yield from ctx.phase("a")
+            yield from ctx.compute(instructions=1e6, mem_accesses=1e3)
+            yield from ctx.phase("b")
+            yield from ctx.compute(instructions=2e6, mem_accesses=0.0)
+
+        res = SimEngine(systemg8, SimConfig()).run(prog, size=2)
+        rep = measure_counters(res)
+        assert rep.instructions == pytest.approx(2 * 3e6)
+        assert rep.mem_accesses == pytest.approx(2 * 1e3)
+        assert rep.per_rank_instructions[0] == pytest.approx(3e6)
+        assert rep.per_phase_instructions["a"] == pytest.approx(2e6)
+        assert rep.measured_cpi_time == pytest.approx(systemg8.head.cpu.tc())
+
+
+class TestProcStat:
+    def test_bucket_accounting(self, systemg8):
+        def prog(ctx):
+            yield from ctx.compute(instructions=1e8)
+            yield from ctx.io(0.5)
+            yield from ctx.sleep(0.25)
+
+        res = SimEngine(systemg8, SimConfig()).run(prog, size=1)
+        st = proc_stat(res, node=0)
+        assert st.iowait == pytest.approx(0.5)
+        assert st.user > 0
+        assert st.wall == pytest.approx(res.total_time)
+        assert 0 < st.utilization < 1
+
+    def test_total_io_seconds(self, systemg8):
+        def prog(ctx):
+            yield from ctx.io(0.1)
+
+        res = SimEngine(systemg8, SimConfig()).run(prog, size=3)
+        assert total_io_seconds(res) == pytest.approx(0.3)
+
+    def test_unused_node_rejected(self, systemg8):
+        def prog(ctx):
+            yield from ctx.compute(1.0)
+
+        res = SimEngine(systemg8, SimConfig()).run(prog, size=1)
+        with pytest.raises(MeasurementError):
+            proc_stat(res, node=5)

@@ -1,0 +1,133 @@
+"""CG: grid topology, comm plan, cache gap, scipy reference."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.npb.cg import (
+    CgBenchmark,
+    CgWorkload,
+    cg_comm_plan,
+    cg_grid,
+    cg_kernel_memory_rate,
+    cg_scipy_reference,
+)
+from repro.simmpi.engine import SimConfig, SimEngine
+from repro.units import MIB
+
+
+class TestCgGrid:
+    @pytest.mark.parametrize(
+        "p,expected",
+        [(1, (1, 1)), (2, (1, 2)), (4, (2, 2)), (8, (2, 4)), (16, (4, 4)),
+         (32, (4, 8)), (64, (8, 8)), (128, (8, 16))],
+    )
+    def test_npb_grid_shapes(self, p, expected):
+        assert cg_grid(p) == expected
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ConfigurationError, match="power-of-two"):
+            cg_grid(6)
+
+
+class TestCgCommPlan:
+    def test_sequential_is_silent(self):
+        plan = cg_comm_plan(75000, 1)
+        assert plan["m"] == 0.0 and plan["b"] == 0.0
+
+    def test_square_grid_has_transpose(self):
+        # p=4 → 2×2 grid: 1 row step + 1 transpose + 2 allreduces
+        plan = cg_comm_plan(75000, 4)
+        from repro.simmpi import collectives
+
+        expected_m = 4 * (1 + 1) + 2 * collectives.allreduce_message_count(4)
+        assert plan["m"] == expected_m
+
+    def test_row_only_grid_skips_transpose(self):
+        # p=2 → 1×2 grid: no second row to transpose with
+        plan = cg_comm_plan(75000, 2)
+        from repro.simmpi import collectives
+
+        expected_m = 2 * 1 + 2 * collectives.allreduce_message_count(2)
+        assert plan["m"] == expected_m
+
+    def test_segment_shrinks_with_columns(self):
+        seg4 = cg_comm_plan(75000, 4)["seg_bytes"]
+        seg64 = cg_comm_plan(75000, 64)["seg_bytes"]
+        assert seg64 < seg4
+
+    def test_bytes_grow_sublinearly_with_p(self):
+        """CG traffic is ∝ n·√p-ish: total B grows, per-rank B shrinks."""
+        b16 = cg_comm_plan(75000, 16)["b"]
+        b64 = cg_comm_plan(75000, 64)["b"]
+        assert b64 > b16
+        assert b64 / 64 < b16 / 16
+
+
+class TestCacheGap:
+    def test_rate_drops_when_partition_fits(self):
+        n = 75000
+        big_l2 = 6 * MIB
+        rate_p1 = cg_kernel_memory_rate(n, 1, big_l2)
+        rate_p8 = cg_kernel_memory_rate(n, 8, big_l2)
+        assert rate_p8 < rate_p1
+
+    def test_small_cache_sees_no_benefit(self):
+        n = 75000
+        small_l2 = 1 * MIB
+        rate_p1 = cg_kernel_memory_rate(n, 1, small_l2)
+        rate_p4 = cg_kernel_memory_rate(n, 4, small_l2)
+        # Dori-style: partition never becomes resident, rates stay close
+        assert rate_p4 == pytest.approx(rate_p1, rel=0.15)
+
+    def test_model_is_blind_to_cache(self):
+        wl = CgWorkload(niter=1)
+        assert wl.wm(75000) == wl.awm_model * 75000  # constant per row
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            cg_kernel_memory_rate(1000, 1, 0)
+
+
+class TestCgKernel:
+    def test_message_count_matches_plan(self, systemg8):
+        bench, _ = CgBenchmark.for_class("S", niter=3)
+        n = bench.n_for_class("S")
+        p = 8
+        plan = cg_comm_plan(n, p)
+        res = SimEngine(
+            systemg8, SimConfig(alpha=bench.alpha, cpi_factor=bench.cpi_factor)
+        ).run(bench.make_program(n, p), size=p)
+        assert res.trace.m_total == int(plan["m"]) * 3
+
+    def test_kernel_memory_depends_on_cluster_cache(self, systemg8):
+        from repro.microbench.perfmon import measure_counters
+
+        n, p = 75000, 4
+        big = CgBenchmark(CgWorkload(niter=2), l2_capacity=6 * MIB)
+        small = CgBenchmark(CgWorkload(niter=2), l2_capacity=1 * MIB)
+        run = lambda b: SimEngine(systemg8, SimConfig()).run(  # noqa: E731
+            b.make_program(n, p), size=p
+        )
+        mem_big = measure_counters(run(big)).mem_accesses
+        mem_small = measure_counters(run(small)).mem_accesses
+        assert mem_big < mem_small
+
+    def test_phases_present(self, systemg8):
+        bench, _ = CgBenchmark.for_class("S", niter=1)
+        res = SimEngine(systemg8, SimConfig()).run(
+            bench.make_program(1400, 4), size=4
+        )
+        phases = {s.phase for s in res.segments}
+        assert {"matvec", "row-reduce", "transpose", "dot-products"} <= phases
+
+
+class TestCgScipyReference:
+    def test_converges(self):
+        iters, residual, lam = cg_scipy_reference(n=500, nonzer=5)
+        assert residual < 1e-5
+        assert iters > 0
+
+    def test_matrix_is_positive_definite(self):
+        # smallest eigenvalue estimate must be ≥ the identity shift's effect
+        _, _, lam = cg_scipy_reference(n=300)
+        assert lam > 0

@@ -1,0 +1,60 @@
+"""Problem-class consistency: the model generalizes across NPB classes.
+
+The paper validates at class B; a model worth adopting must not be
+tuned to one problem size.  These tests check that validation accuracy
+and the Section-V shape claims hold at other classes too.
+"""
+
+import pytest
+
+from repro.cluster import system_g
+from repro.core.model import IsoEnergyModel
+from repro.npb.base import ProblemClass
+from repro.npb.workloads import benchmark_for
+from repro.validation.calibration import derive_machine_params
+from repro.validation.harness import validate
+
+
+@pytest.fixture(scope="module")
+def g8():
+    return system_g(8)
+
+
+@pytest.mark.parametrize("klass", ["S", "W", "A"])
+@pytest.mark.parametrize("name,niter", [("FT", 2), ("CG", 25), ("EP", None)])
+def test_validation_error_stable_across_classes(g8, name, klass, niter):
+    r = validate(g8, name, klass=klass, p=4, niter=niter, seed=11)
+    assert r.abs_error_pct < 15.0, (name, klass, r.abs_error_pct)
+
+
+@pytest.mark.parametrize("name", ["FT", "CG"])
+def test_larger_class_is_more_efficient_at_scale(g8, name):
+    """Bigger problems amortize parallel overheads at every class step."""
+    ees = []
+    for klass in ("A", "B", "C"):
+        bench, n = benchmark_for(name, klass, niter=5 if name == "FT" else 125)
+        machine = derive_machine_params(g8, cpi_factor=bench.cpi_factor)
+        model = IsoEnergyModel(machine, bench.workload)
+        ees.append(model.ee(n=n, p=256))
+    assert ees == sorted(ees), ees
+
+
+def test_ep_class_invariance(g8):
+    """EP's EE is class-independent (EEF cancels n entirely)."""
+    values = []
+    for klass in ("S", "A", "C"):
+        bench, n = benchmark_for("EP", klass)
+        machine = derive_machine_params(g8, cpi_factor=bench.cpi_factor)
+        model = IsoEnergyModel(machine, bench.workload)
+        values.append(round(model.ee(n=n, p=64), 10))
+    assert len(set(values)) == 1
+
+
+@pytest.mark.parametrize("name", ["FT", "CG", "IS", "MG", "LU", "BT", "SP"])
+def test_class_sizes_strictly_increase(name):
+    from repro.npb.workloads import benchmark_class
+
+    cls = benchmark_class(name)
+    order = [ProblemClass.S, ProblemClass.A, ProblemClass.B, ProblemClass.C]
+    sizes = [cls.class_sizes[k] for k in order if k in cls.class_sizes]
+    assert all(a <= b for a, b in zip(sizes, sizes[1:])), name

@@ -1,0 +1,89 @@
+"""EP: workload model, kernel, and the real Marsaglia polar method."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.microbench.perfmon import measure_counters
+from repro.npb.ep import EpBenchmark, EpWorkload, ep_numpy_reference
+from repro.simmpi.engine import SimConfig, SimEngine
+
+
+class TestEpWorkload:
+    def test_paper_coefficient(self):
+        """§V-B-2 prints Wc = 109.4·n."""
+        assert EpWorkload().wc(1e6) == pytest.approx(109.4e6)
+
+    def test_no_communication_in_model(self):
+        ap = EpWorkload().params(2**24, 64)
+        assert ap.m_messages == 0.0
+        assert ap.b_bytes == 0.0
+        assert ap.wco == 0.0
+
+    def test_memory_overhead_grows_with_p(self):
+        wl = EpWorkload()
+        assert wl.wmo(1e6, 128) > wl.wmo(1e6, 2) > wl.wmo(1e6, 1) == 0.0
+
+    def test_eef_independent_of_n(self, machine):
+        """§V-B-6: ΔE grows as fast as E1, so n cannot help EP."""
+        from repro.core.efficiency import eef
+
+        wl = EpWorkload()
+        e_small = eef(machine, wl.params(2**24, 64), 64)
+        e_large = eef(machine, wl.params(2**30, 64), 64)
+        assert e_small == pytest.approx(e_large, rel=1e-9)
+
+
+class TestEpKernel:
+    def test_kernel_does_tiny_reduction_model_ignores(self, systemg8):
+        bench, _ = EpBenchmark.for_class("S")
+        n = bench.n_for_class("S")
+        res = SimEngine(
+            systemg8, SimConfig(alpha=bench.alpha, cpi_factor=bench.cpi_factor)
+        ).run(bench.make_program(n, 8), size=8)
+        # model says zero messages; kernel's final allreduce is the honest gap
+        assert res.trace.m_total > 0
+        assert res.trace.b_total <= 96 * res.trace.m_total
+
+    def test_kernel_workload_matches_bias(self, systemg8):
+        bench, _ = EpBenchmark.for_class("S")
+        n = bench.n_for_class("S")
+        ap = bench.app_params(n, 4)
+        res = SimEngine(systemg8, SimConfig(alpha=bench.alpha)).run(
+            bench.make_program(n, 4), size=4
+        )
+        rep = measure_counters(res)
+        assert rep.instructions == pytest.approx(
+            ap.wc * bench.bias.compute_scale, rel=1e-6
+        )
+
+    def test_niter_override_rejected(self):
+        from repro.errors import ConfigurationError
+        from repro.npb.workloads import benchmark_for
+
+        with pytest.raises(ConfigurationError, match="no iteration"):
+            benchmark_for("EP", "S", niter=5)
+
+
+class TestMarsagliaPolar:
+    def test_moments_are_gaussian(self):
+        g, _ = ep_numpy_reference(n_pairs=50_000)
+        assert np.mean(g) == pytest.approx(0.0, abs=0.02)
+        assert np.std(g) == pytest.approx(1.0, abs=0.02)
+        # excess kurtosis of a Gaussian is 0
+        kurt = np.mean(((g - g.mean()) / g.std()) ** 4) - 3.0
+        assert abs(kurt) < 0.1
+
+    def test_acceptance_rate_is_pi_over_four(self):
+        _, rate = ep_numpy_reference(n_pairs=50_000)
+        assert rate == pytest.approx(math.pi / 4.0, abs=0.01)
+
+    def test_deterministic_by_seed(self):
+        g1, _ = ep_numpy_reference(n_pairs=1000, seed=5)
+        g2, _ = ep_numpy_reference(n_pairs=1000, seed=5)
+        assert np.array_equal(g1, g2)
+
+    def test_output_length(self):
+        g, _ = ep_numpy_reference(n_pairs=1234)
+        assert len(g) == 2468

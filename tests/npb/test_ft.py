@@ -1,0 +1,110 @@
+"""FT: workload model forms, kernel consistency, numpy reference."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.microbench.perfmon import measure_counters
+from repro.npb.ft import FtBenchmark, FtWorkload, ft_comm_plan, ft_numpy_reference
+from repro.simmpi import collectives
+from repro.simmpi.engine import SimConfig, SimEngine
+
+
+class TestFtWorkload:
+    def test_wc_is_nlogn(self):
+        wl = FtWorkload(niter=1)
+        assert wl.wc(2**20) == pytest.approx(wl.awc * 2**20 * 20)
+
+    def test_sequential_has_no_overheads(self):
+        ap = FtWorkload().params(2**20, 1)
+        assert ap.wco == 0.0 and ap.wmo == 0.0
+        assert ap.m_messages == 0.0 and ap.b_bytes == 0.0
+
+    def test_comm_totals_follow_pairwise_model(self):
+        n, p, niter = 2**20, 8, 4
+        wl = FtWorkload(niter=niter)
+        ap = wl.params(n, p)
+        pair = int(16 * n / p**2)
+        expected_m = niter * (
+            collectives.alltoall_message_count(p)
+            + collectives.allreduce_message_count(p)
+        )
+        assert ap.m_messages == pytest.approx(expected_m)
+        assert ap.b_bytes >= niter * collectives.alltoall_byte_count(p, pair)
+
+    def test_transpose_bytes_shrink_per_pair_with_p(self):
+        n = 2**22
+        plan8 = ft_comm_plan(n, 8)
+        plan64 = ft_comm_plan(n, 64)
+        assert plan64["pair_bytes"] < plan8["pair_bytes"]
+        # but total volume B stays ≈ 16n per iteration
+        assert plan64["b"] == pytest.approx(16 * n, rel=0.1)
+
+    def test_iterations_scale_everything(self):
+        a1 = FtWorkload(niter=1).params(2**20, 8)
+        a5 = FtWorkload(niter=5).params(2**20, 8)
+        assert a5.wc == pytest.approx(5 * a1.wc)
+        assert a5.m_messages == pytest.approx(5 * a1.m_messages)
+
+    def test_tiny_n_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            FtWorkload().params(2, 1)
+
+
+class TestFtKernel:
+    def test_kernel_issues_modeled_work(self, systemg8):
+        bench, _ = FtBenchmark.for_class("S", niter=2)
+        n = bench.n_for_class("S")
+        p = 4
+        ap = bench.app_params(n, p)
+        prog = bench.make_program(n, p)
+        res = SimEngine(
+            systemg8, SimConfig(alpha=bench.alpha, cpi_factor=bench.cpi_factor)
+        ).run(prog, size=p)
+        rep = measure_counters(res)
+        # counters match the analytic totals up to the declared kernel bias
+        assert rep.instructions == pytest.approx(
+            ap.total_instructions * bench.bias.compute_scale, rel=1e-6
+        )
+        assert res.trace.m_total == int(ap.m_messages)
+
+    def test_kernel_phases_present(self, systemg8):
+        bench, _ = FtBenchmark.for_class("S", niter=1)
+        res = SimEngine(systemg8, SimConfig()).run(
+            bench.make_program(bench.n_for_class("S"), 4), size=4
+        )
+        phases = {s.phase for s in res.segments}
+        assert {"compute1", "reduction", "compute2", "alltoall"} <= phases
+
+    def test_kernel_runs_sequentially(self, systemg8):
+        bench, _ = FtBenchmark.for_class("S", niter=1)
+        res = SimEngine(systemg8, SimConfig()).run(
+            bench.make_program(bench.n_for_class("S"), 1), size=1
+        )
+        assert res.trace.m_total == 0
+
+    def test_class_sizes_grow(self):
+        bench = FtBenchmark()
+        assert (
+            bench.n_for_class("S")
+            < bench.n_for_class("A")
+            < bench.n_for_class("B")
+            < bench.n_for_class("C")
+        )
+
+
+class TestFtNumpyReference:
+    def test_checksums_finite_and_stable(self):
+        c1 = ft_numpy_reference((8, 8, 8), niter=3)
+        c2 = ft_numpy_reference((8, 8, 8), niter=3)
+        assert c1 == c2  # seeded determinism
+        assert all(np.isfinite(c.real) and np.isfinite(c.imag) for c in c1)
+
+    def test_evolution_decays_energy(self):
+        """The PDE evolution is a diffusion: spectral energy must shrink."""
+        checks = ft_numpy_reference((16, 16, 16), niter=5)
+        mags = [abs(c) for c in checks]
+        assert mags[-1] <= mags[0] * 1.001

@@ -1,0 +1,112 @@
+"""Suite benchmarks (IS/MG/LU/BT/SP), registry, base-class helpers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.microbench.perfmon import measure_counters
+from repro.npb.base import KernelBias, NpbBenchmark, ProblemClass
+from repro.npb.suite import (
+    BtBenchmark,
+    IsBenchmark,
+    LuBenchmark,
+    MgBenchmark,
+    SpBenchmark,
+)
+from repro.npb.workloads import (
+    SUITE_BENCHMARKS,
+    benchmark_class,
+    benchmark_for,
+    benchmark_names,
+    workload_for,
+)
+from repro.simmpi.engine import SimConfig, SimEngine
+
+ALL_SUITE = [IsBenchmark, MgBenchmark, LuBenchmark, BtBenchmark, SpBenchmark]
+
+
+class TestRegistry:
+    def test_all_suite_members_registered(self):
+        assert set(SUITE_BENCHMARKS) <= set(benchmark_names())
+
+    def test_lookup_case_insensitive(self):
+        assert benchmark_class("ft") is benchmark_class("FT")
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown NPB"):
+            benchmark_class("XX")
+
+    def test_benchmark_for_returns_class_size(self):
+        bench, n = benchmark_for("MG", "A")
+        assert n == 256**3
+        assert bench.name == "MG"
+
+    def test_workload_for_shortcut(self):
+        wl, n = workload_for("LU", "B")
+        assert wl.params(n, 4).wc > 0
+
+    def test_niter_override_threads_through(self):
+        bench, n = benchmark_for("SP", "B", niter=7)
+        assert bench.workload.niter == 7
+
+
+@pytest.mark.parametrize("cls", ALL_SUITE)
+class TestSuiteMembers:
+    def test_params_validate_at_scale(self, cls):
+        bench, n = cls.for_class("B")
+        for p in (1, 2, 4, 8):
+            ap = bench.app_params(n, p)
+            assert ap.wc > 0
+            if p > 1:
+                assert ap.m_messages > 0
+
+    def test_kernel_matches_model_traffic(self, cls, systemg8):
+        bench, _ = cls.for_class("S", niter=2)
+        n = bench.n_for_class("S")
+        p = 4
+        ap = bench.app_params(n, p)
+        res = SimEngine(
+            systemg8, SimConfig(alpha=bench.alpha, cpi_factor=bench.cpi_factor)
+        ).run(bench.make_program(n, p), size=p)
+        assert res.trace.m_total == int(ap.m_messages)
+        assert res.trace.b_total == pytest.approx(ap.b_bytes, rel=0.01)
+
+    def test_kernel_workload_close_to_model(self, cls, systemg8):
+        bench, _ = cls.for_class("S", niter=1)
+        n = bench.n_for_class("S")
+        res = SimEngine(systemg8, SimConfig()).run(
+            bench.make_program(n, 2), size=2
+        )
+        rep = measure_counters(res)
+        ap = bench.app_params(n, 2)
+        assert rep.instructions == pytest.approx(
+            ap.total_instructions * bench.bias.compute_scale, rel=0.01
+        )
+
+
+class TestBaseHelpers:
+    def test_split_even_conserves_total(self):
+        total, p = 1003.0, 4
+        shares = [NpbBenchmark.split_even(total, p, r) for r in range(p)]
+        assert sum(shares) == pytest.approx(total)
+
+    def test_split_even_imbalance_bounded(self):
+        shares = [NpbBenchmark.split_even(1003.0, 4, r) for r in range(4)]
+        assert max(shares) - min(shares) <= 1.0
+
+    def test_split_even_single_rank(self):
+        assert NpbBenchmark.split_even(17.5, 1, 0) == pytest.approx(17.5)
+
+    def test_kernel_bias_mem_factor(self):
+        bias = KernelBias(memory_scale=1.0, memory_scale_parallel=0.1)
+        assert bias.mem_factor(1) == pytest.approx(1.0)
+        assert bias.mem_factor(10) == pytest.approx(1.09)
+
+    def test_unknown_class_rejected(self):
+        bench = IsBenchmark(IsBenchmark.default_workload())
+        with pytest.raises(ValueError):
+            bench.n_for_class("Z")
+
+
+def test_problem_class_enum_roundtrip():
+    assert ProblemClass("B") is ProblemClass.B
+    assert ProblemClass.B.value == "B"

@@ -1,0 +1,52 @@
+"""Peak-power statistics on profiles."""
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.npb.ft import FtBenchmark
+from repro.powerpack.analysis import (
+    average_power,
+    peak_power,
+    power_headroom_ratio,
+    sustained_power_above,
+)
+from repro.powerpack.profiler import PowerProfiler
+from repro.simmpi.engine import SimConfig, SimEngine
+
+
+@pytest.fixture()
+def ft_profile(systemg8):
+    bench, _ = FtBenchmark.for_class("S", niter=3)
+    n = bench.n_for_class("S")
+    config = SimConfig(alpha=bench.alpha, cpi_factor=bench.cpi_factor)
+    res = SimEngine(systemg8, config).run(bench.make_program(n, 2), size=2)
+    return PowerProfiler(systemg8, sample_period=res.total_time / 200).profile(res)
+
+
+def test_peak_at_least_average(ft_profile):
+    assert peak_power(ft_profile) >= average_power(ft_profile)
+
+
+def test_headroom_ratio_above_one_for_bursty_code(ft_profile):
+    # FT's phase structure makes its draw bursty
+    assert power_headroom_ratio(ft_profile) > 1.02
+
+
+def test_peak_bounded_by_hardware(ft_profile, systemg8):
+    ceiling = 2 * systemg8.nodes[0].power.p_system_peak
+    assert peak_power(ft_profile) <= ceiling
+
+
+def test_sustained_time_above_thresholds(ft_profile):
+    duration = ft_profile.duration
+    always = sustained_power_above(ft_profile, 0.0)
+    never = sustained_power_above(ft_profile, 1e9)
+    assert never == 0.0
+    assert always == pytest.approx(duration, rel=0.05)
+    mid = sustained_power_above(ft_profile, average_power(ft_profile))
+    assert 0.0 < mid < duration
+
+
+def test_threshold_validation(ft_profile):
+    with pytest.raises(MeasurementError):
+        sustained_power_above(ft_profile, -1.0)

@@ -1,0 +1,111 @@
+"""PowerProfile container and persistence round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.powerpack.io import profile_from_json, profile_to_csv, profile_to_json
+from repro.powerpack.profile import ComponentSeries, PowerProfile
+from repro.powerpack.profiler import PowerProfiler
+from repro.simmpi.engine import SimConfig, SimEngine
+
+
+@pytest.fixture()
+def profile(systemg8):
+    def prog(ctx):
+        yield from ctx.phase("phase-a")
+        yield from ctx.compute(instructions=1e9, mem_accesses=1e6)
+
+    res = SimEngine(systemg8, SimConfig()).run(prog, size=2)
+    return PowerProfiler(systemg8, sample_period=res.total_time / 50).profile(
+        res, label="test-run"
+    )
+
+
+class TestComponentSeries:
+    def test_rejects_unknown_component(self):
+        with pytest.raises(MeasurementError, match="unknown component"):
+            ComponentSeries(
+                node=0,
+                component="gpu",
+                times=np.array([0.0, 1.0]),
+                watts=np.array([1.0, 1.0]),
+            )
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(MeasurementError):
+            ComponentSeries(
+                node=0,
+                component="cpu",
+                times=np.array([0.0, 1.0]),
+                watts=np.array([1.0]),
+            )
+
+    def test_energy_integration(self):
+        s = ComponentSeries(
+            node=0,
+            component="cpu",
+            times=np.array([0.0, 1.0, 2.0]),
+            watts=np.array([10.0, 10.0, 30.0]),
+        )
+        assert s.energy() == pytest.approx(10.0 + 20.0)
+
+    def test_energy_needs_samples(self):
+        s = ComponentSeries(
+            node=0, component="cpu", times=np.array([0.0]), watts=np.array([1.0])
+        )
+        with pytest.raises(MeasurementError):
+            s.energy()
+
+
+class TestPowerProfile:
+    def test_nodes_listed(self, profile):
+        assert profile.nodes() == [0, 1]
+
+    def test_node_series_lookup(self, profile):
+        s = profile.node_series(0, "cpu")
+        assert s.node == 0 and s.component == "cpu"
+        with pytest.raises(MeasurementError):
+            profile.node_series(7, "cpu")
+
+    def test_system_series_sums_nodes(self, profile):
+        sys_cpu = profile.system_series("cpu")
+        per_node = [profile.node_series(n, "cpu").watts for n in profile.nodes()]
+        assert np.allclose(sys_cpu.watts, np.sum(per_node, axis=0))
+
+    def test_total_power_series_is_all_components(self, profile):
+        _, total = profile.total_power_series()
+        per_comp = sum(
+            profile.system_series(c).watts
+            for c in ("cpu", "memory", "io", "motherboard")
+        )
+        assert np.allclose(total, per_comp)
+
+    def test_sampled_energy_unknown_component(self, profile):
+        with pytest.raises(MeasurementError):
+            profile.sampled_energy("gpu")
+
+
+class TestPersistence:
+    def test_json_roundtrip(self, profile, tmp_path):
+        path = tmp_path / "profile.json"
+        profile_to_json(profile, path)
+        back = profile_from_json(path)
+        assert back.label == "test-run"
+        assert back.duration == pytest.approx(profile.duration)
+        assert back.exact_energy == pytest.approx(profile.exact_energy)
+        assert len(back.series) == len(profile.series)
+        assert np.allclose(back.series[0].watts, profile.series[0].watts)
+        assert back.phase_marks == profile.phase_marks
+
+    def test_csv_export_structure(self, profile, tmp_path):
+        path = tmp_path / "profile.csv"
+        profile_to_csv(profile, path)
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "time_s,node,component,watts"
+        n_samples = len(profile.series[0].times)
+        assert len(lines) == 1 + len(profile.series) * n_samples
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(MeasurementError):
+            profile_from_json(tmp_path / "missing.json")

@@ -1,0 +1,134 @@
+"""PowerPack profiler: attribution rules and energy integration."""
+
+import pytest
+
+from repro.powerpack.analysis import (
+    average_power,
+    component_energy_breakdown,
+    energy_delay_product,
+    figure10_decomposition,
+)
+from repro.powerpack.profiler import PowerProfiler
+from repro.simmpi.engine import SimConfig, SimEngine
+
+
+def run_simple(cluster, *, alpha=1.0, size=1, instructions=1e8, mem=1e5):
+    def prog(ctx):
+        yield from ctx.phase("work")
+        yield from ctx.compute(instructions=instructions, mem_accesses=mem)
+
+    return SimEngine(cluster, SimConfig(alpha=alpha)).run(prog, size=size)
+
+
+def test_exact_energy_matches_closed_form(systemg8):
+    res = run_simple(systemg8)
+    node = systemg8.nodes[0]
+    t = res.total_time
+    expected = (
+        node.power.p_system_idle * t
+        + 1e8 * node.cpu.tc() * node.power.cpu.delta_p
+        + 1e5 * node.memory.tm * node.power.memory.delta_p
+    )
+    measured = PowerProfiler(systemg8).measure_energy(res)
+    assert measured == pytest.approx(expected)
+
+
+def test_sampled_energy_approximates_exact(systemg8):
+    res = run_simple(systemg8, instructions=5e9)
+    profile = PowerProfiler(systemg8, sample_period=res.total_time / 500).profile(res)
+    assert profile.sampled_energy() == pytest.approx(profile.exact_energy, rel=0.02)
+
+
+def test_idle_only_run_draws_idle_power(systemg8):
+    def prog(ctx):
+        yield from ctx.sleep(5.0)
+
+    res = SimEngine(systemg8, SimConfig()).run(prog, size=1)
+    e = PowerProfiler(systemg8).measure_energy(res)
+    assert e == pytest.approx(systemg8.nodes[0].power.p_system_idle * 5.0)
+
+
+def test_multi_node_idle_power_counted_per_node(systemg8):
+    res = run_simple(systemg8, size=4)
+    e4 = PowerProfiler(systemg8).exact_component_energies(res)
+    # motherboard (always-on) energy must scale with the 4 used nodes
+    expected = 4 * systemg8.nodes[0].power.others * res.total_time
+    assert e4["motherboard"] == pytest.approx(expected)
+
+
+def test_colocated_ranks_share_component_delta(systemg8):
+    """Two ranks on one node cannot double-count the package ΔP."""
+
+    def prog(ctx):
+        yield from ctx.compute(instructions=1e8)
+
+    res1 = SimEngine(systemg8, SimConfig(procs_per_node=1)).run(prog, 1)
+    res2 = SimEngine(systemg8, SimConfig(procs_per_node=2)).run(prog, 2)
+    p = PowerProfiler(systemg8)
+    cpu1 = p.exact_component_energies(res1)["cpu"]
+    cpu2 = p.exact_component_energies(res2)["cpu"]
+    # same active CPU energy: 2 ranks × half the per-rank ΔP share
+    assert cpu2 == pytest.approx(cpu1, rel=1e-9)
+
+
+def test_overlap_cuts_idle_energy_not_active(systemg8):
+    e_full = PowerProfiler(systemg8).exact_component_energies(
+        run_simple(systemg8, alpha=1.0, instructions=1e9, mem=1e7)
+    )
+    e_tight = PowerProfiler(systemg8).exact_component_energies(
+        run_simple(systemg8, alpha=0.8, instructions=1e9, mem=1e7)
+    )
+    # the active portion is identical; only the idle floor shrinks
+    node = systemg8.nodes[0]
+    active_cpu = 1e9 * node.cpu.tc() * node.power.cpu.delta_p
+    assert e_full["cpu"] - active_cpu > e_tight["cpu"] - active_cpu
+
+
+def test_meter_noise_perturbs_samples_not_exact(systemg8):
+    res = run_simple(systemg8, instructions=1e9)
+    noisy = PowerProfiler(systemg8, meter_sigma=0.05, seed=2).profile(res)
+    clean = PowerProfiler(systemg8).profile(res)
+    assert noisy.exact_energy == pytest.approx(clean.exact_energy)
+    assert noisy.sampled_energy() != pytest.approx(clean.sampled_energy(), rel=1e-6)
+
+
+def test_phase_marks_recorded(systemg8):
+    res = run_simple(systemg8)
+    profile = PowerProfiler(systemg8).profile(res)
+    assert ("work" in dict((name, t) for t, name in profile.phase_marks))
+
+
+class TestAnalysis:
+    def test_figure10_decomposition_sums_to_total(self, systemg8):
+        res = run_simple(systemg8, instructions=1e9, mem=1e6)
+        profile = PowerProfiler(systemg8).profile(res)
+        decomp = figure10_decomposition(profile, systemg8, res)
+        assert decomp.total == pytest.approx(profile.exact_energy, rel=1e-9)
+
+    def test_figure10_active_cpu_area(self, systemg8):
+        res = run_simple(systemg8, instructions=1e9, mem=0.0)
+        profile = PowerProfiler(systemg8).profile(res)
+        decomp = figure10_decomposition(profile, systemg8, res)
+        node = systemg8.nodes[0]
+        assert decomp.active["cpu"] == pytest.approx(
+            1e9 * node.cpu.tc() * node.power.cpu.delta_p
+        )
+        assert decomp.active["memory"] == pytest.approx(0.0)
+
+    def test_breakdown_totals(self, systemg8):
+        res = run_simple(systemg8)
+        profile = PowerProfiler(systemg8).profile(res)
+        bd = component_energy_breakdown(profile)
+        assert bd["total"] == pytest.approx(
+            bd["cpu"] + bd["memory"] + bd["io"] + bd["motherboard"]
+        )
+
+    def test_average_power_and_edp(self, systemg8):
+        res = run_simple(systemg8)
+        profile = PowerProfiler(systemg8).profile(res)
+        assert average_power(profile) == pytest.approx(
+            profile.exact_energy / profile.duration
+        )
+        assert energy_delay_product(profile) == pytest.approx(
+            profile.exact_energy * profile.duration
+        )

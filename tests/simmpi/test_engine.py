@@ -1,0 +1,226 @@
+"""Discrete-event engine: timing semantics, matching, deadlock detection."""
+
+import pytest
+
+from repro.errors import ConfigurationError, DeadlockError, RankError
+from repro.simmpi.engine import SimConfig, SimEngine
+from repro.simmpi.noise import NoiseModel
+
+
+@pytest.fixture()
+def engine(systemg8):
+    return SimEngine(systemg8, SimConfig())
+
+
+def test_compute_duration_exact(systemg8):
+    engine = SimEngine(systemg8, SimConfig(alpha=1.0))
+
+    def prog(ctx):
+        yield from ctx.compute(instructions=1e6, mem_accesses=1e3)
+
+    res = engine.run(prog, size=1)
+    node = systemg8.nodes[0]
+    expected = 1e6 * node.cpu.tc() + 1e3 * node.memory.tm
+    assert res.total_time == pytest.approx(expected)
+
+
+def test_alpha_shrinks_wall_time(systemg8):
+    def prog(ctx):
+        yield from ctx.compute(instructions=1e6, mem_accesses=1e3)
+
+    t_full = SimEngine(systemg8, SimConfig(alpha=1.0)).run(prog, 1).total_time
+    t_overlap = SimEngine(systemg8, SimConfig(alpha=0.8)).run(prog, 1).total_time
+    assert t_overlap == pytest.approx(0.8 * t_full)
+
+
+def test_alpha_preserves_active_seconds(systemg8):
+    """Overlap shortens the wall clock but not the active energy basis."""
+
+    def prog(ctx):
+        yield from ctx.compute(instructions=1e6, mem_accesses=1e3)
+
+    res = SimEngine(systemg8, SimConfig(alpha=0.8)).run(prog, 1)
+    seg = [s for s in res.segments if s.kind == "work"][0]
+    node = systemg8.nodes[0]
+    assert seg.cpu_active == pytest.approx(1e6 * node.cpu.tc())
+    assert seg.mem_active == pytest.approx(1e3 * node.memory.tm)
+    assert seg.cpu_active + seg.mem_active > seg.duration
+
+
+def test_cpi_factor_scales_compute(systemg8):
+    def prog(ctx):
+        yield from ctx.compute(instructions=1e6)
+
+    base = SimEngine(systemg8, SimConfig()).run(prog, 1).total_time
+    stalled = SimEngine(systemg8, SimConfig(cpi_factor=2.5)).run(prog, 1).total_time
+    assert stalled == pytest.approx(2.5 * base)
+
+
+def test_send_recv_transfer_time(systemg8):
+    engine = SimEngine(systemg8, SimConfig())
+
+    def prog(ctx):
+        if ctx.rank == 0:
+            yield from ctx.send(dst=1, nbytes=1 << 20)
+        else:
+            yield from ctx.recv(src=0)
+
+    res = engine.run(prog, size=2)
+    net = systemg8.interconnect
+    assert res.total_time == pytest.approx(net.ts + (1 << 20) * net.tw)
+    assert res.trace.m_total == 1
+    assert res.trace.b_total == 1 << 20
+
+
+def test_transfer_starts_when_both_ready(systemg8):
+    """A transfer begins at max(sender ready, receiver ready)."""
+    engine = SimEngine(systemg8, SimConfig())
+
+    def prog(ctx):
+        if ctx.rank == 0:
+            yield from ctx.send(dst=1, nbytes=0)
+        else:
+            yield from ctx.sleep(1.0)  # receiver arrives late
+            yield from ctx.recv(src=0)
+
+    res = engine.run(prog, size=2)
+    assert res.total_time == pytest.approx(1.0 + systemg8.interconnect.ts)
+    # the sender's comm segment includes its wait for the receiver
+    comm0 = [s for s in res.segments if s.rank == 0 and s.kind == "comm"][0]
+    assert comm0.duration == pytest.approx(1.0 + systemg8.interconnect.ts)
+
+
+def test_exchange_is_full_duplex(systemg8):
+    engine = SimEngine(systemg8, SimConfig())
+
+    def prog(ctx):
+        peer = 1 - ctx.rank
+        yield from ctx.exchange(dst=peer, src=peer, nbytes=1 << 16)
+
+    res = engine.run(prog, size=2)
+    net = systemg8.interconnect
+    # both directions overlap: one transfer time, not two
+    assert res.total_time == pytest.approx(net.ts + (1 << 16) * net.tw)
+    assert res.trace.m_total == 2  # but both messages are counted
+
+
+def test_message_ordering_fifo(systemg8):
+    """Two same-tag sends must match receives in order."""
+    engine = SimEngine(systemg8, SimConfig())
+    sizes = [1 << 10, 1 << 20]
+
+    def prog(ctx):
+        if ctx.rank == 0:
+            for s in sizes:
+                yield from ctx.send(dst=1, nbytes=s, tag=7)
+        else:
+            yield from ctx.recv(src=0, tag=7)
+            yield from ctx.recv(src=0, tag=7)
+
+    res = engine.run(prog, size=2)
+    assert res.trace.b_total == sum(sizes)
+
+
+def test_deadlock_detected(systemg8):
+    engine = SimEngine(systemg8, SimConfig())
+
+    def prog(ctx):
+        # both ranks recv first: classic deadlock
+        peer = 1 - ctx.rank
+        yield from ctx.recv(src=peer)
+        yield from ctx.send(dst=peer, nbytes=8)
+
+    with pytest.raises(DeadlockError, match="blocked ranks"):
+        engine.run(prog, size=2)
+
+
+def test_mismatched_tag_deadlocks(systemg8):
+    engine = SimEngine(systemg8, SimConfig())
+
+    def prog(ctx):
+        if ctx.rank == 0:
+            yield from ctx.send(dst=1, nbytes=8, tag=1)
+        else:
+            yield from ctx.recv(src=0, tag=2)
+
+    with pytest.raises(DeadlockError):
+        engine.run(prog, size=2)
+
+
+def test_program_exception_wrapped(systemg8):
+    engine = SimEngine(systemg8, SimConfig())
+
+    def prog(ctx):
+        yield from ctx.compute(1.0)
+        raise ValueError("boom")
+
+    with pytest.raises(RankError, match="rank 0 program raised"):
+        engine.run(prog, size=1)
+
+
+def test_capacity_enforced(systemg8):
+    engine = SimEngine(systemg8, SimConfig(procs_per_node=1))
+
+    def prog(ctx):
+        yield from ctx.compute(1.0)
+
+    with pytest.raises(ConfigurationError, match="exceed capacity"):
+        engine.run(prog, size=9)
+
+
+def test_procs_per_node_placement(systemg8):
+    engine = SimEngine(systemg8, SimConfig(procs_per_node=2))
+
+    def prog(ctx):
+        yield from ctx.compute(1.0)
+
+    res = engine.run(prog, size=4)
+    assert res.nodes_used == 2
+    assert engine.node_of(3) == 1
+
+
+def test_intra_node_messages_cheaper(systemg8):
+    def prog(ctx):
+        if ctx.rank == 0:
+            yield from ctx.send(dst=1, nbytes=1 << 20)
+        else:
+            yield from ctx.recv(src=0)
+
+    inter = SimEngine(systemg8, SimConfig(procs_per_node=1)).run(prog, 2)
+    intra = SimEngine(systemg8, SimConfig(procs_per_node=2)).run(prog, 2)
+    assert intra.total_time < inter.total_time
+    assert intra.trace.intra_node_messages == 1
+    assert inter.trace.intra_node_messages == 0
+
+
+def test_determinism_with_seeded_noise(systemg8):
+    def prog(ctx):
+        yield from ctx.compute(1e6, 1e3)
+        peer = 1 - ctx.rank
+        yield from ctx.exchange(dst=peer, src=peer, nbytes=4096)
+
+    cfg = lambda: SimConfig(noise=NoiseModel(seed=99))  # noqa: E731
+    r1 = SimEngine(systemg8, cfg()).run(prog, 2)
+    r2 = SimEngine(systemg8, cfg()).run(prog, 2)
+    assert r1.total_time == r2.total_time
+
+
+def test_io_segment(systemg8):
+    def prog(ctx):
+        yield from ctx.io(0.25)
+
+    res = SimEngine(systemg8, SimConfig()).run(prog, 1)
+    assert res.total_time == pytest.approx(0.25)
+    seg = res.segments[0]
+    assert seg.kind == "io"
+    assert seg.io_active == pytest.approx(0.25)
+
+
+def test_busy_seconds_filter(systemg8):
+    def prog(ctx):
+        yield from ctx.compute(1e6)
+        yield from ctx.io(0.1)
+
+    res = SimEngine(systemg8, SimConfig()).run(prog, 1)
+    assert res.busy_seconds("io") == pytest.approx(0.1)
+    assert res.busy_seconds() == pytest.approx(res.total_time)

@@ -1,0 +1,105 @@
+"""Noise model, tracer, and cost model units."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.network import infiniband_qdr
+from repro.errors import ConfigurationError
+from repro.simmpi.costmodel import CostModel
+from repro.simmpi.noise import NoiseModel
+from repro.simmpi.trace import CommTrace
+
+
+class TestNoiseModel:
+    def test_quiet_is_identity(self):
+        nm = NoiseModel.quiet()
+        assert nm.compute_factor() == 1.0
+        assert nm.memory_factor() == 1.0
+        assert nm.network_factor() == 1.0
+        assert nm.os_preemption(100.0) == 0.0
+        assert nm.node_cpu_factor(3) == 1.0
+
+    def test_node_factor_stable_per_node(self):
+        nm = NoiseModel(seed=1)
+        assert nm.node_cpu_factor(5) == nm.node_cpu_factor(5)
+        assert nm.node_cpu_factor(5) != nm.node_cpu_factor(6)
+
+    def test_node_factor_deterministic_across_instances(self):
+        assert NoiseModel(seed=7).node_cpu_factor(2) == NoiseModel(
+            seed=7
+        ).node_cpu_factor(2)
+
+    def test_factors_near_one(self):
+        nm = NoiseModel(seed=3, cpu_sigma=0.02)
+        samples = [nm.compute_factor() for _ in range(2000)]
+        assert abs(np.mean(samples) - 1.0) < 0.01
+
+    def test_mem_pattern_bias_systematic(self):
+        nm = NoiseModel(seed=0, mem_sigma=0.0, mem_pattern_bias=1.08)
+        assert nm.memory_factor() == pytest.approx(1.08)
+
+    def test_os_preemption_scales_with_busy_time(self):
+        nm = NoiseModel(seed=0, os_noise_rate=10.0, os_noise_duration=0.01)
+        long = sum(nm.os_preemption(100.0) for _ in range(10))
+        short = sum(nm.os_preemption(0.1) for _ in range(10))
+        assert long > short
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NoiseModel(cpu_sigma=-0.1)
+        with pytest.raises(ConfigurationError):
+            NoiseModel(mem_pattern_bias=0.0)
+
+
+class TestCostModel:
+    def test_basic_hockney(self):
+        cm = CostModel(interconnect=infiniband_qdr())
+        net = infiniband_qdr()
+        assert cm.transfer_time(1000) == pytest.approx(net.ts + 1000 * net.tw)
+
+    def test_intra_node_discount(self):
+        cm = CostModel(interconnect=infiniband_qdr())
+        assert cm.transfer_time(1 << 20, same_node=True) < cm.transfer_time(1 << 20)
+
+    def test_congestion_penalty(self):
+        cm = CostModel(interconnect=infiniband_qdr(), congestion_beta=0.1)
+        free = cm.transfer_time(1000, concurrent=0)
+        busy = cm.transfer_time(1000, concurrent=10)
+        assert busy == pytest.approx(free * 2.0)
+
+    def test_negative_size_rejected(self):
+        cm = CostModel(interconnect=infiniband_qdr())
+        with pytest.raises(ConfigurationError):
+            cm.transfer_time(-1)
+
+    def test_invalid_factors_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CostModel(interconnect=infiniband_qdr(), intra_node_ts_factor=0.0)
+        with pytest.raises(ConfigurationError):
+            CostModel(interconnect=infiniband_qdr(), congestion_beta=-1.0)
+
+
+class TestCommTrace:
+    def test_record_accumulates(self):
+        tr = CommTrace()
+        tr.record_transfer(0, 1, 100, 1e-6, same_node=False, phase="a")
+        tr.record_transfer(1, 0, 200, 2e-6, same_node=True, phase="a")
+        assert tr.m_total == 2
+        assert tr.b_total == 300
+        assert tr.intra_node_messages == 1
+        assert tr.comm_seconds == pytest.approx(3e-6)
+
+    def test_per_rank_accounting(self):
+        tr = CommTrace()
+        tr.record_transfer(0, 1, 100, 1e-6, same_node=False)
+        tr.record_transfer(0, 2, 50, 1e-6, same_node=False)
+        assert tr.per_rank_sent[0] == 2
+        assert tr.per_rank_bytes[0] == 150
+
+    def test_phase_summary_sorted_by_volume(self):
+        tr = CommTrace()
+        tr.record_transfer(0, 1, 10, 1e-6, same_node=False, phase="small")
+        tr.record_transfer(0, 1, 1000, 1e-6, same_node=False, phase="big")
+        summary = tr.phase_summary()
+        assert summary[0][0] == "big"
+        assert summary[1] == ("small", 1, 10)

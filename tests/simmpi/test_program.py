@@ -1,0 +1,120 @@
+"""Rank-program API: context validation and operation construction."""
+
+import pytest
+
+from repro.errors import RankError
+from repro.simmpi.program import (
+    CommOp,
+    ComputeOp,
+    RankContext,
+    RecvPost,
+    Segment,
+    SendPost,
+)
+
+
+@pytest.fixture()
+def ctx():
+    return RankContext(rank=1, size=4)
+
+
+class TestContextConstruction:
+    def test_rank_bounds(self):
+        with pytest.raises(RankError):
+            RankContext(rank=4, size=4)
+        with pytest.raises(RankError):
+            RankContext(rank=-1, size=4)
+        with pytest.raises(RankError):
+            RankContext(rank=0, size=0)
+
+    def test_single_rank_world(self):
+        ctx = RankContext(rank=0, size=1)
+        assert ctx.size == 1
+
+
+class TestComputeOps:
+    def test_compute_yields_op(self, ctx):
+        ops = list(ctx.compute(instructions=10.0, mem_accesses=2.0, label="x"))
+        assert len(ops) == 1
+        assert isinstance(ops[0], ComputeOp)
+        assert ops[0].instructions == 10.0
+        assert ops[0].label == "x"
+
+    def test_zero_compute_is_noop(self, ctx):
+        assert list(ctx.compute(0.0, 0.0)) == []
+
+    def test_negative_work_rejected(self, ctx):
+        with pytest.raises(RankError):
+            list(ctx.compute(-1.0))
+
+    def test_zero_io_and_sleep_are_noops(self, ctx):
+        assert list(ctx.io(0.0)) == []
+        assert list(ctx.sleep(0.0)) == []
+
+    def test_negative_durations_rejected(self, ctx):
+        with pytest.raises(RankError):
+            list(ctx.io(-0.1))
+        with pytest.raises(RankError):
+            list(ctx.sleep(-0.1))
+
+
+class TestCommOps:
+    def test_send_builds_post(self, ctx):
+        (op,) = list(ctx.send(dst=2, nbytes=100, tag=7))
+        assert isinstance(op, CommOp)
+        assert op.posts == (SendPost(dst=2, nbytes=100, tag=7),)
+
+    def test_recv_builds_post(self, ctx):
+        (op,) = list(ctx.recv(src=0, tag=3))
+        assert op.posts == (RecvPost(src=0, tag=3),)
+
+    def test_exchange_posts_both(self, ctx):
+        (op,) = list(ctx.exchange(dst=2, src=0, nbytes=64))
+        kinds = {type(p) for p in op.posts}
+        assert kinds == {SendPost, RecvPost}
+
+    def test_self_messaging_rejected(self, ctx):
+        with pytest.raises(RankError, match="self-messaging"):
+            list(ctx.send(dst=1, nbytes=1))
+        with pytest.raises(RankError):
+            list(ctx.exchange(dst=1, src=0, nbytes=1))
+
+    def test_peer_out_of_range_rejected(self, ctx):
+        with pytest.raises(RankError):
+            list(ctx.send(dst=4, nbytes=1))
+        with pytest.raises(RankError):
+            list(ctx.recv(src=-1))
+
+    def test_negative_size_rejected(self, ctx):
+        with pytest.raises(RankError):
+            list(ctx.send(dst=2, nbytes=-1))
+
+    def test_post_validates_each_entry(self, ctx):
+        with pytest.raises(RankError):
+            list(ctx.post([SendPost(dst=9, nbytes=1, tag=0)]))
+        assert list(ctx.post([])) == []
+
+    def test_post_accepts_mixed_sets(self, ctx):
+        posts = [
+            SendPost(dst=2, nbytes=10, tag=1),
+            SendPost(dst=3, nbytes=20, tag=1),
+            RecvPost(src=0, tag=1),
+        ]
+        (op,) = list(ctx.post(posts, label="fan"))
+        assert len(op.posts) == 3
+        assert op.label == "fan"
+
+
+class TestSegment:
+    def test_duration(self):
+        s = Segment(rank=0, node=0, t0=1.0, t1=3.5, kind="work")
+        assert s.duration == pytest.approx(2.5)
+
+    def test_backwards_segment_rejected(self):
+        with pytest.raises(RankError):
+            Segment(rank=0, node=0, t0=2.0, t1=1.0, kind="work")
+
+    def test_counters_default_zero(self):
+        s = Segment(rank=0, node=0, t0=0.0, t1=1.0, kind="comm")
+        assert s.instructions == 0.0
+        assert s.mem_ops == 0.0

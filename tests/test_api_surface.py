@@ -1,0 +1,73 @@
+"""Public API surface and error hierarchy contracts."""
+
+import inspect
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestTopLevelApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_headline_workflow_via_top_level_only(self):
+        """README's quickstart must work from the root namespace alone."""
+        model, n = repro.paper_model("FT", klass="B")
+        point = model.evaluate(n=n, p=64)
+        assert 0 < point.ee < 1
+
+    def test_subpackages_importable(self):
+        import repro.analysis
+        import repro.cluster
+        import repro.core
+        import repro.microbench
+        import repro.npb
+        import repro.powerpack
+        import repro.simmpi
+        import repro.validation  # noqa: F401
+
+    def test_public_functions_documented(self):
+        """Every public callable in the core package carries a docstring."""
+        import repro.core as core
+
+        for name in core.__all__:
+            obj = getattr(core, name)
+            if callable(obj):
+                assert inspect.getdoc(obj), f"{name} lacks a docstring"
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if inspect.isclass(obj) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError) or obj is errors.ReproError
+
+    def test_single_except_catches_everything(self):
+        from repro.core.parameters import AppParams
+
+        with pytest.raises(errors.ReproError):
+            AppParams(alpha=2.0, wc=1.0)
+
+    def test_deadlock_is_simulation_error(self):
+        assert issubclass(errors.DeadlockError, errors.SimulationError)
+        assert issubclass(errors.RankError, errors.SimulationError)
+
+    def test_specific_types_raised(self):
+        from repro.cluster.cpu import PowerLaw
+        from repro.core.parameters import MachineParams
+
+        with pytest.raises(errors.ConfigurationError):
+            PowerLaw(delta_p_ref=1.0, p_idle_ref=1.0, f_ref=-1.0)
+        with pytest.raises(errors.ParameterError):
+            MachineParams(
+                tc=1e-9, tm=1e-7, ts=1e-6, tw=1e-10,
+                delta_pc=1, delta_pm=1, pc_idle=1, pm_idle=1,
+                p_others=1, f=-1.0,
+            )

@@ -1,0 +1,81 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr()
+    return code, out.out, out.err
+
+
+def test_evaluate_basic(capsys):
+    code, out, _ = run_cli(
+        capsys, "evaluate", "--benchmark", "FT", "--p", "16", "--klass", "B"
+    )
+    assert code == 0
+    assert "EE" in out and "bottleneck" in out
+    assert "FT.B on SystemG" in out
+
+
+def test_evaluate_with_frequency(capsys):
+    code, out, _ = run_cli(
+        capsys, "evaluate", "--benchmark", "CG", "--p", "16", "--freq", "2.0"
+    )
+    assert code == 0
+    assert "2.00 GHz" in out
+
+
+def test_sweep(capsys):
+    code, out, _ = run_cli(
+        capsys, "sweep", "--benchmark", "EP", "--p-values", "1,4,16"
+    )
+    assert code == 0
+    lines = [l for l in out.splitlines() if l.strip()]
+    assert len(lines) == 5  # header + separator + 3 rows
+
+
+def test_surface_frequency_axis(capsys):
+    code, out, _ = run_cli(
+        capsys, "surface", "--benchmark", "FT", "--axis", "f",
+        "--p-values", "1,16,256",
+    )
+    assert code == 0
+    assert "scale:" in out
+
+
+def test_surface_problem_size_axis(capsys):
+    code, out, _ = run_cli(
+        capsys, "surface", "--benchmark", "CG", "--axis", "n",
+        "--p-values", "1,16", "--n-factors", "0.5,1,2",
+    )
+    assert code == 0
+    assert "EE surface" in out
+
+
+def test_validate_runs_simulation(capsys):
+    code, out, _ = run_cli(
+        capsys, "validate", "--benchmark", "EP", "--cluster", "dori",
+        "--klass", "S", "--p", "4",
+    )
+    assert code == 0
+    assert "|error|" in out
+
+
+def test_unknown_cluster_is_clean_error(capsys):
+    code, _, err = run_cli(
+        capsys, "evaluate", "--cluster", "summit", "--p", "4"
+    )
+    assert code == 2
+    assert "unknown cluster" in err
+
+
+def test_unknown_benchmark_rejected_by_argparse(capsys):
+    with pytest.raises(SystemExit):
+        main(["evaluate", "--benchmark", "XX"])
+
+
+def test_module_entry_point():
+    import repro.__main__  # noqa: F401  (import must not execute main)

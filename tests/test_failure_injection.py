@@ -1,0 +1,130 @@
+"""Failure injection: the stack must stay sane under adverse conditions.
+
+Heterogeneous node speeds, congestion spikes, meter dropouts, staggered
+rank arrival, and powered-off PDU outlets — each exercises an error path
+or a robustness property the clean-path tests never touch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import system_g
+from repro.errors import DeadlockError, MeasurementError
+from repro.powerpack.profiler import PowerProfiler
+from repro.simmpi import collectives
+from repro.simmpi.engine import SimConfig, SimEngine
+from repro.simmpi.noise import NoiseModel
+
+
+class TestHeterogeneousNodes:
+    def test_slow_node_stretches_collective_wall_time(self, systemg8):
+        """A 10%-slow node drags every barrier participant with it."""
+        slow = NoiseModel(seed=0, cpu_sigma=0.0)
+        # poke a large static factor into one node's cache
+        slow._node_factor_cache[3] = 1.5
+
+        def prog(ctx):
+            yield from ctx.compute(instructions=1e8)
+            yield from collectives.barrier(ctx)
+
+        uniform = SimEngine(systemg8, SimConfig()).run(prog, size=8)
+        skewed = SimEngine(systemg8, SimConfig(noise=slow)).run(prog, size=8)
+        assert skewed.total_time > uniform.total_time * 1.3
+
+    def test_skew_shows_up_as_wait_energy(self, systemg8):
+        slow = NoiseModel(seed=0, cpu_sigma=0.0)
+        slow._node_factor_cache[0] = 2.0
+
+        def prog(ctx):
+            yield from ctx.compute(instructions=1e8)
+            yield from collectives.barrier(ctx)
+
+        res = SimEngine(systemg8, SimConfig(noise=slow)).run(prog, size=4)
+        # fast ranks idle-wait inside their comm segments
+        comm = [s for s in res.segments if s.kind == "comm" and s.rank != 0]
+        assert any(s.duration > 10 * s.net_active for s in comm)
+
+
+class TestCongestionSpikes:
+    def test_heavy_congestion_slows_but_preserves_traffic_counts(self, systemg8):
+        def prog(ctx):
+            yield from collectives.alltoall(ctx, nbytes_per_pair=1 << 16)
+
+        calm = SimEngine(systemg8, SimConfig(congestion_beta=0.0)).run(prog, 8)
+        jam = SimEngine(systemg8, SimConfig(congestion_beta=0.5)).run(prog, 8)
+        assert jam.total_time > calm.total_time
+        assert jam.trace.m_total == calm.trace.m_total
+        assert jam.trace.b_total == calm.trace.b_total
+
+
+class TestMeterFailures:
+    def test_zero_duration_run_rejected(self, systemg8):
+        def prog(ctx):
+            if False:
+                yield  # pragma: no cover
+
+        res = SimEngine(systemg8, SimConfig()).run(prog, size=1)
+        with pytest.raises(MeasurementError):
+            PowerProfiler(systemg8).measure_energy(res)
+
+    def test_extreme_meter_noise_never_negative(self, systemg8):
+        def prog(ctx):
+            yield from ctx.compute(instructions=1e9)
+
+        res = SimEngine(systemg8, SimConfig()).run(prog, size=1)
+        profile = PowerProfiler(systemg8, meter_sigma=1.0, seed=1).profile(res)
+        for s in profile.series:
+            assert (s.watts >= 0.0).all()
+
+
+class TestPduFailures:
+    def test_powered_off_node_reads_zero_during_run(self, systemg8):
+        pdu = systemg8.pdu
+        pdu.power_off(2)
+        samples = pdu.sample_timeline(2, lambda t: 150.0, duration=3.0)
+        assert all(s.watts == 0.0 for s in samples)
+        pdu.power_on(2)
+        samples = pdu.sample_timeline(2, lambda t: 150.0, duration=3.0)
+        assert all(s.watts > 0.0 for s in samples)
+
+
+class TestProtocolFailures:
+    def test_partial_collective_deadlocks_cleanly(self, systemg8):
+        """One rank skipping a barrier must raise DeadlockError, not hang."""
+
+        def prog(ctx):
+            if ctx.rank != 3:
+                yield from collectives.barrier(ctx)
+
+        with pytest.raises(DeadlockError):
+            SimEngine(systemg8, SimConfig()).run(prog, size=4)
+
+    def test_staggered_arrival_still_completes(self, systemg8):
+        def prog(ctx):
+            yield from ctx.sleep(0.01 * ctx.rank)
+            yield from collectives.allreduce(ctx, nbytes=64)
+            yield from collectives.barrier(ctx)
+
+        res = SimEngine(systemg8, SimConfig()).run(prog, size=8)
+        assert res.total_time >= 0.07  # the latest sleeper gates completion
+
+
+class TestValidationUnderStress:
+    def test_validation_error_degrades_gracefully_with_noise(self):
+        """10× noise should widen errors but not break the pipeline."""
+        from repro.npb.workloads import benchmark_for
+        from repro.validation.calibration import derive_machine_params
+        from repro.core.model import IsoEnergyModel
+
+        cluster = system_g(4)
+        bench, n = benchmark_for("FT", "S", niter=2)
+        noisy = NoiseModel(seed=5, cpu_sigma=0.15, mem_sigma=0.3, net_sigma=0.5)
+        config = SimConfig(
+            alpha=bench.alpha, cpi_factor=bench.cpi_factor, noise=noisy
+        )
+        res = SimEngine(cluster, config).run(bench.make_program(n, 4), size=4)
+        measured = PowerProfiler(cluster).measure_energy(res)
+        machine = derive_machine_params(cluster, cpi_factor=bench.cpi_factor)
+        predicted = IsoEnergyModel(machine, bench.workload).predict_energy(n=n, p=4)
+        assert measured > 0 and predicted > 0
+        assert abs(predicted - measured) / measured < 0.6

@@ -1,0 +1,158 @@
+"""End-to-end pipelines: calibrate → run → measure → predict → compare.
+
+These are the full §IV/§V workflows wired together, asserting both that
+the plumbing composes and that the headline quantitative claims hold in
+the reproduction (error bands, Section-V shape claims).
+"""
+
+import pytest
+
+from repro.analysis.surface import ee_surface
+from repro.cluster import dori, system_g
+from repro.core.model import IsoEnergyModel
+from repro.core.scaling import ee_frequency_sensitivity
+from repro.npb.workloads import benchmark_for
+from repro.paperdata import PAPER_MEAN_ERROR_PCT, paper_model
+from repro.powerpack.profiler import PowerProfiler
+from repro.units import GHZ
+from repro.validation import (
+    calibrate_machine_params,
+    validate,
+    validate_suite,
+)
+from repro.validation.harness import run_benchmark
+from repro.validation.study import efficiency_study
+
+FREQS = tuple(f * GHZ for f in (1.6, 2.0, 2.4, 2.8))
+
+
+@pytest.fixture(scope="module")
+def g16():
+    return system_g(16)
+
+
+class TestCalibratedPipeline:
+    """The paper's full methodology with *measured* (not spec-sheet) Θ1."""
+
+    def test_calibrated_model_predicts_within_band(self, g16):
+        bench, n = benchmark_for("FT", "W", niter=3)
+        cal = calibrate_machine_params(g16, cpi_factor=bench.cpi_factor, seed=9)
+        model = IsoEnergyModel(cal.params, bench.workload)
+        predicted = model.predict_energy(n=n, p=8)
+
+        result = run_benchmark(g16, bench, n, 8, seed=9)
+        measured = PowerProfiler(g16).measure_energy(result)
+        err = abs(predicted - measured) / measured
+        assert err < 0.15  # measured Θ1 adds noise on top of kernel bias
+
+
+class TestValidationBands:
+    """Reproduction of the paper's accuracy numbers (±2.5pp tolerance)."""
+
+    @pytest.mark.parametrize(
+        "name,niter", [("EP", None), ("FT", 5), ("CG", 75)]
+    )
+    def test_mean_error_near_paper_value(self, name, niter):
+        cluster = system_g(32)
+        errors = []
+        for p in (1, 2, 4, 8, 16, 32):
+            r = validate(cluster, name, klass="B", p=p, niter=niter, seed=p)
+            errors.append(r.abs_error_pct)
+        mean = sum(errors) / len(errors)
+        assert abs(mean - PAPER_MEAN_ERROR_PCT[name]) < 2.5
+
+    def test_dori_suite_mean_under_five_percent(self, dori4):
+        results = validate_suite(
+            dori4,
+            ("EP", "IS", "LU", "BT"),
+            klass="W",
+            p=4,
+            niter_overrides={"LU": 20, "BT": 20},
+        )
+        mean = sum(r.abs_error_pct for r in results) / len(results)
+        assert mean < 6.0
+
+
+class TestSectionVShapes:
+    """The paper's qualitative scalability claims, end to end."""
+
+    def test_ft_ee_declines_with_p_and_is_frequency_flat(self):
+        model, n = paper_model("FT", klass="B")
+        surface = ee_surface(
+            model, p_values=[1, 4, 16, 64, 256, 1024], f_values=FREQS, n=n
+        )
+        assert surface.monotone_along_x(increasing=False)
+        assert surface.spread_along_y() < 0.02  # "f has little impact"
+
+    def test_ep_is_nearly_iso_energy_efficient(self):
+        model, n = paper_model("EP", klass="B")
+        surface = ee_surface(
+            model, p_values=[1, 16, 256, 1024], f_values=FREQS, n=n
+        )
+        assert float(surface.values.min()) > 0.98
+        assert surface.spread_along_y() < 0.005
+
+    def test_ep_flat_in_problem_size(self):
+        model, n = paper_model("EP", klass="B")
+        surface = ee_surface(
+            model, p_values=[64], n_values=[n / 4, n, 4 * n], f=2.8 * GHZ
+        )
+        assert surface.spread_along_y() < 1e-6
+
+    def test_cg_prefers_high_frequency(self):
+        model, _ = paper_model("CG", klass="B")
+        for p in (16, 64, 256):
+            ees = [model.ee(n=75000, p=p, f=f) for f in FREQS[1:]]  # ≥ 2.0 GHz
+            assert ees == sorted(ees), f"CG EE not rising with f at p={p}"
+
+    def test_cg_more_frequency_sensitive_than_ft(self):
+        cg, _ = paper_model("CG", klass="B")
+        ft, n_ft = paper_model("FT", klass="B")
+        s_cg = ee_frequency_sensitivity(cg, n=75000, p=64, frequencies=FREQS)
+        s_ft = ee_frequency_sensitivity(ft, n=n_ft, p=64, frequencies=FREQS)
+        assert s_cg > 1.8 * s_ft
+
+    def test_cg_and_ft_recover_with_problem_size(self):
+        for name, n in (("CG", 75000.0), ("FT", float(2**25))):
+            model, _ = paper_model(name, klass="B")
+            low = model.ee(n=n / 4, p=256)
+            high = model.ee(n=4 * n, p=256)
+            assert high > low + 0.02, name
+
+
+class TestMeasuredEfficiencyCurves:
+    """Figure-2 style: measured efficiency tracks the model's."""
+
+    def test_ft_curves_track_model(self, g16):
+        points = efficiency_study(
+            g16, "FT", p_values=(1, 2, 4, 8, 16), klass="A", niter=3, seed=4
+        )
+        for pt in points:
+            assert pt.measured_energy_eff == pytest.approx(
+                pt.model_energy_eff, abs=0.12
+            )
+        # both decline overall
+        assert points[-1].measured_energy_eff < points[0].measured_energy_eff
+
+    def test_energy_efficiency_below_perf_efficiency_at_scale(self, g16):
+        """Figure 2's visual: the energy curve sits below the perf curve."""
+        points = efficiency_study(
+            g16, "FT", p_values=(1, 4, 16), klass="A", niter=3, seed=4
+        )
+        last = points[-1]
+        assert last.model_energy_eff < 1.0
+        assert last.measured_energy_eff < 1.0
+
+
+class TestCrossClusterContrast:
+    def test_same_code_less_efficient_on_slower_fabric(self):
+        """FT's EE at p=8 should be worse on Dori (GigE) than SystemG (IB)."""
+        from repro.validation.calibration import derive_machine_params
+
+        bench, n = benchmark_for("FT", "A", niter=3)
+        ee = {}
+        for cluster in (system_g(8), dori(8)):
+            machine = derive_machine_params(cluster, cpi_factor=bench.cpi_factor)
+            model = IsoEnergyModel(machine, bench.workload)
+            ee[cluster.name] = model.ee(n=n, p=8)
+        assert ee["Dori"] < ee["SystemG"]

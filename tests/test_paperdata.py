@@ -1,0 +1,75 @@
+"""paperdata: reproduction targets and ready-made models."""
+
+import pytest
+
+from repro.npb.workloads import HEADLINE_BENCHMARKS
+from repro.paperdata import (
+    EXPECTED_SHAPES,
+    PAPER_ALPHA,
+    PAPER_EP_WC_PER_PAIR,
+    PAPER_GAMMA,
+    PAPER_MEAN_ERROR_PCT,
+    PAPER_P_SWEEP,
+    paper_clusters,
+    paper_machine,
+    paper_model,
+)
+
+
+def test_error_targets_present_for_headline_benchmarks():
+    assert set(PAPER_MEAN_ERROR_PCT) == set(HEADLINE_BENCHMARKS)
+    # CG is the paper's worst case, FT its best
+    assert PAPER_MEAN_ERROR_PCT["CG"] > PAPER_MEAN_ERROR_PCT["EP"]
+    assert PAPER_MEAN_ERROR_PCT["FT"] < PAPER_MEAN_ERROR_PCT["EP"]
+
+
+def test_alphas_match_section5():
+    assert PAPER_ALPHA == {"FT": 0.86, "EP": 0.93, "CG": 0.85}
+
+
+def test_workloads_carry_paper_alphas():
+    for name, alpha in PAPER_ALPHA.items():
+        model, _ = paper_model(name)
+        ap = model.app_params(1e6 if name != "FT" else 2**20, 1)
+        assert ap.alpha == pytest.approx(alpha)
+
+
+def test_ep_coefficient_in_workload():
+    model, _ = paper_model("EP")
+    ap = model.app_params(1e6, 1)
+    assert ap.wc == pytest.approx(PAPER_EP_WC_PER_PAIR * 1e6)
+
+
+def test_machine_gamma_matches_paper():
+    m = paper_machine("FT")
+    assert m.gamma == PAPER_GAMMA
+
+
+def test_per_benchmark_cpi(paper_names=("EP", "FT", "CG")):
+    tcs = {name: paper_machine(name).tc for name in paper_names}
+    # §IV-B measures tc per application: CG stalls hardest, EP least
+    assert tcs["CG"] > tcs["FT"] > tcs["EP"]
+
+
+def test_p_sweep_is_fig4():
+    assert PAPER_P_SWEEP == (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+def test_paper_model_evaluates(machine):
+    model, n = paper_model("FT", klass="B")
+    pt = model.evaluate(n=n, p=64)
+    assert 0 < pt.ee < 1
+
+
+def test_paper_clusters_scale():
+    clusters = paper_clusters()
+    assert len(clusters["SystemG"]) == 128
+    assert len(clusters["Dori"]) == 8
+
+
+def test_expected_shapes_cover_every_figure():
+    figures = {s.figure for s in EXPECTED_SHAPES}
+    assert figures == {
+        "fig2a", "fig2b", "fig3", "fig4", "fig5",
+        "fig6", "fig7", "fig8", "fig9", "fig10",
+    }

@@ -1,0 +1,354 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These pin down the model's mathematical structure over wide, randomly
+explored parameter ranges rather than hand-picked examples:
+
+* EE ∈ (0, 1] and EEF ≥ 0 for any valid Θ1/Θ2.
+* ΔE closed form ≡ Ep − E1 (Eq. 16 vs Eq. 1).
+* Energy/time monotonicity in workload and overheads.
+* Hockney cost monotone in message size; collective closed forms
+  consistent under composition.
+* DVFS projection round-trips.
+* The simulator's measured energy equals the closed form on noiseless
+  runs, for arbitrary compute programs.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.efficiency import eef, energy_efficiency
+from repro.core.energy import delta_energy, parallel_energy, sequential_energy
+from repro.core.parameters import AppParams, MachineParams
+from repro.core.performance import parallel_time, sequential_time, speedup
+from repro.simmpi import collectives
+from repro.units import GHZ, NS, US
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+machines = st.builds(
+    MachineParams,
+    tc=st.floats(0.05e-9, 5e-9),
+    tm=st.floats(20e-9, 500e-9),
+    ts=st.floats(0.5e-6, 100e-6),
+    tw=st.floats(0.05e-9, 20e-9),
+    delta_pc=st.floats(5.0, 300.0),
+    delta_pm=st.floats(1.0, 60.0),
+    pc_idle=st.floats(1.0, 80.0),
+    pm_idle=st.floats(0.5, 30.0),
+    p_others=st.floats(5.0, 120.0),
+    f=st.floats(0.8 * GHZ, 4.0 * GHZ),
+    gamma=st.floats(1.0, 3.0),
+)
+
+apps = st.builds(
+    AppParams,
+    alpha=st.floats(0.5, 1.0),
+    wc=st.floats(1e6, 1e13),
+    wm=st.floats(0.0, 1e11),
+    wco=st.floats(0.0, 1e11),
+    wmo=st.floats(0.0, 1e9),
+    m_messages=st.floats(0.0, 1e7),
+    b_bytes=st.floats(0.0, 1e12),
+)
+
+procs = st.integers(min_value=2, max_value=4096)
+
+
+# ---------------------------------------------------------------------------
+# Model invariants
+# ---------------------------------------------------------------------------
+
+
+@given(machines, apps, procs)
+def test_ee_in_unit_interval(machine, app, p):
+    ee = energy_efficiency(machine, app, p)
+    assert 0.0 < ee <= 1.0
+
+
+@given(machines, apps, procs)
+def test_eef_nonnegative(machine, app, p):
+    assert eef(machine, app, p) >= 0.0
+
+
+@given(machines, apps, procs)
+def test_delta_energy_identity(machine, app, p):
+    """Closed-form ΔE (Eq. 16) equals Ep − E1 (Eq. 1) always."""
+    de = delta_energy(machine, app, p)
+    diff = parallel_energy(machine, app, p) - sequential_energy(machine, app)
+    assert math.isclose(de, diff, rel_tol=1e-9, abs_tol=1e-9)
+
+
+@given(machines, apps, procs)
+def test_parallel_energy_dominates_sequential(machine, app, p):
+    assert parallel_energy(machine, app, p) >= sequential_energy(machine, app) - 1e-9
+
+
+@given(machines, apps, procs)
+def test_speedup_positive_and_bounded_by_p(machine, app, p):
+    s = speedup(machine, app, p)
+    assert 0.0 < s <= p + 1e-9
+
+
+@given(machines, apps, procs, st.floats(1.05, 4.0))
+def test_more_compute_overhead_never_helps(machine, app, p, factor):
+    import dataclasses
+
+    worse = dataclasses.replace(app, wco=app.wco * factor + 1.0)
+    assert energy_efficiency(machine, worse, p) <= energy_efficiency(
+        machine, app, p
+    ) + 1e-12
+
+
+@given(machines, apps, procs, st.floats(1.05, 4.0))
+def test_more_bytes_never_help(machine, app, p, factor):
+    import dataclasses
+
+    worse = dataclasses.replace(app, b_bytes=app.b_bytes * factor + 1.0)
+    assert energy_efficiency(machine, worse, p) <= energy_efficiency(
+        machine, app, p
+    ) + 1e-12
+
+
+@given(machines, apps)
+def test_sequential_time_scales_with_alpha(machine, app):
+    import dataclasses
+
+    tighter = dataclasses.replace(app, alpha=app.alpha / 2)
+    assert sequential_time(machine, tighter) < sequential_time(machine, app)
+
+
+@given(machines, apps, procs)
+def test_wall_time_decreases_with_p(machine, app, p):
+    """Under homogeneous split, Tp strictly divides total busy time."""
+    tp = parallel_time(machine, app, p)
+    t2p = parallel_time(machine, app, 2 * p)
+    assert t2p < tp
+
+
+# ---------------------------------------------------------------------------
+# DVFS projection
+# ---------------------------------------------------------------------------
+
+
+@given(machines, st.floats(0.5 * GHZ, 5.0 * GHZ))
+def test_frequency_projection_roundtrip(machine, f_new):
+    projected = machine.at_frequency(f_new)
+    back = projected.at_frequency(machine.f)
+    assert math.isclose(back.tc, machine.tc, rel_tol=1e-9)
+    assert math.isclose(back.delta_pc, machine.delta_pc, rel_tol=1e-9)
+
+
+@given(machines, st.floats(1.1, 4.0))
+def test_higher_frequency_shrinks_tc_grows_power(machine, up):
+    faster = machine.at_frequency(machine.f * up)
+    assert faster.tc < machine.tc
+    assert faster.delta_pc >= machine.delta_pc
+
+
+# ---------------------------------------------------------------------------
+# Communication closed forms
+# ---------------------------------------------------------------------------
+
+
+@given(st.integers(2, 256), st.integers(0, 1 << 20), st.integers(1, 1 << 20))
+def test_hockney_monotone_in_size(p, small, extra):
+    ts, tw = 4 * US, 0.3 * NS
+    t1 = collectives.pairwise_alltoall_time(p, small, ts, tw)
+    t2 = collectives.pairwise_alltoall_time(p, small + extra, ts, tw)
+    assert t2 > t1
+
+
+@given(st.integers(2, 512))
+def test_alltoall_counts_consistent(p):
+    m = collectives.alltoall_message_count(p, "pairwise")
+    assert m == p * (p - 1)
+    b = collectives.alltoall_byte_count(p, 7, "pairwise")
+    assert b == 7 * m
+
+
+@given(st.integers(1, 1024))
+def test_collective_counts_nonnegative_and_zero_at_p1(p):
+    for fn in (
+        collectives.allreduce_message_count,
+        collectives.barrier_message_count,
+        collectives.allgather_message_count,
+    ):
+        count = fn(p)
+        assert count >= 0
+        if p == 1:
+            assert count == 0
+
+
+@given(st.integers(2, 1024))
+def test_bcast_reduce_symmetric(p):
+    assert collectives.bcast_message_count(p) == collectives.reduce_message_count(p)
+
+
+# ---------------------------------------------------------------------------
+# Simulator closed-form agreement (noiseless)
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.floats(1e4, 1e8), st.floats(0.0, 1e6)),
+        min_size=1,
+        max_size=5,
+    ),
+    st.floats(0.5, 1.0),
+)
+def test_simulated_energy_matches_closed_form(blocks, alpha):
+    """For arbitrary compute programs, measured energy is exactly Eq. (9)."""
+    from repro.cluster import system_g
+    from repro.powerpack.profiler import PowerProfiler
+    from repro.simmpi.engine import SimConfig, SimEngine
+
+    cluster = system_g(1)
+
+    def prog(ctx):
+        for instr, mem in blocks:
+            yield from ctx.compute(instructions=instr, mem_accesses=mem)
+
+    res = SimEngine(cluster, SimConfig(alpha=alpha)).run(prog, size=1)
+    node = cluster.nodes[0]
+    wc = sum(b[0] for b in blocks)
+    wm = sum(b[1] for b in blocks)
+    expected = (
+        res.total_time * node.power.p_system_idle
+        + wc * node.cpu.tc() * node.power.cpu.delta_p
+        + wm * node.memory.tm * node.power.memory.delta_p
+    )
+    measured = PowerProfiler(cluster).measure_energy(res)
+    assert math.isclose(measured, expected, rel_tol=1e-9)
+    # and the wall clock is the α-scaled theoretical time (Eq. 6)
+    theory = wc * node.cpu.tc() + wm * node.memory.tm
+    assert math.isclose(res.total_time, alpha * theory, rel_tol=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# Workload models
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=50)
+@given(
+    st.sampled_from(["EP", "FT", "CG", "IS", "MG", "LU", "BT", "SP"]),
+    st.sampled_from([1, 2, 4, 8, 16, 64, 256]),
+)
+def test_all_workload_models_produce_valid_theta2(name, p):
+    from repro.npb.workloads import workload_for
+
+    wl, n = workload_for(name, "A")
+    ap = wl.params(n, p)  # AppParams validates on construction
+    assert ap.wc > 0
+    if p == 1:
+        assert ap.wco == 0 and ap.m_messages == 0
+
+
+@settings(max_examples=30)
+@given(st.sampled_from(["FT", "CG", "IS", "MG", "LU", "BT", "SP"]), procs)
+def test_workload_overheads_grow_with_p(name, p):
+    from repro.npb.workloads import workload_for
+
+    if name == "CG":
+        p = 1 << min(p.bit_length(), 10)  # power of two for CG
+    wl, n = workload_for(name, "A")
+    small = wl.params(n, 2)
+    large = wl.params(n, max(p, 4))
+    assert large.m_messages >= small.m_messages
+
+
+# ---------------------------------------------------------------------------
+# Power-cap and heterogeneous-model invariants
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(machines, st.floats(100.0, 1e6))
+def test_fastest_under_cap_respects_cap(machine, cap):
+    from repro.core.model import IsoEnergyModel
+    from repro.core.powercap import fastest_under_cap
+    from repro.npb.ft import FtWorkload
+
+    model = IsoEnergyModel(machine, FtWorkload(niter=2))
+    try:
+        cfg = fastest_under_cap(
+            model,
+            n=float(2**22),
+            power_cap=cap,
+            p_values=[1, 4, 16, 64],
+            frequencies=[machine.f],
+        )
+    except Exception:
+        return  # cap below the smallest config: refusal is correct
+    assert cfg.avg_power <= cap + 1e-9
+
+
+@settings(max_examples=40)
+@given(machines, apps, st.integers(2, 64))
+def test_hetero_single_group_matches_core(machine, app, count):
+    # count >= 2: at p=1 the core model strips parallel terms (sequential
+    # path) while a one-group pool legitimately keeps whatever Θ2 says.
+    from repro.core.energy import parallel_energy
+    from repro.core.hetero import HeteroIsoEnergyModel, ProcessorGroup
+
+    hetero = HeteroIsoEnergyModel(
+        [ProcessorGroup(name="g", machine=machine, count=count)]
+    )
+    point = hetero.evaluate(app)
+    assert math.isclose(
+        point.ep, parallel_energy(machine, app, count), rel_tol=1e-9
+    )
+    assert 0.0 < point.ee <= 1.0
+
+
+@settings(max_examples=40)
+@given(machines, apps, st.integers(1, 16), st.floats(1.2, 4.0))
+def test_hetero_balanced_never_slower_than_uniform(machine, app, count, slowdown):
+    """The speed-proportional split equalizes makespans for pure work.
+
+    (With comm/overhead terms the split is a heuristic based on the base
+    work mix, so the guarantee is exact only for overhead-free apps.)
+    """
+    import dataclasses
+
+    from repro.core.hetero import HeteroIsoEnergyModel, ProcessorGroup
+
+    pure = dataclasses.replace(
+        app, wco=0.0, wmo=0.0, m_messages=0.0, b_bytes=0.0
+    )
+    slow = dataclasses.replace(machine, tc=machine.tc * slowdown)
+    hetero = HeteroIsoEnergyModel(
+        [
+            ProcessorGroup(name="fast", machine=machine, count=count),
+            ProcessorGroup(name="slow", machine=slow, count=count),
+        ]
+    )
+    balanced = hetero.evaluate(pure, policy="balanced")
+    uniform = hetero.evaluate(pure, policy="uniform")
+    assert balanced.tp <= uniform.tp * (1 + 1e-9)
+
+
+@settings(max_examples=40)
+@given(
+    st.floats(1e3, 1e10),
+    st.integers(1, 500),
+    st.floats(1e6, 1e9),
+    st.floats(0.0, 10.0),
+)
+def test_io_composite_preserves_energy(nbytes, ops, bandwidth, delta_p):
+    from repro.core.iomodel import IoComponent, IoPattern, composite_io
+
+    comp = IoComponent(
+        name="dev", delta_p=delta_p, bandwidth=bandwidth, access_latency=1e-3
+    )
+    pattern = IoPattern(component=comp, bytes_total=nbytes, operations=ops)
+    t_io, dp = composite_io([pattern])
+    assert math.isclose(t_io * dp, pattern.energy, rel_tol=1e-12, abs_tol=1e-12)

@@ -1,0 +1,42 @@
+"""Units and conversion helpers."""
+
+import pytest
+
+from repro import units
+
+
+def test_ghz_scale():
+    assert units.GHZ == 1e9
+    assert 2.8 * units.GHZ == pytest.approx(2.8e9)
+
+
+def test_time_prefixes():
+    assert units.NS == 1e-9
+    assert units.US == 1e-6
+    assert units.MS == 1e-3
+
+
+def test_binary_capacities():
+    assert units.KIB == 1024
+    assert units.MIB == 1024**2
+    assert units.GIB == 1024**3
+
+
+def test_gbit_per_s_roundtrip():
+    rate = units.gbit_per_s(40)
+    assert rate == pytest.approx(5e9)  # 40 Gbit/s = 5 GB/s raw
+    assert units.bytes_per_s_to_gbit(rate) == pytest.approx(40)
+
+
+def test_seconds_ns_roundtrip():
+    assert units.seconds_to_ns(1e-6) == pytest.approx(1000.0)
+    assert units.ns_to_seconds(units.seconds_to_ns(0.5)) == pytest.approx(0.5)
+
+
+def test_joules_to_kwh():
+    assert units.joules_to_kwh(3.6e6) == pytest.approx(1.0)
+
+
+def test_watts_identity():
+    assert units.watts(42) == 42.0
+    assert isinstance(units.watts(42), float)

@@ -1,0 +1,109 @@
+"""Calibration: measured Θ1/Θ2 must recover the generating parameters."""
+
+import pytest
+
+from repro.core.parameters import AppParams
+from repro.errors import CalibrationError
+from repro.npb.ft import FtBenchmark
+from repro.simmpi.engine import SimConfig, SimEngine
+from repro.validation.calibration import (
+    calibrate_machine_params,
+    derive_machine_params,
+    fit_workload_scaling,
+    measure_app_params,
+    split_overheads,
+)
+
+
+class TestDeriveMachineParams:
+    def test_matches_hardware_description(self, systemg8):
+        m = derive_machine_params(systemg8)
+        node = systemg8.head
+        assert m.tc == pytest.approx(node.cpu.tc())
+        assert m.tm == pytest.approx(node.memory.tm)
+        assert m.ts == pytest.approx(node.nic.ts)
+        assert m.tw == pytest.approx(node.nic.tw)
+        assert m.p_system_idle == pytest.approx(node.power.p_system_idle)
+        assert m.delta_pc == pytest.approx(node.power.cpu.delta_p)
+
+    def test_cpi_factor_applied(self, systemg8):
+        m = derive_machine_params(systemg8, cpi_factor=2.8)
+        assert m.tc == pytest.approx(2.8 * systemg8.head.cpu.tc())
+
+    def test_frequency_projection(self, systemg8):
+        from repro.units import GHZ
+
+        m = derive_machine_params(systemg8, f=2.0 * GHZ)
+        assert m.f == pytest.approx(2.0 * GHZ)
+        assert m.delta_pc == pytest.approx(
+            systemg8.head.power.cpu.delta_p * (2.0 / 2.8) ** 2
+        )
+
+
+class TestCalibrateMachineParams:
+    def test_measured_close_to_spec(self, systemg8):
+        cal = calibrate_machine_params(systemg8, seed=3)
+        spec = derive_machine_params(systemg8)
+        assert cal.params.tc == pytest.approx(spec.tc, rel=0.10)
+        assert cal.params.tm == pytest.approx(spec.tm, rel=0.10)
+        assert cal.params.ts == pytest.approx(spec.ts, rel=0.25)
+        assert cal.params.tw == pytest.approx(spec.tw, rel=0.10)
+        assert cal.params.delta_pc == pytest.approx(spec.delta_pc, rel=0.10)
+        assert cal.params.delta_pm == pytest.approx(spec.delta_pm, rel=0.15)
+        assert cal.params.p_system_idle == pytest.approx(
+            spec.p_system_idle, rel=0.05
+        )
+
+    def test_idle_floors_exact(self, systemg8):
+        cal = calibrate_machine_params(systemg8, seed=3)
+        node = systemg8.head
+        assert cal.idle_power["cpu"] == pytest.approx(node.power.cpu.p_idle)
+        assert cal.idle_power["motherboard"] == pytest.approx(node.power.others)
+
+
+class TestMeasureAppParams:
+    def test_counters_become_theta2(self, systemg8):
+        bench, _ = FtBenchmark.for_class("S", niter=2)
+        n = bench.n_for_class("S")
+        res = SimEngine(systemg8, SimConfig(alpha=bench.alpha)).run(
+            bench.make_program(n, 4), size=4
+        )
+        ap = measure_app_params(res, alpha=bench.alpha)
+        model = bench.app_params(n, 4)
+        assert ap.wc == pytest.approx(
+            model.total_instructions * bench.bias.compute_scale, rel=1e-6
+        )
+        assert ap.m_messages == model.m_messages
+
+    def test_split_overheads(self):
+        seq = AppParams(alpha=0.9, wc=1e9, wm=1e7, p=1)
+        par = AppParams(alpha=0.9, wc=1.1e9, wm=1.2e7, m_messages=10, b_bytes=100, p=4)
+        split = split_overheads(seq, par)
+        assert split.wc == pytest.approx(1e9)
+        assert split.wco == pytest.approx(0.1e9)
+        assert split.wmo == pytest.approx(0.2e7)
+        assert split.m_messages == 10
+
+    def test_split_rejects_shrinking_work(self):
+        seq = AppParams(alpha=0.9, wc=1e9, wm=1e7, p=1)
+        par = AppParams(alpha=0.9, wc=0.5e9, wm=1e7, p=4)
+        with pytest.raises(CalibrationError, match="less work"):
+            split_overheads(seq, par)
+
+
+class TestFitWorkloadScaling:
+    def test_linear_recovers_ep_coefficient(self):
+        ns = [1e6, 4e6, 1.6e7]
+        values = [109.4 * n for n in ns]
+        assert fit_workload_scaling(ns, values, "linear") == pytest.approx(109.4)
+
+    def test_nlogn_recovers_ft_coefficient(self):
+        import math
+
+        ns = [2**18, 2**20, 2**22]
+        values = [5.5 * n * math.log2(n) for n in ns]
+        assert fit_workload_scaling(ns, values, "nlogn") == pytest.approx(5.5)
+
+    def test_unknown_form_rejected(self):
+        with pytest.raises(CalibrationError):
+            fit_workload_scaling([1.0], [1.0], "quadratic")

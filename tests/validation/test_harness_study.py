@@ -1,0 +1,108 @@
+"""Validation harness and studies: the Figure 3/4/2 machinery."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.validation.harness import ValidationResult, validate, validate_suite
+from repro.validation.study import (
+    efficiency_study,
+    error_by_parallelism,
+    mean_error_table,
+)
+
+
+class TestValidate:
+    def test_single_experiment_dori(self, dori4):
+        r = validate(dori4, "FT", klass="S", p=4, seed=0)
+        assert r.benchmark == "FT"
+        assert r.measured_j > 0 and r.predicted_j > 0
+        assert r.abs_error_pct < 20.0
+        assert r.messages > 0
+
+    def test_error_sign_convention(self):
+        r = ValidationResult(
+            benchmark="X", n=1, p=1, predicted_j=110.0, measured_j=100.0,
+            sim_seconds=1, model_seconds=1, messages=0, bytes=0,
+        )
+        assert r.error == pytest.approx(0.10)
+        assert r.abs_error_pct == pytest.approx(10.0)
+
+    def test_row_format(self):
+        r = ValidationResult(
+            benchmark="X", n=1, p=2, predicted_j=110.0, measured_j=100.0,
+            sim_seconds=1, model_seconds=1, messages=0, bytes=0,
+        )
+        assert r.row() == ("X", 2, 100.0, 110.0, 10.0)
+
+    def test_seed_changes_measurement_not_prediction(self, dori4):
+        r1 = validate(dori4, "EP", klass="S", p=4, seed=1)
+        r2 = validate(dori4, "EP", klass="S", p=4, seed=2)
+        assert r1.predicted_j == pytest.approx(r2.predicted_j)
+        assert r1.measured_j != pytest.approx(r2.measured_j, rel=1e-9)
+
+    def test_p_beyond_cluster_rejected(self, dori4):
+        with pytest.raises(ConfigurationError):
+            validate(dori4, "EP", klass="S", p=16)
+
+
+class TestValidateSuite:
+    def test_suite_runs_all(self, dori4):
+        results = validate_suite(
+            dori4, ("EP", "IS"), klass="S", p=4, seed=0
+        )
+        assert [r.benchmark for r in results] == ["EP", "IS"]
+
+    def test_niter_overrides(self, dori4):
+        results = validate_suite(
+            dori4, ("LU",), klass="S", p=2, niter_overrides={"LU": 3}
+        )
+        assert results[0].messages > 0
+
+
+class TestErrorByParallelism:
+    def test_sweep_collects_all_points(self, systemg8):
+        results = error_by_parallelism(
+            systemg8, "EP", p_values=(1, 2, 4), klass="S"
+        )
+        assert [r.p for r in results] == [1, 2, 4]
+
+    def test_oversized_p_rejected(self, dori4):
+        with pytest.raises(ConfigurationError, match="exceeds"):
+            error_by_parallelism(dori4, "EP", p_values=(16,), klass="S")
+
+    def test_mean_error_table(self):
+        r = lambda e: ValidationResult(  # noqa: E731
+            benchmark="X", n=1, p=1, predicted_j=100 + e, measured_j=100.0,
+            sim_seconds=1, model_seconds=1, messages=0, bytes=0,
+        )
+        rows = mean_error_table({"X": [r(5.0), r(-3.0)]})
+        assert rows == [("X", pytest.approx(4.0))]
+
+    def test_mean_error_table_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mean_error_table({"X": []})
+
+
+class TestEfficiencyStudy:
+    def test_curves_start_at_one(self, systemg8):
+        points = efficiency_study(
+            systemg8, "FT", p_values=(1, 2, 4), klass="S", niter=2, seed=0
+        )
+        first = points[0]
+        assert first.p == 1
+        assert first.measured_perf_eff == pytest.approx(1.0)
+        assert first.measured_energy_eff == pytest.approx(1.0)
+        assert first.model_energy_eff == pytest.approx(1.0)
+
+    def test_efficiency_declines(self, systemg8):
+        points = efficiency_study(
+            systemg8, "FT", p_values=(1, 4, 8), klass="S", niter=2, seed=0
+        )
+        assert points[-1].measured_energy_eff < 1.0
+        assert points[-1].model_energy_eff < 1.0
+
+    def test_p1_implied(self, systemg8):
+        points = efficiency_study(
+            systemg8, "EP", p_values=(2,), klass="S", seed=0
+        )
+        assert [pt.p for pt in points] == [1, 2]

@@ -1,0 +1,90 @@
+"""Small-scale calibration → large-scale prediction (§V-A)."""
+
+import pytest
+
+from repro.cluster import system_g
+from repro.errors import CalibrationError
+from repro.npb.workloads import benchmark_for
+from repro.validation.projection import (
+    ProjectedWorkload,
+    fit_projected_workload,
+    verify_projection,
+)
+
+
+@pytest.fixture(scope="module")
+def g32():
+    return system_g(32)
+
+
+@pytest.fixture(scope="module")
+def ft_projection(g32):
+    bench, n = benchmark_for("FT", "W", niter=2)
+    projected = fit_projected_workload(
+        g32, bench, n, calibration_ps=(1, 2, 4, 8), seed=1
+    )
+    return bench, n, projected
+
+
+class TestFitting:
+    def test_base_workload_close_to_analytic(self, ft_projection):
+        bench, n, projected = ft_projection
+        analytic = bench.app_params(n, 1)
+        # fitted base includes kernel bias and noise; within a few %
+        assert projected.wc_base == pytest.approx(
+            analytic.wc * bench.bias.compute_scale, rel=0.05
+        )
+
+    def test_projection_produces_valid_theta2(self, ft_projection):
+        _, n, projected = ft_projection
+        for p in (16, 64, 256):
+            ap = projected.params(n, p)
+            assert ap.wc > 0 and ap.m_messages > 0
+
+    def test_overheads_grow_from_calibration_range(self, ft_projection):
+        _, n, projected = ft_projection
+        small = projected.params(n, 8)
+        large = projected.params(n, 128)
+        assert large.wco >= small.wco
+        assert large.m_messages > small.m_messages
+
+    def test_problem_size_rescaling(self, ft_projection):
+        _, n, projected = ft_projection
+        ap1 = projected.params(n, 16)
+        ap2 = projected.params(2 * n, 16)
+        assert ap2.wc == pytest.approx(2 * ap1.wc)
+
+    def test_requires_p1_reference(self, g32):
+        bench, n = benchmark_for("FT", "S", niter=1)
+        with pytest.raises(CalibrationError, match="p=1 reference"):
+            fit_projected_workload(g32, bench, n, calibration_ps=(2, 4, 8))
+
+    def test_requires_three_points(self, g32):
+        bench, n = benchmark_for("FT", "S", niter=1)
+        with pytest.raises(CalibrationError, match="3 calibration"):
+            fit_projected_workload(g32, bench, n, calibration_ps=(1, 2))
+
+    def test_unknown_form_rejected(self):
+        with pytest.raises(CalibrationError):
+            ProjectedWorkload._g("cubic", 4)
+
+
+class TestProjectionAccuracy:
+    def test_predicts_unseen_scales_within_band(self, g32, ft_projection):
+        """Calibrated at p ≤ 8, the model must predict p = 16/32 energy."""
+        bench, n, projected = ft_projection
+        reports = verify_projection(
+            g32, bench, n, projected, target_ps=(16, 32), seed=50
+        )
+        for r in reports:
+            assert r.abs_error_pct < 12.0, (r.p, r.abs_error_pct)
+
+    def test_projection_beats_blind_extrapolation(self, g32, ft_projection):
+        """The fitted model should be at least as good at p=32 as at p=16
+        is catastrophic — i.e. error must not explode with distance."""
+        bench, n, projected = ft_projection
+        reports = verify_projection(
+            g32, bench, n, projected, target_ps=(16, 32), seed=51
+        )
+        errs = {r.p: r.abs_error_pct for r in reports}
+        assert errs[32] < 3 * max(errs[16], 2.0)
