@@ -1,3 +1,42 @@
-from setuptools import setup
+"""Package definition: ``pip install -e .`` gives the library + CLI."""
 
-setup()
+from pathlib import Path
+
+from setuptools import find_packages, setup
+
+_here = Path(__file__).resolve().parent
+_readme = _here / "README.md"
+
+setup(
+    name="repro-isoee",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Iso-Energy-Efficiency: An Approach to "
+        "Power-Constrained Parallel Computation' (IPDPS 2011)"
+    ),
+    long_description=_readme.read_text() if _readme.exists() else "",
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=[
+        "numpy",
+        "scipy",
+    ],
+    extras_require={
+        "dev": ["pytest", "pytest-benchmark"],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro=repro.cli:main",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Topic :: Scientific/Engineering",
+    ],
+)

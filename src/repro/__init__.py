@@ -30,6 +30,15 @@ from repro.core import (
 )
 from repro.cluster import Cluster, dori, system_g
 from repro.npb import ProblemClass, benchmark_for
+from repro.optimize import (
+    GridResult,
+    evaluate_grid,
+    iso_ee_curve,
+    max_speedup_under_power,
+    min_energy_under_deadline,
+    pareto_frontier,
+    schedule_jobs,
+)
 from repro.paperdata import paper_machine, paper_model
 from repro.validation import validate, validate_suite
 
@@ -49,6 +58,13 @@ __all__ = [
     "system_g",
     "ProblemClass",
     "benchmark_for",
+    "GridResult",
+    "evaluate_grid",
+    "iso_ee_curve",
+    "max_speedup_under_power",
+    "min_energy_under_deadline",
+    "pareto_frontier",
+    "schedule_jobs",
     "paper_machine",
     "paper_model",
     "validate",

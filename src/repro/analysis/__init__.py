@@ -1,12 +1,13 @@
 """Scalability-analysis tooling: sweeps, EE surfaces, terminal reports."""
 
-from repro.analysis.surface import EESurface, ee_surface
+from repro.analysis.surface import EESurface, ee_surface, surface_from_grid
 from repro.analysis.report import ascii_heatmap, ascii_table, format_si
 from repro.analysis.sweep import frequency_slice, parallelism_sweep, problem_size_slice
 
 __all__ = [
     "EESurface",
     "ee_surface",
+    "surface_from_grid",
     "ascii_heatmap",
     "ascii_table",
     "format_si",

@@ -79,6 +79,43 @@ class EESurface:
         return float(np.max(self.values.max(axis=0) - self.values.min(axis=0)))
 
 
+def surface_from_grid(
+    grid,
+    *,
+    metric: str = "ee",
+    axis: str = "f",
+    index: int = 0,
+    label: str = "",
+) -> EESurface:
+    """An :class:`EESurface` view of a vectorized grid result.
+
+    Bridges :class:`repro.optimize.grid.GridResult` into the analysis
+    layer: ``axis="f"`` takes the (p × f) plane at n index ``index``,
+    ``axis="n"`` the (p × n) plane at f index ``index``.  The slice
+    feeds :func:`repro.analysis.report.ascii_heatmap` and the shape
+    diagnostics exactly like a scalar-built surface.
+    """
+    if axis == "f":
+        values = grid.slice_pf(metric, kn=index)
+        ys = grid.f_values
+        fixed = {"n": float(grid.n_values[index])}
+    elif axis == "n":
+        values = grid.slice_pn(metric, jf=index)
+        ys = grid.n_values
+        fixed = {"f": float(grid.f_values[index])}
+    else:
+        raise ParameterError(f"axis must be 'f' or 'n', got {axis!r}")
+    return EESurface(
+        x_name="p",
+        y_name=axis,
+        x=tuple(float(p) for p in grid.p_values),
+        y=tuple(float(y) for y in ys),
+        values=values,
+        fixed=fixed,
+        label=label or f"{grid.label} [{metric}]",
+    )
+
+
 def ee_surface(
     model: IsoEnergyModel,
     *,

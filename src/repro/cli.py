@@ -1,11 +1,13 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands cover the everyday workflows:
+Five commands cover the everyday workflows:
 
 * ``evaluate``  — EE/EEF/energy at one (benchmark, cluster, p, f, class)
 * ``sweep``     — the EE-vs-p table for a benchmark
 * ``validate``  — one model-vs-measurement experiment
 * ``surface``   — a terminal heatmap of EE over (p × f) or (p × n)
+* ``optimize``  — invert the model: best (p, f) under a power budget or
+  deadline, iso-EE contours, and the (Tp, Ep) Pareto frontier
 
 All output is plain text suitable for piping; exit status is nonzero on
 configuration errors.
@@ -18,31 +20,35 @@ import sys
 
 from repro.analysis.report import ascii_heatmap, ascii_table, format_si
 from repro.analysis.surface import ee_surface
-from repro.cluster import dori, system_g
+from repro.cluster.presets import cluster_preset
 from repro.core.model import IsoEnergyModel
 from repro.errors import ReproError
-from repro.npb.workloads import benchmark_for, benchmark_names
+from repro.npb.workloads import benchmark_names
+from repro.paperdata import paper_model
 from repro.units import GHZ
-from repro.validation.calibration import derive_machine_params
 
 
-def _cluster(name: str, nodes: int):
-    if name.lower() == "systemg":
-        return system_g(nodes)
-    if name.lower() == "dori":
-        return dori(min(nodes, 8))
-    raise ReproError(f"unknown cluster {name!r}; choose systemg or dori")
+def _num_list(text: str, kind, flag: str) -> list:
+    """Parse a comma-separated numeric option into a clean error on typos."""
+    try:
+        values = [kind(x) for x in text.split(",") if x.strip()]
+    except ValueError:
+        raise ReproError(
+            f"{flag} expects comma-separated numbers, got {text!r}"
+        ) from None
+    if not values:
+        raise ReproError(f"{flag} is empty")
+    return values
 
 
 def _model(args) -> tuple[IsoEnergyModel, float]:
-    cluster = _cluster(args.cluster, max(args.p if hasattr(args, "p") else 1, 1))
-    bench, n = benchmark_for(args.benchmark, args.klass, getattr(args, "niter", None))
-    machine = derive_machine_params(cluster, cpi_factor=bench.cpi_factor)
-    return (
-        IsoEnergyModel(
-            machine, bench.workload, name=f"{bench.name}.{args.klass} on {cluster.name}"
-        ),
-        n,
+    cluster = cluster_preset(args.cluster, args.p if hasattr(args, "p") else 1)
+    return paper_model(
+        args.benchmark,
+        args.klass,
+        cluster=cluster,
+        niter=getattr(args, "niter", None),
+        name=f"{args.benchmark.upper()}.{args.klass} on {cluster.name}",
     )
 
 
@@ -70,7 +76,7 @@ def cmd_evaluate(args) -> int:
 
 def cmd_sweep(args) -> int:
     model, n = _model(args)
-    ps = [int(x) for x in args.p_values.split(",")]
+    ps = _num_list(args.p_values, int, "--p-values")
     rows = []
     for p in ps:
         pt = model.evaluate(n=n, p=p)
@@ -85,7 +91,7 @@ def cmd_sweep(args) -> int:
 def cmd_validate(args) -> int:
     from repro.validation.harness import validate
 
-    cluster = _cluster(args.cluster, args.p)
+    cluster = cluster_preset(args.cluster, args.p)
     result = validate(
         cluster, args.benchmark, klass=args.klass, p=args.p,
         niter=args.niter, seed=args.seed,
@@ -103,15 +109,106 @@ def cmd_validate(args) -> int:
     return 0
 
 
+def cmd_optimize(args) -> int:
+    from repro.analysis.surface import surface_from_grid
+    from repro.optimize import (
+        evaluate_grid,
+        iso_ee_curve,
+        max_speedup_under_power,
+        min_energy_under_deadline,
+        pareto_frontier,
+    )
+
+    model, n = _model(args)
+    ps = _num_list(args.p_values, int, "--p-values")
+    fs = [f * GHZ for f in _num_list(args.f_values, float, "--f-values")]
+    if args.n_factor != 1.0:
+        n *= args.n_factor
+    did_something = False
+
+    def show_recommendation(rec) -> None:
+        rows = [
+            ("objective", rec.objective),
+            ("model", model.name),
+            ("n", format_si(rec.n)),
+            ("p", rec.p),
+            ("f", f"{rec.f / GHZ:.2f} GHz"),
+            ("Tp", f"{rec.tp:.3f} s"),
+            ("Ep", f"{rec.ep:.1f} J"),
+            ("EE", f"{rec.ee:.4f}"),
+            ("avg power", f"{rec.avg_power:.0f} W"),
+            ("speedup", f"{rec.speedup:.2f}"),
+            ("bottleneck", rec.bottleneck),
+            ("feasible configs", rec.feasible_count),
+        ]
+        print(ascii_table(["quantity", "value"], rows))
+
+    if args.power_budget is not None:
+        rec = max_speedup_under_power(
+            model, n=n, budget_w=args.power_budget, p_values=ps, f_values=fs
+        )
+        show_recommendation(rec)
+        did_something = True
+    if args.deadline is not None:
+        if did_something:
+            print()
+        rec = min_energy_under_deadline(
+            model, n=n, t_max=args.deadline, p_values=ps, f_values=fs
+        )
+        show_recommendation(rec)
+        did_something = True
+    if args.target_ee is not None:
+        if did_something:
+            print()
+        curve = iso_ee_curve(
+            model, target_ee=args.target_ee, p_values=ps, n_seed=n
+        )
+        print(f"iso-EE contour n(p) holding EE = {args.target_ee} — {model.name}")
+        print(ascii_table(
+            ["p", "n", "EE", "converged"],
+            [(c.p, format_si(c.value), round(c.ee, 4), c.converged)
+             for c in curve],
+        ))
+        did_something = True
+    if args.pareto:
+        if did_something:
+            print()
+        frontier = pareto_frontier(model, n=n, p_values=ps, f_values=fs)
+        print(f"(Tp, Ep) Pareto frontier — {model.name}")
+        print(ascii_table(
+            ["p", "GHz", "Tp (s)", "Ep (J)", "EE", "draw (W)"],
+            [(r.p, round(r.f / GHZ, 2), round(r.tp, 3), round(r.ep, 1),
+              round(r.ee, 4), round(r.avg_power, 0)) for r in frontier],
+        ))
+        did_something = True
+    if args.show_grid:
+        if did_something:
+            print()
+        grid = evaluate_grid(model, p_values=ps, f_values=fs, n_values=[n])
+        surf = surface_from_grid(grid, metric="ee", axis="f")
+        print(ascii_heatmap(
+            surf.values, [int(p) for p in surf.x],
+            [f"{f / GHZ:.1f}" for f in surf.y],
+            title=f"EE grid — {grid.label}", lo=0.0, hi=1.0,
+        ))
+        did_something = True
+    if not did_something:
+        raise ReproError(
+            "nothing to optimize: pass --power-budget, --deadline, "
+            "--target-ee, --pareto, and/or --show-grid"
+        )
+    return 0
+
+
 def cmd_surface(args) -> int:
     model, n = _model(args)
-    ps = [int(x) for x in args.p_values.split(",")]
+    ps = _num_list(args.p_values, int, "--p-values")
     if args.axis == "f":
-        fs = [float(x) * GHZ for x in args.f_values.split(",")]
+        fs = [f * GHZ for f in _num_list(args.f_values, float, "--f-values")]
         surf = ee_surface(model, p_values=ps, f_values=fs, n=n)
         labels = [f"{f / GHZ:.1f}" for f in surf.y]
     else:
-        n_values = [n * float(x) for x in args.n_factors.split(",")]
+        n_values = [n * x for x in _num_list(args.n_factors, float, "--n-factors")]
         surf = ee_surface(model, p_values=ps, n_values=n_values)
         labels = [format_si(v) for v in surf.y]
     print(
@@ -131,7 +228,8 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     def common(p):
-        p.add_argument("--benchmark", default="FT", choices=list(benchmark_names()))
+        p.add_argument("--benchmark", default="FT", type=str.upper,
+                       choices=list(benchmark_names()))
         p.add_argument("--cluster", default="systemg")
         p.add_argument("--klass", default="B", help="NPB class (S/W/A/B/C/D)")
         p.add_argument("--niter", type=int, default=None,
@@ -153,6 +251,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_val.add_argument("--p", type=int, default=4)
     p_val.add_argument("--seed", type=int, default=0)
     p_val.set_defaults(func=cmd_validate)
+
+    p_opt = sub.add_parser(
+        "optimize", help="solve for the best (p, f) under constraints"
+    )
+    common(p_opt)
+    p_opt.add_argument("--power-budget", type=float, default=None,
+                       help="site power cap in watts (max speedup under it)")
+    p_opt.add_argument("--deadline", type=float, default=None,
+                       help="runtime SLA in seconds (min energy meeting it)")
+    p_opt.add_argument("--target-ee", type=float, default=None,
+                       help="trace the iso-EE contour n(p) at this EE")
+    p_opt.add_argument("--pareto", action="store_true",
+                       help="print the (Tp, Ep) Pareto frontier")
+    p_opt.add_argument("--show-grid", action="store_true",
+                       help="print the EE heatmap of the searched grid")
+    p_opt.add_argument("--p-values", default="1,2,4,8,16,32,64,128")
+    p_opt.add_argument("--f-values", default="1.6,2.0,2.4,2.8", help="GHz list")
+    p_opt.add_argument("--n-factor", type=float, default=1.0,
+                       help="scale the class problem size by this factor")
+    p_opt.set_defaults(func=cmd_optimize)
 
     p_surf = sub.add_parser("surface", help="EE heatmap over (p × f) or (p × n)")
     common(p_surf)

@@ -176,3 +176,24 @@ def dori(n_nodes: int = 8) -> Cluster:
         interconnect=dori_interconnect(),
         pdu=PowerDistributionUnit(outlets=n_nodes),
     )
+
+
+def cluster_preset(cluster: str | Cluster, nodes: int = 32) -> Cluster:
+    """Resolve a preset by name, clamping ``nodes`` to the testbed's size.
+
+    The single dispatch point for everything that takes a cluster as a
+    string (the CLI, the scheduler): ``"systemg"`` or ``"dori"``,
+    case-insensitive; an already-built :class:`Cluster` passes through.
+    """
+    from repro.errors import ConfigurationError
+
+    if isinstance(cluster, Cluster):
+        return cluster
+    name = cluster.lower()
+    if name == "systemg":
+        return system_g(min(max(nodes, 1), 325))
+    if name == "dori":
+        return dori(min(max(nodes, 1), 8))
+    raise ConfigurationError(
+        f"unknown cluster {cluster!r}; choose systemg or dori"
+    )

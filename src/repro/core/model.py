@@ -10,13 +10,28 @@ the examples and benchmark harnesses drive.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Callable, Protocol, Sequence
+
+import numpy as np
 
 from repro.core.efficiency import dominant_overhead, eef, energy_efficiency
 from repro.core.energy import parallel_energy, sequential_energy
 from repro.core.parameters import AppParams, MachineParams
 from repro.core.performance import parallel_time, sequential_time, speedup
 from repro.errors import ParameterError
+
+#: Θ2 fields exposed by :meth:`IsoEnergyModel.theta2_table`, in table order.
+THETA2_FIELDS = (
+    "alpha",
+    "wc",
+    "wm",
+    "wco",
+    "wmo",
+    "m_messages",
+    "b_bytes",
+    "t_io",
+)
 
 
 class WorkloadModel(Protocol):
@@ -74,6 +89,11 @@ class IsoEnergyModel:
         A :class:`WorkloadModel` producing Θ2 for any (n, p).
     name:
         Label used in reports (e.g. ``"FT.B on SystemG"``).
+    cache_theta2:
+        Memoise ``workload.params(n, p)`` per model instance (default).
+        Pass ``False`` for stateful or nondeterministic workloads — e.g.
+        noise-injecting calibration models — where every evaluation must
+        consult the workload afresh.
     """
 
     def __init__(
@@ -81,6 +101,7 @@ class IsoEnergyModel:
         machine: MachineParams,
         workload: WorkloadModel | Callable[[float, int], AppParams],
         name: str = "model",
+        cache_theta2: bool = True,
     ) -> None:
         self._machine = machine
         if callable(workload) and not hasattr(workload, "params"):
@@ -93,6 +114,20 @@ class IsoEnergyModel:
             workload = _Wrapped()
         self._workload = workload
         self.name = name
+        # Batch-evaluation hooks: grid sweeps hit the same Θ1(f) and Θ2(n, p)
+        # vectors thousands of times, so both derivations are memoised per
+        # model instance (the caches die with the model).  Θ2 caching is
+        # only sound for workloads that are pure functions of (n, p) —
+        # callers with stateful workloads opt out via cache_theta2=False.
+        self._machine_at_cached = lru_cache(maxsize=256)(
+            self._machine.at_frequency
+        )
+        self._theta2_cached = cache_theta2
+        self._app_params_cached = (
+            lru_cache(maxsize=16384)(self._workload.params)
+            if cache_theta2
+            else self._workload.params
+        )
 
     # -- accessors ---------------------------------------------------------------
 
@@ -101,13 +136,27 @@ class IsoEnergyModel:
         return self._machine
 
     def machine_at(self, f: float | None = None) -> MachineParams:
-        """Θ1 re-derived at frequency ``f`` (Eq. 20 + tc = CPI/f)."""
+        """Θ1 re-derived at frequency ``f`` (Eq. 20 + tc = CPI/f), memoised."""
         if f is None or abs(f - self._machine.f) < 0.5:
             return self._machine
-        return self._machine.at_frequency(f)
+        return self._machine_at_cached(f)
 
     def app_params(self, n: float, p: int) -> AppParams:
-        return self._workload.params(n, p)
+        """Θ2 at (n, p), memoised per model instance."""
+        return self._app_params_cached(n, p)
+
+    def cache_info(self) -> dict[str, object]:
+        """Hit/miss statistics of the Θ1/Θ2 memo layers (diagnostics).
+
+        ``app_params`` is ``None`` when the model was built with
+        ``cache_theta2=False``.
+        """
+        return {
+            "machine_at": self._machine_at_cached.cache_info(),
+            "app_params": self._app_params_cached.cache_info()
+            if self._theta2_cached
+            else None,
+        }
 
     # -- point evaluation -----------------------------------------------------------
 
@@ -122,6 +171,16 @@ class IsoEnergyModel:
         e1 = sequential_energy(mach, app)
         ep = parallel_energy(mach, app, p)
         point_eef = eef(mach, app, p)
+        if tp <= 0.0:
+            raise ParameterError(
+                f"degenerate workload at (n={n}, p={p}): parallel time "
+                f"Tp={tp} — efficiency ratios are undefined"
+            )
+        if point_eef <= -1.0:
+            raise ParameterError(
+                f"degenerate workload at (n={n}, p={p}): EEF={point_eef} "
+                "implies non-positive parallel energy; EE=1/(1+EEF) is undefined"
+            )
         return ModelPoint(
             p=p,
             f=mach.f,
@@ -185,3 +244,33 @@ class IsoEnergyModel:
                 for fv in fs:
                     points.append(self.evaluate(n=nv, p=int(pv), f=fv))
         return points
+
+    # -- batch hooks -------------------------------------------------------------------
+
+    def theta2_table(
+        self,
+        n_values: Sequence[float],
+        p_values: Sequence[int],
+    ) -> dict[str, np.ndarray]:
+        """Θ2 over the (n × p) plane as dense arrays, one per field.
+
+        The hook the vectorized grid evaluator in
+        :mod:`repro.optimize.grid` builds on: Θ2 does not depend on ``f``,
+        so a full (p × f × n) sweep needs only ``len(n)·len(p)`` workload
+        evaluations — returned here as arrays of shape
+        ``(len(n_values), len(p_values))`` keyed by :data:`THETA2_FIELDS`.
+        """
+        if not len(n_values) or not len(p_values):
+            raise ParameterError("theta2_table needs at least one n and one p")
+        table = {
+            field: np.empty((len(n_values), len(p_values)))
+            for field in THETA2_FIELDS
+        }
+        for i, nv in enumerate(n_values):
+            for j, pv in enumerate(p_values):
+                if pv < 1:
+                    raise ParameterError(f"p must be >= 1, got {pv}")
+                app = self.app_params(float(nv), int(pv))
+                for field in THETA2_FIELDS:
+                    table[field][i, j] = getattr(app, field)
+        return table

@@ -1,0 +1,51 @@
+"""Power-constrained configuration solving — the paper's model, inverted.
+
+Everything below this package answers questions of the form "which
+(p, f, n) should I run?", where the rest of the library answers "what
+happens at this (p, f, n)?".  Four cooperating modules:
+
+* :mod:`repro.optimize.grid` — a vectorized batch evaluator that computes
+  every model quantity over a full (p × f × n) grid in bulk NumPy,
+  replacing thousands of scalar :meth:`IsoEnergyModel.evaluate` calls.
+  All solvers below run on top of it.
+* :mod:`repro.optimize.contour` — iso-energy-efficiency contour tracing:
+  the ``n(p)`` and ``f(p)`` curves that hold EE at a target value, the
+  paper's iso-efficiency scaling question as executable API.
+* :mod:`repro.optimize.budget` — constrained optimizers: fastest
+  configuration under a power budget, greenest under a deadline, and the
+  (Tp, Ep) Pareto frontier of a workload.
+* :mod:`repro.optimize.schedule` — a cluster-level DVFS scheduler that
+  splits a site power budget across a queue of NPB jobs and assigns each
+  a (p, f).
+"""
+
+from repro.optimize.budget import (
+    Recommendation,
+    max_speedup_under_power,
+    min_energy_under_deadline,
+    pareto_frontier,
+)
+from repro.optimize.contour import ContourPoint, iso_ee_curve
+from repro.optimize.grid import GridResult, evaluate_grid, scalar_grid
+from repro.optimize.schedule import (
+    Assignment,
+    ClusterSchedule,
+    Job,
+    schedule_jobs,
+)
+
+__all__ = [
+    "GridResult",
+    "evaluate_grid",
+    "scalar_grid",
+    "ContourPoint",
+    "iso_ee_curve",
+    "Recommendation",
+    "max_speedup_under_power",
+    "min_energy_under_deadline",
+    "pareto_frontier",
+    "Assignment",
+    "ClusterSchedule",
+    "Job",
+    "schedule_jobs",
+]

@@ -1,0 +1,174 @@
+"""Constrained configuration optimizers over the vectorized grid.
+
+The paper's introduction frames the exascale contract — 1000× the
+performance on 10× the power — as the binding constraint of parallel
+computing.  These solvers make the contract operational for one
+workload: evaluate the (p × f) grid in bulk (:mod:`repro.optimize.grid`)
+and pick the configuration the operator wants:
+
+* :func:`max_speedup_under_power` — the budget is fixed; run fastest.
+* :func:`min_energy_under_deadline` — the SLA is fixed; run greenest.
+* :func:`pareto_frontier` — the whole (Tp, Ep) trade-off, dominated
+  configurations removed, for operators who want the menu.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.model import IsoEnergyModel, ModelPoint
+from repro.errors import ParameterError
+from repro.optimize.grid import GridResult, evaluate_grid
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One recommended (p, f) configuration plus its predicted outcome.
+
+    ``objective`` names the solver that produced it; ``feasible_count``
+    is how many grid cells satisfied the constraint (1 means the choice
+    was forced, large means the budget is slack).
+    """
+
+    objective: str
+    p: int
+    f: float
+    n: float
+    tp: float
+    ep: float
+    ee: float
+    avg_power: float
+    speedup: float
+    bottleneck: str
+    feasible_count: int
+
+    @classmethod
+    def from_point(
+        cls, objective: str, pt: ModelPoint, avg_power: float, feasible: int
+    ) -> "Recommendation":
+        return cls(
+            objective=objective,
+            p=pt.p,
+            f=pt.f,
+            n=pt.n,
+            tp=pt.tp,
+            ep=pt.ep,
+            ee=pt.ee,
+            avg_power=avg_power,
+            speedup=pt.speedup,
+            bottleneck=pt.bottleneck,
+            feasible_count=feasible,
+        )
+
+
+def _pf_grid(
+    model: IsoEnergyModel,
+    n: float,
+    p_values: Sequence[int],
+    f_values: Sequence[float] | None,
+) -> GridResult:
+    return evaluate_grid(
+        model, p_values=p_values, f_values=f_values, n_values=[n]
+    )
+
+
+def max_speedup_under_power(
+    model: IsoEnergyModel,
+    *,
+    n: float,
+    budget_w: float,
+    p_values: Sequence[int],
+    f_values: Sequence[float] | None = None,
+) -> Recommendation:
+    """Fastest (p, f) whose average power ``Ep/Tp`` fits ``budget_w``.
+
+    Raises :class:`ParameterError` when even the frugalest candidate
+    exceeds the budget, reporting the smallest draw on the grid so the
+    caller knows how far off the budget is.
+    """
+    if budget_w <= 0:
+        raise ParameterError("power budget must be positive")
+    grid = _pf_grid(model, n, p_values, f_values)
+    feasible = grid.avg_power <= budget_w
+    count = int(feasible.sum())
+    if count == 0:
+        raise ParameterError(
+            f"no (p, f) fits under {budget_w:.0f} W: the frugalest grid "
+            f"configuration draws {float(grid.avg_power.min()):.0f} W"
+        )
+    ip, jf, kn = grid.argbest("tp", where=feasible)
+    return Recommendation.from_point(
+        "max_speedup_under_power",
+        grid.point(ip, jf, kn),
+        float(grid.avg_power[ip, jf, kn]),
+        count,
+    )
+
+
+def min_energy_under_deadline(
+    model: IsoEnergyModel,
+    *,
+    n: float,
+    t_max: float,
+    p_values: Sequence[int],
+    f_values: Sequence[float] | None = None,
+) -> Recommendation:
+    """Greenest (p, f) whose predicted Tp meets the ``t_max`` deadline."""
+    if t_max <= 0:
+        raise ParameterError("deadline must be positive")
+    grid = _pf_grid(model, n, p_values, f_values)
+    feasible = grid.tp <= t_max
+    count = int(feasible.sum())
+    if count == 0:
+        raise ParameterError(
+            f"no (p, f) meets the {t_max:g} s deadline: the fastest grid "
+            f"configuration needs {float(grid.tp.min()):.3g} s"
+        )
+    ip, jf, kn = grid.argbest("ep", where=feasible)
+    return Recommendation.from_point(
+        "min_energy_under_deadline",
+        grid.point(ip, jf, kn),
+        float(grid.avg_power[ip, jf, kn]),
+        count,
+    )
+
+
+def pareto_frontier(
+    model: IsoEnergyModel,
+    *,
+    n: float,
+    p_values: Sequence[int],
+    f_values: Sequence[float] | None = None,
+) -> list[Recommendation]:
+    """Non-dominated (Tp, Ep) configurations, sorted fastest-first.
+
+    A configuration is kept iff no other is both faster and greener;
+    the returned list therefore ascends in Tp while strictly descending
+    in Ep — the menu an operator trades along.
+    """
+    grid = _pf_grid(model, n, p_values, f_values)
+    tp = grid.tp[:, :, 0].ravel()
+    ep = grid.ep[:, :, 0].ravel()
+    order = np.lexsort((ep, tp))
+    shape = grid.tp[:, :, 0].shape
+    winners: list[tuple[int, int]] = []
+    best_ep = np.inf
+    for flat in order:
+        if ep[flat] < best_ep:
+            best_ep = float(ep[flat])
+            ip, jf = np.unravel_index(int(flat), shape)
+            winners.append((int(ip), int(jf)))
+    # feasible_count = frontier size: every listed config "satisfies the
+    # constraint" of being non-dominated
+    return [
+        Recommendation.from_point(
+            "pareto_frontier",
+            grid.point(ip, jf, 0),
+            float(grid.avg_power[ip, jf, 0]),
+            len(winners),
+        )
+        for ip, jf in winners
+    ]

@@ -1,0 +1,226 @@
+"""Iso-energy-efficiency contour tracing — the paper's question, inverted.
+
+The iso-efficiency tradition asks: as the machine grows, how fast must
+the problem grow to *hold* efficiency constant?  The paper poses the
+energy analogue (EE held constant over (p, f, n)); this module answers
+it numerically: given a target EE, trace the ``n(p)`` curve (problem
+size that maintains the target at each p) or the ``f(p)`` curve (DVFS
+setting that maintains it at fixed n).
+
+EE is monotone in n for every workload whose overheads grow no faster
+than the base work (all the NPB models here: EEF falls as n amortises
+communication), which makes n the bracketed-bisection axis; the f axis
+is not monotone in general, so the f-solver demands a sign change over
+the supplied frequency window and reports unbridgeable targets rather
+than guessing.
+
+:func:`repro.core.scaling.iso_workload` is the single-point ancestor of
+this module; the solvers here add automatic bracket expansion (no
+caller-supplied [n_lo, n_hi]), warm-started curve tracing across p, the
+f(p) companion curve, and per-point convergence reporting instead of a
+hard error when a target is unreachable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.model import IsoEnergyModel
+from repro.errors import ParameterError
+
+#: smallest problem size the n-bracket will shrink to (NPB kernels reject
+#: degenerate grids below a handful of points).
+_N_FLOOR = 8.0
+#: geometric bracket-expansion cap: 2**60 spans any realistic n range.
+_MAX_EXPAND = 60
+_MAX_BISECT = 200
+
+
+@dataclass(frozen=True)
+class ContourPoint:
+    """One solved point on an iso-EE curve.
+
+    ``value`` is the solved axis value (n or f, per the curve's axis);
+    ``ee`` is the model's EE at the solved point — within the solver
+    tolerance of the target when ``converged`` is True.
+    """
+
+    p: int
+    value: float
+    ee: float
+    axis: str
+    converged: bool
+
+
+def _bisect(
+    g: Callable[[float], float],
+    lo: float,
+    hi: float,
+    *,
+    rel_tol: float,
+) -> tuple[float, bool]:
+    """Root of ``g`` on a sign-changing bracket [lo, hi] by bisection."""
+    g_lo = g(lo)
+    if g_lo == 0.0:
+        return lo, True
+    g_hi = g(hi)
+    if g_hi == 0.0:
+        return hi, True
+    if g_lo * g_hi > 0:
+        return hi, False
+    for _ in range(_MAX_BISECT):
+        mid = 0.5 * (lo + hi)
+        g_mid = g(mid)
+        if g_mid == 0.0 or (hi - lo) <= rel_tol * max(abs(mid), 1e-300):
+            return mid, True
+        if g_lo * g_mid < 0:
+            hi = mid
+        else:
+            lo, g_lo = mid, g_mid
+    return 0.5 * (lo + hi), True
+
+
+def solve_n_for_ee(
+    model: IsoEnergyModel,
+    *,
+    target_ee: float,
+    p: int,
+    f: float | None = None,
+    n_seed: float = 1e6,
+    rel_tol: float = 1e-6,
+) -> ContourPoint:
+    """The problem size holding EE at ``target_ee`` for one (p, f).
+
+    Expands a geometric bracket around ``n_seed`` (EE rises with n, so
+    too-low EE pushes the bracket up and vice versa), then bisects.
+    Returns ``converged=False`` when the target is unreachable — e.g.
+    asking a communication-bound code at high p for an EE its asymptote
+    never attains.
+    """
+    _check_target(target_ee)
+    if n_seed <= 0:
+        raise ParameterError("n_seed must be positive")
+
+    def g(n: float) -> float:
+        return model.ee(n=n, p=p, f=f) - target_ee
+
+    if p == 1:
+        # EE ≡ 1 at p=1: any n satisfies any target below 1.
+        return ContourPoint(
+            p=1, value=n_seed, ee=1.0, axis="n", converged=True
+        )
+    lo = hi = float(n_seed)
+    g_seed = g(lo)
+    if g_seed < 0:
+        for _ in range(_MAX_EXPAND):
+            lo, hi = hi, hi * 2.0
+            if g(hi) >= 0:
+                break
+        else:
+            return ContourPoint(
+                p=p, value=hi, ee=g(hi) + target_ee, axis="n", converged=False
+            )
+    elif g_seed > 0:
+        for _ in range(_MAX_EXPAND):
+            hi, lo = lo, max(lo / 2.0, _N_FLOOR)
+            if g(lo) <= 0 or lo == _N_FLOOR:
+                break
+        if g(lo) > 0:
+            # even the smallest valid problem exceeds the target
+            return ContourPoint(
+                p=p, value=lo, ee=g(lo) + target_ee, axis="n", converged=False
+            )
+    root, ok = _bisect(g, lo, hi, rel_tol=rel_tol)
+    return ContourPoint(
+        p=p, value=root, ee=model.ee(n=root, p=p, f=f), axis="n", converged=ok
+    )
+
+
+def solve_f_for_ee(
+    model: IsoEnergyModel,
+    *,
+    target_ee: float,
+    p: int,
+    n: float,
+    f_window: tuple[float, float],
+    rel_tol: float = 1e-6,
+) -> ContourPoint:
+    """The DVFS frequency holding EE at ``target_ee`` for one (p, n).
+
+    EE need not be monotone in f, so this demands the target be
+    bracketed by the supplied window and flags it unconverged otherwise.
+    """
+    _check_target(target_ee)
+    f_lo, f_hi = f_window
+    if not (0 < f_lo < f_hi):
+        raise ParameterError("f_window must satisfy 0 < lo < hi")
+
+    def g(f: float) -> float:
+        return model.ee(n=n, p=p, f=f) - target_ee
+
+    if p == 1:
+        return ContourPoint(p=1, value=f_lo, ee=1.0, axis="f", converged=True)
+    root, ok = _bisect(g, f_lo, f_hi, rel_tol=rel_tol)
+    return ContourPoint(
+        p=p, value=root, ee=model.ee(n=n, p=p, f=root), axis="f", converged=ok
+    )
+
+
+def iso_ee_curve(
+    model: IsoEnergyModel,
+    *,
+    target_ee: float,
+    p_values: Sequence[int],
+    axis: str = "n",
+    f: float | None = None,
+    n: float | None = None,
+    n_seed: float = 1e6,
+    f_window: tuple[float, float] | None = None,
+    rel_tol: float = 1e-6,
+) -> list[ContourPoint]:
+    """Trace an iso-EE contour across processor counts.
+
+    ``axis="n"`` solves ``n(p)`` at fixed ``f`` (the iso-efficiency
+    scaling curve); ``axis="f"`` solves ``f(p)`` at fixed ``n`` inside
+    ``f_window``.  Each solved point's ``n_seed`` warm-starts from the
+    previous solution, so the curve is traced, not re-searched.
+    """
+    if not p_values:
+        raise ParameterError("no p values supplied")
+    _check_target(target_ee)
+    points: list[ContourPoint] = []
+    if axis == "n":
+        seed = float(n_seed)
+        for p in p_values:
+            pt = solve_n_for_ee(
+                model, target_ee=target_ee, p=int(p), f=f,
+                n_seed=seed, rel_tol=rel_tol,
+            )
+            points.append(pt)
+            if pt.converged and pt.p > 1:
+                seed = pt.value
+    elif axis == "f":
+        if n is None:
+            raise ParameterError("fix n when tracing the f(p) contour")
+        if f_window is None:
+            raise ParameterError(
+                "tracing f(p) needs an f_window=(f_lo, f_hi) bracket"
+            )
+        for p in p_values:
+            points.append(
+                solve_f_for_ee(
+                    model, target_ee=target_ee, p=int(p), n=n,
+                    f_window=f_window, rel_tol=rel_tol,
+                )
+            )
+    else:
+        raise ParameterError(f"axis must be 'n' or 'f', got {axis!r}")
+    return points
+
+
+def _check_target(target_ee: float) -> None:
+    if not (0.0 < target_ee < 1.0):
+        raise ParameterError(
+            f"target EE must lie in (0, 1) — EE=1 only at p=1 — got {target_ee}"
+        )

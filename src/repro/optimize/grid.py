@@ -1,0 +1,334 @@
+"""Vectorized batch evaluation of the model over (p × f × n) grids.
+
+The scalar path (:meth:`IsoEnergyModel.evaluate` in a triple loop)
+re-derives Θ1 and Θ2 and walks Eqs. (5)–(21) point by point.  A grid of
+(p × f × n) points, however, factors cleanly:
+
+* Θ2 depends only on (n, p) — ``len(n)·len(p)`` workload evaluations,
+  served by :meth:`IsoEnergyModel.theta2_table` (itself memoised);
+* Θ1 depends only on f — ``len(f)`` re-derivations via the memoised
+  :meth:`IsoEnergyModel.machine_at`;
+* every model equation is arithmetic over those vectors, so the full
+  grid evaluates as a handful of NumPy broadcasts.
+
+``benchmarks/bench_optimize_grid.py`` holds the 50×20×10 grid to a ≥10×
+speedup over the equivalent scalar sweep; :func:`scalar_grid` is the
+reference implementation both the benchmark and the equivalence tests
+compare against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.core.model import IsoEnergyModel, ModelPoint
+from repro.errors import ParameterError
+
+#: bottleneck codes used in :attr:`GridResult.bottleneck`; index 0 is the
+#: p=1 sentinel, 1..4 mirror the term order of
+#: :func:`repro.core.efficiency.eef_terms` (ties resolve to the first
+#: maximal term there and under ``argmax`` here, keeping parity exact).
+BOTTLENECK_NAMES = (
+    "none",
+    "compute_overhead",
+    "memory_overhead",
+    "message_startup",
+    "byte_transmission",
+)
+
+#: the per-point quantities a :class:`GridResult` carries.
+GRID_METRICS = (
+    "t1",
+    "tp",
+    "e1",
+    "ep",
+    "eef",
+    "ee",
+    "speedup",
+    "perf_efficiency",
+    "avg_power",
+)
+
+
+@dataclass(frozen=True, eq=False)  # eq=False: ndarray fields break ==/hash
+class GridResult:
+    """Every model output over a dense (p × f × n) grid.
+
+    All value arrays have shape ``(len(p_values), len(f_values),
+    len(n_values))``; ``f_values`` holds the *resolved* machine
+    frequencies (an ``f=None`` request resolves to the calibration
+    frequency).  ``avg_power`` is the power-cap quantity ``Ep / Tp``.
+    """
+
+    label: str
+    p_values: tuple[int, ...]
+    f_values: tuple[float, ...]
+    n_values: tuple[float, ...]
+    t1: np.ndarray
+    tp: np.ndarray
+    e1: np.ndarray
+    ep: np.ndarray
+    eef: np.ndarray
+    ee: np.ndarray
+    speedup: np.ndarray
+    perf_efficiency: np.ndarray
+    avg_power: np.ndarray
+    bottleneck: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        shape = self.shape
+        for name in (*GRID_METRICS, "bottleneck"):
+            arr = getattr(self, name)
+            if arr.shape != shape:
+                raise ParameterError(
+                    f"grid array {name!r} has shape {arr.shape}, "
+                    f"expected {shape}"
+                )
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        return (len(self.p_values), len(self.f_values), len(self.n_values))
+
+    @property
+    def size(self) -> int:
+        return int(np.prod(self.shape))
+
+    # -- point access ------------------------------------------------------------
+
+    def point(self, ip: int, jf: int, kn: int) -> ModelPoint:
+        """The :class:`ModelPoint` at grid indices ``(ip, jf, kn)``."""
+        return ModelPoint(
+            p=self.p_values[ip],
+            f=self.f_values[jf],
+            n=self.n_values[kn],
+            t1=float(self.t1[ip, jf, kn]),
+            tp=float(self.tp[ip, jf, kn]),
+            e1=float(self.e1[ip, jf, kn]),
+            ep=float(self.ep[ip, jf, kn]),
+            eef=float(self.eef[ip, jf, kn]),
+            ee=float(self.ee[ip, jf, kn]),
+            speedup=float(self.speedup[ip, jf, kn]),
+            perf_efficiency=float(self.perf_efficiency[ip, jf, kn]),
+            bottleneck=BOTTLENECK_NAMES[int(self.bottleneck[ip, jf, kn])],
+        )
+
+    def iter_points(self) -> Iterator[ModelPoint]:
+        """All points in (p, f, n) index order."""
+        for ip in range(len(self.p_values)):
+            for jf in range(len(self.f_values)):
+                for kn in range(len(self.n_values)):
+                    yield self.point(ip, jf, kn)
+
+    def points(self) -> list[ModelPoint]:
+        """The grid as a flat point list (feeds ``points_table``)."""
+        return list(self.iter_points())
+
+    # -- slicing for heatmaps -----------------------------------------------------
+
+    def slice_pf(self, metric: str = "ee", kn: int = 0) -> np.ndarray:
+        """A (p × f) plane of ``metric`` at n index ``kn`` (heatmap food)."""
+        return np.array(self._metric(metric)[:, :, kn])
+
+    def slice_pn(self, metric: str = "ee", jf: int = 0) -> np.ndarray:
+        """A (p × n) plane of ``metric`` at f index ``jf``."""
+        return np.array(self._metric(metric)[:, jf, :])
+
+    # -- reductions ----------------------------------------------------------------
+
+    def argbest(
+        self,
+        metric: str,
+        *,
+        mode: str = "min",
+        where: np.ndarray | None = None,
+    ) -> tuple[int, int, int]:
+        """Grid indices of the best ``metric`` value, optionally masked.
+
+        ``where`` is a boolean feasibility mask of the grid's shape (e.g.
+        ``grid.avg_power <= budget``); infeasible cells never win.
+        """
+        values = self._metric(metric).astype(float)
+        if mode == "min":
+            pass
+        elif mode == "max":
+            values = -values
+        else:
+            raise ParameterError(f"mode must be 'min' or 'max', got {mode!r}")
+        if where is not None:
+            if where.shape != self.shape:
+                raise ParameterError("feasibility mask shape mismatch")
+            if not where.any():
+                raise ParameterError(
+                    f"no feasible grid cell for {metric!r}: the mask "
+                    "excludes the entire grid"
+                )
+            values = np.where(where, values, np.inf)
+        flat = int(np.argmin(values))
+        return np.unravel_index(flat, self.shape)  # type: ignore[return-value]
+
+    def best_point(
+        self,
+        metric: str,
+        *,
+        mode: str = "min",
+        where: np.ndarray | None = None,
+    ) -> ModelPoint:
+        """The :class:`ModelPoint` at :meth:`argbest`."""
+        return self.point(*self.argbest(metric, mode=mode, where=where))
+
+    def _metric(self, metric: str) -> np.ndarray:
+        if metric not in GRID_METRICS:
+            raise ParameterError(
+                f"unknown grid metric {metric!r}; choose from {GRID_METRICS}"
+            )
+        return getattr(self, metric)
+
+
+def _as_axis(name: str, values: Sequence[float] | None, fallback) -> list:
+    if values is None:
+        values = fallback
+    values = list(values)
+    if not values:
+        raise ParameterError(f"grid axis {name!r} is empty")
+    return values
+
+
+def evaluate_grid(
+    model: IsoEnergyModel,
+    *,
+    p_values: Sequence[int],
+    n_values: Sequence[float],
+    f_values: Sequence[float | None] | None = None,
+    label: str = "",
+) -> GridResult:
+    """Evaluate ``model`` over the full (p × f × n) grid in bulk.
+
+    Numerically identical to the scalar triple loop (the closed-form ΔE
+    of Eq. 16 is used for EEF, exactly as ``evaluate()`` does) but runs
+    as NumPy broadcasts over the factored Θ1(f) / Θ2(n, p) tables.
+    ``f_values`` defaults to the model's calibration frequency.
+    """
+    ps = [int(p) for p in _as_axis("p", p_values, None)]
+    if any(p < 1 for p in ps):
+        raise ParameterError(f"p values must be >= 1, got {min(ps)}")
+    ns = [float(n) for n in _as_axis("n", n_values, None)]
+    fs = _as_axis("f", f_values, [None])
+
+    machines = [model.machine_at(f) for f in fs]
+    theta2 = model.theta2_table(ns, ps)
+
+    # Θ2 planes → (P, 1, N); Θ1 vectors → (1, F, 1); results → (P, F, N).
+    def plane(name: str) -> np.ndarray:
+        return theta2[name].T[:, None, :]
+
+    alpha = plane("alpha")
+    wc, wm = plane("wc"), plane("wm")
+    wco, wmo = plane("wco"), plane("wmo")
+    m_msg, b_bytes = plane("m_messages"), plane("b_bytes")
+    t_io = plane("t_io")
+    p_col = np.array(ps, dtype=float)[:, None, None]
+
+    # The scalar path evaluates p=1 through the workload's sequential()
+    # view, which strips parallel overheads.  AppParams validation only
+    # enforces zero overheads at p=1 when the Θ2 carries its p field, so
+    # strip explicitly here to stay equivalent for callable workloads
+    # that skip the bookkeeping.
+    seq_col = p_col == 1.0
+    wco = np.where(seq_col, 0.0, wco)
+    wmo = np.where(seq_col, 0.0, wmo)
+    m_msg = np.where(seq_col, 0.0, m_msg)
+    b_bytes = np.where(seq_col, 0.0, b_bytes)
+
+    def fvec(attr: str) -> np.ndarray:
+        return np.array([getattr(m, attr) for m in machines])[None, :, None]
+
+    tc, tm = fvec("tc"), fvec("tm")
+    ts, tw = fvec("ts"), fvec("tw")
+    dpc, dpm, dpio = fvec("delta_pc"), fvec("delta_pm"), fvec("delta_pio")
+    psys = fvec("p_system_idle")
+
+    # Eqs. (5)-(6): T1 from the sequential view (overheads stripped).
+    t1 = alpha * (wc * tc + wm * tm + t_io)
+    # Eqs. (10), (17): Σ Ti; overheads and comm are zero at p=1 by
+    # construction (AppParams forbids them), so one formula covers all p.
+    sum_ti = alpha * (
+        (wc + wco) * tc + (wm + wmo) * tm + m_msg * ts + b_bytes * tw + t_io
+    )
+    tp = sum_ti / p_col
+
+    # Eqs. (13), (15)/(18).
+    e1 = t1 * psys + wc * tc * dpc + wm * tm * dpm + t_io * dpio
+    ep = sum_ti * psys + (wc + wco) * tc * dpc + (wm + wmo) * tm * dpm + t_io * dpio
+
+    if np.any(tp <= 0.0) or np.any(e1 <= 0.0):
+        raise ParameterError(
+            "degenerate workload on the grid: some cell has Tp <= 0 or "
+            "E1 <= 0; efficiency ratios are undefined"
+        )
+
+    # Eq. (16) closed form → Eq. (19) → Eq. (21).
+    delta_e = (
+        alpha * (wco * tc + wmo * tm + m_msg * ts + b_bytes * tw) * psys
+        + wco * tc * dpc
+        + wmo * tm * dpm
+    )
+    eef = delta_e / e1
+    if np.any(eef <= -1.0):
+        raise ParameterError(
+            "degenerate workload on the grid: some cell has EEF <= -1; "
+            "EE = 1/(1+EEF) is undefined"
+        )
+    ee = 1.0 / (1.0 + eef)
+
+    # eef_terms() numerators, stacked for a vectorized dominant-overhead.
+    terms = np.stack(
+        [
+            wco * tc * (alpha * psys + dpc),
+            wmo * tm * (alpha * psys + dpm),
+            alpha * m_msg * ts * psys,
+            alpha * b_bytes * tw * psys,
+        ]
+    )
+    bottleneck = np.argmax(terms, axis=0).astype(np.int8) + 1
+    bottleneck = np.where(p_col == 1.0, np.int8(0), bottleneck)
+
+    return GridResult(
+        label=label or model.name,
+        p_values=tuple(ps),
+        f_values=tuple(m.f for m in machines),
+        n_values=tuple(ns),
+        t1=t1,
+        tp=tp,
+        e1=e1,
+        ep=ep,
+        eef=eef,
+        ee=ee,
+        speedup=t1 / tp,
+        perf_efficiency=t1 / (p_col * tp),
+        avg_power=ep / tp,
+        bottleneck=bottleneck,
+    )
+
+
+def scalar_grid(
+    model: IsoEnergyModel,
+    *,
+    p_values: Sequence[int],
+    n_values: Sequence[float],
+    f_values: Sequence[float | None] | None = None,
+) -> list[ModelPoint]:
+    """The reference triple loop of scalar ``evaluate()`` calls.
+
+    Same point order as :meth:`GridResult.iter_points` — (p, f, n) —
+    so equivalence tests and the benchmark can zip the two outputs.
+    """
+    fs = list(f_values) if f_values is not None else [None]
+    return [
+        model.evaluate(n=float(n), p=int(p), f=f)
+        for p in p_values
+        for f in fs
+        for n in n_values
+    ]

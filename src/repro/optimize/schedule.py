@@ -1,0 +1,245 @@
+"""Cluster-level DVFS scheduling under a site power budget.
+
+The budget solvers in :mod:`repro.optimize.budget` configure one job;
+real machine rooms run queues.  This module splits a cluster-level
+power cap across a queue of NPB workloads on one of the paper's
+testbeds (SystemG or Dori) and picks a per-job (p, f):
+
+1. each job's (p × f) grid collapses to its *power ladder* — the
+   power-vs-runtime Pareto rungs, cheapest first;
+2. every job starts on its cheapest rung (anything less is infeasible);
+3. the remaining watts are spent greedily on the job currently holding
+   the makespan, climbing it one rung at a time, until no rung fits.
+
+The greedy exchange is the classic power-aware list-scheduling
+heuristic: every watt goes where it shortens the critical job *now*,
+which monotonically improves makespan and never strands budget that
+could still help.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.presets import cluster_preset
+from repro.core.model import IsoEnergyModel
+from repro.errors import ParameterError
+from repro.optimize.grid import evaluate_grid
+from repro.paperdata import paper_model
+
+
+@dataclass(frozen=True)
+class Job:
+    """One queued workload: an NPB benchmark at a problem class."""
+
+    name: str
+    benchmark: str = "FT"
+    klass: str = "B"
+    niter: int | None = None
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """The (p, f) one job received, plus its predicted outcome."""
+
+    job: str
+    benchmark: str
+    p: int
+    f: float
+    tp: float
+    ep: float
+    ee: float
+    avg_power: float
+    rung: int
+    rungs_available: int
+
+
+@dataclass(frozen=True)
+class ClusterSchedule:
+    """A complete power-split over the queue."""
+
+    cluster: str
+    power_budget: float
+    assignments: tuple[Assignment, ...]
+
+    @property
+    def total_power(self) -> float:
+        return sum(a.avg_power for a in self.assignments)
+
+    @property
+    def headroom_w(self) -> float:
+        return self.power_budget - self.total_power
+
+    @property
+    def makespan(self) -> float:
+        return max(a.tp for a in self.assignments)
+
+    @property
+    def total_energy(self) -> float:
+        return sum(a.ep for a in self.assignments)
+
+    def rows(self) -> list[tuple]:
+        """(job, benchmark, p, GHz, Tp, Ep, EE, draw) rows for printing."""
+        return [
+            (
+                a.job,
+                a.benchmark,
+                a.p,
+                round(a.f / 1e9, 2),
+                round(a.tp, 2),
+                round(a.ep, 1),
+                round(a.ee, 4),
+                round(a.avg_power, 0),
+            )
+            for a in self.assignments
+        ]
+
+
+@dataclass(frozen=True)
+class _Rung:
+    p: int
+    f: float
+    tp: float
+    ep: float
+    ee: float
+    avg_power: float
+
+
+def _power_ladder(
+    model: IsoEnergyModel,
+    n: float,
+    p_values: Sequence[int],
+    f_values: Sequence[float],
+) -> list[_Rung]:
+    """Power-vs-runtime Pareto rungs of one job, cheapest watts first."""
+    grid = evaluate_grid(
+        model, p_values=p_values, f_values=f_values, n_values=[n]
+    )
+    cells = [
+        _Rung(
+            p=grid.p_values[ip],
+            f=grid.f_values[jf],
+            tp=float(grid.tp[ip, jf, 0]),
+            ep=float(grid.ep[ip, jf, 0]),
+            ee=float(grid.ee[ip, jf, 0]),
+            avg_power=float(grid.avg_power[ip, jf, 0]),
+        )
+        for ip in range(len(grid.p_values))
+        for jf in range(len(grid.f_values))
+    ]
+    cells.sort(key=lambda r: (r.avg_power, r.tp))
+    ladder: list[_Rung] = []
+    best_tp = float("inf")
+    for rung in cells:
+        if rung.tp < best_tp:
+            best_tp = rung.tp
+            ladder.append(rung)
+    return ladder
+
+
+def schedule_jobs(
+    jobs: Sequence[Job],
+    *,
+    cluster: str | Cluster = "systemg",
+    power_budget: float,
+    nodes: int = 64,
+    p_values: Sequence[int] | None = None,
+    f_values: Sequence[float] | None = None,
+    max_nodes: int | None = None,
+) -> ClusterSchedule:
+    """Assign every queued job a (p, f) under a shared power budget.
+
+    ``p_values`` defaults to the powers of two up to ``nodes``;
+    ``f_values`` to the preset's DVFS P-states.  ``max_nodes`` optionally
+    also caps the summed node count of concurrent jobs.  Raises
+    :class:`ParameterError` when the queue cannot run at all — even with
+    every job on its cheapest rung — reporting the minimum workable
+    budget.
+    """
+    if not jobs:
+        raise ParameterError("the job queue is empty")
+    if power_budget <= 0:
+        raise ParameterError("power budget must be positive")
+    machine_room = cluster_preset(cluster, nodes)
+    if p_values is None:
+        cap = min(nodes, len(machine_room))
+        ps = [1]
+        while ps[-1] * 2 <= cap:
+            ps.append(ps[-1] * 2)
+        p_values = ps
+    if f_values is None:
+        f_values = machine_room.available_frequencies
+
+    ladders: list[list[_Rung]] = []
+    for job in jobs:
+        model, n = paper_model(
+            job.benchmark,
+            job.klass,
+            cluster=machine_room,
+            niter=job.niter,
+            name=f"{job.benchmark.upper()}.{job.klass} on {machine_room.name}",
+        )
+        ladders.append(_power_ladder(model, n, p_values, f_values))
+
+    levels = [0] * len(jobs)
+
+    def total_power() -> float:
+        return sum(lad[lvl].avg_power for lad, lvl in zip(ladders, levels))
+
+    def total_p() -> int:
+        return sum(lad[lvl].p for lad, lvl in zip(ladders, levels))
+
+    floor = total_power()
+    if floor > power_budget:
+        raise ParameterError(
+            f"queue infeasible under {power_budget:.0f} W: even the "
+            f"cheapest rungs draw {floor:.0f} W together"
+        )
+
+    # climb: spend headroom on whoever holds the makespan.
+    while True:
+        order = sorted(
+            range(len(jobs)),
+            key=lambda i: ladders[i][levels[i]].tp,
+            reverse=True,
+        )
+        advanced = False
+        for i in order:
+            if levels[i] + 1 >= len(ladders[i]):
+                continue
+            cur, nxt = ladders[i][levels[i]], ladders[i][levels[i] + 1]
+            if total_power() - cur.avg_power + nxt.avg_power > power_budget:
+                continue
+            if (
+                max_nodes is not None
+                and total_p() - cur.p + nxt.p > max_nodes
+            ):
+                continue
+            levels[i] += 1
+            advanced = True
+            break
+        if not advanced:
+            break
+
+    assignments = tuple(
+        Assignment(
+            job=job.name,
+            benchmark=job.benchmark.upper(),
+            p=lad[lvl].p,
+            f=lad[lvl].f,
+            tp=lad[lvl].tp,
+            ep=lad[lvl].ep,
+            ee=lad[lvl].ee,
+            avg_power=lad[lvl].avg_power,
+            rung=lvl,
+            rungs_available=len(lad),
+        )
+        for job, lad, lvl in zip(jobs, ladders, levels)
+    )
+    return ClusterSchedule(
+        cluster=machine_room.name,
+        power_budget=power_budget,
+        assignments=assignments,
+    )

@@ -98,14 +98,21 @@ def paper_model(
     klass: ProblemClass | str = ProblemClass.B,
     cluster: Cluster | None = None,
     niter: int | None = None,
+    name: str | None = None,
 ) -> tuple[IsoEnergyModel, float]:
-    """(model, n): the §V parameterization of a benchmark on SystemG."""
+    """(model, n): the §V parameterization of a benchmark on SystemG.
+
+    ``name`` overrides the default ``"FT.B"``-style label (the CLI and
+    scheduler append the cluster: ``"FT.B on SystemG"``).
+    """
     cluster = cluster or system_g(1)
     bench, n = benchmark_for(benchmark, klass, niter)
     machine = derive_machine_params(cluster, cpi_factor=bench.cpi_factor)
     return (
         IsoEnergyModel(
-            machine, bench.workload, name=f"{bench.name}.{ProblemClass(klass).value}"
+            machine,
+            bench.workload,
+            name=name or f"{bench.name}.{ProblemClass(klass).value}",
         ),
         n,
     )

@@ -55,11 +55,121 @@ def test_sweep_cartesian_product(model):
     }
 
 
+def test_sweep_full_three_axis_product(model, machine):
+    points = model.sweep(
+        n_values=[2**18, 2**20],
+        p_values=[2, 8],
+        f_values=[1.6e9, machine.f],
+    )
+    assert len(points) == 8
+    assert {(pt.n, pt.p, pt.f) for pt in points} == {
+        (n, p, f)
+        for n in (2**18, 2**20)
+        for p in (2, 8)
+        for f in (1.6e9, machine.f)
+    }
+
+
+def test_sweep_mixed_fixed_and_swept(model):
+    """Fixed scalars combine with swept axes in the cartesian product."""
+    points = model.sweep(n=2**20, p_values=[1, 2, 4])
+    assert [pt.p for pt in points] == [1, 2, 4]
+    assert all(pt.n == 2**20 for pt in points)
+
+    points = model.sweep(n_values=[2**18, 2**20], p=8)
+    assert [pt.n for pt in points] == [2**18, 2**20]
+    assert all(pt.p == 8 for pt in points)
+
+
+def test_sweep_all_fixed_is_single_point(model):
+    points = model.sweep(n=2**20, p=4)
+    assert len(points) == 1
+    assert (points[0].n, points[0].p) == (2**20, 4)
+
+
+def test_sweep_f_defaults_to_calibration_frequency(model, machine):
+    (pt,) = model.sweep(n=2**20, p=4)
+    assert pt.f == machine.f
+
+
 def test_sweep_requires_axes(model):
     with pytest.raises(ParameterError):
         model.sweep(p_values=[1, 2])  # n missing
     with pytest.raises(ParameterError):
         model.sweep(n_values=[1e6])  # p missing
+    with pytest.raises(ParameterError):
+        model.sweep()  # everything missing
+    with pytest.raises(ParameterError):
+        model.sweep(f_values=[1.6e9, 2.8e9])  # f alone fixes neither n nor p
+
+
+def test_sweep_swept_axis_wins_over_fixed_value(model):
+    """Supplying both the scalar and the sequence uses the sequence."""
+    points = model.sweep(n=2**10, n_values=[2**18, 2**20], p=4)
+    assert [pt.n for pt in points] == [2**18, 2**20]
+
+
+def test_theta2_table_shape_and_values(model):
+    table = model.theta2_table([2**18, 2**20], [1, 4, 16])
+    assert table["wc"].shape == (2, 3)
+    app = model.app_params(float(2**20), 16)
+    assert table["wmo"][1, 2] == app.wmo
+
+
+def test_theta2_table_validation(model):
+    with pytest.raises(ParameterError):
+        model.theta2_table([], [1, 2])
+    with pytest.raises(ParameterError):
+        model.theta2_table([2**18], [])
+    with pytest.raises(ParameterError):
+        model.theta2_table([2**18], [0])
+
+
+def test_degenerate_tp_guarded(model, monkeypatch):
+    """A workload collapsing to Tp == 0 raises instead of dividing by 0."""
+    import repro.core.model as model_mod
+
+    monkeypatch.setattr(model_mod, "parallel_time", lambda m, a, p: 0.0)
+    with pytest.raises(ParameterError, match="Tp=0"):
+        model.evaluate(n=2**20, p=8)
+
+
+def test_degenerate_eef_guarded(model, monkeypatch):
+    """EEF == -1 (Ep == 0) raises instead of evaluating EE = 1/0."""
+    import repro.core.model as model_mod
+
+    monkeypatch.setattr(model_mod, "eef", lambda m, a, p: -1.0)
+    with pytest.raises(ParameterError, match="EEF=-1"):
+        model.evaluate(n=2**20, p=8)
+
+
+def test_machine_at_is_memoised(model):
+    assert model.machine_at(1.4 * GHZ) is model.machine_at(1.4 * GHZ)
+    hits_before = model.cache_info()["machine_at"].hits
+    model.machine_at(1.4 * GHZ)
+    assert model.cache_info()["machine_at"].hits == hits_before + 1
+
+
+def test_app_params_is_memoised(model):
+    assert model.app_params(2**20, 8) is model.app_params(2**20, 8)
+    assert model.cache_info()["app_params"].hits >= 1
+
+
+def test_cache_theta2_opt_out_consults_workload_each_time(machine):
+    """Stateful workloads (e.g. noise-injecting calibration models) need
+    every evaluation to hit the workload afresh."""
+    calls = []
+
+    def noisy(n, p):
+        calls.append((n, p))
+        return AppParams(alpha=0.9, wc=n * (1 + 1e-6 * len(calls)), p=None)
+
+    model = IsoEnergyModel(machine, noisy, cache_theta2=False)
+    a = model.app_params(1e9, 4)
+    b = model.app_params(1e9, 4)
+    assert len(calls) == 2
+    assert a.wc != b.wc
+    assert model.cache_info()["app_params"] is None
 
 
 def test_as_dict_round(model):

@@ -1,0 +1,147 @@
+"""Constrained optimizers: budget caps, deadlines, Pareto dominance."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.optimize.budget import (
+    max_speedup_under_power,
+    min_energy_under_deadline,
+    pareto_frontier,
+)
+from repro.optimize.grid import evaluate_grid
+from repro.paperdata import paper_model
+from repro.units import GHZ
+
+P_VALUES = [1, 2, 4, 8, 16, 32, 64]
+F_VALUES = [1.6 * GHZ, 2.0 * GHZ, 2.4 * GHZ, 2.8 * GHZ]
+
+
+@pytest.fixture(scope="module")
+def ft():
+    return paper_model("FT", klass="B")
+
+
+@pytest.fixture(scope="module")
+def all_points(ft):
+    # same evaluation path as the solvers, so brute-force comparisons are
+    # bit-exact (scalar_grid agrees only to ~1e-15, which breaks dominance
+    # tie-checks)
+    model, n = ft
+    return evaluate_grid(
+        model, p_values=P_VALUES, f_values=F_VALUES, n_values=[n]
+    ).points()
+
+
+class TestPowerBudget:
+    def test_matches_brute_force(self, ft, all_points):
+        model, n = ft
+        budget = 3_000.0
+        rec = max_speedup_under_power(
+            model, n=n, budget_w=budget, p_values=P_VALUES, f_values=F_VALUES
+        )
+        feasible = [p for p in all_points if p.ep / p.tp <= budget]
+        best = min(feasible, key=lambda p: p.tp)
+        assert (rec.p, rec.f) == (best.p, best.f)
+        assert rec.tp == pytest.approx(best.tp, rel=1e-12)
+        assert rec.avg_power <= budget
+        assert rec.feasible_count == len(feasible)
+
+    def test_acceptance_scenario_is_feasible(self, ft):
+        """The ISSUE's CLI scenario: FT.B on SystemG under 3 kW."""
+        model, n = ft
+        rec = max_speedup_under_power(
+            model, n=n, budget_w=3_000.0, p_values=P_VALUES, f_values=F_VALUES
+        )
+        assert rec.p > 1
+        assert 0 < rec.ee < 1
+        assert rec.tp > 0 and rec.ep > 0
+
+    def test_tighter_budget_never_faster(self, ft):
+        model, n = ft
+        loose = max_speedup_under_power(
+            model, n=n, budget_w=10_000.0, p_values=P_VALUES, f_values=F_VALUES
+        )
+        tight = max_speedup_under_power(
+            model, n=n, budget_w=1_000.0, p_values=P_VALUES, f_values=F_VALUES
+        )
+        assert tight.tp >= loose.tp
+
+    def test_infeasible_budget_raises_with_minimum(self, ft):
+        model, n = ft
+        with pytest.raises(ParameterError, match="frugalest"):
+            max_speedup_under_power(
+                model, n=n, budget_w=10.0, p_values=P_VALUES,
+                f_values=F_VALUES,
+            )
+
+    def test_nonpositive_budget_rejected(self, ft):
+        model, n = ft
+        with pytest.raises(ParameterError):
+            max_speedup_under_power(
+                model, n=n, budget_w=0.0, p_values=P_VALUES
+            )
+
+
+class TestDeadline:
+    def test_matches_brute_force(self, ft, all_points):
+        model, n = ft
+        deadline = 30.0
+        rec = min_energy_under_deadline(
+            model, n=n, t_max=deadline, p_values=P_VALUES, f_values=F_VALUES
+        )
+        feasible = [p for p in all_points if p.tp <= deadline]
+        best = min(feasible, key=lambda p: p.ep)
+        assert (rec.p, rec.f) == (best.p, best.f)
+        assert rec.tp <= deadline
+
+    def test_impossible_deadline_raises(self, ft):
+        model, n = ft
+        with pytest.raises(ParameterError, match="deadline"):
+            min_energy_under_deadline(
+                model, n=n, t_max=1e-6, p_values=P_VALUES, f_values=F_VALUES
+            )
+
+    def test_nonpositive_deadline_rejected(self, ft):
+        model, n = ft
+        with pytest.raises(ParameterError):
+            min_energy_under_deadline(
+                model, n=n, t_max=-5.0, p_values=P_VALUES
+            )
+
+
+class TestParetoFrontier:
+    def test_sorted_and_trading(self, ft):
+        model, n = ft
+        frontier = pareto_frontier(
+            model, n=n, p_values=P_VALUES, f_values=F_VALUES
+        )
+        tps = [r.tp for r in frontier]
+        eps = [r.ep for r in frontier]
+        assert tps == sorted(tps)
+        assert eps == sorted(eps, reverse=True)
+
+    def test_no_dominated_point_survives(self, ft, all_points):
+        model, n = ft
+        frontier = pareto_frontier(
+            model, n=n, p_values=P_VALUES, f_values=F_VALUES
+        )
+        for r in frontier:
+            dominated = any(
+                q.tp <= r.tp and q.ep <= r.ep and (q.tp, q.ep) != (r.tp, r.ep)
+                for q in all_points
+            )
+            assert not dominated, (r.p, r.f)
+
+    def test_every_non_dominated_point_present(self, ft, all_points):
+        model, n = ft
+        frontier = pareto_frontier(
+            model, n=n, p_values=P_VALUES, f_values=F_VALUES
+        )
+        keys = {(r.p, r.f) for r in frontier}
+        for q in all_points:
+            dominated = any(
+                o.tp <= q.tp and o.ep <= q.ep and (o.tp, o.ep) != (q.tp, q.ep)
+                for o in all_points
+            )
+            if not dominated:
+                assert (q.p, q.f) in keys

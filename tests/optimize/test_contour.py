@@ -1,0 +1,137 @@
+"""Iso-EE contour tracing: round-trips, bracketing, unreachable targets."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.optimize.contour import (
+    iso_ee_curve,
+    solve_f_for_ee,
+    solve_n_for_ee,
+)
+from repro.paperdata import paper_model
+from repro.units import GHZ
+
+
+@pytest.fixture(scope="module")
+def ft():
+    return paper_model("FT", klass="B")
+
+
+@pytest.fixture(scope="module")
+def cg():
+    return paper_model("CG", klass="B")
+
+
+class TestNCurve:
+    def test_round_trip_within_one_percent(self, ft):
+        """Acceptance: evaluating n(p) reproduces the target EE to 1%."""
+        model, n = ft
+        target = 0.8
+        curve = iso_ee_curve(
+            model, target_ee=target, p_values=[2, 4, 8, 16, 32, 64], n_seed=n
+        )
+        assert all(c.converged for c in curve)
+        for c in curve:
+            ee = model.ee(n=c.value, p=c.p)
+            assert abs(ee - target) / target < 0.01, (c.p, ee)
+
+    def test_curve_grows_with_p(self, ft):
+        """Holding EE while scaling out demands a growing problem."""
+        model, n = ft
+        curve = iso_ee_curve(
+            model, target_ee=0.75, p_values=[2, 4, 8, 16, 32], n_seed=n
+        )
+        sizes = [c.value for c in curve]
+        assert sizes == sorted(sizes)
+
+    def test_p1_trivially_converges(self, ft):
+        model, n = ft
+        pt = solve_n_for_ee(model, target_ee=0.9, p=1, n_seed=n)
+        assert pt.converged and pt.ee == 1.0
+
+    def test_cg_round_trip(self, cg):
+        model, n = cg
+        for p in (4, 16, 64):
+            pt = solve_n_for_ee(model, target_ee=0.8, p=p, n_seed=n)
+            assert pt.converged
+            assert model.ee(n=pt.value, p=p) == pytest.approx(0.8, rel=0.01)
+
+    def test_cg_asymptote_is_unreachable(self, cg):
+        """CG's per-p overheads never amortize: EE(n→∞, p=64) < 0.85."""
+        model, n = cg
+        pt = solve_n_for_ee(model, target_ee=0.85, p=64, n_seed=n)
+        assert not pt.converged
+        assert pt.ee < 0.85
+
+    def test_unreachable_target_flagged_not_raised(self, ft):
+        """EP-like: EE floors near 1; a low target is below the range."""
+        model, n = paper_model("EP", klass="B")
+        pt = solve_n_for_ee(model, target_ee=0.5, p=16, n_seed=n)
+        assert not pt.converged
+        assert pt.ee > 0.9  # EP never gets anywhere near EE = 0.5
+
+    def test_bad_targets_rejected(self, ft):
+        model, n = ft
+        for bad in (0.0, 1.0, -0.2, 1.7):
+            with pytest.raises(ParameterError):
+                solve_n_for_ee(model, target_ee=bad, p=4, n_seed=n)
+        with pytest.raises(ParameterError):
+            solve_n_for_ee(model, target_ee=0.8, p=4, n_seed=-1.0)
+
+
+class TestFCurve:
+    def test_solve_f_round_trip(self, cg):
+        """CG's EE rises with f (Fig. 9) — a mid target is bracketed."""
+        model, n = cg
+        p = 32
+        lo, hi = 1.6 * GHZ, 2.8 * GHZ
+        ee_lo, ee_hi = model.ee(n=n, p=p, f=lo), model.ee(n=n, p=p, f=hi)
+        target = 0.5 * (ee_lo + ee_hi)
+        pt = solve_f_for_ee(
+            model, target_ee=target, p=p, n=n, f_window=(lo, hi)
+        )
+        assert pt.converged
+        assert lo <= pt.value <= hi
+        assert model.ee(n=n, p=p, f=pt.value) == pytest.approx(
+            target, rel=0.01
+        )
+
+    def test_unbracketed_target_flagged(self, cg):
+        model, n = cg
+        pt = solve_f_for_ee(
+            model, target_ee=0.05, p=32, n=n,
+            f_window=(1.6 * GHZ, 2.8 * GHZ),
+        )
+        assert not pt.converged
+
+    def test_bad_window_rejected(self, cg):
+        model, n = cg
+        with pytest.raises(ParameterError):
+            solve_f_for_ee(
+                model, target_ee=0.8, p=4, n=n, f_window=(2.8 * GHZ, 1.6 * GHZ)
+            )
+
+
+class TestCurveApi:
+    def test_f_axis_curve(self, cg):
+        model, n = cg
+        curve = iso_ee_curve(
+            model, target_ee=0.86, p_values=[16, 32], axis="f", n=n,
+            f_window=(1.6 * GHZ, 2.8 * GHZ),
+        )
+        assert [c.p for c in curve] == [16, 32]
+        assert all(c.axis == "f" for c in curve)
+
+    def test_f_axis_needs_n_and_window(self, cg):
+        model, n = cg
+        with pytest.raises(ParameterError):
+            iso_ee_curve(model, target_ee=0.8, p_values=[4], axis="f")
+        with pytest.raises(ParameterError):
+            iso_ee_curve(model, target_ee=0.8, p_values=[4], axis="f", n=n)
+
+    def test_unknown_axis_and_empty_p(self, ft):
+        model, n = ft
+        with pytest.raises(ParameterError):
+            iso_ee_curve(model, target_ee=0.8, p_values=[4], axis="z")
+        with pytest.raises(ParameterError):
+            iso_ee_curve(model, target_ee=0.8, p_values=[])

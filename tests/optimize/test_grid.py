@@ -1,0 +1,197 @@
+"""Vectorized grid evaluation: exact parity with the scalar path."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import ascii_heatmap
+from repro.analysis.surface import surface_from_grid
+from repro.analysis.sweep import points_table
+from repro.core.model import IsoEnergyModel
+from repro.errors import ParameterError
+from repro.npb.ft import FtWorkload
+from repro.optimize.grid import (
+    BOTTLENECK_NAMES,
+    GRID_METRICS,
+    evaluate_grid,
+    scalar_grid,
+)
+from repro.units import GHZ
+
+P_VALUES = [1, 2, 8, 32, 128]
+F_VALUES = [1.6 * GHZ, 2.2 * GHZ, 2.8 * GHZ]
+N_VALUES = [2**18, 2**20, 2**22]
+
+
+@pytest.fixture()
+def model(machine) -> IsoEnergyModel:
+    return IsoEnergyModel(machine, FtWorkload(niter=5), name="FT-grid")
+
+
+@pytest.fixture()
+def grid(model):
+    return evaluate_grid(
+        model, p_values=P_VALUES, f_values=F_VALUES, n_values=N_VALUES
+    )
+
+
+class TestEquivalence:
+    def test_every_point_matches_scalar_evaluate(self, model, grid):
+        ref = scalar_grid(
+            model, p_values=P_VALUES, f_values=F_VALUES, n_values=N_VALUES
+        )
+        pts = grid.points()
+        assert len(pts) == len(ref) == grid.size
+        for a, b in zip(pts, ref):
+            assert (a.p, a.f, a.n) == (b.p, b.f, b.n)
+            for fld in (
+                "t1", "tp", "e1", "ep", "eef", "ee",
+                "speedup", "perf_efficiency",
+            ):
+                assert getattr(a, fld) == pytest.approx(
+                    getattr(b, fld), rel=1e-12
+                ), fld
+            assert a.bottleneck == b.bottleneck
+
+    def test_default_frequency_axis_is_calibration(self, model, machine):
+        grid = evaluate_grid(model, p_values=[4], n_values=[2**20])
+        assert grid.f_values == (machine.f,)
+        assert grid.point(0, 0, 0).f == machine.f
+
+    def test_avg_power_is_ep_over_tp(self, grid):
+        assert np.allclose(grid.avg_power, grid.ep / grid.tp)
+
+    def test_p1_column_is_ideal(self, grid):
+        ip = P_VALUES.index(1)
+        assert np.allclose(grid.ee[ip], 1.0)
+        assert np.all(grid.bottleneck[ip] == 0)
+        assert BOTTLENECK_NAMES[0] == "none"
+
+    def test_p1_parity_for_callable_without_bookkeeping(self, machine):
+        """A callable Θ2 carrying overheads but no p field still matches
+        the scalar path at p=1 (which strips them via sequential())."""
+        from repro.core.parameters import AppParams
+
+        model = IsoEnergyModel(
+            machine,
+            lambda n, p: AppParams(
+                alpha=0.9, wc=n, wm=n / 10, wco=n / 5,
+                m_messages=100.0, b_bytes=1e6,
+            ),
+        )
+        grid = evaluate_grid(model, p_values=[1, 4], n_values=[1e9])
+        for ip in range(2):
+            a = grid.point(ip, 0, 0)
+            b = model.evaluate(n=1e9, p=grid.p_values[ip])
+            for fld in ("tp", "ep", "eef", "ee"):
+                assert getattr(a, fld) == pytest.approx(
+                    getattr(b, fld), rel=1e-12
+                ), fld
+
+
+class TestAccessors:
+    def test_shape_and_size(self, grid):
+        assert grid.shape == (len(P_VALUES), len(F_VALUES), len(N_VALUES))
+        assert grid.size == len(P_VALUES) * len(F_VALUES) * len(N_VALUES)
+
+    def test_slices(self, grid):
+        assert grid.slice_pf("ee", kn=1).shape == (
+            len(P_VALUES), len(F_VALUES))
+        assert grid.slice_pn("tp", jf=0).shape == (
+            len(P_VALUES), len(N_VALUES))
+
+    def test_argbest_min_and_max(self, grid):
+        ip, jf, kn = grid.argbest("tp")
+        assert grid.tp[ip, jf, kn] == grid.tp.min()
+        ip, jf, kn = grid.argbest("ee", mode="max")
+        assert grid.ee[ip, jf, kn] == grid.ee.max()
+
+    def test_argbest_respects_mask(self, grid):
+        mask = grid.avg_power <= np.median(grid.avg_power)
+        ip, jf, kn = grid.argbest("tp", where=mask)
+        assert mask[ip, jf, kn]
+        assert grid.tp[ip, jf, kn] == grid.tp[mask].min()
+
+    def test_best_point_matches_argbest(self, grid):
+        pt = grid.best_point("ep")
+        ip, jf, kn = grid.argbest("ep")
+        assert pt.ep == float(grid.ep[ip, jf, kn])
+
+    def test_points_feed_points_table(self, grid):
+        rows = points_table(grid.points())
+        assert len(rows) == grid.size
+        assert rows[0][0] == P_VALUES[0]
+
+
+class TestAnalysisBridge:
+    def test_surface_from_grid_pf(self, grid):
+        surf = surface_from_grid(grid, metric="ee", axis="f", index=1)
+        assert surf.values.shape == (len(P_VALUES), len(F_VALUES))
+        assert surf.fixed == {"n": float(N_VALUES[1])}
+        # EE falls with p at every f — same diagnostic the figures use
+        assert surf.monotone_along_x(increasing=False)
+
+    def test_surface_from_grid_pn(self, grid):
+        surf = surface_from_grid(grid, metric="ee", axis="n", index=0)
+        assert surf.values.shape == (len(P_VALUES), len(N_VALUES))
+        assert surf.fixed == {"f": float(F_VALUES[0])}
+
+    def test_surface_renders_as_heatmap(self, grid):
+        surf = surface_from_grid(grid, metric="ee", axis="f")
+        art = ascii_heatmap(
+            surf.values, [int(p) for p in surf.x],
+            [f"{f / GHZ:.1f}" for f in surf.y], lo=0.0, hi=1.0,
+        )
+        assert "scale:" in art
+
+    def test_surface_bad_axis(self, grid):
+        with pytest.raises(ParameterError):
+            surface_from_grid(grid, axis="q")
+
+
+class TestValidation:
+    def test_empty_axes_rejected(self, model):
+        with pytest.raises(ParameterError):
+            evaluate_grid(model, p_values=[], n_values=[2**20])
+        with pytest.raises(ParameterError):
+            evaluate_grid(model, p_values=[4], n_values=[])
+        with pytest.raises(ParameterError):
+            evaluate_grid(model, p_values=[4], n_values=[2**20], f_values=[])
+
+    def test_invalid_p_rejected(self, model):
+        with pytest.raises(ParameterError):
+            evaluate_grid(model, p_values=[0], n_values=[2**20])
+
+    def test_unknown_metric_rejected(self, grid):
+        with pytest.raises(ParameterError):
+            grid.argbest("joules")
+        with pytest.raises(ParameterError):
+            grid.slice_pf("joules")
+        assert "ee" in GRID_METRICS
+
+    def test_all_infeasible_mask_rejected(self, grid):
+        with pytest.raises(ParameterError):
+            grid.argbest("tp", where=np.zeros(grid.shape, dtype=bool))
+
+    def test_wrong_mask_shape_rejected(self, grid):
+        with pytest.raises(ParameterError):
+            grid.argbest("tp", where=np.ones((1, 1, 1), dtype=bool))
+
+
+class TestBatchHooks:
+    def test_theta2_table_matches_app_params(self, model):
+        table = model.theta2_table(N_VALUES, P_VALUES)
+        assert table["wc"].shape == (len(N_VALUES), len(P_VALUES))
+        app = model.app_params(float(N_VALUES[1]), P_VALUES[2])
+        assert table["wco"][1, 2] == app.wco
+        assert table["b_bytes"][1, 2] == app.b_bytes
+
+    def test_caches_warm_across_grid_calls(self, model):
+        evaluate_grid(
+            model, p_values=P_VALUES, f_values=F_VALUES, n_values=N_VALUES
+        )
+        before = model.cache_info()["app_params"].hits
+        evaluate_grid(
+            model, p_values=P_VALUES, f_values=F_VALUES, n_values=N_VALUES
+        )
+        after = model.cache_info()["app_params"].hits
+        assert after > before

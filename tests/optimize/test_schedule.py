@@ -1,0 +1,108 @@
+"""Cluster-level DVFS scheduling under a shared power budget."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ParameterError
+from repro.optimize.schedule import Job, schedule_jobs
+
+QUEUE = [
+    Job("fourier", "FT", "W"),
+    Job("conjgrad", "CG", "W"),
+    Job("montecarlo", "EP", "W"),
+]
+
+
+@pytest.fixture(scope="module")
+def schedule():
+    return schedule_jobs(
+        QUEUE, cluster="systemg", power_budget=6_000.0, nodes=32
+    )
+
+
+class TestFeasibility:
+    def test_budget_respected(self, schedule):
+        assert schedule.total_power <= schedule.power_budget
+        assert schedule.headroom_w >= 0.0
+
+    def test_every_job_assigned(self, schedule):
+        assert [a.job for a in schedule.assignments] == [
+            j.name for j in QUEUE
+        ]
+        for a in schedule.assignments:
+            assert a.p >= 1
+            assert a.tp > 0 and a.ep > 0
+            assert 0 < a.ee <= 1
+            assert 0 <= a.rung < a.rungs_available
+
+    def test_aggregates(self, schedule):
+        assert schedule.makespan == pytest.approx(
+            max(a.tp for a in schedule.assignments)
+        )
+        assert schedule.total_energy == pytest.approx(
+            sum(a.ep for a in schedule.assignments)
+        )
+        rows = schedule.rows()
+        assert len(rows) == len(QUEUE)
+        assert rows[0][0] == "fourier"
+
+    def test_infeasible_budget_raises(self):
+        with pytest.raises(ParameterError, match="infeasible"):
+            schedule_jobs(
+                QUEUE, cluster="systemg", power_budget=50.0, nodes=32
+            )
+
+
+class TestGreedyClimb:
+    def test_more_budget_never_hurts_makespan(self):
+        tight = schedule_jobs(
+            QUEUE, cluster="systemg", power_budget=1_500.0, nodes=32
+        )
+        loose = schedule_jobs(
+            QUEUE, cluster="systemg", power_budget=12_000.0, nodes=32
+        )
+        assert loose.makespan <= tight.makespan
+
+    def test_slack_budget_exhausts_ladders_or_headroom(self):
+        sched = schedule_jobs(
+            QUEUE, cluster="systemg", power_budget=1e9, nodes=32
+        )
+        # with unlimited watts every job tops out its ladder
+        for a in sched.assignments:
+            assert a.rung == a.rungs_available - 1
+
+    def test_max_nodes_cap_respected(self):
+        sched = schedule_jobs(
+            QUEUE, cluster="systemg", power_budget=1e9, nodes=32,
+            max_nodes=16,
+        )
+        assert sum(a.p for a in sched.assignments) <= 16
+
+
+class TestConfiguration:
+    def test_dori_preset_works(self):
+        sched = schedule_jobs(
+            [Job("solo", "EP", "S")], cluster="dori",
+            power_budget=2_000.0, nodes=8,
+        )
+        assert sched.cluster == "Dori"
+        assert sched.assignments[0].benchmark == "EP"
+
+    def test_explicit_axes(self):
+        sched = schedule_jobs(
+            [Job("solo", "FT", "W")], cluster="systemg",
+            power_budget=5_000.0, p_values=[2, 4],
+            f_values=[2.0e9, 2.8e9],
+        )
+        assert sched.assignments[0].p in (2, 4)
+
+    def test_unknown_cluster_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown cluster"):
+            schedule_jobs(QUEUE, cluster="summit", power_budget=1_000.0)
+
+    def test_empty_queue_rejected(self):
+        with pytest.raises(ParameterError, match="empty"):
+            schedule_jobs([], power_budget=1_000.0)
+
+    def test_nonpositive_budget_rejected(self):
+        with pytest.raises(ParameterError):
+            schedule_jobs(QUEUE, power_budget=0.0)

@@ -64,6 +64,58 @@ def test_validate_runs_simulation(capsys):
     assert "|error|" in out
 
 
+def test_optimize_power_budget(capsys):
+    code, out, _ = run_cli(
+        capsys, "optimize", "--benchmark", "ft", "--klass", "B",
+        "--cluster", "systemg", "--power-budget", "3000",
+    )
+    assert code == 0
+    assert "max_speedup_under_power" in out
+    assert "EE" in out and "avg power" in out
+
+
+def test_optimize_benchmark_is_case_insensitive(capsys):
+    code, out, _ = run_cli(
+        capsys, "optimize", "--benchmark", "cg", "--power-budget", "5000",
+        "--p-values", "1,4,16",
+    )
+    assert code == 0
+    assert "CG.B on SystemG" in out
+
+
+def test_optimize_contour_and_pareto(capsys):
+    code, out, _ = run_cli(
+        capsys, "optimize", "--benchmark", "FT", "--target-ee", "0.8",
+        "--pareto", "--p-values", "1,4,16",
+    )
+    assert code == 0
+    assert "iso-EE contour" in out
+    assert "Pareto frontier" in out
+
+
+def test_optimize_show_grid_heatmap(capsys):
+    code, out, _ = run_cli(
+        capsys, "optimize", "--benchmark", "FT", "--show-grid",
+        "--p-values", "1,16",
+    )
+    assert code == 0
+    assert "scale:" in out
+
+
+def test_optimize_without_mode_is_clean_error(capsys):
+    code, _, err = run_cli(capsys, "optimize", "--benchmark", "FT")
+    assert code == 2
+    assert "nothing to optimize" in err
+
+
+def test_optimize_infeasible_budget_is_clean_error(capsys):
+    code, _, err = run_cli(
+        capsys, "optimize", "--benchmark", "FT", "--power-budget", "1",
+    )
+    assert code == 2
+    assert "no (p, f) fits" in err
+
+
 def test_unknown_cluster_is_clean_error(capsys):
     code, _, err = run_cli(
         capsys, "evaluate", "--cluster", "summit", "--p", "4"

@@ -4,6 +4,7 @@ Executed as subprocesses so import-time failures, stale APIs, and
 output-file handling are all exercised exactly as a user would hit them.
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -12,6 +13,17 @@ import pytest
 
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+SRC_DIR = EXAMPLES_DIR.parent / "src"
+
+#: examples import `repro` from the source tree, which the subprocess
+#: (unlike the test session) does not inherit — prepend it explicitly.
+ENV = {
+    **os.environ,
+    "PYTHONPATH": os.pathsep.join(
+        [str(SRC_DIR)]
+        + ([os.environ["PYTHONPATH"]] if os.environ.get("PYTHONPATH") else [])
+    ),
+}
 
 
 def test_examples_directory_populated():
@@ -28,6 +40,7 @@ def test_example_runs_clean(script, tmp_path):
         capture_output=True,
         text=True,
         timeout=300,
+        env=ENV,
     )
     assert result.returncode == 0, result.stderr[-2000:]
     assert result.stdout.strip(), f"{script.name} produced no output"
@@ -40,6 +53,7 @@ def test_quickstart_mentions_key_quantities(tmp_path):
         capture_output=True,
         text=True,
         timeout=300,
+        env=ENV,
     )
     out = result.stdout
     assert "EE" in out and "bottleneck" in out
