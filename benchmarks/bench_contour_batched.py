@@ -1,0 +1,93 @@
+"""Perf benchmark: the batched iso-EE bisection vs the per-p scalar path.
+
+The contour tracer used to bisect each p with scalar ``model.ee`` calls;
+:func:`repro.optimize.contour.iso_ee_curve` now runs one batched bisection
+over every p at once on top of the vectorized pair evaluator.  This bench
+traces the acceptance curve (FT, 256 processor counts) both ways, checks
+the two solvers agree — converged flags identical and EE at the solved
+points equal within 1e-6 (EE, not n, is the contour's defining quantity:
+near the asymptote the curve is numerically flat in n, so any solver's n
+is only determined up to the EE precision) — and holds the batched path
+to a ≥5× wall-clock speedup over the scalar reference.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import print_artifact
+
+from repro.analysis.report import ascii_table
+from repro.optimize.contour import iso_ee_curve, iso_ee_curve_scalar
+from repro.paperdata import paper_model
+
+P_VALUES = list(range(2, 514, 2))  # 256 processor counts
+TARGET_EE = 0.8
+#: both solvers run well below the comparison tolerance so each is pinned
+#: to the true root much tighter than the 1e-6 equivalence bound
+REL_TOL = 1e-8
+SPEEDUP_FLOOR = 5.0
+EE_TOL = 1e-6
+
+
+def _fresh():
+    model, n = paper_model("FT", klass="B")
+    return model, n
+
+
+def test_batched_contour_speedup(benchmark):
+    # separate models so neither path warms the other's Θ2 memo layer
+    scalar_model, n = _fresh()
+    batched_model, _ = _fresh()
+
+    t0 = time.perf_counter()
+    ref = iso_ee_curve_scalar(
+        scalar_model, target_ee=TARGET_EE, p_values=P_VALUES,
+        n_seed=n, rel_tol=REL_TOL,
+    )
+    t_scalar = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    curve = iso_ee_curve(
+        batched_model, target_ee=TARGET_EE, p_values=P_VALUES,
+        n_seed=n, rel_tol=REL_TOL,
+    )
+    t_batched = time.perf_counter() - t0
+    benchmark.pedantic(
+        lambda: iso_ee_curve(
+            batched_model, target_ee=TARGET_EE, p_values=P_VALUES,
+            n_seed=n, rel_tol=REL_TOL,
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    speedup = t_scalar / t_batched
+
+    assert len(curve) == len(ref) == len(P_VALUES)
+    worst_ee = 0.0
+    for got, want in zip(curve, ref):
+        assert got.p == want.p and got.axis == want.axis
+        assert got.converged == want.converged, got.p
+        worst_ee = max(worst_ee, abs(got.ee - want.ee))
+        assert abs(got.ee - want.ee) <= EE_TOL, (got, want)
+        # every converged point holds the target within solver precision
+        if got.converged:
+            assert abs(got.ee - TARGET_EE) <= 1e-6, got
+
+    body = ascii_table(
+        ["quantity", "value"],
+        [
+            ("curve", f"FT.B n(p) at EE = {TARGET_EE}"),
+            ("p values", len(P_VALUES)),
+            ("scalar per-p bisection", f"{t_scalar * 1e3:.1f} ms"),
+            ("batched bisection", f"{t_batched * 1e3:.1f} ms"),
+            ("speedup", f"{speedup:.1f}x"),
+            ("floor", f"{SPEEDUP_FLOOR:.0f}x"),
+            ("worst |EE delta|", f"{worst_ee:.2e}"),
+        ],
+    )
+    print_artifact("optimize.contour — batched iso-EE bisection", body)
+
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"batched contour tracing only {speedup:.1f}x faster than the "
+        f"scalar per-p path (need >= {SPEEDUP_FLOOR:.0f}x)"
+    )

@@ -1,100 +1,99 @@
 #!/usr/bin/env python
-"""Power-constrained scaling with the optimize subsystem.
+"""Power-constrained scaling through the typed query API.
 
 The paper's title promises *power-constrained parallel computation*;
-this example runs the full decision loop the `repro.optimize` package
-provides on top of the iso-energy-efficiency model:
+this example runs the full decision loop against :mod:`repro.api` — the
+same facade the CLI and the HTTP server (``repro serve``) answer from:
 
-1. batch-evaluate a dense (p × f × n) grid in one vectorized call and
+1. fetch the EE surface over (p × f) as a :class:`SurfaceRequest` and
    render it as a heatmap,
-2. ask the budget solvers for the fastest configuration under a site
-   power cap and the greenest under a deadline,
-3. trace the iso-EE contour n(p) — how the problem must grow to *hold*
-   energy efficiency while scaling out,
-4. walk the (Tp, Ep) Pareto frontier, and
-5. schedule a whole queue of NPB jobs under one shared cluster budget.
+2. ask :class:`BudgetQuery` for the fastest configuration under a site
+   power cap and :class:`DeadlineQuery` for the greenest under an SLA,
+3. trace the iso-EE contour n(p) with :class:`IsoEEQuery` — how the
+   problem must grow to *hold* energy efficiency while scaling out,
+4. walk the (Tp, Ep) Pareto frontier via :class:`ParetoQuery`,
+5. schedule a whole queue of NPB jobs under one shared cluster budget
+   with :class:`ScheduleRequest`, and
+6. round-trip a query through its JSON wire form — exactly the bytes a
+   ``curl`` against ``POST /v1/budget`` would carry.
 
 Run:  python examples/power_constrained_scaling.py
 """
 
-import time
+import json
+
+import numpy as np
 
 from repro.analysis.report import ascii_heatmap, ascii_table, format_si
-from repro.analysis.surface import surface_from_grid
-from repro.optimize import (
-    evaluate_grid,
-    iso_ee_curve,
-    max_speedup_under_power,
-    min_energy_under_deadline,
-    pareto_frontier,
-    schedule_jobs,
+from repro.api import (
+    BudgetQuery,
+    DeadlineQuery,
+    EvaluateRequest,
+    IsoEEQuery,
+    ParetoQuery,
+    ScheduleRequest,
+    SurfaceRequest,
+    dispatch,
+    request_from_dict,
 )
-from repro.optimize.grid import scalar_grid
 from repro.optimize.schedule import Job
-from repro.paperdata import paper_model
 from repro.units import GHZ
 
-PS = [1, 2, 4, 8, 16, 32, 64, 128]
-FS = [1.6 * GHZ, 2.0 * GHZ, 2.4 * GHZ, 2.8 * GHZ]
+PS = (1, 2, 4, 8, 16, 32, 64, 128)
+FS = (1.6, 2.0, 2.4, 2.8)  # GHz
 
 
 def main() -> None:
-    model, n = paper_model("FT", klass="B")
-
-    # -- 1. one vectorized grid call -----------------------------------------------
-    n_axis = [n / 4, n, 4 * n]
-    t0 = time.perf_counter()
-    grid = evaluate_grid(model, p_values=PS, f_values=FS, n_values=n_axis)
-    t_vec = time.perf_counter() - t0
-    t0 = time.perf_counter()
-    scalar_grid(model, p_values=PS, f_values=FS, n_values=n_axis)
-    t_scalar = time.perf_counter() - t0
-    print(
-        f"evaluated {grid.size} (p, f, n) points in {t_vec * 1e3:.1f} ms "
-        f"vectorized vs {t_scalar * 1e3:.1f} ms scalar "
-        f"({t_scalar / max(t_vec, 1e-9):.0f}x)\n"
+    # -- 1. the EE surface over (p x f), one typed query ---------------------------
+    surface = dispatch(
+        SurfaceRequest(benchmark="FT", klass="B", p_values=PS, f_values_ghz=FS)
     )
-    surf = surface_from_grid(grid, metric="ee", axis="f", index=1)
+    n = dispatch(EvaluateRequest(benchmark="FT", klass="B", p=1)).point.n
     print(ascii_heatmap(
-        surf.values, [int(p) for p in surf.x],
-        [f"{f / GHZ:.1f}" for f in surf.y],
-        title=f"EE over (p x f) at n = {format_si(n)} — {model.name}",
+        np.array(surface.values), list(surface.x),
+        [f"{f / GHZ:.1f}" for f in surface.y],
+        title=f"EE over (p x f) at n = {format_si(n)} — {surface.model}",
         lo=0.0, hi=1.0,
     ))
 
-    # -- 2. budget solvers ------------------------------------------------------------
+    # -- 2. budget and deadline queries ---------------------------------------------
     print("\nFastest configuration under a site power cap:\n")
     rows = []
     for cap in (1_000.0, 3_000.0, 10_000.0):
-        rec = max_speedup_under_power(
-            model, n=n, budget_w=cap, p_values=PS, f_values=FS)
+        rec = dispatch(BudgetQuery(
+            benchmark="FT", budget_w=cap, p_values=PS, f_values_ghz=FS,
+        )).recommendation
         rows.append((f"{cap:,.0f} W", rec.p, f"{rec.f / GHZ:.1f}",
                      round(rec.tp, 2), round(rec.avg_power, 0),
                      round(rec.ee, 3), rec.feasible_count))
     print(ascii_table(
         ["budget", "p", "GHz", "Tp (s)", "draw (W)", "EE", "feasible"], rows))
 
-    t1 = model.evaluate(n=n, p=1).t1
+    t1 = dispatch(EvaluateRequest(benchmark="FT", p=1)).point.t1
     rows = []
     for frac in (0.25, 0.05):
-        rec = min_energy_under_deadline(
-            model, n=n, t_max=t1 * frac, p_values=PS, f_values=FS)
+        rec = dispatch(DeadlineQuery(
+            benchmark="FT", deadline_s=t1 * frac, p_values=PS,
+            f_values_ghz=FS,
+        )).recommendation
         rows.append((f"{t1 * frac:.1f} s", rec.p, f"{rec.f / GHZ:.1f}",
                      round(rec.ep / 1000, 2), round(rec.ee, 3)))
     print("\nGreenest configuration meeting a deadline:\n")
     print(ascii_table(["deadline", "p", "GHz", "Ep (kJ)", "EE"], rows))
 
-    # -- 3. the iso-EE contour ----------------------------------------------------------
+    # -- 3. the iso-EE contour --------------------------------------------------------
     target = 0.8
-    curve = iso_ee_curve(model, target_ee=target, p_values=PS, n_seed=n)
+    contour = dispatch(IsoEEQuery(benchmark="FT", target_ee=target, p_values=PS))
     print(f"\nProblem size n(p) holding EE = {target} (iso-EE scaling):\n")
     print(ascii_table(
         ["p", "n", "vs class B", "EE"],
         [(c.p, format_si(c.value), f"{c.value / n:.2f}x", round(c.ee, 4))
-         for c in curve if c.converged]))
+         for c in contour.points if c.converged]))
 
-    # -- 4. the Pareto menu ---------------------------------------------------------------
-    frontier = pareto_frontier(model, n=n, p_values=PS, f_values=FS)
+    # -- 4. the Pareto menu -------------------------------------------------------------
+    frontier = dispatch(
+        ParetoQuery(benchmark="FT", p_values=PS, f_values_ghz=FS)
+    ).points
     print(f"\n(Tp, Ep) Pareto frontier ({len(frontier)} of "
           f"{len(PS) * len(FS)} configurations survive):\n")
     step = max(len(frontier) // 8, 1)
@@ -103,23 +102,43 @@ def main() -> None:
         [(r.p, round(r.f / GHZ, 1), round(r.tp, 2), round(r.ep / 1000, 2),
           round(r.ee, 3)) for r in frontier[::step]]))
 
-    # -- 5. queue scheduling under one budget -----------------------------------------------
-    queue = [
-        Job("fourier", "FT", "B"),
-        Job("conjgrad", "CG", "B"),
-        Job("montecarlo", "EP", "B"),
-    ]
+    # -- 5. queue scheduling under one budget ---------------------------------------------
     budget = 8_000.0
-    sched = schedule_jobs(queue, cluster="systemg", power_budget=budget, nodes=64)
+    sched = dispatch(ScheduleRequest(
+        cluster="systemg",
+        power_budget_w=budget,
+        nodes=64,
+        jobs=(
+            Job("fourier", "FT", "B"),
+            Job("conjgrad", "CG", "B"),
+            Job("montecarlo", "EP", "B"),
+        ),
+    ))
     print(f"\nQueue of 3 NPB jobs under a shared {budget:,.0f} W budget "
           f"on {sched.cluster}:\n")
     print(ascii_table(
         ["job", "bench", "p", "GHz", "Tp (s)", "Ep (J)", "EE", "draw (W)"],
-        sched.rows()))
-    print(f"\ntotal draw {sched.total_power:,.0f} W "
+        [(a.job, a.benchmark, a.p, round(a.f / GHZ, 2), round(a.tp, 2),
+          round(a.ep, 1), round(a.ee, 4), round(a.avg_power, 0))
+         for a in sched.assignments]))
+    print(f"\ntotal draw {sched.total_power_w:,.0f} W "
           f"(headroom {sched.headroom_w:,.0f} W), "
-          f"makespan {sched.makespan:.1f} s, "
-          f"total energy {sched.total_energy / 1000:.1f} kJ")
+          f"makespan {sched.makespan_s:.1f} s, "
+          f"total energy {sched.total_energy_j / 1000:.1f} kJ")
+
+    # -- 6. the JSON wire format: what curl would POST to /v1/budget ----------------------
+    query = BudgetQuery(benchmark="FT", budget_w=3_000.0, p_values=PS,
+                        f_values_ghz=FS)
+    wire = json.dumps(query.to_dict())
+    parsed = request_from_dict(json.loads(wire))
+    assert parsed == query
+    answer = dispatch(parsed)  # served from the response cache by now
+    print("\nJSON wire round-trip of the 3 kW budget query "
+          f"({len(wire)} bytes on the wire):")
+    print(f"  {wire}")
+    print(f"  -> p={answer.recommendation.p}, "
+          f"f={answer.recommendation.f / GHZ:.1f} GHz, "
+          f"EE={answer.recommendation.ee:.3f}")
 
 
 if __name__ == "__main__":

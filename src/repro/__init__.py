@@ -18,6 +18,18 @@ See ``examples/`` for complete scenarios and ``benchmarks/`` for the
 scripts regenerating every figure and table of the paper.
 """
 
+from repro.api import (
+    BudgetQuery,
+    DeadlineQuery,
+    EvaluateRequest,
+    IsoEEQuery,
+    ParetoQuery,
+    ScheduleRequest,
+    SurfaceRequest,
+    SweepRequest,
+    ValidateRequest,
+    dispatch,
+)
 from repro.core import (
     AppParams,
     IsoEnergyModel,
@@ -45,6 +57,16 @@ from repro.validation import validate, validate_suite
 __version__ = "1.0.0"
 
 __all__ = [
+    "dispatch",
+    "EvaluateRequest",
+    "SweepRequest",
+    "SurfaceRequest",
+    "ValidateRequest",
+    "BudgetQuery",
+    "DeadlineQuery",
+    "IsoEEQuery",
+    "ParetoQuery",
+    "ScheduleRequest",
     "AppParams",
     "IsoEnergyModel",
     "MachineParams",

@@ -1,0 +1,90 @@
+"""``repro.api`` — the typed query/response facade and its serving layer.
+
+The iso-energy-efficiency model is a decision service: "given a power
+budget or a deadline, which (p, f, n) should I run?".  This package gives
+that service one stable, serializable surface:
+
+* :mod:`repro.api.types` — frozen-dataclass requests and responses with
+  versioned ``to_dict``/``from_dict`` JSON round-tripping;
+* :mod:`repro.api.schemas` — the op-name registry binding the two sides;
+* :mod:`repro.api.service` — ``dispatch(request) -> response``, the
+  memoised facade over every engine;
+* :mod:`repro.api.server` — a stdlib asyncio HTTP/JSON front end
+  (``repro serve``) exposing ``POST /v1/<op>`` + ``GET /healthz``.
+
+Quick start::
+
+    from repro.api import BudgetQuery, dispatch
+    resp = dispatch(BudgetQuery(benchmark="FT", budget_w=3000.0))
+    print(resp.recommendation.p, resp.recommendation.f)
+
+Wire format stability: within one ``API_VERSION``, fields are only ever
+*added* (decoding rejects unknown fields, so additions bump the version).
+"""
+
+from repro.api.schemas import (
+    API_VERSION,
+    REQUEST_TYPES,
+    RESPONSE_TYPES,
+    operations,
+    request_from_dict,
+    response_from_dict,
+)
+from repro.api.service import cache_info, clear_caches, dispatch
+from repro.api.types import (
+    BudgetQuery,
+    BudgetResponse,
+    DeadlineQuery,
+    DeadlineResponse,
+    EvaluateRequest,
+    EvaluateResponse,
+    IsoEEQuery,
+    IsoEEResponse,
+    ParetoQuery,
+    ParetoResponse,
+    Response,
+    ScheduleRequest,
+    ScheduleResponse,
+    SurfaceRequest,
+    SurfaceResponse,
+    SweepRequest,
+    SweepResponse,
+    ValidateRequest,
+    ValidateResponse,
+    WireRecord,
+)
+from repro.api.server import serve, start_server
+
+__all__ = [
+    "API_VERSION",
+    "REQUEST_TYPES",
+    "RESPONSE_TYPES",
+    "operations",
+    "request_from_dict",
+    "response_from_dict",
+    "dispatch",
+    "cache_info",
+    "clear_caches",
+    "serve",
+    "start_server",
+    "WireRecord",
+    "Response",
+    "EvaluateRequest",
+    "EvaluateResponse",
+    "SweepRequest",
+    "SweepResponse",
+    "SurfaceRequest",
+    "SurfaceResponse",
+    "ValidateRequest",
+    "ValidateResponse",
+    "BudgetQuery",
+    "BudgetResponse",
+    "DeadlineQuery",
+    "DeadlineResponse",
+    "IsoEEQuery",
+    "IsoEEResponse",
+    "ParetoQuery",
+    "ParetoResponse",
+    "ScheduleRequest",
+    "ScheduleResponse",
+]

@@ -1,0 +1,116 @@
+"""The operation registry: wire op names → request/response types.
+
+One place binds the wire surface together, so the HTTP server, the CLI,
+and tests all resolve payloads through the same table.  Registering a new
+operation means adding its request/response pair here — nothing else in
+the serving stack changes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.api.types import (
+    API_VERSION,
+    BudgetQuery,
+    BudgetResponse,
+    DeadlineQuery,
+    DeadlineResponse,
+    EvaluateRequest,
+    EvaluateResponse,
+    IsoEEQuery,
+    IsoEEResponse,
+    ParetoQuery,
+    ParetoResponse,
+    Response,
+    ScheduleRequest,
+    ScheduleResponse,
+    SurfaceRequest,
+    SurfaceResponse,
+    SweepRequest,
+    SweepResponse,
+    ValidateRequest,
+    ValidateResponse,
+    WireRecord,
+)
+from repro.errors import WireError
+
+#: wire op name → request type, in serving-surface order.
+REQUEST_TYPES: dict[str, type[WireRecord]] = {
+    cls.op: cls
+    for cls in (
+        EvaluateRequest,
+        SweepRequest,
+        SurfaceRequest,
+        ValidateRequest,
+        BudgetQuery,
+        DeadlineQuery,
+        IsoEEQuery,
+        ParetoQuery,
+        ScheduleRequest,
+    )
+}
+
+#: wire op name → response type (same keys as :data:`REQUEST_TYPES`).
+RESPONSE_TYPES: dict[str, type[Response]] = {
+    cls.op: cls
+    for cls in (
+        EvaluateResponse,
+        SweepResponse,
+        SurfaceResponse,
+        ValidateResponse,
+        BudgetResponse,
+        DeadlineResponse,
+        IsoEEResponse,
+        ParetoResponse,
+        ScheduleResponse,
+    )
+}
+
+assert set(REQUEST_TYPES) == set(RESPONSE_TYPES)
+
+
+def operations() -> tuple[str, ...]:
+    """Every wire op name this build serves."""
+    return tuple(REQUEST_TYPES)
+
+
+def _resolve(payload: Mapping[str, Any], table: Mapping[str, type]) -> type:
+    if not isinstance(payload, Mapping):
+        raise WireError(
+            f"wire payload must be a JSON object, got {type(payload).__name__}"
+        )
+    op = payload.get("op")
+    if op is None:
+        raise WireError(
+            f"payload carries no 'op'; known operations: {sorted(table)}"
+        )
+    try:
+        return table[op]
+    except KeyError:
+        raise WireError(
+            f"unknown operation {op!r}; known operations: {sorted(table)}"
+        ) from None
+
+
+def request_from_dict(payload: Mapping[str, Any]) -> WireRecord:
+    """Parse any request payload via its ``op`` tag."""
+    return _resolve(payload, REQUEST_TYPES).from_dict(payload)
+
+
+def response_from_dict(payload: Mapping[str, Any]) -> Response:
+    """Parse any response payload via its ``op`` tag."""
+    cls = _resolve(payload, RESPONSE_TYPES)
+    response = cls.from_dict(payload)
+    assert isinstance(response, Response)
+    return response
+
+
+__all__ = [
+    "API_VERSION",
+    "REQUEST_TYPES",
+    "RESPONSE_TYPES",
+    "operations",
+    "request_from_dict",
+    "response_from_dict",
+]

@@ -1,0 +1,259 @@
+"""A stdlib-only asyncio HTTP/JSON front end for the dispatch facade.
+
+``repro serve`` binds this server; each operation is exposed at
+``POST /v1/<op>`` with the request's ``to_dict()`` JSON as the body
+(the ``op``/``v`` envelope fields may be omitted — the path names the
+operation and the version defaults to current).  ``GET /healthz``
+answers liveness probes with the build and wire versions.
+
+Design notes:
+
+* HTTP/1.1 parsing is deliberately minimal (request line, headers,
+  ``Content-Length`` body; one request per connection) — the protocol
+  surface a JSON decision service needs, with zero dependencies.
+* Engine work runs in a thread-pool executor so a slow ``validate``
+  simulation never blocks health checks or concurrent queries; repeat
+  queries are answered straight from the dispatch cache.
+* Every :class:`~repro.errors.ReproError` maps to a structured
+  ``{"error": {"type", "message"}}`` payload — the same family the
+  library raises, so HTTP consumers and Python consumers see one error
+  taxonomy.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import errno
+import json
+from typing import Any
+
+from repro.api.schemas import API_VERSION, operations, request_from_dict
+from repro.api.service import dispatch
+from repro.errors import ReproError, WireError
+
+#: default bind address of ``repro serve``.
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8080
+
+_MAX_BODY_BYTES = 4 * 1024 * 1024
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class _HttpReply(Exception):
+    """Internal control flow: unwind to a ready-to-send JSON reply."""
+
+    def __init__(self, status: int, payload: dict[str, Any]) -> None:
+        super().__init__(status)
+        self.status = status
+        self.payload = payload
+
+
+def _error_payload(kind: str, message: str) -> dict[str, Any]:
+    return {"error": {"type": kind, "message": message}}
+
+
+def _health_payload() -> dict[str, Any]:
+    from repro import __version__
+
+    return {
+        "status": "ok",
+        "version": __version__,
+        "api_version": API_VERSION,
+        "operations": list(operations()),
+    }
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> tuple[str, str, bytes]:
+    """(method, path, body) of one HTTP request, or raise ``_HttpReply``."""
+    try:
+        request_line = await reader.readline()
+    except (ConnectionError, ValueError):
+        # StreamReader surfaces over-limit lines as ValueError
+        raise _HttpReply(400, _error_payload("WireError", "unreadable request"))
+    parts = request_line.decode("latin-1").split()
+    if len(parts) < 3:
+        raise _HttpReply(
+            400, _error_payload("WireError", "malformed HTTP request line")
+        )
+    method, path = parts[0].upper(), parts[1]
+    content_length = 0
+    while True:
+        try:
+            line = await reader.readline()
+        except (ConnectionError, ValueError):
+            raise _HttpReply(
+                400, _error_payload("WireError", "unreadable headers")
+            )
+        if line in (b"", b"\r\n", b"\n"):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            try:
+                content_length = int(value.strip())
+            except ValueError:
+                content_length = -1
+            if content_length < 0:
+                raise _HttpReply(
+                    400,
+                    _error_payload("WireError", "bad Content-Length header"),
+                )
+    if content_length > _MAX_BODY_BYTES:
+        raise _HttpReply(
+            413,
+            _error_payload(
+                "WireError", f"body exceeds {_MAX_BODY_BYTES} bytes"
+            ),
+        )
+    body = await reader.readexactly(content_length) if content_length else b""
+    return method, path, body
+
+
+def _parse_body(op: str, body: bytes) -> Any:
+    """The typed request for one ``POST /v1/<op>`` body."""
+    if body.strip():
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise WireError(f"request body is not valid JSON: {exc}") from None
+    else:
+        payload = {}
+    if not isinstance(payload, dict):
+        raise WireError("request body must be a JSON object")
+    payload.setdefault("op", op)
+    if payload["op"] != op:
+        raise WireError(
+            f"body op {payload['op']!r} does not match path op {op!r}"
+        )
+    return request_from_dict(payload)
+
+
+def _route(method: str, path: str) -> str:
+    """The validated op name, or ``_HttpReply`` for every other route."""
+    if path == "/healthz":
+        if method != "GET":
+            raise _HttpReply(
+                405, _error_payload("WireError", "/healthz accepts GET only")
+            )
+        raise _HttpReply(200, _health_payload())
+    if not path.startswith("/v1/"):
+        raise _HttpReply(
+            404,
+            _error_payload(
+                "WireError",
+                f"unknown path {path!r}; operations live at /v1/<op>",
+            ),
+        )
+    if method != "POST":
+        raise _HttpReply(
+            405, _error_payload("WireError", "operations accept POST only")
+        )
+    op = path[len("/v1/"):]
+    if op not in operations():
+        raise _HttpReply(
+            404,
+            _error_payload(
+                "WireError",
+                f"unknown operation {op!r}; known: {sorted(operations())}",
+            ),
+        )
+    return op
+
+
+async def _handle(
+    reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+) -> None:
+    status, payload = 500, _error_payload("InternalError", "unhandled")
+    try:
+        method, path, body = await _read_request(reader)
+        op = _route(method, path)  # raises for non-dispatch paths
+        request = _parse_body(op, body)
+        loop = asyncio.get_running_loop()
+        response = await loop.run_in_executor(None, dispatch, request)
+        status, payload = 200, response.to_dict()
+    except _HttpReply as reply:
+        status, payload = reply.status, reply.payload
+    except ReproError as exc:
+        status = 400
+        payload = _error_payload(type(exc).__name__, str(exc))
+    except asyncio.IncompleteReadError:
+        status, payload = 400, _error_payload("WireError", "truncated body")
+    except Exception as exc:  # noqa: BLE001 - a serving loop must not die
+        status = 500
+        payload = _error_payload(type(exc).__name__, str(exc))
+    try:
+        data = json.dumps(payload).encode()
+        writer.write(
+            (
+                f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(data)}\r\n"
+                "Connection: close\r\n"
+                "\r\n"
+            ).encode("latin-1")
+            + data
+        )
+        await writer.drain()
+    except ConnectionError:  # pragma: no cover - client went away mid-reply
+        pass
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:  # pragma: no cover
+            pass
+
+
+async def start_server(
+    host: str = DEFAULT_HOST, port: int = DEFAULT_PORT
+) -> asyncio.base_events.Server:
+    """Bind and return the listening server (caller drives the loop).
+
+    Raises :class:`~repro.errors.ReproError` with a clean message when
+    the port is already taken.
+    """
+    try:
+        return await asyncio.start_server(_handle, host, port)
+    except OSError as exc:
+        if exc.errno in (errno.EADDRINUSE, errno.EACCES):
+            raise ReproError(
+                f"cannot listen on {host}:{port} — "
+                f"{exc.strerror or 'address already in use'}"
+            ) from None
+        raise
+
+
+async def _serve_forever(host: str, port: int, ready) -> None:
+    server = await start_server(host, port)
+    addr = server.sockets[0].getsockname() if server.sockets else (host, port)
+    print(
+        f"repro api v{API_VERSION} listening on http://{addr[0]}:{addr[1]} "
+        f"(POST /v1/<op>, GET /healthz)",
+        flush=True,
+    )
+    if ready is not None:
+        ready.address = (addr[0], addr[1])  # port 0 resolves to the real bind
+        ready.set()
+    async with server:
+        await server.serve_forever()
+
+
+def serve(host: str = DEFAULT_HOST, port: int = DEFAULT_PORT, ready=None) -> int:
+    """Run the server until interrupted (the ``repro serve`` entry point).
+
+    ``ready`` (a ``threading.Event``-alike) is set once the socket is
+    listening — the hook tests and embedding supervisors use.
+    """
+    try:
+        asyncio.run(_serve_forever(host, port, ready))
+    except KeyboardInterrupt:  # pragma: no cover - interactive teardown
+        print("repro api: shutting down")
+    return 0

@@ -1,0 +1,281 @@
+"""The single dispatch facade: one typed request in, one response out.
+
+``dispatch()`` is the only entry point consumers need: it resolves the
+cluster preset and paper model once per distinct selector (memoised), and
+routes each request type to the engine that answers it — the scalar
+evaluator, the vectorized grid, the contour tracer, the budget solvers,
+the validation harness, or the cluster scheduler.
+
+Responses are memoised per request value (every request is a frozen,
+hashable dataclass and every engine is deterministic, so budget queries
+and friends are pure functions of their request).  ``validate`` runs a
+full discrete-event simulation; its determinism comes from the seeded
+noise model, so it caches soundly too.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.analysis.surface import surface_from_grid
+from repro.api.types import (
+    BudgetQuery,
+    BudgetResponse,
+    DeadlineQuery,
+    DeadlineResponse,
+    EvaluateRequest,
+    EvaluateResponse,
+    IsoEEQuery,
+    IsoEEResponse,
+    ModelRequest,
+    ParetoQuery,
+    ParetoResponse,
+    Response,
+    ScheduleRequest,
+    ScheduleResponse,
+    SurfaceRequest,
+    SurfaceResponse,
+    SweepRequest,
+    SweepResponse,
+    ValidateRequest,
+    ValidateResponse,
+    WireRecord,
+)
+from repro.cluster.presets import cluster_preset
+from repro.core.model import IsoEnergyModel
+from repro.errors import ParameterError, WireError
+from repro.optimize import (
+    evaluate_grid,
+    iso_ee_curve,
+    max_speedup_under_power,
+    min_energy_under_deadline,
+    pareto_frontier,
+    schedule_jobs,
+)
+from repro.paperdata import paper_model
+from repro.units import GHZ
+
+#: memoised responses kept per process (stateless queries re-serve free).
+RESPONSE_CACHE_SIZE = 512
+
+
+@lru_cache(maxsize=64)
+def _resolved_model(
+    benchmark: str,
+    klass: str,
+    cluster: str,
+    niter: int | None,
+    nodes: int,
+) -> tuple[IsoEnergyModel, float]:
+    """(model, class n) with the preset sized for the largest requested p.
+
+    Presets clamp to the testbed's physical size, so asking for p beyond
+    it still resolves (the analytic model itself is machine-vector-, not
+    node-count-, dependent; sizing matters to schedulers and future
+    occupancy checks).
+    """
+    machine_room = cluster_preset(cluster, nodes)
+    return paper_model(
+        benchmark.upper(),
+        klass.upper(),
+        cluster=machine_room,
+        niter=niter,
+        name=f"{benchmark.upper()}.{klass.upper()} on {machine_room.name}",
+    )
+
+
+def _model_for(request: ModelRequest, nodes: int) -> tuple[IsoEnergyModel, float]:
+    return _resolved_model(
+        request.benchmark, request.klass, request.cluster, request.niter,
+        max(int(nodes), 1),
+    )
+
+
+def _ghz(values: tuple[float, ...]) -> list[float]:
+    return [f * GHZ for f in values]
+
+
+# ---------------------------------------------------------------------------
+# Handlers
+# ---------------------------------------------------------------------------
+
+
+def _evaluate(req: EvaluateRequest) -> EvaluateResponse:
+    model, n = _model_for(req, req.p)
+    f = req.freq_ghz * GHZ if req.freq_ghz is not None else None
+    return EvaluateResponse(
+        model=model.name, point=model.evaluate(n=n, p=req.p, f=f)
+    )
+
+
+def _sweep(req: SweepRequest) -> SweepResponse:
+    if not req.p_values:
+        raise ParameterError("sweep needs at least one p value")
+    model, n = _model_for(req, max(req.p_values))
+    return SweepResponse(
+        model=model.name,
+        points=tuple(model.evaluate(n=n, p=int(p)) for p in req.p_values),
+    )
+
+
+def _surface(req: SurfaceRequest) -> SurfaceResponse:
+    if not req.p_values:
+        raise ParameterError("surface needs at least one p value")
+    model, n = _model_for(req, max(req.p_values))
+    n = n * req.n_factor
+    if req.axis == "f":
+        grid = evaluate_grid(
+            model, p_values=req.p_values, f_values=_ghz(req.f_values_ghz),
+            n_values=[n],
+        )
+        surf = surface_from_grid(grid, metric="ee", axis="f")
+    elif req.axis == "n":
+        grid = evaluate_grid(
+            model, p_values=req.p_values, f_values=None,
+            n_values=[n * x for x in req.n_factors],
+        )
+        surf = surface_from_grid(grid, metric="ee", axis="n")
+    else:
+        raise ParameterError(f"axis must be 'f' or 'n', got {req.axis!r}")
+    return SurfaceResponse(
+        model=model.name,
+        axis=req.axis,
+        x=tuple(int(p) for p in surf.x),
+        y=tuple(float(v) for v in surf.y),
+        values=tuple(tuple(float(v) for v in row) for row in surf.values),
+    )
+
+
+def _validate(req: ValidateRequest) -> ValidateResponse:
+    from repro.validation.harness import validate
+
+    machine_room = cluster_preset(req.cluster, max(req.p, 1))
+    result = validate(
+        machine_room, req.benchmark.upper(), klass=req.klass.upper(),
+        p=req.p, niter=req.niter, seed=req.seed,
+    )
+    return ValidateResponse(
+        benchmark=result.benchmark,
+        cluster=machine_room.name,
+        n=result.n,
+        p=result.p,
+        predicted_j=result.predicted_j,
+        measured_j=result.measured_j,
+        abs_error_pct=result.abs_error_pct,
+        sim_seconds=result.sim_seconds,
+        model_seconds=result.model_seconds,
+        messages=result.messages,
+        bytes=result.bytes,
+    )
+
+
+def _budget(req: BudgetQuery) -> BudgetResponse:
+    if not req.p_values:
+        raise ParameterError("budget query needs at least one p value")
+    model, n = _model_for(req, max(req.p_values))
+    rec = max_speedup_under_power(
+        model, n=n * req.n_factor, budget_w=req.budget_w,
+        p_values=req.p_values, f_values=_ghz(req.f_values_ghz),
+    )
+    return BudgetResponse(model=model.name, recommendation=rec)
+
+
+def _deadline(req: DeadlineQuery) -> DeadlineResponse:
+    if not req.p_values:
+        raise ParameterError("deadline query needs at least one p value")
+    model, n = _model_for(req, max(req.p_values))
+    rec = min_energy_under_deadline(
+        model, n=n * req.n_factor, t_max=req.deadline_s,
+        p_values=req.p_values, f_values=_ghz(req.f_values_ghz),
+    )
+    return DeadlineResponse(model=model.name, recommendation=rec)
+
+
+def _isoee(req: IsoEEQuery) -> IsoEEResponse:
+    if not req.p_values:
+        raise ParameterError("iso-EE query needs at least one p value")
+    model, n = _model_for(req, max(req.p_values))
+    curve = iso_ee_curve(
+        model, target_ee=req.target_ee, p_values=req.p_values,
+        n_seed=n * req.n_factor,
+    )
+    return IsoEEResponse(
+        model=model.name, target_ee=req.target_ee, points=tuple(curve)
+    )
+
+
+def _pareto(req: ParetoQuery) -> ParetoResponse:
+    if not req.p_values:
+        raise ParameterError("Pareto query needs at least one p value")
+    model, n = _model_for(req, max(req.p_values))
+    frontier = pareto_frontier(
+        model, n=n * req.n_factor, p_values=req.p_values,
+        f_values=_ghz(req.f_values_ghz),
+    )
+    return ParetoResponse(model=model.name, points=tuple(frontier))
+
+
+def _schedule(req: ScheduleRequest) -> ScheduleResponse:
+    schedule = schedule_jobs(
+        req.jobs,
+        cluster=req.cluster,
+        power_budget=req.power_budget_w,
+        nodes=req.nodes,
+        max_nodes=req.max_nodes,
+    )
+    return ScheduleResponse(
+        cluster=schedule.cluster,
+        power_budget_w=schedule.power_budget,
+        assignments=schedule.assignments,
+        total_power_w=schedule.total_power,
+        headroom_w=schedule.headroom_w,
+        makespan_s=schedule.makespan,
+        total_energy_j=schedule.total_energy,
+    )
+
+
+_HANDLERS = {
+    EvaluateRequest: _evaluate,
+    SweepRequest: _sweep,
+    SurfaceRequest: _surface,
+    ValidateRequest: _validate,
+    BudgetQuery: _budget,
+    DeadlineQuery: _deadline,
+    IsoEEQuery: _isoee,
+    ParetoQuery: _pareto,
+    ScheduleRequest: _schedule,
+}
+
+
+@lru_cache(maxsize=RESPONSE_CACHE_SIZE)
+def _dispatch_cached(request: WireRecord) -> Response:
+    return _HANDLERS[type(request)](request)
+
+
+def dispatch(request: WireRecord) -> Response:
+    """Answer one typed request through the matching engine, memoised.
+
+    The single stable entry point the CLI, the HTTP server, and any
+    embedding application share.  Raises
+    :class:`~repro.errors.ReproError` subclasses on invalid requests;
+    anything non-request raises :class:`~repro.errors.WireError`.
+    """
+    if type(request) not in _HANDLERS:
+        raise WireError(
+            f"dispatch() takes a request type, got {type(request).__name__}"
+        )
+    return _dispatch_cached(request)
+
+
+def cache_info() -> dict[str, object]:
+    """Hit/miss statistics of the response and model memo layers."""
+    return {
+        "responses": _dispatch_cached.cache_info(),
+        "models": _resolved_model.cache_info(),
+    }
+
+
+def clear_caches() -> None:
+    """Drop every memoised response and resolved model (tests, reloads)."""
+    _dispatch_cached.cache_clear()
+    _resolved_model.cache_clear()

@@ -1,0 +1,560 @@
+"""Typed request/response records and their versioned JSON wire format.
+
+Every operation the library can serve is named by a frozen-dataclass
+*request* (what to compute) paired with a frozen-dataclass *response*
+(what came back).  Both sides carry the same wire contract:
+
+* ``to_dict()`` returns a JSON-ready mapping tagged with the operation
+  name (``"op"``) and the wire version (``"v"``);
+* ``from_dict(payload)`` rebuilds the record, rejecting unknown fields,
+  foreign versions, and mistyped values with :class:`~repro.errors.WireError`
+  — the contract the HTTP server, the CLI ``--json`` mode, and any future
+  shard router all share.
+
+Requests are *lenient* on missing fields (dataclass defaults apply, so a
+hand-written ``curl`` body can be minimal); responses are *strict* (every
+field must be present) because they are only ever machine-built.
+
+Frozen-ness is load-bearing: requests are hashable, which is what lets
+:func:`repro.api.service.dispatch` memoise stateless queries by request
+value.  Nested result rows reuse the engines' own frozen dataclasses
+(:class:`~repro.core.model.ModelPoint`,
+:class:`~repro.optimize.contour.ContourPoint`,
+:class:`~repro.optimize.budget.Recommendation`,
+:class:`~repro.optimize.schedule.Job`/``Assignment``) rather than
+duplicating them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, fields
+from typing import Any, Callable, ClassVar, Mapping
+
+from repro.core.model import ModelPoint
+from repro.errors import WireError
+from repro.optimize.budget import Recommendation
+from repro.optimize.contour import ContourPoint
+from repro.optimize.schedule import Assignment, Job
+
+#: current wire version; bump on any incompatible field change.
+API_VERSION = 1
+
+# ---------------------------------------------------------------------------
+# Field coercers — the "typed" in typed facade
+# ---------------------------------------------------------------------------
+
+Coercer = Callable[[Any], Any]
+
+
+def _int(value: Any) -> int:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise WireError(f"expected an integer, got {value!r}")
+    if float(value) != int(value):
+        raise WireError(f"expected an integer, got {value!r}")
+    return int(value)
+
+
+def _float(value: Any) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise WireError(f"expected a number, got {value!r}")
+    return float(value)
+
+
+def _str(value: Any) -> str:
+    if not isinstance(value, str):
+        raise WireError(f"expected a string, got {value!r}")
+    return value
+
+
+def _bool(value: Any) -> bool:
+    if not isinstance(value, bool):
+        raise WireError(f"expected a boolean, got {value!r}")
+    return value
+
+
+def _optional(coerce: Coercer) -> Coercer:
+    def wrapped(value: Any) -> Any:
+        return None if value is None else coerce(value)
+
+    return wrapped
+
+
+def _tuple_of(coerce: Coercer) -> Coercer:
+    def wrapped(value: Any) -> tuple:
+        if not isinstance(value, (list, tuple)):
+            raise WireError(f"expected a list, got {value!r}")
+        return tuple(coerce(v) for v in value)
+
+    return wrapped
+
+
+def _matrix(value: Any) -> tuple[tuple[float, ...], ...]:
+    return _tuple_of(_tuple_of(_float))(value)
+
+
+def _nested(cls: type, spec: dict[str, Coercer]) -> Coercer:
+    """Coercer for an engine dataclass carried as a nested JSON object."""
+
+    def wrapped(value: Any) -> Any:
+        if isinstance(value, cls):
+            return value
+        if not isinstance(value, Mapping):
+            raise WireError(f"expected a {cls.__name__} object, got {value!r}")
+        unknown = set(value) - set(spec)
+        if unknown:
+            raise WireError(
+                f"unknown {cls.__name__} field(s): {sorted(unknown)}"
+            )
+        missing = set(spec) - set(value)
+        if missing:
+            raise WireError(
+                f"missing {cls.__name__} field(s): {sorted(missing)}"
+            )
+        return cls(**{name: spec[name](value[name]) for name in spec})
+
+    return wrapped
+
+
+_POINT = _nested(
+    ModelPoint,
+    {
+        "p": _int, "f": _float, "n": _float, "t1": _float, "tp": _float,
+        "e1": _float, "ep": _float, "eef": _float, "ee": _float,
+        "speedup": _float, "perf_efficiency": _float, "bottleneck": _str,
+    },
+)
+_CONTOUR_POINT = _nested(
+    ContourPoint,
+    {"p": _int, "value": _float, "ee": _float, "axis": _str,
+     "converged": _bool},
+)
+_RECOMMENDATION = _nested(
+    Recommendation,
+    {
+        "objective": _str, "p": _int, "f": _float, "n": _float, "tp": _float,
+        "ep": _float, "ee": _float, "avg_power": _float, "speedup": _float,
+        "bottleneck": _str, "feasible_count": _int,
+    },
+)
+_JOB = _nested(
+    Job,
+    {"name": _str, "benchmark": _str, "klass": _str,
+     "niter": _optional(_int)},
+)
+_ASSIGNMENT = _nested(
+    Assignment,
+    {
+        "job": _str, "benchmark": _str, "p": _int, "f": _float, "tp": _float,
+        "ep": _float, "ee": _float, "avg_power": _float, "rung": _int,
+        "rungs_available": _int,
+    },
+)
+
+
+def _encode(value: Any) -> Any:
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _encode(getattr(value, f.name))
+            for f in fields(value)
+        }
+    if isinstance(value, tuple):
+        return [_encode(v) for v in value]
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Wire base
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WireRecord:
+    """Shared ``to_dict``/``from_dict`` machinery for every wire type.
+
+    Subclasses set ``op`` (the operation name, shared by the request and
+    response of one operation) and ``coercers`` (field name → coercer).
+    """
+
+    op: ClassVar[str] = ""
+    #: requests tolerate missing fields (defaults apply); responses do not
+    lenient: ClassVar[bool] = True
+    coercers: ClassVar[dict[str, Coercer]] = {}
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready payload: ``{"op": ..., "v": ..., **fields}``."""
+        payload: dict[str, Any] = {"op": self.op, "v": API_VERSION}
+        for f in fields(self):
+            payload[f.name] = _encode(getattr(self, f.name))
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "WireRecord":
+        """Rebuild from a wire payload, validating the schema strictly."""
+        if not isinstance(payload, Mapping):
+            raise WireError(
+                f"{cls.op!r} payload must be a JSON object, got "
+                f"{type(payload).__name__}"
+            )
+        version = payload.get("v", API_VERSION)
+        if version != API_VERSION:
+            raise WireError(
+                f"unsupported wire version {version!r} "
+                f"(this build speaks v{API_VERSION})"
+            )
+        op = payload.get("op", cls.op)
+        if op != cls.op:
+            raise WireError(
+                f"payload op {op!r} does not match {cls.op!r}"
+            )
+        known = {f.name for f in fields(cls)}
+        body = {k: v for k, v in payload.items() if k not in ("op", "v")}
+        unknown = set(body) - known
+        if unknown:
+            raise WireError(
+                f"unknown field(s) for {cls.op!r}: {sorted(unknown)}"
+            )
+        if not cls.lenient:
+            missing = known - set(body)
+            if missing:
+                raise WireError(
+                    f"missing field(s) for {cls.op!r}: {sorted(missing)}"
+                )
+        kwargs = {}
+        for name, value in body.items():
+            coerce = cls.coercers.get(name)
+            if coerce is None:  # pragma: no cover - schema definition bug
+                raise WireError(f"field {name!r} of {cls.op!r} has no coercer")
+            try:
+                kwargs[name] = coerce(value)
+            except WireError as exc:
+                raise WireError(f"field {name!r} of {cls.op!r}: {exc}") from None
+        return cls(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Requests
+# ---------------------------------------------------------------------------
+
+#: coercers shared by every model-selecting request
+_MODEL_COERCERS: dict[str, Coercer] = {
+    "benchmark": _str,
+    "klass": _str,
+    "cluster": _str,
+    "niter": _optional(_int),
+}
+
+
+@dataclass(frozen=True)
+class ModelRequest(WireRecord):
+    """Base for requests that pick one (benchmark, class, cluster) model."""
+
+    benchmark: str = "FT"
+    klass: str = "B"
+    cluster: str = "systemg"
+    niter: int | None = None
+
+
+@dataclass(frozen=True)
+class EvaluateRequest(ModelRequest):
+    """All model outputs at one (p, f) point (``repro evaluate``)."""
+
+    op: ClassVar[str] = "evaluate"
+    coercers: ClassVar[dict[str, Coercer]] = {
+        **_MODEL_COERCERS, "p": _int, "freq_ghz": _optional(_float),
+    }
+
+    p: int = 64
+    freq_ghz: float | None = None
+
+
+@dataclass(frozen=True)
+class SweepRequest(ModelRequest):
+    """The EE-vs-p table of a benchmark (``repro sweep``)."""
+
+    op: ClassVar[str] = "sweep"
+    coercers: ClassVar[dict[str, Coercer]] = {
+        **_MODEL_COERCERS, "p_values": _tuple_of(_int),
+    }
+
+    p_values: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+@dataclass(frozen=True)
+class SurfaceRequest(ModelRequest):
+    """An EE plane over (p × f) or (p × n) (``repro surface``).
+
+    ``axis="f"`` sweeps ``f_values_ghz`` at the class problem size scaled
+    by ``n_factor``; ``axis="n"`` sweeps ``n_factors`` × the class size at
+    the calibration frequency.
+    """
+
+    op: ClassVar[str] = "surface"
+    coercers: ClassVar[dict[str, Coercer]] = {
+        **_MODEL_COERCERS,
+        "axis": _str,
+        "p_values": _tuple_of(_int),
+        "f_values_ghz": _tuple_of(_float),
+        "n_factors": _tuple_of(_float),
+        "n_factor": _float,
+    }
+
+    axis: str = "f"
+    p_values: tuple[int, ...] = (1, 4, 16, 64, 256, 1024)
+    f_values_ghz: tuple[float, ...] = (1.6, 2.0, 2.4, 2.8)
+    n_factors: tuple[float, ...] = (0.25, 1.0, 4.0)
+    n_factor: float = 1.0
+
+
+@dataclass(frozen=True)
+class ValidateRequest(ModelRequest):
+    """One model-vs-simulated-measurement experiment (``repro validate``)."""
+
+    op: ClassVar[str] = "validate"
+    coercers: ClassVar[dict[str, Coercer]] = {
+        **_MODEL_COERCERS, "p": _int, "seed": _int,
+    }
+
+    p: int = 4
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class BudgetQuery(ModelRequest):
+    """Fastest (p, f) whose average draw fits a power budget."""
+
+    op: ClassVar[str] = "budget"
+    coercers: ClassVar[dict[str, Coercer]] = {
+        **_MODEL_COERCERS,
+        "budget_w": _float,
+        "p_values": _tuple_of(_int),
+        "f_values_ghz": _tuple_of(_float),
+        "n_factor": _float,
+    }
+
+    budget_w: float = 0.0
+    p_values: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128)
+    f_values_ghz: tuple[float, ...] = (1.6, 2.0, 2.4, 2.8)
+    n_factor: float = 1.0
+
+
+@dataclass(frozen=True)
+class DeadlineQuery(ModelRequest):
+    """Greenest (p, f) whose predicted runtime meets a deadline."""
+
+    op: ClassVar[str] = "deadline"
+    coercers: ClassVar[dict[str, Coercer]] = {
+        **_MODEL_COERCERS,
+        "deadline_s": _float,
+        "p_values": _tuple_of(_int),
+        "f_values_ghz": _tuple_of(_float),
+        "n_factor": _float,
+    }
+
+    deadline_s: float = 0.0
+    p_values: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128)
+    f_values_ghz: tuple[float, ...] = (1.6, 2.0, 2.4, 2.8)
+    n_factor: float = 1.0
+
+
+@dataclass(frozen=True)
+class IsoEEQuery(ModelRequest):
+    """The iso-EE contour n(p) holding EE at a target value."""
+
+    op: ClassVar[str] = "isoee"
+    coercers: ClassVar[dict[str, Coercer]] = {
+        **_MODEL_COERCERS,
+        "target_ee": _float,
+        "p_values": _tuple_of(_int),
+        "n_factor": _float,
+    }
+
+    target_ee: float = 0.8
+    p_values: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128)
+    n_factor: float = 1.0
+
+
+@dataclass(frozen=True)
+class ParetoQuery(ModelRequest):
+    """The non-dominated (Tp, Ep) configurations of a workload."""
+
+    op: ClassVar[str] = "pareto"
+    coercers: ClassVar[dict[str, Coercer]] = {
+        **_MODEL_COERCERS,
+        "p_values": _tuple_of(_int),
+        "f_values_ghz": _tuple_of(_float),
+        "n_factor": _float,
+    }
+
+    p_values: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128)
+    f_values_ghz: tuple[float, ...] = (1.6, 2.0, 2.4, 2.8)
+    n_factor: float = 1.0
+
+
+@dataclass(frozen=True)
+class ScheduleRequest(WireRecord):
+    """Split a site power budget across a queue of NPB jobs."""
+
+    op: ClassVar[str] = "schedule"
+    coercers: ClassVar[dict[str, Coercer]] = {
+        "cluster": _str,
+        "power_budget_w": _float,
+        "nodes": _int,
+        "max_nodes": _optional(_int),
+        "jobs": _tuple_of(_JOB),
+    }
+
+    cluster: str = "systemg"
+    power_budget_w: float = 0.0
+    nodes: int = 64
+    max_nodes: int | None = None
+    jobs: tuple[Job, ...] = ()
+
+
+# ---------------------------------------------------------------------------
+# Responses
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Response(WireRecord):
+    """Base for responses: strict decoding (every field required)."""
+
+    lenient: ClassVar[bool] = False
+
+
+@dataclass(frozen=True)
+class EvaluateResponse(Response):
+    op: ClassVar[str] = "evaluate"
+    coercers: ClassVar[dict[str, Coercer]] = {
+        "model": _str, "point": _POINT,
+    }
+
+    model: str
+    point: ModelPoint
+
+
+@dataclass(frozen=True)
+class SweepResponse(Response):
+    op: ClassVar[str] = "sweep"
+    coercers: ClassVar[dict[str, Coercer]] = {
+        "model": _str, "points": _tuple_of(_POINT),
+    }
+
+    model: str
+    points: tuple[ModelPoint, ...]
+
+
+@dataclass(frozen=True)
+class SurfaceResponse(Response):
+    """An EE plane: ``values[i][j] = EE(x[i], y[j])``.
+
+    ``x`` is always the processor count; ``y`` is a frequency in Hz
+    (``axis="f"``) or a problem size (``axis="n"``).
+    """
+
+    op: ClassVar[str] = "surface"
+    coercers: ClassVar[dict[str, Coercer]] = {
+        "model": _str,
+        "axis": _str,
+        "x": _tuple_of(_int),
+        "y": _tuple_of(_float),
+        "values": _matrix,
+    }
+
+    model: str
+    axis: str
+    x: tuple[int, ...]
+    y: tuple[float, ...]
+    values: tuple[tuple[float, ...], ...]
+
+
+@dataclass(frozen=True)
+class ValidateResponse(Response):
+    op: ClassVar[str] = "validate"
+    coercers: ClassVar[dict[str, Coercer]] = {
+        "benchmark": _str, "cluster": _str, "n": _float, "p": _int,
+        "predicted_j": _float, "measured_j": _float, "abs_error_pct": _float,
+        "sim_seconds": _float, "model_seconds": _float, "messages": _int,
+        "bytes": _int,
+    }
+
+    benchmark: str
+    cluster: str
+    n: float
+    p: int
+    predicted_j: float
+    measured_j: float
+    abs_error_pct: float
+    sim_seconds: float
+    model_seconds: float
+    messages: int
+    bytes: int
+
+
+@dataclass(frozen=True)
+class BudgetResponse(Response):
+    op: ClassVar[str] = "budget"
+    coercers: ClassVar[dict[str, Coercer]] = {
+        "model": _str, "recommendation": _RECOMMENDATION,
+    }
+
+    model: str
+    recommendation: Recommendation
+
+
+@dataclass(frozen=True)
+class DeadlineResponse(Response):
+    op: ClassVar[str] = "deadline"
+    coercers: ClassVar[dict[str, Coercer]] = {
+        "model": _str, "recommendation": _RECOMMENDATION,
+    }
+
+    model: str
+    recommendation: Recommendation
+
+
+@dataclass(frozen=True)
+class IsoEEResponse(Response):
+    op: ClassVar[str] = "isoee"
+    coercers: ClassVar[dict[str, Coercer]] = {
+        "model": _str, "target_ee": _float,
+        "points": _tuple_of(_CONTOUR_POINT),
+    }
+
+    model: str
+    target_ee: float
+    points: tuple[ContourPoint, ...]
+
+
+@dataclass(frozen=True)
+class ParetoResponse(Response):
+    op: ClassVar[str] = "pareto"
+    coercers: ClassVar[dict[str, Coercer]] = {
+        "model": _str, "points": _tuple_of(_RECOMMENDATION),
+    }
+
+    model: str
+    points: tuple[Recommendation, ...]
+
+
+@dataclass(frozen=True)
+class ScheduleResponse(Response):
+    op: ClassVar[str] = "schedule"
+    coercers: ClassVar[dict[str, Coercer]] = {
+        "cluster": _str,
+        "power_budget_w": _float,
+        "assignments": _tuple_of(_ASSIGNMENT),
+        "total_power_w": _float,
+        "headroom_w": _float,
+        "makespan_s": _float,
+        "total_energy_j": _float,
+    }
+
+    cluster: str
+    power_budget_w: float
+    assignments: tuple[Assignment, ...]
+    total_power_w: float
+    headroom_w: float
+    makespan_s: float
+    total_energy_j: float

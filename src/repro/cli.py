@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five commands cover the everyday workflows:
+Six commands cover the everyday workflows:
 
 * ``evaluate``  — EE/EEF/energy at one (benchmark, cluster, p, f, class)
 * ``sweep``     — the EE-vs-p table for a benchmark
@@ -8,24 +8,52 @@ Five commands cover the everyday workflows:
 * ``surface``   — a terminal heatmap of EE over (p × f) or (p × n)
 * ``optimize``  — invert the model: best (p, f) under a power budget or
   deadline, iso-EE contours, and the (Tp, Ep) Pareto frontier
+* ``serve``     — the asyncio HTTP/JSON API over the same operations
 
-All output is plain text suitable for piping; exit status is nonzero on
-configuration errors.
+Every query command builds a typed :mod:`repro.api` request, routes it
+through :func:`repro.api.service.dispatch`, and renders the response —
+so the text output, the ``--json`` output, and the HTTP server all
+answer from one facade.  Plain text is the default and suits piping;
+``--json`` emits exactly the payload ``POST /v1/<op>`` would return.
+Exit status is nonzero on configuration errors.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
+import numpy as np
+
 from repro.analysis.report import ascii_heatmap, ascii_table, format_si
-from repro.analysis.surface import ee_surface
-from repro.cluster.presets import cluster_preset
-from repro.core.model import IsoEnergyModel
+from repro.api.service import dispatch
+from repro.api.types import (
+    BudgetQuery,
+    DeadlineQuery,
+    EvaluateRequest,
+    IsoEEQuery,
+    ParetoQuery,
+    Response,
+    SurfaceRequest,
+    SweepRequest,
+    ValidateRequest,
+)
 from repro.errors import ReproError
 from repro.npb.workloads import benchmark_names
-from repro.paperdata import paper_model
 from repro.units import GHZ
+
+
+def _version() -> str:
+    """The installed distribution version, or the source tree's fallback."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro-isoee")
+    except PackageNotFoundError:
+        from repro import __version__
+
+        return __version__
 
 
 def _num_list(text: str, kind, flag: str) -> list:
@@ -41,23 +69,34 @@ def _num_list(text: str, kind, flag: str) -> list:
     return values
 
 
-def _model(args) -> tuple[IsoEnergyModel, float]:
-    cluster = cluster_preset(args.cluster, args.p if hasattr(args, "p") else 1)
-    return paper_model(
-        args.benchmark,
-        args.klass,
-        cluster=cluster,
-        niter=getattr(args, "niter", None),
-        name=f"{args.benchmark.upper()}.{args.klass} on {cluster.name}",
-    )
+def _emit_json(responses: list[Response]) -> int:
+    """``--json`` mode: the exact HTTP payload(s), one or a list."""
+    payloads = [r.to_dict() for r in responses]
+    print(json.dumps(payloads[0] if len(payloads) == 1 else payloads, indent=2))
+    return 0
+
+
+def _model_kwargs(args) -> dict:
+    return {
+        "benchmark": args.benchmark,
+        "klass": args.klass,
+        "cluster": args.cluster,
+        "niter": args.niter,
+    }
 
 
 def cmd_evaluate(args) -> int:
-    model, n = _model(args)
-    f = args.freq * GHZ if args.freq else None
-    pt = model.evaluate(n=n, p=args.p, f=f)
+    req = EvaluateRequest(
+        **_model_kwargs(args),
+        p=args.p,
+        freq_ghz=args.freq if args.freq else None,
+    )
+    resp = dispatch(req)
+    if args.json:
+        return _emit_json([resp])
+    pt = resp.point
     rows = [
-        ("model", model.name),
+        ("model", resp.model),
         ("n", format_si(pt.n)),
         ("p", pt.p),
         ("f", f"{pt.f / GHZ:.2f} GHz"),
@@ -75,155 +114,178 @@ def cmd_evaluate(args) -> int:
 
 
 def cmd_sweep(args) -> int:
-    model, n = _model(args)
     ps = _num_list(args.p_values, int, "--p-values")
-    rows = []
-    for p in ps:
-        pt = model.evaluate(n=n, p=p)
-        rows.append(
-            (p, round(pt.ee, 4), round(pt.perf_efficiency, 4),
-             round(pt.tp, 3), round(pt.ep, 1), pt.bottleneck)
-        )
+    resp = dispatch(SweepRequest(**_model_kwargs(args), p_values=tuple(ps)))
+    if args.json:
+        return _emit_json([resp])
+    rows = [
+        (pt.p, round(pt.ee, 4), round(pt.perf_efficiency, 4),
+         round(pt.tp, 3), round(pt.ep, 1), pt.bottleneck)
+        for pt in resp.points
+    ]
     print(ascii_table(["p", "EE", "perf-eff", "Tp (s)", "Ep (J)", "bottleneck"], rows))
     return 0
 
 
 def cmd_validate(args) -> int:
-    from repro.validation.harness import validate
-
-    cluster = cluster_preset(args.cluster, args.p)
-    result = validate(
-        cluster, args.benchmark, klass=args.klass, p=args.p,
-        niter=args.niter, seed=args.seed,
+    resp = dispatch(
+        ValidateRequest(**_model_kwargs(args), p=args.p, seed=args.seed)
     )
+    if args.json:
+        return _emit_json([resp])
     rows = [
-        ("benchmark", result.benchmark),
-        ("p", result.p),
-        ("measured", f"{result.measured_j:.1f} J"),
-        ("predicted", f"{result.predicted_j:.1f} J"),
-        ("|error|", f"{result.abs_error_pct:.2f} %"),
-        ("sim time", f"{result.sim_seconds:.2f} s"),
-        ("messages", result.messages),
+        ("benchmark", resp.benchmark),
+        ("p", resp.p),
+        ("measured", f"{resp.measured_j:.1f} J"),
+        ("predicted", f"{resp.predicted_j:.1f} J"),
+        ("|error|", f"{resp.abs_error_pct:.2f} %"),
+        ("sim time", f"{resp.sim_seconds:.2f} s"),
+        ("messages", resp.messages),
     ]
     print(ascii_table(["quantity", "value"], rows))
     return 0
 
 
 def cmd_optimize(args) -> int:
-    from repro.analysis.surface import surface_from_grid
-    from repro.optimize import (
-        evaluate_grid,
-        iso_ee_curve,
-        max_speedup_under_power,
-        min_energy_under_deadline,
-        pareto_frontier,
-    )
-
-    model, n = _model(args)
-    ps = _num_list(args.p_values, int, "--p-values")
-    fs = [f * GHZ for f in _num_list(args.f_values, float, "--f-values")]
-    if args.n_factor != 1.0:
-        n *= args.n_factor
-    did_something = False
-
-    def show_recommendation(rec) -> None:
-        rows = [
-            ("objective", rec.objective),
-            ("model", model.name),
-            ("n", format_si(rec.n)),
-            ("p", rec.p),
-            ("f", f"{rec.f / GHZ:.2f} GHz"),
-            ("Tp", f"{rec.tp:.3f} s"),
-            ("Ep", f"{rec.ep:.1f} J"),
-            ("EE", f"{rec.ee:.4f}"),
-            ("avg power", f"{rec.avg_power:.0f} W"),
-            ("speedup", f"{rec.speedup:.2f}"),
-            ("bottleneck", rec.bottleneck),
-            ("feasible configs", rec.feasible_count),
-        ]
-        print(ascii_table(["quantity", "value"], rows))
+    ps = tuple(_num_list(args.p_values, int, "--p-values"))
+    fs = tuple(_num_list(args.f_values, float, "--f-values"))
+    base = _model_kwargs(args)
+    sections: list[tuple[str, Response]] = []
 
     if args.power_budget is not None:
-        rec = max_speedup_under_power(
-            model, n=n, budget_w=args.power_budget, p_values=ps, f_values=fs
-        )
-        show_recommendation(rec)
-        did_something = True
+        sections.append((
+            "recommendation",
+            dispatch(BudgetQuery(
+                **base, budget_w=args.power_budget, p_values=ps,
+                f_values_ghz=fs, n_factor=args.n_factor,
+            )),
+        ))
     if args.deadline is not None:
-        if did_something:
-            print()
-        rec = min_energy_under_deadline(
-            model, n=n, t_max=args.deadline, p_values=ps, f_values=fs
-        )
-        show_recommendation(rec)
-        did_something = True
+        sections.append((
+            "recommendation",
+            dispatch(DeadlineQuery(
+                **base, deadline_s=args.deadline, p_values=ps,
+                f_values_ghz=fs, n_factor=args.n_factor,
+            )),
+        ))
     if args.target_ee is not None:
-        if did_something:
-            print()
-        curve = iso_ee_curve(
-            model, target_ee=args.target_ee, p_values=ps, n_seed=n
-        )
-        print(f"iso-EE contour n(p) holding EE = {args.target_ee} — {model.name}")
-        print(ascii_table(
-            ["p", "n", "EE", "converged"],
-            [(c.p, format_si(c.value), round(c.ee, 4), c.converged)
-             for c in curve],
+        sections.append((
+            "contour",
+            dispatch(IsoEEQuery(
+                **base, target_ee=args.target_ee, p_values=ps,
+                n_factor=args.n_factor,
+            )),
         ))
-        did_something = True
     if args.pareto:
-        if did_something:
-            print()
-        frontier = pareto_frontier(model, n=n, p_values=ps, f_values=fs)
-        print(f"(Tp, Ep) Pareto frontier — {model.name}")
-        print(ascii_table(
-            ["p", "GHz", "Tp (s)", "Ep (J)", "EE", "draw (W)"],
-            [(r.p, round(r.f / GHZ, 2), round(r.tp, 3), round(r.ep, 1),
-              round(r.ee, 4), round(r.avg_power, 0)) for r in frontier],
+        sections.append((
+            "pareto",
+            dispatch(ParetoQuery(
+                **base, p_values=ps, f_values_ghz=fs, n_factor=args.n_factor,
+            )),
         ))
-        did_something = True
     if args.show_grid:
-        if did_something:
-            print()
-        grid = evaluate_grid(model, p_values=ps, f_values=fs, n_values=[n])
-        surf = surface_from_grid(grid, metric="ee", axis="f")
-        print(ascii_heatmap(
-            surf.values, [int(p) for p in surf.x],
-            [f"{f / GHZ:.1f}" for f in surf.y],
-            title=f"EE grid — {grid.label}", lo=0.0, hi=1.0,
+        sections.append((
+            "grid",
+            dispatch(SurfaceRequest(
+                **base, axis="f", p_values=ps, f_values_ghz=fs,
+                n_factor=args.n_factor,
+            )),
         ))
-        did_something = True
-    if not did_something:
+    if not sections:
         raise ReproError(
             "nothing to optimize: pass --power-budget, --deadline, "
             "--target-ee, --pareto, and/or --show-grid"
         )
+    if args.json:
+        return _emit_json([resp for _, resp in sections])
+
+    for i, (kind, resp) in enumerate(sections):
+        if i:
+            print()
+        if kind == "recommendation":
+            rec = resp.recommendation
+            rows = [
+                ("objective", rec.objective),
+                ("model", resp.model),
+                ("n", format_si(rec.n)),
+                ("p", rec.p),
+                ("f", f"{rec.f / GHZ:.2f} GHz"),
+                ("Tp", f"{rec.tp:.3f} s"),
+                ("Ep", f"{rec.ep:.1f} J"),
+                ("EE", f"{rec.ee:.4f}"),
+                ("avg power", f"{rec.avg_power:.0f} W"),
+                ("speedup", f"{rec.speedup:.2f}"),
+                ("bottleneck", rec.bottleneck),
+                ("feasible configs", rec.feasible_count),
+            ]
+            print(ascii_table(["quantity", "value"], rows))
+        elif kind == "contour":
+            print(
+                f"iso-EE contour n(p) holding EE = {resp.target_ee} "
+                f"— {resp.model}"
+            )
+            print(ascii_table(
+                ["p", "n", "EE", "converged"],
+                [(c.p, format_si(c.value), round(c.ee, 4), c.converged)
+                 for c in resp.points],
+            ))
+        elif kind == "pareto":
+            print(f"(Tp, Ep) Pareto frontier — {resp.model}")
+            print(ascii_table(
+                ["p", "GHz", "Tp (s)", "Ep (J)", "EE", "draw (W)"],
+                [(r.p, round(r.f / GHZ, 2), round(r.tp, 3), round(r.ep, 1),
+                  round(r.ee, 4), round(r.avg_power, 0)) for r in resp.points],
+            ))
+        else:
+            print(ascii_heatmap(
+                np.array(resp.values), list(resp.x),
+                [f"{f / GHZ:.1f}" for f in resp.y],
+                title=f"EE grid — {resp.model}", lo=0.0, hi=1.0,
+            ))
     return 0
 
 
 def cmd_surface(args) -> int:
-    model, n = _model(args)
-    ps = _num_list(args.p_values, int, "--p-values")
+    ps = tuple(_num_list(args.p_values, int, "--p-values"))
     if args.axis == "f":
-        fs = [f * GHZ for f in _num_list(args.f_values, float, "--f-values")]
-        surf = ee_surface(model, p_values=ps, f_values=fs, n=n)
-        labels = [f"{f / GHZ:.1f}" for f in surf.y]
+        req = SurfaceRequest(
+            **_model_kwargs(args), axis="f", p_values=ps,
+            f_values_ghz=tuple(_num_list(args.f_values, float, "--f-values")),
+        )
     else:
-        n_values = [n * x for x in _num_list(args.n_factors, float, "--n-factors")]
-        surf = ee_surface(model, p_values=ps, n_values=n_values)
-        labels = [format_si(v) for v in surf.y]
+        req = SurfaceRequest(
+            **_model_kwargs(args), axis="n", p_values=ps,
+            n_factors=tuple(_num_list(args.n_factors, float, "--n-factors")),
+        )
+    resp = dispatch(req)
+    if args.json:
+        return _emit_json([resp])
+    if args.axis == "f":
+        labels = [f"{f / GHZ:.1f}" for f in resp.y]
+    else:
+        labels = [format_si(v) for v in resp.y]
     print(
         ascii_heatmap(
-            surf.values, [int(p) for p in surf.x], labels,
-            title=f"EE surface — {model.name}", lo=0.0, hi=1.0,
+            np.array(resp.values), list(resp.x), labels,
+            title=f"EE surface — {resp.model}", lo=0.0, hi=1.0,
         )
     )
     return 0
+
+
+def cmd_serve(args) -> int:
+    from repro.api.server import serve
+
+    return serve(host=args.host, port=args.port)
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Iso-energy-efficiency model (Song et al., IPDPS 2011)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {_version()}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -234,6 +296,8 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--klass", default="B", help="NPB class (S/W/A/B/C/D)")
         p.add_argument("--niter", type=int, default=None,
                        help="iteration override (time sampling)")
+        p.add_argument("--json", action="store_true",
+                       help="emit the API response payload as JSON")
 
     p_eval = sub.add_parser("evaluate", help="model outputs at one point")
     common(p_eval)
@@ -279,6 +343,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_surf.add_argument("--f-values", default="1.6,2.0,2.4,2.8", help="GHz list")
     p_surf.add_argument("--n-factors", default="0.25,1,4", help="×class-size list")
     p_surf.set_defaults(func=cmd_surface)
+
+    p_srv = sub.add_parser(
+        "serve", help="HTTP/JSON API server over the same operations"
+    )
+    from repro.api.server import DEFAULT_HOST, DEFAULT_PORT
+
+    p_srv.add_argument("--host", default=DEFAULT_HOST)
+    p_srv.add_argument("--port", type=int, default=DEFAULT_PORT)
+    p_srv.set_defaults(func=cmd_serve)
 
     return parser
 

@@ -274,3 +274,38 @@ class IsoEnergyModel:
                 for field in THETA2_FIELDS:
                     table[field][i, j] = getattr(app, field)
         return table
+
+    def theta2_pairs(
+        self,
+        n_values: Sequence[float] | np.ndarray,
+        p_values: Sequence[int] | np.ndarray,
+    ) -> dict[str, np.ndarray]:
+        """Θ2 at element-wise (n, p) pairs as 1-D arrays.
+
+        The batch-bisection hook: contour solvers refine a *different* n
+        per p each iteration, so the (n × p) outer product of
+        :meth:`theta2_table` would waste a quadratic factor.  Workloads
+        exposing a vectorized ``params_batch(n, p)`` (the NPB headline
+        trio) are evaluated in one NumPy pass; anything else falls back to
+        per-pair scalar :meth:`app_params` calls.
+        """
+        n = np.asarray(n_values, dtype=float)
+        p = np.asarray(p_values, dtype=np.int64)
+        if n.shape != p.shape or n.ndim != 1:
+            raise ParameterError(
+                f"theta2_pairs needs matching 1-D n/p vectors, got shapes "
+                f"{n.shape} and {p.shape}"
+            )
+        if n.size == 0:
+            raise ParameterError("theta2_pairs needs at least one pair")
+        if np.any(p < 1):
+            raise ParameterError(f"p must be >= 1, got {int(p.min())}")
+        batch = getattr(self._workload, "params_batch", None)
+        if batch is not None:
+            return batch(n, p)
+        pairs = {field: np.empty(n.shape) for field in THETA2_FIELDS}
+        for k in range(n.size):
+            app = self.app_params(float(n[k]), int(p[k]))
+            for field in THETA2_FIELDS:
+                pairs[field][k] = getattr(app, field)
+        return pairs

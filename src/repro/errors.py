@@ -32,6 +32,10 @@ class RankError(SimulationError):
     """A rank program raised or misused the communication API."""
 
 
+class WireError(ReproError):
+    """A JSON wire payload violates the API schema (version, fields, types)."""
+
+
 class MeasurementError(ReproError):
     """A measurement tool (powerpack / microbench) could not produce data."""
 

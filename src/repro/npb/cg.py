@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Callable, Iterator
 
 import numpy as np
@@ -78,6 +79,41 @@ def cg_comm_plan(n: float, p: int) -> dict[str, float]:
         "seg_bytes": seg_bytes,
         "row_steps": row_steps,
     }
+
+
+@lru_cache(maxsize=65536)
+def _cg_comm_coeff1(p: int) -> tuple[float, float, float, float]:
+    """(npcols, vector messages, total messages, fixed bytes) per matvec.
+
+    Every n-independent piece of :func:`cg_comm_plan` at one p, validated
+    through :func:`cg_grid` exactly as the scalar path is (non-power-of-two
+    p raises).
+    """
+    if p == 1:
+        return 1.0, 0.0, 0.0, 0.0
+    nprows, cols = cg_grid(p)
+    row_steps = cols.bit_length() - 1
+    transpose = 1 if nprows > 1 else 0
+    m_vec = float(p * (row_steps + transpose))
+    m_scalar = 2 * collectives.allreduce_message_count(p)
+    b_fixed = float(2 * collectives.allreduce_byte_count(p, 8))
+    return float(cols), m_vec, m_vec + m_scalar, b_fixed
+
+
+@lru_cache(maxsize=512)
+def _cg_comm_coeffs(
+    p_bytes: bytes,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-p grid/collective coefficient vectors for a whole lane array.
+
+    Keyed on the raw int64 bytes of the p vector: batch solvers re-present
+    the same (shrinking) lane subsets every refinement round, so repeats
+    hit this memo outright and fresh subsets only pay element-level
+    :func:`_cg_comm_coeff1` lookups.
+    """
+    p = np.frombuffer(p_bytes, dtype=np.int64)
+    rows = np.array([_cg_comm_coeff1(int(v)) for v in p]).reshape(-1, 4)
+    return rows[:, 0], rows[:, 1], rows[:, 2], rows[:, 3]
 
 
 @dataclass
@@ -139,6 +175,36 @@ class CgWorkload:
             n=n,
             p=p,
         )
+
+    def params_batch(
+        self, n: np.ndarray, p: np.ndarray
+    ) -> dict[str, np.ndarray]:
+        """Θ2 at element-wise (n, p) pairs as arrays (batch solvers' hook).
+
+        Matches :meth:`params` exactly: the 2-D processor-grid shape and
+        collective counts come from the same closed forms (memoised per p
+        tuple), with only the n-coupled segment bytes vectorized.
+        """
+        n = np.asarray(n, dtype=float)
+        p = np.asarray(p, dtype=np.int64)
+        if np.any(n < 2):
+            raise ConfigurationError("CG needs at least a 2-row matrix")
+        npcols, m_vec, m_total, b_fixed = _cg_comm_coeffs(
+            np.ascontiguousarray(p).tobytes()
+        )
+        par = p > 1
+        sat = np.where(par, 1.0 - 1.0 / npcols, 0.0)
+        seg_bytes = np.where(par, np.trunc(8 * n / npcols), 0.0)
+        return {
+            "alpha": np.full(n.shape, self.alpha),
+            "wc": self.awc * n * self.niter,
+            "wm": self.awm_model * n * self.niter,
+            "wco": self.bwc * n * sat * self.niter,
+            "wmo": self.bwm * n * sat * self.niter,
+            "m_messages": m_total * self.niter,
+            "b_bytes": (m_vec * seg_bytes + b_fixed) * self.niter,
+            "t_io": np.zeros(n.shape),
+        }
 
 
 def cg_kernel_memory_rate(

@@ -71,6 +71,26 @@ class EpWorkload:
             p=p,
         )
 
+    def params_batch(
+        self, n: np.ndarray, p: np.ndarray
+    ) -> dict[str, np.ndarray]:
+        """Θ2 at element-wise (n, p) pairs — EP is closed-form throughout."""
+        n = np.asarray(n, dtype=float)
+        p = np.asarray(p, dtype=np.int64)
+        if np.any(n < 1):
+            raise ConfigurationError("EP needs at least one pair")
+        zeros = np.zeros(n.shape)
+        return {
+            "alpha": np.full(n.shape, self.alpha),
+            "wc": self.awc * n,
+            "wm": self.awm * n,
+            "wco": zeros,
+            "wmo": np.where(p > 1, self.bwm * n * (p - 1), 0.0),
+            "m_messages": zeros,
+            "b_bytes": zeros,
+            "t_io": zeros,
+        }
+
 
 class EpBenchmark(NpbBenchmark):
     """EP: executable kernel + analytic model."""

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Callable, Iterator
 
 import numpy as np
@@ -55,6 +56,39 @@ def ft_comm_plan(n: float, p: int, algorithm: str = "pairwise") -> dict[str, flo
     )
     m += collectives.allreduce_message_count(p)
     return {"m": float(m), "b": float(b), "pair_bytes": pair_bytes}
+
+
+@lru_cache(maxsize=65536)
+def _ft_comm_coeff1(p: int, algorithm: str) -> tuple[float, float, float]:
+    """(messages, bytes-per-pair-byte, fixed bytes) per iteration at one p."""
+    if p == 1:
+        return 0.0, 0.0, 0.0
+    m = float(
+        collectives.alltoall_message_count(p, algorithm)
+        + collectives.allreduce_message_count(p)
+    )
+    # alltoall bytes scale linearly in the per-pair payload
+    coeff = float(collectives.alltoall_byte_count(p, 1, algorithm))
+    fixed = float(collectives.allreduce_byte_count(p, _CHECKSUM_BYTES))
+    return m, coeff, fixed
+
+
+@lru_cache(maxsize=512)
+def _ft_comm_coeffs(
+    p_bytes: bytes, algorithm: str
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-p collective coefficient vectors for a whole lane array.
+
+    Keyed on the raw int64 bytes of the p vector: batch solvers re-present
+    the same (shrinking) lane subsets every refinement round, so repeats
+    hit this memo outright and fresh subsets only pay element-level
+    :func:`_ft_comm_coeff1` lookups.
+    """
+    p = np.frombuffer(p_bytes, dtype=np.int64)
+    rows = np.array(
+        [_ft_comm_coeff1(int(v), algorithm) for v in p]
+    ).reshape(-1, 3)
+    return rows[:, 0], rows[:, 1], rows[:, 2]
 
 
 @dataclass
@@ -115,6 +149,37 @@ class FtWorkload:
             n=n,
             p=p,
         )
+
+    def params_batch(
+        self, n: np.ndarray, p: np.ndarray
+    ) -> dict[str, np.ndarray]:
+        """Θ2 at element-wise (n, p) pairs as arrays (batch solvers' hook).
+
+        Numerically identical to mapping :meth:`params` over the pairs:
+        the p-only collective counts come from the same
+        :mod:`repro.simmpi.collectives` closed forms (memoised per p
+        tuple), and the n-coupled terms are evaluated in one NumPy pass.
+        """
+        n = np.asarray(n, dtype=float)
+        p = np.asarray(p, dtype=np.int64)
+        if np.any(n < 4):
+            raise ConfigurationError("FT needs at least 4 grid points")
+        m_per_iter, byte_coeff, b_fixed = _ft_comm_coeffs(
+            np.ascontiguousarray(p).tobytes(), self.algorithm
+        )
+        par = p > 1
+        log2p = np.where(par, np.log2(np.maximum(p, 2)), 0.0)
+        pair_bytes = np.where(par, np.trunc(_POINT_BYTES * n / (p * p)), 0.0)
+        return {
+            "alpha": np.full(n.shape, self.alpha),
+            "wc": self.awc * n * np.log2(n) * self.niter,
+            "wm": self.awm * n * self.niter,
+            "wco": np.where(par, self.bwc * n * log2p * self.niter, 0.0),
+            "wmo": np.where(par, self.bwm * n * log2p * self.niter, 0.0),
+            "m_messages": m_per_iter * self.niter,
+            "b_bytes": (byte_coeff * pair_bytes + b_fixed) * self.niter,
+            "t_io": np.zeros(n.shape),
+        }
 
 
 class FtBenchmark(NpbBenchmark):

@@ -25,8 +25,17 @@ from repro.optimize.budget import (
     min_energy_under_deadline,
     pareto_frontier,
 )
-from repro.optimize.contour import ContourPoint, iso_ee_curve
-from repro.optimize.grid import GridResult, evaluate_grid, scalar_grid
+from repro.optimize.contour import (
+    ContourPoint,
+    iso_ee_curve,
+    iso_ee_curve_scalar,
+)
+from repro.optimize.grid import (
+    GridResult,
+    ee_at_pairs,
+    evaluate_grid,
+    scalar_grid,
+)
 from repro.optimize.schedule import (
     Assignment,
     ClusterSchedule,
@@ -36,10 +45,12 @@ from repro.optimize.schedule import (
 
 __all__ = [
     "GridResult",
+    "ee_at_pairs",
     "evaluate_grid",
     "scalar_grid",
     "ContourPoint",
     "iso_ee_curve",
+    "iso_ee_curve_scalar",
     "Recommendation",
     "max_speedup_under_power",
     "min_energy_under_deadline",

@@ -313,6 +313,65 @@ def evaluate_grid(
     )
 
 
+def ee_at_pairs(
+    model: IsoEnergyModel,
+    n_values: Sequence[float] | np.ndarray,
+    p_values: Sequence[int] | np.ndarray,
+    *,
+    f: float | None = None,
+) -> np.ndarray:
+    """EE at element-wise (n, p) pairs in one vectorized pass.
+
+    The batched-bisection primitive: where :func:`evaluate_grid` computes
+    the full (p × f × n) outer product, contour solvers need EE along a
+    *pairing* of the axes — a different n per p each refinement step.
+    Equivalent to ``[model.ee(n=n_k, p=p_k, f=f) for k ...]`` (same
+    Θ2 source, same Eq. 16 closed form) without the scalar per-point
+    overhead.
+    """
+    th = model.theta2_pairs(n_values, p_values)
+    p = np.asarray(p_values, dtype=float)
+    mach = model.machine_at(f)
+
+    # p=1 evaluates through the sequential view: strip parallel overheads
+    # exactly as evaluate_grid does for callable workloads.
+    seq = p == 1.0
+    alpha = th["alpha"]
+    wco = np.where(seq, 0.0, th["wco"])
+    wmo = np.where(seq, 0.0, th["wmo"])
+    m_msg = np.where(seq, 0.0, th["m_messages"])
+    b_bytes = np.where(seq, 0.0, th["b_bytes"])
+
+    t1 = alpha * (th["wc"] * mach.tc + th["wm"] * mach.tm + th["t_io"])
+    psys = mach.p_system_idle
+    e1 = (
+        t1 * psys
+        + th["wc"] * mach.tc * mach.delta_pc
+        + th["wm"] * mach.tm * mach.delta_pm
+        + th["t_io"] * mach.delta_pio
+    )
+    if np.any(e1 <= 0.0):
+        raise ParameterError(
+            "degenerate workload in the pair batch: some pair has E1 <= 0; "
+            "efficiency ratios are undefined"
+        )
+    # Eq. (16) closed form → Eq. (19) → Eq. (21), as in evaluate_grid.
+    delta_e = (
+        alpha
+        * (wco * mach.tc + wmo * mach.tm + m_msg * mach.ts + b_bytes * mach.tw)
+        * psys
+        + wco * mach.tc * mach.delta_pc
+        + wmo * mach.tm * mach.delta_pm
+    )
+    eef = delta_e / e1
+    if np.any(eef <= -1.0):
+        raise ParameterError(
+            "degenerate workload in the pair batch: some pair has EEF <= -1; "
+            "EE = 1/(1+EEF) is undefined"
+        )
+    return 1.0 / (1.0 + eef)
+
+
 def scalar_grid(
     model: IsoEnergyModel,
     *,

@@ -1,0 +1,166 @@
+"""End-to-end HTTP tests: a live server driven over real sockets."""
+
+import asyncio
+import json
+import socket
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api.schemas import API_VERSION
+from repro.api.server import start_server
+from repro.api.service import dispatch
+from repro.api.types import BudgetQuery
+from repro.errors import ReproError
+
+
+@pytest.fixture(scope="module")
+def live_server():
+    """A real server on an ephemeral port, torn down with the module."""
+    loop = asyncio.new_event_loop()
+    server = loop.run_until_complete(start_server("127.0.0.1", 0))
+    port = server.sockets[0].getsockname()[1]
+    thread = threading.Thread(target=loop.run_forever, daemon=True)
+    thread.start()
+    yield f"http://127.0.0.1:{port}"
+    loop.call_soon_threadsafe(loop.stop)
+    thread.join(timeout=5)
+
+
+def _post(base: str, path: str, body) -> tuple[int, dict]:
+    data = body if isinstance(body, bytes) else json.dumps(body).encode()
+    request = urllib.request.Request(
+        f"{base}{path}", data=data,
+        headers={"Content-Type": "application/json"}, method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read())
+
+
+def _get(base: str, path: str) -> tuple[int, dict]:
+    try:
+        with urllib.request.urlopen(f"{base}{path}", timeout=60) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read())
+
+
+class TestHealth:
+    def test_healthz(self, live_server):
+        status, payload = _get(live_server, "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["api_version"] == API_VERSION
+        assert "budget" in payload["operations"]
+
+
+class TestDispatchOverHttp:
+    def test_budget_query_round_trip(self, live_server):
+        """The e2e path: POST a budget query, get a recommendation."""
+        status, payload = _post(
+            live_server, "/v1/budget",
+            {"benchmark": "FT", "budget_w": 3000.0},
+        )
+        assert status == 200
+        assert payload["op"] == "budget" and payload["v"] == API_VERSION
+        rec = payload["recommendation"]
+        assert rec["avg_power"] <= 3000.0
+        assert rec["p"] >= 1
+
+    def test_http_payload_equals_local_dispatch(self, live_server):
+        """The wire answer is exactly the facade's answer."""
+        query = BudgetQuery(benchmark="FT", budget_w=3000.0)
+        status, payload = _post(live_server, "/v1/budget", query.to_dict())
+        assert status == 200
+        assert payload == dispatch(query).to_dict()
+
+    def test_full_envelope_body_accepted(self, live_server):
+        status, payload = _post(
+            live_server, "/v1/evaluate",
+            {"op": "evaluate", "v": API_VERSION, "p": 16},
+        )
+        assert status == 200
+        assert payload["point"]["p"] == 16
+
+    def test_empty_body_uses_defaults(self, live_server):
+        status, payload = _post(live_server, "/v1/sweep", b"")
+        assert status == 200
+        assert len(payload["points"]) == 8  # the default p sweep
+
+
+class TestHttpErrors:
+    def test_engine_error_maps_to_400_with_structure(self, live_server):
+        status, payload = _post(
+            live_server, "/v1/budget", {"budget_w": -4.0}
+        )
+        assert status == 400
+        assert payload["error"]["type"] == "ParameterError"
+        assert "positive" in payload["error"]["message"]
+
+    def test_unknown_field_maps_to_400_wire_error(self, live_server):
+        status, payload = _post(live_server, "/v1/budget", {"watts": 10})
+        assert status == 400
+        assert payload["error"]["type"] == "WireError"
+
+    def test_bad_version_maps_to_400(self, live_server):
+        status, payload = _post(live_server, "/v1/budget", {"v": 42})
+        assert status == 400
+        assert "version" in payload["error"]["message"]
+
+    def test_unknown_op_is_404(self, live_server):
+        status, payload = _post(live_server, "/v1/teleport", {})
+        assert status == 404
+        assert "unknown operation" in payload["error"]["message"]
+
+    def test_unknown_path_is_404(self, live_server):
+        status, _ = _post(live_server, "/api/budget", {})
+        assert status == 404
+
+    def test_get_on_operation_is_405(self, live_server):
+        status, _ = _get(live_server, "/v1/budget")
+        assert status == 405
+
+    def test_malformed_json_is_400(self, live_server):
+        status, payload = _post(live_server, "/v1/budget", b"{not json")
+        assert status == 400
+        assert payload["error"]["type"] == "WireError"
+
+    def test_negative_content_length_is_400(self, live_server):
+        """Transport-level garbage is the client's fault, not a 500."""
+        host, port = live_server.rsplit("//", 1)[1].split(":")
+        raw = (
+            b"POST /v1/budget HTTP/1.1\r\n"
+            b"Content-Length: -5\r\n\r\n"
+        )
+        with socket.create_connection((host, int(port)), timeout=10) as sock:
+            sock.sendall(raw)
+            reply = sock.recv(4096)
+        assert reply.startswith(b"HTTP/1.1 400")
+        assert b"WireError" in reply
+
+    def test_op_mismatch_between_path_and_body_is_400(self, live_server):
+        status, payload = _post(
+            live_server, "/v1/budget", {"op": "sweep"}
+        )
+        assert status == 400
+        assert "does not match" in payload["error"]["message"]
+
+
+class TestPortContention:
+    def test_busy_port_raises_a_clean_repro_error(self):
+        blocker = socket.socket()
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        port = blocker.getsockname()[1]
+        loop = asyncio.new_event_loop()
+        try:
+            with pytest.raises(ReproError, match="cannot listen"):
+                loop.run_until_complete(start_server("127.0.0.1", port))
+        finally:
+            loop.close()
+            blocker.close()

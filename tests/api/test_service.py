@@ -1,0 +1,148 @@
+"""The dispatch facade: routing, engine equivalence, and memoisation."""
+
+import pytest
+
+from repro.api.service import cache_info, clear_caches, dispatch
+from repro.api.types import (
+    BudgetQuery,
+    DeadlineQuery,
+    EvaluateRequest,
+    IsoEEQuery,
+    ParetoQuery,
+    ScheduleRequest,
+    SurfaceRequest,
+    SweepRequest,
+    ValidateRequest,
+)
+from repro.errors import (
+    ConfigurationError,
+    ParameterError,
+    ReproError,
+    WireError,
+)
+from repro.optimize.schedule import Job
+from repro.paperdata import paper_model
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestRouting:
+    def test_evaluate_matches_direct_engine_call(self):
+        resp = dispatch(EvaluateRequest(benchmark="FT", klass="B", p=16))
+        model, n = paper_model("FT", "B")
+        want = model.evaluate(n=n, p=16)
+        assert resp.model == "FT.B on SystemG"
+        assert resp.point.ee == pytest.approx(want.ee, rel=1e-12)
+        assert resp.point.tp == pytest.approx(want.tp, rel=1e-12)
+        assert resp.point.bottleneck == want.bottleneck
+
+    def test_sweep_row_per_p(self):
+        resp = dispatch(SweepRequest(p_values=(1, 4, 16)))
+        assert [pt.p for pt in resp.points] == [1, 4, 16]
+        assert resp.points[0].ee == pytest.approx(1.0)
+
+    def test_surface_axis_f_shape(self):
+        resp = dispatch(SurfaceRequest(axis="f", p_values=(1, 16),
+                                       f_values_ghz=(2.0, 2.8)))
+        assert resp.x == (1, 16)
+        assert resp.y == (2.0e9, 2.8e9)
+        assert len(resp.values) == 2 and len(resp.values[0]) == 2
+
+    def test_surface_axis_n_uses_factors(self):
+        resp = dispatch(SurfaceRequest(axis="n", benchmark="CG",
+                                       p_values=(1, 16),
+                                       n_factors=(0.5, 1.0, 2.0)))
+        assert len(resp.values[0]) == 3
+        assert resp.y[1] == pytest.approx(2 * resp.y[0])
+
+    def test_validate_runs_the_harness(self):
+        resp = dispatch(ValidateRequest(benchmark="EP", cluster="dori",
+                                        klass="S", p=4))
+        assert resp.benchmark == "EP" and resp.cluster == "Dori"
+        assert resp.measured_j > 0 and resp.predicted_j > 0
+        assert resp.abs_error_pct >= 0
+
+    def test_budget_and_deadline_recommend(self):
+        b = dispatch(BudgetQuery(budget_w=3000.0))
+        assert b.recommendation.avg_power <= 3000.0
+        assert b.recommendation.objective == "max_speedup_under_power"
+        d = dispatch(DeadlineQuery(deadline_s=b.recommendation.tp * 2))
+        assert d.recommendation.tp <= b.recommendation.tp * 2
+
+    def test_isoee_curve_holds_target(self):
+        resp = dispatch(IsoEEQuery(target_ee=0.8, p_values=(1, 4, 16)))
+        assert resp.target_ee == 0.8
+        for point in resp.points:
+            if point.converged and point.p > 1:
+                assert point.ee == pytest.approx(0.8, abs=1e-4)
+
+    def test_pareto_frontier_sorted(self):
+        resp = dispatch(ParetoQuery(p_values=(1, 4, 16)))
+        tps = [r.tp for r in resp.points]
+        eps = [r.ep for r in resp.points]
+        assert tps == sorted(tps)
+        assert eps == sorted(eps, reverse=True)
+
+    def test_schedule_fits_budget(self):
+        resp = dispatch(ScheduleRequest(
+            power_budget_w=8000.0, nodes=32,
+            jobs=(Job("a", "FT", "B"), Job("b", "EP", "B")),
+        ))
+        assert resp.total_power_w <= 8000.0
+        assert len(resp.assignments) == 2
+        assert resp.headroom_w == pytest.approx(
+            8000.0 - resp.total_power_w
+        )
+
+
+class TestErrors:
+    def test_engine_errors_surface_as_repro_errors(self):
+        with pytest.raises(ParameterError, match="budget"):
+            dispatch(BudgetQuery(budget_w=-1.0))
+
+    def test_unknown_cluster_is_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="unknown cluster"):
+            dispatch(EvaluateRequest(cluster="summit"))
+
+    def test_non_request_is_wire_error(self):
+        with pytest.raises(WireError, match="request type"):
+            dispatch({"op": "evaluate"})
+
+    def test_empty_axes_are_clean_errors(self):
+        with pytest.raises(ReproError):
+            dispatch(SweepRequest(p_values=()))
+        with pytest.raises(ReproError):
+            dispatch(BudgetQuery(budget_w=100.0, p_values=()))
+
+
+class TestCachingAndSizing:
+    def test_repeat_queries_hit_the_response_cache(self):
+        first = dispatch(BudgetQuery(budget_w=3000.0))
+        again = dispatch(BudgetQuery(budget_w=3000.0))
+        assert again is first
+        stats = cache_info()["responses"]
+        assert stats.hits >= 1
+
+    def test_distinct_requests_miss(self):
+        a = dispatch(BudgetQuery(budget_w=3000.0))
+        b = dispatch(BudgetQuery(budget_w=4000.0))
+        assert a is not b
+
+    def test_preset_sized_from_max_requested_p(self):
+        """The p=1-preset sizing bug: sweeping to p=1024 must resolve."""
+        resp = dispatch(SweepRequest(p_values=(1, 1024)))
+        assert resp.points[-1].p == 1024
+        # dori clamps to its 8 physical nodes rather than failing
+        resp = dispatch(SweepRequest(cluster="dori", p_values=(1, 1024)))
+        assert resp.model.endswith("on Dori")
+
+    def test_klass_and_benchmark_are_case_insensitive(self):
+        a = dispatch(EvaluateRequest(benchmark="ft", klass="b", p=4))
+        b = dispatch(EvaluateRequest(benchmark="FT", klass="B", p=4))
+        assert a.model == b.model == "FT.B on SystemG"
+        assert a.point == b.point

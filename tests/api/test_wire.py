@@ -1,0 +1,158 @@
+"""Wire-format contracts: versioned JSON round-trips and strict schemas."""
+
+import json
+
+import pytest
+
+from repro.api.schemas import (
+    API_VERSION,
+    REQUEST_TYPES,
+    RESPONSE_TYPES,
+    operations,
+    request_from_dict,
+    response_from_dict,
+)
+from repro.api.types import (
+    BudgetQuery,
+    BudgetResponse,
+    EvaluateRequest,
+    EvaluateResponse,
+    IsoEEResponse,
+    ScheduleRequest,
+    SurfaceResponse,
+    SweepRequest,
+    ValidateRequest,
+)
+from repro.core.model import ModelPoint
+from repro.errors import ReproError, WireError
+from repro.optimize.budget import Recommendation
+from repro.optimize.contour import ContourPoint
+from repro.optimize.schedule import Job
+
+#: one fully-populated instance of every request type
+SAMPLE_REQUESTS = [
+    EvaluateRequest(benchmark="CG", klass="A", cluster="dori", niter=3,
+                    p=16, freq_ghz=2.0),
+    SweepRequest(p_values=(1, 4, 16)),
+    ValidateRequest(benchmark="EP", klass="S", p=4, seed=7),
+    BudgetQuery(budget_w=3000.0, p_values=(1, 2), f_values_ghz=(2.0,),
+                n_factor=2.0),
+    ScheduleRequest(power_budget_w=5000.0, nodes=32, max_nodes=48,
+                    jobs=(Job("a", "FT", "B"), Job("b", "EP", "B", None))),
+] + [
+    cls() for cls in REQUEST_TYPES.values()
+]
+
+_POINT = ModelPoint(p=4, f=2.8e9, n=1e6, t1=10.0, tp=3.0, e1=100.0,
+                    ep=130.0, eef=0.3, ee=1 / 1.3, speedup=10 / 3,
+                    perf_efficiency=10 / 12, bottleneck="message_startup")
+_REC = Recommendation(objective="max_speedup_under_power", p=8, f=2.4e9,
+                      n=1e6, tp=2.0, ep=50.0, ee=0.9, avg_power=25.0,
+                      speedup=5.0, bottleneck="byte_transmission",
+                      feasible_count=12)
+
+#: hand-built responses (no engine run needed for wire tests)
+SAMPLE_RESPONSES = [
+    EvaluateResponse(model="FT.B on SystemG", point=_POINT),
+    BudgetResponse(model="FT.B on SystemG", recommendation=_REC),
+    IsoEEResponse(model="FT.B on SystemG", target_ee=0.8, points=(
+        ContourPoint(p=1, value=1e6, ee=1.0, axis="n", converged=True),
+        ContourPoint(p=8, value=4e6, ee=0.8, axis="n", converged=True),
+    )),
+    SurfaceResponse(model="FT.B on SystemG", axis="f", x=(1, 4),
+                    y=(1.6e9, 2.8e9), values=((1.0, 1.0), (0.9, 0.91))),
+]
+
+
+class TestRegistry:
+    def test_every_op_has_request_and_response(self):
+        assert set(REQUEST_TYPES) == set(RESPONSE_TYPES) == set(operations())
+        assert len(operations()) == 9
+
+    def test_request_and_response_share_the_op_name(self):
+        for op, cls in REQUEST_TYPES.items():
+            assert cls.op == op
+            assert RESPONSE_TYPES[op].op == op
+
+
+class TestRequestRoundTrip:
+    @pytest.mark.parametrize(
+        "req", SAMPLE_REQUESTS, ids=lambda r: f"{r.op}-{id(r) % 997}"
+    )
+    def test_to_dict_json_from_dict_identity(self, req):
+        payload = json.loads(json.dumps(req.to_dict()))
+        assert request_from_dict(payload) == req
+
+    def test_envelope_carries_op_and_version(self):
+        payload = SweepRequest().to_dict()
+        assert payload["op"] == "sweep"
+        assert payload["v"] == API_VERSION
+
+    def test_missing_fields_fall_back_to_defaults(self):
+        req = request_from_dict({"op": "budget", "budget_w": 100.0})
+        assert req == BudgetQuery(budget_w=100.0)
+
+    def test_tuples_become_lists_on_the_wire(self):
+        payload = SweepRequest(p_values=(1, 2)).to_dict()
+        assert payload["p_values"] == [1, 2]
+
+
+class TestResponseRoundTrip:
+    @pytest.mark.parametrize("resp", SAMPLE_RESPONSES, ids=lambda r: r.op)
+    def test_to_dict_json_from_dict_identity(self, resp):
+        payload = json.loads(json.dumps(resp.to_dict()))
+        assert response_from_dict(payload) == resp
+
+    def test_missing_response_field_raises(self):
+        payload = SAMPLE_RESPONSES[0].to_dict()
+        del payload["model"]
+        with pytest.raises(WireError, match="missing"):
+            response_from_dict(payload)
+
+
+class TestSchemaViolations:
+    def test_unknown_field_raises(self):
+        with pytest.raises(WireError, match="unknown field"):
+            request_from_dict({"op": "evaluate", "power": 9000})
+
+    def test_unknown_nested_field_raises(self):
+        payload = SAMPLE_RESPONSES[0].to_dict()
+        payload["point"]["watts"] = 1.0
+        with pytest.raises(WireError, match="unknown ModelPoint"):
+            response_from_dict(payload)
+
+    def test_bad_version_raises(self):
+        with pytest.raises(WireError, match="version"):
+            request_from_dict({"op": "evaluate", "v": 99})
+
+    def test_version_zero_rejected_not_defaulted(self):
+        with pytest.raises(WireError, match="version"):
+            request_from_dict({"op": "evaluate", "v": 0})
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(WireError, match="unknown operation"):
+            request_from_dict({"op": "teleport"})
+
+    def test_missing_op_raises(self):
+        with pytest.raises(WireError, match="no 'op'"):
+            request_from_dict({"p": 4})
+
+    def test_op_mismatch_raises(self):
+        with pytest.raises(WireError, match="does not match"):
+            EvaluateRequest.from_dict({"op": "sweep"})
+
+    def test_non_object_payload_raises(self):
+        with pytest.raises(WireError):
+            request_from_dict([1, 2, 3])
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [("p", "many"), ("p", 2.5), ("p", True), ("freq_ghz", "fast"),
+         ("benchmark", 7)],
+    )
+    def test_mistyped_field_raises(self, field, value):
+        with pytest.raises(WireError, match=field):
+            request_from_dict({"op": "evaluate", field: value})
+
+    def test_wire_error_is_a_repro_error(self):
+        assert issubclass(WireError, ReproError)

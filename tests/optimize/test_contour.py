@@ -5,6 +5,7 @@ import pytest
 from repro.errors import ParameterError
 from repro.optimize.contour import (
     iso_ee_curve,
+    iso_ee_curve_scalar,
     solve_f_for_ee,
     solve_n_for_ee,
 )
@@ -135,3 +136,90 @@ class TestCurveApi:
             iso_ee_curve(model, target_ee=0.8, p_values=[4], axis="z")
         with pytest.raises(ParameterError):
             iso_ee_curve(model, target_ee=0.8, p_values=[])
+
+
+class TestBatchedBisection:
+    """The vectorized n(p) solver vs the scalar per-p reference."""
+
+    def test_matches_scalar_path_on_ft(self, ft):
+        model, n = ft
+        ps = [1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144]
+        batched = iso_ee_curve(
+            model, target_ee=0.8, p_values=ps, n_seed=n, rel_tol=1e-8
+        )
+        reference = iso_ee_curve_scalar(
+            model, target_ee=0.8, p_values=ps, n_seed=n, rel_tol=1e-8
+        )
+        for got, want in zip(batched, reference):
+            assert got.p == want.p and got.converged == want.converged
+            assert got.ee == pytest.approx(want.ee, abs=1e-6)
+
+    def test_matches_scalar_on_cg_powers_of_two(self, cg):
+        model, n = cg
+        ps = [1, 2, 4, 8, 16, 32, 64]
+        batched = iso_ee_curve(model, target_ee=0.85, p_values=ps, n_seed=n)
+        reference = iso_ee_curve_scalar(
+            model, target_ee=0.85, p_values=ps, n_seed=n
+        )
+        for got, want in zip(batched, reference):
+            assert got.converged == want.converged
+            assert got.ee == pytest.approx(want.ee, abs=1e-6)
+
+    def test_unreachable_target_flags_match_scalar(self, ft):
+        model, n = ft
+        batched = iso_ee_curve(
+            model, target_ee=0.999, p_values=[1, 64, 128], n_seed=n
+        )
+        reference = iso_ee_curve_scalar(
+            model, target_ee=0.999, p_values=[1, 64, 128], n_seed=n
+        )
+        for got, want in zip(batched, reference):
+            assert got.converged == want.converged
+            assert got.value == pytest.approx(want.value, rel=1e-9)
+
+    def test_floor_clamp_matches_scalar(self, ft):
+        """Low targets drive n to the floor on both paths identically."""
+        model, n = ft
+        batched = iso_ee_curve(model, target_ee=0.1, p_values=[1, 4, 16],
+                               n_seed=n)
+        reference = iso_ee_curve_scalar(
+            model, target_ee=0.1, p_values=[1, 4, 16], n_seed=n
+        )
+        for got, want in zip(batched, reference):
+            assert got.converged == want.converged
+            assert got.ee == pytest.approx(want.ee, abs=1e-6)
+
+    def test_fallback_workload_without_params_batch(self, ft):
+        """Callable workloads (no params_batch) ride the scalar Θ2 loop."""
+        from repro.core.model import IsoEnergyModel
+        from repro.npb.ft import FtWorkload
+
+        wl = FtWorkload()
+        model = IsoEnergyModel(
+            ft[0].machine, lambda n, p: wl.params(n, p), name="callable"
+        )
+        _, n = ft
+        batched = iso_ee_curve(model, target_ee=0.8, p_values=[1, 4, 16],
+                               n_seed=n)
+        reference = iso_ee_curve_scalar(
+            model, target_ee=0.8, p_values=[1, 4, 16], n_seed=n
+        )
+        for got, want in zip(batched, reference):
+            assert got.converged == want.converged
+            assert got.ee == pytest.approx(want.ee, abs=1e-6)
+
+    def test_converged_points_hold_the_target(self, ft):
+        model, n = ft
+        for point in iso_ee_curve(model, target_ee=0.75,
+                                  p_values=[1, 2, 4, 8, 16], n_seed=n):
+            if point.p > 1:
+                assert point.converged
+                assert model.ee(n=point.value, p=point.p) == pytest.approx(
+                    0.75, abs=1e-5
+                )
+
+    def test_p_one_lane_is_the_seed(self, ft):
+        model, n = ft
+        point = iso_ee_curve(model, target_ee=0.8, p_values=[1], n_seed=n)[0]
+        assert point.p == 1 and point.value == n and point.ee == 1.0
+        assert point.converged

@@ -12,6 +12,7 @@ from repro.npb.ft import FtWorkload
 from repro.optimize.grid import (
     BOTTLENECK_NAMES,
     GRID_METRICS,
+    ee_at_pairs,
     evaluate_grid,
     scalar_grid,
 )
@@ -195,3 +196,69 @@ class TestBatchHooks:
         )
         after = model.cache_info()["app_params"].hits
         assert after > before
+
+
+class TestEeAtPairs:
+    """The pairwise EE evaluator behind the batched contour bisection."""
+
+    def test_matches_scalar_ee_exactly(self, model):
+        ns = [2**18, 2**19, 2**20, 2**21, 2**22]
+        ps = [1, 2, 8, 32, 128]
+        got = ee_at_pairs(model, ns, ps)
+        want = [model.ee(n=nv, p=pv) for nv, pv in zip(ns, ps)]
+        assert got == pytest.approx(want, rel=1e-12)
+
+    def test_matches_on_paper_models(self):
+        from repro.paperdata import paper_model
+
+        for bench, ps in (("FT", [1, 3, 17, 100]), ("CG", [1, 4, 16, 64]),
+                          ("EP", [1, 5, 50, 500])):
+            m, n = paper_model(bench, klass="B")
+            ns = [n * (0.5 + 0.3 * i) for i in range(len(ps))]
+            got = ee_at_pairs(m, ns, ps)
+            want = [m.ee(n=nv, p=pv) for nv, pv in zip(ns, ps)]
+            assert got == pytest.approx(want, rel=1e-12), bench
+
+    def test_respects_frequency(self, model):
+        got = ee_at_pairs(model, [2**20], [32], f=1.6 * GHZ)
+        assert got[0] == pytest.approx(model.ee(n=2**20, p=32, f=1.6 * GHZ),
+                                       rel=1e-12)
+
+    def test_p_one_is_exactly_one(self, model):
+        assert ee_at_pairs(model, [2**20], [1])[0] == 1.0
+
+    def test_mismatched_vectors_rejected(self, model):
+        with pytest.raises(ParameterError, match="matching"):
+            model.theta2_pairs([1e6, 2e6], [1, 2, 4])
+        with pytest.raises(ParameterError):
+            model.theta2_pairs([], [])
+        with pytest.raises(ParameterError, match="p must be"):
+            model.theta2_pairs([1e6], [0])
+
+    def test_params_batch_matches_scalar_params(self):
+        """The NPB headline trio's vectorized Θ2 equals the scalar forms."""
+        from repro.npb.cg import CgWorkload
+        from repro.npb.ep import EpWorkload
+        from repro.npb.ft import FtWorkload
+
+        cases = [
+            (FtWorkload(), [1, 2, 3, 7, 64, 129], [1e5, 2e5, 4e5, 8e5, 2e6, 5e6]),
+            (CgWorkload(), [1, 2, 4, 16, 256], [7e4, 8e4, 9e4, 2e5, 3e5]),
+            (EpWorkload(), [1, 2, 9, 1000], [2**28, 2**29, 2**30, 2**31]),
+        ]
+        for workload, ps, ns in cases:
+            batch = workload.params_batch(np.array(ns), np.array(ps))
+            for k, (nv, pv) in enumerate(zip(ns, ps)):
+                app = workload.params(nv, pv)
+                for field in ("alpha", "wc", "wm", "wco", "wmo",
+                              "m_messages", "b_bytes", "t_io"):
+                    assert batch[field][k] == pytest.approx(
+                        getattr(app, field), rel=1e-12, abs=1e-30
+                    ), (type(workload).__name__, field, pv)
+
+    def test_cg_params_batch_rejects_non_power_of_two(self):
+        from repro.errors import ConfigurationError
+        from repro.npb.cg import CgWorkload
+
+        with pytest.raises(ConfigurationError, match="power-of-two"):
+            CgWorkload().params_batch(np.array([1e5]), np.array([3]))

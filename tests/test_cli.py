@@ -131,3 +131,93 @@ def test_unknown_benchmark_rejected_by_argparse(capsys):
 
 def test_module_entry_point():
     import repro.__main__  # noqa: F401  (import must not execute main)
+
+
+# -- the API facade behind the CLI -------------------------------------------
+
+
+def test_version_flag(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["--version"])
+    assert exc.value.code == 0
+    out = capsys.readouterr().out
+    assert out.startswith("repro ")
+    assert any(ch.isdigit() for ch in out)
+
+
+def test_json_flag_emits_the_server_payload(capsys):
+    """Acceptance: --json equals the HTTP payload for the same request."""
+    import json
+
+    from repro.api import BudgetQuery, dispatch
+
+    code, out, _ = run_cli(
+        capsys, "optimize", "--benchmark", "FT", "--power-budget", "3000",
+        "--json",
+    )
+    assert code == 0
+    payload = json.loads(out)
+    assert payload == dispatch(BudgetQuery(
+        benchmark="FT", budget_w=3000.0,
+        p_values=(1, 2, 4, 8, 16, 32, 64, 128),
+        f_values_ghz=(1.6, 2.0, 2.4, 2.8),
+    )).to_dict()
+
+
+def test_json_flag_on_evaluate_round_trips(capsys):
+    import json
+
+    from repro.api import response_from_dict
+
+    code, out, _ = run_cli(
+        capsys, "evaluate", "--benchmark", "CG", "--p", "16", "--json"
+    )
+    assert code == 0
+    resp = response_from_dict(json.loads(out))
+    assert resp.point.p == 16
+    assert resp.model == "CG.B on SystemG"
+
+
+def test_json_flag_with_multiple_optimize_sections_is_a_list(capsys):
+    import json
+
+    code, out, _ = run_cli(
+        capsys, "optimize", "--benchmark", "FT", "--power-budget", "3000",
+        "--pareto", "--p-values", "1,4", "--json",
+    )
+    assert code == 0
+    payloads = json.loads(out)
+    assert [p["op"] for p in payloads] == ["budget", "pareto"]
+
+
+def test_sweep_preset_sized_from_max_p(capsys):
+    """The cluster-sizing fix: huge p sweeps resolve instead of lying."""
+    code, out, _ = run_cli(
+        capsys, "sweep", "--benchmark", "FT", "--p-values", "1,1024"
+    )
+    assert code == 0
+    assert "1024" in out
+
+
+def test_serve_exits_cleanly_when_port_is_busy():
+    import socket
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    blocker = socket.socket()
+    blocker.bind(("127.0.0.1", 0))
+    blocker.listen(1)
+    port = blocker.getsockname()[1]
+    src = Path(__file__).resolve().parent.parent / "src"
+    try:
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "serve", "--port", str(port)],
+            capture_output=True, text=True, timeout=60,
+            env={"PYTHONPATH": str(src), "PATH": "/usr/bin:/bin"},
+        )
+    finally:
+        blocker.close()
+    assert result.returncode == 2
+    assert "cannot listen" in result.stderr
+    assert "Traceback" not in result.stderr
