@@ -1,0 +1,91 @@
+"""Perf benchmark: batched partition scoring vs the scalar per-split loop.
+
+The federation partitioner's hot path is scoring candidate budget splits
+against per-shard capability curves — the exhaustive strategy scores a
+whole cartesian grid of them, and the benchmark a site operator cares
+about is "how many what-if splits per second".  This bench builds a
+three-shard site over a four-job mix, scores 5,000 random candidate
+splits both ways, checks exact numerical equivalence, and holds the
+vectorized :func:`repro.federation.partition.score_splits` to a ≥5×
+wall-clock speedup over the per-split reference
+(:func:`repro.federation.partition.score_split_scalar`).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from conftest import print_artifact
+
+from repro.analysis.report import ascii_table
+from repro.federation.partition import (
+    score_split_scalar,
+    score_splits,
+    shard_profiles,
+)
+from repro.federation.registry import ShardRegistry, ShardSpec
+from repro.optimize.schedule import Job
+
+N_SPLITS = 5_000
+SPEEDUP_FLOOR = 5.0
+
+JOBS = [
+    Job("fourier-1", "FT", "W"),
+    Job("fourier-2", "FT", "W"),
+    Job("conjgrad", "CG", "W"),
+    Job("montecarlo", "EP", "W"),
+]
+
+
+def _site():
+    registry = ShardRegistry()
+    registry.register_hypothetical(
+        "systemg-fastnet", base="systemg",
+        net_startup_scale=0.25, net_per_byte_scale=0.25,
+    )
+    return registry.build_site([
+        ShardSpec("bulk", "systemg", 64, 8_000.0),
+        ShardSpec("green", "dori", 8, 1_500.0),
+        ShardSpec("nextgen", "systemg-fastnet", 32, 4_000.0),
+    ])
+
+
+def test_batched_split_scoring_speedup(benchmark):
+    profiles = shard_profiles(_site(), JOBS)
+    rng = np.random.default_rng(42)
+    splits = rng.uniform(0.0, 9_000.0, size=(N_SPLITS, len(profiles)))
+
+    t0 = time.perf_counter()
+    ref = np.array([score_split_scalar(profiles, s) for s in splits])
+    t_scalar = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    bulk = score_splits(profiles, splits)
+    t_bulk = time.perf_counter() - t0
+
+    benchmark.pedantic(
+        lambda: score_splits(profiles, splits), rounds=3, iterations=1
+    )
+    speedup = t_scalar / t_bulk
+
+    np.testing.assert_allclose(bulk, ref)  # exact same step function
+
+    rungs = sum(len(p.powers) for p in profiles)
+    body = ascii_table(
+        ["quantity", "value"],
+        [
+            ("site", f"{len(profiles)} shards, {rungs} curve rungs total"),
+            ("splits scored", N_SPLITS),
+            ("scalar per-split loop", f"{t_scalar * 1e3:.1f} ms"),
+            ("vectorized batch", f"{t_bulk * 1e3:.2f} ms"),
+            ("speedup", f"{speedup:.1f}x"),
+            ("floor", f"{SPEEDUP_FLOOR:.0f}x"),
+        ],
+    )
+    print_artifact("federation.partition — batched split scoring", body)
+
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"batched split scoring only {speedup:.1f}x faster than the "
+        f"scalar per-split loop (need >= {SPEEDUP_FLOOR:.0f}x)"
+    )

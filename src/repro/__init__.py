@@ -22,6 +22,7 @@ from repro.api import (
     BudgetQuery,
     DeadlineQuery,
     EvaluateRequest,
+    FederateRequest,
     IsoEEQuery,
     ParetoQuery,
     ScheduleRequest,
@@ -29,6 +30,13 @@ from repro.api import (
     SweepRequest,
     ValidateRequest,
     dispatch,
+)
+from repro.federation import (
+    ShardRegistry,
+    ShardSpec,
+    default_registry,
+    partition_budget,
+    route_jobs,
 )
 from repro.core import (
     AppParams,
@@ -67,6 +75,12 @@ __all__ = [
     "IsoEEQuery",
     "ParetoQuery",
     "ScheduleRequest",
+    "FederateRequest",
+    "ShardRegistry",
+    "ShardSpec",
+    "default_registry",
+    "partition_budget",
+    "route_jobs",
     "AppParams",
     "IsoEnergyModel",
     "MachineParams",

@@ -38,6 +38,8 @@ from repro.api.types import (
     DeadlineResponse,
     EvaluateRequest,
     EvaluateResponse,
+    FederateRequest,
+    FederateResponse,
     IsoEEQuery,
     IsoEEResponse,
     ParetoQuery,
@@ -87,4 +89,6 @@ __all__ = [
     "ParetoResponse",
     "ScheduleRequest",
     "ScheduleResponse",
+    "FederateRequest",
+    "FederateResponse",
 ]

@@ -18,6 +18,8 @@ from repro.api.types import (
     DeadlineResponse,
     EvaluateRequest,
     EvaluateResponse,
+    FederateRequest,
+    FederateResponse,
     IsoEEQuery,
     IsoEEResponse,
     ParetoQuery,
@@ -48,6 +50,7 @@ REQUEST_TYPES: dict[str, type[WireRecord]] = {
         IsoEEQuery,
         ParetoQuery,
         ScheduleRequest,
+        FederateRequest,
     )
 }
 
@@ -64,6 +67,7 @@ RESPONSE_TYPES: dict[str, type[Response]] = {
         IsoEEResponse,
         ParetoResponse,
         ScheduleResponse,
+        FederateResponse,
     )
 }
 

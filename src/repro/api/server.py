@@ -9,8 +9,17 @@ answers liveness probes with the build and wire versions.
 Design notes:
 
 * HTTP/1.1 parsing is deliberately minimal (request line, headers,
-  ``Content-Length`` body; one request per connection) — the protocol
-  surface a JSON decision service needs, with zero dependencies.
+  ``Content-Length`` body) — the protocol surface a JSON decision
+  service needs, with zero dependencies.
+* Connections are **persistent** by HTTP/1.1 default: a client may
+  pipeline many requests over one socket, and the server answers each
+  with ``Connection: keep-alive`` until the client asks to close (or
+  speaks HTTP/1.0 without ``keep-alive``).  Error replies always close —
+  after a framing error the byte stream cannot be trusted.
+* ``max_concurrency`` bounds in-flight connections with a semaphore;
+  excess connections receive an immediate structured ``503`` instead of
+  queueing without bound — saturation is a load-balancer signal, not a
+  hidden latency cliff.
 * Engine work runs in a thread-pool executor so a slow ``validate``
   simulation never blocks health checks or concurrent queries; repeat
   queries are answered straight from the dispatch cache.
@@ -36,6 +45,13 @@ DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 8080
 
 _MAX_BODY_BYTES = 4 * 1024 * 1024
+
+#: how long the server waits for one *complete* request — idle gap
+#: before the request line, headers, and body included.  Without this
+#: cap, ``max_concurrency`` slots could be held forever by clients that
+#: stop sending mid-request (or never send) — a trivial starvation
+#: vector the close-per-request server never had.
+KEEPALIVE_IDLE_S = 30.0
 _REASONS = {
     200: "OK",
     400: "Bad Request",
@@ -43,6 +59,7 @@ _REASONS = {
     405: "Method Not Allowed",
     413: "Payload Too Large",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 
@@ -53,6 +70,10 @@ class _HttpReply(Exception):
         super().__init__(status)
         self.status = status
         self.payload = payload
+
+
+class _EndOfStream(Exception):
+    """The client closed the connection between keep-alive requests."""
 
 
 def _error_payload(kind: str, message: str) -> dict[str, Any]:
@@ -72,19 +93,29 @@ def _health_payload() -> dict[str, Any]:
 
 async def _read_request(
     reader: asyncio.StreamReader,
-) -> tuple[str, str, bytes]:
-    """(method, path, body) of one HTTP request, or raise ``_HttpReply``."""
+) -> tuple[str, str, bytes, bool]:
+    """(method, path, body, keep_alive) of one HTTP request.
+
+    Raises ``_EndOfStream`` on a clean close before the request line and
+    ``_HttpReply`` on anything the client got wrong.  The caller bounds
+    the whole read with ``KEEPALIVE_IDLE_S`` — the timeout must cover
+    headers and body too, or a mid-request stall would hold a
+    concurrency slot forever.
+    """
     try:
         request_line = await reader.readline()
     except (ConnectionError, ValueError):
         # StreamReader surfaces over-limit lines as ValueError
         raise _HttpReply(400, _error_payload("WireError", "unreadable request"))
+    if request_line == b"":
+        raise _EndOfStream
     parts = request_line.decode("latin-1").split()
     if len(parts) < 3:
         raise _HttpReply(
             400, _error_payload("WireError", "malformed HTTP request line")
         )
-    method, path = parts[0].upper(), parts[1]
+    method, path, version = parts[0].upper(), parts[1], parts[2].upper()
+    keep_alive = version != "HTTP/1.0"  # the 1.1 default
     content_length = 0
     while True:
         try:
@@ -96,7 +127,8 @@ async def _read_request(
         if line in (b"", b"\r\n", b"\n"):
             break
         name, _, value = line.decode("latin-1").partition(":")
-        if name.strip().lower() == "content-length":
+        name = name.strip().lower()
+        if name == "content-length":
             try:
                 content_length = int(value.strip())
             except ValueError:
@@ -106,6 +138,12 @@ async def _read_request(
                     400,
                     _error_payload("WireError", "bad Content-Length header"),
                 )
+        elif name == "connection":
+            token = value.strip().lower()
+            if token == "close":
+                keep_alive = False
+            elif token == "keep-alive":
+                keep_alive = True
     if content_length > _MAX_BODY_BYTES:
         raise _HttpReply(
             413,
@@ -114,7 +152,7 @@ async def _read_request(
             ),
         )
     body = await reader.readexactly(content_length) if content_length else b""
-    return method, path, body
+    return method, path, body, keep_alive
 
 
 def _parse_body(op: str, body: bytes) -> Any:
@@ -168,60 +206,154 @@ def _route(method: str, path: str) -> str:
     return op
 
 
-async def _handle(
-    reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+async def _write_reply(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: dict[str, Any],
+    keep_alive: bool,
 ) -> None:
+    data = json.dumps(payload).encode()
+    connection = "keep-alive" if keep_alive else "close"
+    writer.write(
+        (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(data)}\r\n"
+            f"Connection: {connection}\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        + data
+    )
+    await writer.drain()
+
+
+async def _handle_one(
+    reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+) -> bool:
+    """Serve one request; return True iff the connection should persist."""
     status, payload = 500, _error_payload("InternalError", "unhandled")
+    keep_alive = False
     try:
-        method, path, body = await _read_request(reader)
+        try:
+            method, path, body, keep_alive = await asyncio.wait_for(
+                _read_request(reader), timeout=KEEPALIVE_IDLE_S
+            )
+        except asyncio.TimeoutError:
+            # idle or stalled mid-request: reclaim the slot silently
+            raise _EndOfStream from None
         op = _route(method, path)  # raises for non-dispatch paths
         request = _parse_body(op, body)
         loop = asyncio.get_running_loop()
         response = await loop.run_in_executor(None, dispatch, request)
         status, payload = 200, response.to_dict()
     except _HttpReply as reply:
+        # /healthz replies flow through here too: 200 keeps the
+        # connection, anything else closes it (framing may be suspect)
         status, payload = reply.status, reply.payload
+        keep_alive = keep_alive and status == 200
     except ReproError as exc:
+        # engine/schema errors leave the byte stream intact — the next
+        # pipelined request is still readable, so the connection survives
         status = 400
         payload = _error_payload(type(exc).__name__, str(exc))
     except asyncio.IncompleteReadError:
         status, payload = 400, _error_payload("WireError", "truncated body")
+        keep_alive = False
+    except _EndOfStream:
+        raise  # clean close between requests: nothing to reply to
     except Exception as exc:  # noqa: BLE001 - a serving loop must not die
         status = 500
         payload = _error_payload(type(exc).__name__, str(exc))
+        keep_alive = False
     try:
-        data = json.dumps(payload).encode()
-        writer.write(
-            (
-                f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-                "Content-Type: application/json\r\n"
-                f"Content-Length: {len(data)}\r\n"
-                "Connection: close\r\n"
-                "\r\n"
-            ).encode("latin-1")
-            + data
-        )
-        await writer.drain()
+        await _write_reply(writer, status, payload, keep_alive)
     except ConnectionError:  # pragma: no cover - client went away mid-reply
-        pass
-    finally:
-        writer.close()
+        return False
+    return keep_alive
+
+
+def _make_handler(max_concurrency: int | None):
+    """The per-connection coroutine, closing over the saturation gate."""
+    semaphore = (
+        asyncio.Semaphore(max_concurrency) if max_concurrency else None
+    )
+
+    async def handle(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
         try:
-            await writer.wait_closed()
-        except ConnectionError:  # pragma: no cover
-            pass
+            if semaphore is not None and semaphore.locked():
+                # every slot busy: shed load *now* with a structured 503
+                # rather than queueing the connection invisibly
+                try:
+                    await _write_reply(
+                        writer,
+                        503,
+                        _error_payload(
+                            "Saturated",
+                            f"server is at max concurrency "
+                            f"({max_concurrency}); retry shortly",
+                        ),
+                        False,
+                    )
+                    # the request was never read; closing with bytes
+                    # pending in the receive buffer RSTs the socket and
+                    # can discard the 503 in flight, so drain briefly
+                    try:
+                        await asyncio.wait_for(
+                            reader.read(_MAX_BODY_BYTES), timeout=0.25
+                        )
+                    except (asyncio.TimeoutError, ConnectionError):
+                        pass
+                except ConnectionError:  # pragma: no cover
+                    pass
+                return
+            if semaphore is not None:
+                async with semaphore:
+                    await _serve_connection(reader, writer)
+            else:
+                await _serve_connection(reader, writer)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:  # pragma: no cover
+                pass
+
+    return handle
+
+
+async def _serve_connection(
+    reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+) -> None:
+    """The keep-alive loop: requests until close is asked or required."""
+    while True:
+        try:
+            if not await _handle_one(reader, writer):
+                return
+        except _EndOfStream:
+            return
 
 
 async def start_server(
-    host: str = DEFAULT_HOST, port: int = DEFAULT_PORT
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    *,
+    max_concurrency: int | None = None,
 ) -> asyncio.base_events.Server:
     """Bind and return the listening server (caller drives the loop).
 
-    Raises :class:`~repro.errors.ReproError` with a clean message when
-    the port is already taken.
+    ``max_concurrency`` caps in-flight connections; beyond it new
+    arrivals get an immediate 503.  Raises
+    :class:`~repro.errors.ReproError` with a clean message when the port
+    is already taken.
     """
+    if max_concurrency is not None and max_concurrency < 1:
+        raise ReproError("max_concurrency must be at least 1")
     try:
-        return await asyncio.start_server(_handle, host, port)
+        return await asyncio.start_server(
+            _make_handler(max_concurrency), host, port
+        )
     except OSError as exc:
         if exc.errno in (errno.EADDRINUSE, errno.EACCES):
             raise ReproError(
@@ -231,12 +363,15 @@ async def start_server(
         raise
 
 
-async def _serve_forever(host: str, port: int, ready) -> None:
-    server = await start_server(host, port)
+async def _serve_forever(
+    host: str, port: int, ready, max_concurrency: int | None
+) -> None:
+    server = await start_server(host, port, max_concurrency=max_concurrency)
     addr = server.sockets[0].getsockname() if server.sockets else (host, port)
+    limit = f", max {max_concurrency} in flight" if max_concurrency else ""
     print(
         f"repro api v{API_VERSION} listening on http://{addr[0]}:{addr[1]} "
-        f"(POST /v1/<op>, GET /healthz)",
+        f"(POST /v1/<op>, GET /healthz, keep-alive{limit})",
         flush=True,
     )
     if ready is not None:
@@ -246,14 +381,19 @@ async def _serve_forever(host: str, port: int, ready) -> None:
         await server.serve_forever()
 
 
-def serve(host: str = DEFAULT_HOST, port: int = DEFAULT_PORT, ready=None) -> int:
+def serve(
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    ready=None,
+    max_concurrency: int | None = None,
+) -> int:
     """Run the server until interrupted (the ``repro serve`` entry point).
 
     ``ready`` (a ``threading.Event``-alike) is set once the socket is
     listening — the hook tests and embedding supervisors use.
     """
     try:
-        asyncio.run(_serve_forever(host, port, ready))
+        asyncio.run(_serve_forever(host, port, ready, max_concurrency))
     except KeyboardInterrupt:  # pragma: no cover - interactive teardown
         print("repro api: shutting down")
     return 0

@@ -25,6 +25,8 @@ from repro.api.types import (
     DeadlineResponse,
     EvaluateRequest,
     EvaluateResponse,
+    FederateRequest,
+    FederateResponse,
     IsoEEQuery,
     IsoEEResponse,
     ModelRequest,
@@ -44,6 +46,8 @@ from repro.api.types import (
 from repro.cluster.presets import cluster_preset
 from repro.core.model import IsoEnergyModel
 from repro.errors import ParameterError, WireError
+from repro.federation.registry import default_registry
+from repro.federation.router import route_jobs
 from repro.optimize import (
     evaluate_grid,
     iso_ee_curve,
@@ -222,15 +226,41 @@ def _schedule(req: ScheduleRequest) -> ScheduleResponse:
         power_budget=req.power_budget_w,
         nodes=req.nodes,
         max_nodes=req.max_nodes,
+        policy=req.policy,
+        ee_floor=req.ee_floor,
     )
     return ScheduleResponse(
         cluster=schedule.cluster,
         power_budget_w=schedule.power_budget,
+        policy=schedule.policy,
         assignments=schedule.assignments,
         total_power_w=schedule.total_power,
         headroom_w=schedule.headroom_w,
         makespan_s=schedule.makespan,
         total_energy_j=schedule.total_energy,
+    )
+
+
+def _federate(req: FederateRequest) -> FederateResponse:
+    shards = default_registry().build_site(req.shards)
+    fed = route_jobs(
+        shards,
+        req.jobs,
+        budget_w=req.budget_w,
+        strategy=req.strategy,
+        metric=req.metric,
+    )
+    return FederateResponse(
+        budget_w=fed.budget_w,
+        strategy=fed.strategy,
+        metric=fed.metric,
+        allocations=fed.partition.allocations,
+        plans=fed.plans,
+        total_allocated_w=fed.total_allocated_w,
+        total_power_w=fed.total_power_w,
+        site_headroom_w=fed.site_headroom_w,
+        makespan_s=fed.makespan_s,
+        total_energy_j=fed.total_energy_j,
     )
 
 
@@ -244,12 +274,20 @@ _HANDLERS = {
     IsoEEQuery: _isoee,
     ParetoQuery: _pareto,
     ScheduleRequest: _schedule,
+    FederateRequest: _federate,
 }
 
 
 @lru_cache(maxsize=RESPONSE_CACHE_SIZE)
 def _dispatch_cached(request: WireRecord) -> Response:
     return _HANDLERS[type(request)](request)
+
+
+# federate responses depend on the process-wide shard registry, not just
+# the request value: rebinding a machine name must drop every memoised
+# response or identical payloads would serve schedules for the old
+# hardware definition.
+default_registry().on_mutation(_dispatch_cached.cache_clear)
 
 
 def dispatch(request: WireRecord) -> Response:

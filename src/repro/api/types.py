@@ -33,12 +33,17 @@ from typing import Any, Callable, ClassVar, Mapping
 
 from repro.core.model import ModelPoint
 from repro.errors import WireError
+from repro.federation.partition import ShardAllocation
+from repro.federation.registry import ShardSpec
+from repro.federation.router import ShardPlan
 from repro.optimize.budget import Recommendation
 from repro.optimize.contour import ContourPoint
 from repro.optimize.schedule import Assignment, Job
 
 #: current wire version; bump on any incompatible field change.
-API_VERSION = 1
+#: v2: the ``federate`` operation, schedule policies (``policy`` /
+#: ``ee_floor`` on requests, ``policy`` echoed on responses).
+API_VERSION = 2
 
 # ---------------------------------------------------------------------------
 # Field coercers — the "typed" in typed facade
@@ -93,8 +98,19 @@ def _matrix(value: Any) -> tuple[tuple[float, ...], ...]:
     return _tuple_of(_tuple_of(_float))(value)
 
 
-def _nested(cls: type, spec: dict[str, Coercer]) -> Coercer:
-    """Coercer for an engine dataclass carried as a nested JSON object."""
+def _nested(
+    cls: type,
+    spec: dict[str, Coercer],
+    *,
+    defaults: frozenset[str] = frozenset(),
+) -> Coercer:
+    """Coercer for an engine dataclass carried as a nested JSON object.
+
+    ``defaults`` names fields a payload may omit (the dataclass default
+    then applies) — used by request-side nested records so hand-written
+    bodies stay minimal; response-side records list no defaults and stay
+    strict.
+    """
 
     def wrapped(value: Any) -> Any:
         if isinstance(value, cls):
@@ -106,12 +122,14 @@ def _nested(cls: type, spec: dict[str, Coercer]) -> Coercer:
             raise WireError(
                 f"unknown {cls.__name__} field(s): {sorted(unknown)}"
             )
-        missing = set(spec) - set(value)
+        missing = set(spec) - set(value) - defaults
         if missing:
             raise WireError(
                 f"missing {cls.__name__} field(s): {sorted(missing)}"
             )
-        return cls(**{name: spec[name](value[name]) for name in spec})
+        return cls(
+            **{name: spec[name](value[name]) for name in spec if name in value}
+        )
 
     return wrapped
 
@@ -141,6 +159,7 @@ _JOB = _nested(
     Job,
     {"name": _str, "benchmark": _str, "klass": _str,
      "niter": _optional(_int)},
+    defaults=frozenset({"benchmark", "klass", "niter"}),
 )
 _ASSIGNMENT = _nested(
     Assignment,
@@ -148,6 +167,29 @@ _ASSIGNMENT = _nested(
         "job": _str, "benchmark": _str, "p": _int, "f": _float, "tp": _float,
         "ep": _float, "ee": _float, "avg_power": _float, "rung": _int,
         "rungs_available": _int,
+    },
+)
+_SHARD_SPEC = _nested(
+    ShardSpec,
+    {
+        "name": _str, "cluster": _str, "nodes": _int,
+        "power_envelope_w": _float, "policy": _str,
+        "ee_floor": _optional(_float),
+    },
+    defaults=frozenset({"cluster", "nodes", "policy", "ee_floor"}),
+)
+_SHARD_ALLOCATION = _nested(
+    ShardAllocation,
+    {"shard": _str, "allocation_w": _float, "utility": _float,
+     "floor_w": _float},
+)
+_SHARD_PLAN = _nested(
+    ShardPlan,
+    {
+        "shard": _str, "cluster": _str, "policy": _str,
+        "allocation_w": _float, "assignments": _tuple_of(_ASSIGNMENT),
+        "total_power_w": _float, "makespan_s": _float,
+        "total_energy_j": _float,
     },
 )
 
@@ -393,7 +435,13 @@ class ParetoQuery(ModelRequest):
 
 @dataclass(frozen=True)
 class ScheduleRequest(WireRecord):
-    """Split a site power budget across a queue of NPB jobs."""
+    """Split a cluster power budget across a queue of NPB jobs.
+
+    ``policy`` selects how headroom is spent
+    (:data:`~repro.optimize.schedule.SCHEDULE_POLICIES`);
+    ``policy="ee_floor"`` additionally requires ``ee_floor``, the lowest
+    acceptable energy efficiency per placement.
+    """
 
     op: ClassVar[str] = "schedule"
     coercers: ClassVar[dict[str, Coercer]] = {
@@ -402,12 +450,42 @@ class ScheduleRequest(WireRecord):
         "nodes": _int,
         "max_nodes": _optional(_int),
         "jobs": _tuple_of(_JOB),
+        "policy": _str,
+        "ee_floor": _optional(_float),
     }
 
     cluster: str = "systemg"
     power_budget_w: float = 0.0
     nodes: int = 64
     max_nodes: int | None = None
+    jobs: tuple[Job, ...] = ()
+    policy: str = "makespan"
+    ee_floor: float | None = None
+
+
+@dataclass(frozen=True)
+class FederateRequest(WireRecord):
+    """Route a job queue across a federated site under one power budget.
+
+    ``shards`` describe the site (cluster names resolve through
+    :func:`repro.federation.registry.default_registry`, so embedders may
+    pre-register hypothetical machines); ``strategy`` picks the budget
+    partitioner and ``metric`` the job-routing score.
+    """
+
+    op: ClassVar[str] = "federate"
+    coercers: ClassVar[dict[str, Coercer]] = {
+        "budget_w": _float,
+        "strategy": _str,
+        "metric": _str,
+        "shards": _tuple_of(_SHARD_SPEC),
+        "jobs": _tuple_of(_JOB),
+    }
+
+    budget_w: float = 0.0
+    strategy: str = "waterfill"
+    metric: str = "ee_per_watt"
+    shards: tuple[ShardSpec, ...] = ()
     jobs: tuple[Job, ...] = ()
 
 
@@ -544,6 +622,7 @@ class ScheduleResponse(Response):
     coercers: ClassVar[dict[str, Coercer]] = {
         "cluster": _str,
         "power_budget_w": _float,
+        "policy": _str,
         "assignments": _tuple_of(_ASSIGNMENT),
         "total_power_w": _float,
         "headroom_w": _float,
@@ -553,8 +632,39 @@ class ScheduleResponse(Response):
 
     cluster: str
     power_budget_w: float
+    policy: str
     assignments: tuple[Assignment, ...]
     total_power_w: float
     headroom_w: float
+    makespan_s: float
+    total_energy_j: float
+
+
+@dataclass(frozen=True)
+class FederateResponse(Response):
+    """The flattened site decision: partition, plans, and aggregates."""
+
+    op: ClassVar[str] = "federate"
+    coercers: ClassVar[dict[str, Coercer]] = {
+        "budget_w": _float,
+        "strategy": _str,
+        "metric": _str,
+        "allocations": _tuple_of(_SHARD_ALLOCATION),
+        "plans": _tuple_of(_SHARD_PLAN),
+        "total_allocated_w": _float,
+        "total_power_w": _float,
+        "site_headroom_w": _float,
+        "makespan_s": _float,
+        "total_energy_j": _float,
+    }
+
+    budget_w: float
+    strategy: str
+    metric: str
+    allocations: tuple[ShardAllocation, ...]
+    plans: tuple[ShardPlan, ...]
+    total_allocated_w: float
+    total_power_w: float
+    site_headroom_w: float
     makespan_s: float
     total_energy_j: float

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six commands cover the everyday workflows:
+Seven commands cover the everyday workflows:
 
 * ``evaluate``  — EE/EEF/energy at one (benchmark, cluster, p, f, class)
 * ``sweep``     — the EE-vs-p table for a benchmark
@@ -8,6 +8,8 @@ Six commands cover the everyday workflows:
 * ``surface``   — a terminal heatmap of EE over (p × f) or (p × n)
 * ``optimize``  — invert the model: best (p, f) under a power budget or
   deadline, iso-EE contours, and the (Tp, Ep) Pareto frontier
+* ``federate``  — split a site power budget across shards and route a
+  job queue by EE-per-watt
 * ``serve``     — the asyncio HTTP/JSON API over the same operations
 
 Every query command builds a typed :mod:`repro.api` request, routes it
@@ -32,6 +34,7 @@ from repro.api.types import (
     BudgetQuery,
     DeadlineQuery,
     EvaluateRequest,
+    FederateRequest,
     IsoEEQuery,
     ParetoQuery,
     Response,
@@ -40,7 +43,11 @@ from repro.api.types import (
     ValidateRequest,
 )
 from repro.errors import ReproError
+from repro.federation.partition import PARTITION_STRATEGIES
+from repro.federation.registry import ShardSpec
+from repro.federation.router import ROUTING_METRICS
 from repro.npb.workloads import benchmark_names
+from repro.optimize.schedule import SCHEDULE_POLICIES, Job
 from repro.units import GHZ
 
 
@@ -273,10 +280,101 @@ def cmd_surface(args) -> int:
     return 0
 
 
+def _parse_shard(text: str) -> ShardSpec:
+    """``name:cluster:nodes:envelope[:policy[:ee_floor]]`` → ShardSpec."""
+    parts = text.split(":")
+    if not (4 <= len(parts) <= 6):
+        raise ReproError(
+            f"--shard expects name:cluster:nodes:envelope[:policy[:ee_floor]], "
+            f"got {text!r}"
+        )
+    try:
+        nodes = int(parts[2])
+        envelope = float(parts[3])
+        ee_floor = float(parts[5]) if len(parts) == 6 else None
+    except ValueError:
+        raise ReproError(f"--shard has a non-numeric field in {text!r}") from None
+    return ShardSpec(
+        name=parts[0],
+        cluster=parts[1],
+        nodes=nodes,
+        power_envelope_w=envelope,
+        policy=parts[4] if len(parts) >= 5 else "makespan",
+        ee_floor=ee_floor,
+    )
+
+
+def _parse_job(text: str) -> Job:
+    """``name:benchmark:class[:niter]`` → Job."""
+    parts = text.split(":")
+    if not (3 <= len(parts) <= 4):
+        raise ReproError(
+            f"--job expects name:benchmark:class[:niter], got {text!r}"
+        )
+    niter = None
+    if len(parts) == 4:
+        try:
+            niter = int(parts[3])
+        except ValueError:
+            raise ReproError(f"--job niter must be an integer in {text!r}") from None
+    return Job(name=parts[0], benchmark=parts[1].upper(),
+               klass=parts[2].upper(), niter=niter)
+
+
+def cmd_federate(args) -> int:
+    if not args.shard:
+        raise ReproError("federate needs at least one --shard")
+    if not args.job:
+        raise ReproError("federate needs at least one --job")
+    resp = dispatch(FederateRequest(
+        budget_w=args.budget,
+        strategy=args.strategy,
+        metric=args.metric,
+        shards=tuple(_parse_shard(s) for s in args.shard),
+        jobs=tuple(_parse_job(j) for j in args.job),
+    ))
+    if args.json:
+        return _emit_json([resp])
+    print(
+        f"site budget {resp.budget_w:,.0f} W split by {resp.strategy!r}, "
+        f"jobs routed by {resp.metric!r}:"
+    )
+    print(ascii_table(
+        ["shard", "allocation (W)", "floor (W)", "utility"],
+        [(a.shard, round(a.allocation_w, 0), round(a.floor_w, 0),
+          round(a.utility, 3)) for a in resp.allocations],
+    ))
+    for plan in resp.plans:
+        print()
+        if not plan.assignments:
+            print(f"{plan.shard} ({plan.cluster}, {plan.policy}): idle "
+                  f"at {plan.allocation_w:,.0f} W allocated")
+            continue
+        print(
+            f"{plan.shard} ({plan.cluster}, {plan.policy}): "
+            f"{plan.total_power_w:,.0f} W of {plan.allocation_w:,.0f} W "
+            f"allocated, makespan {plan.makespan_s:.2f} s"
+        )
+        print(ascii_table(
+            ["job", "bench", "p", "GHz", "Tp (s)", "Ep (J)", "EE", "draw (W)"],
+            [(a.job, a.benchmark, a.p, round(a.f / GHZ, 2), round(a.tp, 2),
+              round(a.ep, 1), round(a.ee, 4), round(a.avg_power, 0))
+             for a in plan.assignments],
+        ))
+    print(
+        f"\nsite draw {resp.total_power_w:,.0f} W "
+        f"(headroom {resp.site_headroom_w:,.0f} W), "
+        f"makespan {resp.makespan_s:.2f} s, "
+        f"total energy {resp.total_energy_j / 1000:.1f} kJ"
+    )
+    return 0
+
+
 def cmd_serve(args) -> int:
     from repro.api.server import serve
 
-    return serve(host=args.host, port=args.port)
+    return serve(host=args.host, port=args.port,
+                 max_concurrency=args.max_concurrency)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -344,6 +442,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_surf.add_argument("--n-factors", default="0.25,1,4", help="×class-size list")
     p_surf.set_defaults(func=cmd_surface)
 
+    p_fed = sub.add_parser(
+        "federate",
+        help="split a site power budget across shards and route jobs",
+    )
+    p_fed.add_argument("--budget", type=float, required=True,
+                       help="site power budget in watts")
+    p_fed.add_argument(
+        "--shard", action="append", default=[], metavar="SPEC",
+        help="name:cluster:nodes:envelope[:policy[:ee_floor]] (repeatable); "
+             f"policies: {','.join(SCHEDULE_POLICIES)}",
+    )
+    p_fed.add_argument(
+        "--job", action="append", default=[], metavar="SPEC",
+        help="name:benchmark:class[:niter] (repeatable)",
+    )
+    p_fed.add_argument("--strategy", choices=list(PARTITION_STRATEGIES),
+                       default="waterfill")
+    p_fed.add_argument("--metric", choices=list(ROUTING_METRICS),
+                       default="ee_per_watt")
+    p_fed.add_argument("--json", action="store_true",
+                       help="emit the API response payload as JSON")
+    p_fed.set_defaults(func=cmd_federate)
+
     p_srv = sub.add_parser(
         "serve", help="HTTP/JSON API server over the same operations"
     )
@@ -351,6 +472,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_srv.add_argument("--host", default=DEFAULT_HOST)
     p_srv.add_argument("--port", type=int, default=DEFAULT_PORT)
+    p_srv.add_argument(
+        "--max-concurrency", type=int, default=None,
+        help="cap in-flight connections; extra arrivals get a 503",
+    )
     p_srv.set_defaults(func=cmd_serve)
 
     return parser

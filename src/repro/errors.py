@@ -32,6 +32,20 @@ class RankError(SimulationError):
     """A rank program raised or misused the communication API."""
 
 
+class InfeasibleJobsError(ParameterError):
+    """Specific jobs cannot run under the given power envelope.
+
+    ``jobs`` names the offenders — ``(job name, cheapest draw in watts)``
+    pairs — so schedulers, the HTTP error payload, and operators can see
+    exactly which queue entries to drop or re-budget instead of guessing
+    from an aggregate message.
+    """
+
+    def __init__(self, message: str, jobs: tuple[tuple[str, float], ...]) -> None:
+        super().__init__(message)
+        self.jobs = jobs
+
+
 class WireError(ReproError):
     """A JSON wire payload violates the API schema (version, fields, types)."""
 

@@ -1,0 +1,69 @@
+"""Multi-cluster federation: one site budget, many shards, one router.
+
+The single-cluster solvers answer "which (p, f, n) on *one* machine";
+a power-constrained site runs several.  This package turns the model
+into a site-level decision service:
+
+* :mod:`repro.federation.registry` — named machines (the paper's
+  testbeds plus user-defined hypothetical ones) resolved into *shards*:
+  wire-expressible cluster + envelope + policy bundles carrying their
+  own Θ1/Θ2 model hooks;
+* :mod:`repro.federation.partition` — site power-budget partitioning
+  across shards (proportional, water-filling on marginal EE-per-watt,
+  exhaustive over small grids), scored in bulk on capability curves
+  built from the vectorized grid evaluator;
+* :mod:`repro.federation.router` — EE-per-watt job routing: each job
+  goes to the shard serving it best within its allocation, and each
+  shard's queue is scheduled for real by
+  :func:`repro.optimize.schedule.schedule_jobs` under the shard's own
+  policy.
+
+The wire surface is ``FederateRequest``/``FederateResponse`` in
+:mod:`repro.api` (``POST /v1/federate``, ``repro federate``).
+"""
+
+from repro.federation.partition import (
+    MAX_EXHAUSTIVE_SPLITS,
+    PARTITION_STRATEGIES,
+    ShardAllocation,
+    ShardProfile,
+    SitePartition,
+    partition_budget,
+    score_split_scalar,
+    score_splits,
+    shard_profile,
+    shard_profiles,
+)
+from repro.federation.registry import (
+    Shard,
+    ShardRegistry,
+    ShardSpec,
+    default_registry,
+)
+from repro.federation.router import (
+    ROUTING_METRICS,
+    FederatedSchedule,
+    ShardPlan,
+    route_jobs,
+)
+
+__all__ = [
+    "Shard",
+    "ShardRegistry",
+    "ShardSpec",
+    "default_registry",
+    "PARTITION_STRATEGIES",
+    "MAX_EXHAUSTIVE_SPLITS",
+    "ShardAllocation",
+    "ShardProfile",
+    "SitePartition",
+    "partition_budget",
+    "score_splits",
+    "score_split_scalar",
+    "shard_profile",
+    "shard_profiles",
+    "ROUTING_METRICS",
+    "FederatedSchedule",
+    "ShardPlan",
+    "route_jobs",
+]

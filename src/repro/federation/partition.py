@@ -1,0 +1,434 @@
+"""Site power-budget partitioning across shards.
+
+A federated site holds one power budget and several shards (clusters
+with their own hardware, envelopes, and schedulers).  Before any job is
+placed, the site must decide *how many watts each shard gets*.  This
+module scores candidate splits against per-shard **capability curves**
+and offers three partitioning strategies.
+
+The capability curve of a shard is built by running the cluster
+scheduler's greedy climb on the whole reference job mix *as if the
+shard hosted it alone*, recording ``(total power, utility)`` after every
+rung upgrade, where utility is the mix's EE-weighted completion rate
+``Σ_j EE_j / Tp_j`` — energy-efficient throughput.  ``V_s(w)`` is then a
+monotone step function: the utility shard *s* could deliver with *w*
+watts (0 below its floor).  A split ``(w_1 … w_S)`` scores
+``Σ_s V_s(w_s)``.  That is a *capability* model, deliberately not a
+physical schedule — the router does the real placement afterwards — but
+it ranks splits by exactly the quantity the site cares about, and its
+marginal ``ΔV/Δw`` is the "marginal EE-per-watt" the water-filling
+strategy climbs.
+
+Strategies:
+
+* ``"proportional"`` — watts in proportion to each shard's envelope;
+  the baseline every study needs.
+* ``"waterfill"`` — greedy water-filling: repeatedly hand the next rung
+  upgrade to the shard with the highest marginal utility per watt until
+  nothing affordable remains.
+* ``"exhaustive"`` — enumerate every combination of rung-aligned
+  allocations (small grids only), score them all **in bulk** through
+  :func:`score_splits`, and take the best.  Exact w.r.t. the scoring
+  model; the reference the heuristics are tested against.
+
+:func:`score_splits` is the vectorized hot path —
+``benchmarks/bench_federation.py`` holds it to ≥5× over the scalar
+per-split loop (:func:`score_split_scalar`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.federation.registry import Shard
+from repro.optimize.schedule import (
+    Job,
+    Rung,
+    climb_makespan,
+    eligible_rungs,
+    power_ladder,
+)
+
+#: strategies understood by :func:`partition_budget`.
+PARTITION_STRATEGIES = ("proportional", "waterfill", "exhaustive")
+
+#: refuse exhaustive enumeration beyond this many candidate splits.
+MAX_EXHAUSTIVE_SPLITS = 250_000
+
+
+@dataclass(frozen=True, eq=False)  # eq=False: ndarray fields break ==
+class ShardProfile:
+    """One shard's capability curve over the reference job mix.
+
+    ``powers`` ascends; ``utilities`` is the running-best utility
+    reachable at each power level.  ``powers[0]`` is the shard's floor —
+    the cheapest wattage at which the whole mix runs at all.
+    """
+
+    shard: str
+    envelope_w: float
+    powers: np.ndarray
+    utilities: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.powers) != len(self.utilities) or not len(self.powers):
+            raise ParameterError(
+                f"profile of shard {self.shard!r} needs matched, non-empty "
+                "power/utility arrays"
+            )
+
+    @property
+    def floor_w(self) -> float:
+        return float(self.powers[0])
+
+    def value_at(self, w: float) -> float:
+        """V(w): best utility at allocation ``w`` (0 below the floor)."""
+        idx = int(np.searchsorted(self.powers, w, side="right")) - 1
+        return float(self.utilities[idx]) if idx >= 0 else 0.0
+
+
+@dataclass(frozen=True)
+class ShardAllocation:
+    """The watts one shard received, and what the model says they buy."""
+
+    shard: str
+    allocation_w: float
+    utility: float
+    floor_w: float
+
+
+@dataclass(frozen=True)
+class SitePartition:
+    """A complete budget split: one allocation per shard, site order."""
+
+    budget_w: float
+    strategy: str
+    allocations: tuple[ShardAllocation, ...]
+
+    @property
+    def total_allocated_w(self) -> float:
+        return sum(a.allocation_w for a in self.allocations)
+
+    @property
+    def headroom_w(self) -> float:
+        return self.budget_w - self.total_allocated_w
+
+    @property
+    def utility(self) -> float:
+        return sum(a.utility for a in self.allocations)
+
+    def allocation_for(self, shard: str) -> ShardAllocation:
+        for a in self.allocations:
+            if a.shard == shard:
+                return a
+        raise ParameterError(f"no allocation for shard {shard!r}")
+
+
+def mix_ladders(shard: Shard, jobs: Sequence[Job]) -> list[list[Rung]]:
+    """Each job's power ladder on this shard's hardware.
+
+    Jobs sharing a (benchmark, klass, niter) workload share one ladder
+    object — each distinct grid is evaluated exactly once per shard,
+    and the router reuses this same table for scoring and scheduling.
+    """
+    per_workload: dict[tuple, list[Rung]] = {}
+    ladders = []
+    for job in jobs:
+        key = (job.benchmark.upper(), job.klass.upper(), job.niter)
+        if key not in per_workload:
+            model, n = shard.model_for(*key)
+            per_workload[key] = power_ladder(
+                model, n, shard.p_values, shard.f_values
+            )
+        ladders.append(per_workload[key])
+    return ladders
+
+
+def shard_profile(
+    shard: Shard,
+    jobs: Sequence[Job],
+    *,
+    ladders: Sequence[list[Rung]] | None = None,
+) -> ShardProfile:
+    """The shard's capability curve over ``jobs`` (see module docstring).
+
+    Replays the scheduler's makespan-greedy climb
+    (:func:`~repro.optimize.schedule.climb_makespan`) capped at the
+    shard's envelope, recording the (total power, Σ EE/Tp) trajectory —
+    the common capability measure across policies (an ``energy`` shard
+    spends headroom differently but shares the same feasible set).  On
+    an ``ee_floor`` shard the ladders are filtered to qualifying rungs
+    first, so the curve never prices in placements that shard's
+    scheduler is bound to reject; a shard whose floor excludes some
+    workload entirely profiles as useless (zero utility everywhere).
+    ``ladders`` reuses pre-built per-job ladders (the router's).
+    """
+    if not jobs:
+        raise ParameterError("a capability profile needs at least one job")
+    if ladders is None:
+        ladders = mix_ladders(shard, jobs)
+    if shard.policy == "ee_floor":
+        ladders = [eligible_rungs(lad, shard.ee_floor) for lad in ladders]
+        if any(not lad for lad in ladders):
+            # some workload meets the floor at no (p, f): the shard can
+            # never host the whole mix, so any legal allocation buys
+            # nothing — a one-point curve just above the envelope says so
+            return ShardProfile(
+                shard=shard.name,
+                envelope_w=shard.power_envelope_w,
+                powers=np.array([shard.power_envelope_w + 1.0]),
+                utilities=np.array([0.0]),
+            )
+
+    def util(levels: list[int]) -> float:
+        # EE-weighted completion rate Σ EE_j / Tp_j (1/s): rewards both
+        # running faster and staying energy-efficient, and — being an
+        # absolute rate — compares fairly across shards of different
+        # hardware, unlike any per-shard-normalised speedup.
+        return sum(
+            lad[lvl].ee / lad[lvl].tp for lad, lvl in zip(ladders, levels)
+        )
+
+    def total_power(levels: list[int]) -> float:
+        return sum(lad[lvl].avg_power for lad, lvl in zip(ladders, levels))
+
+    levels = [0] * len(ladders)
+    points: list[tuple[float, float]] = []
+    if total_power(levels) <= shard.power_envelope_w:
+        points.append((total_power(levels), util(levels)))
+    climb_makespan(
+        ladders, levels, shard.power_envelope_w,
+        on_step=lambda lv: points.append((total_power(lv), util(lv))),
+    )
+
+    if not points:
+        # even the floor exceeds the envelope: a degenerate one-point
+        # profile at the floor with zero utility keeps the arrays valid
+        # while scoring the shard as useless at any legal allocation.
+        floor = sum(lad[0].avg_power for lad in ladders)
+        return ShardProfile(
+            shard=shard.name,
+            envelope_w=shard.power_envelope_w,
+            powers=np.array([floor]),
+            utilities=np.array([0.0]),
+        )
+
+    powers = np.array([p for p, _ in points])
+    utilities = np.maximum.accumulate(np.array([u for _, u in points]))
+    # collapse duplicate power levels to their best utility so the step
+    # function is well defined and strictly increasing in power
+    keep = np.ones(len(powers), dtype=bool)
+    keep[:-1] = powers[1:] > powers[:-1]
+    return ShardProfile(
+        shard=shard.name,
+        envelope_w=shard.power_envelope_w,
+        powers=powers[keep],
+        utilities=utilities[keep],
+    )
+
+
+def shard_profiles(
+    shards: Sequence[Shard],
+    jobs: Sequence[Job],
+    *,
+    ladders_by_shard: Sequence[Sequence[list[Rung]]] | None = None,
+) -> list[ShardProfile]:
+    """Capability curves for every shard over one shared job mix."""
+    if ladders_by_shard is None:
+        ladders_by_shard = [None] * len(shards)
+    return [
+        shard_profile(s, jobs, ladders=lads)
+        for s, lads in zip(shards, ladders_by_shard)
+    ]
+
+
+def score_splits(
+    profiles: Sequence[ShardProfile], splits: np.ndarray
+) -> np.ndarray:
+    """Score many candidate splits in one vectorized pass.
+
+    ``splits`` has shape ``(M, S)`` — M candidate splits over S shards,
+    column order matching ``profiles``.  Returns the M scores
+    ``Σ_s V_s(w_s)``.  One ``searchsorted`` per shard replaces the
+    M × S Python-level curve lookups of the scalar path.
+    """
+    splits = np.asarray(splits, dtype=float)
+    if splits.ndim != 2 or splits.shape[1] != len(profiles):
+        raise ParameterError(
+            f"splits must be (M, {len(profiles)}), got {splits.shape}"
+        )
+    scores = np.zeros(len(splits))
+    for j, prof in enumerate(profiles):
+        idx = np.searchsorted(prof.powers, splits[:, j], side="right") - 1
+        scores += np.where(idx >= 0, prof.utilities[np.maximum(idx, 0)], 0.0)
+    return scores
+
+
+def score_split_scalar(
+    profiles: Sequence[ShardProfile], split: Sequence[float]
+) -> float:
+    """The per-split reference loop ``score_splits`` is benchmarked against."""
+    if len(split) != len(profiles):
+        raise ParameterError(
+            f"split has {len(split)} entries for {len(profiles)} shards"
+        )
+    total = 0.0
+    for prof, w in zip(profiles, split):
+        value = 0.0
+        for power, utility in zip(prof.powers, prof.utilities):
+            if power <= w:
+                value = float(utility)
+            else:
+                break
+        total += value
+    return total
+
+
+def _clip(w: float, prof: ShardProfile) -> float:
+    return min(w, prof.envelope_w)
+
+
+def _proportional(
+    profiles: Sequence[ShardProfile], budget_w: float
+) -> list[float]:
+    total_env = sum(p.envelope_w for p in profiles)
+    return [
+        _clip(budget_w * p.envelope_w / total_env, p) for p in profiles
+    ]
+
+
+def _waterfill(
+    profiles: Sequence[ShardProfile], budget_w: float
+) -> list[float]:
+    """Greedy water-filling on marginal utility per watt.
+
+    Every shard starts dry (0 W).  Each round, every affordable higher
+    rung of every shard is a candidate upgrade costing
+    ``powers[k] − current`` extra watts for ``utilities[k] − current``
+    extra utility; the densest upgrade wins.  Stops when nothing
+    affordable remains.  Allocations land exactly on curve steps, so no
+    watt is parked below a shard's next useful rung.
+    """
+    levels = [-1] * len(profiles)  # -1 = below the floor, 0 W
+    alloc = [0.0] * len(profiles)
+    remaining = budget_w
+    while True:
+        best: tuple[float, int, int] | None = None  # (density, shard, level)
+        for i, prof in enumerate(profiles):
+            cur_util = float(prof.utilities[levels[i]]) if levels[i] >= 0 else 0.0
+            # consider every higher rung, not just the adjacent one: the
+            # running-max curve can hold flat (zero-gain) steps, and
+            # stopping at the first would strand the gains beyond them
+            for k in range(levels[i] + 1, len(prof.powers)):
+                target = float(prof.powers[k])
+                if target > prof.envelope_w:
+                    break
+                cost = target - alloc[i]
+                if cost > remaining:
+                    break
+                gain = float(prof.utilities[k]) - cur_util
+                if gain <= 0:
+                    continue
+                density = gain / max(cost, 1e-12)
+                if best is None or density > best[0]:
+                    best = (density, i, k)
+        if best is None:
+            break
+        _, i, k = best
+        levels[i] = k
+        step = float(profiles[i].powers[k])
+        remaining -= step - alloc[i]
+        alloc[i] = step
+    return alloc
+
+
+def _exhaustive(
+    profiles: Sequence[ShardProfile], budget_w: float
+) -> list[float]:
+    """Enumerate rung-aligned splits, score in bulk, take the best.
+
+    Candidate allocations per shard are 0 plus every curve power within
+    the envelope and the budget; the cartesian product is scored with
+    :func:`score_splits`.  Ties resolve to the smallest total draw, then
+    lexicographically — deterministic output for identical inputs.
+    """
+    axes = []
+    for prof in profiles:
+        cap = min(prof.envelope_w, budget_w)
+        candidates = [0.0] + [
+            float(p) for p in prof.powers if p <= cap
+        ]
+        axes.append(np.array(candidates))
+    n_splits = int(np.prod([len(a) for a in axes]))
+    if n_splits > MAX_EXHAUSTIVE_SPLITS:
+        raise ParameterError(
+            f"exhaustive partitioning would score {n_splits} splits "
+            f"(cap {MAX_EXHAUSTIVE_SPLITS}); use strategy='waterfill'"
+        )
+    mesh = np.meshgrid(*axes, indexing="ij")
+    splits = np.stack([m.ravel() for m in mesh], axis=1)
+    feasible = splits.sum(axis=1) <= budget_w
+    splits = splits[feasible]
+    scores = score_splits(profiles, splits)
+    best_score = scores.max()
+    winners = splits[scores >= best_score - 1e-12]
+    totals = winners.sum(axis=1)
+    winners = winners[totals <= totals.min() + 1e-9]
+    # lexicographic tie-break over the remaining equal-score, equal-draw rows
+    order = np.lexsort(tuple(winners[:, j] for j in range(winners.shape[1] - 1, -1, -1)))
+    return [float(w) for w in winners[order[0]]]
+
+
+def partition_budget(
+    shards: Sequence[Shard],
+    budget_w: float,
+    *,
+    jobs: Sequence[Job],
+    strategy: str = "waterfill",
+    profiles: Sequence[ShardProfile] | None = None,
+) -> SitePartition:
+    """Split ``budget_w`` across ``shards`` for the reference job mix.
+
+    Returns a :class:`SitePartition` whose allocations conserve the
+    budget (``Σ allocation ≤ budget``) and respect every shard's
+    envelope.  ``profiles`` may be passed to reuse precomputed
+    capability curves (the router does, to avoid re-deriving models).
+    """
+    if not shards:
+        raise ParameterError("cannot partition a budget over zero shards")
+    if budget_w <= 0:
+        raise ParameterError("site power budget must be positive")
+    if strategy not in PARTITION_STRATEGIES:
+        raise ParameterError(
+            f"unknown partition strategy {strategy!r}; "
+            f"choose from {PARTITION_STRATEGIES}"
+        )
+    if profiles is None:
+        profiles = shard_profiles(shards, jobs)
+    if strategy == "proportional":
+        alloc = _proportional(profiles, budget_w)
+    elif strategy == "waterfill":
+        alloc = _waterfill(profiles, budget_w)
+    else:
+        alloc = _exhaustive(profiles, budget_w)
+    # numerical guard: proportional splits may overshoot by float dust
+    overshoot = sum(alloc) - budget_w
+    if overshoot > 0:
+        alloc = [w * (budget_w / sum(alloc)) for w in alloc]
+    return SitePartition(
+        budget_w=budget_w,
+        strategy=strategy,
+        allocations=tuple(
+            ShardAllocation(
+                shard=prof.shard,
+                allocation_w=float(w),
+                utility=prof.value_at(float(w)),
+                floor_w=prof.floor_w,
+            )
+            for prof, w in zip(profiles, alloc)
+        ),
+    )

@@ -1,0 +1,318 @@
+"""The shard registry: named machines → resolvable, model-carrying shards.
+
+A *shard* is one power-capped cluster inside a federated site: a machine
+description (one of the paper's testbeds, or a user-defined hypothetical
+machine), a node count, a power envelope — the most watts the site is
+willing to route there — and the scheduling policy its local scheduler
+runs.  The registry maps machine *names* to builders so shards stay
+wire-expressible: a :class:`ShardSpec` travels as JSON, and
+:meth:`ShardRegistry.build` turns it back into a live :class:`Shard`
+carrying its own Θ1/Θ2 model hooks (via :func:`repro.paperdata.paper_model`
+on the shard's cluster).
+
+Hypothetical machines derive from a registered base by scaling the
+knobs the iso-energy-efficiency model actually reads — message startup
+(ts), per-byte time (tw), CPU dynamic power (ΔPc), and the idle floor —
+so "what if SystemG had twice the network?" is a one-line registration,
+in the spirit of the EXCESS deliverable's composable platform models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Sequence
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.presets import cluster_preset
+from repro.core.model import IsoEnergyModel
+from repro.errors import ConfigurationError, ParameterError
+from repro.optimize.schedule import SCHEDULE_POLICIES, default_p_values
+from repro.paperdata import paper_model
+
+#: a machine builder: node count → assembled cluster.
+MachineBuilder = Callable[[int], Cluster]
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """The wire-expressible description of one shard.
+
+    ``cluster`` names a machine registered in the resolving
+    :class:`ShardRegistry` (the presets ``"systemg"``/``"dori"`` are
+    always there); ``power_envelope_w`` is the ceiling on the watts the
+    site partitioner may allocate to this shard; ``policy``/``ee_floor``
+    select the local scheduling policy
+    (:data:`~repro.optimize.schedule.SCHEDULE_POLICIES`).
+    """
+
+    name: str
+    cluster: str = "systemg"
+    nodes: int = 32
+    power_envelope_w: float = 0.0
+    policy: str = "makespan"
+    ee_floor: float | None = None
+
+
+@dataclass(frozen=True, eq=False)  # eq=False: identity hash for memo tables
+class Shard:
+    """A resolved shard: its spec, its live cluster, and its model hooks."""
+
+    spec: ShardSpec
+    cluster: Cluster
+    _models: dict = field(default_factory=dict, repr=False, compare=False)
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def power_envelope_w(self) -> float:
+        return self.spec.power_envelope_w
+
+    @property
+    def policy(self) -> str:
+        return self.spec.policy
+
+    @property
+    def ee_floor(self) -> float | None:
+        return self.spec.ee_floor
+
+    @property
+    def p_values(self) -> list[int]:
+        """The shard's processor-count axis: powers of two up to its size."""
+        return default_p_values(self.cluster, self.spec.nodes)
+
+    @property
+    def f_values(self) -> tuple[float, ...]:
+        """The shard's DVFS P-states."""
+        return self.cluster.available_frequencies
+
+    def model_for(
+        self, benchmark: str, klass: str = "B", niter: int | None = None
+    ) -> tuple[IsoEnergyModel, float]:
+        """(model, class n) of a workload on *this* shard's hardware.
+
+        Memoised per (benchmark, klass, niter): the Θ1 derivation and Θ2
+        table construction happen once per distinct workload per shard.
+        """
+        key = (benchmark.upper(), klass.upper(), niter)
+        if key not in self._models:
+            self._models[key] = paper_model(
+                key[0],
+                key[1],
+                cluster=self.cluster,
+                niter=niter,
+                name=f"{key[0]}.{key[1]} on {self.cluster.name}",
+            )
+        return self._models[key]
+
+
+def _scaled_cluster(
+    name: str,
+    base: Cluster,
+    *,
+    net_startup_scale: float,
+    net_per_byte_scale: float,
+    cpu_power_scale: float,
+    idle_power_scale: float,
+) -> Cluster:
+    """A copy of ``base`` with the model-visible knobs rescaled."""
+    ic = base.interconnect
+    link_rate = ic.link_rate
+    if net_per_byte_scale < 1.0:
+        # Interconnect validation insists tw >= 1/link_rate; a faster
+        # hypothetical fabric raises the raw rate alongside the payload.
+        link_rate = link_rate / net_per_byte_scale
+    interconnect = replace(
+        ic,
+        name=f"{ic.name} [{name}]",
+        startup_latency=ic.startup_latency * net_startup_scale,
+        per_byte_time=ic.per_byte_time * net_per_byte_scale,
+        link_rate=link_rate,
+    )
+    nodes = []
+    for node in base.nodes:
+        cpu = replace(
+            node.cpu,
+            power=replace(
+                node.cpu.power,
+                delta_p_ref=node.cpu.power.delta_p_ref * cpu_power_scale,
+                p_idle_ref=node.cpu.power.p_idle_ref * idle_power_scale,
+            ),
+        )
+        cpu_comp = node.power.cpu
+        mem_comp = node.power.memory
+        io_comp = node.power.io
+        power = replace(
+            node.power,
+            cpu=replace(
+                cpu_comp,
+                p_idle=cpu_comp.p_idle * idle_power_scale,
+                p_running=cpu_comp.p_idle * idle_power_scale
+                + cpu_comp.delta_p * cpu_power_scale,
+            ),
+            memory=replace(
+                mem_comp,
+                p_idle=mem_comp.p_idle * idle_power_scale,
+                p_running=mem_comp.p_idle * idle_power_scale
+                + mem_comp.delta_p,
+            ),
+            io=replace(
+                io_comp,
+                p_idle=io_comp.p_idle * idle_power_scale,
+                p_running=io_comp.p_idle * idle_power_scale + io_comp.delta_p,
+            ),
+            others=node.power.others * idle_power_scale,
+        )
+        nodes.append(replace(node, nic=interconnect, cpu=cpu, power=power))
+    return Cluster(
+        name=name,
+        nodes=nodes,
+        interconnect=interconnect,
+        pdu=replace(base.pdu) if base.pdu is not None else None,
+    )
+
+
+class ShardRegistry:
+    """Named machine builders plus a build cache for resolved shards.
+
+    The two paper testbeds are pre-registered; :meth:`register` adds any
+    builder and :meth:`register_hypothetical` derives a what-if machine
+    from a registered base by scaling its model-visible parameters.
+    """
+
+    def __init__(self, include_presets: bool = True) -> None:
+        self._machines: dict[str, MachineBuilder] = {}
+        self._shards: dict[ShardSpec, Shard] = {}
+        self._mutation_hooks: list[Callable[[], None]] = []
+        if include_presets:
+            for preset in ("systemg", "dori"):
+                self._machines[preset] = (
+                    lambda nodes, _p=preset: cluster_preset(_p, nodes)
+                )
+
+    def names(self) -> tuple[str, ...]:
+        """Every registered machine name, registration order."""
+        return tuple(self._machines)
+
+    def on_mutation(self, hook: Callable[[], None]) -> None:
+        """Run ``hook`` whenever a machine is (re)registered.
+
+        Resolved shards are cached by spec *value*, so rebinding a
+        machine name changes what an identical spec means; any layer
+        memoising results derived from this registry (the API dispatch
+        cache does) must drop them.
+        """
+        self._mutation_hooks.append(hook)
+
+    def register(
+        self, name: str, builder: MachineBuilder, *, exist_ok: bool = False
+    ) -> None:
+        """Bind ``name`` to a ``nodes -> Cluster`` builder."""
+        key = name.lower()
+        if key in self._machines and not exist_ok:
+            raise ConfigurationError(
+                f"machine {name!r} is already registered; "
+                "pass exist_ok=True to replace it"
+            )
+        self._machines[key] = builder
+        self._shards.clear()  # a rebind may change what cached shards mean
+        for hook in self._mutation_hooks:
+            hook()
+
+    def register_hypothetical(
+        self,
+        name: str,
+        *,
+        base: str = "systemg",
+        net_startup_scale: float = 1.0,
+        net_per_byte_scale: float = 1.0,
+        cpu_power_scale: float = 1.0,
+        idle_power_scale: float = 1.0,
+        exist_ok: bool = False,
+    ) -> None:
+        """Derive a hypothetical machine from a registered ``base``.
+
+        The four scales multiply exactly the quantities Θ1 reads from the
+        hardware description: ts, tw, ΔPc, and the idle power floor.
+        All must be positive; 1.0 everywhere reproduces the base.
+        """
+        base_builder = self._builder(base)
+        for label, scale in (
+            ("net_startup_scale", net_startup_scale),
+            ("net_per_byte_scale", net_per_byte_scale),
+            ("cpu_power_scale", cpu_power_scale),
+            ("idle_power_scale", idle_power_scale),
+        ):
+            if scale <= 0:
+                raise ConfigurationError(f"{label} must be positive, got {scale}")
+
+        def builder(nodes: int, _name: str = name) -> Cluster:
+            return _scaled_cluster(
+                _name,
+                base_builder(nodes),
+                net_startup_scale=net_startup_scale,
+                net_per_byte_scale=net_per_byte_scale,
+                cpu_power_scale=cpu_power_scale,
+                idle_power_scale=idle_power_scale,
+            )
+
+        self.register(name, builder, exist_ok=exist_ok)
+
+    def _builder(self, name: str) -> MachineBuilder:
+        try:
+            return self._machines[name.lower()]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown machine {name!r}; registered: {sorted(self._machines)}"
+            ) from None
+
+    def build(self, spec: ShardSpec) -> Shard:
+        """Resolve one spec into a live shard (cached per spec value)."""
+        if spec in self._shards:
+            return self._shards[spec]
+        if not spec.name:
+            raise ParameterError("a shard needs a non-empty name")
+        if spec.nodes < 1:
+            raise ParameterError(
+                f"shard {spec.name!r} needs at least one node"
+            )
+        if spec.power_envelope_w <= 0:
+            raise ParameterError(
+                f"shard {spec.name!r} needs a positive power envelope, "
+                f"got {spec.power_envelope_w!r}"
+            )
+        if spec.policy not in SCHEDULE_POLICIES:
+            raise ParameterError(
+                f"shard {spec.name!r} has unknown policy {spec.policy!r}; "
+                f"choose from {SCHEDULE_POLICIES}"
+            )
+        if spec.policy == "ee_floor" and spec.ee_floor is None:
+            raise ParameterError(
+                f"shard {spec.name!r} selects policy='ee_floor' "
+                "but carries no ee_floor value"
+            )
+        shard = Shard(spec=spec, cluster=self._builder(spec.cluster)(spec.nodes))
+        self._shards[spec] = shard
+        return shard
+
+    def build_site(self, specs: Sequence[ShardSpec]) -> list[Shard]:
+        """Resolve a whole site, insisting on unique shard names."""
+        if not specs:
+            raise ParameterError("a federated site needs at least one shard")
+        seen: set[str] = set()
+        for spec in specs:
+            if spec.name in seen:
+                raise ParameterError(
+                    f"duplicate shard name {spec.name!r} in the site spec"
+                )
+            seen.add(spec.name)
+        return [self.build(spec) for spec in specs]
+
+
+_DEFAULT_REGISTRY = ShardRegistry()
+
+
+def default_registry() -> ShardRegistry:
+    """The process-wide registry the API service and the CLI resolve with."""
+    return _DEFAULT_REGISTRY

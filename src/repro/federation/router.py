@@ -1,0 +1,264 @@
+"""EE-per-watt job routing across a federated site.
+
+The routing pipeline composes every decision layer below it:
+
+1. :func:`repro.federation.partition.partition_budget` splits the site
+   budget into per-shard allocations (strategy-selectable);
+2. each job is routed to the shard that serves it best *within the
+   shard's remaining allocation* — by energy efficiency per watt
+   (``metric="ee_per_watt"``, the default: most efficiency bought per
+   watt spent) or by raw energy efficiency (``metric="ee"``);
+3. each shard's queue is handed to the cluster scheduler
+   (:func:`repro.optimize.schedule.schedule_jobs`) under the shard's own
+   allocation and policy, producing real (p, f) assignments.
+
+Budget conservation is an invariant at both levels: the allocations sum
+to at most the site budget, and every shard's scheduled draw stays
+within its allocation.  Jobs that fit on no shard raise
+:class:`~repro.errors.InfeasibleJobsError` naming each stranded job, so
+operators see exactly what to drop or re-budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import InfeasibleJobsError, ParameterError
+from repro.federation.partition import (
+    SitePartition,
+    mix_ladders,
+    partition_budget,
+    shard_profiles,
+)
+from repro.federation.registry import Shard
+from repro.optimize.schedule import (
+    Assignment,
+    Job,
+    Rung,
+    eligible_rungs,
+    schedule_jobs,
+)
+
+
+def _ladder_table(
+    shards: Sequence[Shard], jobs: Sequence[Job]
+) -> list[list[list[Rung]]]:
+    """``table[i][j]`` = job j's ladder on shard i, each grid built once.
+
+    Jobs sharing a workload share the ladder object
+    (:func:`~repro.federation.partition.mix_ladders` dedups by key), and
+    the same table feeds the capability profiles, the routing scores,
+    and the per-shard schedules — one federate call evaluates each
+    (shard, workload) grid exactly once.
+    """
+    return [mix_ladders(shard, jobs) for shard in shards]
+
+#: job-routing metrics understood by :func:`route_jobs`.
+ROUTING_METRICS = ("ee_per_watt", "ee")
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """One shard's final schedule inside a federated placement."""
+
+    shard: str
+    cluster: str
+    policy: str
+    allocation_w: float
+    assignments: tuple[Assignment, ...]
+    total_power_w: float
+    makespan_s: float
+    total_energy_j: float
+
+    @property
+    def headroom_w(self) -> float:
+        return self.allocation_w - self.total_power_w
+
+
+@dataclass(frozen=True)
+class FederatedSchedule:
+    """The complete site decision: partition + routing + per-shard plans."""
+
+    budget_w: float
+    strategy: str
+    metric: str
+    partition: SitePartition
+    plans: tuple[ShardPlan, ...]
+
+    @property
+    def total_allocated_w(self) -> float:
+        return self.partition.total_allocated_w
+
+    @property
+    def total_power_w(self) -> float:
+        return sum(p.total_power_w for p in self.plans)
+
+    @property
+    def site_headroom_w(self) -> float:
+        return self.budget_w - self.total_power_w
+
+    @property
+    def makespan_s(self) -> float:
+        return max((p.makespan_s for p in self.plans if p.assignments), default=0.0)
+
+    @property
+    def total_energy_j(self) -> float:
+        return sum(p.total_energy_j for p in self.plans)
+
+    def plan_for(self, shard: str) -> ShardPlan:
+        for plan in self.plans:
+            if plan.shard == shard:
+                return plan
+        raise ParameterError(f"no plan for shard {shard!r}")
+
+
+def _eligible_ladder(ladder: list[Rung], shard: Shard) -> list[Rung]:
+    """The rungs the shard's scheduler would actually accept."""
+    return eligible_rungs(
+        ladder, shard.ee_floor if shard.policy == "ee_floor" else None
+    )
+
+
+def _routing_score(
+    ladder: list[Rung], headroom_w: float, metric: str
+) -> tuple[float, float] | None:
+    """(score, floor draw) of the best feasible rung, or None if none fits.
+
+    ``ladder`` is already policy-filtered; a rung is feasible when its
+    draw fits the shard's *remaining* allocation given the floors
+    already committed there.  ``ee_per_watt`` scores EE/draw (efficiency
+    bought per watt); ``ee`` scores raw EE.
+    """
+    best: tuple[float, float] | None = None
+    for rung in ladder:
+        if rung.avg_power > headroom_w:
+            break  # ladders ascend in power: nothing further fits
+        score = (
+            rung.ee / rung.avg_power if metric == "ee_per_watt" else rung.ee
+        )
+        if best is None or score > best[0]:
+            best = (score, ladder[0].avg_power)
+    return best
+
+
+def route_jobs(
+    shards: Sequence[Shard],
+    jobs: Sequence[Job],
+    *,
+    budget_w: float,
+    strategy: str = "waterfill",
+    metric: str = "ee_per_watt",
+) -> FederatedSchedule:
+    """Place every job on the shard that serves it best under the budget.
+
+    Jobs are considered in queue order.  For each, every shard is scored
+    by its best feasible rung under the shard's remaining allocation
+    (allocation minus the cheapest-rung floors of jobs already routed
+    there — the scheduler's own feasibility precondition); the best
+    ``metric`` score wins, earlier shards break ties.  Per-shard queues
+    are then scheduled for real via :func:`schedule_jobs` with the
+    shard's policy.
+
+    Raises :class:`~repro.errors.InfeasibleJobsError` listing every job
+    no shard could take, and :class:`ParameterError` on empty inputs or
+    an unknown metric.
+    """
+    if not jobs:
+        raise ParameterError("the federated job queue is empty")
+    if metric not in ROUTING_METRICS:
+        raise ParameterError(
+            f"unknown routing metric {metric!r}; choose from {ROUTING_METRICS}"
+        )
+    shards = list(shards)
+    ladder_table = _ladder_table(shards, jobs)
+    profiles = shard_profiles(shards, jobs, ladders_by_shard=ladder_table)
+    partition = partition_budget(
+        shards, budget_w, jobs=jobs, strategy=strategy, profiles=profiles
+    )
+
+    committed = [0.0] * len(shards)  # Σ floors of the jobs routed per shard
+    queues: list[list[int]] = [[] for _ in shards]  # job indices per shard
+    stranded: list[tuple[str, float]] = []
+    for j, job in enumerate(jobs):
+        best: tuple[float, int, float] | None = None  # (score, shard, floor)
+        cheapest_floor = float("inf")
+        for i, shard in enumerate(shards):
+            ladder = _eligible_ladder(ladder_table[i][j], shard)
+            if not ladder:
+                continue  # no rung meets this shard's EE floor
+            cheapest_floor = min(cheapest_floor, ladder[0].avg_power)
+            headroom = partition.allocations[i].allocation_w - committed[i]
+            scored = _routing_score(ladder, headroom, metric)
+            if scored is None:
+                continue
+            score, floor = scored
+            if best is None or score > best[0]:
+                best = (score, i, floor)
+        if best is None:
+            stranded.append((job.name, cheapest_floor))
+            continue
+        _, i, floor = best
+        committed[i] += floor
+        queues[i].append(j)
+    if stranded:
+        detail = ", ".join(
+            f"{name} needs {floor:.0f} W on its cheapest eligible shard"
+            if floor != float("inf")
+            else f"{name} meets no shard's placement rules"
+            for name, floor in stranded
+        )
+        raise InfeasibleJobsError(
+            f"{len(stranded)} job(s) fit on no shard under the current "
+            f"partition of {budget_w:.0f} W: {detail}",
+            jobs=tuple(stranded),
+        )
+
+    plans = []
+    for i, (shard, queue, alloc) in enumerate(
+        zip(shards, queues, partition.allocations)
+    ):
+        if not queue:
+            plans.append(
+                ShardPlan(
+                    shard=shard.name,
+                    cluster=shard.cluster.name,
+                    policy=shard.policy,
+                    allocation_w=alloc.allocation_w,
+                    assignments=(),
+                    total_power_w=0.0,
+                    makespan_s=0.0,
+                    total_energy_j=0.0,
+                )
+            )
+            continue
+        schedule = schedule_jobs(
+            [jobs[j] for j in queue],
+            cluster=shard.cluster,
+            power_budget=alloc.allocation_w,
+            nodes=len(shard.cluster),
+            p_values=shard.p_values,
+            f_values=shard.f_values,
+            policy=shard.policy,
+            ee_floor=shard.ee_floor,
+            ladders=[ladder_table[i][j] for j in queue],
+        )
+        plans.append(
+            ShardPlan(
+                shard=shard.name,
+                cluster=schedule.cluster,
+                policy=schedule.policy,
+                allocation_w=alloc.allocation_w,
+                assignments=schedule.assignments,
+                total_power_w=schedule.total_power,
+                makespan_s=schedule.makespan,
+                total_energy_j=schedule.total_energy,
+            )
+        )
+    return FederatedSchedule(
+        budget_w=budget_w,
+        strategy=partition.strategy,
+        metric=metric,
+        partition=partition,
+        plans=tuple(plans),
+    )

@@ -37,9 +37,14 @@ from repro.optimize.grid import (
     scalar_grid,
 )
 from repro.optimize.schedule import (
+    SCHEDULE_POLICIES,
     Assignment,
     ClusterSchedule,
     Job,
+    Rung,
+    climb_makespan,
+    eligible_rungs,
+    power_ladder,
     schedule_jobs,
 )
 
@@ -58,5 +63,10 @@ __all__ = [
     "Assignment",
     "ClusterSchedule",
     "Job",
+    "Rung",
+    "SCHEDULE_POLICIES",
+    "climb_makespan",
+    "eligible_rungs",
+    "power_ladder",
     "schedule_jobs",
 ]

@@ -8,13 +8,25 @@ testbeds (SystemG or Dori) and picks a per-job (p, f):
 1. each job's (p × f) grid collapses to its *power ladder* — the
    power-vs-runtime Pareto rungs, cheapest first;
 2. every job starts on its cheapest rung (anything less is infeasible);
-3. the remaining watts are spent greedily on the job currently holding
-   the makespan, climbing it one rung at a time, until no rung fits.
+3. the remaining watts are spent according to the scheduling *policy*.
 
-The greedy exchange is the classic power-aware list-scheduling
-heuristic: every watt goes where it shortens the critical job *now*,
-which monotonically improves makespan and never strands budget that
-could still help.
+Three policies ship:
+
+* ``"makespan"`` (default) — the classic power-aware list-scheduling
+  heuristic: every watt goes where it shortens the critical job *now*,
+  which monotonically improves makespan and never strands budget that
+  could still help.
+* ``"energy"`` — spend watts only where they *reduce* total energy,
+  best joules-saved-per-extra-watt first.  On these models a faster
+  rung often finishes early enough to cut the idle-energy integral, so
+  the minimum-energy operating point is usually above the floor.
+* ``"ee_floor"`` — reject any placement whose energy efficiency falls
+  below ``ee_floor`` (rungs are filtered before the makespan climb);
+  jobs that cannot meet the floor at all raise
+  :class:`~repro.errors.InfeasibleJobsError`.
+
+The federation router (:mod:`repro.federation.router`) selects a policy
+per shard and delegates the per-shard placement here.
 """
 
 from __future__ import annotations
@@ -25,9 +37,12 @@ from typing import Sequence
 from repro.cluster.cluster import Cluster
 from repro.cluster.presets import cluster_preset
 from repro.core.model import IsoEnergyModel
-from repro.errors import ParameterError
+from repro.errors import InfeasibleJobsError, ParameterError
 from repro.optimize.grid import evaluate_grid
 from repro.paperdata import paper_model
+
+#: scheduling policies understood by :func:`schedule_jobs`.
+SCHEDULE_POLICIES = ("makespan", "energy", "ee_floor")
 
 
 @dataclass(frozen=True)
@@ -63,6 +78,7 @@ class ClusterSchedule:
     cluster: str
     power_budget: float
     assignments: tuple[Assignment, ...]
+    policy: str = "makespan"
 
     @property
     def total_power(self) -> float:
@@ -98,7 +114,9 @@ class ClusterSchedule:
 
 
 @dataclass(frozen=True)
-class _Rung:
+class Rung:
+    """One Pareto rung of a job's power ladder."""
+
     p: int
     f: float
     tp: float
@@ -107,18 +125,24 @@ class _Rung:
     avg_power: float
 
 
-def _power_ladder(
+def power_ladder(
     model: IsoEnergyModel,
     n: float,
     p_values: Sequence[int],
     f_values: Sequence[float],
-) -> list[_Rung]:
-    """Power-vs-runtime Pareto rungs of one job, cheapest watts first."""
+) -> list[Rung]:
+    """Power-vs-runtime Pareto rungs of one job, cheapest watts first.
+
+    Every (p, f) grid cell is a candidate; a cell survives iff no other
+    cell is both cheaper and faster, so the ladder ascends in average
+    power while strictly descending in runtime.  This is the primitive
+    the cluster scheduler and the federation partitioner both climb.
+    """
     grid = evaluate_grid(
         model, p_values=p_values, f_values=f_values, n_values=[n]
     )
     cells = [
-        _Rung(
+        Rung(
             p=grid.p_values[ip],
             f=grid.f_values[jf],
             tp=float(grid.tp[ip, jf, 0]),
@@ -130,7 +154,7 @@ def _power_ladder(
         for jf in range(len(grid.f_values))
     ]
     cells.sort(key=lambda r: (r.avg_power, r.tp))
-    ladder: list[_Rung] = []
+    ladder: list[Rung] = []
     best_tp = float("inf")
     for rung in cells:
         if rung.tp < best_tp:
@@ -139,51 +163,65 @@ def _power_ladder(
     return ladder
 
 
-def schedule_jobs(
-    jobs: Sequence[Job],
-    *,
-    cluster: str | Cluster = "systemg",
-    power_budget: float,
-    nodes: int = 64,
-    p_values: Sequence[int] | None = None,
-    f_values: Sequence[float] | None = None,
-    max_nodes: int | None = None,
-) -> ClusterSchedule:
-    """Assign every queued job a (p, f) under a shared power budget.
+def eligible_rungs(
+    ladder: Sequence[Rung], ee_floor: float | None
+) -> list[Rung]:
+    """The rungs an EE floor admits (all of them when no floor applies).
 
-    ``p_values`` defaults to the powers of two up to ``nodes``;
-    ``f_values`` to the preset's DVFS P-states.  ``max_nodes`` optionally
-    also caps the summed node count of concurrent jobs.  Raises
-    :class:`ParameterError` when the queue cannot run at all — even with
-    every job on its cheapest rung — reporting the minimum workable
-    budget.
+    The single definition of floor eligibility: the scheduler's placement
+    filter, the federation router's routing filter, and the partitioner's
+    capability curves must agree exactly, or a job deemed routable could
+    be rejected at scheduling time.
     """
-    if not jobs:
-        raise ParameterError("the job queue is empty")
-    if power_budget <= 0:
-        raise ParameterError("power budget must be positive")
-    machine_room = cluster_preset(cluster, nodes)
-    if p_values is None:
-        cap = min(nodes, len(machine_room))
-        ps = [1]
-        while ps[-1] * 2 <= cap:
-            ps.append(ps[-1] * 2)
-        p_values = ps
-    if f_values is None:
-        f_values = machine_room.available_frequencies
+    if ee_floor is None:
+        return list(ladder)
+    return [r for r in ladder if r.ee >= ee_floor]
 
-    ladders: list[list[_Rung]] = []
-    for job in jobs:
-        model, n = paper_model(
-            job.benchmark,
-            job.klass,
-            cluster=machine_room,
-            niter=job.niter,
-            name=f"{job.benchmark.upper()}.{job.klass} on {machine_room.name}",
+
+def default_p_values(machine_room: Cluster, nodes: int) -> list[int]:
+    """Powers of two up to ``min(nodes, len(cluster))`` — the ladder axis."""
+    cap = min(nodes, len(machine_room))
+    ps = [1]
+    while ps[-1] * 2 <= cap:
+        ps.append(ps[-1] * 2)
+    return ps
+
+
+def _check_job_floors(
+    jobs: Sequence[Job], ladders: list[list[Rung]], power_budget: float
+) -> None:
+    """Reject jobs whose *cheapest* rung alone exceeds the envelope."""
+    hopeless = tuple(
+        (job.name, lad[0].avg_power)
+        for job, lad in zip(jobs, ladders)
+        if lad[0].avg_power > power_budget
+    )
+    if hopeless:
+        detail = ", ".join(
+            f"{name} needs {floor:.0f} W" for name, floor in hopeless
         )
-        ladders.append(_power_ladder(model, n, p_values, f_values))
+        raise InfeasibleJobsError(
+            f"{len(hopeless)} job(s) individually infeasible under "
+            f"{power_budget:.0f} W (cheapest rung already over the "
+            f"envelope): {detail}",
+            jobs=hopeless,
+        )
 
-    levels = [0] * len(jobs)
+
+def climb_makespan(
+    ladders: Sequence[Sequence[Rung]],
+    levels: list[int],
+    power_budget: float,
+    max_nodes: int | None = None,
+    on_step=None,
+) -> None:
+    """Spend headroom on whoever holds the makespan, one rung at a time.
+
+    Mutates ``levels`` in place.  ``on_step(levels)`` is called after
+    every accepted upgrade — the federation partitioner uses it to record
+    the (power, utility) trajectory, so capability curves and real
+    schedules always climb by the same rule.
+    """
 
     def total_power() -> float:
         return sum(lad[lvl].avg_power for lad, lvl in zip(ladders, levels))
@@ -191,17 +229,9 @@ def schedule_jobs(
     def total_p() -> int:
         return sum(lad[lvl].p for lad, lvl in zip(ladders, levels))
 
-    floor = total_power()
-    if floor > power_budget:
-        raise ParameterError(
-            f"queue infeasible under {power_budget:.0f} W: even the "
-            f"cheapest rungs draw {floor:.0f} W together"
-        )
-
-    # climb: spend headroom on whoever holds the makespan.
     while True:
         order = sorted(
-            range(len(jobs)),
+            range(len(ladders)),
             key=lambda i: ladders[i][levels[i]].tp,
             reverse=True,
         )
@@ -222,6 +252,156 @@ def schedule_jobs(
             break
         if not advanced:
             break
+        if on_step is not None:
+            on_step(levels)
+
+
+def _climb_energy(
+    ladders: list[list[Rung]],
+    levels: list[int],
+    power_budget: float,
+    max_nodes: int | None,
+) -> None:
+    """Take only energy-reducing upgrades, best joules-per-watt first.
+
+    Candidates may jump several rungs at once — the ladder's Ep is not
+    monotone in power, so restricting moves to adjacent rungs could
+    strand a lower-energy configuration behind an energy bump.
+    """
+    while True:
+        # levels are fixed for the whole scan: sum the state once per
+        # round and evaluate each candidate as a delta against it
+        base_power = sum(
+            lad[lvl].avg_power for lad, lvl in zip(ladders, levels)
+        )
+        base_p = sum(lad[lvl].p for lad, lvl in zip(ladders, levels))
+        best: tuple[float, int, int] | None = None  # (density, job, level)
+        for i, lad in enumerate(ladders):
+            cur = lad[levels[i]]
+            for k in range(levels[i] + 1, len(lad)):
+                nxt = lad[k]
+                saved = cur.ep - nxt.ep
+                if saved <= 0:
+                    continue
+                if base_power - cur.avg_power + nxt.avg_power > power_budget:
+                    continue
+                if (
+                    max_nodes is not None
+                    and base_p - cur.p + nxt.p > max_nodes
+                ):
+                    continue
+                extra_w = max(nxt.avg_power - cur.avg_power, 1e-12)
+                density = saved / extra_w
+                if best is None or density > best[0]:
+                    best = (density, i, k)
+        if best is None:
+            break
+        _, i, k = best
+        levels[i] = k
+
+
+def schedule_jobs(
+    jobs: Sequence[Job],
+    *,
+    cluster: str | Cluster = "systemg",
+    power_budget: float,
+    nodes: int = 64,
+    p_values: Sequence[int] | None = None,
+    f_values: Sequence[float] | None = None,
+    max_nodes: int | None = None,
+    policy: str = "makespan",
+    ee_floor: float | None = None,
+    ladders: Sequence[list[Rung]] | None = None,
+) -> ClusterSchedule:
+    """Assign every queued job a (p, f) under a shared power budget.
+
+    ``p_values`` defaults to the powers of two up to ``nodes``;
+    ``f_values`` to the preset's DVFS P-states.  ``max_nodes`` optionally
+    also caps the summed node count of concurrent jobs.  ``policy``
+    selects how headroom is spent (see the module docstring);
+    ``policy="ee_floor"`` additionally requires ``ee_floor``, the minimum
+    acceptable energy efficiency per placement.  ``ladders`` (one
+    pre-built :func:`power_ladder` per job, same order) skips the model
+    derivation entirely — the federation router passes the ladders it
+    already built, so one federate call evaluates each (shard, workload)
+    grid exactly once.
+
+    Raises :class:`~repro.errors.InfeasibleJobsError` naming the jobs
+    whose cheapest rung alone exceeds the envelope (or, under
+    ``ee_floor``, that cannot meet the EE floor at any rung), and
+    :class:`ParameterError` when the queue as a whole cannot run even
+    with every job on its cheapest remaining rung.
+    """
+    if not jobs:
+        raise ParameterError("the job queue is empty")
+    if power_budget <= 0:
+        raise ParameterError("power budget must be positive")
+    if policy not in SCHEDULE_POLICIES:
+        raise ParameterError(
+            f"unknown scheduling policy {policy!r}; "
+            f"choose from {SCHEDULE_POLICIES}"
+        )
+    if policy == "ee_floor" and ee_floor is None:
+        raise ParameterError("policy='ee_floor' requires an ee_floor value")
+    machine_room = cluster_preset(cluster, nodes)
+    if p_values is None:
+        p_values = default_p_values(machine_room, nodes)
+    if f_values is None:
+        f_values = machine_room.available_frequencies
+
+    if ladders is not None:
+        if len(ladders) != len(jobs):
+            raise ParameterError(
+                f"{len(ladders)} pre-built ladders for {len(jobs)} jobs"
+            )
+        ladders = [list(lad) for lad in ladders]
+        if any(not lad for lad in ladders):
+            raise ParameterError("pre-built ladders must be non-empty")
+    else:
+        ladders = []
+        for job in jobs:
+            model, n = paper_model(
+                job.benchmark,
+                job.klass,
+                cluster=machine_room,
+                niter=job.niter,
+                name=f"{job.benchmark.upper()}.{job.klass} "
+                     f"on {machine_room.name}",
+            )
+            ladders.append(power_ladder(model, n, p_values, f_values))
+
+    if policy == "ee_floor":
+        filtered: list[list[Rung]] = [
+            eligible_rungs(lad, ee_floor) for lad in ladders
+        ]
+        below = tuple(
+            (job.name, lad[0].avg_power)
+            for job, lad, kept in zip(jobs, ladders, filtered)
+            if not kept
+        )
+        if below:
+            names = ", ".join(name for name, _ in below)
+            raise InfeasibleJobsError(
+                f"{len(below)} job(s) infeasible under the EE floor "
+                f"{ee_floor:g}: no (p, f) reaches it for {names}",
+                jobs=below,
+            )
+        ladders = filtered
+
+    _check_job_floors(jobs, ladders, power_budget)
+
+    levels = [0] * len(jobs)
+    floor = sum(lad[0].avg_power for lad in ladders)
+    if floor > power_budget:
+        raise ParameterError(
+            f"queue infeasible under {power_budget:.0f} W: even the "
+            f"cheapest rungs draw {floor:.0f} W together"
+        )
+
+    if policy == "energy":
+        _climb_energy(ladders, levels, power_budget, max_nodes)
+    else:
+        climb_makespan(ladders, levels, power_budget, max_nodes)
 
     assignments = tuple(
         Assignment(
@@ -242,4 +422,5 @@ def schedule_jobs(
         cluster=machine_room.name,
         power_budget=power_budget,
         assignments=assignments,
+        policy=policy,
     )

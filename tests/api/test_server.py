@@ -4,6 +4,7 @@ import asyncio
 import json
 import socket
 import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -16,17 +17,36 @@ from repro.api.types import BudgetQuery
 from repro.errors import ReproError
 
 
-@pytest.fixture(scope="module")
-def live_server():
-    """A real server on an ephemeral port, torn down with the module."""
+def _spawn_server(**kwargs):
     loop = asyncio.new_event_loop()
-    server = loop.run_until_complete(start_server("127.0.0.1", 0))
+    server = loop.run_until_complete(
+        start_server("127.0.0.1", 0, **kwargs)
+    )
     port = server.sockets[0].getsockname()[1]
     thread = threading.Thread(target=loop.run_forever, daemon=True)
     thread.start()
-    yield f"http://127.0.0.1:{port}"
+    return loop, thread, f"http://127.0.0.1:{port}"
+
+
+def _stop_server(loop, thread):
     loop.call_soon_threadsafe(loop.stop)
     thread.join(timeout=5)
+
+
+@pytest.fixture(scope="module")
+def live_server():
+    """A real server on an ephemeral port, torn down with the module."""
+    loop, thread, base = _spawn_server()
+    yield base
+    _stop_server(loop, thread)
+
+
+@pytest.fixture()
+def tiny_server():
+    """A server admitting one connection at a time (saturation tests)."""
+    loop, thread, base = _spawn_server(max_concurrency=1)
+    yield base
+    _stop_server(loop, thread)
 
 
 def _post(base: str, path: str, body) -> tuple[int, dict]:
@@ -149,6 +169,168 @@ class TestHttpErrors:
         )
         assert status == 400
         assert "does not match" in payload["error"]["message"]
+
+
+def _raw_post(sock: socket.socket, path: str, body: dict, *, close=False) -> None:
+    data = json.dumps(body).encode()
+    connection = "close" if close else "keep-alive"
+    sock.sendall(
+        (
+            f"POST {path} HTTP/1.1\r\n"
+            "Host: test\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(data)}\r\n"
+            f"Connection: {connection}\r\n\r\n"
+        ).encode() + data
+    )
+
+
+def _read_response(sock: socket.socket) -> tuple[int, dict, bytes]:
+    """(status, payload, raw head) of exactly one HTTP response."""
+    buf = b""
+    while b"\r\n\r\n" not in buf:
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise ConnectionError("server closed mid-headers")
+        buf += chunk
+    head, body = buf.split(b"\r\n\r\n", 1)
+    status = int(head.split()[1])
+    length = 0
+    for line in head.split(b"\r\n"):
+        if line.lower().startswith(b"content-length:"):
+            length = int(line.split(b":")[1])
+    while len(body) < length:
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise ConnectionError("server closed mid-body")
+        body += chunk
+    return status, json.loads(body[:length]), head
+
+
+class TestKeepAlive:
+    def test_two_requests_over_one_connection(self, live_server):
+        host, port = live_server.rsplit("//", 1)[1].split(":")
+        with socket.create_connection((host, int(port)), timeout=30) as sock:
+            _raw_post(sock, "/v1/evaluate", {"p": 4})
+            status, payload, head = _read_response(sock)
+            assert status == 200 and payload["point"]["p"] == 4
+            assert b"connection: keep-alive" in head.lower()
+            # the same socket serves a second, different request
+            _raw_post(sock, "/v1/evaluate", {"p": 8})
+            status, payload, _ = _read_response(sock)
+            assert status == 200 and payload["point"]["p"] == 8
+
+    def test_engine_error_keeps_the_connection(self, live_server):
+        """A clean 400 leaves the byte stream usable for the next query."""
+        host, port = live_server.rsplit("//", 1)[1].split(":")
+        with socket.create_connection((host, int(port)), timeout=30) as sock:
+            _raw_post(sock, "/v1/budget", {"budget_w": -1.0})
+            status, payload, head = _read_response(sock)
+            assert status == 400
+            assert payload["error"]["type"] == "ParameterError"
+            assert b"connection: keep-alive" in head.lower()
+            _raw_post(sock, "/v1/evaluate", {"p": 2})
+            status, payload, _ = _read_response(sock)
+            assert status == 200 and payload["point"]["p"] == 2
+
+    def test_connection_close_is_honoured(self, live_server):
+        host, port = live_server.rsplit("//", 1)[1].split(":")
+        with socket.create_connection((host, int(port)), timeout=30) as sock:
+            _raw_post(sock, "/v1/evaluate", {"p": 4}, close=True)
+            status, _, head = _read_response(sock)
+            assert status == 200
+            assert b"connection: close" in head.lower()
+            assert sock.recv(1024) == b""  # the server really hung up
+
+
+class TestSaturation:
+    def test_extra_connection_gets_a_structured_503(self, tiny_server):
+        host, port = tiny_server.rsplit("//", 1)[1].split(":")
+        holder = socket.create_connection((host, int(port)), timeout=30)
+        try:
+            # park an in-flight request on the only slot: headers sent,
+            # body intentionally withheld
+            holder.sendall(
+                b"POST /v1/evaluate HTTP/1.1\r\nContent-Length: 10\r\n\r\n"
+            )
+            deadline = time.monotonic() + 10.0
+            status, payload = None, None
+            while time.monotonic() < deadline:
+                with socket.create_connection(
+                    (host, int(port)), timeout=30
+                ) as probe:
+                    _raw_post(probe, "/v1/evaluate", {"p": 2})
+                    try:
+                        status, payload, _ = _read_response(probe)
+                    except ConnectionError:
+                        continue  # raced the holder's admission; retry
+                if status == 503:
+                    break
+                time.sleep(0.05)
+            assert status == 503
+            assert payload["error"]["type"] == "Saturated"
+            assert "max concurrency" in payload["error"]["message"]
+        finally:
+            holder.close()
+        # slot released: the server serves again
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            with socket.create_connection((host, int(port)), timeout=30) as sock:
+                _raw_post(sock, "/v1/evaluate", {"p": 2}, close=True)
+                try:
+                    status, payload, _ = _read_response(sock)
+                except ConnectionError:
+                    continue
+            if status == 200:
+                break
+            time.sleep(0.05)
+        assert status == 200
+
+    def test_stalled_request_releases_its_slot(self, monkeypatch):
+        """A mid-request stall must not hold a concurrency slot forever."""
+        from repro.api import server as server_mod
+
+        monkeypatch.setattr(server_mod, "KEEPALIVE_IDLE_S", 0.5)
+        loop, thread, base = _spawn_server(max_concurrency=1)
+        try:
+            host, port = base.rsplit("//", 1)[1].split(":")
+            staller = socket.create_connection((host, int(port)), timeout=30)
+            # headers promise a body that never arrives
+            staller.sendall(
+                b"POST /v1/evaluate HTTP/1.1\r\nContent-Length: 10\r\n\r\n"
+            )
+            # after the read timeout the server hangs up on the staller…
+            staller.settimeout(10)
+            assert staller.recv(1024) == b""
+            staller.close()
+            # …and the reclaimed slot serves new clients again
+            deadline = time.monotonic() + 10.0
+            status = None
+            while time.monotonic() < deadline:
+                with socket.create_connection(
+                    (host, int(port)), timeout=30
+                ) as sock:
+                    _raw_post(sock, "/v1/evaluate", {"p": 2}, close=True)
+                    try:
+                        status, _, _ = _read_response(sock)
+                    except ConnectionError:
+                        continue
+                if status == 200:
+                    break
+                time.sleep(0.05)
+            assert status == 200
+        finally:
+            _stop_server(loop, thread)
+
+    def test_invalid_max_concurrency_rejected(self):
+        loop = asyncio.new_event_loop()
+        try:
+            with pytest.raises(ReproError, match="max_concurrency"):
+                loop.run_until_complete(
+                    start_server("127.0.0.1", 0, max_concurrency=0)
+                )
+        finally:
+            loop.close()
 
 
 class TestPortContention:

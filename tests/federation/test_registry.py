@@ -1,0 +1,128 @@
+"""Shard registry: presets, hypothetical machines, spec validation."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ParameterError
+from repro.federation.registry import Shard, ShardRegistry, ShardSpec, default_registry
+
+
+@pytest.fixture()
+def registry():
+    return ShardRegistry()
+
+
+class TestMachines:
+    def test_presets_are_preregistered(self, registry):
+        assert set(registry.names()) >= {"systemg", "dori"}
+
+    def test_build_resolves_presets(self, registry):
+        shard = registry.build(ShardSpec("a", "systemg", 16, 2000.0))
+        assert isinstance(shard, Shard)
+        assert shard.cluster.name == "SystemG"
+        assert len(shard.cluster) == 16
+        assert shard.power_envelope_w == 2000.0
+
+    def test_p_values_are_powers_of_two_up_to_size(self, registry):
+        shard = registry.build(ShardSpec("a", "systemg", 16, 2000.0))
+        assert shard.p_values == [1, 2, 4, 8, 16]
+
+    def test_custom_builder_registration(self, registry):
+        from repro.cluster.presets import dori
+
+        registry.register("tiny", lambda nodes: dori(min(nodes, 2)))
+        shard = registry.build(ShardSpec("t", "tiny", 8, 500.0))
+        assert len(shard.cluster) == 2
+
+    def test_duplicate_registration_rejected_unless_exist_ok(self, registry):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            registry.register("systemg", lambda n: None)
+        registry.register("systemg", lambda n: None, exist_ok=True)
+
+    def test_unknown_machine_rejected(self, registry):
+        with pytest.raises(ConfigurationError, match="unknown machine"):
+            registry.build(ShardSpec("a", "summit", 16, 2000.0))
+
+
+class TestHypothetical:
+    def test_scales_shift_the_model(self, registry):
+        """A 10x slower fabric must hurt EE at scale — Θ1 really changed."""
+        registry.register_hypothetical(
+            "slow", base="systemg", net_startup_scale=10.0,
+            net_per_byte_scale=10.0,
+        )
+        base = registry.build(ShardSpec("b", "systemg", 16, 4000.0))
+        slow = registry.build(ShardSpec("s", "slow", 16, 4000.0))
+        model_b, n = base.model_for("FT", "W")
+        model_s, _ = slow.model_for("FT", "W")
+        assert model_s.ee(n=n, p=16) < model_b.ee(n=n, p=16)
+
+    def test_identity_scales_reproduce_the_base(self, registry):
+        registry.register_hypothetical("same", base="systemg")
+        base = registry.build(ShardSpec("b", "systemg", 8, 4000.0))
+        same = registry.build(ShardSpec("s", "same", 8, 4000.0))
+        model_b, n = base.model_for("CG", "W")
+        model_s, _ = same.model_for("CG", "W")
+        assert model_s.ee(n=n, p=8) == pytest.approx(model_b.ee(n=n, p=8))
+
+    def test_idle_scale_changes_system_idle_power(self, registry):
+        registry.register_hypothetical("lean", base="dori", idle_power_scale=0.5)
+        base = registry.build(ShardSpec("b", "dori", 4, 2000.0))
+        lean = registry.build(ShardSpec("l", "lean", 4, 2000.0))
+        assert lean.cluster.p_system_idle == pytest.approx(
+            0.5 * base.cluster.p_system_idle
+        )
+
+    def test_nonpositive_scale_rejected(self, registry):
+        with pytest.raises(ConfigurationError, match="positive"):
+            registry.register_hypothetical("bad", cpu_power_scale=0.0)
+
+    def test_unknown_base_rejected(self, registry):
+        with pytest.raises(ConfigurationError, match="unknown machine"):
+            registry.register_hypothetical("x", base="summit")
+
+
+class TestSpecValidation:
+    def test_empty_name_rejected(self, registry):
+        with pytest.raises(ParameterError, match="name"):
+            registry.build(ShardSpec("", "systemg", 8, 100.0))
+
+    def test_nonpositive_envelope_rejected(self, registry):
+        with pytest.raises(ParameterError, match="envelope"):
+            registry.build(ShardSpec("a", "systemg", 8, 0.0))
+
+    def test_nonpositive_nodes_rejected(self, registry):
+        with pytest.raises(ParameterError, match="node"):
+            registry.build(ShardSpec("a", "systemg", 0, 100.0))
+
+    def test_unknown_policy_rejected(self, registry):
+        with pytest.raises(ParameterError, match="policy"):
+            registry.build(ShardSpec("a", "systemg", 8, 100.0, policy="fifo"))
+
+    def test_ee_floor_policy_needs_value(self, registry):
+        with pytest.raises(ParameterError, match="ee_floor"):
+            registry.build(ShardSpec("a", "systemg", 8, 100.0, policy="ee_floor"))
+
+    def test_duplicate_site_names_rejected(self, registry):
+        with pytest.raises(ParameterError, match="duplicate"):
+            registry.build_site([
+                ShardSpec("a", "systemg", 8, 100.0),
+                ShardSpec("a", "dori", 4, 100.0),
+            ])
+
+    def test_empty_site_rejected(self, registry):
+        with pytest.raises(ParameterError, match="at least one shard"):
+            registry.build_site([])
+
+
+class TestCachingAndModels:
+    def test_build_is_cached_per_spec(self, registry):
+        spec = ShardSpec("a", "systemg", 8, 1000.0)
+        assert registry.build(spec) is registry.build(ShardSpec("a", "systemg", 8, 1000.0))
+
+    def test_model_for_is_memoised(self, registry):
+        shard = registry.build(ShardSpec("a", "dori", 4, 1000.0))
+        first = shard.model_for("EP", "W")
+        assert shard.model_for("ep", "w") is first  # case-insensitive key
+
+    def test_default_registry_is_a_singleton(self):
+        assert default_registry() is default_registry()

@@ -1,0 +1,148 @@
+"""The shard router: placement, conservation invariants, policies."""
+
+import pytest
+
+from repro.errors import InfeasibleJobsError, ParameterError
+from repro.federation.registry import ShardRegistry, ShardSpec
+from repro.federation.router import ROUTING_METRICS, route_jobs
+from repro.optimize.schedule import Job
+
+JOBS = [
+    Job("fourier", "FT", "W"),
+    Job("conjgrad", "CG", "W"),
+    Job("montecarlo", "EP", "W"),
+]
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return ShardRegistry()
+
+
+@pytest.fixture(scope="module")
+def shards(registry):
+    return registry.build_site([
+        ShardSpec("big", "systemg", 32, 6000.0),
+        ShardSpec("small", "dori", 8, 1500.0),
+    ])
+
+
+@pytest.fixture(scope="module")
+def federated(shards):
+    return route_jobs(shards, JOBS, budget_w=7000.0)
+
+
+class TestPlacement:
+    def test_every_job_placed_exactly_once(self, federated):
+        placed = [a.job for plan in federated.plans for a in plan.assignments]
+        assert sorted(placed) == sorted(j.name for j in JOBS)
+
+    def test_plans_cover_every_shard(self, federated, shards):
+        assert [p.shard for p in federated.plans] == [s.name for s in shards]
+        assert [p.cluster for p in federated.plans] == ["SystemG", "Dori"]
+
+    def test_plan_lookup(self, federated):
+        assert federated.plan_for("big").shard == "big"
+        with pytest.raises(ParameterError, match="no plan"):
+            federated.plan_for("ghost")
+
+
+class TestBudgetConservation:
+    """The acceptance invariants, over a sweep of site budgets."""
+
+    @pytest.mark.parametrize("budget", [800.0, 1500.0, 4000.0, 9000.0, 25000.0])
+    @pytest.mark.parametrize("strategy", ["proportional", "waterfill"])
+    def test_allocations_and_draws_conserve_the_budget(
+        self, shards, budget, strategy
+    ):
+        try:
+            fed = route_jobs(
+                shards, JOBS, budget_w=budget, strategy=strategy
+            )
+        except InfeasibleJobsError:
+            pytest.skip("budget too small for the queue at all")
+        assert fed.total_allocated_w <= budget + 1e-6
+        assert fed.total_power_w <= fed.total_allocated_w + 1e-6
+        for plan, shard in zip(fed.plans, shards):
+            assert plan.total_power_w <= plan.allocation_w + 1e-6
+            assert plan.allocation_w <= shard.power_envelope_w + 1e-6
+            assert plan.headroom_w >= -1e-6
+
+    def test_aggregates_sum_over_plans(self, federated):
+        assert federated.total_power_w == pytest.approx(
+            sum(p.total_power_w for p in federated.plans)
+        )
+        assert federated.total_energy_j == pytest.approx(
+            sum(p.total_energy_j for p in federated.plans)
+        )
+        assert federated.makespan_s == pytest.approx(
+            max(p.makespan_s for p in federated.plans)
+        )
+        assert federated.site_headroom_w == pytest.approx(
+            federated.budget_w - federated.total_power_w
+        )
+
+
+class TestMetricsAndPolicies:
+    @pytest.mark.parametrize("metric", ROUTING_METRICS)
+    def test_metrics_both_route_cleanly(self, shards, metric):
+        fed = route_jobs(shards, JOBS, budget_w=7000.0, metric=metric)
+        placed = [a.job for plan in fed.plans for a in plan.assignments]
+        assert len(placed) == len(JOBS)
+
+    def test_unknown_metric_rejected(self, shards):
+        with pytest.raises(ParameterError, match="metric"):
+            route_jobs(shards, JOBS, budget_w=7000.0, metric="vibes")
+
+    def test_per_shard_policy_reaches_the_scheduler(self, registry):
+        shards = registry.build_site([
+            ShardSpec("mk", "systemg", 16, 4000.0, policy="makespan"),
+            ShardSpec("en", "dori", 8, 1500.0, policy="energy"),
+        ])
+        fed = route_jobs(shards, JOBS, budget_w=5000.0)
+        assert fed.plan_for("mk").policy == "makespan"
+        assert fed.plan_for("en").policy == "energy"
+
+    def test_ee_floor_shard_only_takes_qualifying_placements(self, registry):
+        """A strict EE floor on one shard pushes low-EE jobs elsewhere."""
+        shards = registry.build_site([
+            ShardSpec("strict", "systemg", 32, 6000.0,
+                      policy="ee_floor", ee_floor=0.95),
+            ShardSpec("lax", "dori", 8, 1500.0),
+        ])
+        fed = route_jobs(shards, JOBS, budget_w=7000.0)
+        for a in fed.plan_for("strict").assignments:
+            assert a.ee >= 0.95
+
+
+class TestInfeasibility:
+    def test_empty_queue_rejected(self, shards):
+        with pytest.raises(ParameterError, match="empty"):
+            route_jobs(shards, [], budget_w=7000.0)
+
+    def test_stranded_jobs_raise_structured_error(self, shards):
+        with pytest.raises(InfeasibleJobsError) as err:
+            route_jobs(shards, JOBS, budget_w=120.0)
+        assert err.value.jobs  # the structured listing
+        names = [name for name, _ in err.value.jobs]
+        assert set(names) <= {j.name for j in JOBS}
+
+    def test_idle_shard_gets_an_empty_plan(self, registry):
+        """A shard the router never picks still reports its allocation."""
+        registry2 = ShardRegistry()
+        registry2.register_hypothetical(
+            "sluggish", base="systemg",
+            net_startup_scale=50.0, net_per_byte_scale=50.0,
+            cpu_power_scale=2.0,
+        )
+        shards = registry2.build_site([
+            ShardSpec("good", "systemg", 32, 6000.0),
+            ShardSpec("bad", "sluggish", 4, 400.0),
+        ])
+        fed = route_jobs(shards, [Job("solo", "EP", "W")], budget_w=5000.0)
+        total = sum(len(p.assignments) for p in fed.plans)
+        assert total == 1
+        for plan in fed.plans:
+            if not plan.assignments:
+                assert plan.total_power_w == 0.0
+                assert plan.makespan_s == 0.0

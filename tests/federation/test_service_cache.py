@@ -1,0 +1,119 @@
+"""Dispatch-cache behavior for federation requests (satellite coverage).
+
+Distinct site specs must never share a response (no cross-request
+leakage through the LRU), while identical payloads — whether built in
+Python or decoded from the wire — must hit the cache.
+"""
+
+import json
+
+import pytest
+
+from repro.api.schemas import request_from_dict
+from repro.api.service import cache_info, clear_caches, dispatch
+from repro.api.types import FederateRequest
+from repro.federation.registry import ShardSpec
+from repro.optimize.schedule import Job
+
+SHARDS = (
+    ShardSpec("big", "systemg", 32, 5000.0),
+    ShardSpec("small", "dori", 8, 1500.0),
+)
+JOBS = (Job("a", "FT", "W"), Job("b", "EP", "W"))
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+def _request(**overrides) -> FederateRequest:
+    base = dict(budget_w=6000.0, shards=SHARDS, jobs=JOBS)
+    base.update(overrides)
+    return FederateRequest(**base)
+
+
+class TestCacheHits:
+    def test_identical_requests_share_one_response(self):
+        first = dispatch(_request())
+        again = dispatch(_request())
+        assert again is first
+        assert cache_info()["responses"].hits >= 1
+
+    def test_wire_decoded_payload_hits_the_same_entry(self):
+        """curl-equivalent bytes and Python construction are one key."""
+        first = dispatch(_request())
+        wire = json.loads(json.dumps(_request().to_dict()))
+        assert dispatch(request_from_dict(wire)) is first
+
+
+class TestNoCrossRequestLeakage:
+    def test_distinct_budgets_get_distinct_responses(self):
+        a = dispatch(_request(budget_w=6000.0))
+        b = dispatch(_request(budget_w=3000.0))
+        assert a is not b
+        assert a.total_allocated_w != pytest.approx(b.total_allocated_w)
+
+    def test_distinct_strategies_get_distinct_responses(self):
+        a = dispatch(_request(strategy="waterfill"))
+        b = dispatch(_request(strategy="proportional"))
+        assert a is not b
+        assert a.strategy == "waterfill" and b.strategy == "proportional"
+
+    def test_distinct_site_specs_get_distinct_responses(self):
+        a = dispatch(_request())
+        b = dispatch(_request(shards=(
+            ShardSpec("big", "systemg", 32, 4000.0),  # envelope differs
+            ShardSpec("small", "dori", 8, 1500.0),
+        )))
+        assert a is not b
+        assert a.allocations != b.allocations
+
+    def test_distinct_queues_get_distinct_responses(self):
+        a = dispatch(_request())
+        b = dispatch(_request(jobs=(Job("a", "FT", "W"),)))
+        assert a is not b
+        placed_a = [x.job for p in a.plans for x in p.assignments]
+        placed_b = [x.job for p in b.plans for x in p.assignments]
+        assert placed_a != placed_b
+
+    def test_responses_echo_their_own_request(self):
+        """Each cached entry reports the inputs that produced it."""
+        for budget in (3000.0, 4500.0, 6000.0):
+            resp = dispatch(_request(budget_w=budget))
+            assert resp.budget_w == budget
+            assert resp.total_allocated_w <= budget + 1e-6
+
+    def test_registry_mutation_invalidates_cached_responses(self):
+        """Rebinding a machine must not serve schedules for the old one."""
+        from repro.federation.registry import default_registry
+
+        registry = default_registry()
+        registry.register_hypothetical(
+            "cachetest", base="systemg", exist_ok=True,
+        )
+        req_kwargs = dict(shards=(
+            ShardSpec("big", "systemg", 32, 5000.0),
+            ShardSpec("vary", "cachetest", 8, 2000.0),
+        ))
+        before = dispatch(_request(**req_kwargs))
+        # same wire payload, radically worse machine behind the name
+        registry.register_hypothetical(
+            "cachetest", base="systemg",
+            net_startup_scale=100.0, net_per_byte_scale=100.0,
+            cpu_power_scale=3.0, exist_ok=True,
+        )
+        after = dispatch(_request(**req_kwargs))
+        assert after is not before
+
+    def test_federate_and_schedule_caches_do_not_collide(self):
+        from repro.api.types import ScheduleRequest
+
+        fed = dispatch(_request())
+        sched = dispatch(ScheduleRequest(
+            power_budget_w=6000.0, nodes=32, jobs=JOBS,
+        ))
+        assert fed.op == "federate" and sched.op == "schedule"
+        assert type(fed) is not type(sched)

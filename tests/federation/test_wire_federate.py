@@ -1,0 +1,117 @@
+"""Wire round-trips for the federate operation and its nested records."""
+
+import json
+
+import pytest
+
+from repro.api.schemas import request_from_dict, response_from_dict
+from repro.api.types import FederateRequest, FederateResponse
+from repro.errors import WireError
+from repro.federation.partition import ShardAllocation
+from repro.federation.registry import ShardSpec
+from repro.federation.router import ShardPlan
+from repro.optimize.schedule import Assignment, Job
+
+REQUEST = FederateRequest(
+    budget_w=9000.0,
+    strategy="exhaustive",
+    metric="ee",
+    shards=(
+        ShardSpec("big", "systemg", 64, 6000.0),
+        ShardSpec("strict", "dori", 8, 1500.0, policy="ee_floor", ee_floor=0.9),
+    ),
+    jobs=(Job("a", "FT", "B"), Job("b", "EP", "B", 5)),
+)
+
+_ASSIGNMENT = Assignment(
+    job="a", benchmark="FT", p=16, f=2.8e9, tp=3.0, ep=900.0, ee=0.82,
+    avg_power=300.0, rung=2, rungs_available=9,
+)
+
+RESPONSE = FederateResponse(
+    budget_w=9000.0,
+    strategy="exhaustive",
+    metric="ee",
+    allocations=(
+        ShardAllocation(shard="big", allocation_w=5500.0, utility=12.5,
+                        floor_w=300.0),
+        ShardAllocation(shard="strict", allocation_w=900.0, utility=3.5,
+                        floor_w=250.0),
+    ),
+    plans=(
+        ShardPlan(
+            shard="big", cluster="SystemG", policy="makespan",
+            allocation_w=5500.0, assignments=(_ASSIGNMENT,),
+            total_power_w=300.0, makespan_s=3.0, total_energy_j=900.0,
+        ),
+        ShardPlan(
+            shard="strict", cluster="Dori", policy="ee_floor",
+            allocation_w=900.0, assignments=(),
+            total_power_w=0.0, makespan_s=0.0, total_energy_j=0.0,
+        ),
+    ),
+    total_allocated_w=6400.0,
+    total_power_w=300.0,
+    site_headroom_w=8700.0,
+    makespan_s=3.0,
+    total_energy_j=900.0,
+)
+
+
+class TestRequestWire:
+    def test_json_round_trip_identity(self):
+        payload = json.loads(json.dumps(REQUEST.to_dict()))
+        assert request_from_dict(payload) == REQUEST
+
+    def test_nested_shard_defaults_apply(self):
+        req = request_from_dict({
+            "op": "federate",
+            "budget_w": 100.0,
+            "shards": [{"name": "m", "power_envelope_w": 90.0}],
+        })
+        assert req.shards == (ShardSpec("m", power_envelope_w=90.0),)
+
+    def test_nested_job_defaults_apply(self):
+        """A curl body may omit niter (and benchmark/klass) per job."""
+        req = request_from_dict({
+            "op": "federate",
+            "jobs": [{"name": "j", "benchmark": "EP", "klass": "W"},
+                     {"name": "k"}],
+        })
+        assert req.jobs == (Job("j", "EP", "W"), Job("k"))
+
+    def test_nested_shard_requires_name_and_envelope(self):
+        with pytest.raises(WireError, match="missing ShardSpec"):
+            request_from_dict({
+                "op": "federate",
+                "shards": [{"cluster": "systemg"}],
+            })
+
+    def test_unknown_nested_shard_field_rejected(self):
+        with pytest.raises(WireError, match="unknown ShardSpec"):
+            request_from_dict({
+                "op": "federate",
+                "shards": [{"name": "m", "power_envelope_w": 1.0, "gpu": 8}],
+            })
+
+    def test_mistyped_budget_rejected(self):
+        with pytest.raises(WireError, match="budget_w"):
+            request_from_dict({"op": "federate", "budget_w": "lots"})
+
+
+class TestResponseWire:
+    def test_json_round_trip_identity(self):
+        payload = json.loads(json.dumps(RESPONSE.to_dict()))
+        assert response_from_dict(payload) == RESPONSE
+
+    def test_missing_plan_field_rejected(self):
+        payload = RESPONSE.to_dict()
+        del payload["plans"][0]["makespan_s"]
+        with pytest.raises(WireError, match="missing ShardPlan"):
+            response_from_dict(payload)
+
+    def test_missing_top_level_field_rejected(self):
+        payload = RESPONSE.to_dict()
+        del payload["site_headroom_w"]
+        with pytest.raises(WireError, match="missing"):
+            response_from_dict(payload)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ConfigurationError, ParameterError
+from repro.errors import ConfigurationError, InfeasibleJobsError, ParameterError
 from repro.optimize.schedule import Job, schedule_jobs
 
 QUEUE = [
@@ -76,6 +76,147 @@ class TestGreedyClimb:
             max_nodes=16,
         )
         assert sum(a.p for a in sched.assignments) <= 16
+
+
+class TestEnergyPolicy:
+    def test_energy_policy_never_exceeds_floor_state_energy(self):
+        """Upgrades are only taken when they *reduce* total energy."""
+        floor_state = schedule_jobs(
+            QUEUE, cluster="systemg", power_budget=1_500.0, nodes=32,
+            policy="energy",
+        )
+        slack = schedule_jobs(
+            QUEUE, cluster="systemg", power_budget=1e9, nodes=32,
+            policy="energy",
+        )
+        assert slack.total_energy <= floor_state.total_energy + 1e-9
+        assert slack.policy == "energy"
+
+    def test_energy_beats_makespan_on_total_energy(self):
+        budget = 8_000.0
+        greedy = schedule_jobs(
+            QUEUE, cluster="systemg", power_budget=budget, nodes=32,
+        )
+        frugal = schedule_jobs(
+            QUEUE, cluster="systemg", power_budget=budget, nodes=32,
+            policy="energy",
+        )
+        assert frugal.total_energy <= greedy.total_energy + 1e-9
+
+    def test_energy_policy_respects_the_budget(self):
+        sched = schedule_jobs(
+            QUEUE, cluster="systemg", power_budget=2_000.0, nodes=32,
+            policy="energy",
+        )
+        assert sched.total_power <= 2_000.0
+
+    def test_more_budget_never_increases_energy(self):
+        tight = schedule_jobs(
+            QUEUE, cluster="systemg", power_budget=1_500.0, nodes=32,
+            policy="energy",
+        )
+        loose = schedule_jobs(
+            QUEUE, cluster="systemg", power_budget=10_000.0, nodes=32,
+            policy="energy",
+        )
+        assert loose.total_energy <= tight.total_energy + 1e-9
+
+
+class TestEEFloorPolicy:
+    def test_every_placement_meets_the_floor(self):
+        sched = schedule_jobs(
+            QUEUE, cluster="systemg", power_budget=8_000.0, nodes=32,
+            policy="ee_floor", ee_floor=0.8,
+        )
+        for a in sched.assignments:
+            assert a.ee >= 0.8
+        assert sched.policy == "ee_floor"
+
+    def test_unreachable_floor_lists_the_jobs(self):
+        with pytest.raises(InfeasibleJobsError) as err:
+            schedule_jobs(
+                QUEUE, cluster="systemg", power_budget=8_000.0, nodes=32,
+                policy="ee_floor", ee_floor=1.5,  # EE <= 1 by construction
+            )
+        names = [name for name, _ in err.value.jobs]
+        assert "fourier" in names
+
+    def test_floor_value_required(self):
+        with pytest.raises(ParameterError, match="requires an ee_floor"):
+            schedule_jobs(
+                QUEUE, cluster="systemg", power_budget=8_000.0,
+                policy="ee_floor",
+            )
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ParameterError, match="unknown scheduling policy"):
+            schedule_jobs(
+                QUEUE, cluster="systemg", power_budget=8_000.0,
+                policy="fifo",
+            )
+
+
+class TestPrebuiltLadders:
+    def test_prebuilt_ladders_reproduce_the_derived_schedule(self):
+        """The federation router's fast path must change nothing."""
+        from repro.cluster.presets import cluster_preset
+        from repro.optimize.schedule import power_ladder
+        from repro.paperdata import paper_model
+
+        machine_room = cluster_preset("systemg", 32)
+        ladders = []
+        for job in QUEUE:
+            model, n = paper_model(
+                job.benchmark, job.klass, cluster=machine_room,
+            )
+            ladders.append(power_ladder(
+                model, n, [1, 2, 4, 8, 16, 32],
+                machine_room.available_frequencies,
+            ))
+        derived = schedule_jobs(
+            QUEUE, cluster="systemg", power_budget=6_000.0, nodes=32,
+        )
+        fast = schedule_jobs(
+            QUEUE, cluster="systemg", power_budget=6_000.0, nodes=32,
+            ladders=ladders,
+        )
+        assert fast.assignments == derived.assignments
+
+    def test_ladder_count_mismatch_rejected(self):
+        with pytest.raises(ParameterError, match="pre-built ladders"):
+            schedule_jobs(
+                QUEUE, cluster="systemg", power_budget=6_000.0,
+                ladders=[[]],
+            )
+
+
+class TestInfeasibleJobListing:
+    def test_individually_hopeless_jobs_are_named(self):
+        with pytest.raises(InfeasibleJobsError) as err:
+            schedule_jobs(
+                QUEUE, cluster="systemg", power_budget=50.0, nodes=32
+            )
+        assert err.value.jobs
+        for name, floor_w in err.value.jobs:
+            assert floor_w > 50.0
+            assert name in [j.name for j in QUEUE]
+
+    def test_structured_error_is_a_parameter_error(self):
+        assert issubclass(InfeasibleJobsError, ParameterError)
+
+    def test_aggregate_infeasibility_still_reported(self):
+        """No single job exceeds the budget, but together they do."""
+        with pytest.raises(InfeasibleJobsError) as err:
+            schedule_jobs(
+                QUEUE, cluster="systemg", power_budget=50.0, nodes=32
+            )
+        floor = dict(err.value.jobs)["fourier"]
+        clones = [Job(f"ft{i}", "FT", "W") for i in range(3)]
+        with pytest.raises(ParameterError, match="together"):
+            schedule_jobs(
+                clones, cluster="systemg", power_budget=floor * 1.5,
+                nodes=32,
+            )
 
 
 class TestConfiguration:

@@ -221,3 +221,63 @@ def test_serve_exits_cleanly_when_port_is_busy():
     assert result.returncode == 2
     assert "cannot listen" in result.stderr
     assert "Traceback" not in result.stderr
+
+
+def test_federate_text_output(capsys):
+    code, out, _ = run_cli(
+        capsys, "federate", "--budget", "7000",
+        "--shard", "main:systemg:32:5000",
+        "--shard", "edge:dori:8:1500:energy",
+        "--job", "fourier:FT:W", "--job", "montecarlo:EP:W",
+    )
+    assert code == 0
+    assert "site budget 7,000 W" in out
+    assert "main" in out and "edge" in out
+    assert "site draw" in out
+
+
+def test_federate_json_matches_dispatch(capsys):
+    """--json must be byte-identical to the POST /v1/federate payload."""
+    import json
+
+    from repro.api import FederateRequest, dispatch
+    from repro.federation import ShardSpec
+    from repro.optimize.schedule import Job
+
+    code, out, _ = run_cli(
+        capsys, "federate", "--budget", "7000",
+        "--shard", "main:systemg:32:5000",
+        "--job", "fourier:FT:W", "--json",
+    )
+    assert code == 0
+    want = dispatch(FederateRequest(
+        budget_w=7000.0,
+        shards=(ShardSpec("main", "systemg", 32, 5000.0),),
+        jobs=(Job("fourier", "FT", "W"),),
+    )).to_dict()
+    assert json.loads(out) == want
+
+
+def test_federate_shard_with_ee_floor_policy(capsys):
+    code, out, _ = run_cli(
+        capsys, "federate", "--budget", "7000",
+        "--shard", "strict:systemg:32:5000:ee_floor:0.7",
+        "--job", "fourier:FT:W",
+    )
+    assert code == 0
+    assert "ee_floor" in out
+
+
+def test_federate_bad_shard_spec_is_a_clean_error(capsys):
+    code, _, err = run_cli(
+        capsys, "federate", "--budget", "7000",
+        "--shard", "justaname", "--job", "a:FT:W",
+    )
+    assert code == 2
+    assert "name:cluster:nodes:envelope" in err
+
+
+def test_federate_requires_shards_and_jobs(capsys):
+    code, _, err = run_cli(capsys, "federate", "--budget", "7000")
+    assert code == 2
+    assert "--shard" in err
