@@ -1,0 +1,178 @@
+"""Perf benchmark: the batch engine vs cold one-by-one dispatch.
+
+The serving-side claim of the batch engine is amortization: a mixed
+payload of budget/deadline/Pareto/sweep/evaluate queries should pay for
+each distinct (model, axes) grid exactly once — the budget/deadline
+items through the grouped ``*_many`` solvers, everything else through
+the shared :class:`~repro.optimize.engine.GridStore`.  Two floors:
+
+* a mixed 100-query batch must run **≥5×** faster than dispatching the
+  same items one at a time with cold caches (the pre-batch serving
+  reality, where every query rebuilt its grid), with every batch item
+  numerically identical to its single-dispatch twin;
+* a store-served grid (exact repeat, and a sub-grid sliced from a
+  cached superset) must come back **≥5×** faster than a cold
+  evaluation.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import print_artifact
+
+from repro.analysis.report import ascii_table
+from repro.api.service import clear_caches, dispatch
+from repro.api.types import (
+    BatchRequest,
+    BudgetQuery,
+    DeadlineQuery,
+    EvaluateRequest,
+    ParetoQuery,
+    SweepRequest,
+)
+from repro.optimize.engine import GridStore, grid_for
+from repro.paperdata import paper_model
+from repro.units import GHZ
+
+BATCH_SPEEDUP_FLOOR = 5.0
+STORE_SPEEDUP_FLOOR = 5.0
+
+
+def _mixed_items() -> tuple:
+    """100 heterogeneous queries over a handful of distinct grids."""
+    items = []
+    benchmarks = ("FT", "CG", "EP")
+    for k in range(45):  # 45 budget queries, 3 grids
+        items.append(BudgetQuery(
+            benchmark=benchmarks[k % 3], budget_w=1500.0 + 85.0 * k,
+        ))
+    for k in range(30):  # 30 deadline queries, 3 grids (shared with above)
+        items.append(DeadlineQuery(
+            benchmark=benchmarks[k % 3], deadline_s=4.0 + 1.5 * k,
+        ))
+    for k in range(10):  # Pareto menus over the same grids
+        items.append(ParetoQuery(benchmark=benchmarks[k % 3]))
+    for k in range(10):  # EE-vs-p tables
+        items.append(SweepRequest(
+            benchmark=benchmarks[k % 3], p_values=(1, 2, 4, 8, 16, 32),
+        ))
+    for k in range(5):  # scalar point lookups
+        items.append(EvaluateRequest(p=2 ** (k + 1)))
+    assert len(items) == 100
+    return tuple(items)
+
+
+def test_batch_vs_cold_single_dispatch(benchmark):
+    items = _mixed_items()
+
+    # the pre-batch serving reality: every query pays full price
+    singles = []
+    t_singles = 0.0
+    for item in items:
+        clear_caches()
+        t0 = time.perf_counter()
+        singles.append(dispatch(item))
+        t_singles += time.perf_counter() - t0
+
+    clear_caches()
+    t0 = time.perf_counter()
+    batched = dispatch(BatchRequest(items=items))
+    t_batch = time.perf_counter() - t0
+    speedup = t_singles / t_batch
+
+    # every batch slot is numerically identical to its single twin
+    assert len(batched.items) == len(singles)
+    for slot, single in zip(batched.items, singles):
+        assert slot.ok
+        assert slot.response.to_dict() == single.to_dict()
+
+    benchmark.pedantic(
+        lambda: dispatch(BatchRequest(items=items)), rounds=3, iterations=1
+    )
+
+    body = ascii_table(
+        ["quantity", "value"],
+        [
+            ("batch", f"{len(items)} mixed queries"
+                      " (budget/deadline/pareto/sweep/evaluate)"),
+            ("one-by-one, cold caches", f"{t_singles * 1e3:.0f} ms"),
+            ("one batch dispatch", f"{t_batch * 1e3:.0f} ms"),
+            ("speedup", f"{speedup:.1f}x"),
+            ("floor", f"{BATCH_SPEEDUP_FLOOR:.0f}x"),
+        ],
+    )
+    print_artifact("api.batch — mixed batch vs cold dispatch", body)
+
+    assert speedup >= BATCH_SPEEDUP_FLOOR, (
+        f"batch execution only {speedup:.1f}x faster than cold one-by-one "
+        f"dispatch (need >= {BATCH_SPEEDUP_FLOOR:.0f}x)"
+    )
+
+
+def test_store_hit_micro_floor(benchmark):
+    """Exact repeats and superset slices must dodge re-evaluation."""
+    model, n = paper_model("FT", klass="B")
+    store = GridStore()  # isolated: the floor must not ride warm globals
+    p_axis = list(range(1, 41))
+    f_axis = [(1.6 + 0.2 * i) * GHZ for i in range(7)]
+    n_axis = [n * (0.5 + 0.25 * i) for i in range(6)]
+
+    t0 = time.perf_counter()
+    grid_for(model, p_values=p_axis, f_values=f_axis, n_values=n_axis,
+             store=store)
+    t_cold = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    grid_for(model, p_values=p_axis, f_values=f_axis, n_values=n_axis,
+             store=store)
+    t_exact = time.perf_counter() - t0
+
+    sub = dict(p_values=p_axis[::2], f_values=f_axis[:3],
+               n_values=n_axis[::3])
+    t0 = time.perf_counter()
+    sliced = grid_for(model, store=store, **sub)
+    t_slice = time.perf_counter() - t0
+
+    stats = store.stats()
+    assert stats["hits"] == 1 and stats["superset_hits"] == 1, stats
+
+    # the slice must be bit-identical to evaluating the sub-grid directly
+    from repro.optimize.grid import evaluate_grid
+
+    direct = evaluate_grid(model, **sub)
+    import numpy as np
+
+    for name in ("tp", "ep", "ee", "avg_power"):
+        np.testing.assert_array_equal(
+            getattr(sliced, name), getattr(direct, name)
+        )
+
+    benchmark.pedantic(
+        lambda: grid_for(model, store=store, **sub), rounds=3, iterations=1
+    )
+    exact_speedup = t_cold / t_exact
+    slice_speedup = t_cold / t_slice
+
+    body = ascii_table(
+        ["quantity", "value"],
+        [
+            ("grid", f"{len(p_axis)} x {len(f_axis)} x {len(n_axis)}"),
+            ("cold evaluation", f"{t_cold * 1e3:.2f} ms"),
+            ("exact store hit", f"{t_exact * 1e3:.3f} ms"
+                                f"  ({exact_speedup:.0f}x)"),
+            ("superset slice", f"{t_slice * 1e3:.3f} ms"
+                               f"  ({slice_speedup:.0f}x)"),
+            ("floor", f"{STORE_SPEEDUP_FLOOR:.0f}x"),
+        ],
+    )
+    print_artifact("optimize.engine — grid store hit latency", body)
+
+    assert exact_speedup >= STORE_SPEEDUP_FLOOR, (
+        f"exact store hit only {exact_speedup:.1f}x faster than cold "
+        f"evaluation (need >= {STORE_SPEEDUP_FLOOR:.0f}x)"
+    )
+    assert slice_speedup >= STORE_SPEEDUP_FLOOR, (
+        f"superset slice only {slice_speedup:.1f}x faster than cold "
+        f"evaluation (need >= {STORE_SPEEDUP_FLOOR:.0f}x)"
+    )

@@ -52,10 +52,15 @@ from repro.cluster import Cluster, dori, system_g
 from repro.npb import ProblemClass, benchmark_for
 from repro.optimize import (
     GridResult,
+    GridStore,
+    default_store,
     evaluate_grid,
+    grid_for,
     iso_ee_curve,
     max_speedup_under_power,
+    max_speedup_under_power_many,
     min_energy_under_deadline,
+    min_energy_under_deadline_many,
     pareto_frontier,
     schedule_jobs,
 )
@@ -95,10 +100,15 @@ __all__ = [
     "ProblemClass",
     "benchmark_for",
     "GridResult",
+    "GridStore",
+    "default_store",
     "evaluate_grid",
+    "grid_for",
     "iso_ee_curve",
     "max_speedup_under_power",
+    "max_speedup_under_power_many",
     "min_energy_under_deadline",
+    "min_energy_under_deadline_many",
     "pareto_frontier",
     "schedule_jobs",
     "paper_machine",

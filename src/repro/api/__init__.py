@@ -30,8 +30,17 @@ from repro.api.schemas import (
     request_from_dict,
     response_from_dict,
 )
-from repro.api.service import cache_info, clear_caches, dispatch
+from repro.api.service import (
+    cache_info,
+    cache_stats_payload,
+    clear_caches,
+    dispatch,
+)
 from repro.api.types import (
+    BatchError,
+    BatchItem,
+    BatchRequest,
+    BatchResponse,
     BudgetQuery,
     BudgetResponse,
     DeadlineQuery,
@@ -66,7 +75,12 @@ __all__ = [
     "response_from_dict",
     "dispatch",
     "cache_info",
+    "cache_stats_payload",
     "clear_caches",
+    "BatchRequest",
+    "BatchResponse",
+    "BatchItem",
+    "BatchError",
     "serve",
     "start_server",
     "WireRecord",

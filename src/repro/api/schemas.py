@@ -12,6 +12,8 @@ from typing import Any, Mapping
 
 from repro.api.types import (
     API_VERSION,
+    BatchRequest,
+    BatchResponse,
     BudgetQuery,
     BudgetResponse,
     DeadlineQuery,
@@ -51,6 +53,7 @@ REQUEST_TYPES: dict[str, type[WireRecord]] = {
         ParetoQuery,
         ScheduleRequest,
         FederateRequest,
+        BatchRequest,
     )
 }
 
@@ -68,6 +71,7 @@ RESPONSE_TYPES: dict[str, type[Response]] = {
         ParetoResponse,
         ScheduleResponse,
         FederateResponse,
+        BatchResponse,
     )
 }
 

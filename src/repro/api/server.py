@@ -37,7 +37,7 @@ import json
 from typing import Any
 
 from repro.api.schemas import API_VERSION, operations, request_from_dict
-from repro.api.service import dispatch
+from repro.api.service import cache_stats_payload, dispatch
 from repro.errors import ReproError, WireError
 
 #: default bind address of ``repro serve``.
@@ -88,6 +88,9 @@ def _health_payload() -> dict[str, Any]:
         "version": __version__,
         "api_version": API_VERSION,
         "operations": list(operations()),
+        # live memo-layer census (responses / models / grid_store) so
+        # operators can watch batch amortization from a liveness probe
+        "caches": cache_stats_payload(),
     }
 
 

@@ -19,6 +19,10 @@ from functools import lru_cache
 
 from repro.analysis.surface import surface_from_grid
 from repro.api.types import (
+    BatchError,
+    BatchItem,
+    BatchRequest,
+    BatchResponse,
     BudgetQuery,
     BudgetResponse,
     DeadlineQuery,
@@ -45,14 +49,17 @@ from repro.api.types import (
 )
 from repro.cluster.presets import cluster_preset
 from repro.core.model import IsoEnergyModel
-from repro.errors import ParameterError, WireError
+from repro.errors import ParameterError, ReproError, WireError
 from repro.federation.registry import default_registry
 from repro.federation.router import route_jobs
 from repro.optimize import (
-    evaluate_grid,
+    default_store,
+    grid_for,
     iso_ee_curve,
     max_speedup_under_power,
+    max_speedup_under_power_many,
     min_energy_under_deadline,
+    min_energy_under_deadline_many,
     pareto_frontier,
     schedule_jobs,
 )
@@ -61,6 +68,10 @@ from repro.units import GHZ
 
 #: memoised responses kept per process (stateless queries re-serve free).
 RESPONSE_CACHE_SIZE = 512
+
+#: hard ceiling on batch fan-out — a backstop against accidental
+#: megabatches, far above any sane single round trip.
+MAX_BATCH_ITEMS = 1_000
 
 
 @lru_cache(maxsize=64)
@@ -116,9 +127,12 @@ def _sweep(req: SweepRequest) -> SweepResponse:
     if not req.p_values:
         raise ParameterError("sweep needs at least one p value")
     model, n = _model_for(req, max(req.p_values))
+    grid = grid_for(model, p_values=req.p_values, n_values=[n])
     return SweepResponse(
         model=model.name,
-        points=tuple(model.evaluate(n=n, p=int(p)) for p in req.p_values),
+        points=tuple(
+            grid.point(ip, 0, 0) for ip in range(len(req.p_values))
+        ),
     )
 
 
@@ -128,13 +142,13 @@ def _surface(req: SurfaceRequest) -> SurfaceResponse:
     model, n = _model_for(req, max(req.p_values))
     n = n * req.n_factor
     if req.axis == "f":
-        grid = evaluate_grid(
+        grid = grid_for(
             model, p_values=req.p_values, f_values=_ghz(req.f_values_ghz),
             n_values=[n],
         )
         surf = surface_from_grid(grid, metric="ee", axis="f")
     elif req.axis == "n":
-        grid = evaluate_grid(
+        grid = grid_for(
             model, p_values=req.p_values, f_values=None,
             n_values=[n * x for x in req.n_factors],
         )
@@ -264,6 +278,118 @@ def _federate(req: FederateRequest) -> FederateResponse:
     )
 
 
+# ---------------------------------------------------------------------------
+# Batch execution
+# ---------------------------------------------------------------------------
+
+
+def _error_item(exc: ReproError) -> BatchItem:
+    return BatchItem(
+        ok=False, error=BatchError(type=type(exc).__name__, message=str(exc))
+    )
+
+
+def _run_item(item: WireRecord) -> BatchItem:
+    """One non-grouped batch item through the ordinary dispatch path."""
+    try:
+        return BatchItem(ok=True, response=_dispatch_cached(item))
+    except ReproError as exc:
+        return _error_item(exc)
+
+
+def _constraint_group_key(item: BudgetQuery | DeadlineQuery) -> tuple:
+    """Everything that determines the grid a budget/deadline item needs.
+
+    Items differing only in their threshold (``budget_w`` /
+    ``deadline_s``) land in one group and are answered by a single
+    ``*_many`` pass over one shared grid.
+    """
+    return (
+        type(item),
+        item.benchmark,
+        item.klass,
+        item.cluster,
+        item.niter,
+        item.p_values,
+        item.f_values_ghz,
+        item.n_factor,
+    )
+
+
+def _solve_constraint_group(
+    items: list[BudgetQuery] | list[DeadlineQuery],
+) -> list[BatchItem]:
+    """Answer one group of same-grid budget/deadline items in bulk."""
+    first = items[0]
+    is_budget = isinstance(first, BudgetQuery)
+    kind = "budget" if is_budget else "deadline"
+    try:
+        if not first.p_values:
+            raise ParameterError(f"{kind} query needs at least one p value")
+        model, n = _model_for(first, max(first.p_values))
+        if is_budget:
+            solved = max_speedup_under_power_many(
+                model,
+                n=n * first.n_factor,
+                budgets=[item.budget_w for item in items],
+                p_values=first.p_values,
+                f_values=_ghz(first.f_values_ghz),
+            )
+        else:
+            solved = min_energy_under_deadline_many(
+                model,
+                n=n * first.n_factor,
+                deadlines=[item.deadline_s for item in items],
+                p_values=first.p_values,
+                f_values=_ghz(first.f_values_ghz),
+            )
+    except ReproError as exc:
+        # a selector/grid failure hits every item of the group the same
+        # way a single dispatch of each would
+        return [_error_item(exc)] * len(items)
+    wrap = BudgetResponse if is_budget else DeadlineResponse
+    return [
+        _error_item(rec)
+        if isinstance(rec, ReproError)
+        else BatchItem(
+            ok=True, response=wrap(model=model.name, recommendation=rec)
+        )
+        for rec in solved
+    ]
+
+
+def _batch(req: BatchRequest) -> BatchResponse:
+    """Fan one payload across its sub-queries, grids shared per signature.
+
+    Budget/deadline items sharing a grid signature are solved by one
+    vectorized ``*_many`` pass; every other item flows through the
+    ordinary dispatch path — which itself rides the shared
+    :class:`~repro.optimize.engine.GridStore`, so overlapping surface /
+    Pareto / schedule items within the batch reuse evaluations too.
+    Item answers (including error slots) are value-identical to what the
+    equivalent single dispatches would return.
+    """
+    if not req.items:
+        raise ParameterError("a batch needs at least one item")
+    if len(req.items) > MAX_BATCH_ITEMS:
+        raise ParameterError(
+            f"batch carries {len(req.items)} items; "
+            f"the ceiling is {MAX_BATCH_ITEMS}"
+        )
+    results: list[BatchItem | None] = [None] * len(req.items)
+    groups: dict[tuple, list[int]] = {}
+    for i, item in enumerate(req.items):
+        if isinstance(item, (BudgetQuery, DeadlineQuery)):
+            groups.setdefault(_constraint_group_key(item), []).append(i)
+        else:
+            results[i] = _run_item(item)
+    for indices in groups.values():
+        answers = _solve_constraint_group([req.items[i] for i in indices])
+        for i, answer in zip(indices, answers):
+            results[i] = answer
+    return BatchResponse(items=tuple(results))
+
+
 _HANDLERS = {
     EvaluateRequest: _evaluate,
     SweepRequest: _sweep,
@@ -275,6 +401,7 @@ _HANDLERS = {
     ParetoQuery: _pareto,
     ScheduleRequest: _schedule,
     FederateRequest: _federate,
+    BatchRequest: _batch,
 }
 
 
@@ -286,8 +413,15 @@ def _dispatch_cached(request: WireRecord) -> Response:
 # federate responses depend on the process-wide shard registry, not just
 # the request value: rebinding a machine name must drop every memoised
 # response or identical payloads would serve schedules for the old
-# hardware definition.
-default_registry().on_mutation(_dispatch_cached.cache_clear)
+# hardware definition.  The grid store is cleared alongside — its old
+# entries are keyed by the now-unreachable model objects and would only
+# pin dead hardware definitions in memory.
+def _on_registry_mutation() -> None:
+    _dispatch_cached.cache_clear()
+    default_store().clear()
+
+
+default_registry().on_mutation(_on_registry_mutation)
 
 
 def dispatch(request: WireRecord) -> Response:
@@ -306,14 +440,37 @@ def dispatch(request: WireRecord) -> Response:
 
 
 def cache_info() -> dict[str, object]:
-    """Hit/miss statistics of the response and model memo layers."""
+    """Hit/miss statistics of every serving-side memo layer.
+
+    ``responses`` and ``models`` are ``functools`` ``CacheInfo`` records;
+    ``grid_store`` is the shared :class:`~repro.optimize.engine.GridStore`
+    census (exact hits, superset slices, misses, resident bytes, contour
+    pair traffic) — the number an operator watches to see batch
+    amortization working.
+    """
     return {
         "responses": _dispatch_cached.cache_info(),
         "models": _resolved_model.cache_info(),
+        "grid_store": default_store().stats(),
+    }
+
+
+def cache_stats_payload() -> dict[str, dict[str, int]]:
+    """:func:`cache_info` as plain JSON-ready mappings.
+
+    The shape ``/healthz`` embeds under ``"caches"`` and
+    ``repro cache-stats --json`` prints.
+    """
+    info = cache_info()
+    return {
+        "responses": dict(info["responses"]._asdict()),
+        "models": dict(info["models"]._asdict()),
+        "grid_store": dict(info["grid_store"]),
     }
 
 
 def clear_caches() -> None:
-    """Drop every memoised response and resolved model (tests, reloads)."""
+    """Drop every memoised response, resolved model, and cached grid."""
     _dispatch_cached.cache_clear()
     _resolved_model.cache_clear()
+    default_store().clear()

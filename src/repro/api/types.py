@@ -43,7 +43,10 @@ from repro.optimize.schedule import Assignment, Job
 #: current wire version; bump on any incompatible field change.
 #: v2: the ``federate`` operation, schedule policies (``policy`` /
 #: ``ee_floor`` on requests, ``policy`` echoed on responses).
-API_VERSION = 2
+#: v3: the ``batch`` operation — one payload carrying a heterogeneous
+#: list of sub-queries, answered item-wise with structured per-item
+#: errors (a bad item cannot sink its batch-mates).
+API_VERSION = 3
 
 # ---------------------------------------------------------------------------
 # Field coercers — the "typed" in typed facade
@@ -195,6 +198,10 @@ _SHARD_PLAN = _nested(
 
 
 def _encode(value: Any) -> Any:
+    if isinstance(value, WireRecord):
+        # nested wire records (batch sub-queries/sub-responses) carry
+        # their own op/version envelope so they decode standalone
+        return value.to_dict()
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         return {
             f.name: _encode(getattr(value, f.name))
@@ -489,6 +496,51 @@ class FederateRequest(WireRecord):
     jobs: tuple[Job, ...] = ()
 
 
+def _sub_request(value: Any) -> "WireRecord":
+    """One batch item: any non-batch request, op-tagged.
+
+    Accepts already-typed requests (Python-side construction) and raw
+    payloads (wire-side), resolving the latter through the operation
+    registry.  Batches cannot nest — the executor would otherwise need
+    recursion limits and depth-dependent semantics for no expressive
+    gain.
+    """
+    from repro.api.schemas import request_from_dict
+
+    if isinstance(value, WireRecord):
+        if isinstance(value, (BatchRequest, Response)):
+            raise WireError(
+                f"a batch item must be a non-batch request, "
+                f"got {type(value).__name__}"
+            )
+        return value
+    if not isinstance(value, Mapping):
+        raise WireError(f"expected a request object, got {value!r}")
+    if value.get("op") == "batch":
+        raise WireError("batch items cannot be nested batches")
+    return request_from_dict(value)
+
+
+@dataclass(frozen=True)
+class BatchRequest(WireRecord):
+    """A heterogeneous list of sub-queries answered in one round trip.
+
+    Every item is a complete op-tagged request payload (the ``op`` field
+    is mandatory per item — there is no path to default it from).  The
+    executor groups items that share a grid signature so each distinct
+    grid evaluates exactly once per batch, and answers item-wise: a
+    failing item yields a structured error in its slot instead of
+    failing the whole batch.
+    """
+
+    op: ClassVar[str] = "batch"
+    coercers: ClassVar[dict[str, Coercer]] = {
+        "items": _tuple_of(_sub_request),
+    }
+
+    items: tuple[WireRecord, ...] = ()
+
+
 # ---------------------------------------------------------------------------
 # Responses
 # ---------------------------------------------------------------------------
@@ -668,3 +720,69 @@ class FederateResponse(Response):
     site_headroom_w: float
     makespan_s: float
     total_energy_j: float
+
+
+@dataclass(frozen=True)
+class BatchError:
+    """The structured failure of one batch item.
+
+    ``type`` is the :class:`~repro.errors.ReproError` subclass name —
+    the same taxonomy the HTTP error payloads carry, so batch consumers
+    and single-shot consumers read one error language.
+    """
+
+    type: str
+    message: str
+
+
+@dataclass(frozen=True)
+class BatchItem:
+    """One slot of a batch answer: a response, or a structured error."""
+
+    ok: bool
+    response: Response | None = None
+    error: BatchError | None = None
+
+
+def _sub_response(value: Any) -> Response:
+    """One answered batch slot (non-batch responses only)."""
+    from repro.api.schemas import response_from_dict
+
+    if isinstance(value, Response):
+        if isinstance(value, BatchResponse):
+            raise WireError("batch responses cannot nest")
+        return value
+    if not isinstance(value, Mapping):
+        raise WireError(f"expected a response object, got {value!r}")
+    if value.get("op") == "batch":
+        raise WireError("batch responses cannot nest")
+    return response_from_dict(value)
+
+
+_BATCH_ERROR = _nested(BatchError, {"type": _str, "message": _str})
+_BATCH_ITEM = _nested(
+    BatchItem,
+    {
+        "ok": _bool,
+        "response": _optional(_sub_response),
+        "error": _optional(_BATCH_ERROR),
+    },
+)
+
+
+@dataclass(frozen=True)
+class BatchResponse(Response):
+    """Item-wise answers to a :class:`BatchRequest`, same order.
+
+    ``items[k].ok`` tells whether slot ``k`` carries a ``response``
+    (itself a full op-tagged payload, byte-identical to what the
+    equivalent single ``POST /v1/<op>`` would have returned) or a
+    structured ``error``.
+    """
+
+    op: ClassVar[str] = "batch"
+    coercers: ClassVar[dict[str, Coercer]] = {
+        "items": _tuple_of(_BATCH_ITEM),
+    }
+
+    items: tuple[BatchItem, ...]

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Seven commands cover the everyday workflows:
+Nine commands cover the everyday workflows:
 
 * ``evaluate``  — EE/EEF/energy at one (benchmark, cluster, p, f, class)
 * ``sweep``     — the EE-vs-p table for a benchmark
@@ -10,6 +10,10 @@ Seven commands cover the everyday workflows:
   deadline, iso-EE contours, and the (Tp, Ep) Pareto frontier
 * ``federate``  — split a site power budget across shards and route a
   job queue by EE-per-watt
+* ``batch``     — fan one JSON payload of heterogeneous sub-queries
+  through the batch executor (grids shared per signature)
+* ``cache-stats`` — the serving-side memo-layer census (responses,
+  models, grid store)
 * ``serve``     — the asyncio HTTP/JSON API over the same operations
 
 Every query command builds a typed :mod:`repro.api` request, routes it
@@ -29,8 +33,9 @@ import sys
 import numpy as np
 
 from repro.analysis.report import ascii_heatmap, ascii_table, format_si
-from repro.api.service import dispatch
+from repro.api.service import cache_info, cache_stats_payload, dispatch
 from repro.api.types import (
+    BatchRequest,
     BudgetQuery,
     DeadlineQuery,
     EvaluateRequest,
@@ -370,6 +375,87 @@ def cmd_federate(args) -> int:
     return 0
 
 
+def _item_brief(resp: Response) -> str:
+    """One-line gist of a batch item's answer for the text table."""
+    rec = getattr(resp, "recommendation", None)
+    if rec is not None:
+        return (
+            f"p={rec.p} f={rec.f / GHZ:.2f}GHz Tp={rec.tp:.3g}s "
+            f"{rec.avg_power:.0f}W"
+        )
+    points = getattr(resp, "points", None)
+    if points is not None:
+        return f"{len(points)} points"
+    point = getattr(resp, "point", None)
+    if point is not None:
+        return f"EE={point.ee:.4f} {point.bottleneck}"
+    values = getattr(resp, "values", None)
+    if values is not None:
+        return f"{len(values)}x{len(values[0]) if values else 0} plane"
+    assignments = getattr(resp, "assignments", None)
+    if assignments is not None:
+        return f"{len(assignments)} jobs placed"
+    plans = getattr(resp, "plans", None)
+    if plans is not None:
+        return f"{len(plans)} shard plans"
+    return resp.op
+
+
+def cmd_batch(args) -> int:
+    if args.file == "-":
+        text = sys.stdin.read()
+    else:
+        try:
+            with open(args.file, encoding="utf-8") as fh:
+                text = fh.read()
+        except OSError as exc:
+            raise ReproError(f"cannot read {args.file!r}: {exc}") from None
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"batch payload is not valid JSON: {exc}") from None
+    if isinstance(payload, list):
+        # convenience: a bare item list is the common hand-written shape
+        payload = {"op": "batch", "items": payload}
+    resp = dispatch(BatchRequest.from_dict(payload))
+    if args.json:
+        return _emit_json([resp])
+    rows = []
+    failures = 0
+    for k, item in enumerate(resp.items):
+        if item.ok:
+            rows.append((k, item.response.op, "ok", _item_brief(item.response)))
+        else:
+            failures += 1
+            rows.append((k, "-", item.error.type, item.error.message))
+    print(ascii_table(["#", "op", "status", "result"], rows))
+    print(f"{len(resp.items) - failures}/{len(resp.items)} items ok")
+    return 0
+
+
+def cmd_cache_stats(args) -> int:
+    if args.json:
+        print(json.dumps(cache_stats_payload(), indent=2))
+        return 0
+    info = cache_info()
+    responses, models = info["responses"], info["models"]
+    store = info["grid_store"]
+    rows = [
+        ("responses", f"{responses.hits} hits / {responses.misses} misses, "
+                      f"{responses.currsize}/{responses.maxsize} entries"),
+        ("models", f"{models.hits} hits / {models.misses} misses, "
+                   f"{models.currsize}/{models.maxsize} entries"),
+        ("grid store", f"{store['hits']} hits + {store['superset_hits']} "
+                       f"superset / {store['misses']} misses, "
+                       f"{store['entries']}/{store['max_entries']} grids, "
+                       f"{store['bytes']} bytes"),
+        ("contour pairs", f"{store['pair_batches']} batches, "
+                          f"{store['pair_points']} points"),
+    ]
+    print(ascii_table(["layer", "statistics"], rows))
+    return 0
+
+
 def cmd_serve(args) -> int:
     from repro.api.server import serve
 
@@ -464,6 +550,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_fed.add_argument("--json", action="store_true",
                        help="emit the API response payload as JSON")
     p_fed.set_defaults(func=cmd_federate)
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="answer a JSON file of heterogeneous sub-queries in one pass",
+    )
+    p_batch.add_argument(
+        "--file", default="-", metavar="PATH",
+        help="JSON payload: {\"op\": \"batch\", \"items\": [...]} or a bare "
+             "item list; '-' (default) reads stdin",
+    )
+    p_batch.add_argument("--json", action="store_true",
+                         help="emit the API response payload as JSON")
+    p_batch.set_defaults(func=cmd_batch)
+
+    p_stats = sub.add_parser(
+        "cache-stats",
+        help="hit/miss census of the serving memo layers (incl. grid store)",
+    )
+    p_stats.add_argument("--json", action="store_true",
+                         help="emit the /healthz caches payload as JSON")
+    p_stats.set_defaults(func=cmd_cache_stats)
 
     p_srv = sub.add_parser(
         "serve", help="HTTP/JSON API server over the same operations"

@@ -134,6 +134,10 @@ def mix_ladders(shard: Shard, jobs: Sequence[Job]) -> list[list[Rung]]:
     Jobs sharing a (benchmark, klass, niter) workload share one ladder
     object — each distinct grid is evaluated exactly once per shard,
     and the router reuses this same table for scoring and scheduling.
+    The underlying grids ride the shared
+    :mod:`repro.optimize.engine` store (shard models are memoised per
+    spec), so *repeated* federate calls over overlapping sites skip the
+    model evaluation entirely, not just within one call.
     """
     per_workload: dict[tuple, list[Rung]] = {}
     ladders = []

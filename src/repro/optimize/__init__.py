@@ -8,6 +8,10 @@ happens at this (p, f, n)?".  Four cooperating modules:
   every model quantity over a full (p × f × n) grid in bulk NumPy,
   replacing thousands of scalar :meth:`IsoEnergyModel.evaluate` calls.
   All solvers below run on top of it.
+* :mod:`repro.optimize.engine` — the shared :class:`GridStore`: every
+  grid consumer routes through :func:`grid_for`, so repeated and
+  overlapping queries are served from cache (exact hits) or sliced out
+  of cached supersets instead of re-evaluating the model.
 * :mod:`repro.optimize.contour` — iso-energy-efficiency contour tracing:
   the ``n(p)`` and ``f(p)`` curves that hold EE at a target value, the
   paper's iso-efficiency scaling question as executable API.
@@ -22,13 +26,21 @@ happens at this (p, f, n)?".  Four cooperating modules:
 from repro.optimize.budget import (
     Recommendation,
     max_speedup_under_power,
+    max_speedup_under_power_many,
     min_energy_under_deadline,
+    min_energy_under_deadline_many,
     pareto_frontier,
 )
 from repro.optimize.contour import (
     ContourPoint,
     iso_ee_curve,
     iso_ee_curve_scalar,
+)
+from repro.optimize.engine import (
+    GridStore,
+    default_store,
+    ee_pairs,
+    grid_for,
 )
 from repro.optimize.grid import (
     GridResult,
@@ -50,15 +62,21 @@ from repro.optimize.schedule import (
 
 __all__ = [
     "GridResult",
+    "GridStore",
+    "default_store",
     "ee_at_pairs",
+    "ee_pairs",
     "evaluate_grid",
+    "grid_for",
     "scalar_grid",
     "ContourPoint",
     "iso_ee_curve",
     "iso_ee_curve_scalar",
     "Recommendation",
     "max_speedup_under_power",
+    "max_speedup_under_power_many",
     "min_energy_under_deadline",
+    "min_energy_under_deadline_many",
     "pareto_frontier",
     "Assignment",
     "ClusterSchedule",

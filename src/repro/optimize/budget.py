@@ -10,6 +10,12 @@ and pick the configuration the operator wants:
 * :func:`min_energy_under_deadline` — the SLA is fixed; run greenest.
 * :func:`pareto_frontier` — the whole (Tp, Ep) trade-off, dominated
   configurations removed, for operators who want the menu.
+
+Grids come from the shared :mod:`repro.optimize.engine` store, so
+repeated and overlapping queries reuse one evaluation.  The ``*_many``
+variants answer a whole *vector* of budgets/deadlines against that one
+grid in a single sorted-prefix pass — the primitive the API's batch
+executor fans heterogeneous query lists onto.
 """
 
 from __future__ import annotations
@@ -20,8 +26,9 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.model import IsoEnergyModel, ModelPoint
-from repro.errors import ParameterError
-from repro.optimize.grid import GridResult, evaluate_grid
+from repro.errors import ParameterError, ReproError
+from repro.optimize.engine import grid_for
+from repro.optimize.grid import GridResult
 
 
 @dataclass(frozen=True)
@@ -70,9 +77,35 @@ def _pf_grid(
     p_values: Sequence[int],
     f_values: Sequence[float] | None,
 ) -> GridResult:
-    return evaluate_grid(
+    return grid_for(
         model, p_values=p_values, f_values=f_values, n_values=[n]
     )
+
+
+def _running_first_feasible(
+    objective: np.ndarray,
+    constraint: np.ndarray,
+    thresholds: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-threshold flat index minimising ``objective`` s.t.
+    ``constraint <= threshold``, plus the per-threshold feasible count.
+
+    One sorted-prefix pass answers every threshold at once: cells are
+    ordered by (objective, flat index) — exactly ``argmin``'s tie rule —
+    and the winner for a threshold is the *first* cell in that order
+    whose constraint fits, found by ``searchsorted`` on the running
+    constraint minimum (non-increasing along the order, so its negation
+    is sorted).  Infeasible thresholds report index ``-1``.
+    """
+    order = np.argsort(objective, kind="stable")
+    prefix_min = np.minimum.accumulate(constraint[order])
+    pos = np.searchsorted(-prefix_min, -thresholds, side="left")
+    feasible = pos < order.size
+    winners = np.where(feasible, order[np.minimum(pos, order.size - 1)], -1)
+    counts = np.searchsorted(
+        np.sort(constraint), thresholds, side="right"
+    )
+    return winners, counts
 
 
 def max_speedup_under_power(
@@ -136,6 +169,135 @@ def min_energy_under_deadline(
     )
 
 
+def _solve_many(
+    grid: GridResult,
+    objective_name: str,
+    objective: np.ndarray,
+    constraint: np.ndarray,
+    thresholds: Sequence[float],
+    *,
+    positive_error: str,
+    infeasible_error,
+) -> list[Recommendation | ReproError]:
+    """Shared core of the ``*_many`` solvers (see their docstrings)."""
+    values = np.asarray(list(thresholds), dtype=float)
+    winners, counts = _running_first_feasible(
+        objective.ravel(), constraint.ravel(), values
+    )
+    out: list[Recommendation | ReproError] = []
+    for k, threshold in enumerate(values):
+        if threshold <= 0:
+            out.append(ParameterError(positive_error))
+        elif winners[k] < 0:
+            out.append(ParameterError(infeasible_error(threshold)))
+        else:
+            ip, jf, kn = np.unravel_index(int(winners[k]), grid.shape)
+            out.append(
+                Recommendation.from_point(
+                    objective_name,
+                    grid.point(ip, jf, kn),
+                    float(grid.avg_power[ip, jf, kn]),
+                    int(counts[k]),
+                )
+            )
+    return out
+
+
+def max_speedup_under_power_many(
+    model: IsoEnergyModel,
+    *,
+    n: float,
+    budgets: Sequence[float],
+    p_values: Sequence[int],
+    f_values: Sequence[float] | None = None,
+) -> list[Recommendation | ReproError]:
+    """:func:`max_speedup_under_power` for a whole vector of budgets.
+
+    One shared grid (via the store) and one sorted-prefix pass answer
+    every budget — tie-breaks, feasible counts, and error messages match
+    the scalar solver element for element.  Per-budget failures come
+    back as :class:`~repro.errors.ParameterError` *instances* in the
+    result list rather than raising, so one hopeless budget cannot sink
+    its batch-mates; callers re-raise or wrap as they see fit.
+    """
+    grid = _pf_grid(model, n, p_values, f_values)
+
+    def infeasible(budget_w: float) -> str:
+        return (
+            f"no (p, f) fits under {budget_w:.0f} W: the frugalest grid "
+            f"configuration draws {float(grid.avg_power.min()):.0f} W"
+        )
+
+    return _solve_many(
+        grid,
+        "max_speedup_under_power",
+        grid.tp,
+        grid.avg_power,
+        budgets,
+        positive_error="power budget must be positive",
+        infeasible_error=infeasible,
+    )
+
+
+def min_energy_under_deadline_many(
+    model: IsoEnergyModel,
+    *,
+    n: float,
+    deadlines: Sequence[float],
+    p_values: Sequence[int],
+    f_values: Sequence[float] | None = None,
+) -> list[Recommendation | ReproError]:
+    """:func:`min_energy_under_deadline` for a whole vector of deadlines.
+
+    Same contract as :func:`max_speedup_under_power_many`: one grid, one
+    masked sorted-prefix pass, per-deadline errors returned in place.
+    """
+    grid = _pf_grid(model, n, p_values, f_values)
+
+    def infeasible(t_max: float) -> str:
+        return (
+            f"no (p, f) meets the {t_max:g} s deadline: the fastest grid "
+            f"configuration needs {float(grid.tp.min()):.3g} s"
+        )
+
+    return _solve_many(
+        grid,
+        "min_energy_under_deadline",
+        grid.ep,
+        grid.tp,
+        deadlines,
+        positive_error="deadline must be positive",
+        infeasible_error=infeasible,
+    )
+
+
+def _frontier_flat(tp: np.ndarray, ep: np.ndarray) -> np.ndarray:
+    """Flat indices of the non-dominated (tp, ep) cells, tp-ascending.
+
+    Walking the ``lexsort((ep, tp))`` order, a cell survives iff its ep
+    beats every earlier cell's — a running-minimum mask instead of the
+    Python loop of :func:`_frontier_flat_scalar`.
+    """
+    order = np.lexsort((ep, tp))
+    ep_sorted = ep[order]
+    keep = np.empty(order.size, dtype=bool)
+    keep[0] = True
+    keep[1:] = ep_sorted[1:] < np.minimum.accumulate(ep_sorted)[:-1]
+    return order[keep]
+
+
+def _frontier_flat_scalar(tp: np.ndarray, ep: np.ndarray) -> np.ndarray:
+    """The reference Python loop :func:`_frontier_flat` is tested against."""
+    order = np.lexsort((ep, tp))
+    winners: list[int] = []
+    best_ep = np.inf
+    for flat in order:
+        if ep[flat] < best_ep:
+            best_ep = float(ep[flat])
+            winners.append(int(flat))
+    return np.array(winners, dtype=np.intp)
+
+
 def pareto_frontier(
     model: IsoEnergyModel,
     *,
@@ -152,15 +314,11 @@ def pareto_frontier(
     grid = _pf_grid(model, n, p_values, f_values)
     tp = grid.tp[:, :, 0].ravel()
     ep = grid.ep[:, :, 0].ravel()
-    order = np.lexsort((ep, tp))
     shape = grid.tp[:, :, 0].shape
-    winners: list[tuple[int, int]] = []
-    best_ep = np.inf
-    for flat in order:
-        if ep[flat] < best_ep:
-            best_ep = float(ep[flat])
-            ip, jf = np.unravel_index(int(flat), shape)
-            winners.append((int(ip), int(jf)))
+    winners = [
+        (int(ip), int(jf))
+        for ip, jf in zip(*np.unravel_index(_frontier_flat(tp, ep), shape))
+    ]
     # feasible_count = frontier size: every listed config "satisfies the
     # constraint" of being non-dominated
     return [

@@ -30,7 +30,7 @@ import numpy as np
 
 from repro.core.model import IsoEnergyModel
 from repro.errors import ParameterError
-from repro.optimize.grid import ee_at_pairs
+from repro.optimize.engine import ee_pairs
 
 #: smallest problem size the n-bracket will shrink to (NPB kernels reject
 #: degenerate grids below a handful of points).
@@ -184,8 +184,9 @@ def _solve_n_batched(
     Mirrors :func:`solve_n_for_ee` lane by lane — the same geometric
     bracket expansion (up while EE is short of the target, down to the
     ``_N_FLOOR`` otherwise) and the same midpoint/termination rule — but
-    every EE evaluation is one :func:`repro.optimize.grid.ee_at_pairs`
-    call over all still-active p at once, so the whole curve costs a
+    every EE evaluation is one :func:`repro.optimize.engine.ee_pairs`
+    call over all still-active p at once (the store-accounted funnel of
+    :func:`repro.optimize.grid.ee_at_pairs`), so the whole curve costs a
     bisection's worth of vectorized passes instead of per-p scalar
     :meth:`IsoEnergyModel.ee` loops.
     """
@@ -194,7 +195,7 @@ def _solve_n_batched(
 
     def g_at(n_sub: np.ndarray, idx: np.ndarray) -> np.ndarray:
         """g = EE − target on the lanes ``idx`` only (one vectorized pass)."""
-        return ee_at_pairs(model, n_sub, ps[idx], f=f) - target_ee
+        return ee_pairs(model, n_sub, ps[idx], f=f) - target_ee
 
     lo = np.full(ps.shape, float(n_seed))
     hi = lo.copy()
@@ -272,7 +273,7 @@ def _solve_n_batched(
         root[idx] = 0.5 * (lo[idx] + hi[idx])
         converged[idx] = True
 
-    ee = ee_at_pairs(model, np.where(par, root, float(n_seed)), ps, f=f)
+    ee = ee_pairs(model, np.where(par, root, float(n_seed)), ps, f=f)
     return [
         ContourPoint(p=1, value=float(n_seed), ee=1.0, axis="n", converged=True)
         if not par[k]

@@ -1,0 +1,286 @@
+"""The shared grid store: one evaluation, many consumers.
+
+Every solver in the library ultimately asks the same question — "what
+does the model say over this (p × f × n) box?" — and before this module
+each asked it from scratch: the budget/deadline/Pareto solvers, the EE
+surface ops, the scheduler's power ladders, and the federation profiles
+all called :func:`repro.optimize.grid.evaluate_grid` independently, so a
+mixed query stream re-derived Θ1/Θ2 and re-ran the model broadcasts for
+every request even when the grids overlapped cell for cell.
+
+:class:`GridStore` is the process-wide fix.  Grids are cached under a
+canonical signature — the owning model plus *interned* p/f/n axis
+tuples, with every requested frequency resolved through
+:meth:`~repro.core.model.IsoEnergyModel.machine_at` first so ``f=None``
+and the spelled-out calibration frequency share one entry.  Lookups are
+served three ways, cheapest first:
+
+1. **exact hit** — the same signature was evaluated before;
+2. **superset hit** — some cached grid *contains* the requested axes,
+   and the sub-grid is sliced out of it.  Every grid quantity is
+   elementwise in (p, f, n), so a slice of a superset is bit-identical
+   to evaluating the sub-grid directly;
+3. **miss** — evaluate, cache, serve.
+
+Cached arrays are frozen (``writeable=False``): a shared grid that one
+consumer could mutate would silently corrupt every other consumer's
+answers.  The store is LRU-bounded and fully observable —
+:meth:`GridStore.stats` feeds ``repro.api.service.cache_info()``, the
+``/healthz`` payload, and the ``repro cache-stats`` CLI.
+
+:func:`grid_for` is the drop-in replacement for ``evaluate_grid`` that
+every grid consumer routes through; :func:`ee_pairs` is the matching
+funnel for the contour tracer's pair batches (not cacheable — each
+bisection step asks a fresh pairing — but counted, so operators see the
+full evaluation traffic in one place).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.model import IsoEnergyModel
+from repro.errors import ParameterError
+from repro.optimize.grid import GRID_METRICS, GridResult, ee_at_pairs, evaluate_grid
+
+#: default bound on cached grids; LRU beyond it.
+DEFAULT_MAX_ENTRIES = 256
+
+#: arrays carried by every cached grid (the metric planes + bottleneck).
+_GRID_ARRAYS = (*GRID_METRICS, "bottleneck")
+
+
+def _freeze(grid: GridResult) -> GridResult:
+    """Mark every array of ``grid`` read-only (shared-cache safety)."""
+    for name in _GRID_ARRAYS:
+        getattr(grid, name).flags.writeable = False
+    return grid
+
+
+def _grid_nbytes(grid: GridResult) -> int:
+    return sum(getattr(grid, name).nbytes for name in _GRID_ARRAYS)
+
+
+class GridStore:
+    """A process-wide, LRU-bounded cache of :class:`GridResult` grids.
+
+    Keys are ``(model, p axis, f axis, n axis)`` with the model compared
+    by identity (entries hold a strong reference, so an id is never
+    recycled while its entry lives) and the axes interned — repeated
+    axis tuples collapse to one canonical object, making key comparison
+    cheap for the common case of a few distinct sweeps asked thousands
+    of times.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+        if max_entries < 1:
+            raise ParameterError("GridStore needs max_entries >= 1")
+        self._max_entries = max_entries
+        self._lock = threading.Lock()
+        # key -> (model, grid); OrderedDict gives LRU order
+        self._entries: OrderedDict[tuple, tuple[IsoEnergyModel, GridResult]] = (
+            OrderedDict()
+        )
+        self._axes: dict[tuple, tuple] = {}
+        self.hits = 0
+        self.superset_hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.bytes = 0
+        self.pair_batches = 0
+        self.pair_points = 0
+
+    # -- key construction ---------------------------------------------------------
+
+    def _intern(self, axis: tuple) -> tuple:
+        if len(self._axes) > 16 * self._max_entries:
+            self._axes.clear()  # unbounded distinct axes: start over
+        return self._axes.setdefault(axis, axis)
+
+    def _signature(
+        self,
+        model: IsoEnergyModel,
+        p_values: Sequence[int],
+        f_values: Sequence[float | None] | None,
+        n_values: Sequence[float],
+    ) -> tuple:
+        """The canonical store key (axes normalised exactly as the grid
+        evaluator would: ints/floats, ``f`` resolved per machine)."""
+        ps = self._intern(tuple(int(p) for p in p_values))
+        fs_raw = [None] if f_values is None else list(f_values)
+        fs = self._intern(tuple(model.machine_at(f).f for f in fs_raw))
+        ns = self._intern(tuple(float(n) for n in n_values))
+        return (id(model), ps, fs, ns)
+
+    # -- lookup -------------------------------------------------------------------
+
+    def get(
+        self,
+        model: IsoEnergyModel,
+        *,
+        p_values: Sequence[int],
+        n_values: Sequence[float],
+        f_values: Sequence[float | None] | None = None,
+    ) -> GridResult:
+        """The grid over the requested axes, cached/sliced/evaluated."""
+        if (
+            not len(p_values)
+            or not len(n_values)
+            or (f_values is not None and not len(f_values))
+        ):
+            # delegate empty-axis validation to the evaluator's own
+            # errors (an empty axis must never reach the superset
+            # matcher — it would match any cached grid vacuously)
+            return evaluate_grid(
+                model, p_values=p_values, f_values=f_values, n_values=n_values
+            )
+        key = self._signature(model, p_values, f_values, n_values)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return entry[1]
+            sliced = self._slice_from_superset(key)
+            if sliced is not None:
+                self.superset_hits += 1
+                self._put_locked(key, model, sliced)
+                return sliced
+        # evaluate outside the lock: concurrent identical misses may race,
+        # but the evaluation is pure and the second put is a harmless no-op
+        grid = _freeze(
+            evaluate_grid(
+                model, p_values=key[1], f_values=key[2], n_values=key[3]
+            )
+        )
+        with self._lock:
+            self.misses += 1
+            self._put_locked(key, model, grid)
+        return grid
+
+    def _slice_from_superset(self, key: tuple) -> GridResult | None:
+        """A sub-grid cut from a cached superset, or None (lock held)."""
+        model_id, ps, fs, ns = key
+        for other_key in reversed(self._entries):  # most recent first
+            if other_key[0] != model_id:
+                continue
+            _, cps, cfs, cns = other_key
+            pos_p = {v: i for i, v in enumerate(cps)}
+            pos_f = {v: i for i, v in enumerate(cfs)}
+            pos_n = {v: i for i, v in enumerate(cns)}
+            if (
+                all(v in pos_p for v in ps)
+                and all(v in pos_f for v in fs)
+                and all(v in pos_n for v in ns)
+            ):
+                _, cached = self._entries[other_key]
+                self._entries.move_to_end(other_key)
+                ix = np.ix_(
+                    [pos_p[v] for v in ps],
+                    [pos_f[v] for v in fs],
+                    [pos_n[v] for v in ns],
+                )
+                return _freeze(
+                    GridResult(
+                        label=cached.label,
+                        p_values=ps,
+                        f_values=fs,
+                        n_values=ns,
+                        **{
+                            name: getattr(cached, name)[ix]
+                            for name in _GRID_ARRAYS
+                        },
+                    )
+                )
+        return None
+
+    def _put_locked(
+        self, key: tuple, model: IsoEnergyModel, grid: GridResult
+    ) -> None:
+        if key in self._entries:
+            return
+        self._entries[key] = (model, grid)
+        self.bytes += _grid_nbytes(grid)
+        while len(self._entries) > self._max_entries:
+            _, (_, evicted) = self._entries.popitem(last=False)
+            self.bytes -= _grid_nbytes(evicted)
+            self.evictions += 1
+
+    # -- observability / lifecycle ------------------------------------------------
+
+    def count_pairs(self, n_points: int) -> None:
+        """Record one contour pair batch (uncacheable, but visible)."""
+        with self._lock:
+            self.pair_batches += 1
+            self.pair_points += int(n_points)
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/size counters as a JSON-ready mapping."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "superset_hits": self.superset_hits,
+                "misses": self.misses,
+                "entries": len(self._entries),
+                "bytes": self.bytes,
+                "evictions": self.evictions,
+                "max_entries": self._max_entries,
+                "pair_batches": self.pair_batches,
+                "pair_points": self.pair_points,
+            }
+
+    def clear(self) -> None:
+        """Drop every cached grid (counters survive; entries/bytes reset)."""
+        with self._lock:
+            self._entries.clear()
+            self._axes.clear()
+            self.bytes = 0
+
+
+_DEFAULT_STORE = GridStore()
+
+
+def default_store() -> GridStore:
+    """The process-wide store every library consumer shares."""
+    return _DEFAULT_STORE
+
+
+def grid_for(
+    model: IsoEnergyModel,
+    *,
+    p_values: Sequence[int],
+    n_values: Sequence[float],
+    f_values: Sequence[float | None] | None = None,
+    store: GridStore | None = None,
+) -> GridResult:
+    """:func:`~repro.optimize.grid.evaluate_grid` through the shared store.
+
+    The drop-in entry point for every grid consumer — budget/deadline/
+    Pareto solvers, EE surfaces, power ladders, federation profiles.
+    Returned grids are shared and read-only; copy before mutating.
+    """
+    return (store or _DEFAULT_STORE).get(
+        model, p_values=p_values, n_values=n_values, f_values=f_values
+    )
+
+
+def ee_pairs(
+    model: IsoEnergyModel,
+    n_values: Sequence[float] | np.ndarray,
+    p_values: Sequence[int] | np.ndarray,
+    *,
+    f: float | None = None,
+    store: GridStore | None = None,
+) -> np.ndarray:
+    """:func:`~repro.optimize.grid.ee_at_pairs` with store accounting.
+
+    Pair batches are *not* cacheable — each bisection refinement asks a
+    fresh (n, p) pairing — but funnelling them here keeps the store's
+    counters an honest census of all model evaluation traffic.
+    """
+    (store or _DEFAULT_STORE).count_pairs(np.asarray(n_values).size)
+    return ee_at_pairs(model, n_values, p_values, f=f)

@@ -150,7 +150,9 @@ class GridResult:
         ``where`` is a boolean feasibility mask of the grid's shape (e.g.
         ``grid.avg_power <= budget``); infeasible cells never win.
         """
-        values = self._metric(metric).astype(float)
+        # no defensive copy: negation and masking below allocate fresh
+        # arrays when needed, and a plain min-mode argmin reads in place
+        values = self._metric(metric)
         if mode == "min":
             pass
         elif mode == "max":

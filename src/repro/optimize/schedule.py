@@ -38,7 +38,7 @@ from repro.cluster.cluster import Cluster
 from repro.cluster.presets import cluster_preset
 from repro.core.model import IsoEnergyModel
 from repro.errors import InfeasibleJobsError, ParameterError
-from repro.optimize.grid import evaluate_grid
+from repro.optimize.engine import grid_for
 from repro.paperdata import paper_model
 
 #: scheduling policies understood by :func:`schedule_jobs`.
@@ -137,8 +137,10 @@ def power_ladder(
     cell is both cheaper and faster, so the ladder ascends in average
     power while strictly descending in runtime.  This is the primitive
     the cluster scheduler and the federation partitioner both climb.
+    The grid rides the shared store, so repeated schedules over the
+    same (machine, workload) reuse one evaluation.
     """
-    grid = evaluate_grid(
+    grid = grid_for(
         model, p_values=p_values, f_values=f_values, n_values=[n]
     )
     cells = [

@@ -1,0 +1,193 @@
+"""The batch operation: wire shape, executor semantics, dispatch parity."""
+
+import json
+
+import pytest
+
+from repro.api.schemas import request_from_dict, response_from_dict
+from repro.api.service import (
+    MAX_BATCH_ITEMS,
+    cache_info,
+    clear_caches,
+    dispatch,
+)
+from repro.api.types import (
+    API_VERSION,
+    BatchItem,
+    BatchRequest,
+    BatchResponse,
+    BudgetQuery,
+    DeadlineQuery,
+    EvaluateRequest,
+    IsoEEQuery,
+    ParetoQuery,
+    ScheduleRequest,
+    SurfaceRequest,
+    SweepRequest,
+)
+from repro.errors import ParameterError, ReproError, WireError
+from repro.optimize.schedule import Job
+
+#: a deliberately mixed item set: overlapping grids, several op kinds,
+#: and two items that must fail (negative budget; impossible deadline)
+MIXED_ITEMS = (
+    BudgetQuery(benchmark="FT", budget_w=3000.0),
+    BudgetQuery(benchmark="FT", budget_w=2000.0),
+    BudgetQuery(benchmark="CG", budget_w=2500.0),
+    BudgetQuery(benchmark="FT", budget_w=-3.0),
+    DeadlineQuery(benchmark="FT", deadline_s=30.0),
+    DeadlineQuery(benchmark="FT", deadline_s=1e-9),
+    EvaluateRequest(p=16),
+    SweepRequest(p_values=(1, 4, 16)),
+    ParetoQuery(benchmark="FT"),
+    IsoEEQuery(benchmark="EP", target_ee=0.9, p_values=(2, 8, 32)),
+    SurfaceRequest(axis="f", p_values=(1, 4, 16)),
+    ScheduleRequest(
+        power_budget_w=4000.0,
+        jobs=(Job("a", "FT", "W"), Job("b", "EP", "W")),
+    ),
+)
+
+
+class TestWire:
+    def test_request_round_trip(self):
+        req = BatchRequest(items=MIXED_ITEMS)
+        payload = json.loads(json.dumps(req.to_dict()))
+        assert payload["op"] == "batch" and payload["v"] == API_VERSION
+        assert request_from_dict(payload) == req
+
+    def test_items_carry_their_own_envelope(self):
+        payload = BatchRequest(items=MIXED_ITEMS).to_dict()
+        for item in payload["items"]:
+            assert item["op"] in {
+                "budget", "deadline", "evaluate", "sweep", "pareto",
+                "isoee", "surface", "schedule",
+            }
+            assert item["v"] == API_VERSION
+
+    def test_response_round_trip(self):
+        resp = dispatch(BatchRequest(items=MIXED_ITEMS[:4]))
+        payload = json.loads(json.dumps(resp.to_dict()))
+        assert response_from_dict(payload) == resp
+
+    def test_item_without_op_rejected(self):
+        with pytest.raises(WireError, match="op"):
+            BatchRequest.from_dict(
+                {"op": "batch", "items": [{"budget_w": 100.0}]}
+            )
+
+    def test_nested_batch_rejected(self):
+        with pytest.raises(WireError, match="nest"):
+            BatchRequest.from_dict(
+                {"op": "batch", "items": [{"op": "batch", "items": []}]}
+            )
+        with pytest.raises(WireError, match="non-batch"):
+            # typed nesting falls under the same rule as wire nesting
+            request_from_dict({"op": "batch", "items": [BatchRequest()]})
+
+    def test_non_object_item_rejected(self):
+        with pytest.raises(WireError, match="request object"):
+            BatchRequest.from_dict({"op": "batch", "items": [42]})
+
+
+class TestExecutor:
+    def test_empty_batch_is_an_error(self):
+        with pytest.raises(ParameterError, match="at least one item"):
+            dispatch(BatchRequest(items=()))
+
+    def test_item_ceiling(self):
+        items = tuple(
+            EvaluateRequest(p=k + 1) for k in range(MAX_BATCH_ITEMS + 1)
+        )
+        with pytest.raises(ParameterError, match="ceiling"):
+            dispatch(BatchRequest(items=items))
+
+    def test_errors_are_slotted_not_raised(self):
+        resp = dispatch(BatchRequest(items=MIXED_ITEMS))
+        assert isinstance(resp, BatchResponse)
+        assert len(resp.items) == len(MIXED_ITEMS)
+        bad = [k for k, item in enumerate(resp.items) if not item.ok]
+        assert bad == [3, 5]  # negative budget; impossible deadline
+        assert resp.items[3].error.type == "ParameterError"
+        assert "positive" in resp.items[3].error.message
+        assert "deadline" in resp.items[5].error.message
+
+    def test_grouping_evaluates_each_grid_once(self):
+        clear_caches()
+        before = cache_info()["grid_store"]["misses"]  # counters cumulate
+        items = tuple(
+            BudgetQuery(benchmark="FT", budget_w=1500.0 + 100.0 * k)
+            for k in range(20)
+        )
+        dispatch(BatchRequest(items=items))
+        after = cache_info()["grid_store"]["misses"]
+        assert after - before == 1  # 20 budgets, one grid evaluation
+
+    def test_unknown_selector_errors_every_item_in_the_group(self):
+        resp = dispatch(BatchRequest(items=(
+            BudgetQuery(cluster="nonesuch", budget_w=100.0),
+            BudgetQuery(cluster="nonesuch", budget_w=200.0),
+        )))
+        assert [item.ok for item in resp.items] == [False, False]
+        for item in resp.items:
+            assert "nonesuch" in item.error.message
+
+
+class TestDispatchParity:
+    """The acceptance property: batch slots == individual dispatches."""
+
+    @pytest.mark.parametrize("index", range(len(MIXED_ITEMS)))
+    def test_itemwise_payload_identity(self, index):
+        batch = dispatch(BatchRequest(items=MIXED_ITEMS))
+        item, slot = MIXED_ITEMS[index], batch.items[index]
+        try:
+            single = dispatch(item)
+        except ReproError as exc:
+            assert not slot.ok
+            assert slot.error.type == type(exc).__name__
+            assert slot.error.message == str(exc)
+        else:
+            assert slot.ok
+            assert slot.response.to_dict() == single.to_dict()
+
+    def test_parity_survives_cold_caches_in_either_order(self):
+        """Batch-then-single and single-then-batch agree bit for bit."""
+        clear_caches()
+        batch_first = dispatch(BatchRequest(items=MIXED_ITEMS)).to_dict()
+        clear_caches()
+        singles = []
+        for item in MIXED_ITEMS:
+            try:
+                singles.append(("ok", dispatch(item).to_dict()))
+            except ReproError as exc:
+                singles.append((type(exc).__name__, str(exc)))
+        batch_second = dispatch(BatchRequest(items=MIXED_ITEMS)).to_dict()
+        assert batch_first == batch_second
+        for slot, outcome in zip(batch_first["items"], singles):
+            if outcome[0] == "ok":
+                assert slot["ok"] and slot["response"] == outcome[1]
+            else:
+                assert not slot["ok"]
+                assert slot["error"] == {
+                    "type": outcome[0], "message": outcome[1]
+                }
+
+    def test_batch_responses_memoise_like_any_other(self):
+        req = BatchRequest(items=MIXED_ITEMS[:3])
+        assert dispatch(req) is dispatch(req)
+
+
+class TestBatchItemShape:
+    def test_ok_slots_carry_responses_only(self):
+        resp = dispatch(BatchRequest(items=MIXED_ITEMS))
+        for slot in resp.items:
+            assert isinstance(slot, BatchItem)
+            if slot.ok:
+                assert slot.response is not None and slot.error is None
+            else:
+                assert slot.response is None and slot.error is not None
+
+    def test_encoded_slots_always_carry_all_three_fields(self):
+        payload = dispatch(BatchRequest(items=MIXED_ITEMS)).to_dict()
+        for slot in payload["items"]:
+            assert set(slot) == {"ok", "response", "error"}

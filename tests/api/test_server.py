@@ -77,6 +77,19 @@ class TestHealth:
         assert payload["status"] == "ok"
         assert payload["api_version"] == API_VERSION
         assert "budget" in payload["operations"]
+        assert "batch" in payload["operations"]
+
+    def test_healthz_surfaces_cache_census(self, live_server):
+        """Operators watch grid-store amortization from the probe."""
+        _post(live_server, "/v1/budget", {"budget_w": 3000.0})
+        status, payload = _get(live_server, "/healthz")
+        assert status == 200
+        caches = payload["caches"]
+        assert set(caches) == {"responses", "models", "grid_store"}
+        store = caches["grid_store"]
+        for key in ("hits", "superset_hits", "misses", "entries", "bytes"):
+            assert isinstance(store[key], int)
+        assert store["misses"] >= 1  # the budget grid above was evaluated
 
 
 class TestDispatchOverHttp:
@@ -111,6 +124,67 @@ class TestDispatchOverHttp:
         status, payload = _post(live_server, "/v1/sweep", b"")
         assert status == 200
         assert len(payload["points"]) == 8  # the default p sweep
+
+
+#: mixed wire payloads for the batch parity property — overlapping
+#: grids, several op kinds, and two items that must fail
+_BATCH_WIRE_ITEMS = [
+    {"op": "budget", "benchmark": "FT", "budget_w": 3000.0},
+    {"op": "budget", "benchmark": "FT", "budget_w": 2200.0},
+    {"op": "budget", "benchmark": "FT", "budget_w": -1.0},
+    {"op": "deadline", "benchmark": "FT", "deadline_s": 30.0},
+    {"op": "deadline", "benchmark": "FT", "deadline_s": 1e-9},
+    {"op": "evaluate", "p": 16},
+    {"op": "sweep", "p_values": [1, 4, 16]},
+    {"op": "pareto", "benchmark": "CG"},
+    {"op": "isoee", "benchmark": "EP", "target_ee": 0.9,
+     "p_values": [2, 8, 32]},
+]
+
+
+class TestBatchOverHttp:
+    def test_batch_round_trip(self, live_server):
+        status, payload = _post(
+            live_server, "/v1/batch", {"items": _BATCH_WIRE_ITEMS}
+        )
+        assert status == 200
+        assert payload["op"] == "batch" and payload["v"] == API_VERSION
+        assert len(payload["items"]) == len(_BATCH_WIRE_ITEMS)
+
+    def test_items_byte_identical_to_individual_posts(self, live_server):
+        """The acceptance property, over the real wire: every batch slot
+        equals the corresponding single ``POST /v1/<op>`` — responses
+        *and* structured error payloads alike."""
+        status, batch = _post(
+            live_server, "/v1/batch", {"items": _BATCH_WIRE_ITEMS}
+        )
+        assert status == 200
+        for item, slot in zip(_BATCH_WIRE_ITEMS, batch["items"]):
+            single_status, single = _post(
+                live_server, f"/v1/{item['op']}", item
+            )
+            if slot["ok"]:
+                assert single_status == 200
+                assert slot["response"] == single
+                assert slot["error"] is None
+            else:
+                assert single_status == 400
+                assert slot["error"] == single["error"]
+                assert slot["response"] is None
+
+    def test_empty_batch_maps_to_400(self, live_server):
+        status, payload = _post(live_server, "/v1/batch", {"items": []})
+        assert status == 400
+        assert payload["error"]["type"] == "ParameterError"
+
+    def test_nested_batch_maps_to_400(self, live_server):
+        status, payload = _post(
+            live_server, "/v1/batch",
+            {"items": [{"op": "batch", "items": []}]},
+        )
+        assert status == 400
+        assert payload["error"]["type"] == "WireError"
+        assert "nest" in payload["error"]["message"]
 
 
 class TestHttpErrors:

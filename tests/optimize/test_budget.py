@@ -145,3 +145,109 @@ class TestParetoFrontier:
             )
             if not dominated:
                 assert (q.p, q.f) in keys
+
+
+class TestFrontierVectorization:
+    def test_matches_the_scalar_loop(self, ft):
+        """The running-min mask keeps exactly what the loop kept."""
+        import numpy as np
+
+        from repro.optimize.budget import (
+            _frontier_flat,
+            _frontier_flat_scalar,
+            _pf_grid,
+        )
+
+        model, n = ft
+        grid = _pf_grid(model, n, P_VALUES, F_VALUES)
+        tp = grid.tp[:, :, 0].ravel()
+        ep = grid.ep[:, :, 0].ravel()
+        np.testing.assert_array_equal(
+            _frontier_flat(tp, ep), _frontier_flat_scalar(tp, ep)
+        )
+
+    def test_matches_the_loop_on_adversarial_ties(self):
+        """Duplicate tp/ep values exercise the strict-< tie rule."""
+        import numpy as np
+
+        from repro.optimize.budget import _frontier_flat, _frontier_flat_scalar
+
+        rng = np.random.default_rng(7)
+        for _ in range(25):
+            # coarse quantisation manufactures plenty of exact ties
+            tp = rng.integers(0, 6, size=40).astype(float)
+            ep = rng.integers(0, 6, size=40).astype(float)
+            np.testing.assert_array_equal(
+                _frontier_flat(tp, ep), _frontier_flat_scalar(tp, ep)
+            )
+
+
+class TestManySolvers:
+    def test_budget_vector_matches_scalar_solver(self, ft):
+        from repro.optimize.budget import max_speedup_under_power_many
+
+        model, n = ft
+        budgets = [900.0, 1_500.0, 2_400.0, 3_000.0, 5_000.0, 10_000.0]
+        many = max_speedup_under_power_many(
+            model, n=n, budgets=budgets, p_values=P_VALUES, f_values=F_VALUES
+        )
+        for budget, rec in zip(budgets, many):
+            single = max_speedup_under_power(
+                model, n=n, budget_w=budget,
+                p_values=P_VALUES, f_values=F_VALUES,
+            )
+            assert rec == single, budget
+
+    def test_deadline_vector_matches_scalar_solver(self, ft):
+        from repro.optimize.budget import min_energy_under_deadline_many
+
+        model, n = ft
+        deadlines = [2.0, 5.0, 8.0, 20.0, 60.0, 500.0]
+        many = min_energy_under_deadline_many(
+            model, n=n, deadlines=deadlines,
+            p_values=P_VALUES, f_values=F_VALUES,
+        )
+        for deadline, rec in zip(deadlines, many):
+            try:
+                single = min_energy_under_deadline(
+                    model, n=n, t_max=deadline,
+                    p_values=P_VALUES, f_values=F_VALUES,
+                )
+            except ParameterError as exc:
+                assert isinstance(rec, ParameterError), deadline
+                assert str(rec) == str(exc)
+            else:
+                assert rec == single, deadline
+
+    def test_errors_come_back_in_place_with_scalar_messages(self, ft):
+        from repro.optimize.budget import max_speedup_under_power_many
+
+        model, n = ft
+        many = max_speedup_under_power_many(
+            model, n=n, budgets=[-1.0, 1.0, 3_000.0],
+            p_values=P_VALUES, f_values=F_VALUES,
+        )
+        assert isinstance(many[0], ParameterError)
+        assert str(many[0]) == "power budget must be positive"
+        assert isinstance(many[1], ParameterError)  # below the frugalest draw
+        with pytest.raises(ParameterError) as err:
+            max_speedup_under_power(
+                model, n=n, budget_w=1.0, p_values=P_VALUES, f_values=F_VALUES
+            )
+        assert str(many[1]) == str(err.value)
+        assert not isinstance(many[2], ParameterError)
+
+    def test_deadline_errors_match_scalar_messages(self, ft):
+        from repro.optimize.budget import min_energy_under_deadline_many
+
+        model, n = ft
+        many = min_energy_under_deadline_many(
+            model, n=n, deadlines=[0.0, 1e-6],
+            p_values=P_VALUES, f_values=F_VALUES,
+        )
+        assert str(many[0]) == "deadline must be positive"
+        with pytest.raises(ParameterError) as err:
+            min_energy_under_deadline(
+                model, n=n, t_max=1e-6, p_values=P_VALUES, f_values=F_VALUES
+            )
+        assert str(many[1]) == str(err.value)

@@ -1,0 +1,187 @@
+"""GridStore semantics: keying, superset slicing, eviction, accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.optimize.engine import GridStore, default_store, ee_pairs, grid_for
+from repro.optimize.grid import ee_at_pairs, evaluate_grid
+from repro.paperdata import paper_model
+from repro.units import GHZ
+
+P_AXIS = [1, 2, 4, 8, 16, 32]
+F_AXIS = [1.6 * GHZ, 2.0 * GHZ, 2.4 * GHZ, 2.8 * GHZ]
+
+
+@pytest.fixture(scope="module")
+def ft():
+    return paper_model("FT", klass="B")
+
+
+class TestExactHits:
+    def test_same_axes_return_the_same_grid_object(self, ft):
+        model, n = ft
+        store = GridStore()
+        a = grid_for(model, p_values=P_AXIS, f_values=F_AXIS,
+                     n_values=[n], store=store)
+        b = grid_for(model, p_values=P_AXIS, f_values=F_AXIS,
+                     n_values=[n], store=store)
+        assert a is b
+        assert store.stats()["hits"] == 1
+        assert store.stats()["misses"] == 1
+
+    def test_f_none_and_calibration_frequency_share_one_entry(self, ft):
+        model, n = ft
+        store = GridStore()
+        a = grid_for(model, p_values=P_AXIS, n_values=[n], store=store)
+        b = grid_for(model, p_values=P_AXIS, f_values=[model.machine.f],
+                     n_values=[n], store=store)
+        assert a is b, "f=None must resolve to the calibration frequency key"
+
+    def test_matches_direct_evaluation_exactly(self, ft):
+        model, n = ft
+        store = GridStore()
+        cached = grid_for(model, p_values=P_AXIS, f_values=F_AXIS,
+                          n_values=[n], store=store)
+        direct = evaluate_grid(model, p_values=P_AXIS, f_values=F_AXIS,
+                               n_values=[n])
+        for name in ("tp", "ep", "ee", "eef", "avg_power", "speedup"):
+            np.testing.assert_array_equal(
+                getattr(cached, name), getattr(direct, name), err_msg=name
+            )
+        np.testing.assert_array_equal(cached.bottleneck, direct.bottleneck)
+
+
+class TestSupersetSlicing:
+    def test_subgrid_is_sliced_bit_identically(self, ft):
+        model, n = ft
+        store = GridStore()
+        grid_for(model, p_values=P_AXIS, f_values=F_AXIS,
+                 n_values=[0.5 * n, n, 2.0 * n], store=store)
+        sub = grid_for(model, p_values=[2, 16], f_values=F_AXIS[1:3],
+                       n_values=[n], store=store)
+        stats = store.stats()
+        assert stats["superset_hits"] == 1
+        assert stats["misses"] == 1
+        direct = evaluate_grid(model, p_values=[2, 16],
+                               f_values=F_AXIS[1:3], n_values=[n])
+        for name in ("tp", "ep", "ee", "avg_power"):
+            np.testing.assert_array_equal(
+                getattr(sub, name), getattr(direct, name), err_msg=name
+            )
+        assert sub.p_values == (2, 16)
+        assert sub.n_values == (float(n),)
+
+    def test_slice_respects_requested_axis_order(self, ft):
+        model, n = ft
+        store = GridStore()
+        grid_for(model, p_values=P_AXIS, f_values=F_AXIS,
+                 n_values=[n], store=store)
+        sub = grid_for(model, p_values=[16, 2], f_values=F_AXIS,
+                       n_values=[n], store=store)
+        assert store.stats()["superset_hits"] == 1
+        assert sub.p_values == (16, 2)
+        np.testing.assert_array_equal(
+            sub.tp, evaluate_grid(
+                model, p_values=[16, 2], f_values=F_AXIS, n_values=[n]
+            ).tp,
+        )
+
+    def test_sliced_grid_becomes_an_exact_entry(self, ft):
+        model, n = ft
+        store = GridStore()
+        grid_for(model, p_values=P_AXIS, f_values=F_AXIS,
+                 n_values=[n], store=store)
+        first = grid_for(model, p_values=[2, 16], f_values=F_AXIS,
+                         n_values=[n], store=store)
+        second = grid_for(model, p_values=[2, 16], f_values=F_AXIS,
+                          n_values=[n], store=store)
+        assert first is second
+        assert store.stats()["hits"] == 1
+
+    def test_different_models_never_share(self, ft):
+        model, n = ft
+        other_model, other_n = paper_model("CG", klass="B")
+        store = GridStore()
+        grid_for(model, p_values=P_AXIS, n_values=[n], store=store)
+        grid_for(other_model, p_values=P_AXIS[:3], n_values=[other_n],
+                 store=store)
+        assert store.stats()["misses"] == 2
+        assert store.stats()["superset_hits"] == 0
+
+
+class TestStoreHygiene:
+    def test_cached_arrays_are_read_only(self, ft):
+        model, n = ft
+        grid = grid_for(model, p_values=P_AXIS, n_values=[n],
+                        store=GridStore())
+        with pytest.raises(ValueError):
+            grid.tp[0, 0, 0] = 0.0
+
+    def test_argbest_works_on_frozen_arrays(self, ft):
+        model, n = ft
+        grid = grid_for(model, p_values=P_AXIS, f_values=F_AXIS,
+                        n_values=[n], store=GridStore())
+        ip, jf, kn = grid.argbest("tp", where=grid.avg_power <= 4000.0)
+        assert grid.avg_power[ip, jf, kn] <= 4000.0
+        ip2, jf2, kn2 = grid.argbest("ee", mode="max")
+        assert grid.ee[ip2, jf2, kn2] == grid.ee.max()
+
+    def test_lru_eviction_bounds_entries_and_bytes(self, ft):
+        model, n = ft
+        store = GridStore(max_entries=2)
+        for k in range(4):
+            grid_for(model, p_values=[1, 2 + k], n_values=[n], store=store)
+        stats = store.stats()
+        assert stats["entries"] == 2
+        assert stats["evictions"] == 2
+        assert stats["bytes"] > 0
+
+    def test_clear_drops_entries(self, ft):
+        model, n = ft
+        store = GridStore()
+        grid_for(model, p_values=P_AXIS, n_values=[n], store=store)
+        store.clear()
+        assert store.stats()["entries"] == 0
+        assert store.stats()["bytes"] == 0
+        grid_for(model, p_values=P_AXIS, n_values=[n], store=store)
+        assert store.stats()["misses"] == 2  # counters are cumulative
+
+    def test_invalid_axes_surface_the_evaluator_errors(self, ft):
+        model, n = ft
+        store = GridStore()
+        with pytest.raises(ParameterError):
+            grid_for(model, p_values=[], n_values=[n], store=store)
+        with pytest.raises(ParameterError):
+            grid_for(model, p_values=[0, 2], n_values=[n], store=store)
+
+    def test_empty_f_axis_errors_even_on_a_warm_store(self, ft):
+        """Regression: f_values=() must not superset-match vacuously."""
+        model, n = ft
+        store = GridStore()
+        grid_for(model, p_values=P_AXIS, f_values=F_AXIS,
+                 n_values=[n], store=store)  # warm the store
+        with pytest.raises(ParameterError, match="empty"):
+            grid_for(model, p_values=P_AXIS, f_values=(),
+                     n_values=[n], store=store)
+
+    def test_max_entries_must_be_positive(self):
+        with pytest.raises(ParameterError):
+            GridStore(max_entries=0)
+
+
+class TestDefaultStoreAndPairs:
+    def test_default_store_is_shared(self):
+        assert default_store() is default_store()
+
+    def test_ee_pairs_matches_ee_at_pairs_and_counts(self, ft):
+        model, _ = ft
+        store = GridStore()
+        ns = np.array([1e6, 2e6, 4e6])
+        ps = np.array([2, 4, 8])
+        np.testing.assert_array_equal(
+            ee_pairs(model, ns, ps, store=store),
+            ee_at_pairs(model, ns, ps),
+        )
+        assert store.stats()["pair_batches"] == 1
+        assert store.stats()["pair_points"] == 3

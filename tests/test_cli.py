@@ -281,3 +281,103 @@ def test_federate_requires_shards_and_jobs(capsys):
     code, _, err = run_cli(capsys, "federate", "--budget", "7000")
     assert code == 2
     assert "--shard" in err
+
+
+# -- batch ------------------------------------------------------------------
+
+
+def _write_batch_file(tmp_path, items):
+    import json
+
+    path = tmp_path / "batch.json"
+    path.write_text(json.dumps(items))
+    return str(path)
+
+
+def test_batch_text_output(capsys, tmp_path):
+    path = _write_batch_file(tmp_path, [
+        {"op": "budget", "benchmark": "FT", "budget_w": 3000.0},
+        {"op": "budget", "benchmark": "FT", "budget_w": -1.0},
+        {"op": "sweep", "p_values": [1, 4, 16]},
+    ])
+    code, out, _ = run_cli(capsys, "batch", "--file", path)
+    assert code == 0
+    assert "2/3 items ok" in out
+    assert "ParameterError" in out
+    assert "power budget must be positive" in out
+
+
+def test_batch_accepts_the_full_envelope(capsys, tmp_path):
+    path = _write_batch_file(tmp_path, {
+        "op": "batch",
+        "items": [{"op": "evaluate", "p": 16}],
+    })
+    code, out, _ = run_cli(capsys, "batch", "--file", path)
+    assert code == 0
+    assert "1/1 items ok" in out
+
+
+def test_batch_json_matches_dispatch(capsys, tmp_path):
+    import json
+
+    from repro.api.service import dispatch
+    from repro.api.types import BatchRequest, BudgetQuery, SweepRequest
+
+    path = _write_batch_file(tmp_path, [
+        {"op": "budget", "benchmark": "FT", "budget_w": 3000.0},
+        {"op": "sweep", "p_values": [1, 4]},
+    ])
+    code, out, _ = run_cli(capsys, "batch", "--file", path, "--json")
+    assert code == 0
+    expected = dispatch(BatchRequest(items=(
+        BudgetQuery(benchmark="FT", budget_w=3000.0),
+        SweepRequest(p_values=(1, 4)),
+    ))).to_dict()
+    assert json.loads(out) == expected
+
+
+def test_batch_reads_stdin_by_default(capsys, monkeypatch):
+    import io
+    import json
+    import sys
+
+    monkeypatch.setattr(sys, "stdin", io.StringIO(json.dumps(
+        [{"op": "evaluate", "p": 4}]
+    )))
+    code, out, _ = run_cli(capsys, "batch")
+    assert code == 0
+    assert "1/1 items ok" in out
+
+
+def test_batch_bad_json_is_a_clean_error(capsys, tmp_path):
+    path = tmp_path / "broken.json"
+    path.write_text("{not json")
+    code, _, err = run_cli(capsys, "batch", "--file", str(path))
+    assert code == 2
+    assert "not valid JSON" in err
+
+
+def test_batch_missing_file_is_a_clean_error(capsys):
+    code, _, err = run_cli(capsys, "batch", "--file", "/nonexistent.json")
+    assert code == 2
+    assert "cannot read" in err
+
+
+# -- cache-stats ------------------------------------------------------------
+
+
+def test_cache_stats_text(capsys):
+    code, out, _ = run_cli(capsys, "cache-stats")
+    assert code == 0
+    assert "grid store" in out
+    assert "contour pairs" in out
+
+
+def test_cache_stats_json_shape(capsys):
+    import json
+
+    code, out, _ = run_cli(capsys, "cache-stats", "--json")
+    assert code == 0
+    payload = json.loads(out)
+    assert set(payload) == {"responses", "models", "grid_store"}
+    assert "superset_hits" in payload["grid_store"]
