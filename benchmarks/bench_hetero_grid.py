@@ -1,0 +1,128 @@
+"""Perf benchmark: the vectorized mixed-pool evaluator vs the scalar loop.
+
+The hetero subsystem's claim is that searching the (per-pool counts ×
+per-pool rungs × split policy) allocation space is a batch problem: Θ2
+factors over distinct totals, Θ1 over (pool, rung), and everything else
+is elementwise — so :func:`repro.hetero.space.evaluate_space` must beat
+the per-allocation scalar loop (build a
+:class:`~repro.core.hetero.HeteroIsoEnergyModel`, call ``evaluate``) by
+**≥5×** on a ~500-allocation space, with every allocation numerically
+equivalent.  A second floor holds the store's group-aware cache to ≥5×
+over re-evaluation, mirroring the homogeneous store floors.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from conftest import print_artifact
+
+from repro.analysis.report import ascii_table
+from repro.hetero.solve import space_for
+from repro.hetero.space import (
+    PoolSpec,
+    evaluate_space,
+    hetero_grid,
+    scalar_space_points,
+)
+from repro.optimize.engine import GridStore
+
+HETERO_SPEEDUP_FLOOR = 5.0
+STORE_SPEEDUP_FLOOR = 5.0
+
+
+def _space():
+    """Two real machines × many counts × several rungs × both policies."""
+    return space_for(
+        "FT",
+        "B",
+        pools=(
+            PoolSpec(
+                "fast", "systemg",
+                (1, 2, 4, 8, 16, 24, 32, 48), (2.0, 2.4, 2.8),
+            ),
+            PoolSpec("slow", "dori", (1, 2, 4, 6, 8), (1.8, 2.0)),
+        ),
+        policies=("balanced", "uniform"),
+    )
+
+
+def test_hetero_grid_vs_scalar(benchmark):
+    space = _space()
+
+    t0 = time.perf_counter()
+    points = scalar_space_points(space)
+    t_scalar = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    grid = evaluate_space(space)
+    t_vec = time.perf_counter() - t0
+    speedup = t_scalar / t_vec
+
+    # every allocation numerically equivalent to its scalar twin
+    assert grid.size == len(points)
+    for name in ("tp", "ep", "ee", "avg_power"):
+        np.testing.assert_allclose(
+            getattr(grid, name), [getattr(p, name) for p in points],
+            rtol=1e-9, err_msg=name,
+        )
+
+    benchmark.pedantic(lambda: evaluate_space(space), rounds=3, iterations=1)
+
+    body = ascii_table(
+        ["quantity", "value"],
+        [
+            ("space", f"{grid.size} allocations "
+                      f"({grid.mixes} mixes x {len(grid.policies)} policies)"),
+            ("scalar per-allocation loop", f"{t_scalar * 1e3:.0f} ms"),
+            ("vectorized evaluate_space", f"{t_vec * 1e3:.1f} ms"),
+            ("speedup", f"{speedup:.1f}x"),
+            ("floor", f"{HETERO_SPEEDUP_FLOOR:.0f}x"),
+        ],
+    )
+    print_artifact("hetero.space — vectorized vs scalar mixed-pool sweep", body)
+
+    assert speedup >= HETERO_SPEEDUP_FLOOR, (
+        f"vectorized mixed-pool evaluation only {speedup:.1f}x faster than "
+        f"the scalar loop (need >= {HETERO_SPEEDUP_FLOOR:.0f}x)"
+    )
+
+
+def test_hetero_store_hit_floor(benchmark):
+    """A repeated space must come back from the group-aware cache."""
+    space = _space()
+    store = GridStore()  # isolated: the floor must not ride warm globals
+
+    t0 = time.perf_counter()
+    first = hetero_grid(space, store=store)
+    t_cold = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    again = hetero_grid(space, store=store)
+    t_hit = time.perf_counter() - t0
+
+    assert again is first
+    stats = store.stats()
+    assert stats["hetero_hits"] == 1 and stats["hetero_misses"] == 1
+
+    benchmark.pedantic(
+        lambda: hetero_grid(space, store=store), rounds=3, iterations=1
+    )
+    speedup = t_cold / t_hit
+
+    body = ascii_table(
+        ["quantity", "value"],
+        [
+            ("space", f"{first.size} allocations"),
+            ("cold evaluation", f"{t_cold * 1e3:.2f} ms"),
+            ("store hit", f"{t_hit * 1e3:.3f} ms  ({speedup:.0f}x)"),
+            ("floor", f"{STORE_SPEEDUP_FLOOR:.0f}x"),
+        ],
+    )
+    print_artifact("hetero.space — group-aware store hit latency", body)
+
+    assert speedup >= STORE_SPEEDUP_FLOOR, (
+        f"hetero store hit only {speedup:.1f}x faster than cold evaluation "
+        f"(need >= {STORE_SPEEDUP_FLOOR:.0f}x)"
+    )

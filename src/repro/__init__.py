@@ -23,6 +23,7 @@ from repro.api import (
     DeadlineQuery,
     EvaluateRequest,
     FederateRequest,
+    HeteroRequest,
     IsoEEQuery,
     ParetoQuery,
     ScheduleRequest,
@@ -30,6 +31,12 @@ from repro.api import (
     SweepRequest,
     ValidateRequest,
     dispatch,
+)
+from repro.hetero import (
+    HeteroSpace,
+    PoolSpec,
+    hetero_grid,
+    pool_from_machine,
 )
 from repro.federation import (
     ShardRegistry,
@@ -81,6 +88,11 @@ __all__ = [
     "ParetoQuery",
     "ScheduleRequest",
     "FederateRequest",
+    "HeteroRequest",
+    "HeteroSpace",
+    "PoolSpec",
+    "hetero_grid",
+    "pool_from_machine",
     "ShardRegistry",
     "ShardSpec",
     "default_registry",

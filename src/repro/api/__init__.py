@@ -49,6 +49,8 @@ from repro.api.types import (
     EvaluateResponse,
     FederateRequest,
     FederateResponse,
+    HeteroRequest,
+    HeteroResponse,
     IsoEEQuery,
     IsoEEResponse,
     ParetoQuery,
@@ -105,4 +107,6 @@ __all__ = [
     "ScheduleResponse",
     "FederateRequest",
     "FederateResponse",
+    "HeteroRequest",
+    "HeteroResponse",
 ]

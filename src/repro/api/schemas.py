@@ -22,6 +22,8 @@ from repro.api.types import (
     EvaluateResponse,
     FederateRequest,
     FederateResponse,
+    HeteroRequest,
+    HeteroResponse,
     IsoEEQuery,
     IsoEEResponse,
     ParetoQuery,
@@ -53,6 +55,7 @@ REQUEST_TYPES: dict[str, type[WireRecord]] = {
         ParetoQuery,
         ScheduleRequest,
         FederateRequest,
+        HeteroRequest,
         BatchRequest,
     )
 }
@@ -71,6 +74,7 @@ RESPONSE_TYPES: dict[str, type[Response]] = {
         ParetoResponse,
         ScheduleResponse,
         FederateResponse,
+        HeteroResponse,
         BatchResponse,
     )
 }

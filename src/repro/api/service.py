@@ -31,6 +31,8 @@ from repro.api.types import (
     EvaluateResponse,
     FederateRequest,
     FederateResponse,
+    HeteroRequest,
+    HeteroResponse,
     IsoEEQuery,
     IsoEEResponse,
     ModelRequest,
@@ -52,6 +54,8 @@ from repro.core.model import IsoEnergyModel
 from repro.errors import ParameterError, ReproError, WireError
 from repro.federation.registry import default_registry
 from repro.federation.router import route_jobs
+from repro.hetero import solve as hetero_solve
+from repro.hetero.space import HeteroSpace, PoolSpec
 from repro.optimize import (
     default_store,
     grid_for,
@@ -255,6 +259,69 @@ def _schedule(req: ScheduleRequest) -> ScheduleResponse:
     )
 
 
+@lru_cache(maxsize=64)
+def _resolved_space(
+    benchmark: str,
+    klass: str,
+    niter: int | None,
+    pools: tuple[PoolSpec, ...],
+    policies: tuple[str, ...],
+    n_factor: float,
+) -> HeteroSpace:
+    """The resolved mixed-pool space, memoised per distinct selector.
+
+    Memoisation is what makes repeated and batched hetero queries share
+    one grid: the same selector always yields the same space *object*,
+    and the store's group-aware cache keys on that identity.  Pool
+    machine names resolve through the process-wide federation registry,
+    so the registry-mutation hook below must drop this cache too.
+    """
+    return hetero_solve.space_for(
+        benchmark, klass, niter, pools=pools, policies=policies,
+        n_factor=n_factor,
+    )
+
+
+def _hetero(req: HeteroRequest) -> HeteroResponse:
+    wants_any = (
+        req.budget_w is not None
+        or req.deadline_s is not None
+        or req.pareto
+        or req.policy_gap
+    )
+    if not wants_any:
+        raise ParameterError(
+            "nothing to solve: set budget_w, deadline_s, pareto, "
+            "and/or policy_gap"
+        )
+    space = _resolved_space(
+        req.benchmark.upper(), req.klass.upper(), req.niter, req.pools,
+        req.policies, req.n_factor,
+    )
+    budget = (
+        hetero_solve.max_speedup_under_power(space, budget_w=req.budget_w)
+        if req.budget_w is not None
+        else None
+    )
+    deadline = (
+        hetero_solve.min_energy_under_deadline(space, t_max=req.deadline_s)
+        if req.deadline_s is not None
+        else None
+    )
+    frontier = (
+        tuple(hetero_solve.pareto_frontier(space)) if req.pareto else ()
+    )
+    gap = hetero_solve.policy_gap(space) if req.policy_gap else None
+    return HeteroResponse(
+        model=space.label,
+        allocations=space.size,
+        budget=budget,
+        deadline=deadline,
+        pareto=frontier,
+        policy_gap=gap,
+    )
+
+
 def _federate(req: FederateRequest) -> FederateResponse:
     shards = default_registry().build_site(req.shards)
     fed = route_jobs(
@@ -401,6 +468,7 @@ _HANDLERS = {
     ParetoQuery: _pareto,
     ScheduleRequest: _schedule,
     FederateRequest: _federate,
+    HeteroRequest: _hetero,
     BatchRequest: _batch,
 }
 
@@ -418,6 +486,7 @@ def _dispatch_cached(request: WireRecord) -> Response:
 # pin dead hardware definitions in memory.
 def _on_registry_mutation() -> None:
     _dispatch_cached.cache_clear()
+    _resolved_space.cache_clear()  # pool machine names resolve there too
     default_store().clear()
 
 
@@ -442,15 +511,17 @@ def dispatch(request: WireRecord) -> Response:
 def cache_info() -> dict[str, object]:
     """Hit/miss statistics of every serving-side memo layer.
 
-    ``responses`` and ``models`` are ``functools`` ``CacheInfo`` records;
+    ``responses``, ``models``, and ``spaces`` (resolved mixed-pool
+    search spaces) are ``functools`` ``CacheInfo`` records;
     ``grid_store`` is the shared :class:`~repro.optimize.engine.GridStore`
     census (exact hits, superset slices, misses, resident bytes, contour
-    pair traffic) — the number an operator watches to see batch
-    amortization working.
+    pair traffic, and the hetero-grid hit/miss counters) — the numbers
+    an operator watches to see batch amortization working.
     """
     return {
         "responses": _dispatch_cached.cache_info(),
         "models": _resolved_model.cache_info(),
+        "spaces": _resolved_space.cache_info(),
         "grid_store": default_store().stats(),
     }
 
@@ -465,12 +536,14 @@ def cache_stats_payload() -> dict[str, dict[str, int]]:
     return {
         "responses": dict(info["responses"]._asdict()),
         "models": dict(info["models"]._asdict()),
+        "spaces": dict(info["spaces"]._asdict()),
         "grid_store": dict(info["grid_store"]),
     }
 
 
 def clear_caches() -> None:
-    """Drop every memoised response, resolved model, and cached grid."""
+    """Drop every memoised response, resolved model/space, and cached grid."""
     _dispatch_cached.cache_clear()
     _resolved_model.cache_clear()
+    _resolved_space.cache_clear()
     default_store().clear()

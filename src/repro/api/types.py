@@ -36,6 +36,8 @@ from repro.errors import WireError
 from repro.federation.partition import ShardAllocation
 from repro.federation.registry import ShardSpec
 from repro.federation.router import ShardPlan
+from repro.hetero.solve import HeteroRecommendation, PolicyGap
+from repro.hetero.space import PoolChoice, PoolSpec
 from repro.optimize.budget import Recommendation
 from repro.optimize.contour import ContourPoint
 from repro.optimize.schedule import Assignment, Job
@@ -46,7 +48,10 @@ from repro.optimize.schedule import Assignment, Job
 #: v3: the ``batch`` operation — one payload carrying a heterogeneous
 #: list of sub-queries, answered item-wise with structured per-item
 #: errors (a bad item cannot sink its batch-mates).
-API_VERSION = 3
+#: v4: the ``hetero`` operation — mixed-pool allocation search with
+#: nested ``PoolSpec`` pools — and the optional ``pools`` field on
+#: federation ``ShardSpec`` (heterogeneous shards).
+API_VERSION = 4
 
 # ---------------------------------------------------------------------------
 # Field coercers — the "typed" in typed facade
@@ -172,14 +177,42 @@ _ASSIGNMENT = _nested(
         "rungs_available": _int,
     },
 )
+_POOL_SPEC = _nested(
+    PoolSpec,
+    {
+        "name": _str, "cluster": _str, "count_values": _tuple_of(_int),
+        "f_values_ghz": _tuple_of(_float),
+    },
+    defaults=frozenset({"cluster", "count_values", "f_values_ghz"}),
+)
+_POOL_CHOICE = _nested(
+    PoolChoice, {"pool": _str, "count": _int, "f": _float},
+)
+_HETERO_RECOMMENDATION = _nested(
+    HeteroRecommendation,
+    {
+        "objective": _str, "policy": _str,
+        "pools": _tuple_of(_POOL_CHOICE), "total_p": _int, "tp": _float,
+        "ep": _float, "ee": _float, "avg_power": _float,
+        "feasible_count": _int,
+    },
+)
+_POLICY_GAP = _nested(
+    PolicyGap,
+    {
+        "mixes": _int, "max_gap": _float, "mean_gap": _float,
+        "worst": _tuple_of(_POOL_CHOICE), "worst_total_p": _int,
+    },
+)
 _SHARD_SPEC = _nested(
     ShardSpec,
     {
         "name": _str, "cluster": _str, "nodes": _int,
         "power_envelope_w": _float, "policy": _str,
         "ee_floor": _optional(_float),
+        "pools": _tuple_of(_POOL_SPEC),
     },
-    defaults=frozenset({"cluster", "nodes", "policy", "ee_floor"}),
+    defaults=frozenset({"cluster", "nodes", "policy", "ee_floor", "pools"}),
 )
 _SHARD_ALLOCATION = _nested(
     ShardAllocation,
@@ -496,6 +529,45 @@ class FederateRequest(WireRecord):
     jobs: tuple[Job, ...] = ()
 
 
+@dataclass(frozen=True)
+class HeteroRequest(WireRecord):
+    """Search a heterogeneous pool mix for one workload.
+
+    ``pools`` describe the candidate pools (machine names resolve
+    through the federation registry, so hypothetical machines work);
+    ``policies`` the workload split policies to search.  At least one
+    objective must be requested: ``budget_w`` (fastest mix under the
+    power budget), ``deadline_s`` (greenest mix meeting the deadline),
+    ``pareto`` (the non-dominated menu), and/or ``policy_gap``
+    (balanced-vs-uniform energy penalty over the mix space).
+    """
+
+    op: ClassVar[str] = "hetero"
+    coercers: ClassVar[dict[str, Coercer]] = {
+        "benchmark": _str,
+        "klass": _str,
+        "niter": _optional(_int),
+        "pools": _tuple_of(_POOL_SPEC),
+        "policies": _tuple_of(_str),
+        "n_factor": _float,
+        "budget_w": _optional(_float),
+        "deadline_s": _optional(_float),
+        "pareto": _bool,
+        "policy_gap": _bool,
+    }
+
+    benchmark: str = "FT"
+    klass: str = "B"
+    niter: int | None = None
+    pools: tuple[PoolSpec, ...] = ()
+    policies: tuple[str, ...] = ("balanced",)
+    n_factor: float = 1.0
+    budget_w: float | None = None
+    deadline_s: float | None = None
+    pareto: bool = False
+    policy_gap: bool = False
+
+
 def _sub_request(value: Any) -> "WireRecord":
     """One batch item: any non-batch request, op-tagged.
 
@@ -720,6 +792,34 @@ class FederateResponse(Response):
     site_headroom_w: float
     makespan_s: float
     total_energy_j: float
+
+
+@dataclass(frozen=True)
+class HeteroResponse(Response):
+    """The answered hetero objectives; unrequested slots are null.
+
+    ``allocations`` is the size of the searched space (mixes × split
+    policies); each requested objective fills its slot with a
+    :class:`~repro.hetero.solve.HeteroRecommendation` (or the Pareto
+    tuple / :class:`~repro.hetero.solve.PolicyGap` record).
+    """
+
+    op: ClassVar[str] = "hetero"
+    coercers: ClassVar[dict[str, Coercer]] = {
+        "model": _str,
+        "allocations": _int,
+        "budget": _optional(_HETERO_RECOMMENDATION),
+        "deadline": _optional(_HETERO_RECOMMENDATION),
+        "pareto": _tuple_of(_HETERO_RECOMMENDATION),
+        "policy_gap": _optional(_POLICY_GAP),
+    }
+
+    model: str
+    allocations: int
+    budget: HeteroRecommendation | None
+    deadline: HeteroRecommendation | None
+    pareto: tuple[HeteroRecommendation, ...]
+    policy_gap: PolicyGap | None
 
 
 @dataclass(frozen=True)

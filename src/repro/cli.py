@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Nine commands cover the everyday workflows:
+Ten commands cover the everyday workflows:
 
 * ``evaluate``  — EE/EEF/energy at one (benchmark, cluster, p, f, class)
 * ``sweep``     — the EE-vs-p table for a benchmark
@@ -8,6 +8,9 @@ Nine commands cover the everyday workflows:
 * ``surface``   — a terminal heatmap of EE over (p × f) or (p × n)
 * ``optimize``  — invert the model: best (p, f) under a power budget or
   deadline, iso-EE contours, and the (Tp, Ep) Pareto frontier
+* ``hetero``    — the same questions over *mixed* processor pools:
+  fastest/greenest pool allocation, Pareto menu of mixes, and the
+  balanced-vs-uniform split penalty
 * ``federate``  — split a site power budget across shards and route a
   job queue by EE-per-watt
 * ``batch``     — fan one JSON payload of heterogeneous sub-queries
@@ -47,10 +50,12 @@ from repro.api.types import (
     SweepRequest,
     ValidateRequest,
 )
+from repro.api.types import HeteroRequest
 from repro.errors import ReproError
 from repro.federation.partition import PARTITION_STRATEGIES
 from repro.federation.registry import ShardSpec
 from repro.federation.router import ROUTING_METRICS
+from repro.hetero.space import POLICIES, PoolSpec
 from repro.npb.workloads import benchmark_names
 from repro.optimize.schedule import SCHEDULE_POLICIES, Job
 from repro.units import GHZ
@@ -375,6 +380,101 @@ def cmd_federate(args) -> int:
     return 0
 
 
+def _parse_pool(text: str) -> PoolSpec:
+    """``name:cluster:counts[:freqs]`` → PoolSpec (counts/freqs |-separated)."""
+    parts = text.split(":")
+    if not (3 <= len(parts) <= 4):
+        raise ReproError(
+            f"--pool expects name:cluster:counts[:freqs] with |-separated "
+            f"counts and GHz freqs, got {text!r}"
+        )
+    try:
+        counts = tuple(int(x) for x in parts[2].split("|") if x.strip())
+        freqs = (
+            tuple(float(x) for x in parts[3].split("|") if x.strip())
+            if len(parts) == 4
+            else ()
+        )
+    except ValueError:
+        raise ReproError(f"--pool has a non-numeric field in {text!r}") from None
+    return PoolSpec(
+        name=parts[0], cluster=parts[1], count_values=counts,
+        f_values_ghz=freqs,
+    )
+
+
+def _mix_label(pools) -> str:
+    """``fast×8 @2.80GHz + slow×4 @1.80GHz`` for a choice tuple."""
+    return " + ".join(
+        f"{c.pool}x{c.count} @{c.f / GHZ:.2f}GHz" for c in pools
+    )
+
+
+def _hetero_rec_rows(rec) -> list[tuple]:
+    return [
+        ("objective", rec.objective),
+        ("policy", rec.policy),
+        ("mix", _mix_label(rec.pools)),
+        ("total p", rec.total_p),
+        ("Tp", f"{rec.tp:.3f} s"),
+        ("Ep", f"{rec.ep:.1f} J"),
+        ("EE", f"{rec.ee:.4f}"),
+        ("avg power", f"{rec.avg_power:.0f} W"),
+        ("feasible allocations", rec.feasible_count),
+    ]
+
+
+def cmd_hetero(args) -> int:
+    if not args.pool:
+        raise ReproError("hetero needs at least one --pool")
+    req = HeteroRequest(
+        benchmark=args.benchmark,
+        klass=args.klass,
+        niter=args.niter,
+        pools=tuple(_parse_pool(p) for p in args.pool),
+        policies=tuple(
+            p.strip() for p in args.policies.split(",") if p.strip()
+        ),
+        n_factor=args.n_factor,
+        budget_w=args.power_budget,
+        deadline_s=args.deadline,
+        pareto=args.pareto,
+        policy_gap=args.policy_gap,
+    )
+    resp = dispatch(req)
+    if args.json:
+        return _emit_json([resp])
+    print(f"{resp.model}: {resp.allocations} candidate allocations")
+    for rec in (resp.budget, resp.deadline):
+        if rec is None:
+            continue
+        print()
+        print(ascii_table(["quantity", "value"], _hetero_rec_rows(rec)))
+    if resp.pareto:
+        print()
+        print(f"(Tp, Ep) Pareto frontier over pool mixes — {resp.model}")
+        print(ascii_table(
+            ["mix", "policy", "total p", "Tp (s)", "Ep (J)", "EE", "draw (W)"],
+            [(_mix_label(r.pools), r.policy, r.total_p, round(r.tp, 3),
+              round(r.ep, 1), round(r.ee, 4), round(r.avg_power, 0))
+             for r in resp.pareto],
+        ))
+    if resp.policy_gap is not None:
+        gap = resp.policy_gap
+        print()
+        print(ascii_table(
+            ["quantity", "value"],
+            [
+                ("pool mixes compared", gap.mixes),
+                ("max uniform-vs-balanced penalty", f"{gap.max_gap * 100:.1f} %"),
+                ("mean penalty", f"{gap.mean_gap * 100:.1f} %"),
+                ("worst mix", _mix_label(gap.worst)),
+                ("worst mix total p", gap.worst_total_p),
+            ],
+        ))
+    return 0
+
+
 def _item_brief(resp: Response) -> str:
     """One-line gist of a batch item's answer for the text table."""
     rec = getattr(resp, "recommendation", None)
@@ -451,6 +551,10 @@ def cmd_cache_stats(args) -> int:
                        f"{store['bytes']} bytes"),
         ("contour pairs", f"{store['pair_batches']} batches, "
                           f"{store['pair_points']} points"),
+        ("hetero grids", f"{store['hetero_hits']} hits / "
+                         f"{store['hetero_misses']} misses, "
+                         f"{store['hetero_entries']} grids, "
+                         f"{store['hetero_bytes']} bytes"),
     ]
     print(ascii_table(["layer", "statistics"], rows))
     return 0
@@ -550,6 +654,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_fed.add_argument("--json", action="store_true",
                        help="emit the API response payload as JSON")
     p_fed.set_defaults(func=cmd_federate)
+
+    p_het = sub.add_parser(
+        "hetero",
+        help="search mixed-pool allocations under power/deadline constraints",
+    )
+    p_het.add_argument("--benchmark", default="FT", type=str.upper,
+                       choices=list(benchmark_names()))
+    p_het.add_argument("--klass", default="B", help="NPB class (S/W/A/B/C/D)")
+    p_het.add_argument("--niter", type=int, default=None,
+                       help="iteration override (time sampling)")
+    p_het.add_argument(
+        "--pool", action="append", default=[], metavar="SPEC",
+        help="name:cluster:counts[:freqs] with |-separated counts and GHz "
+             "freqs (repeatable), e.g. fast:systemg:1|2|4|8:2.4|2.8",
+    )
+    p_het.add_argument(
+        "--policies", default="balanced",
+        help=f"comma list of split policies from {','.join(POLICIES)}",
+    )
+    p_het.add_argument("--power-budget", type=float, default=None,
+                       help="power cap in watts (fastest mix under it)")
+    p_het.add_argument("--deadline", type=float, default=None,
+                       help="runtime SLA in seconds (greenest mix meeting it)")
+    p_het.add_argument("--pareto", action="store_true",
+                       help="print the (Tp, Ep) Pareto frontier of pool mixes")
+    p_het.add_argument("--policy-gap", action="store_true",
+                       help="quantify the uniform-vs-balanced split penalty")
+    p_het.add_argument("--n-factor", type=float, default=1.0,
+                       help="scale the class problem size by this factor")
+    p_het.add_argument("--json", action="store_true",
+                       help="emit the API response payload as JSON")
+    p_het.set_defaults(func=cmd_hetero)
 
     p_batch = sub.add_parser(
         "batch",

@@ -42,7 +42,12 @@ class ProcessorGroup:
         """Seconds for one processor here to do a unit of (Wc, Wm) mix."""
         total = app.wc + app.wm
         if total <= 0:
-            raise ParameterError("workload has no work")
+            # name the group: a degenerate workload surfacing mid-batch
+            # must point at *where* it broke, and the vectorized space
+            # evaluator mirrors this exact message for per-item parity
+            raise ParameterError(
+                f"group {self.name}: workload has no work"
+            )
         frac_c = app.wc / total
         frac_m = app.wm / total
         return frac_c * self.machine.tc + frac_m * self.machine.tm
@@ -98,7 +103,10 @@ class HeteroIsoEnergyModel:
         elif policy == "uniform":
             speeds = {g.name: float(g.count) for g in self.groups}
         else:
-            raise ParameterError(f"unknown split policy {policy!r}")
+            raise ParameterError(
+                f"unknown split policy {policy!r}; "
+                "choose from ('balanced', 'uniform')"
+            )
         total = sum(speeds.values())
         return {name: s / total for name, s in speeds.items()}
 

@@ -45,11 +45,13 @@ import numpy as np
 
 from repro.errors import ParameterError
 from repro.federation.registry import Shard
+from repro.hetero.space import hetero_grid
 from repro.optimize.schedule import (
     Job,
     Rung,
     climb_makespan,
     eligible_rungs,
+    ladder_from_cells,
     power_ladder,
 )
 
@@ -128,26 +130,61 @@ class SitePartition:
         raise ParameterError(f"no allocation for shard {shard!r}")
 
 
+def hetero_ladder(
+    shard: Shard, benchmark: str, klass: str = "B", niter: int | None = None
+) -> list[Rung]:
+    """A heterogeneous shard's power ladder: mixed-pool allocation rungs.
+
+    Every allocation of the shard's pool space is a candidate rung;
+    :func:`~repro.optimize.schedule.ladder_from_cells` prunes it to the
+    power-vs-runtime Pareto set, exactly as the homogeneous (p, f)
+    ladder is pruned, so the scheduler's climb and the partitioner's
+    capability curves work unchanged on mixed pools.  ``Rung.p`` carries
+    the allocation's *total* processor count and ``Rung.f`` the fastest
+    pool's clock — representative labels; the full per-pool detail lives
+    in the hetero API.  The grid rides the shared store's group-aware
+    cache, so repeated federate calls reuse one evaluation.
+    """
+    grid = hetero_grid(shard.hetero_space_for(benchmark, klass, niter))
+    cells = [
+        Rung(
+            p=int(grid.total_p[k]),
+            f=float(grid.freqs[k].max()),
+            tp=float(grid.tp[k]),
+            ep=float(grid.ep[k]),
+            ee=float(grid.ee[k]),
+            avg_power=float(grid.avg_power[k]),
+        )
+        for k in range(grid.size)
+    ]
+    return ladder_from_cells(cells)
+
+
 def mix_ladders(shard: Shard, jobs: Sequence[Job]) -> list[list[Rung]]:
     """Each job's power ladder on this shard's hardware.
 
     Jobs sharing a (benchmark, klass, niter) workload share one ladder
     object — each distinct grid is evaluated exactly once per shard,
     and the router reuses this same table for scoring and scheduling.
-    The underlying grids ride the shared
-    :mod:`repro.optimize.engine` store (shard models are memoised per
-    spec), so *repeated* federate calls over overlapping sites skip the
-    model evaluation entirely, not just within one call.
+    Heterogeneous shards (:attr:`ShardSpec.pools`) ladder over their
+    mixed-pool allocation space via :func:`hetero_ladder`; homogeneous
+    shards over the (p, f) grid.  The underlying grids ride the shared
+    :mod:`repro.optimize.engine` store (shard models and spaces are
+    memoised per spec), so *repeated* federate calls over overlapping
+    sites skip the model evaluation entirely, not just within one call.
     """
     per_workload: dict[tuple, list[Rung]] = {}
     ladders = []
     for job in jobs:
         key = (job.benchmark.upper(), job.klass.upper(), job.niter)
         if key not in per_workload:
-            model, n = shard.model_for(*key)
-            per_workload[key] = power_ladder(
-                model, n, shard.p_values, shard.f_values
-            )
+            if shard.is_heterogeneous:
+                per_workload[key] = hetero_ladder(shard, *key)
+            else:
+                model, n = shard.model_for(*key)
+                per_workload[key] = power_ladder(
+                    model, n, shard.p_values, shard.f_values
+                )
         ladders.append(per_workload[key])
     return ladders
 

@@ -26,6 +26,7 @@ from repro.cluster.cluster import Cluster
 from repro.cluster.presets import cluster_preset
 from repro.core.model import IsoEnergyModel
 from repro.errors import ConfigurationError, ParameterError
+from repro.hetero.space import HeteroSpace, PoolSpec
 from repro.optimize.schedule import SCHEDULE_POLICIES, default_p_values
 from repro.paperdata import paper_model
 
@@ -43,6 +44,13 @@ class ShardSpec:
     site partitioner may allocate to this shard; ``policy``/``ee_floor``
     select the local scheduling policy
     (:data:`~repro.optimize.schedule.SCHEDULE_POLICIES`).
+
+    ``pools`` optionally declares the shard *heterogeneous*: a set of
+    :class:`~repro.hetero.space.PoolSpec` records whose machine names
+    resolve through the same registry (hypothetical machines included).
+    A pooled shard's scheduler climbs mixed-pool allocation rungs
+    instead of the homogeneous (p, f) ladder; ``cluster``/``nodes`` then
+    only label the shard's fabric.
     """
 
     name: str
@@ -51,15 +59,24 @@ class ShardSpec:
     power_envelope_w: float = 0.0
     policy: str = "makespan"
     ee_floor: float | None = None
+    pools: tuple[PoolSpec, ...] = ()
 
 
 @dataclass(frozen=True, eq=False)  # eq=False: identity hash for memo tables
 class Shard:
-    """A resolved shard: its spec, its live cluster, and its model hooks."""
+    """A resolved shard: its spec, its live cluster, and its model hooks.
+
+    Heterogeneous shards additionally carry ``pool_clusters`` — one
+    resolved cluster per :attr:`ShardSpec.pools` entry, built by the
+    registry — and derive per-workload mixed-pool search spaces from
+    them via :meth:`hetero_space_for`.
+    """
 
     spec: ShardSpec
     cluster: Cluster
+    pool_clusters: tuple[Cluster, ...] = ()
     _models: dict = field(default_factory=dict, repr=False, compare=False)
+    _spaces: dict = field(default_factory=dict, repr=False, compare=False)
 
     @property
     def name(self) -> str:
@@ -105,6 +122,39 @@ class Shard:
                 name=f"{key[0]}.{key[1]} on {self.cluster.name}",
             )
         return self._models[key]
+
+    @property
+    def is_heterogeneous(self) -> bool:
+        """Whether this shard schedules over mixed pools."""
+        return bool(self.spec.pools)
+
+    def hetero_space_for(
+        self, benchmark: str, klass: str = "B", niter: int | None = None
+    ) -> HeteroSpace:
+        """The mixed-pool search space of a workload on this shard.
+
+        Memoised per (benchmark, klass, niter), like :meth:`model_for`;
+        pool machines derive from the registry-built ``pool_clusters``
+        with the workload's CPI correction.  Only meaningful on
+        heterogeneous shards.
+        """
+        if not self.is_heterogeneous:
+            raise ParameterError(
+                f"shard {self.name!r} declares no pools; "
+                "use model_for() for homogeneous shards"
+            )
+        key = (benchmark.upper(), klass.upper(), niter)
+        if key not in self._spaces:
+            from repro.hetero.solve import space_for
+
+            self._spaces[key] = space_for(
+                key[0],
+                key[1],
+                key[2],
+                pools=self.spec.pools,
+                clusters=self.pool_clusters,
+            )
+        return self._spaces[key]
 
 
 def _scaled_cluster(
@@ -267,6 +317,20 @@ class ShardRegistry:
                 f"unknown machine {name!r}; registered: {sorted(self._machines)}"
             ) from None
 
+    def build_cluster(self, name: str, nodes: int) -> Cluster:
+        """A live cluster for a registered machine name at ``nodes``.
+
+        The resolution hook heterogeneous pools share with shards:
+        :func:`repro.hetero.solve.resolve_pools` builds each pool's
+        machine vector from the cluster this returns, so hypothetical
+        machines registered here can serve as pools too.
+        """
+        if nodes < 1:
+            raise ParameterError(
+                f"machine {name!r} needs at least one node, got {nodes}"
+            )
+        return self._builder(name)(nodes)
+
     def build(self, spec: ShardSpec) -> Shard:
         """Resolve one spec into a live shard (cached per spec value)."""
         if spec in self._shards:
@@ -292,7 +356,25 @@ class ShardRegistry:
                 f"shard {spec.name!r} selects policy='ee_floor' "
                 "but carries no ee_floor value"
             )
-        shard = Shard(spec=spec, cluster=self._builder(spec.cluster)(spec.nodes))
+        pool_clusters: tuple[Cluster, ...] = ()
+        if spec.pools:
+            from repro.hetero.solve import _validate_specs
+
+            try:
+                _validate_specs(spec.pools)
+            except ParameterError as exc:
+                raise ParameterError(
+                    f"shard {spec.name!r}: {exc}"
+                ) from None
+            pool_clusters = tuple(
+                self.build_cluster(p.cluster, max(p.count_values))
+                for p in spec.pools
+            )
+        shard = Shard(
+            spec=spec,
+            cluster=self._builder(spec.cluster)(spec.nodes),
+            pool_clusters=pool_clusters,
+        )
         self._shards[spec] = shard
         return shard
 

@@ -1,0 +1,70 @@
+"""Heterogeneous-pool optimization — the §VII extension, made searchable.
+
+:mod:`repro.core.hetero` models mixed-voltage/mixed-clock processor
+pools one configuration at a time; this package turns that model into an
+optimizer, mirroring the homogeneous :mod:`repro.optimize` stack:
+
+* :mod:`repro.hetero.space` — the vectorized mixed-pool grid engine:
+  enumerate (per-pool counts × per-pool DVFS rungs × split policy) and
+  batch-evaluate tp/ep/ee for thousands of allocations in one NumPy
+  pass, cached group-aware in the shared
+  :class:`~repro.optimize.engine.GridStore`.
+* :mod:`repro.hetero.solve` — allocation solvers: fastest mix under a
+  power budget, greenest mix under a deadline, the (Tp, Ep) Pareto
+  frontier over pool mixes, and the balanced-vs-uniform ``policy_gap``
+  sweep — plus the :class:`~repro.hetero.space.PoolSpec` resolution glue
+  shared by the API, the CLI, and heterogeneous federation shards.
+
+A single-pool space reduces to the homogeneous model bit for bit, so
+every heterogeneous answer is anchored to the validated paper model.
+"""
+
+from repro.hetero.solve import (
+    HeteroRecommendation,
+    PolicyGap,
+    max_speedup_under_power,
+    min_energy_under_deadline,
+    pareto_frontier,
+    policy_gap,
+    resolve_pools,
+    space_for,
+)
+from repro.hetero.space import (
+    HETERO_METRICS,
+    MAX_ALLOCATIONS,
+    POLICIES,
+    HeteroAllocationPoint,
+    HeteroGridResult,
+    HeteroSpace,
+    Pool,
+    PoolChoice,
+    PoolSpec,
+    evaluate_space,
+    hetero_grid,
+    pool_from_machine,
+    scalar_space_points,
+)
+
+__all__ = [
+    "HETERO_METRICS",
+    "MAX_ALLOCATIONS",
+    "POLICIES",
+    "HeteroAllocationPoint",
+    "HeteroGridResult",
+    "HeteroRecommendation",
+    "HeteroSpace",
+    "PolicyGap",
+    "Pool",
+    "PoolChoice",
+    "PoolSpec",
+    "evaluate_space",
+    "hetero_grid",
+    "max_speedup_under_power",
+    "min_energy_under_deadline",
+    "pareto_frontier",
+    "policy_gap",
+    "pool_from_machine",
+    "resolve_pools",
+    "scalar_space_points",
+    "space_for",
+]

@@ -1,0 +1,322 @@
+"""Constrained allocation solvers over the mixed-pool grid.
+
+The homogeneous solvers in :mod:`repro.optimize.budget` answer "which
+(p, f) should I run?"; these answer the heterogeneous form — *which
+pool mix* — over the vectorized allocation space of
+:mod:`repro.hetero.space`:
+
+* :func:`max_speedup_under_power` — fastest allocation whose average
+  draw fits the budget;
+* :func:`min_energy_under_deadline` — greenest allocation meeting the
+  deadline;
+* :func:`pareto_frontier` — the non-dominated (Tp, Ep) pool mixes;
+* :func:`policy_gap` — how much energy a naive uniform split wastes
+  against the makespan-balanced split, across the whole mix space (the
+  hetero headline: more silicon, badly split, is not greener).
+
+Tie-breaking follows the space's flat enumeration order exactly as the
+homogeneous solvers follow the grid's — a single-pool space therefore
+reproduces the homogeneous solver picks bit for bit.
+
+:func:`resolve_pools` and :func:`space_for` are the resolution glue:
+wire-level :class:`~repro.hetero.space.PoolSpec` records resolve through
+the federation machine registry (presets and hypothetical machines
+alike), so the API service, the CLI, and heterogeneous federation
+shards all build spaces the same way.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.hetero.space import (
+    MAX_ALLOCATIONS,
+    POLICIES,
+    HeteroGridResult,
+    HeteroSpace,
+    Pool,
+    PoolChoice,
+    PoolSpec,
+    hetero_grid,
+    pool_from_machine,
+)
+from repro.npb.workloads import benchmark_for
+# the frontier kernel is shared with the homogeneous Pareto solver so
+# both menus prune dominated configurations by the same rule
+from repro.optimize.budget import _frontier_flat
+from repro.validation.calibration import derive_machine_params
+
+
+@dataclass(frozen=True)
+class HeteroRecommendation:
+    """One recommended pool allocation plus its predicted outcome.
+
+    The mixed-pool analogue of
+    :class:`~repro.optimize.budget.Recommendation`: ``pools`` lists the
+    per-pool (count, f) picks, ``total_p`` their sum, and
+    ``feasible_count`` how many allocations satisfied the constraint.
+    """
+
+    objective: str
+    policy: str
+    pools: tuple[PoolChoice, ...]
+    total_p: int
+    tp: float
+    ep: float
+    ee: float
+    avg_power: float
+    feasible_count: int
+
+
+@dataclass(frozen=True)
+class PolicyGap:
+    """The balanced-vs-uniform energy penalty over one mix space.
+
+    ``max_gap``/``mean_gap`` are ``Ep_uniform / Ep_balanced − 1`` over
+    every pool mix; ``worst`` is the mix where the naive split hurts
+    most.  A single-pool space gaps to zero everywhere.
+    """
+
+    mixes: int
+    max_gap: float
+    mean_gap: float
+    worst: tuple[PoolChoice, ...]
+    worst_total_p: int
+
+
+def _recommend(
+    grid: HeteroGridResult, k: int, objective: str, feasible_count: int
+) -> HeteroRecommendation:
+    point = grid.point(k)
+    return HeteroRecommendation(
+        objective=objective,
+        policy=point.policy,
+        pools=point.pools,
+        total_p=point.total_p,
+        tp=point.tp,
+        ep=point.ep,
+        ee=point.ee,
+        avg_power=point.avg_power,
+        feasible_count=feasible_count,
+    )
+
+
+def max_speedup_under_power(
+    space: HeteroSpace, *, budget_w: float, store=None
+) -> HeteroRecommendation:
+    """Fastest allocation whose average power ``Ep/Tp`` fits ``budget_w``.
+
+    Raises :class:`~repro.errors.ParameterError` when even the frugalest
+    mix exceeds the budget, reporting the smallest draw on the space so
+    the caller knows how far off the budget is.
+    """
+    if budget_w <= 0:
+        raise ParameterError("power budget must be positive")
+    grid = hetero_grid(space, store=store)
+    feasible = grid.avg_power <= budget_w
+    count = int(feasible.sum())
+    if count == 0:
+        raise ParameterError(
+            f"no pool allocation fits under {budget_w:.0f} W: the frugalest "
+            f"mix draws {float(grid.avg_power.min()):.0f} W"
+        )
+    k = int(np.argmin(np.where(feasible, grid.tp, np.inf)))
+    return _recommend(grid, k, "max_speedup_under_power", count)
+
+
+def min_energy_under_deadline(
+    space: HeteroSpace, *, t_max: float, store=None
+) -> HeteroRecommendation:
+    """Greenest allocation whose predicted Tp meets the ``t_max`` deadline."""
+    if t_max <= 0:
+        raise ParameterError("deadline must be positive")
+    grid = hetero_grid(space, store=store)
+    feasible = grid.tp <= t_max
+    count = int(feasible.sum())
+    if count == 0:
+        raise ParameterError(
+            f"no pool allocation meets the {t_max:g} s deadline: the fastest "
+            f"mix needs {float(grid.tp.min()):.3g} s"
+        )
+    k = int(np.argmin(np.where(feasible, grid.ep, np.inf)))
+    return _recommend(grid, k, "min_energy_under_deadline", count)
+
+
+def pareto_frontier(
+    space: HeteroSpace, *, store=None
+) -> list[HeteroRecommendation]:
+    """Non-dominated (Tp, Ep) allocations, sorted fastest-first.
+
+    The mixed-pool menu: an allocation survives iff no other is both
+    faster and greener, pruned by the same lexsort/running-min kernel
+    the homogeneous :func:`~repro.optimize.budget.pareto_frontier` uses.
+    """
+    grid = hetero_grid(space, store=store)
+    winners = [int(k) for k in _frontier_flat(grid.tp, grid.ep)]
+    return [
+        _recommend(grid, k, "pareto_frontier", len(winners)) for k in winners
+    ]
+
+
+#: memoised both-policy twins of single-policy spaces — the hetero grid
+#: cache keys on space *identity*, so the twin must be stable across
+#: calls or every policy_gap would re-evaluate the two-policy grid.
+#: Weak keys: a twin lives exactly as long as its source space.
+_GAP_TWINS: "weakref.WeakKeyDictionary[HeteroSpace, HeteroSpace]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def policy_gap(space: HeteroSpace, *, store=None) -> PolicyGap:
+    """Quantify balanced-vs-uniform splitting over every pool mix.
+
+    When the space already searches both policies the cached grid is
+    reused outright; otherwise a twin space carrying both policies is
+    evaluated (memoised per source space, so repeated gap queries still
+    share one grid).  Returns the max/mean energy penalty and the worst
+    mix.
+    """
+    if "balanced" in space.policies and "uniform" in space.policies:
+        full = space
+    else:
+        full = _GAP_TWINS.get(space)
+        if full is None:
+            if space.mixes * len(POLICIES) > MAX_ALLOCATIONS:
+                # the twin would trip the space-size cap with a message
+                # about a doubled space the caller never built — name the
+                # real constraint instead
+                raise ParameterError(
+                    f"policy_gap evaluates both split policies over "
+                    f"{space.mixes} mixes "
+                    f"({space.mixes * len(POLICIES)} allocations, cap "
+                    f"{MAX_ALLOCATIONS}); trim counts or rungs"
+                )
+            full = replace(space, policies=POLICIES)
+            _GAP_TWINS[space] = full
+    grid = hetero_grid(full, store=store)
+    mixes = grid.mixes
+    i_bal = full.policies.index("balanced")
+    i_uni = full.policies.index("uniform")
+    ep_bal = grid.ep[i_bal * mixes:(i_bal + 1) * mixes]
+    ep_uni = grid.ep[i_uni * mixes:(i_uni + 1) * mixes]
+    gaps = ep_uni / ep_bal - 1.0
+    worst = int(np.argmax(gaps))
+    k_worst = i_bal * mixes + worst  # choices are policy-independent
+    return PolicyGap(
+        mixes=mixes,
+        max_gap=float(gaps[worst]),
+        mean_gap=float(gaps.mean()),
+        worst=grid.choices(k_worst),
+        worst_total_p=int(grid.total_p[k_worst]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Resolution glue: PoolSpec → Pool → HeteroSpace
+# ---------------------------------------------------------------------------
+
+
+def _validate_specs(specs: Sequence[PoolSpec]) -> None:
+    if not specs:
+        raise ParameterError("a hetero query needs at least one pool")
+    seen: set[str] = set()
+    for spec in specs:
+        if not spec.name:
+            raise ParameterError("a pool needs a non-empty name")
+        if spec.name in seen:
+            raise ParameterError(
+                f"duplicate pool name {spec.name!r} in the pool set"
+            )
+        seen.add(spec.name)
+        if not spec.count_values:
+            raise ParameterError(
+                f"pool {spec.name!r} needs at least one candidate count"
+            )
+        if any(c < 1 for c in spec.count_values):
+            raise ParameterError(
+                f"pool {spec.name!r} counts must be >= 1, "
+                f"got {min(spec.count_values)}"
+            )
+        if any(f <= 0 for f in spec.f_values_ghz):
+            raise ParameterError(
+                f"pool {spec.name!r} frequencies must be positive"
+            )
+
+
+def resolve_pools(
+    specs: Sequence[PoolSpec],
+    *,
+    cpi_factor: float = 1.0,
+    registry=None,
+    clusters=None,
+) -> tuple[Pool, ...]:
+    """Resolve wire-level pool specs into model-carrying :class:`Pool`\\ s.
+
+    Machine names resolve through the federation registry (so
+    ``register_hypothetical`` what-if machines can serve as pools);
+    ``clusters`` optionally supplies pre-built clusters in spec order —
+    the heterogeneous-shard path, whose registry already built them.
+    ``cpi_factor`` is the workload's instruction-mix correction, exactly
+    as :func:`repro.paperdata.paper_model` applies it.
+    """
+    _validate_specs(specs)
+    if clusters is None:
+        from repro.federation.registry import default_registry
+
+        registry = registry or default_registry()
+        clusters = [
+            registry.build_cluster(spec.cluster, max(spec.count_values))
+            for spec in specs
+        ]
+    if len(clusters) != len(specs):
+        raise ParameterError(
+            f"{len(clusters)} pre-built clusters for {len(specs)} pools"
+        )
+    return tuple(
+        pool_from_machine(
+            spec.name,
+            derive_machine_params(cluster, cpi_factor=cpi_factor),
+            count_values=spec.count_values,
+            f_values_ghz=spec.f_values_ghz,
+        )
+        for spec, cluster in zip(specs, clusters)
+    )
+
+
+def space_for(
+    benchmark: str,
+    klass: str = "B",
+    niter: int | None = None,
+    *,
+    pools: Sequence[PoolSpec],
+    n_factor: float = 1.0,
+    policies: Sequence[str] = ("balanced",),
+    registry=None,
+    clusters=None,
+) -> HeteroSpace:
+    """The searchable space of one workload over a described pool set.
+
+    The one resolution path the API service, the CLI, and heterogeneous
+    federation shards share: NPB workload + per-pool machine vectors
+    (with the workload's CPI correction) + split policies.
+    """
+    if n_factor <= 0:
+        raise ParameterError(f"n_factor must be positive, got {n_factor}")
+    bench, n = benchmark_for(benchmark, klass, niter)
+    resolved = resolve_pools(
+        pools, cpi_factor=bench.cpi_factor, registry=registry,
+        clusters=clusters,
+    )
+    names = " + ".join(p.name for p in resolved)
+    return HeteroSpace(
+        label=f"{bench.name}.{klass.upper()} over {names}",
+        pools=resolved,
+        workload=bench.workload,
+        n=n * n_factor,
+        policies=tuple(policies),
+    )

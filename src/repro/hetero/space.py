@@ -1,0 +1,589 @@
+"""Vectorized evaluation over heterogeneous-pool configuration spaces.
+
+:mod:`repro.core.hetero` generalizes Eqs. (14)–(15) to processor
+*groups* and evaluates one mixed-pool configuration at a time.  An
+optimizer, however, must search the whole allocation space — every
+combination of per-pool counts pᵍ, per-pool DVFS rungs fᵍ, and workload
+split policy — and the scalar path (build a
+:class:`~repro.core.hetero.HeteroIsoEnergyModel`, call ``evaluate``)
+pays Python-level group arithmetic per configuration.
+
+This module factors the search the same way :mod:`repro.optimize.grid`
+factors the homogeneous sweep:
+
+* Θ2 depends only on the *total* processor count Σ pᵍ — one workload
+  evaluation per distinct total, gathered across allocations;
+* each pool's machine vector depends only on its chosen rung — one
+  Θ1 re-derivation per (pool, rung), gathered across allocations;
+* split shares, group times, group energies, straggler idle tails, and
+  the EE anchor are elementwise over the flat allocation axis, so the
+  full space evaluates as a handful of NumPy broadcasts per policy.
+
+A **single-pool space reproduces the homogeneous grid bit for bit**:
+share = 1.0 exactly, the straggler tail is exactly zero, and EE is
+computed through the same Eq. (16) closed form ``evaluate_grid`` uses —
+the reduction property tests in ``tests/hetero/`` rely on this.  Multi-
+pool EE follows :class:`~repro.core.hetero.HeteroIsoEnergyModel`
+(``min(E1_best / Ep, 1)``), where E1 anchors on the most efficient
+single processor across the pools at their chosen rungs.
+
+``benchmarks/bench_hetero_grid.py`` holds :func:`evaluate_space` to a
+≥5× speedup over :func:`scalar_space_points`, the per-allocation
+reference loop through the core scalar model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.hetero import HeteroIsoEnergyModel, HeteroPoint, ProcessorGroup
+from repro.core.model import THETA2_FIELDS, WorkloadModel
+from repro.core.parameters import MachineParams
+from repro.errors import ParameterError
+from repro.units import GHZ
+
+#: workload split policies a space may search (core.hetero's vocabulary).
+POLICIES = ("balanced", "uniform")
+
+#: refuse to materialise allocation spaces beyond this many points.
+MAX_ALLOCATIONS = 200_000
+
+#: the per-allocation quantities a :class:`HeteroGridResult` carries.
+HETERO_METRICS = ("tp", "ep", "e1", "ee", "avg_power")
+
+
+@dataclass(frozen=True)
+class PoolSpec:
+    """The wire-expressible description of one candidate pool.
+
+    ``cluster`` names a machine in the resolving
+    :class:`~repro.federation.registry.ShardRegistry` (presets and
+    ``register_hypothetical`` machines alike); ``count_values`` are the
+    candidate processor counts and ``f_values_ghz`` the candidate DVFS
+    rungs (empty = the machine's calibration frequency).  Validation
+    happens at resolve time (:func:`repro.hetero.solve.resolve_pools`),
+    keeping the record a plain data carrier like
+    :class:`~repro.federation.registry.ShardSpec`.
+    """
+
+    name: str
+    cluster: str = "systemg"
+    count_values: tuple[int, ...] = (1, 2, 4, 8)
+    f_values_ghz: tuple[float, ...] = ()
+
+
+@dataclass(frozen=True, eq=False)  # eq=False: identity hash for memo tables
+class Pool:
+    """A resolved pool: candidate counts × per-rung machine vectors."""
+
+    name: str
+    count_values: tuple[int, ...]
+    machines: tuple[MachineParams, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ParameterError("a pool needs a non-empty name")
+        if not self.count_values:
+            raise ParameterError(
+                f"pool {self.name!r} needs at least one candidate count"
+            )
+        if any(c < 1 for c in self.count_values):
+            raise ParameterError(
+                f"pool {self.name!r} counts must be >= 1, "
+                f"got {min(self.count_values)}"
+            )
+        if not self.machines:
+            raise ParameterError(
+                f"pool {self.name!r} needs at least one frequency rung"
+            )
+
+    @property
+    def options(self) -> int:
+        """Candidate (count, rung) pairs this pool contributes."""
+        return len(self.count_values) * len(self.machines)
+
+
+def pool_from_machine(
+    name: str,
+    machine: MachineParams,
+    *,
+    count_values: Sequence[int],
+    f_values_ghz: Sequence[float] = (),
+) -> Pool:
+    """A :class:`Pool` from an explicit Θ1 vector.
+
+    The calibrated-model entry point: a measurement-fitted
+    :class:`~repro.core.parameters.MachineParams` (from
+    :func:`repro.validation.calibration.calibrate_machine_params`) slots
+    into a search space exactly like a preset-derived one.  Rungs resolve
+    through ``at_frequency`` with the same half-hertz tolerance
+    :meth:`~repro.core.model.IsoEnergyModel.machine_at` applies, so a
+    spelled-out calibration frequency and an empty rung list share one
+    machine object.
+    """
+    rungs: list[MachineParams] = []
+    for f_ghz in f_values_ghz or (None,):
+        if f_ghz is None:
+            rungs.append(machine)
+            continue
+        f = f_ghz * GHZ
+        rungs.append(
+            machine if abs(f - machine.f) < 0.5 else machine.at_frequency(f)
+        )
+    return Pool(
+        name=name, count_values=tuple(int(c) for c in count_values),
+        machines=tuple(rungs),
+    )
+
+
+@dataclass(frozen=True, eq=False)  # eq=False: identity hash for the store
+class HeteroSpace:
+    """One searchable mixed-pool configuration space.
+
+    The cross product of every pool's (count × rung) options and the
+    split policies, bound to one workload at one problem size.  The
+    flat allocation order is load-bearing (solver tie-breaks follow it):
+    policy-major, then pools left to right, each pool count-major and
+    rung-minor — so a single-pool, single-policy space enumerates in
+    exactly the homogeneous grid's (p, f) order.
+    """
+
+    label: str
+    pools: tuple[Pool, ...]
+    workload: WorkloadModel
+    n: float
+    policies: tuple[str, ...] = ("balanced",)
+
+    def __post_init__(self) -> None:
+        if callable(self.workload) and not hasattr(self.workload, "params"):
+            # accept bare (n, p) -> AppParams callables, as IsoEnergyModel does
+            fn = self.workload
+
+            class _Wrapped:
+                def params(self, n: float, p: int):
+                    return fn(n, p)
+
+            object.__setattr__(self, "workload", _Wrapped())
+        if not self.pools:
+            raise ParameterError("a hetero space needs at least one pool")
+        names = [p.name for p in self.pools]
+        if len(set(names)) != len(names):
+            raise ParameterError("pool names must be unique")
+        if not self.policies:
+            raise ParameterError("a hetero space needs at least one policy")
+        for policy in self.policies:
+            if policy not in POLICIES:
+                raise ParameterError(
+                    f"unknown split policy {policy!r}; choose from {POLICIES}"
+                )
+        if len(set(self.policies)) != len(self.policies):
+            raise ParameterError("duplicate split policies in the space")
+        if self.n <= 0:
+            raise ParameterError(f"problem size must be positive, got {self.n}")
+        if self.size > MAX_ALLOCATIONS:
+            raise ParameterError(
+                f"the space enumerates {self.size} allocations "
+                f"(cap {MAX_ALLOCATIONS}); trim counts or rungs"
+            )
+
+    @property
+    def mixes(self) -> int:
+        """Pool-mix combinations (before the policy axis)."""
+        size = 1
+        for pool in self.pools:
+            size *= pool.options
+        return size
+
+    @property
+    def size(self) -> int:
+        """Total allocations: mixes × policies."""
+        return self.mixes * len(self.policies)
+
+    def signature(self) -> tuple:
+        """The store key payload (axes + workload binding, value-level)."""
+        return (
+            float(self.n),
+            self.policies,
+            tuple(
+                (p.name, p.count_values, tuple(m.f for m in p.machines))
+                for p in self.pools
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class PoolChoice:
+    """One pool's slot in a concrete allocation: (pool, count, f)."""
+
+    pool: str
+    count: int
+    f: float
+
+
+@dataclass(frozen=True)
+class HeteroAllocationPoint:
+    """Model outputs for one concrete mixed-pool allocation."""
+
+    policy: str
+    pools: tuple[PoolChoice, ...]
+    total_p: int
+    tp: float
+    ep: float
+    e1: float
+    ee: float
+    avg_power: float
+
+
+@dataclass(frozen=True, eq=False)  # eq=False: ndarray fields break ==/hash
+class HeteroGridResult:
+    """Every model output over a flat mixed-pool allocation axis.
+
+    All metric arrays are 1-D of length ``size``; ``counts`` and
+    ``freqs`` are ``(size, n_pools)`` columns describing each
+    allocation, ``policy_codes`` indexes into ``policies``.
+    """
+
+    label: str
+    pool_names: tuple[str, ...]
+    policies: tuple[str, ...]
+    counts: np.ndarray
+    freqs: np.ndarray
+    policy_codes: np.ndarray
+    total_p: np.ndarray
+    tp: np.ndarray
+    ep: np.ndarray
+    e1: np.ndarray
+    ee: np.ndarray
+    avg_power: np.ndarray = field(repr=False)
+
+    @property
+    def size(self) -> int:
+        return int(self.tp.size)
+
+    @property
+    def mixes(self) -> int:
+        return self.size // len(self.policies)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(
+            getattr(self, name).nbytes
+            for name in (*HETERO_METRICS, "counts", "freqs", "policy_codes",
+                         "total_p")
+        )
+
+    def choices(self, k: int) -> tuple[PoolChoice, ...]:
+        """The per-pool (count, f) picks of allocation ``k``."""
+        return tuple(
+            PoolChoice(
+                pool=name,
+                count=int(self.counts[k, g]),
+                f=float(self.freqs[k, g]),
+            )
+            for g, name in enumerate(self.pool_names)
+        )
+
+    def point(self, k: int) -> HeteroAllocationPoint:
+        """The full :class:`HeteroAllocationPoint` at flat index ``k``."""
+        return HeteroAllocationPoint(
+            policy=self.policies[int(self.policy_codes[k])],
+            pools=self.choices(k),
+            total_p=int(self.total_p[k]),
+            tp=float(self.tp[k]),
+            ep=float(self.ep[k]),
+            e1=float(self.e1[k]),
+            ee=float(self.ee[k]),
+            avg_power=float(self.avg_power[k]),
+        )
+
+
+def _freeze(grid: HeteroGridResult) -> HeteroGridResult:
+    """Mark every array read-only (shared-cache safety, as for grids)."""
+    for name in (*HETERO_METRICS, "counts", "freqs", "policy_codes",
+                 "total_p"):
+        getattr(grid, name).flags.writeable = False
+    return grid
+
+
+def _mix_columns(space: HeteroSpace) -> tuple[np.ndarray, np.ndarray]:
+    """(counts, rung indices), each ``(mixes, n_pools)``, pool 0 outermost.
+
+    Within a pool, options run count-major and rung-minor — the
+    homogeneous grid's (p, f) order, which the single-pool reduction
+    property depends on.
+    """
+    option_counts = []
+    option_rungs = []
+    for pool in space.pools:
+        counts = np.repeat(
+            np.array(pool.count_values, dtype=np.int64), len(pool.machines)
+        )
+        rungs = np.tile(
+            np.arange(len(pool.machines), dtype=np.int64),
+            len(pool.count_values),
+        )
+        option_counts.append(counts)
+        option_rungs.append(rungs)
+    mesh = np.indices([p.options for p in space.pools]).reshape(
+        len(space.pools), -1
+    )
+    counts = np.stack(
+        [option_counts[g][mesh[g]] for g in range(len(space.pools))], axis=1
+    )
+    rungs = np.stack(
+        [option_rungs[g][mesh[g]] for g in range(len(space.pools))], axis=1
+    )
+    return counts, rungs
+
+
+def _theta2_by_total(
+    space: HeteroSpace, totals: np.ndarray
+) -> dict[str, np.ndarray]:
+    """Θ2 fields per allocation, evaluated once per distinct Σ pᵍ."""
+    uniq, inverse = np.unique(totals, return_inverse=True)
+    table = {name: np.empty(uniq.size) for name in THETA2_FIELDS}
+    for i, total in enumerate(uniq):
+        app = space.workload.params(float(space.n), int(total))
+        for name in THETA2_FIELDS:
+            table[name][i] = getattr(app, name)
+    return {name: arr[inverse] for name, arr in table.items()}
+
+
+def evaluate_space(space: HeteroSpace) -> HeteroGridResult:
+    """Every allocation of ``space``, batch-evaluated in NumPy.
+
+    Numerically equivalent to building a
+    :class:`~repro.core.hetero.HeteroIsoEnergyModel` per allocation and
+    calling ``evaluate`` (see :func:`scalar_space_points`), with two
+    deliberate refinements: parallel overheads are stripped at
+    Σ pᵍ = 1 exactly as the homogeneous grid strips them, and
+    single-pool spaces compute EE through the homogeneous Eq. (16)
+    closed form so the reduction to :func:`repro.optimize.grid.evaluate_grid`
+    is bit-exact.
+    """
+    pools = space.pools
+    n_pools = len(pools)
+    counts, rungs = _mix_columns(space)
+    mixes = counts.shape[0]
+    totals = counts.sum(axis=1)
+
+    theta = _theta2_by_total(space, totals)
+    alpha = theta["alpha"]
+    wc, wm = theta["wc"], theta["wm"]
+    # Σ pᵍ = 1 evaluates through the workload's sequential view: strip
+    # parallel overheads exactly as evaluate_grid does for callable
+    # workloads that skip the bookkeeping (only reachable single-pool).
+    seq = totals == 1
+    wco = np.where(seq, 0.0, theta["wco"])
+    wmo = np.where(seq, 0.0, theta["wmo"])
+    m_msg = np.where(seq, 0.0, theta["m_messages"])
+    b_bytes = np.where(seq, 0.0, theta["b_bytes"])
+
+    # Θ1 per (pool, rung), gathered onto the mix axis.
+    def gather(attr: str) -> list[np.ndarray]:
+        return [
+            np.array([getattr(m, attr) for m in pool.machines])[rungs[:, g]]
+            for g, pool in enumerate(pools)
+        ]
+
+    tc, tm = gather("tc"), gather("tm")
+    dpc, dpm = gather("delta_pc"), gather("delta_pm")
+    psys = gather("p_system_idle")
+    ts_g, tw_g = gather("ts"), gather("tw")
+    freqs = np.stack(gather("f"), axis=1)
+    counts_f = [counts[:, g].astype(float) for g in range(n_pools)]
+
+    # messages cross the common fabric: the slowest group's (ts, tw)
+    comm_ts = np.max(np.stack(ts_g), axis=0)
+    comm_tw = np.max(np.stack(tw_g), axis=0)
+
+    # balanced shares weight count by speed on the workload's base mix;
+    # the guard mirrors ProcessorGroup.unit_work_time's scalar error
+    # (which uniform splitting never consults, so only balanced raises)
+    frac_c = frac_m = None
+    if "balanced" in space.policies:
+        total_work = wc + wm
+        if np.any(total_work <= 0):
+            raise ParameterError(
+                f"group {pools[0].name}: workload has no work"
+            )
+        frac_c = wc / total_work
+        frac_m = wm / total_work
+
+    tp_list: list[np.ndarray] = []
+    ep_list: list[np.ndarray] = []
+    e1_list: list[np.ndarray] = []
+    ee_list: list[np.ndarray] = []
+
+    # the best-single-processor EE anchor is policy-independent
+    e1 = None
+    for g in range(n_pools):
+        t1_g = alpha * (wc * tc[g] + wm * tm[g])
+        e1_g = t1_g * psys[g] + wc * tc[g] * dpc[g] + wm * tm[g] * dpm[g]
+        e1 = e1_g if e1 is None else np.minimum(e1, e1_g)
+    assert e1 is not None
+    if np.any(e1 <= 0.0):
+        raise ParameterError(
+            "degenerate workload in the pool grid: some allocation has "
+            "E1 <= 0; efficiency ratios are undefined"
+        )
+
+    for policy in space.policies:
+        if policy == "balanced":
+            speeds = [
+                counts_f[g] / (frac_c * tc[g] + frac_m * tm[g])
+                for g in range(n_pools)
+            ]
+        else:  # "uniform" (the space validated the vocabulary)
+            speeds = counts_f
+        speed_total = np.sum(np.stack(speeds), axis=0)
+        shares = [s / speed_total for s in speeds]
+
+        group_tp: list[np.ndarray] = []
+        group_e: list[np.ndarray] = []
+        for g in range(n_pools):
+            wc_g = (wc + wco) * shares[g]
+            wm_g = (wm + wmo) * shares[g]
+            m_g = m_msg * shares[g]
+            b_g = b_bytes * shares[g]
+            busy = alpha * (
+                wc_g * tc[g] + wm_g * tm[g] + m_g * comm_ts + b_g * comm_tw
+            )
+            group_tp.append(busy / counts_f[g])
+            group_e.append(
+                busy * psys[g] + wc_g * tc[g] * dpc[g] + wm_g * tm[g] * dpm[g]
+            )
+
+        tp = np.max(np.stack(group_tp), axis=0)
+        if np.any(tp <= 0.0):
+            raise ParameterError(
+                "degenerate workload in the pool grid: some allocation has "
+                "Tp <= 0; efficiency ratios are undefined"
+            )
+        # stragglers idle until the slowest group finishes
+        idle_tail = np.sum(
+            np.stack(
+                [
+                    (tp - group_tp[g]) * counts_f[g] * psys[g]
+                    for g in range(n_pools)
+                ]
+            ),
+            axis=0,
+        )
+        ep = np.sum(np.stack(group_e), axis=0) + idle_tail
+
+        if n_pools == 1:
+            # homogeneous reduction: Eq. (16) closed form → Eq. (21),
+            # operand-for-operand the evaluate_grid computation
+            delta_e = (
+                alpha
+                * (wco * tc[0] + wmo * tm[0] + m_msg * comm_ts
+                   + b_bytes * comm_tw)
+                * psys[0]
+                + wco * tc[0] * dpc[0]
+                + wmo * tm[0] * dpm[0]
+            )
+            eef = delta_e / e1
+            if np.any(eef <= -1.0):
+                raise ParameterError(
+                    "degenerate workload in the pool grid: some allocation "
+                    "has EEF <= -1; EE = 1/(1+EEF) is undefined"
+                )
+            ee = 1.0 / (1.0 + eef)
+        else:
+            ee = np.where(ep > 0.0, np.minimum(e1 / np.where(ep > 0.0, ep, 1.0), 1.0), 1.0)
+
+        tp_list.append(tp)
+        ep_list.append(ep)
+        e1_list.append(e1)
+        ee_list.append(ee)
+
+    tp = np.concatenate(tp_list)
+    ep = np.concatenate(ep_list)
+    n_policies = len(space.policies)
+    return _freeze(
+        HeteroGridResult(
+            label=space.label,
+            pool_names=tuple(p.name for p in pools),
+            policies=space.policies,
+            counts=np.tile(counts, (n_policies, 1)),
+            freqs=np.tile(freqs, (n_policies, 1)),
+            policy_codes=np.repeat(
+                np.arange(n_policies, dtype=np.int8), mixes
+            ),
+            total_p=np.tile(totals, n_policies),
+            tp=tp,
+            ep=ep,
+            e1=np.concatenate(e1_list),
+            ee=np.concatenate(ee_list),
+            avg_power=ep / tp,
+        )
+    )
+
+
+def hetero_grid(space: HeteroSpace, *, store=None) -> HeteroGridResult:
+    """:func:`evaluate_space` through the shared grid store.
+
+    The drop-in entry point every hetero consumer routes through — the
+    allocation solvers, the API's ``hetero`` op, federation's mixed-pool
+    ladders.  Cached under a group-aware signature (the space identity
+    plus its value-level axes) in the same process-wide
+    :class:`~repro.optimize.engine.GridStore` the homogeneous grids
+    share, so repeated and batched queries over one space evaluate once.
+    Returned grids are shared and read-only; copy before mutating.
+    """
+    from repro.optimize.engine import default_store
+
+    return (store or default_store()).get_hetero(
+        space, space.signature(), lambda: evaluate_space(space)
+    )
+
+
+def scalar_space_points(space: HeteroSpace) -> list[HeteroAllocationPoint]:
+    """The reference per-allocation loop over the core scalar model.
+
+    Same flat order as :func:`evaluate_space` — policy-major, then the
+    pool-option cross product — so equivalence tests and the benchmark
+    can zip the two outputs.  Each allocation builds its
+    :class:`~repro.core.hetero.HeteroIsoEnergyModel` and evaluates
+    through :meth:`~repro.core.hetero.HeteroIsoEnergyModel.evaluate`.
+    """
+    counts, rungs = _mix_columns(space)
+    out: list[HeteroAllocationPoint] = []
+    for policy in space.policies:
+        for k in range(counts.shape[0]):
+            groups = [
+                ProcessorGroup(
+                    name=pool.name,
+                    machine=pool.machines[int(rungs[k, g])],
+                    count=int(counts[k, g]),
+                )
+                for g, pool in enumerate(space.pools)
+            ]
+            model = HeteroIsoEnergyModel(groups)
+            total = int(counts[k].sum())
+            app = space.workload.params(float(space.n), total)
+            if total == 1:
+                app = app.sequential()
+            point: HeteroPoint = model.evaluate(app, policy=policy)
+            out.append(
+                HeteroAllocationPoint(
+                    policy=policy,
+                    pools=tuple(
+                        PoolChoice(
+                            pool=g.name, count=g.count, f=g.machine.f
+                        )
+                        for g in groups
+                    ),
+                    total_p=total,
+                    tp=point.tp,
+                    ep=point.ep,
+                    e1=point.e1_best,
+                    ee=point.ee,
+                    avg_power=point.ep / point.tp,
+                )
+            )
+    return out

@@ -39,7 +39,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Sequence
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
@@ -86,6 +86,12 @@ class GridStore:
             OrderedDict()
         )
         self._axes: dict[tuple, tuple] = {}
+        # owner-keyed side table for heterogeneous-pool grids (the owner
+        # is the HeteroSpace; entries hold a strong reference so its id
+        # is never recycled while the entry lives, as for models above)
+        self._hetero_entries: OrderedDict[tuple, tuple[object, Any]] = (
+            OrderedDict()
+        )
         self.hits = 0
         self.superset_hits = 0
         self.misses = 0
@@ -93,6 +99,10 @@ class GridStore:
         self.bytes = 0
         self.pair_batches = 0
         self.pair_points = 0
+        self.hetero_hits = 0
+        self.hetero_misses = 0
+        self.hetero_evictions = 0
+        self.hetero_bytes = 0
 
     # -- key construction ---------------------------------------------------------
 
@@ -210,6 +220,39 @@ class GridStore:
             self.bytes -= _grid_nbytes(evicted)
             self.evictions += 1
 
+    # -- heterogeneous-pool grids -------------------------------------------------
+
+    def get_hetero(
+        self, owner: object, key: tuple, build: Callable[[], Any]
+    ) -> Any:
+        """A mixed-pool grid cached under a group-aware signature.
+
+        ``owner`` is the evaluated space (compared by identity, held
+        strongly); ``key`` its value-level axes.  ``build`` runs outside
+        the lock on a miss — evaluation is pure, so a racing identical
+        miss costs a redundant build, never a wrong answer.  The result
+        must expose ``nbytes`` and arrive frozen (read-only arrays); it
+        is LRU-bounded by the same ``max_entries`` as homogeneous grids.
+        """
+        full_key = (id(owner), key)
+        with self._lock:
+            entry = self._hetero_entries.get(full_key)
+            if entry is not None:
+                self._hetero_entries.move_to_end(full_key)
+                self.hetero_hits += 1
+                return entry[1]
+        result = build()
+        with self._lock:
+            self.hetero_misses += 1
+            if full_key not in self._hetero_entries:
+                self._hetero_entries[full_key] = (owner, result)
+                self.hetero_bytes += int(getattr(result, "nbytes", 0))
+                while len(self._hetero_entries) > self._max_entries:
+                    _, (_, evicted) = self._hetero_entries.popitem(last=False)
+                    self.hetero_bytes -= int(getattr(evicted, "nbytes", 0))
+                    self.hetero_evictions += 1
+        return result
+
     # -- observability / lifecycle ------------------------------------------------
 
     def count_pairs(self, n_points: int) -> None:
@@ -231,6 +274,11 @@ class GridStore:
                 "max_entries": self._max_entries,
                 "pair_batches": self.pair_batches,
                 "pair_points": self.pair_points,
+                "hetero_hits": self.hetero_hits,
+                "hetero_misses": self.hetero_misses,
+                "hetero_entries": len(self._hetero_entries),
+                "hetero_bytes": self.hetero_bytes,
+                "hetero_evictions": self.hetero_evictions,
             }
 
     def clear(self) -> None:
@@ -238,7 +286,9 @@ class GridStore:
         with self._lock:
             self._entries.clear()
             self._axes.clear()
+            self._hetero_entries.clear()
             self.bytes = 0
+            self.hetero_bytes = 0
 
 
 _DEFAULT_STORE = GridStore()

@@ -125,6 +125,24 @@ class Rung:
     avg_power: float
 
 
+def ladder_from_cells(cells: Sequence[Rung]) -> list[Rung]:
+    """The power-vs-runtime Pareto rungs of a candidate set, cheapest first.
+
+    A cell survives iff no other cell is both cheaper and faster, so the
+    returned ladder ascends in average power while strictly descending
+    in runtime.  The one pruning rule both homogeneous (p, f) grids and
+    heterogeneous pool-mix grids reduce to ladders by.
+    """
+    cells = sorted(cells, key=lambda r: (r.avg_power, r.tp))
+    ladder: list[Rung] = []
+    best_tp = float("inf")
+    for rung in cells:
+        if rung.tp < best_tp:
+            best_tp = rung.tp
+            ladder.append(rung)
+    return ladder
+
+
 def power_ladder(
     model: IsoEnergyModel,
     n: float,
@@ -133,12 +151,11 @@ def power_ladder(
 ) -> list[Rung]:
     """Power-vs-runtime Pareto rungs of one job, cheapest watts first.
 
-    Every (p, f) grid cell is a candidate; a cell survives iff no other
-    cell is both cheaper and faster, so the ladder ascends in average
-    power while strictly descending in runtime.  This is the primitive
-    the cluster scheduler and the federation partitioner both climb.
-    The grid rides the shared store, so repeated schedules over the
-    same (machine, workload) reuse one evaluation.
+    Every (p, f) grid cell is a candidate for :func:`ladder_from_cells`.
+    This is the primitive the cluster scheduler and the federation
+    partitioner both climb.  The grid rides the shared store, so
+    repeated schedules over the same (machine, workload) reuse one
+    evaluation.
     """
     grid = grid_for(
         model, p_values=p_values, f_values=f_values, n_values=[n]
@@ -155,14 +172,7 @@ def power_ladder(
         for ip in range(len(grid.p_values))
         for jf in range(len(grid.f_values))
     ]
-    cells.sort(key=lambda r: (r.avg_power, r.tp))
-    ladder: list[Rung] = []
-    best_tp = float("inf")
-    for rung in cells:
-        if rung.tp < best_tp:
-            best_tp = rung.tp
-            ladder.append(rung)
-    return ladder
+    return ladder_from_cells(cells)
 
 
 def eligible_rungs(

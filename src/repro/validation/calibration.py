@@ -13,6 +13,13 @@ And one route to the application vector: :func:`measure_app_params` runs
 an instrumented benchmark, harvests counters and the PMPI trace, and
 returns the Θ2 a practitioner would obtain (vs. the analytic Θ2 a model
 builder writes down).
+
+:func:`calibrated_model` closes the loop for the optimizer stack: a
+solver-ready :class:`~repro.core.model.IsoEnergyModel` whose Θ1 comes
+from the measurement toolchain (noise included) instead of the exact
+hardware read — the budget/deadline solvers and, through
+:func:`repro.hetero.space.pool_from_machine`, the heterogeneous
+allocation solvers run on it unchanged.
 """
 
 from __future__ import annotations
@@ -159,6 +166,54 @@ def calibrate_machine_params(
         delta_pc=delta_pc,
         delta_pm=delta_pm,
     )
+
+
+def calibrated_model(
+    cluster: Cluster | str,
+    benchmark: str,
+    klass: str = "B",
+    niter: int | None = None,
+    *,
+    seed: int = 0,
+    noise: NoiseModel | None = None,
+    workload=None,
+    name: str | None = None,
+):
+    """(model, n) on *measured* Θ1 — the calibrated twin of ``paper_model``.
+
+    Runs the §IV-B measurement toolchain (:func:`calibrate_machine_params`,
+    with the workload's CPI correction and seeded measurement noise) and
+    binds the fitted Θ1 to the benchmark's Θ2 model.  The returned
+    :class:`~repro.core.model.IsoEnergyModel` drops into every grid/
+    budget/deadline/Pareto solver in place of the analytic preset —
+    recommendation stability across seeds is the signal that a
+    measurement campaign suffices to drive the optimizer.
+
+    ``workload`` optionally substitutes a fitted Θ2 source (anything
+    with ``params(n, p)``, e.g. built from :func:`measure_app_params` +
+    :func:`split_overheads` + :func:`fit_workload_scaling`); the
+    analytic model is the default first slice.
+    """
+    from repro.cluster.presets import cluster_preset
+    from repro.core.model import IsoEnergyModel
+    from repro.npb.workloads import benchmark_for
+
+    # two nodes: the MPPTest ping-pong fit needs a partner rank
+    machine_room = (
+        cluster_preset(cluster, 2) if isinstance(cluster, str) else cluster
+    )
+    bench, n = benchmark_for(benchmark, klass, niter)
+    calibrated = calibrate_machine_params(
+        machine_room, cpi_factor=bench.cpi_factor, seed=seed, noise=noise
+    )
+    model = IsoEnergyModel(
+        calibrated.params,
+        workload if workload is not None else bench.workload,
+        name=name
+        or f"{bench.name}.{klass.upper()} on {machine_room.name} "
+           f"[calibrated seed={seed}]",
+    )
+    return model, n
 
 
 def measure_app_params(result: SimResult, alpha: float) -> AppParams:

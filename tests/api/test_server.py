@@ -85,7 +85,7 @@ class TestHealth:
         status, payload = _get(live_server, "/healthz")
         assert status == 200
         caches = payload["caches"]
-        assert set(caches) == {"responses", "models", "grid_store"}
+        assert set(caches) == {"responses", "models", "spaces", "grid_store"}
         store = caches["grid_store"]
         for key in ("hits", "superset_hits", "misses", "entries", "bytes"):
             assert isinstance(store[key], int)

@@ -1,0 +1,100 @@
+"""Calibrated-model optimization: fitted Θ1 drives the solvers stably."""
+
+import pytest
+
+from repro.hetero.space import HeteroSpace, pool_from_machine
+from repro.hetero.solve import max_speedup_under_power as hetero_budget
+from repro.npb.workloads import benchmark_for
+from repro.optimize.budget import max_speedup_under_power
+from repro.paperdata import paper_model
+from repro.units import GHZ
+from repro.validation.calibration import calibrated_model
+
+P_VALUES = (1, 2, 4, 8, 16, 32, 64)
+F_VALUES = tuple(f * GHZ for f in (1.6, 2.0, 2.4, 2.8))
+SEEDS = (0, 1, 2, 3)
+
+
+@pytest.fixture(scope="module")
+def calibrated():
+    """Measurement-calibrated (model, n) per seed — noise included."""
+    return {seed: calibrated_model("systemg", "FT", seed=seed)
+            for seed in SEEDS}
+
+
+def test_calibrated_theta1_differs_from_analytic(calibrated):
+    analytic, _ = paper_model("FT", "B")
+    measured, _ = calibrated[0]
+    assert measured.machine.tc != analytic.machine.tc  # noise is real
+    # ... but lands near the exact hardware read
+    assert measured.machine.tc == pytest.approx(
+        analytic.machine.tc, rel=0.05
+    )
+
+
+def test_budget_recommendation_stable_under_noise(calibrated):
+    """Small measurement noise must not flip the solver's pick."""
+    picks = set()
+    for seed in SEEDS:
+        model, n = calibrated[seed]
+        rec = max_speedup_under_power(
+            model, n=n, budget_w=3000.0, p_values=P_VALUES,
+            f_values=F_VALUES,
+        )
+        picks.add((rec.p, rec.f))
+    assert len(picks) == 1
+
+
+def test_calibrated_matches_analytic_pick(calibrated):
+    analytic, n = paper_model("FT", "B")
+    exact = max_speedup_under_power(
+        analytic, n=n, budget_w=3000.0, p_values=P_VALUES,
+        f_values=F_VALUES,
+    )
+    model, n_cal = calibrated[0]
+    measured = max_speedup_under_power(
+        model, n=n_cal, budget_w=3000.0, p_values=P_VALUES,
+        f_values=F_VALUES,
+    )
+    assert (measured.p, measured.f) == (exact.p, exact.f)
+
+
+def test_hetero_solver_accepts_calibrated_pools(calibrated):
+    """Fitted Θ1 slots into a mixed-pool space via pool_from_machine."""
+    bench, n = benchmark_for("FT", "B")
+    picks = set()
+    for seed in SEEDS:
+        model, _ = calibrated[seed]
+        pool = pool_from_machine(
+            "cal", model.machine, count_values=(1, 2, 4, 8, 16),
+            f_values_ghz=(2.0, 2.4, 2.8),
+        )
+        space = HeteroSpace(
+            label=f"cal-{seed}", pools=(pool,), workload=bench.workload,
+            n=n,
+        )
+        rec = hetero_budget(space, budget_w=2500.0)
+        picks.add((rec.pools[0].count, rec.pools[0].f))
+    assert len(picks) == 1
+
+
+def test_custom_theta2_hook():
+    """The workload= hook substitutes a fitted Θ2 source."""
+    from repro.core.parameters import AppParams
+
+    calls = []
+
+    def fitted(n, p):
+        calls.append((n, p))
+        kwargs = dict(alpha=0.9, wc=1e9 * n, wm=1e7 * n, n=n, p=p)
+        if p > 1:
+            kwargs.update(wco=1e6 * n * p, m_messages=10.0 * p, b_bytes=1e6)
+        return AppParams(**kwargs)
+
+    model, n = calibrated_model("systemg", "FT", workload=fitted)
+    rec = max_speedup_under_power(
+        model, n=1.0, budget_w=3000.0, p_values=(1, 2, 4),
+        f_values=F_VALUES,
+    )
+    assert calls, "the fitted workload was never consulted"
+    assert rec.p >= 1

@@ -1,0 +1,166 @@
+"""Heterogeneous federation shards: pooled ladders, routing, wire."""
+
+import json
+
+import pytest
+
+from repro.api.schemas import response_from_dict
+from repro.api.service import dispatch
+from repro.api.types import FederateRequest
+from repro.errors import ParameterError
+from repro.federation.partition import hetero_ladder, mix_ladders
+from repro.federation.registry import ShardRegistry, ShardSpec
+from repro.federation.router import route_jobs
+from repro.hetero.space import PoolSpec
+from repro.optimize.schedule import Job
+
+POOLED_SPEC = ShardSpec(
+    name="mixed",
+    cluster="systemg",
+    power_envelope_w=4000.0,
+    pools=(
+        PoolSpec("fast", "systemg", (1, 2, 4, 8), (2.4, 2.8)),
+        PoolSpec("slow", "dori", (1, 2, 4), (1.8,)),
+    ),
+)
+
+JOBS = (Job("a", "FT", "W"), Job("b", "EP", "W"))
+
+
+@pytest.fixture()
+def registry():
+    return ShardRegistry()
+
+
+class TestRegistry:
+    def test_pooled_shard_builds(self, registry):
+        shard = registry.build(POOLED_SPEC)
+        assert shard.is_heterogeneous
+        assert len(shard.pool_clusters) == 2
+        assert shard.pool_clusters[1].name.lower().startswith("dori")
+
+    def test_homogeneous_shard_has_no_pools(self, registry):
+        shard = registry.build(
+            ShardSpec(name="plain", power_envelope_w=1000.0)
+        )
+        assert not shard.is_heterogeneous
+        with pytest.raises(ParameterError, match="declares no pools"):
+            shard.hetero_space_for("FT")
+
+    def test_bad_pools_rejected_with_shard_context(self, registry):
+        spec = ShardSpec(
+            name="broken",
+            power_envelope_w=1000.0,
+            pools=(PoolSpec("a", "systemg", (0,)),),
+        )
+        with pytest.raises(ParameterError, match="shard 'broken'"):
+            registry.build(spec)
+
+    def test_hypothetical_machine_in_pool(self, registry):
+        registry.register_hypothetical(
+            "lowpower", base="systemg", cpu_power_scale=0.5,
+        )
+        spec = ShardSpec(
+            name="whatif",
+            power_envelope_w=2000.0,
+            pools=(
+                PoolSpec("eco", "lowpower", (2, 4), (2.8,)),
+                PoolSpec("base", "systemg", (2,), (2.8,)),
+            ),
+        )
+        shard = registry.build(spec)
+        space = shard.hetero_space_for("FT", "W")
+        assert space.pools[0].machines[0].delta_pc < (
+            space.pools[1].machines[0].delta_pc
+        )
+
+    def test_space_memoised_per_workload(self, registry):
+        shard = registry.build(POOLED_SPEC)
+        assert shard.hetero_space_for("FT", "W") is shard.hetero_space_for(
+            "FT", "W"
+        )
+        assert shard.hetero_space_for("FT", "W") is not (
+            shard.hetero_space_for("EP", "W")
+        )
+
+
+class TestLadders:
+    def test_hetero_ladder_is_pareto(self, registry):
+        shard = registry.build(POOLED_SPEC)
+        ladder = hetero_ladder(shard, "FT", "W")
+        assert len(ladder) >= 2
+        powers = [r.avg_power for r in ladder]
+        tps = [r.tp for r in ladder]
+        assert powers == sorted(powers)
+        assert tps == sorted(tps, reverse=True)
+        # rung p is the allocation's total processor count
+        assert all(r.p >= 2 for r in ladder)  # one per pool minimum
+
+    def test_mix_ladders_routes_to_hetero(self, registry):
+        shard = registry.build(POOLED_SPEC)
+        ladders = mix_ladders(shard, JOBS)
+        assert len(ladders) == 2
+        assert ladders[0] == hetero_ladder(shard, "FT", "W")
+
+    def test_jobs_share_ladder_objects(self, registry):
+        shard = registry.build(POOLED_SPEC)
+        twin_jobs = (Job("x", "FT", "W"), Job("y", "FT", "W"))
+        ladders = mix_ladders(shard, twin_jobs)
+        assert ladders[0] is ladders[1]
+
+
+class TestRouting:
+    def test_mixed_site_places_every_job(self, registry):
+        shards = [
+            registry.build(POOLED_SPEC),
+            registry.build(
+                ShardSpec(
+                    name="plain", cluster="systemg", nodes=16,
+                    power_envelope_w=3000.0,
+                )
+            ),
+        ]
+        fed = route_jobs(shards, JOBS, budget_w=6000.0)
+        placed = sorted(
+            a.job for plan in fed.plans for a in plan.assignments
+        )
+        assert placed == ["a", "b"]
+        assert fed.total_power_w <= 6000.0
+        for plan, shard in zip(fed.plans, shards):
+            assert plan.total_power_w <= plan.allocation_w + 1e-9
+
+    def test_pooled_only_site_schedules(self, registry):
+        shard = registry.build(POOLED_SPEC)
+        fed = route_jobs([shard], JOBS, budget_w=4000.0)
+        assert len(fed.plans[0].assignments) == 2
+
+
+class TestWire:
+    def test_federate_request_with_pools_round_trips(self):
+        req = FederateRequest(
+            budget_w=6000.0,
+            shards=(POOLED_SPEC,),
+            jobs=JOBS,
+        )
+        payload = json.loads(json.dumps(req.to_dict()))
+        assert FederateRequest.from_dict(payload) == req
+        assert payload["shards"][0]["pools"][0]["name"] == "fast"
+
+    def test_federate_dispatch_with_pooled_shard(self):
+        resp = dispatch(FederateRequest(
+            budget_w=6000.0,
+            shards=(
+                POOLED_SPEC,
+                ShardSpec(
+                    name="plain", cluster="dori", nodes=4,
+                    power_envelope_w=1200.0,
+                ),
+            ),
+            jobs=JOBS,
+        ))
+        placed = sorted(
+            a.job for plan in resp.plans for a in plan.assignments
+        )
+        assert placed == ["a", "b"]
+        back = response_from_dict(json.loads(json.dumps(resp.to_dict())))
+        assert back == resp

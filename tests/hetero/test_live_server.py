@@ -1,0 +1,77 @@
+"""Live-server smoke: ``POST /v1/hetero`` and hetero-in-batch over HTTP."""
+
+import asyncio
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.api.server import start_server
+
+HETERO_BODY = {
+    "benchmark": "FT",
+    "pools": [
+        {"name": "fast", "cluster": "systemg", "count_values": [1, 2, 4, 8],
+         "f_values_ghz": [2.4, 2.8]},
+        {"name": "slow", "cluster": "dori", "count_values": [1, 2],
+         "f_values_ghz": [1.8]},
+    ],
+    "policies": ["balanced", "uniform"],
+    "budget_w": 3000.0,
+    "policy_gap": True,
+}
+
+
+@pytest.fixture(scope="module")
+def live_server():
+    loop = asyncio.new_event_loop()
+    server = loop.run_until_complete(start_server("127.0.0.1", 0))
+    port = server.sockets[0].getsockname()[1]
+    thread = threading.Thread(target=loop.run_forever, daemon=True)
+    thread.start()
+    yield f"http://127.0.0.1:{port}"
+    loop.call_soon_threadsafe(loop.stop)
+    thread.join(timeout=5)
+
+
+def _post(base: str, path: str, body) -> tuple[int, dict]:
+    request = urllib.request.Request(
+        f"{base}{path}", data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"}, method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return response.status, json.loads(response.read())
+
+
+def test_hetero_op_is_served(live_server):
+    status, payload = _post(live_server, "/v1/hetero", HETERO_BODY)
+    assert status == 200
+    assert payload["op"] == "hetero"
+    rec = payload["budget"]
+    assert rec["avg_power"] <= 3000.0
+    assert {c["pool"] for c in rec["pools"]} == {"fast", "slow"}
+    assert payload["policy_gap"]["max_gap"] > 0.0
+
+
+def test_hetero_in_batch_matches_single(live_server):
+    _, single = _post(live_server, "/v1/hetero", HETERO_BODY)
+    status, batch = _post(
+        live_server, "/v1/batch",
+        {"items": [dict(HETERO_BODY, op="hetero"),
+                   {"op": "budget", "benchmark": "FT", "budget_w": 3000.0}]},
+    )
+    assert status == 200
+    assert [item["ok"] for item in batch["items"]] == [True, True]
+    assert batch["items"][0]["response"] == single
+
+
+def test_healthz_reports_hetero_counters(live_server):
+    with urllib.request.urlopen(
+        f"{live_server}/healthz", timeout=10
+    ) as response:
+        payload = json.loads(response.read())
+    assert "hetero" in payload["operations"]
+    store = payload["caches"]["grid_store"]
+    assert store["hetero_misses"] >= 1  # the queries above evaluated one
+    assert store["hetero_hits"] >= 1  # ... and reused it

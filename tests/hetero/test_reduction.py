@@ -1,0 +1,124 @@
+"""Single-group reduction: one pool must BE the homogeneous model.
+
+The anchor property of the whole subsystem: a one-pool
+:class:`~repro.hetero.space.HeteroSpace` over (counts × rungs) is the
+same search as the homogeneous (p × f) grid, and must reproduce
+``evaluate_grid`` and the homogeneous solvers **bit for bit** — values
+and tie-breaking picks alike.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hetero.space import HeteroSpace, evaluate_space, pool_from_machine
+from repro.hetero.solve import (
+    max_speedup_under_power,
+    min_energy_under_deadline,
+    pareto_frontier,
+)
+from repro.npb.workloads import benchmark_for
+from repro.optimize import budget as homo
+from repro.optimize.grid import evaluate_grid
+from repro.paperdata import paper_model
+from repro.units import GHZ
+
+P_VALUES = (1, 2, 4, 8, 16, 32, 64)
+F_GHZ = (1.6, 2.0, 2.4, 2.8)
+
+
+def _pair(benchmark: str, klass: str = "B"):
+    """(homogeneous model, single-pool space) over identical axes."""
+    model, n = paper_model(benchmark, klass)
+    bench, _ = benchmark_for(benchmark, klass)
+    pool = pool_from_machine(
+        "only", model.machine, count_values=P_VALUES, f_values_ghz=F_GHZ
+    )
+    space = HeteroSpace(
+        label="reduction", pools=(pool,), workload=bench.workload, n=n,
+        policies=("balanced",),
+    )
+    return model, n, space
+
+
+@pytest.mark.parametrize("bench_name", ["FT", "CG", "EP"])
+def test_grid_values_bit_for_bit(bench_name):
+    model, n, space = _pair(bench_name)
+    homo_grid = evaluate_grid(
+        model, p_values=P_VALUES, f_values=[f * GHZ for f in F_GHZ],
+        n_values=[n],
+    )
+    het = evaluate_space(space)
+    assert het.size == len(P_VALUES) * len(F_GHZ)
+    for name in ("tp", "ep", "e1", "ee", "avg_power"):
+        np.testing.assert_array_equal(
+            getattr(het, name),
+            getattr(homo_grid, name)[:, :, 0].ravel(),
+            err_msg=f"{bench_name}:{name} not bit-identical",
+        )
+
+
+def test_flat_order_matches_grid_order():
+    """Count-major, rung-minor — exactly the grid's (p, f) flattening."""
+    _, _, space = _pair("FT")
+    het = evaluate_space(space)
+    expect = [
+        (p, f * GHZ) for p in P_VALUES for f in F_GHZ
+    ]
+    got = [
+        (int(het.counts[k, 0]), float(het.freqs[k, 0]))
+        for k in range(het.size)
+    ]
+    assert got == expect
+
+
+@pytest.mark.parametrize("budget_w", [900.0, 2000.0, 4000.0, 8000.0])
+def test_budget_solver_picks_agree(budget_w):
+    model, n, space = _pair("FT")
+    h = homo.max_speedup_under_power(
+        model, n=n, budget_w=budget_w, p_values=P_VALUES,
+        f_values=[f * GHZ for f in F_GHZ],
+    )
+    x = max_speedup_under_power(space, budget_w=budget_w)
+    assert (x.pools[0].count, x.pools[0].f) == (h.p, h.f)
+    assert (x.tp, x.ep, x.ee, x.avg_power) == (h.tp, h.ep, h.ee, h.avg_power)
+    assert x.feasible_count == h.feasible_count
+
+
+@pytest.mark.parametrize("t_max", [15.0, 40.0, 200.0])
+def test_deadline_solver_picks_agree(t_max):
+    model, n, space = _pair("CG")
+    h = homo.min_energy_under_deadline(
+        model, n=n, t_max=t_max, p_values=P_VALUES,
+        f_values=[f * GHZ for f in F_GHZ],
+    )
+    x = min_energy_under_deadline(space, t_max=t_max)
+    assert (x.pools[0].count, x.pools[0].f) == (h.p, h.f)
+    assert (x.tp, x.ep) == (h.tp, h.ep)
+    assert x.feasible_count == h.feasible_count
+
+
+def test_pareto_frontiers_agree():
+    model, n, space = _pair("FT")
+    h = homo.pareto_frontier(
+        model, n=n, p_values=P_VALUES, f_values=[f * GHZ for f in F_GHZ]
+    )
+    x = pareto_frontier(space)
+    assert len(x) == len(h)
+    for hx, hh in zip(x, h):
+        assert (hx.pools[0].count, hx.pools[0].f) == (hh.p, hh.f)
+        assert (hx.tp, hx.ep) == (hh.tp, hh.ep)
+
+
+def test_infeasible_budget_reports_frugalest_draw():
+    model, n, space = _pair("FT")
+    from repro.errors import ParameterError
+
+    with pytest.raises(ParameterError) as het_err:
+        max_speedup_under_power(space, budget_w=1.0)
+    with pytest.raises(ParameterError) as homo_err:
+        homo.max_speedup_under_power(
+            model, n=n, budget_w=1.0, p_values=P_VALUES,
+            f_values=[f * GHZ for f in F_GHZ],
+        )
+    # both report the same frugalest wattage (the texts differ by shape)
+    assert str(het_err.value).split()[-2] == str(homo_err.value).split()[-2]

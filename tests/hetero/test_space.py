@@ -1,0 +1,252 @@
+"""The vectorized mixed-pool space: equivalence, ordering, caching."""
+
+import numpy as np
+import pytest
+
+from repro.core.hetero import HeteroIsoEnergyModel, ProcessorGroup
+from repro.core.parameters import AppParams
+from repro.errors import ParameterError
+from repro.hetero.space import (
+    MAX_ALLOCATIONS,
+    HeteroSpace,
+    Pool,
+    PoolSpec,
+    evaluate_space,
+    hetero_grid,
+    pool_from_machine,
+    scalar_space_points,
+)
+from repro.hetero.solve import space_for
+from repro.optimize.engine import GridStore
+
+
+@pytest.fixture(scope="module")
+def mixed_space():
+    return space_for(
+        "FT",
+        "B",
+        pools=(
+            PoolSpec("fast", "systemg", (1, 2, 4, 8), (2.4, 2.8)),
+            PoolSpec("slow", "dori", (1, 2, 4), (1.8,)),
+        ),
+        policies=("balanced", "uniform"),
+    )
+
+
+class TestSpaceValidation:
+    def test_needs_pools(self):
+        with pytest.raises(ParameterError, match="at least one pool"):
+            HeteroSpace(label="x", pools=(), workload=None, n=1.0)
+
+    def test_unique_pool_names(self, machine):
+        pool = pool_from_machine("a", machine, count_values=[1])
+        twin = pool_from_machine("a", machine, count_values=[2])
+        with pytest.raises(ParameterError, match="unique"):
+            HeteroSpace(label="x", pools=(pool, twin), workload=None, n=1.0)
+
+    def test_unknown_policy(self, machine):
+        pool = pool_from_machine("a", machine, count_values=[1])
+        with pytest.raises(ParameterError, match="unknown split policy"):
+            HeteroSpace(
+                label="x", pools=(pool,), workload=None, n=1.0,
+                policies=("random",),
+            )
+
+    def test_duplicate_policy(self, machine):
+        pool = pool_from_machine("a", machine, count_values=[1])
+        with pytest.raises(ParameterError, match="duplicate"):
+            HeteroSpace(
+                label="x", pools=(pool,), workload=None, n=1.0,
+                policies=("balanced", "balanced"),
+            )
+
+    def test_allocation_cap(self, machine):
+        pool = pool_from_machine(
+            "a", machine, count_values=range(1, 501)
+        )
+        big = pool_from_machine("b", machine, count_values=range(1, 501))
+        with pytest.raises(ParameterError, match=str(MAX_ALLOCATIONS)):
+            HeteroSpace(label="x", pools=(pool, big), workload=None, n=1.0)
+
+    def test_pool_needs_counts_and_rungs(self, machine):
+        with pytest.raises(ParameterError, match="candidate count"):
+            Pool(name="a", count_values=(), machines=(machine,))
+        with pytest.raises(ParameterError, match="frequency rung"):
+            Pool(name="a", count_values=(1,), machines=())
+        with pytest.raises(ParameterError, match=">= 1"):
+            Pool(name="a", count_values=(0,), machines=(machine,))
+
+
+class TestVectorizedEquivalence:
+    """evaluate_space must match the per-allocation core scalar loop."""
+
+    def test_matches_scalar_loop(self, mixed_space):
+        grid = evaluate_space(mixed_space)
+        points = scalar_space_points(mixed_space)
+        assert grid.size == len(points) == mixed_space.size
+        for name in ("tp", "ep", "e1", "ee", "avg_power"):
+            np.testing.assert_allclose(
+                getattr(grid, name),
+                [getattr(p, name) for p in points],
+                rtol=1e-12,
+                err_msg=name,
+            )
+
+    def test_allocation_columns_match_scalar_order(self, mixed_space):
+        grid = evaluate_space(mixed_space)
+        points = scalar_space_points(mixed_space)
+        for k in (0, 7, grid.size - 1):
+            assert grid.point(k).pools == points[k].pools
+            assert grid.point(k).policy == points[k].policy
+            assert grid.point(k).total_p == points[k].total_p
+
+    def test_policy_axis_is_outermost(self, mixed_space):
+        grid = evaluate_space(mixed_space)
+        mixes = grid.mixes
+        assert (grid.policy_codes[:mixes] == 0).all()
+        assert (grid.policy_codes[mixes:] == 1).all()
+        # the mix columns repeat across the policy axis
+        np.testing.assert_array_equal(
+            grid.counts[:mixes], grid.counts[mixes:]
+        )
+
+    def test_arrays_are_frozen(self, mixed_space):
+        grid = evaluate_space(mixed_space)
+        with pytest.raises(ValueError):
+            grid.tp[0] = 0.0
+
+    def test_policies_coincide_on_identical_pools(self, machine):
+        """Equal-speed pools make balanced ∝ count — exactly uniform."""
+        from repro.npb.workloads import workload_for
+
+        workload, n = workload_for("FT", "W")
+        pools = tuple(
+            pool_from_machine(name, machine, count_values=(1, 2, 4))
+            for name in ("a", "b")
+        )
+        space = HeteroSpace(
+            label="twin", pools=pools, workload=workload, n=n,
+            policies=("balanced", "uniform"),
+        )
+        grid = evaluate_space(space)
+        mixes = grid.mixes
+        np.testing.assert_array_equal(grid.tp[:mixes], grid.tp[mixes:])
+        np.testing.assert_array_equal(grid.ep[:mixes], grid.ep[mixes:])
+
+
+class TestAdversarialTies:
+    """Symmetric pools create exact ties; both paths must break them alike."""
+
+    @pytest.fixture()
+    def symmetric_space(self, machine):
+        # two *identical* pools: swapping their (count, f) picks yields
+        # bitwise-identical tp/ep, so the space is full of exact ties
+        def workload(n, p):
+            kwargs = dict(
+                alpha=0.9, wc=1e10 * n, wm=2e8 * n, n=n, p=p
+            )
+            if p > 1:
+                kwargs.update(
+                    wco=5e7 * n * p, wmo=1e6 * n,
+                    m_messages=1e3 * p, b_bytes=1e8,
+                )
+            return AppParams(**kwargs)
+
+        pools = tuple(
+            pool_from_machine(
+                name, machine, count_values=(1, 2, 4),
+                f_values_ghz=(2.0, 2.8),
+            )
+            for name in ("left", "right")
+        )
+        return HeteroSpace(
+            label="sym", pools=pools, workload=workload, n=1.0,
+            policies=("balanced",),
+        )
+
+    def test_tie_counts_are_real(self, symmetric_space):
+        grid = evaluate_space(symmetric_space)
+        _, counts = np.unique(grid.tp, return_counts=True)
+        assert (counts >= 2).any(), "fixture no longer produces ties"
+
+    def test_vectorized_and_scalar_argmin_agree(self, symmetric_space):
+        grid = evaluate_space(symmetric_space)
+        points = scalar_space_points(symmetric_space)
+        for metric in ("tp", "ep", "ee"):
+            vec = int(np.argmin(getattr(grid, metric)))
+            best, scal = None, None
+            for k, p in enumerate(points):
+                v = getattr(p, metric)
+                if best is None or v < best:
+                    best, scal = v, k
+            assert vec == scal, metric
+
+
+class TestDegenerateWorkloads:
+    def test_no_work_message_names_first_group(self, machine):
+        class Sneaky:
+            """Dodges AppParams validation to hit the hetero guard."""
+
+            def params(self, n, p):
+                app = AppParams(alpha=0.9, wc=1.0, n=n, p=p)
+                object.__setattr__(app, "wc", 0.0)
+                return app
+
+        pool = pool_from_machine("first", machine, count_values=(2,))
+        space = HeteroSpace(
+            label="x", pools=(pool,), workload=Sneaky(), n=1.0
+        )
+        with pytest.raises(ParameterError) as vec_err:
+            evaluate_space(space)
+        # parity with the scalar path's structured error
+        group = ProcessorGroup(name="first", machine=machine, count=2)
+        with pytest.raises(ParameterError) as scalar_err:
+            HeteroIsoEnergyModel([group]).split_shares(
+                Sneaky().params(1.0, 2)
+            )
+        assert str(vec_err.value) == str(scalar_err.value)
+        assert "group first" in str(vec_err.value)
+
+
+class TestStoreIntegration:
+    def test_repeat_evaluation_hits(self, mixed_space):
+        store = GridStore()
+        first = hetero_grid(mixed_space, store=store)
+        again = hetero_grid(mixed_space, store=store)
+        assert again is first
+        stats = store.stats()
+        assert stats["hetero_misses"] == 1
+        assert stats["hetero_hits"] == 1
+        assert stats["hetero_entries"] == 1
+        assert stats["hetero_bytes"] == first.nbytes > 0
+
+    def test_distinct_spaces_miss(self, mixed_space):
+        store = GridStore()
+        hetero_grid(mixed_space, store=store)
+        # a different space object is a different signature
+        other = space_for(
+            "EP", "W",
+            pools=(PoolSpec("solo", "systemg", (1, 2)),),
+        )
+        hetero_grid(other, store=store)
+        assert store.stats()["hetero_misses"] == 2
+        assert store.stats()["hetero_hits"] == 0
+
+    def test_lru_bound_and_clear(self):
+        store = GridStore(max_entries=2)
+        spaces = [
+            space_for(
+                "EP", "W",
+                pools=(PoolSpec("a", "systemg", (1, 1 + k)),),
+            )
+            for k in range(1, 4)
+        ]
+        for sp in spaces:
+            hetero_grid(sp, store=store)
+        stats = store.stats()
+        assert stats["hetero_entries"] == 2
+        assert stats["hetero_evictions"] == 1
+        store.clear()
+        stats = store.stats()
+        assert stats["hetero_entries"] == 0
+        assert stats["hetero_bytes"] == 0

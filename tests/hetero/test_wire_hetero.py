@@ -1,0 +1,207 @@
+"""The hetero wire surface: round trips, dispatch, batch, CLI parity."""
+
+import json
+
+import pytest
+
+from repro.api.schemas import request_from_dict, response_from_dict
+from repro.api.service import clear_caches, dispatch
+from repro.api.types import (
+    API_VERSION,
+    BatchRequest,
+    BudgetQuery,
+    HeteroRequest,
+    HeteroResponse,
+)
+from repro.errors import ParameterError, WireError
+from repro.hetero.space import PoolSpec
+
+POOLS = (
+    PoolSpec("fast", "systemg", (1, 2, 4, 8), (2.4, 2.8)),
+    PoolSpec("slow", "dori", (1, 2, 4), (1.8,)),
+)
+
+FULL_REQUEST = HeteroRequest(
+    benchmark="FT",
+    pools=POOLS,
+    policies=("balanced", "uniform"),
+    budget_w=3000.0,
+    deadline_s=60.0,
+    pareto=True,
+    policy_gap=True,
+)
+
+
+class TestWireRoundTrip:
+    def test_request_round_trip(self):
+        payload = json.loads(json.dumps(FULL_REQUEST.to_dict()))
+        assert payload["op"] == "hetero" and payload["v"] == API_VERSION
+        assert request_from_dict(payload) == FULL_REQUEST
+
+    def test_response_round_trip(self):
+        resp = dispatch(FULL_REQUEST)
+        payload = json.loads(json.dumps(resp.to_dict()))
+        assert response_from_dict(payload) == resp
+
+    def test_minimal_payload_defaults(self):
+        req = request_from_dict({
+            "op": "hetero",
+            "pools": [{"name": "a"}],
+            "budget_w": 1000.0,
+        })
+        assert req.pools == (PoolSpec("a"),)
+        assert req.policies == ("balanced",)
+
+    def test_unknown_pool_field_rejected(self):
+        with pytest.raises(WireError, match="PoolSpec"):
+            request_from_dict({
+                "op": "hetero",
+                "pools": [{"name": "a", "nodes": 4}],
+            })
+
+    def test_foreign_version_rejected(self):
+        with pytest.raises(WireError, match="wire version"):
+            request_from_dict({"op": "hetero", "v": 3})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(WireError, match="unknown field"):
+            request_from_dict({"op": "hetero", "pool": []})
+
+
+class TestDispatch:
+    def test_unrequested_slots_are_null(self):
+        resp = dispatch(HeteroRequest(pools=POOLS, budget_w=2000.0))
+        assert isinstance(resp, HeteroResponse)
+        assert resp.budget is not None
+        assert resp.deadline is None
+        assert resp.pareto == ()
+        assert resp.policy_gap is None
+
+    def test_no_objective_rejected(self):
+        with pytest.raises(ParameterError, match="nothing to solve"):
+            dispatch(HeteroRequest(pools=POOLS))
+
+    def test_no_pools_rejected(self):
+        with pytest.raises(ParameterError, match="at least one pool"):
+            dispatch(HeteroRequest(budget_w=1000.0))
+
+    def test_dispatch_memoises(self):
+        req = HeteroRequest(pools=POOLS, budget_w=1234.0)
+        assert dispatch(req) is dispatch(
+            HeteroRequest(pools=POOLS, budget_w=1234.0)
+        )
+
+    def test_repeat_queries_share_one_hetero_grid(self):
+        from repro.api.service import cache_info
+
+        clear_caches()
+        dispatch(HeteroRequest(pools=POOLS, budget_w=1500.0))
+        before = cache_info()["grid_store"]
+        dispatch(HeteroRequest(pools=POOLS, deadline_s=90.0))
+        after = cache_info()["grid_store"]
+        assert after["hetero_misses"] == before["hetero_misses"]
+        assert after["hetero_hits"] > before["hetero_hits"]
+
+
+class TestBatch:
+    def test_hetero_item_matches_single_dispatch(self):
+        single = dispatch(FULL_REQUEST)
+        batch = dispatch(BatchRequest(items=(
+            FULL_REQUEST,
+            BudgetQuery(benchmark="FT", budget_w=3000.0),
+        )))
+        assert batch.items[0].ok
+        assert batch.items[0].response.to_dict() == single.to_dict()
+
+    def test_bad_hetero_item_fails_alone_with_scalar_message(self):
+        """The bugfix satellite: per-item structured errors, message
+        parity with what the same request raises on single dispatch."""
+        bad = HeteroRequest(
+            pools=(PoolSpec("a", "nonesuch"),), budget_w=1000.0
+        )
+        with pytest.raises(Exception) as single_err:
+            dispatch(bad)
+        batch = dispatch(BatchRequest(items=(
+            HeteroRequest(pools=POOLS, budget_w=2000.0),
+            bad,
+            BudgetQuery(benchmark="FT", budget_w=3000.0),
+        )))
+        assert [item.ok for item in batch.items] == [True, False, True]
+        slot = batch.items[1].error
+        assert slot.type == type(single_err.value).__name__
+        assert slot.message == str(single_err.value)
+
+    def test_infeasible_hetero_item_fails_alone(self):
+        bad = HeteroRequest(pools=POOLS, budget_w=2.0)
+        with pytest.raises(ParameterError) as single_err:
+            dispatch(bad)
+        batch = dispatch(BatchRequest(items=(
+            bad, HeteroRequest(pools=POOLS, budget_w=2000.0),
+        )))
+        assert [item.ok for item in batch.items] == [False, True]
+        assert batch.items[0].error.type == "ParameterError"
+        assert batch.items[0].error.message == str(single_err.value)
+
+    def test_batch_wire_round_trip_with_hetero(self):
+        batch = dispatch(BatchRequest(items=(FULL_REQUEST,)))
+        payload = json.loads(json.dumps(batch.to_dict()))
+        assert response_from_dict(payload) == batch
+
+
+class TestCliParity:
+    def test_cli_json_is_the_http_payload(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "hetero",
+            "--pool", "fast:systemg:1|2|4|8:2.4|2.8",
+            "--pool", "slow:dori:1|2|4:1.8",
+            "--policies", "balanced,uniform",
+            "--power-budget", "3000",
+            "--deadline", "60",
+            "--pareto", "--policy-gap",
+            "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == dispatch(FULL_REQUEST).to_dict()
+
+    def test_cli_text_mentions_the_mix(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "hetero",
+            "--pool", "fast:systemg:4|8:2.8",
+            "--pool", "slow:dori:2",
+            "--power-budget", "3000",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "max_speedup_under_power" in out
+        assert "fastx" in out and "slowx" in out
+
+    def test_cli_policies_tolerate_spaces(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "hetero",
+            "--pool", "fast:systemg:2|4:2.8",
+            "--policies", "balanced, uniform",
+            "--power-budget", "3000",
+            "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["budget"]["policy"] in ("balanced", "uniform")
+
+    def test_cli_rejects_malformed_pool(self, capsys):
+        from repro.cli import main
+
+        assert main(["hetero", "--pool", "just-a-name"]) == 2
+        assert "--pool expects" in capsys.readouterr().err
+
+    def test_cli_needs_a_pool(self, capsys):
+        from repro.cli import main
+
+        assert main(["hetero", "--power-budget", "100"]) == 2
+        assert "at least one --pool" in capsys.readouterr().err

@@ -379,5 +379,6 @@ def test_cache_stats_json_shape(capsys):
     code, out, _ = run_cli(capsys, "cache-stats", "--json")
     assert code == 0
     payload = json.loads(out)
-    assert set(payload) == {"responses", "models", "grid_store"}
+    assert set(payload) == {"responses", "models", "spaces", "grid_store"}
     assert "superset_hits" in payload["grid_store"]
+    assert "hetero_hits" in payload["grid_store"]
