@@ -1,0 +1,180 @@
+"""Serving latency under concurrent load: p50/p95/p99 and RPS.
+
+An asyncio load generator drives a live server (real sockets, keep-alive
+connections) with warm-cache ``evaluate`` queries — the steady-state
+serving shape, where dispatch answers from the memo layer and the cost
+under test is the HTTP + executor + instrumentation stack itself.  The
+percentiles and throughput land in ``BENCH_serving.json`` at the repo
+root so every PR records the serving envelope next to the code that
+changed it.
+
+The floor is deliberately loose (shared CI boxes jitter); the JSON
+artifact is the precise record.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from pathlib import Path
+
+from conftest import print_artifact
+
+from repro.analysis.report import ascii_table
+from repro.api.server import start_server
+from repro.api.service import dispatch
+from repro.api.types import EvaluateRequest
+
+CONNECTIONS = 8
+REQUESTS_PER_CONNECTION = 50
+RPS_FLOOR = 50.0
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+
+
+def _percentile(sorted_ms: list[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample."""
+    rank = max(0, min(len(sorted_ms) - 1, round(q * (len(sorted_ms) - 1))))
+    return sorted_ms[rank]
+
+
+async def _drive_connection(
+    port: int, count: int, latencies_s: list[float]
+) -> None:
+    """One keep-alive connection issuing ``count`` sequential POSTs."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    body = json.dumps({"p": 16}).encode()
+    head = (
+        "POST /v1/evaluate HTTP/1.1\r\n"
+        "Host: bench\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "\r\n"
+    ).encode()
+    try:
+        for _ in range(count):
+            t0 = time.perf_counter()
+            writer.write(head + body)
+            await writer.drain()
+            status_line = await reader.readline()
+            assert status_line.startswith(b"HTTP/1.1 200"), status_line
+            content_length = 0
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                if name.strip().lower() == "content-length":
+                    content_length = int(value.strip())
+            await reader.readexactly(content_length)
+            latencies_s.append(time.perf_counter() - t0)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:  # pragma: no cover
+            pass
+
+
+async def _run_load(port: int) -> tuple[list[float], float]:
+    latencies_s: list[float] = []
+    t0 = time.perf_counter()
+    await asyncio.gather(*(
+        _drive_connection(port, REQUESTS_PER_CONNECTION, latencies_s)
+        for _ in range(CONNECTIONS)
+    ))
+    return latencies_s, time.perf_counter() - t0
+
+
+def _run_load_in_thread(port: int) -> tuple[list[float], float]:
+    """Run the generator loop in a worker thread, not the pytest main one.
+
+    Two event loops must run concurrently (server + generator).  Hosting
+    the second ``asyncio.run`` in the main thread trips a CPython 3.11
+    recursion-accounting bug that later crashes unrelated ``compile()``
+    calls in that thread ("AST constructor recursion depth mismatch"), so
+    the generator gets a thread of its own.
+    """
+    result: list = []
+    errors: list[BaseException] = []
+
+    def run() -> None:
+        try:
+            result.append(asyncio.run(_run_load(port)))
+        except BaseException as exc:  # surfaced to the test below
+            errors.append(exc)
+
+    thread = threading.Thread(target=run)
+    thread.start()
+    thread.join(timeout=120)
+    if errors:
+        raise errors[0]
+    assert result, "load generator did not finish"
+    return result[0]
+
+
+def test_serving_latency_under_load(benchmark):
+    # warm the dispatch memo so the bench times the serving stack
+    dispatch(EvaluateRequest(p=16))
+
+    server_loop = asyncio.new_event_loop()
+    server = server_loop.run_until_complete(start_server("127.0.0.1", 0))
+    port = server.sockets[0].getsockname()[1]
+    thread = threading.Thread(target=server_loop.run_forever, daemon=True)
+    thread.start()
+    try:
+        latencies_s, wall_s = _run_load_in_thread(port)
+    finally:
+        async def shutdown() -> None:
+            server.close()
+            await server.wait_closed()
+            server_loop.stop()
+
+        asyncio.run_coroutine_threadsafe(shutdown(), server_loop)
+        thread.join(timeout=5)
+        server_loop.close()
+
+    total = CONNECTIONS * REQUESTS_PER_CONNECTION
+    assert len(latencies_s) == total
+    sorted_ms = sorted(v * 1e3 for v in latencies_s)
+    p50 = _percentile(sorted_ms, 0.50)
+    p95 = _percentile(sorted_ms, 0.95)
+    p99 = _percentile(sorted_ms, 0.99)
+    rps = total / wall_s
+
+    record = {
+        "connections": CONNECTIONS,
+        "requests": total,
+        "op": "evaluate (warm cache)",
+        "p50_ms": round(p50, 3),
+        "p95_ms": round(p95, 3),
+        "p99_ms": round(p99, 3),
+        "rps": round(rps, 1),
+        "wall_s": round(wall_s, 3),
+    }
+    ARTIFACT.write_text(json.dumps(record, indent=2) + "\n")
+
+    benchmark.pedantic(
+        lambda: dispatch(EvaluateRequest(p=16)), rounds=3, iterations=1
+    )
+
+    body = ascii_table(
+        ["quantity", "value"],
+        [
+            ("load", f"{CONNECTIONS} conns x {REQUESTS_PER_CONNECTION} reqs"),
+            ("p50", f"{p50:.2f} ms"),
+            ("p95", f"{p95:.2f} ms"),
+            ("p99", f"{p99:.2f} ms"),
+            ("throughput", f"{rps:.0f} req/s"),
+            ("floor", f"{RPS_FLOOR:.0f} req/s"),
+            ("artifact", str(ARTIFACT.name)),
+        ],
+    )
+    print_artifact("api.server — serving latency under load", body)
+
+    assert rps >= RPS_FLOOR, (
+        f"serving throughput {rps:.0f} req/s under {CONNECTIONS} keep-alive "
+        f"connections (floor {RPS_FLOOR:.0f})"
+    )

@@ -10,6 +10,17 @@ from __future__ import annotations
 
 import pytest
 
+try:
+    # Imported eagerly on purpose: the hypothesis pytest plugin lazily
+    # imports this at terminal-summary time, and compiling it then —
+    # after the serving bench has run worker threads and event loops —
+    # intermittently trips a CPython 3.11 "AST constructor recursion
+    # depth mismatch" SystemError.  Importing it here, single-threaded,
+    # caches the modules before any bench runs.
+    import hypothesis.internal.observability  # noqa: F401
+except ImportError:  # pragma: no cover - plugin not installed
+    pass
+
 from repro.cluster import dori, system_g
 
 

@@ -53,6 +53,8 @@ from repro.api.types import (
     HeteroResponse,
     IsoEEQuery,
     IsoEEResponse,
+    MetricsRequest,
+    MetricsResponse,
     ParetoQuery,
     ParetoResponse,
     Response,
@@ -109,4 +111,6 @@ __all__ = [
     "FederateResponse",
     "HeteroRequest",
     "HeteroResponse",
+    "MetricsRequest",
+    "MetricsResponse",
 ]

@@ -26,6 +26,8 @@ from repro.api.types import (
     HeteroResponse,
     IsoEEQuery,
     IsoEEResponse,
+    MetricsRequest,
+    MetricsResponse,
     ParetoQuery,
     ParetoResponse,
     Response,
@@ -57,6 +59,7 @@ REQUEST_TYPES: dict[str, type[WireRecord]] = {
         FederateRequest,
         HeteroRequest,
         BatchRequest,
+        MetricsRequest,
     )
 }
 
@@ -76,6 +79,7 @@ RESPONSE_TYPES: dict[str, type[Response]] = {
         FederateResponse,
         HeteroResponse,
         BatchResponse,
+        MetricsResponse,
     )
 }
 

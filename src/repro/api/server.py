@@ -32,13 +32,19 @@ Design notes:
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import errno
 import json
+import os
+import time
 from typing import Any
 
 from repro.api.schemas import API_VERSION, operations, request_from_dict
 from repro.api.service import cache_stats_payload, dispatch
 from repro.errors import ReproError, WireError
+from repro.obs import log as obs_log
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 #: default bind address of ``repro serve``.
 DEFAULT_HOST = "127.0.0.1"
@@ -62,6 +68,51 @@ _REASONS = {
     503: "Service Unavailable",
 }
 
+# ---------------------------------------------------------------------------
+# Instrumentation: request/connection counters, latency, byte traffic.
+# All families live in the process-wide obs registry, so ``GET /metrics``
+# and the ``metrics`` wire op expose them alongside dispatch and cache
+# metrics.
+# ---------------------------------------------------------------------------
+
+_HTTP_REQUESTS = obs_metrics.registry().counter(
+    "repro_http_requests_total",
+    "HTTP requests answered, by method and status code.",
+    labelnames=("method", "status"),
+)
+_HTTP_ERRORS = obs_metrics.registry().counter(
+    "repro_http_errors_total",
+    "HTTP requests answered with a 4xx/5xx status.",
+)
+_HTTP_LATENCY = obs_metrics.registry().histogram(
+    "repro_http_request_duration_seconds",
+    "Wall-clock time from first byte read to reply flushed.",
+)
+_HTTP_CONNECTIONS = obs_metrics.registry().counter(
+    "repro_http_connections_total",
+    "TCP connections accepted (shed connections included).",
+)
+_HTTP_KEEPALIVE_REUSE = obs_metrics.registry().counter(
+    "repro_http_keepalive_reuse_total",
+    "Requests served on an already-used keep-alive connection.",
+)
+_HTTP_SHEDS = obs_metrics.registry().counter(
+    "repro_http_sheds_total",
+    "Connections shed with an immediate 503 at max concurrency.",
+)
+_HTTP_BYTES_READ = obs_metrics.registry().counter(
+    "repro_http_bytes_read_total",
+    "Request bytes read (request line, headers, and body).",
+)
+_HTTP_BYTES_WRITTEN = obs_metrics.registry().counter(
+    "repro_http_bytes_written_total",
+    "Response bytes written (status line, headers, and body).",
+)
+
+#: wall-clock epoch the server (or failing that, the module) came up —
+#: the ``uptime_s`` anchor of ``/healthz``.
+_STARTED_AT = time.time()
+
 
 class _HttpReply(Exception):
     """Internal control flow: unwind to a ready-to-send JSON reply."""
@@ -83,10 +134,17 @@ def _error_payload(kind: str, message: str) -> dict[str, Any]:
 def _health_payload() -> dict[str, Any]:
     from repro import __version__
 
+    registry = obs_metrics.registry()
     return {
         "status": "ok",
         "version": __version__,
         "api_version": API_VERSION,
+        "uptime_s": round(time.time() - _STARTED_AT, 3),
+        "pid": os.getpid(),
+        # cumulative serving counts pulled from the metrics registry —
+        # the same numbers ``GET /metrics`` exposes in full
+        "requests_total": int(registry.value("repro_http_requests_total")),
+        "errors_total": int(registry.value("repro_http_errors_total")),
         "operations": list(operations()),
         # live memo-layer census (responses / models / grid_store) so
         # operators can watch batch amortization from a liveness probe
@@ -96,15 +154,18 @@ def _health_payload() -> dict[str, Any]:
 
 async def _read_request(
     reader: asyncio.StreamReader,
-) -> tuple[str, str, bytes, bool]:
-    """(method, path, body, keep_alive) of one HTTP request.
+) -> tuple[str, str, bytes, bool, str | None]:
+    """(method, path, body, keep_alive, request_id) of one HTTP request.
 
-    Raises ``_EndOfStream`` on a clean close before the request line and
-    ``_HttpReply`` on anything the client got wrong.  The caller bounds
-    the whole read with ``KEEPALIVE_IDLE_S`` — the timeout must cover
-    headers and body too, or a mid-request stall would hold a
+    ``request_id`` is the inbound ``X-Request-Id`` header, if any — the
+    caller adopts it as the trace ID so client-chosen IDs survive the
+    hop.  Raises ``_EndOfStream`` on a clean close before the request
+    line and ``_HttpReply`` on anything the client got wrong.  The
+    caller bounds the whole read with ``KEEPALIVE_IDLE_S`` — the timeout
+    must cover headers and body too, or a mid-request stall would hold a
     concurrency slot forever.
     """
+    bytes_read = 0
     try:
         request_line = await reader.readline()
     except (ConnectionError, ValueError):
@@ -112,6 +173,7 @@ async def _read_request(
         raise _HttpReply(400, _error_payload("WireError", "unreadable request"))
     if request_line == b"":
         raise _EndOfStream
+    bytes_read += len(request_line)
     parts = request_line.decode("latin-1").split()
     if len(parts) < 3:
         raise _HttpReply(
@@ -120,6 +182,7 @@ async def _read_request(
     method, path, version = parts[0].upper(), parts[1], parts[2].upper()
     keep_alive = version != "HTTP/1.0"  # the 1.1 default
     content_length = 0
+    request_id: str | None = None
     while True:
         try:
             line = await reader.readline()
@@ -127,6 +190,7 @@ async def _read_request(
             raise _HttpReply(
                 400, _error_payload("WireError", "unreadable headers")
             )
+        bytes_read += len(line)
         if line in (b"", b"\r\n", b"\n"):
             break
         name, _, value = line.decode("latin-1").partition(":")
@@ -147,6 +211,9 @@ async def _read_request(
                 keep_alive = False
             elif token == "keep-alive":
                 keep_alive = True
+        elif name == "x-request-id":
+            # cap adopted IDs: a log/label field, not a data channel
+            request_id = value.strip()[:128] or None
     if content_length > _MAX_BODY_BYTES:
         raise _HttpReply(
             413,
@@ -155,7 +222,8 @@ async def _read_request(
             ),
         )
     body = await reader.readexactly(content_length) if content_length else b""
-    return method, path, body, keep_alive
+    _HTTP_BYTES_READ.inc(bytes_read + len(body))
+    return method, path, body, keep_alive, request_id
 
 
 def _parse_body(op: str, body: bytes) -> Any:
@@ -209,25 +277,44 @@ def _route(method: str, path: str) -> str:
     return op
 
 
+async def _write_raw(
+    writer: asyncio.StreamWriter,
+    status: int,
+    data: bytes,
+    content_type: str,
+    keep_alive: bool,
+    trace_id: str | None,
+) -> None:
+    connection = "keep-alive" if keep_alive else "close"
+    request_id = f"X-Request-Id: {trace_id}\r\n" if trace_id else ""
+    head = (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(data)}\r\n"
+        f"{request_id}"
+        f"Connection: {connection}\r\n"
+        "\r\n"
+    ).encode("latin-1")
+    writer.write(head + data)
+    _HTTP_BYTES_WRITTEN.inc(len(head) + len(data))
+    await writer.drain()
+
+
 async def _write_reply(
     writer: asyncio.StreamWriter,
     status: int,
     payload: dict[str, Any],
     keep_alive: bool,
+    trace_id: str | None = None,
 ) -> None:
-    data = json.dumps(payload).encode()
-    connection = "keep-alive" if keep_alive else "close"
-    writer.write(
-        (
-            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-            "Content-Type: application/json\r\n"
-            f"Content-Length: {len(data)}\r\n"
-            f"Connection: {connection}\r\n"
-            "\r\n"
-        ).encode("latin-1")
-        + data
+    await _write_raw(
+        writer,
+        status,
+        json.dumps(payload).encode(),
+        "application/json",
+        keep_alive,
+        trace_id,
     )
-    await writer.drain()
 
 
 async def _handle_one(
@@ -236,19 +323,53 @@ async def _handle_one(
     """Serve one request; return True iff the connection should persist."""
     status, payload = 500, _error_payload("InternalError", "unhandled")
     keep_alive = False
+    # every request gets a trace ID up front so even parse-failure replies
+    # carry one; an inbound X-Request-Id overrides it after the read
+    trace_id = obs_trace.new_trace_id()
+    obs_trace.set_trace_id(trace_id)
+    method, path, op = "-", "-", None
+    raw: tuple[bytes, str] | None = None
+    t0 = time.perf_counter()
     try:
         try:
-            method, path, body, keep_alive = await asyncio.wait_for(
+            (
+                method,
+                path,
+                body,
+                keep_alive,
+                request_id,
+            ) = await asyncio.wait_for(
                 _read_request(reader), timeout=KEEPALIVE_IDLE_S
             )
         except asyncio.TimeoutError:
             # idle or stalled mid-request: reclaim the slot silently
             raise _EndOfStream from None
-        op = _route(method, path)  # raises for non-dispatch paths
-        request = _parse_body(op, body)
-        loop = asyncio.get_running_loop()
-        response = await loop.run_in_executor(None, dispatch, request)
-        status, payload = 200, response.to_dict()
+        if request_id:
+            trace_id = request_id
+            obs_trace.set_trace_id(trace_id)
+        if path == "/metrics":
+            if method != "GET":
+                raise _HttpReply(
+                    405,
+                    _error_payload("WireError", "/metrics accepts GET only"),
+                )
+            status = 200
+            raw = (
+                obs_metrics.registry().render().encode(),
+                obs_metrics.CONTENT_TYPE,
+            )
+        else:
+            op = _route(method, path)  # raises for non-dispatch paths
+            request = _parse_body(op, body)
+            loop = asyncio.get_running_loop()
+            # run_in_executor does NOT propagate contextvars — carry the
+            # trace context into the worker thread explicitly so spans
+            # and logs emitted under dispatch keep this request's ID
+            context = contextvars.copy_context()
+            response = await loop.run_in_executor(
+                None, context.run, dispatch, request
+            )
+            status, payload = 200, response.to_dict()
     except _HttpReply as reply:
         # /healthz replies flow through here too: 200 keeps the
         # connection, anything else closes it (framing may be suspect)
@@ -268,8 +389,27 @@ async def _handle_one(
         status = 500
         payload = _error_payload(type(exc).__name__, str(exc))
         keep_alive = False
+        obs_log.server_error(method=method, path=path, exc=exc, op=op)
+    if status >= 400:
+        # top level, never inside "error": batch item error objects must
+        # stay byte-identical to single-POST "error" objects
+        payload = dict(payload)
+        payload["trace_id"] = trace_id
+    duration = time.perf_counter() - t0
+    _HTTP_REQUESTS.labels(method, str(status)).inc()
+    if status >= 400:
+        _HTTP_ERRORS.inc()
+    _HTTP_LATENCY.observe(duration)
+    obs_log.request_log(
+        method=method, path=path, status=status, duration_s=duration, op=op
+    )
     try:
-        await _write_reply(writer, status, payload, keep_alive)
+        if raw is not None:
+            await _write_raw(writer, status, *raw, keep_alive, trace_id)
+        else:
+            await _write_reply(
+                writer, status, payload, keep_alive, trace_id=trace_id
+            )
     except ConnectionError:  # pragma: no cover - client went away mid-reply
         return False
     return keep_alive
@@ -284,20 +424,24 @@ def _make_handler(max_concurrency: int | None):
     async def handle(
         reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        _HTTP_CONNECTIONS.inc()
         try:
             if semaphore is not None and semaphore.locked():
                 # every slot busy: shed load *now* with a structured 503
                 # rather than queueing the connection invisibly
+                _HTTP_SHEDS.inc()
+                _HTTP_REQUESTS.labels("-", "503").inc()
+                _HTTP_ERRORS.inc()
+                trace_id = obs_trace.new_trace_id()
+                shed_payload = _error_payload(
+                    "Saturated",
+                    f"server is at max concurrency "
+                    f"({max_concurrency}); retry shortly",
+                )
+                shed_payload["trace_id"] = trace_id
                 try:
                     await _write_reply(
-                        writer,
-                        503,
-                        _error_payload(
-                            "Saturated",
-                            f"server is at max concurrency "
-                            f"({max_concurrency}); retry shortly",
-                        ),
-                        False,
+                        writer, 503, shed_payload, False, trace_id=trace_id
                     )
                     # the request was never read; closing with bytes
                     # pending in the receive buffer RSTs the socket and
@@ -330,11 +474,16 @@ async def _serve_connection(
     reader: asyncio.StreamReader, writer: asyncio.StreamWriter
 ) -> None:
     """The keep-alive loop: requests until close is asked or required."""
+    served = 0
     while True:
         try:
-            if not await _handle_one(reader, writer):
-                return
+            persist = await _handle_one(reader, writer)
         except _EndOfStream:
+            return
+        served += 1
+        if served > 1:
+            _HTTP_KEEPALIVE_REUSE.inc()
+        if not persist:
             return
 
 
@@ -369,7 +518,9 @@ async def start_server(
 async def _serve_forever(
     host: str, port: int, ready, max_concurrency: int | None
 ) -> None:
+    global _STARTED_AT
     server = await start_server(host, port, max_concurrency=max_concurrency)
+    _STARTED_AT = time.time()  # /healthz uptime counts from bind, not import
     addr = server.sockets[0].getsockname() if server.sockets else (host, port)
     limit = f", max {max_concurrency} in flight" if max_concurrency else ""
     print(

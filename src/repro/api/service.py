@@ -15,6 +15,7 @@ noise model, so it caches soundly too.
 
 from __future__ import annotations
 
+import time
 from functools import lru_cache
 
 from repro.analysis.surface import surface_from_grid
@@ -35,6 +36,8 @@ from repro.api.types import (
     HeteroResponse,
     IsoEEQuery,
     IsoEEResponse,
+    MetricsRequest,
+    MetricsResponse,
     ModelRequest,
     ParetoQuery,
     ParetoResponse,
@@ -56,6 +59,7 @@ from repro.federation.registry import default_registry
 from repro.federation.router import route_jobs
 from repro.hetero import solve as hetero_solve
 from repro.hetero.space import HeteroSpace, PoolSpec
+from repro.obs import metrics as obs_metrics
 from repro.optimize import (
     default_store,
     grid_for,
@@ -76,6 +80,84 @@ RESPONSE_CACHE_SIZE = 512
 #: hard ceiling on batch fan-out — a backstop against accidental
 #: megabatches, far above any sane single round trip.
 MAX_BATCH_ITEMS = 1_000
+
+# ---------------------------------------------------------------------------
+# Instrumentation: per-op dispatch latency/count/error-kind, batch item
+# outcomes, and a render-time re-export of every memo layer's census so
+# the registry is the one view ``/metrics``, ``/healthz``, and the CLI
+# all read.
+# ---------------------------------------------------------------------------
+
+_DISPATCH_TOTAL = obs_metrics.registry().counter(
+    "repro_dispatch_total",
+    "Requests answered by the dispatch facade, by operation.",
+    labelnames=("op",),
+)
+_DISPATCH_ERRORS = obs_metrics.registry().counter(
+    "repro_dispatch_errors_total",
+    "Dispatch failures by operation and error kind.",
+    labelnames=("op", "kind"),
+)
+_DISPATCH_LATENCY = obs_metrics.registry().histogram(
+    "repro_dispatch_latency_seconds",
+    "Dispatch facade latency by operation (cache hits included).",
+    labelnames=("op",),
+)
+_BATCH_ITEMS = obs_metrics.registry().counter(
+    "repro_batch_items_total",
+    "Batch item outcomes by sub-operation and status.",
+    labelnames=("op", "status"),
+)
+
+_CACHE_HITS = obs_metrics.registry().gauge(
+    "repro_cache_hits_total",
+    "Cumulative hits of the serving-side memo layers.",
+    labelnames=("cache",),
+)
+_CACHE_MISSES = obs_metrics.registry().gauge(
+    "repro_cache_misses_total",
+    "Cumulative misses of the serving-side memo layers.",
+    labelnames=("cache",),
+)
+_CACHE_ENTRIES = obs_metrics.registry().gauge(
+    "repro_cache_entries",
+    "Resident entries per serving-side memo layer.",
+    labelnames=("cache",),
+)
+_GRID_STORE_EVENTS = obs_metrics.registry().gauge(
+    "repro_grid_store_events_total",
+    "Cumulative grid-store events (incl. the hetero side-cache).",
+    labelnames=("event",),
+)
+_GRID_STORE_BYTES = obs_metrics.registry().gauge(
+    "repro_grid_store_bytes",
+    "Resident bytes of cached grids.",
+    labelnames=("kind",),
+)
+
+
+def _collect_cache_metrics() -> None:
+    """Refresh the cache gauges from the live memo layers (render hook)."""
+    info = cache_info()
+    for cache in ("responses", "models", "spaces"):
+        record = info[cache]
+        _CACHE_HITS.labels(cache).set(record.hits)
+        _CACHE_MISSES.labels(cache).set(record.misses)
+        _CACHE_ENTRIES.labels(cache).set(record.currsize)
+    store = info["grid_store"]
+    for event in (
+        "hits", "superset_hits", "misses", "evictions",
+        "pair_batches", "pair_points",
+        "hetero_hits", "hetero_misses", "hetero_evictions",
+    ):
+        _GRID_STORE_EVENTS.labels(event).set(store[event])
+    _CACHE_ENTRIES.labels("grid_store").set(store["entries"])
+    _CACHE_ENTRIES.labels("grid_store_hetero").set(store["hetero_entries"])
+    _GRID_STORE_BYTES.labels("homogeneous").set(store["bytes"])
+    _GRID_STORE_BYTES.labels("hetero").set(store["hetero_bytes"])
+
+
+obs_metrics.registry().register_collector(_collect_cache_metrics)
 
 
 @lru_cache(maxsize=64)
@@ -345,6 +427,11 @@ def _federate(req: FederateRequest) -> FederateResponse:
     )
 
 
+def _metrics(req: MetricsRequest) -> MetricsResponse:
+    """The registry snapshot — never memoised (it changes per call)."""
+    return MetricsResponse(text=obs_metrics.registry().render())
+
+
 # ---------------------------------------------------------------------------
 # Batch execution
 # ---------------------------------------------------------------------------
@@ -359,6 +446,8 @@ def _error_item(exc: ReproError) -> BatchItem:
 def _run_item(item: WireRecord) -> BatchItem:
     """One non-grouped batch item through the ordinary dispatch path."""
     try:
+        if type(item) in _UNCACHED:
+            return BatchItem(ok=True, response=_HANDLERS[type(item)](item))
         return BatchItem(ok=True, response=_dispatch_cached(item))
     except ReproError as exc:
         return _error_item(exc)
@@ -454,6 +543,8 @@ def _batch(req: BatchRequest) -> BatchResponse:
         answers = _solve_constraint_group([req.items[i] for i in indices])
         for i, answer in zip(indices, answers):
             results[i] = answer
+    for item, result in zip(req.items, results):
+        _BATCH_ITEMS.labels(item.op, "ok" if result.ok else "error").inc()
     return BatchResponse(items=tuple(results))
 
 
@@ -470,7 +561,11 @@ _HANDLERS = {
     FederateRequest: _federate,
     HeteroRequest: _hetero,
     BatchRequest: _batch,
+    MetricsRequest: _metrics,
 }
+
+#: request types whose answers change over time — never memoised.
+_UNCACHED = frozenset({MetricsRequest})
 
 
 @lru_cache(maxsize=RESPONSE_CACHE_SIZE)
@@ -505,7 +600,17 @@ def dispatch(request: WireRecord) -> Response:
         raise WireError(
             f"dispatch() takes a request type, got {type(request).__name__}"
         )
-    return _dispatch_cached(request)
+    t0 = time.perf_counter()
+    try:
+        if type(request) in _UNCACHED:
+            return _HANDLERS[type(request)](request)
+        return _dispatch_cached(request)
+    except Exception as exc:
+        _DISPATCH_ERRORS.labels(request.op, type(exc).__name__).inc()
+        raise
+    finally:
+        _DISPATCH_TOTAL.labels(request.op).inc()
+        _DISPATCH_LATENCY.labels(request.op).observe(time.perf_counter() - t0)
 
 
 def cache_info() -> dict[str, object]:

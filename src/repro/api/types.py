@@ -51,7 +51,11 @@ from repro.optimize.schedule import Assignment, Job
 #: v4: the ``hetero`` operation — mixed-pool allocation search with
 #: nested ``PoolSpec`` pools — and the optional ``pools`` field on
 #: federation ``ShardSpec`` (heterogeneous shards).
-API_VERSION = 4
+#: v5: the ``metrics`` operation — the process metrics registry in
+#: Prometheus text exposition form (the same body ``GET /metrics``
+#: serves) — and the top-level ``trace_id`` field on HTTP error
+#: payloads.
+API_VERSION = 5
 
 # ---------------------------------------------------------------------------
 # Field coercers — the "typed" in typed facade
@@ -568,6 +572,19 @@ class HeteroRequest(WireRecord):
     policy_gap: bool = False
 
 
+@dataclass(frozen=True)
+class MetricsRequest(WireRecord):
+    """A snapshot of the process metrics registry (``repro metrics``).
+
+    Carries no parameters; the response's ``text`` is the Prometheus
+    exposition body — byte-identical to what ``GET /metrics`` serves
+    from the same process at the same instant.
+    """
+
+    op: ClassVar[str] = "metrics"
+    coercers: ClassVar[dict[str, Coercer]] = {}
+
+
 def _sub_request(value: Any) -> "WireRecord":
     """One batch item: any non-batch request, op-tagged.
 
@@ -820,6 +837,16 @@ class HeteroResponse(Response):
     deadline: HeteroRecommendation | None
     pareto: tuple[HeteroRecommendation, ...]
     policy_gap: PolicyGap | None
+
+
+@dataclass(frozen=True)
+class MetricsResponse(Response):
+    """The rendered registry: counters, gauges, histograms as text."""
+
+    op: ClassVar[str] = "metrics"
+    coercers: ClassVar[dict[str, Coercer]] = {"text": _str}
+
+    text: str
 
 
 @dataclass(frozen=True)

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Ten commands cover the everyday workflows:
+Eleven commands cover the everyday workflows:
 
 * ``evaluate``  — EE/EEF/energy at one (benchmark, cluster, p, f, class)
 * ``sweep``     — the EE-vs-p table for a benchmark
@@ -17,6 +17,8 @@ Ten commands cover the everyday workflows:
   through the batch executor (grids shared per signature)
 * ``cache-stats`` — the serving-side memo-layer census (responses,
   models, grid store)
+* ``metrics``   — the process-wide observability registry in Prometheus
+  text exposition (``--json`` wraps it in the ``metrics`` op payload)
 * ``serve``     — the asyncio HTTP/JSON API over the same operations
 
 Every query command builds a typed :mod:`repro.api` request, routes it
@@ -44,6 +46,7 @@ from repro.api.types import (
     EvaluateRequest,
     FederateRequest,
     IsoEEQuery,
+    MetricsRequest,
     ParetoQuery,
     Response,
     SurfaceRequest,
@@ -560,9 +563,23 @@ def cmd_cache_stats(args) -> int:
     return 0
 
 
+def cmd_metrics(args) -> int:
+    resp = dispatch(MetricsRequest())
+    if args.json:
+        return _emit_json([resp])
+    # text mode prints the exposition body exactly as GET /metrics would
+    print(resp.text, end="")
+    return 0
+
+
 def cmd_serve(args) -> int:
     from repro.api.server import serve
+    from repro.obs import configure_logging, set_slow_threshold_ms
 
+    # logging/slow-log policy belongs to the *process entry point*, not
+    # to serve() itself — embedded/test servers stay quiet by default
+    configure_logging(json_lines=args.log_json)
+    set_slow_threshold_ms(args.slow_ms)
     return serve(host=args.host, port=args.port,
                  max_concurrency=args.max_concurrency)
 
@@ -708,6 +725,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="emit the /healthz caches payload as JSON")
     p_stats.set_defaults(func=cmd_cache_stats)
 
+    p_met = sub.add_parser(
+        "metrics",
+        help="dump the observability registry (Prometheus text format)",
+    )
+    p_met.add_argument("--json", action="store_true",
+                       help="emit the 'metrics' op response payload as JSON")
+    p_met.set_defaults(func=cmd_metrics)
+
     p_srv = sub.add_parser(
         "serve", help="HTTP/JSON API server over the same operations"
     )
@@ -718,6 +743,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument(
         "--max-concurrency", type=int, default=None,
         help="cap in-flight connections; extra arrivals get a 503",
+    )
+    p_srv.add_argument(
+        "--log-json", action="store_true",
+        help="emit request/error logs as JSON lines instead of text",
+    )
+    p_srv.add_argument(
+        "--slow-ms", type=float, default=None, metavar="MS",
+        help="WARN on instrumented spans slower than this many milliseconds",
     )
     p_srv.set_defaults(func=cmd_serve)
 

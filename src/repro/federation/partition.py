@@ -45,6 +45,7 @@ import numpy as np
 
 from repro.errors import ParameterError
 from repro.federation.registry import Shard
+from repro.obs.trace import span
 from repro.hetero.space import hetero_grid
 from repro.optimize.schedule import (
     Job,
@@ -302,10 +303,13 @@ def score_splits(
         raise ParameterError(
             f"splits must be (M, {len(profiles)}), got {splits.shape}"
         )
-    scores = np.zeros(len(splits))
-    for j, prof in enumerate(profiles):
-        idx = np.searchsorted(prof.powers, splits[:, j], side="right") - 1
-        scores += np.where(idx >= 0, prof.utilities[np.maximum(idx, 0)], 0.0)
+    with span("federation.score"):
+        scores = np.zeros(len(splits))
+        for j, prof in enumerate(profiles):
+            idx = np.searchsorted(prof.powers, splits[:, j], side="right") - 1
+            scores += np.where(
+                idx >= 0, prof.utilities[np.maximum(idx, 0)], 0.0
+            )
     return scores
 
 

@@ -32,6 +32,7 @@ from repro.federation.partition import (
     shard_profiles,
 )
 from repro.federation.registry import Shard
+from repro.obs.trace import span
 from repro.optimize.schedule import (
     Assignment,
     Job,
@@ -171,11 +172,12 @@ def route_jobs(
             f"unknown routing metric {metric!r}; choose from {ROUTING_METRICS}"
         )
     shards = list(shards)
-    ladder_table = _ladder_table(shards, jobs)
-    profiles = shard_profiles(shards, jobs, ladders_by_shard=ladder_table)
-    partition = partition_budget(
-        shards, budget_w, jobs=jobs, strategy=strategy, profiles=profiles
-    )
+    with span("federation.route"):
+        ladder_table = _ladder_table(shards, jobs)
+        profiles = shard_profiles(shards, jobs, ladders_by_shard=ladder_table)
+        partition = partition_budget(
+            shards, budget_w, jobs=jobs, strategy=strategy, profiles=profiles
+        )
 
     committed = [0.0] * len(shards)  # Σ floors of the jobs routed per shard
     queues: list[list[int]] = [[] for _ in shards]  # job indices per shard

@@ -535,10 +535,15 @@ def hetero_grid(space: HeteroSpace, *, store=None) -> HeteroGridResult:
     share, so repeated and batched queries over one space evaluate once.
     Returned grids are shared and read-only; copy before mutating.
     """
+    from repro.obs.trace import span
     from repro.optimize.engine import default_store
 
+    def _build():
+        with span("hetero.enumerate"):
+            return evaluate_space(space)
+
     return (store or default_store()).get_hetero(
-        space, space.signature(), lambda: evaluate_space(space)
+        space, space.signature(), _build
     )
 
 

@@ -1,0 +1,150 @@
+"""Structured logging for the serving stack.
+
+Everything logs through stdlib :mod:`logging` under the ``repro``
+namespace, carrying structured fields (trace ID, op, duration, HTTP
+status) in ``record.__dict__`` so both renderers can see them:
+
+* the default **text** formatter prints one scannable line per event;
+* :class:`JsonFormatter` (``repro serve --log-json``) prints one JSON
+  object per line — the shape log shippers ingest directly.
+
+The library never configures handlers on import (embedders own their
+logging); :func:`configure` is called by ``repro serve``.  Unconfigured,
+stdlib's last-resort handler still prints WARNING+ to stderr — which is
+exactly the set of events (unexpected 500s, slow spans) that must never
+be silent.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import time
+import traceback
+from typing import Any
+
+from repro.obs import trace
+
+#: every serving-stack event logs under this namespace.
+LOGGER_NAME = "repro"
+
+#: structured fields lifted out of ``record.__dict__`` by both formatters.
+_STRUCTURED_FIELDS = (
+    "trace_id", "op", "duration_ms", "status", "span", "method", "path",
+    "error_type",
+)
+
+
+def get_logger(suffix: str = "") -> logging.Logger:
+    """The ``repro`` logger, or a dotted child (``get_logger("http")``)."""
+    return logging.getLogger(
+        f"{LOGGER_NAME}.{suffix}" if suffix else LOGGER_NAME
+    )
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line: ts, level, event, structured fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        for field in _STRUCTURED_FIELDS:
+            value = record.__dict__.get(field)
+            if value is not None:
+                payload[field] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["traceback"] = "".join(
+                traceback.format_exception(*record.exc_info)
+            ).rstrip()
+        return json.dumps(payload)
+
+
+class TextFormatter(logging.Formatter):
+    """``HH:MM:SS LEVEL event key=value ...`` — the human default."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        stamp = time.strftime("%H:%M:%S", time.localtime(record.created))
+        parts = [stamp, record.levelname, record.getMessage()]
+        for field in _STRUCTURED_FIELDS:
+            value = record.__dict__.get(field)
+            if value is not None:
+                parts.append(f"{field}={value}")
+        line = " ".join(str(p) for p in parts)
+        if record.exc_info and record.exc_info[0] is not None:
+            line += "\n" + "".join(
+                traceback.format_exception(*record.exc_info)
+            ).rstrip()
+        return line
+
+
+def configure(
+    *, json_lines: bool = False, level: int = logging.INFO
+) -> logging.Logger:
+    """Install one stderr handler on the ``repro`` logger (idempotent).
+
+    Called by ``repro serve`` (``--log-json`` selects the JSON
+    renderer).  Replaces any handler a previous ``configure`` installed,
+    so tests can flip formats freely.
+    """
+    logger = get_logger()
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler()
+    handler.setFormatter(JsonFormatter() if json_lines else TextFormatter())
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    logger.propagate = False
+    return logger
+
+
+def _fields(**kw: Any) -> dict[str, Any]:
+    extra = {k: v for k, v in kw.items() if v is not None}
+    extra.setdefault("trace_id", trace.current_trace_id())
+    return {k: v for k, v in extra.items() if v is not None}
+
+
+def request_log(
+    *,
+    method: str,
+    path: str,
+    status: int,
+    duration_s: float,
+    op: str | None = None,
+) -> None:
+    """One INFO line per served HTTP request."""
+    get_logger("http").info(
+        "request",
+        extra=_fields(
+            method=method,
+            path=path,
+            status=status,
+            op=op,
+            duration_ms=round(duration_s * 1e3, 3),
+        ),
+    )
+
+
+def server_error(
+    *, method: str, path: str, exc: BaseException, op: str | None = None
+) -> None:
+    """One ERROR line (with traceback) per unexpected 500."""
+    get_logger("http").error(
+        "unhandled server error",
+        exc_info=(type(exc), exc, exc.__traceback__),
+        extra=_fields(
+            method=method, path=path, op=op, status=500,
+            error_type=type(exc).__name__,
+        ),
+    )
+
+
+def slow_span(name: str, duration_s: float) -> None:
+    """One WARNING line per span beyond the slow threshold."""
+    get_logger("slow").warning(
+        "slow span",
+        extra=_fields(span=name, duration_ms=round(duration_s * 1e3, 3)),
+    )

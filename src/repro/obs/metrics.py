@@ -1,0 +1,416 @@
+"""A dependency-free, thread-safe metrics registry.
+
+The serving stack needs three instrument kinds — monotonically growing
+:class:`Counter` families, settable :class:`Gauge` families, and
+fixed-bucket :class:`Histogram` families — all labelled, all process-wide,
+all renderable in the Prometheus text exposition format (v0.0.4) that
+``GET /metrics`` serves and any scraper understands.
+
+Design constraints, in order:
+
+* **Near-free on the hot path.**  A counter increment or histogram
+  observation is one short critical section on a per-family lock —
+  no string formatting, no allocation beyond the first sighting of a
+  label set.  Rendering (cold path) does all the formatting.
+* **No dependencies.**  The whole layer is stdlib; the exposition
+  format is simple enough that emitting it directly beats carrying a
+  client library.
+* **One registry, many views.**  ``/metrics``, the ``metrics`` wire op,
+  the ``repro metrics`` CLI, and the ``/healthz`` summary counts all
+  read the same :class:`Registry`.  External caches (the grid store,
+  the dispatch memo layers) are pulled in at render time through
+  *collector callbacks* so their numbers appear as first-class metrics
+  without the caches knowing about this module.
+
+Label values are positional: a family declares ``labelnames`` once and
+every ``labels(...)`` call supplies values in that order (keyword form
+also accepted).  Children are interned per value tuple, so steady-state
+instrumentation never allocates.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.errors import ParameterError
+
+#: default latency buckets (seconds) — tuned for a sub-millisecond-to-
+#: seconds decision service: dense where dispatch latencies live.
+LATENCY_BUCKETS_S = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+def _format_value(value: float) -> str:
+    """Prometheus-style number: integers bare, floats repr-round-tripped."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, float) and (value != value):  # NaN
+        return "NaN"
+    as_int = int(value)
+    if float(as_int) == float(value):
+        return str(as_int)
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace("\n", r"\n")
+        .replace('"', r'\"')
+    )
+
+
+def _label_suffix(labelnames: Sequence[str], values: Sequence[str]) -> str:
+    if not labelnames:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label(value)}"'
+        for name, value in zip(labelnames, values)
+    )
+    return "{" + inner + "}"
+
+
+class _Child:
+    """One (metric family, label values) time series."""
+
+    __slots__ = ("_lock",)
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+
+
+class _CounterChild(_Child):
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ParameterError("counters only go up; use a gauge")
+        with self._lock:
+            self.value += amount
+
+
+class _GaugeChild(_Child):
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+
+class _HistogramChild(_Child):
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: tuple[float, ...]) -> None:
+        super().__init__()
+        self.buckets = buckets
+        self.counts = [0] * len(buckets)  # per-bucket (non-cumulative)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        # linear scan beats bisect for the ~16-bucket families used here
+        i = 0
+        buckets = self.buckets
+        n = len(buckets)
+        while i < n and value > buckets[i]:
+            i += 1
+        with self._lock:
+            if i < n:
+                self.counts[i] += 1
+            self.sum += value
+            self.count += 1
+
+
+class _Family:
+    """Shared machinery: a named, labelled family of children."""
+
+    kind = ""
+    child_cls: type[_Child] = _Child
+
+    def __init__(
+        self, name: str, help: str, labelnames: Sequence[str] = ()
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+        self._children: dict[tuple[str, ...], _Child] = {}
+        if not self.labelnames:
+            # label-less families expose their single child's methods
+            self._default = self._make_child()
+            self._children[()] = self._default
+
+    def _make_child(self) -> _Child:
+        return self.child_cls()
+
+    def labels(self, *values, **kw) -> _Child:
+        """The child for one label-value tuple (interned, thread-safe)."""
+        if kw:
+            if values:
+                raise ParameterError(
+                    "pass label values positionally or by name, not both"
+                )
+            try:
+                values = tuple(str(kw[name]) for name in self.labelnames)
+            except KeyError as exc:
+                raise ParameterError(
+                    f"metric {self.name!r} has no label {exc.args[0]!r}"
+                ) from None
+            if len(kw) != len(self.labelnames):
+                raise ParameterError(
+                    f"metric {self.name!r} takes labels "
+                    f"{list(self.labelnames)}, got {sorted(kw)}"
+                )
+        else:
+            values = tuple(str(v) for v in values)
+        if len(values) != len(self.labelnames):
+            raise ParameterError(
+                f"metric {self.name!r} takes {len(self.labelnames)} "
+                f"label value(s), got {len(values)}"
+            )
+        child = self._children.get(values)
+        if child is None:
+            with self._lock:
+                child = self._children.setdefault(values, self._make_child())
+        return child
+
+    def _snapshot(self) -> list[tuple[tuple[str, ...], _Child]]:
+        with self._lock:
+            return list(self._children.items())
+
+
+class Counter(_Family):
+    """A monotonically increasing metric family."""
+
+    kind = "counter"
+    child_cls = _CounterChild
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default.inc(amount)
+
+    def total(self) -> float:
+        """The sum over every label combination (feeds ``/healthz``)."""
+        return sum(child.value for _, child in self._snapshot())
+
+    def render(self) -> Iterable[str]:
+        for values, child in sorted(self._snapshot()):
+            yield (
+                f"{self.name}{_label_suffix(self.labelnames, values)} "
+                f"{_format_value(child.value)}"
+            )
+
+
+class Gauge(_Family):
+    """A settable metric family (level, size, timestamp...)."""
+
+    kind = "gauge"
+    child_cls = _GaugeChild
+
+    def set(self, value: float) -> None:
+        self._default.set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default.inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default.dec(amount)
+
+    def total(self) -> float:
+        return sum(child.value for _, child in self._snapshot())
+
+    def render(self) -> Iterable[str]:
+        for values, child in sorted(self._snapshot()):
+            yield (
+                f"{self.name}{_label_suffix(self.labelnames, values)} "
+                f"{_format_value(child.value)}"
+            )
+
+
+class Histogram(_Family):
+    """A fixed-bucket distribution family.
+
+    ``le`` buckets are cumulative in the exposition (Prometheus
+    contract) while children count per-bucket internally — one add on
+    the hot path, the cumulative sum paid at render time.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = LATENCY_BUCKETS_S,
+    ) -> None:
+        buckets = tuple(sorted(float(b) for b in buckets))
+        if not buckets:
+            raise ParameterError("a histogram needs at least one bucket")
+        if len(set(buckets)) != len(buckets):
+            raise ParameterError("histogram buckets must be distinct")
+        self.buckets = buckets
+        super().__init__(name, help, labelnames)
+
+    def _make_child(self) -> _HistogramChild:
+        return _HistogramChild(self.buckets)
+
+    def observe(self, value: float) -> None:
+        self._default.observe(value)
+
+    def render(self) -> Iterable[str]:
+        for values, child in sorted(self._snapshot()):
+            with child._lock:
+                counts = list(child.counts)
+                total = child.count
+                vsum = child.sum
+            cumulative = 0
+            for bound, count in zip(self.buckets, counts):
+                cumulative += count
+                labels = _label_suffix(
+                    (*self.labelnames, "le"),
+                    (*values, _format_value(bound)),
+                )
+                yield f"{self.name}_bucket{labels} {cumulative}"
+            labels = _label_suffix(
+                (*self.labelnames, "le"), (*values, "+Inf")
+            )
+            yield f"{self.name}_bucket{labels} {total}"
+            suffix = _label_suffix(self.labelnames, values)
+            yield f"{self.name}_sum{suffix} {_format_value(vsum)}"
+            yield f"{self.name}_count{suffix} {total}"
+
+
+#: content type of the rendered exposition, for HTTP servers.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class Registry:
+    """A named collection of metric families plus collector callbacks.
+
+    Collectors run just before rendering — the hook external cache
+    layers (grid store, dispatch memos) use to refresh their gauge
+    re-exports without being written against this module's hot path.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: dict[str, _Family] = {}
+        self._collectors: list[Callable[[], None]] = []
+
+    # -- family constructors ------------------------------------------------------
+
+    def _register(self, family: _Family) -> _Family:
+        with self._lock:
+            existing = self._families.get(family.name)
+            if existing is not None:
+                if type(existing) is not type(family) or (
+                    existing.labelnames != family.labelnames
+                ):
+                    raise ParameterError(
+                        f"metric {family.name!r} re-registered with a "
+                        f"different type or label set"
+                    )
+                return existing
+            self._families[family.name] = family
+        return family
+
+    def counter(
+        self, name: str, help: str, labelnames: Sequence[str] = ()
+    ) -> Counter:
+        return self._register(Counter(name, help, labelnames))  # type: ignore[return-value]
+
+    def gauge(
+        self, name: str, help: str, labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        return self._register(Gauge(name, help, labelnames))  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = LATENCY_BUCKETS_S,
+    ) -> Histogram:
+        return self._register(Histogram(name, help, labelnames, buckets))  # type: ignore[return-value]
+
+    # -- collectors ---------------------------------------------------------------
+
+    def register_collector(self, fn: Callable[[], None]) -> None:
+        """Run ``fn`` before every render (idempotent per function)."""
+        with self._lock:
+            if fn not in self._collectors:
+                self._collectors.append(fn)
+
+    # -- reading ------------------------------------------------------------------
+
+    def get(self, name: str) -> _Family | None:
+        with self._lock:
+            return self._families.get(name)
+
+    def value(
+        self, name: str, labels: Mapping[str, str] | None = None
+    ) -> float:
+        """One family's total, or one child's value when ``labels`` given.
+
+        Counters and gauges only; absent families/children read 0 so
+        ``/healthz`` can report counts before the first request.
+        """
+        family = self.get(name)
+        if family is None:
+            return 0.0
+        if labels is None:
+            return family.total()  # type: ignore[union-attr]
+        child = family._children.get(
+            tuple(str(labels[n]) for n in family.labelnames)
+        )
+        return 0.0 if child is None else child.value  # type: ignore[union-attr]
+
+    def render(self) -> str:
+        """The full Prometheus text exposition of every family."""
+        with self._lock:
+            collectors = list(self._collectors)
+            families = sorted(self._families.values(), key=lambda f: f.name)
+        for fn in collectors:
+            fn()
+        lines: list[str] = []
+        for family in families:
+            lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            lines.extend(family.render())  # type: ignore[union-attr]
+        return "\n".join(lines) + "\n"
+
+    def reset(self) -> None:
+        """Drop every family and collector (test isolation only)."""
+        with self._lock:
+            self._families.clear()
+            self._collectors.clear()
+
+
+_REGISTRY = Registry()
+
+
+def registry() -> Registry:
+    """The process-wide registry every instrumented layer shares."""
+    return _REGISTRY

@@ -1,0 +1,125 @@
+"""Request tracing and profiling spans.
+
+One *trace ID* is minted per unit of work (an HTTP request, a CLI
+invocation) and carried through the stack in a :mod:`contextvars`
+variable, so everything a request touches — dispatch, solvers, logs,
+error payloads — can stamp the same ID without threading it through
+every signature.  Inbound ``X-Request-Id`` headers are honored, so IDs
+survive proxy hops and clients can correlate their own logs.
+
+:func:`span` is the profiling primitive: a reusable context manager
+timing one named region of the hot path and feeding a per-span duration
+histogram (``repro_span_duration_seconds{span=...}``).  It is built to
+be near-free — two ``perf_counter`` calls, one histogram observation —
+because it wraps regions the grid benchmark holds to <3% overhead.
+Spans longer than the configured *slow threshold* additionally emit one
+structured WARNING through :mod:`repro.obs.log` (the slow-query log),
+carrying the span name, duration, and current trace ID.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import time
+import uuid
+
+from repro.obs import metrics
+
+#: every span duration lands here, labelled by span name.
+SPAN_HISTOGRAM = metrics.registry().histogram(
+    "repro_span_duration_seconds",
+    "Duration of instrumented hot-path regions.",
+    labelnames=("span",),
+)
+
+_TRACE_ID: contextvars.ContextVar[str | None] = contextvars.ContextVar(
+    "repro_trace_id", default=None
+)
+
+#: slow-span threshold in seconds; ``None`` disables the slow log.
+_slow_threshold_s: float | None = None
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char trace ID (collision-safe per process fleet)."""
+    return uuid.uuid4().hex[:16]
+
+
+def current_trace_id() -> str | None:
+    """The trace ID of the active context, or None outside any trace."""
+    return _TRACE_ID.get()
+
+
+def set_trace_id(trace_id: str | None) -> contextvars.Token:
+    """Bind ``trace_id`` to the current context; returns the reset token."""
+    return _TRACE_ID.set(trace_id)
+
+
+def reset_trace_id(token: contextvars.Token) -> None:
+    _TRACE_ID.reset(token)
+
+
+def ensure_trace_id() -> str:
+    """The current trace ID, minting and binding one if absent."""
+    trace_id = _TRACE_ID.get()
+    if trace_id is None:
+        trace_id = new_trace_id()
+        _TRACE_ID.set(trace_id)
+    return trace_id
+
+
+class trace_context:
+    """``with trace_context("abc123"):`` — scope a trace ID to a block."""
+
+    __slots__ = ("trace_id", "_token")
+
+    def __init__(self, trace_id: str | None = None) -> None:
+        self.trace_id = trace_id if trace_id is not None else new_trace_id()
+
+    def __enter__(self) -> str:
+        self._token = _TRACE_ID.set(self.trace_id)
+        return self.trace_id
+
+    def __exit__(self, *exc) -> None:
+        _TRACE_ID.reset(self._token)
+
+
+def set_slow_threshold_ms(threshold_ms: float | None) -> None:
+    """Spans beyond this emit a WARNING slow-log line; None disables."""
+    global _slow_threshold_s
+    _slow_threshold_s = (
+        None if threshold_ms is None else float(threshold_ms) / 1000.0
+    )
+
+
+def slow_threshold_ms() -> float | None:
+    return None if _slow_threshold_s is None else _slow_threshold_s * 1000.0
+
+
+class span:
+    """``with span("grid.evaluate"):`` — time one hot-path region.
+
+    The instance is a plain context manager (no generator machinery);
+    the only hot-path work is two clock reads and one histogram
+    observation.  Exceptions propagate untouched — the duration is
+    recorded either way, so error latencies stay visible.
+    """
+
+    __slots__ = ("name", "_child", "_t0")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._child = SPAN_HISTOGRAM.labels(name)
+
+    def __enter__(self) -> "span":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        duration = time.perf_counter() - self._t0
+        self._child.observe(duration)
+        threshold = _slow_threshold_s
+        if threshold is not None and duration >= threshold:
+            from repro.obs.log import slow_span
+
+            slow_span(self.name, duration)

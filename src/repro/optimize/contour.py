@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.core.model import IsoEnergyModel
 from repro.errors import ParameterError
+from repro.obs.trace import span
 from repro.optimize.engine import ee_pairs
 
 #: smallest problem size the n-bracket will shrink to (NPB kernels reject
@@ -190,6 +191,22 @@ def _solve_n_batched(
     bisection's worth of vectorized passes instead of per-p scalar
     :meth:`IsoEnergyModel.ee` loops.
     """
+    with span("contour.bisect"):
+        return _solve_n_batched_inner(
+            model, target_ee=target_ee, p_values=p_values, f=f,
+            n_seed=n_seed, rel_tol=rel_tol,
+        )
+
+
+def _solve_n_batched_inner(
+    model: IsoEnergyModel,
+    *,
+    target_ee: float,
+    p_values: Sequence[int],
+    f: float | None,
+    n_seed: float,
+    rel_tol: float,
+) -> list[ContourPoint]:
     ps = np.asarray([int(p) for p in p_values], dtype=np.int64)
     par = ps > 1  # p=1 lanes short-circuit: EE ≡ 1 there
 

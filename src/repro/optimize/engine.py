@@ -45,6 +45,7 @@ import numpy as np
 
 from repro.core.model import IsoEnergyModel
 from repro.errors import ParameterError
+from repro.obs.trace import span
 from repro.optimize.grid import GRID_METRICS, GridResult, ee_at_pairs, evaluate_grid
 
 #: default bound on cached grids; LRU beyond it.
@@ -155,18 +156,20 @@ class GridStore:
                 self._entries.move_to_end(key)
                 self.hits += 1
                 return entry[1]
-            sliced = self._slice_from_superset(key)
+            with span("grid.slice"):
+                sliced = self._slice_from_superset(key)
             if sliced is not None:
                 self.superset_hits += 1
                 self._put_locked(key, model, sliced)
                 return sliced
         # evaluate outside the lock: concurrent identical misses may race,
         # but the evaluation is pure and the second put is a harmless no-op
-        grid = _freeze(
-            evaluate_grid(
-                model, p_values=key[1], f_values=key[2], n_values=key[3]
+        with span("grid.evaluate"):
+            grid = _freeze(
+                evaluate_grid(
+                    model, p_values=key[1], f_values=key[2], n_values=key[3]
+                )
             )
-        )
         with self._lock:
             self.misses += 1
             self._put_locked(key, model, grid)

@@ -1,0 +1,205 @@
+"""Observability over the wire: /metrics, trace IDs, enriched /healthz."""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api.schemas import API_VERSION
+from repro.api.service import cache_info, dispatch
+from repro.api.types import BudgetQuery, MetricsRequest
+from repro.obs import metrics as obs_metrics
+
+from test_server import _get, _post, _spawn_server, _stop_server
+
+
+@pytest.fixture(scope="module")
+def live_server():
+    loop, thread, base = _spawn_server()
+    yield base
+    _stop_server(loop, thread)
+
+
+def _get_raw(base: str, path: str, headers=None):
+    request = urllib.request.Request(f"{base}{path}", headers=headers or {})
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return response.status, dict(response.headers), response.read()
+
+
+class TestMetricsEndpoint:
+    def test_scrape_smoke(self, live_server):
+        _post(live_server, "/v1/budget", {"budget_w": 3000.0})
+        status, headers, body = _get_raw(live_server, "/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == obs_metrics.CONTENT_TYPE
+        text = body.decode()
+        for family in (
+            "repro_http_requests_total",
+            "repro_dispatch_total",
+            "repro_dispatch_latency_seconds_bucket",
+            "repro_span_duration_seconds",
+            "repro_cache_entries",
+            "repro_grid_store_events_total",
+        ):
+            assert family in text, family
+        assert 'repro_dispatch_total{op="budget"}' in text
+
+    def test_counters_grow_with_traffic(self, live_server):
+        def scrape_value(name: str) -> float:
+            _, _, body = _get_raw(live_server, "/metrics")
+            for line in body.decode().splitlines():
+                if line.startswith(name + " "):
+                    return float(line.split()[-1])
+            return 0.0
+
+        before = scrape_value("repro_http_bytes_written_total")
+        _post(live_server, "/v1/evaluate", {"p": 16})
+        after = scrape_value("repro_http_bytes_written_total")
+        assert after > before
+
+    def test_post_to_metrics_is_405(self, live_server):
+        status, payload = _post(live_server, "/metrics", {})
+        assert status == 405
+        assert payload["error"]["type"] == "WireError"
+        assert "trace_id" in payload
+
+    def test_wire_op_matches_endpoint_families(self, live_server):
+        """POST /v1/metrics returns the same exposition as GET /metrics."""
+        status, payload = _post(live_server, "/v1/metrics", {})
+        assert status == 200
+        assert payload["op"] == "metrics" and payload["v"] == API_VERSION
+        _, _, body = _get_raw(live_server, "/metrics")
+
+        def families(text: str) -> set[str]:
+            return {
+                line.split()[2] for line in text.splitlines()
+                if line.startswith("# TYPE")
+            }
+
+        assert families(payload["text"]) == families(body.decode())
+
+    def test_metrics_dispatch_is_never_cached(self):
+        """Two local metrics dispatches see fresh counter values."""
+        first = dispatch(MetricsRequest())
+        dispatch(BudgetQuery(budget_w=2500.0))
+        second = dispatch(MetricsRequest())
+        assert first.text != second.text
+
+
+class TestTraceIds:
+    def test_every_response_carries_a_request_id_header(self, live_server):
+        _, headers, _ = _get_raw(live_server, "/metrics")
+        assert len(headers["X-Request-Id"]) == 16
+
+    def test_inbound_request_id_is_honored(self, live_server):
+        _, headers, _ = _get_raw(
+            live_server, "/metrics",
+            headers={"X-Request-Id": "client-chose-this"},
+        )
+        assert headers["X-Request-Id"] == "client-chose-this"
+
+    def test_error_payloads_carry_the_trace_id(self, live_server):
+        request = urllib.request.Request(
+            f"{live_server}/v1/nope", data=b"{}",
+            headers={"X-Request-Id": "deadbeef00000000"}, method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=60)
+        assert err.value.code == 404
+        payload = json.loads(err.value.read())
+        assert payload["trace_id"] == "deadbeef00000000"
+        assert err.value.headers["X-Request-Id"] == "deadbeef00000000"
+        # the error object itself stays the bare {type, message} shape —
+        # batch item slots must remain byte-identical to single POSTs
+        assert set(payload["error"]) == {"type", "message"}
+
+    def test_success_payloads_stay_clean(self, live_server):
+        status, payload = _post(live_server, "/v1/evaluate", {"p": 16})
+        assert status == 200
+        assert "trace_id" not in payload
+
+    def test_unexpected_500_is_logged_with_traceback(self, caplog,
+                                                     monkeypatch):
+        """An engine crash produces one ERROR record and a traced 500."""
+        import repro.api.server as server_mod
+
+        def explode(request):
+            raise RuntimeError("engine fell over")
+
+        monkeypatch.setattr(server_mod, "dispatch", explode)
+        loop, thread, base = _spawn_server()
+        try:
+            with caplog.at_level(logging.ERROR, logger="repro.http"):
+                status, payload = _post(base, "/v1/evaluate", {"p": 16})
+        finally:
+            _stop_server(loop, thread)
+        assert status == 500
+        assert payload["error"]["type"] == "RuntimeError"
+        assert len(payload["trace_id"]) == 16
+        records = [r for r in caplog.records
+                   if r.getMessage() == "unhandled server error"]
+        assert len(records) == 1
+        assert records[0].error_type == "RuntimeError"
+        assert records[0].trace_id == payload["trace_id"]
+        assert records[0].exc_info[0] is RuntimeError
+
+
+class TestHealthz:
+    def test_enriched_fields(self, live_server):
+        _post(live_server, "/v1/evaluate", {"p": 16})
+        status, payload = _get(live_server, "/healthz")
+        assert status == 200
+        assert payload["pid"] == os.getpid()
+        assert payload["uptime_s"] >= 0
+        assert payload["requests_total"] >= 1
+        assert payload["errors_total"] >= 0
+        assert payload["requests_total"] >= payload["errors_total"]
+
+    def test_request_count_advances(self, live_server):
+        _, before = _get(live_server, "/healthz")
+        _post(live_server, "/v1/evaluate", {"p": 16})
+        _, after = _get(live_server, "/healthz")
+        # the healthz GETs themselves count too, so the gap is >= 2
+        assert after["requests_total"] >= before["requests_total"] + 2
+
+
+class TestConsistency:
+    def test_metrics_agree_with_cache_info(self):
+        """The registry re-export equals the cache layer's own census."""
+        dispatch(BudgetQuery(budget_w=2750.0))
+        text = dispatch(MetricsRequest()).text
+        info = cache_info()
+
+        def metric(line_prefix: str) -> float:
+            for line in text.splitlines():
+                if line.startswith(line_prefix + " "):
+                    return float(line.split()[-1])
+            raise AssertionError(f"no series {line_prefix!r}")
+
+        assert metric('repro_cache_hits_total{cache="responses"}') == (
+            info["responses"].hits
+        )
+        assert metric('repro_cache_misses_total{cache="responses"}') == (
+            info["responses"].misses
+        )
+        assert metric('repro_cache_entries{cache="responses"}') == (
+            info["responses"].currsize
+        )
+        store = info["grid_store"]
+        assert metric('repro_grid_store_events_total{event="misses"}') == (
+            store["misses"]
+        )
+        assert metric('repro_cache_entries{cache="grid_store"}') == (
+            store["entries"]
+        )
+        assert metric('repro_grid_store_bytes{kind="homogeneous"}') == (
+            store["bytes"]
+        )
+        assert metric(
+            'repro_grid_store_events_total{event="hetero_misses"}'
+        ) == store["hetero_misses"]

@@ -1,0 +1,110 @@
+"""Structured logging: formatters, configure, and the event helpers."""
+
+from __future__ import annotations
+
+import json
+import logging
+
+from repro.obs import log as obs_log
+from repro.obs.trace import trace_context
+
+
+def _record(formatter, **extra) -> str:
+    logger = logging.getLogger("repro.test")
+    record = logger.makeRecord(
+        "repro.test", logging.INFO, __file__, 1, "the event", (), None,
+    )
+    record.__dict__.update(extra)
+    return formatter.format(record)
+
+
+class TestJsonFormatter:
+    def test_one_json_object_per_line(self):
+        line = _record(
+            obs_log.JsonFormatter(),
+            trace_id="abc", op="budget", status=200, duration_ms=1.25,
+        )
+        payload = json.loads(line)
+        assert payload["event"] == "the event"
+        assert payload["level"] == "INFO"
+        assert payload["logger"] == "repro.test"
+        assert payload["trace_id"] == "abc"
+        assert payload["op"] == "budget"
+        assert payload["status"] == 200
+        assert payload["duration_ms"] == 1.25
+        assert "\n" not in line
+
+    def test_absent_fields_are_omitted(self):
+        payload = json.loads(_record(obs_log.JsonFormatter()))
+        for field in ("trace_id", "op", "status", "span"):
+            assert field not in payload
+
+    def test_traceback_included_on_exc_info(self):
+        logger = logging.getLogger("repro.test")
+        try:
+            raise ValueError("boom")
+        except ValueError:
+            import sys
+
+            record = logger.makeRecord(
+                "repro.test", logging.ERROR, __file__, 1, "bad", (),
+                sys.exc_info(),
+            )
+        payload = json.loads(obs_log.JsonFormatter().format(record))
+        assert "ValueError: boom" in payload["traceback"]
+
+
+class TestTextFormatter:
+    def test_key_value_line(self):
+        line = _record(
+            obs_log.TextFormatter(), trace_id="abc", status=200,
+        )
+        assert "the event" in line
+        assert "trace_id=abc" in line
+        assert "status=200" in line
+
+
+class TestConfigure:
+    def test_configure_is_idempotent(self):
+        logger = obs_log.configure()
+        obs_log.configure()
+        obs_log.configure(json_lines=True)
+        assert len(logger.handlers) == 1
+        assert isinstance(logger.handlers[0].formatter, obs_log.JsonFormatter)
+        assert logger.propagate is False
+        # leave the shared logger unconfigured for the rest of the suite
+        for handler in list(logger.handlers):
+            logger.removeHandler(handler)
+        logger.propagate = True
+
+
+class TestEventHelpers:
+    def test_request_log_carries_the_context_trace_id(self, caplog):
+        with caplog.at_level(logging.INFO, logger="repro.http"):
+            with trace_context("cafecafecafecafe"):
+                obs_log.request_log(
+                    method="POST", path="/v1/budget", status=200,
+                    duration_s=0.0042, op="budget",
+                )
+        (record,) = caplog.records
+        assert record.getMessage() == "request"
+        assert record.trace_id == "cafecafecafecafe"
+        assert record.op == "budget"
+        assert record.status == 200
+        assert record.duration_ms == 4.2
+
+    def test_server_error_logs_traceback_at_error(self, caplog):
+        with caplog.at_level(logging.ERROR, logger="repro.http"):
+            try:
+                raise RuntimeError("exploded")
+            except RuntimeError as exc:
+                obs_log.server_error(
+                    method="POST", path="/v1/budget", exc=exc, op="budget",
+                )
+        (record,) = caplog.records
+        assert record.levelno == logging.ERROR
+        assert record.error_type == "RuntimeError"
+        assert record.exc_info[0] is RuntimeError
+        assert "RuntimeError: exploded" in json.loads(
+            obs_log.JsonFormatter().format(record)
+        )["traceback"]

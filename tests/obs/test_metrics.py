@@ -1,0 +1,240 @@
+"""The metrics registry: families, labels, exposition, thread safety."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.obs import metrics
+from repro.obs.metrics import CONTENT_TYPE, LATENCY_BUCKETS_S, Registry
+
+
+class TestCounter:
+    def test_unlabelled_counter_counts(self):
+        registry = Registry()
+        c = registry.counter("t_total", "help")
+        c.inc()
+        c.inc(2.5)
+        assert c.total() == 3.5
+
+    def test_labelled_children_are_independent_and_interned(self):
+        registry = Registry()
+        c = registry.counter("t_total", "help", labelnames=("op",))
+        c.labels("a").inc()
+        c.labels("a").inc()
+        c.labels("b").inc(5)
+        assert c.labels("a") is c.labels("a")
+        assert c.labels("a").value == 2
+        assert c.labels("b").value == 5
+        assert c.total() == 7
+
+    def test_keyword_labels_match_positional(self):
+        registry = Registry()
+        c = registry.counter("t_total", "help", labelnames=("op", "kind"))
+        c.labels("eval", "x").inc()
+        assert c.labels(op="eval", kind="x").value == 1
+
+    def test_counters_only_go_up(self):
+        registry = Registry()
+        c = registry.counter("t_total", "help")
+        with pytest.raises(ParameterError):
+            c.inc(-1)
+
+    def test_wrong_label_arity_rejected(self):
+        registry = Registry()
+        c = registry.counter("t_total", "help", labelnames=("op",))
+        with pytest.raises(ParameterError):
+            c.labels("a", "b")
+        with pytest.raises(ParameterError):
+            c.labels(nope="a")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        registry = Registry()
+        g = registry.gauge("t_level", "help")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.total() == 7
+
+
+class TestHistogram:
+    def test_boundary_value_lands_in_its_bucket(self):
+        """``le`` is inclusive: an observation equal to a bound counts."""
+        registry = Registry()
+        h = registry.histogram("t_s", "help", buckets=(0.5, 2.0))
+        h.observe(0.5)
+        child = h.labels()
+        assert child.counts == [1, 0]
+
+    def test_overflow_lands_only_in_inf(self):
+        registry = Registry()
+        h = registry.histogram("t_s", "help", buckets=(0.5, 2.0))
+        h.observe(100.0)
+        child = h.labels()
+        assert child.counts == [0, 0]
+        assert child.count == 1
+        assert child.sum == 100.0
+
+    def test_buckets_sorted_and_distinct(self):
+        registry = Registry()
+        h = registry.histogram("t_s", "help", buckets=(2.0, 0.5))
+        assert h.buckets == (0.5, 2.0)
+        with pytest.raises(ParameterError):
+            registry.histogram("t_dup", "help", buckets=(1.0, 1.0))
+        with pytest.raises(ParameterError):
+            registry.histogram("t_empty", "help", buckets=())
+
+    def test_default_buckets_are_the_latency_ladder(self):
+        registry = Registry()
+        h = registry.histogram("t_s", "help")
+        assert h.buckets == LATENCY_BUCKETS_S
+
+
+class TestRegistry:
+    def test_reregistration_returns_the_same_family(self):
+        registry = Registry()
+        a = registry.counter("t_total", "help", labelnames=("op",))
+        b = registry.counter("t_total", "help", labelnames=("op",))
+        assert a is b
+
+    def test_reregistration_with_different_shape_rejected(self):
+        registry = Registry()
+        registry.counter("t_total", "help", labelnames=("op",))
+        with pytest.raises(ParameterError):
+            registry.counter("t_total", "help", labelnames=("other",))
+        with pytest.raises(ParameterError):
+            registry.gauge("t_total", "help", labelnames=("op",))
+
+    def test_value_reads_totals_and_children(self):
+        registry = Registry()
+        c = registry.counter("t_total", "help", labelnames=("op",))
+        c.labels("a").inc(3)
+        c.labels("b").inc(4)
+        assert registry.value("t_total") == 7
+        assert registry.value("t_total", {"op": "a"}) == 3
+        assert registry.value("t_total", {"op": "zzz"}) == 0.0
+        assert registry.value("never_registered") == 0.0
+
+    def test_collectors_run_at_render_time(self):
+        registry = Registry()
+        g = registry.gauge("t_level", "help")
+        registry.register_collector(lambda: g.set(42))
+        registry.register_collector(lambda: None)
+        assert "t_level 42" in registry.render()
+
+    def test_content_type_is_prometheus_v004(self):
+        assert "version=0.0.4" in CONTENT_TYPE
+
+
+class TestExposition:
+    def test_golden_render(self):
+        """The exact text a scraper sees for a tiny known registry."""
+        registry = Registry()
+        c = registry.counter("t_requests_total", "Requests.",
+                             labelnames=("op",))
+        c.labels("a").inc()
+        c.labels("a").inc()
+        c.labels("b").inc(2.5)
+        registry.gauge("t_level", "Level.").set(3)
+        h = registry.histogram("t_lat_seconds", "Latency.",
+                               buckets=(0.5, 2.0))
+        for v in (0.25, 0.5, 1.0, 4.0):
+            h.observe(v)
+        assert registry.render() == (
+            "# HELP t_lat_seconds Latency.\n"
+            "# TYPE t_lat_seconds histogram\n"
+            't_lat_seconds_bucket{le="0.5"} 2\n'
+            't_lat_seconds_bucket{le="2"} 3\n'
+            't_lat_seconds_bucket{le="+Inf"} 4\n'
+            "t_lat_seconds_sum 5.75\n"
+            "t_lat_seconds_count 4\n"
+            "# HELP t_level Level.\n"
+            "# TYPE t_level gauge\n"
+            "t_level 3\n"
+            "# HELP t_requests_total Requests.\n"
+            "# TYPE t_requests_total counter\n"
+            't_requests_total{op="a"} 2\n'
+            't_requests_total{op="b"} 2.5\n'
+        )
+
+    def test_label_values_are_escaped(self):
+        registry = Registry()
+        c = registry.counter("t_total", "help", labelnames=("msg",))
+        c.labels('a"b\\c\nd').inc()
+        assert r't_total{msg="a\"b\\c\nd"} 1' in registry.render()
+
+    def test_labelled_histogram_renders_per_child_series(self):
+        registry = Registry()
+        h = registry.histogram("t_s", "help", labelnames=("op",),
+                               buckets=(1.0,))
+        h.labels("a").observe(0.5)
+        h.labels("b").observe(2.0)
+        text = registry.render()
+        assert 't_s_bucket{op="a",le="1"} 1' in text
+        assert 't_s_bucket{op="b",le="1"} 0' in text
+        assert 't_s_bucket{op="b",le="+Inf"} 1' in text
+        assert 't_s_sum{op="a"} 0.5' in text
+        assert 't_s_count{op="b"} 1' in text
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_are_exact(self):
+        registry = Registry()
+        c = registry.counter("t_total", "help", labelnames=("op",))
+        h = registry.histogram("t_s", "help", buckets=(0.5,))
+        threads, per_thread = 8, 5_000
+
+        def work():
+            for _ in range(per_thread):
+                c.labels("x").inc()
+                h.observe(0.1)
+
+        pool = [threading.Thread(target=work) for _ in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        assert c.labels("x").value == threads * per_thread
+        child = h.labels()
+        assert child.count == threads * per_thread
+        assert child.counts[0] == threads * per_thread
+
+    def test_concurrent_child_creation_single_winner(self):
+        registry = Registry()
+        c = registry.counter("t_total", "help", labelnames=("k",))
+        seen = []
+        barrier = threading.Barrier(8)
+
+        def work(k):
+            barrier.wait()
+            seen.append(c.labels(str(k % 2)))
+
+        pool = [threading.Thread(target=work, args=(k,)) for k in range(8)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        assert len({id(child) for child in seen}) == 2
+
+
+class TestProcessRegistry:
+    def test_module_singleton(self):
+        assert metrics.registry() is metrics.registry()
+
+    def test_serving_families_registered_on_import(self):
+        """Importing the serving stack populates the shared registry."""
+        import repro.api.server  # noqa: F401
+        import repro.api.service  # noqa: F401
+
+        registry = metrics.registry()
+        for name in (
+            "repro_dispatch_total",
+            "repro_dispatch_latency_seconds",
+            "repro_http_requests_total",
+            "repro_span_duration_seconds",
+        ):
+            assert registry.get(name) is not None, name

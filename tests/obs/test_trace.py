@@ -1,0 +1,176 @@
+"""Trace IDs, context propagation, and profiling spans."""
+
+from __future__ import annotations
+
+import contextvars
+import threading
+
+from repro.obs import metrics, trace
+from repro.obs.trace import (
+    current_trace_id,
+    ensure_trace_id,
+    new_trace_id,
+    set_slow_threshold_ms,
+    slow_threshold_ms,
+    span,
+    trace_context,
+)
+
+
+class TestTraceIds:
+    def test_ids_are_short_hex_and_unique(self):
+        ids = {new_trace_id() for _ in range(100)}
+        assert len(ids) == 100
+        for tid in ids:
+            assert len(tid) == 16
+            int(tid, 16)  # parses as hex
+
+    def test_ensure_mints_once_then_sticks(self):
+        def probe():
+            assert current_trace_id() is None
+            tid = ensure_trace_id()
+            assert ensure_trace_id() == tid
+            assert current_trace_id() == tid
+
+        # fresh context: the surrounding test run may carry an ID
+        contextvars.copy_context().run(probe)
+
+    def test_trace_context_scopes_and_restores(self):
+        def probe():
+            with trace_context("aaaa") as tid:
+                assert tid == "aaaa"
+                assert current_trace_id() == "aaaa"
+                with trace_context() as inner:
+                    assert len(inner) == 16
+                    assert current_trace_id() == inner
+                assert current_trace_id() == "aaaa"
+            assert current_trace_id() is None
+
+        contextvars.copy_context().run(probe)
+
+    def test_copy_context_carries_the_id_into_a_thread(self):
+        """The executor-dispatch pattern: ctx.run in a worker thread."""
+        seen = []
+
+        def probe():
+            with trace_context("feedbeefcafe0000"):
+                ctx = contextvars.copy_context()
+                t = threading.Thread(
+                    target=ctx.run, args=(lambda: seen.append(
+                        current_trace_id()
+                    ),)
+                )
+                t.start()
+                t.join()
+
+        contextvars.copy_context().run(probe)
+        assert seen == ["feedbeefcafe0000"]
+
+    def test_bare_thread_does_not_inherit(self):
+        """Without copy_context the ID stays behind — the failure the
+        server's explicit propagation guards against."""
+        seen = []
+
+        def probe():
+            with trace_context("feedbeefcafe0000"):
+                t = threading.Thread(
+                    target=lambda: seen.append(current_trace_id())
+                )
+                t.start()
+                t.join()
+
+        contextvars.copy_context().run(probe)
+        assert seen == [None]
+
+
+class TestSpan:
+    def test_span_feeds_the_duration_histogram(self):
+        assert metrics.registry().get("repro_span_duration_seconds") is not None
+        child = trace.SPAN_HISTOGRAM.labels("test.span")
+        count0 = child.count
+        with span("test.span"):
+            pass
+        assert child.count == count0 + 1
+
+    def test_span_records_on_exception(self):
+        child = trace.SPAN_HISTOGRAM.labels("test.raises")
+        count0 = child.count
+        try:
+            with span("test.raises"):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert child.count == count0 + 1
+
+    def test_span_is_reusable(self):
+        probe = span("test.reuse")
+        child = trace.SPAN_HISTOGRAM.labels("test.reuse")
+        count0 = child.count
+        for _ in range(3):
+            with probe:
+                pass
+        assert child.count == count0 + 3
+
+
+class TestSlowLog:
+    def test_threshold_round_trips(self):
+        set_slow_threshold_ms(250.0)
+        try:
+            assert slow_threshold_ms() == 250.0
+        finally:
+            set_slow_threshold_ms(None)
+        assert slow_threshold_ms() is None
+
+    def test_slow_span_emits_one_warning(self, caplog):
+        set_slow_threshold_ms(0.0)  # everything is slow
+        try:
+            with caplog.at_level("WARNING", logger="repro.slow"):
+                with span("test.slow"):
+                    pass
+        finally:
+            set_slow_threshold_ms(None)
+        records = [r for r in caplog.records if r.getMessage() == "slow span"]
+        assert len(records) == 1
+        assert records[0].span == "test.slow"
+        assert records[0].duration_ms >= 0
+
+    def test_fast_span_stays_silent(self, caplog):
+        set_slow_threshold_ms(10_000.0)
+        try:
+            with caplog.at_level("WARNING", logger="repro.slow"):
+                with span("test.fast"):
+                    pass
+        finally:
+            set_slow_threshold_ms(None)
+        assert not [r for r in caplog.records
+                    if r.getMessage() == "slow span"]
+
+
+class TestEngineSpans:
+    def test_grid_evaluation_is_spanned(self):
+        """A cold grid_for pays one grid.evaluate span."""
+        from repro.optimize.engine import GridStore, grid_for
+        from repro.paperdata import paper_model
+        from repro.units import GHZ
+
+        child = trace.SPAN_HISTOGRAM.labels("grid.evaluate")
+        count0 = child.count
+        model, n = paper_model("FT", klass="B")
+        grid_for(
+            model, p_values=(1, 2, 4), f_values=(2.8 * GHZ,),
+            n_values=(n,), store=GridStore(),
+        )
+        assert child.count == count0 + 1
+
+    def test_hetero_enumeration_is_spanned(self):
+        from repro.hetero.solve import space_for
+        from repro.hetero.space import PoolSpec, hetero_grid
+        from repro.optimize.engine import GridStore
+
+        child = trace.SPAN_HISTOGRAM.labels("hetero.enumerate")
+        count0 = child.count
+        space = space_for(
+            "FT", "A", pools=(PoolSpec("a", "systemg", (1, 2)),),
+        )
+        hetero_grid(space, store=GridStore())
+        assert child.count == count0 + 1
