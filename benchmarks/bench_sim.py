@@ -1,0 +1,102 @@
+"""Perf floor: the discrete-event core on a synthetic M/M/c queue.
+
+The site simulator's scalability claim is that the engine itself —
+heap scheduling plus event-log appends — is never the bottleneck; the
+grid math behind ladder construction is, and that is paid once per
+scenario, not per event.  So the floor here exercises the raw
+:class:`~repro.sim.engine.Simulator` with zero model math: a classic
+M/M/c queue (Poisson arrivals, exponential service, ``c`` servers)
+where every job logs an ``arrival``, a ``start``, and a ``finish``
+event.  The engine must sustain **≥50k events/s** end to end, which
+keeps a 100k-event scenario's engine share under ~2 s of wall time.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections import deque
+
+from conftest import print_artifact
+
+from repro.analysis.report import ascii_table
+from repro.sim import Simulator
+
+EVENTS_PER_SEC_FLOOR = 50_000.0
+
+JOBS = 40_000          # three events per job → 120k events
+SERVERS = 8
+ARRIVAL_RATE = 1.0     # jobs per simulated second
+SERVICE_RATE = 0.2     # per server → utilization ~0.625
+
+
+def _build_mmc(jobs: int, servers: int, seed: int = 7) -> Simulator:
+    rng = random.Random(seed)
+    sim = Simulator()
+    waiting: deque[int] = deque()
+    busy = [0]
+    service = [rng.expovariate(SERVICE_RATE) for _ in range(jobs)]
+
+    def start(k: int) -> None:
+        busy[0] += 1
+        sim.log.append(sim.now, "start", job=str(k))
+        sim.schedule(service[k], finish, k)
+
+    def finish(k: int) -> None:
+        busy[0] -= 1
+        sim.log.append(sim.now, "finish", job=str(k))
+        if waiting:
+            start(waiting.popleft())
+
+    def arrival(k: int) -> None:
+        sim.log.append(sim.now, "arrival", job=str(k))
+        if busy[0] < servers:
+            start(k)
+        else:
+            waiting.append(k)
+
+    t = 0.0
+    for k in range(jobs):
+        t += rng.expovariate(ARRIVAL_RATE)
+        sim.schedule_at(t, arrival, k)
+    return sim
+
+
+def test_engine_event_throughput_floor(benchmark):
+    holder = {}
+
+    def run() -> float:
+        sim = _build_mmc(JOBS, SERVERS)
+        started = time.perf_counter()
+        sim.run()
+        elapsed = time.perf_counter() - started
+        holder["sim"] = sim
+        holder["elapsed"] = elapsed
+        return elapsed
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    sim, elapsed = holder["sim"], holder["elapsed"]
+    events = len(sim.log)
+    rate = events / elapsed
+    counts = sim.log.counts()
+    assert counts["arrival"] == counts["start"] == counts["finish"] == JOBS
+    assert events == 3 * JOBS
+
+    print_artifact(
+        "Engine throughput — synthetic M/M/c",
+        ascii_table(
+            ["quantity", "value"],
+            [
+                ("jobs (M/M/%d)" % SERVERS, JOBS),
+                ("events dispatched", events),
+                ("wall time (s)", f"{elapsed:.3f}"),
+                ("events per second", f"{rate:,.0f}"),
+                ("floor (events/s)", f"{EVENTS_PER_SEC_FLOOR:,.0f}"),
+            ],
+        ),
+    )
+    assert rate >= EVENTS_PER_SEC_FLOOR, (
+        f"engine sustained {rate:,.0f} events/s, "
+        f"below the {EVENTS_PER_SEC_FLOOR:,.0f} floor"
+    )

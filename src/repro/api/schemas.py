@@ -33,6 +33,8 @@ from repro.api.types import (
     Response,
     ScheduleRequest,
     ScheduleResponse,
+    SimulateRequest,
+    SimulateResponse,
     SurfaceRequest,
     SurfaceResponse,
     SweepRequest,
@@ -58,6 +60,7 @@ REQUEST_TYPES: dict[str, type[WireRecord]] = {
         ScheduleRequest,
         FederateRequest,
         HeteroRequest,
+        SimulateRequest,
         BatchRequest,
         MetricsRequest,
     )
@@ -78,6 +81,7 @@ RESPONSE_TYPES: dict[str, type[Response]] = {
         ScheduleResponse,
         FederateResponse,
         HeteroResponse,
+        SimulateResponse,
         BatchResponse,
         MetricsResponse,
     )

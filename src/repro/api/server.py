@@ -149,6 +149,14 @@ def _health_payload() -> dict[str, Any]:
         # live memo-layer census (responses / models / grid_store) so
         # operators can watch batch amortization from a liveness probe
         "caches": cache_stats_payload(),
+        # simulator gauges: runs executing right now, and the event
+        # count of the last completed run (0 before any simulation)
+        "sim": {
+            "active_runs": int(registry.value("repro_sim_active_runs")),
+            "last_run_events": int(
+                registry.value("repro_sim_last_run_events")
+            ),
+        },
     }
 
 

@@ -44,6 +44,8 @@ from repro.api.types import (
     Response,
     ScheduleRequest,
     ScheduleResponse,
+    SimulateRequest,
+    SimulateResponse,
     SurfaceRequest,
     SurfaceResponse,
     SweepRequest,
@@ -72,6 +74,7 @@ from repro.optimize import (
     schedule_jobs,
 )
 from repro.paperdata import paper_model
+from repro.sim.site import run_scenario
 from repro.units import GHZ
 
 #: memoised responses kept per process (stateless queries re-serve free).
@@ -427,6 +430,22 @@ def _federate(req: FederateRequest) -> FederateResponse:
     )
 
 
+def _simulate(req: SimulateRequest) -> SimulateResponse:
+    """One scenario end to end: arrivals, online placement, KPI report.
+
+    Deterministic per request value (seeded demand, (time, seq)-ordered
+    dispatch), so identical payloads may serve from the dispatch cache —
+    like ``validate``, whose determinism also comes from a seed.  Shard
+    cluster names resolve through the process-wide registry; the
+    registry-mutation hook clears the cache when that changes.
+    """
+    result = run_scenario(req.scenario)
+    return SimulateResponse(
+        report=result.report,
+        events=result.events if req.include_events else (),
+    )
+
+
 def _metrics(req: MetricsRequest) -> MetricsResponse:
     """The registry snapshot — never memoised (it changes per call)."""
     return MetricsResponse(text=obs_metrics.registry().render())
@@ -560,6 +579,7 @@ _HANDLERS = {
     ScheduleRequest: _schedule,
     FederateRequest: _federate,
     HeteroRequest: _hetero,
+    SimulateRequest: _simulate,
     BatchRequest: _batch,
     MetricsRequest: _metrics,
 }

@@ -41,6 +41,10 @@ from repro.hetero.space import PoolChoice, PoolSpec
 from repro.optimize.budget import Recommendation
 from repro.optimize.contour import ContourPoint
 from repro.optimize.schedule import Assignment, Job
+from repro.sim.demand import DemandSpec
+from repro.sim.engine import SimEvent
+from repro.sim.kpis import ShardLoad, SimReport, SloSpec
+from repro.sim.site import ScenarioSpec
 
 #: current wire version; bump on any incompatible field change.
 #: v2: the ``federate`` operation, schedule policies (``policy`` /
@@ -55,7 +59,10 @@ from repro.optimize.schedule import Assignment, Job
 #: Prometheus text exposition form (the same body ``GET /metrics``
 #: serves) — and the top-level ``trace_id`` field on HTTP error
 #: payloads.
-API_VERSION = 5
+#: v6: the ``simulate`` operation — discrete-event site simulation with
+#: nested ``ScenarioSpec``/``DemandSpec``/``SloSpec`` on the request and
+#: ``SimReport``/``SimEvent`` records on the response.
+API_VERSION = 6
 
 # ---------------------------------------------------------------------------
 # Field coercers — the "typed" in typed facade
@@ -230,6 +237,65 @@ _SHARD_PLAN = _nested(
         "allocation_w": _float, "assignments": _tuple_of(_ASSIGNMENT),
         "total_power_w": _float, "makespan_s": _float,
         "total_energy_j": _float,
+    },
+)
+_DEMAND_SPEC = _nested(
+    DemandSpec,
+    {
+        "kind": _str, "rate_per_s": _float, "burst_size": _int,
+        "burst_every_s": _float, "period_s": _float, "amplitude": _float,
+        "phase_s": _float, "trace": _str, "jobs": _tuple_of(_JOB),
+    },
+    defaults=frozenset({
+        "kind", "rate_per_s", "burst_size", "burst_every_s", "period_s",
+        "amplitude", "phase_s", "trace", "jobs",
+    }),
+)
+_SLO_SPEC = _nested(
+    SloSpec,
+    {"deadline_s": _optional(_float), "max_wait_s": _optional(_float)},
+    defaults=frozenset({"deadline_s", "max_wait_s"}),
+)
+_SCENARIO_SPEC = _nested(
+    ScenarioSpec,
+    {
+        "shards": _tuple_of(_SHARD_SPEC), "budget_w": _float,
+        "strategy": _str, "metric": _str, "demand": _DEMAND_SPEC,
+        "slo": _SLO_SPEC, "horizon_s": _float, "seed": _int,
+        "queue": _str, "max_queue_depth": _optional(_int),
+    },
+    defaults=frozenset({
+        "budget_w", "strategy", "metric", "demand", "slo", "horizon_s",
+        "seed", "queue", "max_queue_depth",
+    }),
+)
+_SIM_EVENT = _nested(
+    SimEvent,
+    {
+        "time": _float, "seq": _int, "kind": _str, "job": _str,
+        "shard": _str, "detail": _str, "watts": _float, "seconds": _float,
+        "joules": _float,
+    },
+)
+_SHARD_LOAD = _nested(
+    ShardLoad,
+    {
+        "shard": _str, "allocation_w": _float, "jobs": _int,
+        "utilization": _float, "mean_queue_depth": _float,
+        "max_queue_depth": _int, "peak_power_w": _float, "energy_j": _float,
+    },
+)
+_SIM_REPORT = _nested(
+    SimReport,
+    {
+        "horizon_s": _float, "duration_s": _float, "arrivals": _int,
+        "started": _int, "finished": _int, "rejected": _int,
+        "slo_violations": _int, "wait_p50_s": _float, "wait_p95_s": _float,
+        "wait_p99_s": _float, "sojourn_p50_s": _float,
+        "sojourn_p95_s": _float, "sojourn_p99_s": _float,
+        "mean_wait_s": _float, "energy_per_job_j": _float,
+        "total_energy_j": _float, "events": _int,
+        "shards": _tuple_of(_SHARD_LOAD),
     },
 )
 
@@ -585,6 +651,28 @@ class MetricsRequest(WireRecord):
     coercers: ClassVar[dict[str, Coercer]] = {}
 
 
+@dataclass(frozen=True)
+class SimulateRequest(WireRecord):
+    """Run one discrete-event site simulation (``repro simulate``).
+
+    The nested ``scenario`` carries the whole experiment: the federated
+    site (shards + budget + partition strategy + routing metric), the
+    demand process, the SLO, the queue discipline, the horizon, and the
+    seed.  Identical requests are deterministic end to end, so the
+    dispatch cache may serve them.  ``include_events`` additionally
+    returns the full event log (reports alone stay small).
+    """
+
+    op: ClassVar[str] = "simulate"
+    coercers: ClassVar[dict[str, Coercer]] = {
+        "scenario": _SCENARIO_SPEC,
+        "include_events": _bool,
+    }
+
+    scenario: ScenarioSpec = ScenarioSpec()
+    include_events: bool = False
+
+
 def _sub_request(value: Any) -> "WireRecord":
     """One batch item: any non-batch request, op-tagged.
 
@@ -847,6 +935,24 @@ class MetricsResponse(Response):
     coercers: ClassVar[dict[str, Coercer]] = {"text": _str}
 
     text: str
+
+
+@dataclass(frozen=True)
+class SimulateResponse(Response):
+    """One finished simulation: the KPI report, optionally the event log.
+
+    ``events`` is empty unless the request set ``include_events`` — the
+    report's ``events`` *count* always reflects the full log either way.
+    """
+
+    op: ClassVar[str] = "simulate"
+    coercers: ClassVar[dict[str, Coercer]] = {
+        "report": _SIM_REPORT,
+        "events": _tuple_of(_SIM_EVENT),
+    }
+
+    report: SimReport
+    events: tuple[SimEvent, ...]
 
 
 @dataclass(frozen=True)

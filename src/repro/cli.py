@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Eleven commands cover the everyday workflows:
+Twelve commands cover the everyday workflows:
 
 * ``evaluate``  — EE/EEF/energy at one (benchmark, cluster, p, f, class)
 * ``sweep``     — the EE-vs-p table for a benchmark
@@ -13,6 +13,8 @@ Eleven commands cover the everyday workflows:
   balanced-vs-uniform split penalty
 * ``federate``  — split a site power budget across shards and route a
   job queue by EE-per-watt
+* ``simulate``  — discrete-event site simulation: seeded arrivals queue
+  at federation shards and are placed online by the existing policies
 * ``batch``     — fan one JSON payload of heterogeneous sub-queries
   through the batch executor (grids shared per signature)
 * ``cache-stats`` — the serving-side memo-layer census (responses,
@@ -49,6 +51,7 @@ from repro.api.types import (
     MetricsRequest,
     ParetoQuery,
     Response,
+    SimulateRequest,
     SurfaceRequest,
     SweepRequest,
     ValidateRequest,
@@ -61,6 +64,7 @@ from repro.federation.router import ROUTING_METRICS
 from repro.hetero.space import POLICIES, PoolSpec
 from repro.npb.workloads import benchmark_names
 from repro.optimize.schedule import SCHEDULE_POLICIES, Job
+from repro.sim import DEMAND_KINDS, QUEUE_DISCIPLINES, DemandSpec, ScenarioSpec, SloSpec
 from repro.units import GHZ
 
 
@@ -504,6 +508,103 @@ def _item_brief(resp: Response) -> str:
     return resp.op
 
 
+def _simulate_request_from_file(path: str, include_events: bool) -> SimulateRequest:
+    if path == "-":
+        text = sys.stdin.read()
+    else:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                text = fh.read()
+        except OSError as exc:
+            raise ReproError(f"cannot read {path!r}: {exc}") from None
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"scenario payload is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ReproError("scenario payload must be a JSON object")
+    if payload.get("op") == "simulate":
+        return SimulateRequest.from_dict(payload)
+    # convenience: a bare ScenarioSpec object is the common hand-written shape
+    return SimulateRequest.from_dict(
+        {"op": "simulate", "scenario": payload, "include_events": include_events}
+    )
+
+
+def cmd_simulate(args) -> int:
+    if args.file is not None:
+        req = _simulate_request_from_file(args.file, args.include_events)
+    else:
+        if not args.shard:
+            raise ReproError("simulate needs --shard specs or --file SCENARIO")
+        if args.budget is None:
+            raise ReproError("simulate needs --budget with inline --shard specs")
+        demand = DemandSpec(
+            kind=args.demand,
+            rate_per_s=args.rate,
+            burst_size=args.burst_size,
+            burst_every_s=args.burst_every,
+            period_s=args.period,
+            amplitude=args.amplitude,
+            jobs=tuple(_parse_job(j) for j in args.job),
+        )
+        scenario = ScenarioSpec(
+            shards=tuple(_parse_shard(s) for s in args.shard),
+            budget_w=args.budget,
+            strategy=args.strategy,
+            metric=args.metric,
+            demand=demand,
+            slo=SloSpec(deadline_s=args.slo_deadline,
+                        max_wait_s=args.slo_max_wait),
+            horizon_s=args.horizon,
+            seed=args.seed,
+            queue=args.queue,
+            max_queue_depth=args.max_queue_depth,
+        )
+        req = SimulateRequest(scenario=scenario,
+                              include_events=args.include_events)
+    resp = dispatch(req)
+    if args.json:
+        return _emit_json([resp])
+    rep = resp.report
+    print(
+        f"simulated {rep.arrivals} arrivals over {rep.horizon_s:g} s "
+        f"(drained at {rep.duration_s:.1f} s, {rep.events} events)"
+    )
+    rows = [
+        ("started / finished", f"{rep.started} / {rep.finished}"),
+        ("rejected", rep.rejected),
+        ("SLO violations", rep.slo_violations),
+        ("wait p50/p95/p99 (s)",
+         f"{rep.wait_p50_s:.2f} / {rep.wait_p95_s:.2f} / {rep.wait_p99_s:.2f}"),
+        ("sojourn p50/p95/p99 (s)",
+         f"{rep.sojourn_p50_s:.2f} / {rep.sojourn_p95_s:.2f} / "
+         f"{rep.sojourn_p99_s:.2f}"),
+        ("mean wait (s)", f"{rep.mean_wait_s:.2f}"),
+        ("energy per job (J)", f"{rep.energy_per_job_j:.1f}"),
+        ("total energy (kJ)", f"{rep.total_energy_j / 1000:.2f}"),
+    ]
+    print(ascii_table(["quantity", "value"], rows))
+    if rep.shards:
+        print()
+        print(ascii_table(
+            ["shard", "alloc (W)", "jobs", "util", "mean q", "max q",
+             "peak (W)", "energy (kJ)"],
+            [(s.shard, round(s.allocation_w, 0), s.jobs,
+              round(s.utilization, 3), round(s.mean_queue_depth, 2),
+              s.max_queue_depth, round(s.peak_power_w, 0),
+              round(s.energy_j / 1000, 2)) for s in rep.shards],
+        ))
+    if resp.events:
+        print()
+        print(ascii_table(
+            ["t (s)", "kind", "job", "shard", "detail"],
+            [(f"{e.time:.2f}", e.kind, e.job, e.shard, e.detail)
+             for e in resp.events],
+        ))
+    return 0
+
+
 def cmd_batch(args) -> int:
     if args.file == "-":
         text = sys.stdin.read()
@@ -704,6 +805,60 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit the API response payload as JSON")
     p_het.set_defaults(func=cmd_hetero)
 
+    p_sim = sub.add_parser(
+        "simulate",
+        help="discrete-event site simulation with online job placement",
+    )
+    p_sim.add_argument(
+        "--file", default=None, metavar="PATH",
+        help="scenario JSON (a bare ScenarioSpec object or a full 'simulate' "
+             "payload); '-' reads stdin; overrides the inline flags below",
+    )
+    p_sim.add_argument("--budget", type=float, default=None,
+                       help="site power budget in watts")
+    p_sim.add_argument(
+        "--shard", action="append", default=[], metavar="SPEC",
+        help="name:cluster:nodes:envelope[:policy[:ee_floor]] (repeatable); "
+             f"policies: {','.join(SCHEDULE_POLICIES)}",
+    )
+    p_sim.add_argument(
+        "--job", action="append", default=[], metavar="SPEC",
+        help="demand template name:benchmark:class[:niter] (repeatable)",
+    )
+    p_sim.add_argument(
+        "--demand", default="poisson",
+        choices=[k for k in DEMAND_KINDS if k != "trace"],
+        help="arrival process (replay traces via --file scenarios)",
+    )
+    p_sim.add_argument("--rate", type=float, default=0.1,
+                       help="mean arrival rate in jobs/s")
+    p_sim.add_argument("--burst-size", type=int, default=8)
+    p_sim.add_argument("--burst-every", type=float, default=120.0, metavar="S")
+    p_sim.add_argument("--period", type=float, default=86400.0, metavar="S",
+                       help="diurnal period in seconds")
+    p_sim.add_argument("--amplitude", type=float, default=0.5,
+                       help="diurnal modulation depth in [0, 1]")
+    p_sim.add_argument("--horizon", type=float, default=600.0, metavar="S",
+                       help="stop generating arrivals after this many seconds")
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument("--queue", choices=list(QUEUE_DISCIPLINES),
+                       default="fifo")
+    p_sim.add_argument("--max-queue-depth", type=int, default=None,
+                       help="reject arrivals beyond this per-shard depth")
+    p_sim.add_argument("--strategy", choices=list(PARTITION_STRATEGIES),
+                       default="waterfill")
+    p_sim.add_argument("--metric", choices=list(ROUTING_METRICS),
+                       default="ee_per_watt")
+    p_sim.add_argument("--slo-deadline", type=float, default=None, metavar="S",
+                       help="sojourn-time SLO in seconds")
+    p_sim.add_argument("--slo-max-wait", type=float, default=None, metavar="S",
+                       help="queueing-wait SLO in seconds")
+    p_sim.add_argument("--include-events", action="store_true",
+                       help="carry the full event log in the response")
+    p_sim.add_argument("--json", action="store_true",
+                       help="emit the API response payload as JSON")
+    p_sim.set_defaults(func=cmd_simulate)
+
     p_batch = sub.add_parser(
         "batch",
         help="answer a JSON file of heterogeneous sub-queries in one pass",
@@ -765,6 +920,11 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except Exception as exc:
+        # last-resort guard: a malformed input must never leak a traceback
+        # to the shell — emit one structured line and a distinct exit code
+        print(f"error [{type(exc).__name__}]: {exc}", file=sys.stderr)
+        return 3
 
 
 if __name__ == "__main__":  # pragma: no cover

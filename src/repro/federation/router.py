@@ -121,7 +121,7 @@ def _eligible_ladder(ladder: list[Rung], shard: Shard) -> list[Rung]:
     )
 
 
-def _routing_score(
+def routing_score(
     ladder: list[Rung], headroom_w: float, metric: str
 ) -> tuple[float, float] | None:
     """(score, floor draw) of the best feasible rung, or None if none fits.
@@ -129,7 +129,10 @@ def _routing_score(
     ``ladder`` is already policy-filtered; a rung is feasible when its
     draw fits the shard's *remaining* allocation given the floors
     already committed there.  ``ee_per_watt`` scores EE/draw (efficiency
-    bought per watt); ``ee`` scores raw EE.
+    bought per watt); ``ee`` scores raw EE.  Shared by the offline
+    router below and the online site simulator
+    (:mod:`repro.sim.site`), so a job is steered to shards by the same
+    rule whether it is routed in a batch or arrives mid-run.
     """
     best: tuple[float, float] | None = None
     for rung in ladder:
@@ -191,7 +194,7 @@ def route_jobs(
                 continue  # no rung meets this shard's EE floor
             cheapest_floor = min(cheapest_floor, ladder[0].avg_power)
             headroom = partition.allocations[i].allocation_w - committed[i]
-            scored = _routing_score(ladder, headroom, metric)
+            scored = routing_score(ladder, headroom, metric)
             if scored is None:
                 continue
             score, floor = scored

@@ -190,6 +190,37 @@ def eligible_rungs(
     return [r for r in ladder if r.ee >= ee_floor]
 
 
+def select_rung(
+    ladder: Sequence[Rung], headroom_w: float, *, policy: str = "makespan"
+) -> int | None:
+    """The rung index ``policy`` picks for one job under a power headroom.
+
+    ``ladder`` must already be floor-filtered (:func:`eligible_rungs`)
+    for an ``ee_floor`` policy.  Because ladders ascend in power and
+    descend in runtime, the affordable rungs are a prefix:
+    ``makespan``/``ee_floor`` take the fastest affordable rung (the
+    prefix's last), ``energy`` the affordable rung with the lowest Ep
+    (earliest on ties).  Returns ``None`` when even the cheapest rung
+    exceeds ``headroom_w``.  This is the one-job specialisation of the
+    scheduler's climbs — the online simulator places each arriving job
+    by it, so a lone job lands on the same rung the batch scheduler
+    would give it.
+    """
+    if policy not in SCHEDULE_POLICIES:
+        raise ParameterError(
+            f"unknown scheduling policy {policy!r}; "
+            f"choose from {SCHEDULE_POLICIES}"
+        )
+    fit = 0
+    while fit < len(ladder) and ladder[fit].avg_power <= headroom_w:
+        fit += 1
+    if fit == 0:
+        return None
+    if policy == "energy":
+        return min(range(fit), key=lambda i: (ladder[i].ep, i))
+    return fit - 1
+
+
 def default_p_values(machine_room: Cluster, nodes: int) -> list[int]:
     """Powers of two up to ``min(nodes, len(cluster))`` — the ladder axis."""
     cap = min(nodes, len(machine_room))

@@ -1,0 +1,53 @@
+"""Discrete-event simulation of a power-capped federated site.
+
+Everything else in the repo answers *static* questions — one batch of
+jobs, one budget, one placement.  This package animates the same
+models over time: jobs arrive under a configurable demand process
+(:mod:`repro.sim.demand`), queue at federation shards, and are placed
+online by the existing routing/scheduling policies acting as an online
+scheduler (:mod:`repro.sim.site`), all on a seeded, deterministic
+event engine (:mod:`repro.sim.engine`).  KPIs — latency percentiles,
+energy per job, queue depth, utilization, SLO violations — are
+computed from the append-only event log (:mod:`repro.sim.kpis`).
+
+The same scenario runs identically in-process, through the wire-v6
+``simulate`` op, via ``POST /v1/simulate``, and via ``repro simulate``:
+one seed, one event log, byte-identical reports.
+"""
+
+from repro.sim.demand import (
+    DEMAND_KINDS,
+    Arrival,
+    DemandSpec,
+    format_trace,
+    generate_arrivals,
+    parse_trace,
+)
+from repro.sim.engine import EventLog, SimEvent, Simulator
+from repro.sim.kpis import ShardLoad, SimReport, SloSpec, compute_kpis
+from repro.sim.site import (
+    QUEUE_DISCIPLINES,
+    ScenarioSpec,
+    SimResult,
+    run_scenario,
+)
+
+__all__ = [
+    "DEMAND_KINDS",
+    "QUEUE_DISCIPLINES",
+    "Arrival",
+    "DemandSpec",
+    "EventLog",
+    "ScenarioSpec",
+    "ShardLoad",
+    "SimEvent",
+    "SimReport",
+    "SimResult",
+    "Simulator",
+    "SloSpec",
+    "compute_kpis",
+    "format_trace",
+    "generate_arrivals",
+    "parse_trace",
+    "run_scenario",
+]

@@ -1,0 +1,275 @@
+"""Configurable demand processes: who arrives, and when.
+
+Four arrival-process kinds feed the site simulator:
+
+* ``"poisson"`` — memoryless arrivals at ``rate_per_s`` (exponential
+  inter-arrival gaps), the M/·/· baseline of queueing studies;
+* ``"burst"`` — ``burst_size`` simultaneous arrivals every
+  ``burst_every_s`` seconds, the adversarial batch-drop pattern;
+* ``"diurnal"`` — a non-homogeneous Poisson process whose rate follows
+  a day-shaped sinusoid ``rate·(1 + amplitude·sin(2π(t−phase)/period))``,
+  sampled exactly by Lewis–Shedler thinning;
+* ``"trace"`` — replay of a recorded arrival trace (JSON lines), for
+  validating energy claims against real workload dynamics.
+
+Every generator draws from one ``random.Random(seed)`` stream, so a
+scenario's arrival sequence — times, workloads, and names — is a pure
+function of ``(spec, horizon, seed)``: same seed, identical arrivals,
+byte-identical downstream reports.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+from repro.optimize.schedule import Job
+
+#: demand-process kinds understood by :func:`generate_arrivals`.
+DEMAND_KINDS = ("poisson", "burst", "diurnal", "trace")
+
+#: refuse to materialise more arrivals than this per scenario.
+MAX_ARRIVALS = 200_000
+
+#: the workload arrivals carry when a spec names no templates.
+DEFAULT_TEMPLATE = Job("job", "FT", "B")
+
+
+@dataclass(frozen=True)
+class DemandSpec:
+    """The wire-expressible description of one demand process.
+
+    Only the fields its ``kind`` reads matter: ``rate_per_s`` drives
+    ``poisson`` and ``diurnal``; ``burst_size``/``burst_every_s`` drive
+    ``burst``; ``period_s``/``amplitude``/``phase_s`` shape the
+    ``diurnal`` sinusoid; ``trace`` holds the JSON-lines text a
+    ``trace`` spec replays.  ``jobs`` are the workload templates
+    arrivals sample from (uniformly, from the seeded stream); empty
+    means one default FT.B template.
+    """
+
+    kind: str = "poisson"
+    rate_per_s: float = 0.1
+    burst_size: int = 8
+    burst_every_s: float = 120.0
+    period_s: float = 86400.0
+    amplitude: float = 0.5
+    phase_s: float = 0.0
+    trace: str = ""
+    jobs: tuple[Job, ...] = ()
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One job arriving at one simulated time."""
+
+    time: float
+    job: Job
+
+
+def validate_demand(spec: DemandSpec) -> None:
+    """Reject demand specs the generators cannot honour."""
+    if spec.kind not in DEMAND_KINDS:
+        raise ParameterError(
+            f"unknown demand kind {spec.kind!r}; choose from {DEMAND_KINDS}"
+        )
+    if spec.kind in ("poisson", "diurnal") and spec.rate_per_s <= 0:
+        raise ParameterError(
+            f"demand rate must be positive, got {spec.rate_per_s!r}"
+        )
+    if spec.kind == "burst":
+        if spec.burst_size < 1:
+            raise ParameterError(
+                f"burst size must be at least 1, got {spec.burst_size!r}"
+            )
+        if spec.burst_every_s <= 0:
+            raise ParameterError(
+                f"burst period must be positive, got {spec.burst_every_s!r}"
+            )
+    if spec.kind == "diurnal":
+        if spec.period_s <= 0:
+            raise ParameterError(
+                f"diurnal period must be positive, got {spec.period_s!r}"
+            )
+        if not 0.0 <= spec.amplitude <= 1.0:
+            raise ParameterError(
+                f"diurnal amplitude must be in [0, 1], got {spec.amplitude!r}"
+            )
+    if spec.kind == "trace" and not spec.trace.strip():
+        raise ParameterError("a trace demand spec needs non-empty trace text")
+
+
+def _templates(spec: DemandSpec) -> tuple[Job, ...]:
+    return spec.jobs if spec.jobs else (DEFAULT_TEMPLATE,)
+
+
+def _named(template: Job, index: int) -> Job:
+    """A concrete arrival job: the template with a unique instance name."""
+    return Job(
+        name=f"{template.name}-{index:05d}",
+        benchmark=template.benchmark,
+        klass=template.klass,
+        niter=template.niter,
+    )
+
+
+def _check_count(count: int) -> None:
+    if count >= MAX_ARRIVALS:
+        raise ParameterError(
+            f"demand spec generates more than {MAX_ARRIVALS} arrivals; "
+            "lower the rate or shorten the horizon"
+        )
+
+
+def _poisson_times(
+    rng: random.Random, rate: float, horizon_s: float
+) -> list[float]:
+    times = []
+    t = rng.expovariate(rate)
+    while t < horizon_s:
+        _check_count(len(times))
+        times.append(t)
+        t += rng.expovariate(rate)
+    return times
+
+
+def _burst_times(spec: DemandSpec, horizon_s: float) -> list[float]:
+    times: list[float] = []
+    t = 0.0
+    while t < horizon_s:
+        for _ in range(spec.burst_size):
+            _check_count(len(times))
+            times.append(t)
+        t += spec.burst_every_s
+    return times
+
+
+def diurnal_rate(spec: DemandSpec, t: float) -> float:
+    """The instantaneous arrival rate of a diurnal spec at time ``t``."""
+    phase = 2.0 * math.pi * (t - spec.phase_s) / spec.period_s
+    return spec.rate_per_s * (1.0 + spec.amplitude * math.sin(phase))
+
+
+def _diurnal_times(
+    rng: random.Random, spec: DemandSpec, horizon_s: float
+) -> list[float]:
+    # Lewis–Shedler thinning: draw a homogeneous process at the peak
+    # rate, keep each point with probability rate(t)/peak — an exact
+    # sampler for the non-homogeneous process, and still one rng stream.
+    peak = spec.rate_per_s * (1.0 + spec.amplitude)
+    times: list[float] = []
+    t = rng.expovariate(peak)
+    while t < horizon_s:
+        if rng.random() * peak <= diurnal_rate(spec, t):
+            _check_count(len(times))
+            times.append(t)
+        t += rng.expovariate(peak)
+    return times
+
+
+def parse_trace(text: str) -> list[Arrival]:
+    """Arrivals from JSON-lines trace text, sorted by time (stable).
+
+    Each non-blank line is an object with ``t`` (seconds) and optional
+    ``name``/``benchmark``/``klass``/``niter`` workload fields.  Raises
+    :class:`ParameterError` naming the offending line on malformed
+    input.
+    """
+    arrivals: list[Arrival] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ParameterError(
+                f"trace line {lineno} is not valid JSON: {exc}"
+            ) from None
+        if not isinstance(record, dict) or "t" not in record:
+            raise ParameterError(
+                f"trace line {lineno} must be an object with a 't' field"
+            )
+        unknown = set(record) - {"t", "name", "benchmark", "klass", "niter"}
+        if unknown:
+            raise ParameterError(
+                f"trace line {lineno} has unknown field(s) "
+                f"{sorted(unknown)}"
+            )
+        t = record["t"]
+        if not isinstance(t, (int, float)) or isinstance(t, bool) or t < 0:
+            raise ParameterError(
+                f"trace line {lineno}: 't' must be a non-negative number"
+            )
+        niter = record.get("niter")
+        if niter is not None and not isinstance(niter, int):
+            raise ParameterError(
+                f"trace line {lineno}: 'niter' must be an integer or null"
+            )
+        arrivals.append(
+            Arrival(
+                time=float(t),
+                job=Job(
+                    name=str(record.get("name", f"trace-{lineno:05d}")),
+                    benchmark=str(record.get("benchmark", "FT")),
+                    klass=str(record.get("klass", "B")),
+                    niter=niter,
+                ),
+            )
+        )
+    arrivals.sort(key=lambda a: a.time)
+    return arrivals
+
+
+def format_trace(arrivals: list[Arrival]) -> str:
+    """JSON-lines text that :func:`parse_trace` reads back identically."""
+    lines = [
+        json.dumps(
+            {
+                "t": a.time,
+                "name": a.job.name,
+                "benchmark": a.job.benchmark,
+                "klass": a.job.klass,
+                "niter": a.job.niter,
+            },
+            sort_keys=True,
+        )
+        for a in arrivals
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def generate_arrivals(
+    spec: DemandSpec, *, horizon_s: float, seed: int
+) -> list[Arrival]:
+    """The full arrival sequence of one scenario, seeded and sorted.
+
+    A pure function of its arguments: the same ``(spec, horizon, seed)``
+    always yields the identical list.  Arrivals strictly before
+    ``horizon_s`` are generated; workloads are drawn uniformly from the
+    spec's templates and named ``<template>-<index>`` in arrival order.
+    """
+    validate_demand(spec)
+    if horizon_s <= 0:
+        raise ParameterError(
+            f"simulation horizon must be positive, got {horizon_s!r}"
+        )
+    if spec.kind == "trace":
+        arrivals = [a for a in parse_trace(spec.trace) if a.time < horizon_s]
+        _check_count(len(arrivals) - 1 if arrivals else 0)
+        return arrivals
+    rng = random.Random(seed)
+    if spec.kind == "poisson":
+        times = _poisson_times(rng, spec.rate_per_s, horizon_s)
+    elif spec.kind == "burst":
+        times = _burst_times(spec, horizon_s)
+    else:
+        times = _diurnal_times(rng, spec, horizon_s)
+    templates = _templates(spec)
+    return [
+        Arrival(time=t, job=_named(templates[rng.randrange(len(templates))], i))
+        for i, t in enumerate(times)
+    ]

@@ -1,0 +1,157 @@
+"""A seeded, deterministic discrete-event engine.
+
+The engine is deliberately tiny: a binary heap of pending callbacks
+keyed on ``(time, seq)`` — the monotone sequence number breaks
+simultaneous-event ties in scheduling order, so two runs of the same
+scenario dispatch events in exactly the same order — plus an
+append-only :class:`EventLog` every handler writes observable facts
+into.  KPIs (:mod:`repro.sim.kpis`) are computed *only* from the log,
+never from handler-local state, which keeps the report reproducible
+from the event stream alone (the same property real cluster traces
+have).
+
+Handlers are process-style: a handler runs at its scheduled time,
+mutates whatever state it closes over, appends events, and schedules
+follow-up handlers.  There is no wall-clock anywhere — simulated time
+only advances by scheduling.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.errors import SimulationError
+from repro.obs.metrics import registry
+from repro.obs.trace import span
+
+_EVENTS_TOTAL = registry().counter(
+    "repro_sim_events_total",
+    "Simulation events appended to event logs, by kind.",
+    labelnames=("kind",),
+)
+
+#: hard ceiling on events one run may dispatch — a runaway-scenario
+#: backstop (an unbounded feedback loop of handlers re-scheduling each
+#: other would otherwise hang the serving process).
+MAX_DISPATCHED_EVENTS = 5_000_000
+
+
+@dataclass(frozen=True)
+class SimEvent:
+    """One observable fact, as recorded in the event log.
+
+    ``(time, seq)`` totally orders the log (``seq`` is the append
+    index).  ``kind`` is the event vocabulary of the producing
+    simulation (the site simulator uses ``arrival`` / ``enqueue`` /
+    ``start`` / ``finish`` / ``reject``); the remaining fields carry
+    the payload — unused ones stay at their zero values so every event
+    serialises with one fixed schema.
+    """
+
+    time: float
+    seq: int
+    kind: str
+    job: str = ""
+    shard: str = ""
+    detail: str = ""
+    watts: float = 0.0
+    seconds: float = 0.0
+    joules: float = 0.0
+
+
+class EventLog:
+    """An append-only, totally ordered record of simulation events."""
+
+    def __init__(self) -> None:
+        self._events: list[SimEvent] = []
+
+    def append(
+        self,
+        time: float,
+        kind: str,
+        *,
+        job: str = "",
+        shard: str = "",
+        detail: str = "",
+        watts: float = 0.0,
+        seconds: float = 0.0,
+        joules: float = 0.0,
+    ) -> SimEvent:
+        """Record one event; ``seq`` is assigned from the append order."""
+        event = SimEvent(
+            time=time,
+            seq=len(self._events),
+            kind=kind,
+            job=job,
+            shard=shard,
+            detail=detail,
+            watts=watts,
+            seconds=seconds,
+            joules=joules,
+        )
+        self._events.append(event)
+        _EVENTS_TOTAL.labels(kind).inc()
+        return event
+
+    @property
+    def events(self) -> tuple[SimEvent, ...]:
+        return tuple(self._events)
+
+    def counts(self) -> dict[str, int]:
+        """Events per kind, first-seen order — the log's quick summary."""
+        out: dict[str, int] = {}
+        for event in self._events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[SimEvent]:
+        return iter(self._events)
+
+
+class Simulator:
+    """The event loop: schedule handlers, run them in (time, seq) order."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[tuple[float, int, Callable, tuple]] = []
+        self._next_seq = 0
+        self.dispatched = 0
+        self.log = EventLog()
+
+    def schedule(self, delay: float, handler: Callable, *args) -> None:
+        """Run ``handler(*args)`` ``delay`` simulated seconds from now."""
+        if delay < 0:
+            raise SimulationError(
+                f"cannot schedule {delay:g} s into the past"
+            )
+        self.schedule_at(self.now + delay, handler, *args)
+
+    def schedule_at(self, time: float, handler: Callable, *args) -> None:
+        """Run ``handler(*args)`` at absolute simulated ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time:g} s; clock is at {self.now:g} s"
+            )
+        heapq.heappush(self._heap, (time, self._next_seq, handler, args))
+        self._next_seq += 1
+
+    def run(self) -> int:
+        """Drain the heap; returns the number of handlers dispatched."""
+        dispatched_before = self.dispatched
+        with span("sim.run"):
+            while self._heap:
+                time, _, handler, args = heapq.heappop(self._heap)
+                self.now = time
+                self.dispatched += 1
+                if self.dispatched > MAX_DISPATCHED_EVENTS:
+                    raise SimulationError(
+                        f"simulation exceeded {MAX_DISPATCHED_EVENTS} "
+                        "dispatched events; the scenario does not terminate"
+                    )
+                handler(*args)
+        return self.dispatched - dispatched_before

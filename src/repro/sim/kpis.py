@@ -1,0 +1,230 @@
+"""KPIs computed from a simulation's event log.
+
+Every number here is derived from the append-only event stream plus
+the scenario's static facts (allocations, horizon, SLO) — never from
+simulator-internal state — so a report is reproducible from the log
+alone, and two byte-identical logs always yield byte-identical
+reports.
+
+Percentiles use the nearest-rank definition (deterministic, no
+interpolation).  Utilization is the shard's power-time integral over
+``allocation × duration`` — the fraction of its allocated watt-seconds
+actually spent running jobs.  Energy counts the model's per-job Ep;
+idle draw of unallocated capacity is out of scope.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ParameterError, SimulationError
+from repro.sim.engine import SimEvent
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """The service-level objective a run is judged against.
+
+    ``deadline_s`` bounds a job's sojourn (arrival → finish);
+    ``max_wait_s`` bounds its wait (arrival → start).  ``None`` leaves
+    that bound unenforced.  SLOs never change placement — they only
+    count violations in the report.
+    """
+
+    deadline_s: float | None = None
+    max_wait_s: float | None = None
+
+    def validate(self) -> None:
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ParameterError(
+                f"SLO deadline must be positive, got {self.deadline_s!r}"
+            )
+        if self.max_wait_s is not None and self.max_wait_s <= 0:
+            raise ParameterError(
+                f"SLO max wait must be positive, got {self.max_wait_s!r}"
+            )
+
+
+@dataclass(frozen=True)
+class ShardLoad:
+    """One shard's load summary over the whole run."""
+
+    shard: str
+    allocation_w: float
+    jobs: int
+    utilization: float
+    mean_queue_depth: float
+    max_queue_depth: int
+    peak_power_w: float
+    energy_j: float
+
+
+@dataclass(frozen=True)
+class SimReport:
+    """The KPI report of one simulation run."""
+
+    horizon_s: float
+    duration_s: float
+    arrivals: int
+    started: int
+    finished: int
+    rejected: int
+    slo_violations: int
+    wait_p50_s: float
+    wait_p95_s: float
+    wait_p99_s: float
+    sojourn_p50_s: float
+    sojourn_p95_s: float
+    sojourn_p99_s: float
+    mean_wait_s: float
+    energy_per_job_j: float
+    total_energy_j: float
+    events: int
+    shards: tuple[ShardLoad, ...]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (0.0 on an empty input)."""
+    if not values:
+        return 0.0
+    if not 0 < q <= 100:
+        raise SimulationError(f"percentile rank must be in (0, 100], got {q}")
+    ordered = sorted(values)
+    rank = math.ceil(q / 100.0 * len(ordered))
+    return float(ordered[rank - 1])
+
+
+class _ShardTrack:
+    """Running power/queue integrals for one shard."""
+
+    __slots__ = (
+        "power_w", "depth", "last_t", "power_integral", "depth_integral",
+        "peak_power_w", "max_depth", "jobs", "energy_j",
+    )
+
+    def __init__(self) -> None:
+        self.power_w = 0.0
+        self.depth = 0
+        self.last_t = 0.0
+        self.power_integral = 0.0
+        self.depth_integral = 0.0
+        self.peak_power_w = 0.0
+        self.max_depth = 0
+        self.jobs = 0
+        self.energy_j = 0.0
+
+    def advance(self, t: float) -> None:
+        dt = t - self.last_t
+        if dt > 0:
+            self.power_integral += self.power_w * dt
+            self.depth_integral += self.depth * dt
+            self.last_t = t
+
+
+def compute_kpis(
+    events: Sequence[SimEvent],
+    *,
+    allocations: Sequence[tuple[str, float]],
+    horizon_s: float,
+    slo: SloSpec,
+) -> SimReport:
+    """The KPI report of one event log (see module docstring).
+
+    ``allocations`` is the partition's ``(shard, watts)`` list in site
+    order — the report's shard rows keep that order.  ``horizon_s`` is
+    the demand horizon; the run may outlive it while queues drain, so
+    ``duration_s`` (the integration window) is the later of the two.
+    """
+    tracks = {name: _ShardTrack() for name, _ in allocations}
+    arrival_t: dict[str, float] = {}
+    queued_on: dict[str, str] = {}
+    waits: list[float] = []
+    sojourns: list[float] = []
+    arrivals = started = finished = rejected = violations = 0
+
+    for event in events:
+        track = tracks.get(event.shard)
+        if track is not None:
+            track.advance(event.time)
+        if event.kind == "arrival":
+            arrivals += 1
+            arrival_t[event.job] = event.time
+        elif event.kind == "enqueue":
+            track.depth += 1
+            track.max_depth = max(track.max_depth, track.depth)
+            queued_on[event.job] = event.shard
+        elif event.kind == "start":
+            started += 1
+            if queued_on.pop(event.job, None) is not None:
+                track.depth -= 1
+            track.power_w += event.watts
+            track.peak_power_w = max(track.peak_power_w, track.power_w)
+            waits.append(event.time - arrival_t[event.job])
+        elif event.kind == "finish":
+            finished += 1
+            track.power_w -= event.watts
+            track.jobs += 1
+            track.energy_j += event.joules
+            sojourn = event.time - arrival_t[event.job]
+            sojourns.append(sojourn)
+            wait = sojourn - event.seconds if event.seconds else None
+            late = (
+                slo.deadline_s is not None and sojourn > slo.deadline_s
+            ) or (
+                slo.max_wait_s is not None
+                and wait is not None
+                and wait > slo.max_wait_s
+            )
+            if late:
+                violations += 1
+        elif event.kind == "reject":
+            rejected += 1
+
+    duration_s = max(
+        horizon_s, max((e.time for e in events), default=0.0)
+    )
+    shard_rows = []
+    for name, alloc_w in allocations:
+        track = tracks[name]
+        track.advance(duration_s)
+        capacity = alloc_w * duration_s
+        shard_rows.append(
+            ShardLoad(
+                shard=name,
+                allocation_w=alloc_w,
+                jobs=track.jobs,
+                utilization=(
+                    track.power_integral / capacity if capacity > 0 else 0.0
+                ),
+                mean_queue_depth=(
+                    track.depth_integral / duration_s if duration_s > 0 else 0.0
+                ),
+                max_queue_depth=track.max_depth,
+                peak_power_w=track.peak_power_w,
+                energy_j=track.energy_j,
+            )
+        )
+
+    total_energy = sum(row.energy_j for row in shard_rows)
+    return SimReport(
+        horizon_s=horizon_s,
+        duration_s=duration_s,
+        arrivals=arrivals,
+        started=started,
+        finished=finished,
+        rejected=rejected,
+        slo_violations=violations,
+        wait_p50_s=percentile(waits, 50),
+        wait_p95_s=percentile(waits, 95),
+        wait_p99_s=percentile(waits, 99),
+        sojourn_p50_s=percentile(sojourns, 50),
+        sojourn_p95_s=percentile(sojourns, 95),
+        sojourn_p99_s=percentile(sojourns, 99),
+        mean_wait_s=(sum(waits) / len(waits)) if waits else 0.0,
+        energy_per_job_j=(total_energy / finished) if finished else 0.0,
+        total_energy_j=total_energy,
+        events=len(events),
+        shards=tuple(shard_rows),
+    )

@@ -1,0 +1,365 @@
+"""The online site scheduler: arriving jobs placed on federation shards.
+
+One scenario = a federated site (shards + budget + partition strategy),
+a demand process, queue disciplines, and an SLO.  The run reuses every
+static decision layer unchanged:
+
+1. the site budget is partitioned **once** across shards by
+   :func:`repro.federation.partition.partition_budget`, profiled over
+   the demand's distinct workloads as the reference mix;
+2. each (shard, workload) power ladder is built **once** via the same
+   :func:`~repro.federation.partition.mix_ladders` table the offline
+   router uses (policy/EE-floor filtered per shard), so heterogeneous
+   shards and hypothetical machines work unmodified;
+3. every arriving job is steered to a shard by the router's
+   :func:`~repro.federation.router.routing_score` metric and placed on
+   the rung its shard's policy picks
+   (:func:`~repro.optimize.schedule.select_rung`) under the shard's
+   *remaining* allocation.
+
+A job that fits no shard right now but fits some shard's full
+allocation waits in that shard's queue (``fifo`` strictly preserves
+arrival order; ``priority`` is shortest-job-first on the workload's
+cheapest-rung runtime).  An arriving job never overtakes a non-empty
+queue.  A job that can *never* fit — its power floor exceeds every
+shard's allocation, or no shard's placement rules admit it — becomes a
+structured ``reject`` event with the same per-job reason
+:class:`~repro.errors.InfeasibleJobsError` would carry offline, and
+the run continues.
+
+Everything is deterministic: one seeded arrival stream, one
+``(time, seq)``-ordered event heap, no wall clock — the same scenario
+yields a byte-identical event log and report on every run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+from repro.federation.partition import (
+    mix_ladders,
+    partition_budget,
+    shard_profiles,
+)
+from repro.federation.registry import Shard, ShardRegistry, ShardSpec, default_registry
+from repro.federation.router import ROUTING_METRICS, routing_score
+from repro.obs.metrics import registry as obs_registry
+from repro.obs.trace import span
+from repro.optimize.schedule import Job, Rung, eligible_rungs, select_rung
+from repro.sim.demand import DemandSpec, _templates, generate_arrivals
+from repro.sim.engine import SimEvent, Simulator
+from repro.sim.kpis import SimReport, SloSpec, compute_kpis
+
+#: queue disciplines understood by :func:`run_scenario`.
+QUEUE_DISCIPLINES = ("fifo", "priority")
+
+_PLACEMENTS_TOTAL = obs_registry().counter(
+    "repro_sim_placements_total",
+    "Online placement decisions, by outcome.",
+    labelnames=("outcome",),
+)
+_ACTIVE_RUNS = obs_registry().gauge(
+    "repro_sim_active_runs",
+    "Simulation runs currently executing in this process.",
+)
+_LAST_RUN_EVENTS = obs_registry().gauge(
+    "repro_sim_last_run_events",
+    "Events in the most recently completed simulation run.",
+)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """The wire-expressible description of one simulation scenario."""
+
+    shards: tuple[ShardSpec, ...] = ()
+    budget_w: float = 0.0
+    strategy: str = "waterfill"
+    metric: str = "ee_per_watt"
+    demand: DemandSpec = DemandSpec()
+    slo: SloSpec = SloSpec()
+    horizon_s: float = 600.0
+    seed: int = 0
+    queue: str = "fifo"
+    max_queue_depth: int | None = None
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """One finished run: the scenario, its report, and its event log."""
+
+    scenario: ScenarioSpec
+    report: SimReport
+    events: tuple[SimEvent, ...]
+
+
+def _validate(scenario: ScenarioSpec) -> None:
+    if scenario.metric not in ROUTING_METRICS:
+        raise ParameterError(
+            f"unknown routing metric {scenario.metric!r}; "
+            f"choose from {ROUTING_METRICS}"
+        )
+    if scenario.queue not in QUEUE_DISCIPLINES:
+        raise ParameterError(
+            f"unknown queue discipline {scenario.queue!r}; "
+            f"choose from {QUEUE_DISCIPLINES}"
+        )
+    if scenario.max_queue_depth is not None and scenario.max_queue_depth < 1:
+        raise ParameterError(
+            f"max queue depth must be at least 1, "
+            f"got {scenario.max_queue_depth!r}"
+        )
+    scenario.slo.validate()
+
+
+def _workload_key(job: Job) -> tuple[str, str, int | None]:
+    return (job.benchmark.upper(), job.klass.upper(), job.niter)
+
+
+class _ShardState:
+    """One shard's live state during a run."""
+
+    __slots__ = ("shard", "allocation_w", "committed_w", "queue", "ladders")
+
+    def __init__(
+        self,
+        shard: Shard,
+        allocation_w: float,
+        ladders: dict[tuple, list[Rung]],
+    ) -> None:
+        self.shard = shard
+        self.allocation_w = allocation_w
+        self.committed_w = 0.0
+        #: waiting entries: (enqueue seq, priority key, job, ladder)
+        self.queue: list[tuple[int, float, Job, list[Rung]]] = []
+        self.ladders = ladders
+
+    @property
+    def headroom_w(self) -> float:
+        return self.allocation_w - self.committed_w
+
+
+class _SiteSim:
+    """The handler closure-state of one scenario run."""
+
+    def __init__(
+        self, scenario: ScenarioSpec, states: list[_ShardState]
+    ) -> None:
+        self.scenario = scenario
+        self.states = states
+        self.sim = Simulator()
+        self._enqueue_seq = 0
+
+    # -- event handlers ----------------------------------------------------------
+
+    def on_arrival(self, job: Job) -> None:
+        self.sim.log.append(
+            self.sim.now,
+            "arrival",
+            job=job.name,
+            detail=f"{job.benchmark.upper()}.{job.klass.upper()}",
+        )
+        with span("sim.place"):
+            self._place(job)
+
+    def _place(self, job: Job) -> None:
+        key = _workload_key(job)
+        metric = self.scenario.metric
+        best_now: tuple[float, int] | None = None  # (score, shard index)
+        best_later: tuple[float, int] | None = None
+        cheapest_floor = float("inf")
+        for i, state in enumerate(self.states):
+            ladder = state.ladders.get(key)
+            if not ladder:
+                continue  # no rung meets this shard's placement rules
+            floor = ladder[0].avg_power
+            cheapest_floor = min(cheapest_floor, floor)
+            if floor <= state.allocation_w:
+                scored = routing_score(ladder, state.allocation_w, metric)
+                if scored is not None and (
+                    best_later is None or scored[0] > best_later[0]
+                ):
+                    best_later = (scored[0], i)
+            # an arrival never overtakes jobs already waiting there
+            if state.queue:
+                continue
+            scored = routing_score(ladder, state.headroom_w, metric)
+            if scored is not None and (
+                best_now is None or scored[0] > best_now[0]
+            ):
+                best_now = (scored[0], i)
+        if best_now is not None:
+            self._start(self.states[best_now[1]], job)
+            _PLACEMENTS_TOTAL.labels("placed").inc()
+            return
+        if best_later is not None:
+            self._enqueue(self.states[best_later[1]], job)
+            return
+        # reuse the offline router's per-job infeasibility wording
+        reason = (
+            f"needs {cheapest_floor:.0f} W on its cheapest eligible shard"
+            if cheapest_floor != float("inf")
+            else "meets no shard's placement rules"
+        )
+        self.sim.log.append(
+            self.sim.now, "reject", job=job.name, detail=reason
+        )
+        _PLACEMENTS_TOTAL.labels("rejected").inc()
+
+    def _enqueue(self, state: _ShardState, job: Job) -> None:
+        depth_cap = self.scenario.max_queue_depth
+        if depth_cap is not None and len(state.queue) >= depth_cap:
+            self.sim.log.append(
+                self.sim.now,
+                "reject",
+                job=job.name,
+                shard=state.shard.name,
+                detail=(
+                    f"queue full on shard {state.shard.name} "
+                    f"(depth {len(state.queue)})"
+                ),
+            )
+            _PLACEMENTS_TOTAL.labels("rejected").inc()
+            return
+        ladder = state.ladders[_workload_key(job)]
+        # priority key: the workload's cheapest-rung runtime (SJF);
+        # fifo ignores it and drains strictly in enqueue order
+        state.queue.append((self._enqueue_seq, ladder[0].tp, job, ladder))
+        self._enqueue_seq += 1
+        self.sim.log.append(
+            self.sim.now,
+            "enqueue",
+            job=job.name,
+            shard=state.shard.name,
+            detail=f"depth={len(state.queue)}",
+        )
+        _PLACEMENTS_TOTAL.labels("queued").inc()
+
+    def _start(self, state: _ShardState, job: Job) -> None:
+        ladder = state.ladders[_workload_key(job)]
+        idx = select_rung(
+            ladder, state.headroom_w, policy=state.shard.policy
+        )
+        rung = ladder[idx]
+        state.committed_w += rung.avg_power
+        self.sim.log.append(
+            self.sim.now,
+            "start",
+            job=job.name,
+            shard=state.shard.name,
+            detail=f"p={rung.p} f={rung.f / 1e9:.2f}GHz rung={idx}",
+            watts=rung.avg_power,
+            seconds=rung.tp,
+        )
+        self.sim.schedule(rung.tp, self.on_finish, state, job, rung)
+
+    def on_finish(self, state: _ShardState, job: Job, rung: Rung) -> None:
+        state.committed_w -= rung.avg_power
+        self.sim.log.append(
+            self.sim.now,
+            "finish",
+            job=job.name,
+            shard=state.shard.name,
+            watts=rung.avg_power,
+            seconds=rung.tp,
+            joules=rung.ep,
+        )
+        self._drain(state)
+
+    def _drain(self, state: _ShardState) -> None:
+        """Start waiting jobs freed headroom now admits (head only).
+
+        Both disciplines are strictly head-of-line: the queue's next
+        candidate either starts or keeps waiting — later entries never
+        jump a blocked head, which guarantees every queued job
+        eventually runs (its floor fits the allocation by construction,
+        and the shard fully empties in finite time).
+        """
+        while state.queue:
+            if self.scenario.queue == "priority":
+                head = min(state.queue, key=lambda e: (e[1], e[0]))
+            else:
+                head = min(state.queue, key=lambda e: e[0])
+            _, _, job, ladder = head
+            if select_rung(
+                ladder, state.headroom_w, policy=state.shard.policy
+            ) is None:
+                return
+            state.queue.remove(head)
+            self._start(state, job)
+
+
+def run_scenario(
+    scenario: ScenarioSpec, *, registry: ShardRegistry | None = None
+) -> SimResult:
+    """Run one scenario to completion (see module docstring).
+
+    Arrivals stop at the scenario's horizon; the run continues until
+    every accepted job finishes, so the report never truncates queue
+    drain.  Raises :class:`ParameterError` on an invalid scenario —
+    individual infeasible *jobs* never abort the run, they are rejected
+    in-stream.
+    """
+    _validate(scenario)
+    reg = registry if registry is not None else default_registry()
+    shards = reg.build_site(scenario.shards)
+    arrivals = generate_arrivals(
+        scenario.demand, horizon_s=scenario.horizon_s, seed=scenario.seed
+    )
+
+    # one representative Job per distinct workload: the reference mix
+    # for partitioning, and the key set of the shared ladder tables
+    reps: list[Job] = []
+    seen: set[tuple] = set()
+    for arrival in arrivals:
+        key = _workload_key(arrival.job)
+        if key not in seen:
+            seen.add(key)
+            reps.append(arrival.job)
+    if not reps:
+        # no arrivals in the horizon: profile over the spec's templates
+        # so the partition (and the report's allocations) still exist
+        reps = list(_templates(scenario.demand))
+
+    raw_tables = [mix_ladders(shard, reps) for shard in shards]
+    profiles = shard_profiles(shards, reps, ladders_by_shard=raw_tables)
+    partition = partition_budget(
+        shards,
+        scenario.budget_w,
+        jobs=reps,
+        strategy=scenario.strategy,
+        profiles=profiles,
+    )
+
+    states = []
+    for shard, ladders, alloc in zip(
+        shards, raw_tables, partition.allocations
+    ):
+        table: dict[tuple, list[Rung]] = {}
+        for job, ladder in zip(reps, ladders):
+            table[_workload_key(job)] = eligible_rungs(
+                ladder,
+                shard.ee_floor if shard.policy == "ee_floor" else None,
+            )
+        states.append(_ShardState(shard, alloc.allocation_w, table))
+
+    site = _SiteSim(scenario, states)
+    _ACTIVE_RUNS.inc()
+    try:
+        for arrival in arrivals:
+            site.sim.schedule_at(arrival.time, site.on_arrival, arrival.job)
+        site.sim.run()
+    finally:
+        _ACTIVE_RUNS.dec()
+    events = site.sim.log.events
+    _LAST_RUN_EVENTS.set(len(events))
+    report = compute_kpis(
+        events,
+        allocations=[
+            (a.shard, a.allocation_w) for a in partition.allocations
+        ],
+        horizon_s=scenario.horizon_s,
+        slo=scenario.slo,
+    )
+    return SimResult(scenario=scenario, report=report, events=events)

@@ -1,0 +1,85 @@
+"""Live-server smoke for POST /v1/simulate: parity and reproducibility."""
+
+import json
+
+import pytest
+
+from test_server import _get, _post, _spawn_server, _stop_server
+
+from repro.api.service import clear_caches, dispatch
+from repro.api.types import SimulateRequest
+
+PAYLOAD = {
+    "op": "simulate",
+    "scenario": {
+        "shards": [
+            {"name": "alpha", "cluster": "systemg", "nodes": 16,
+             "power_envelope_w": 4000.0},
+            {"name": "beta", "cluster": "dori", "nodes": 8,
+             "power_envelope_w": 2000.0, "policy": "energy"},
+        ],
+        "budget_w": 5500.0,
+        "demand": {"kind": "poisson", "rate_per_s": 0.05,
+                   "jobs": [{"name": "ft", "benchmark": "FT", "klass": "B"}]},
+        "horizon_s": 400.0,
+        "seed": 42,
+    },
+    "include_events": True,
+}
+
+
+@pytest.fixture(scope="module")
+def live_server():
+    loop, thread, base = _spawn_server()
+    yield base
+    _stop_server(loop, thread)
+
+
+class TestSimulateHttp:
+    def test_post_simulate_round_trip(self, live_server):
+        status, payload = _post(live_server, "/v1/simulate", PAYLOAD)
+        assert status == 200
+        assert payload["op"] == "simulate"
+        report = payload["report"]
+        assert report["arrivals"] > 0
+        assert report["arrivals"] == report["started"] + report["rejected"]
+        assert len(payload["events"]) == report["events"]
+
+    def test_two_posts_are_byte_identical(self, live_server):
+        one = _post(live_server, "/v1/simulate", PAYLOAD)[1]
+        clear_caches()
+        two = _post(live_server, "/v1/simulate", PAYLOAD)[1]
+        assert json.dumps(one, sort_keys=True) == json.dumps(
+            two, sort_keys=True
+        )
+
+    def test_http_matches_in_process_dispatch(self, live_server):
+        _, payload = _post(live_server, "/v1/simulate", PAYLOAD)
+        direct = dispatch(SimulateRequest.from_dict(PAYLOAD)).to_dict()
+        assert json.loads(json.dumps(direct)) == payload
+
+    def test_invalid_scenario_is_a_structured_error(self, live_server):
+        bad = {"op": "simulate",
+               "scenario": {"shards": [], "queue": "lifo"}}
+        status, payload = _post(live_server, "/v1/simulate", bad)
+        assert status == 400
+        assert payload["error"]["type"] == "ParameterError"
+        assert "queue discipline" in payload["error"]["message"]
+
+    def test_healthz_reports_sim_gauges(self, live_server):
+        _post(live_server, "/v1/simulate", PAYLOAD)
+        status, payload = _get(live_server, "/healthz")
+        assert status == 200
+        assert payload["sim"]["active_runs"] == 0
+        assert payload["sim"]["last_run_events"] > 0
+
+    def test_metrics_exposes_sim_families(self, live_server):
+        _post(live_server, "/v1/simulate", PAYLOAD)
+        import urllib.request
+
+        with urllib.request.urlopen(f"{live_server}/metrics",
+                                    timeout=60) as response:
+            text = response.read().decode()
+        assert "repro_sim_events_total" in text
+        assert "repro_sim_last_run_events" in text
+        assert "repro_sim_placements_total" in text

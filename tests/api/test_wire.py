@@ -67,7 +67,8 @@ SAMPLE_RESPONSES = [
 class TestRegistry:
     def test_every_op_has_request_and_response(self):
         assert set(REQUEST_TYPES) == set(RESPONSE_TYPES) == set(operations())
-        assert len(operations()) == 13
+        assert len(operations()) == 14
+        assert "simulate" in operations()
         assert "federate" in operations()
         assert "batch" in operations()
         assert "hetero" in operations()

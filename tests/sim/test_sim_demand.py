@@ -1,0 +1,161 @@
+"""Demand processes: seeded reproducibility, statistics, trace replay."""
+
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.optimize.schedule import Job
+from repro.sim import DemandSpec, format_trace, generate_arrivals, parse_trace
+from repro.sim.demand import diurnal_rate, validate_demand
+
+
+class TestSeededReproducibility:
+    @pytest.mark.parametrize("kind", ["poisson", "burst", "diurnal"])
+    def test_same_seed_identical_arrivals(self, kind):
+        spec = DemandSpec(kind=kind, rate_per_s=0.5, burst_size=3,
+                          burst_every_s=40.0, period_s=300.0, amplitude=0.8,
+                          jobs=(Job("ft", "FT", "B"), Job("ep", "EP", "A")))
+        one = generate_arrivals(spec, horizon_s=600.0, seed=7)
+        two = generate_arrivals(spec, horizon_s=600.0, seed=7)
+        assert one == two
+
+    def test_different_seeds_differ(self):
+        spec = DemandSpec(kind="poisson", rate_per_s=0.5)
+        one = generate_arrivals(spec, horizon_s=600.0, seed=1)
+        two = generate_arrivals(spec, horizon_s=600.0, seed=2)
+        assert one != two
+
+    def test_arrivals_sorted_named_and_inside_horizon(self):
+        spec = DemandSpec(kind="poisson", rate_per_s=1.0,
+                          jobs=(Job("ft", "FT", "B"),))
+        arrivals = generate_arrivals(spec, horizon_s=100.0, seed=3)
+        times = [a.time for a in arrivals]
+        assert times == sorted(times)
+        assert all(0 < t < 100.0 for t in times)
+        assert [a.job.name for a in arrivals] == [
+            f"ft-{i:05d}" for i in range(len(arrivals))
+        ]
+
+    def test_templates_sampled_from_spec(self):
+        spec = DemandSpec(kind="poisson", rate_per_s=1.0,
+                          jobs=(Job("ft", "FT", "B"), Job("cg", "CG", "A")))
+        arrivals = generate_arrivals(spec, horizon_s=200.0, seed=0)
+        benches = {a.job.benchmark for a in arrivals}
+        assert benches == {"FT", "CG"}
+
+
+class TestPoissonStatistics:
+    def test_interarrival_mean_near_one_over_rate(self):
+        rate = 1.0
+        arrivals = generate_arrivals(
+            DemandSpec(kind="poisson", rate_per_s=rate),
+            horizon_s=4000.0, seed=11,
+        )
+        times = [a.time for a in arrivals]
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        mean_gap = sum(gaps) / len(gaps)
+        # ~4000 samples: the sample mean sits well within 10% of 1/rate
+        assert mean_gap == pytest.approx(1.0 / rate, rel=0.10)
+
+    def test_count_scales_with_rate(self):
+        lo = generate_arrivals(DemandSpec(kind="poisson", rate_per_s=0.5),
+                               horizon_s=2000.0, seed=5)
+        hi = generate_arrivals(DemandSpec(kind="poisson", rate_per_s=2.0),
+                               horizon_s=2000.0, seed=5)
+        assert len(hi) == pytest.approx(4 * len(lo), rel=0.2)
+
+
+class TestBurst:
+    def test_bursts_land_on_the_period_grid(self):
+        spec = DemandSpec(kind="burst", burst_size=3, burst_every_s=50.0)
+        arrivals = generate_arrivals(spec, horizon_s=160.0, seed=0)
+        assert [a.time for a in arrivals] == [0.0] * 3 + [50.0] * 3 + [100.0] * 3 + [150.0] * 3
+
+
+class TestDiurnal:
+    def test_rate_curve_bounds(self):
+        spec = DemandSpec(kind="diurnal", rate_per_s=0.2, period_s=86400.0,
+                          amplitude=0.5)
+        rates = [diurnal_rate(spec, t) for t in range(0, 86400, 600)]
+        assert min(rates) >= 0.2 * 0.5 - 1e-12
+        assert max(rates) <= 0.2 * 1.5 + 1e-12
+        assert math.isclose(diurnal_rate(spec, 86400.0 / 4), 0.3)
+
+    def test_count_tracks_rate_integral(self):
+        # over whole periods the sinusoid integrates away: expected
+        # arrivals = rate * horizon, independent of amplitude
+        spec = DemandSpec(kind="diurnal", rate_per_s=1.0, period_s=500.0,
+                          amplitude=0.9)
+        arrivals = generate_arrivals(spec, horizon_s=4000.0, seed=13)
+        assert len(arrivals) == pytest.approx(4000, rel=0.10)
+
+    def test_zero_amplitude_is_homogeneous_poisson_count(self):
+        flat = generate_arrivals(
+            DemandSpec(kind="diurnal", rate_per_s=1.0, amplitude=0.0,
+                       period_s=1000.0),
+            horizon_s=3000.0, seed=17,
+        )
+        assert len(flat) == pytest.approx(3000, rel=0.10)
+
+
+class TestTrace:
+    def test_round_trip_through_format_and_parse(self):
+        arrivals = generate_arrivals(
+            DemandSpec(kind="poisson", rate_per_s=0.3,
+                       jobs=(Job("ft", "FT", "B", 20), Job("ep", "EP", "A"))),
+            horizon_s=300.0, seed=9,
+        )
+        text = format_trace(arrivals)
+        assert parse_trace(text) == arrivals
+
+    def test_replay_through_generate_arrivals(self):
+        text = '{"t": 5.0, "name": "a", "benchmark": "EP", "klass": "A"}\n' \
+               '{"t": 1.0, "name": "b"}\n'
+        arrivals = generate_arrivals(DemandSpec(kind="trace", trace=text),
+                                     horizon_s=10.0, seed=0)
+        assert [a.job.name for a in arrivals] == ["b", "a"]  # sorted by time
+        assert arrivals[0].job.benchmark == "FT"  # defaults fill in
+        assert arrivals[1].job.klass == "A"
+
+    def test_replay_clips_to_horizon(self):
+        text = '{"t": 1.0}\n{"t": 99.0}\n'
+        arrivals = generate_arrivals(DemandSpec(kind="trace", trace=text),
+                                     horizon_s=50.0, seed=0)
+        assert len(arrivals) == 1
+
+    @pytest.mark.parametrize("line,match", [
+        ("not json", "not valid JSON"),
+        ('["t", 1]', "must be an object with a 't' field"),
+        ('{"when": 1}', "must be an object"),
+        ('{"t": -1}', "non-negative"),
+        ('{"t": true}', "non-negative number"),
+        ('{"t": 1, "color": "red"}', "unknown field"),
+        ('{"t": 1, "niter": 2.5}', "'niter' must be an integer"),
+    ])
+    def test_malformed_lines_name_the_line(self, line, match):
+        with pytest.raises(ParameterError, match=match):
+            parse_trace(line)
+        # the reported line number tracks the offending line
+        with pytest.raises(ParameterError, match="line 2"):
+            parse_trace('{"t": 0}\n' + line)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("spec,match", [
+        (DemandSpec(kind="lunar"), "unknown demand kind"),
+        (DemandSpec(kind="poisson", rate_per_s=0.0), "rate must be positive"),
+        (DemandSpec(kind="diurnal", rate_per_s=-1.0), "rate must be positive"),
+        (DemandSpec(kind="burst", burst_size=0), "burst size"),
+        (DemandSpec(kind="burst", burst_every_s=0.0), "burst period"),
+        (DemandSpec(kind="diurnal", period_s=0.0), "diurnal period"),
+        (DemandSpec(kind="diurnal", amplitude=1.5), "amplitude"),
+        (DemandSpec(kind="trace", trace="  "), "non-empty trace"),
+    ])
+    def test_bad_specs_rejected(self, spec, match):
+        with pytest.raises(ParameterError, match=match):
+            validate_demand(spec)
+
+    def test_horizon_must_be_positive(self):
+        with pytest.raises(ParameterError, match="horizon"):
+            generate_arrivals(DemandSpec(), horizon_s=0.0, seed=0)

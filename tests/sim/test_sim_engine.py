@@ -1,0 +1,102 @@
+"""The discrete-event core: heap order, tie-breaks, and the event log."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import EventLog, SimEvent, Simulator
+
+
+class TestSimulatorOrdering:
+    def test_handlers_run_in_time_order(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, seen.append, "late")
+        sim.schedule(1.0, seen.append, "early")
+        sim.schedule(3.0, seen.append, "middle")
+        dispatched = sim.run()
+        assert seen == ["early", "middle", "late"]
+        assert dispatched == 3
+        assert sim.now == 5.0
+
+    def test_simultaneous_events_break_ties_by_schedule_order(self):
+        sim = Simulator()
+        seen = []
+        for tag in ("a", "b", "c", "d"):
+            sim.schedule(2.0, seen.append, tag)
+        sim.run()
+        assert seen == ["a", "b", "c", "d"]
+
+    def test_handlers_can_schedule_followups(self):
+        sim = Simulator()
+        seen = []
+
+        def chain(n):
+            seen.append((sim.now, n))
+            if n:
+                sim.schedule(1.0, chain, n - 1)
+
+        sim.schedule(0.0, chain, 3)
+        sim.run()
+        assert seen == [(0.0, 3), (1.0, 2), (2.0, 1), (3.0, 0)]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError, match="past"):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_scheduling_before_now_rejected(self):
+        sim = Simulator()
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError, match="clock is at 10"):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_two_identical_runs_dispatch_identically(self):
+        def build():
+            sim = Simulator()
+            for k in range(20):
+                sim.schedule(
+                    (k * 7) % 5 + 0.5,
+                    sim.log.append,
+                    float((k * 7) % 5),
+                    "tick",
+                )
+            sim.run()
+            return sim.log.events
+
+        assert build() == build()
+
+
+class TestEventLog:
+    def test_append_assigns_monotone_seq(self):
+        log = EventLog()
+        a = log.append(0.0, "arrival", job="j0")
+        b = log.append(1.0, "start", job="j0", shard="s", watts=80.0)
+        assert (a.seq, b.seq) == (0, 1)
+        assert len(log) == 2
+        assert list(log) == [a, b]
+        assert log.events == (a, b)
+
+    def test_events_are_frozen_with_fixed_schema(self):
+        log = EventLog()
+        event = log.append(2.5, "finish", job="j", shard="s",
+                           watts=100.0, seconds=4.0, joules=400.0)
+        assert event == SimEvent(time=2.5, seq=0, kind="finish", job="j",
+                                 shard="s", detail="", watts=100.0,
+                                 seconds=4.0, joules=400.0)
+        with pytest.raises(AttributeError):
+            event.kind = "other"
+
+    def test_counts_by_kind(self):
+        log = EventLog()
+        for kind in ("arrival", "start", "finish", "arrival", "reject"):
+            log.append(0.0, kind)
+        assert log.counts() == {"arrival": 2, "start": 1, "finish": 1,
+                                "reject": 1}
+
+    def test_events_counter_increments(self):
+        from repro.obs.metrics import registry
+
+        before = registry().value("repro_sim_events_total")
+        EventLog().append(0.0, "arrival")
+        assert registry().value("repro_sim_events_total") == before + 1

@@ -1,0 +1,201 @@
+"""The online site scheduler: placement, queueing, rejection, KPIs."""
+
+import pytest
+
+from repro.api.service import clear_caches
+from repro.errors import ParameterError
+from repro.federation.registry import ShardSpec
+from repro.optimize.schedule import Job
+from repro.sim import (
+    DemandSpec,
+    ScenarioSpec,
+    SloSpec,
+    format_trace,
+    run_scenario,
+)
+from repro.sim.demand import Arrival
+
+# one 4-node SystemG shard: with a 200 W budget the FT.B + EP.B mix
+# gets a 199 W allocation, which admits exactly one job at a time —
+# queueing dynamics become deterministic and hand-checkable
+SOLO = ShardSpec("solo", "systemg", 4, 1000.0)
+
+
+def _trace_scenario(arrivals, budget_w=200.0, **kwargs):
+    return ScenarioSpec(
+        shards=(SOLO,),
+        budget_w=budget_w,
+        demand=DemandSpec(kind="trace", trace=format_trace(arrivals)),
+        **kwargs,
+    )
+
+
+def _kinds(events, kind):
+    return [e for e in events if e.kind == kind]
+
+
+class TestEndToEndDeterminism:
+    SCENARIO = ScenarioSpec(
+        shards=(
+            ShardSpec("alpha", "systemg", 16, 4000.0),
+            ShardSpec("beta", "systemg", 8, 2500.0, policy="energy"),
+            ShardSpec("gamma", "dori", 8, 2000.0),
+        ),
+        budget_w=7000.0,
+        demand=DemandSpec(kind="poisson", rate_per_s=0.05,
+                          jobs=(Job("ft", "FT", "B"), Job("ep", "EP", "B"))),
+        horizon_s=600.0,
+        seed=42,
+    )
+
+    def test_two_runs_are_identical(self):
+        one = run_scenario(self.SCENARIO)
+        clear_caches()
+        two = run_scenario(self.SCENARIO)
+        assert one.events == two.events
+        assert one.report == two.report
+
+    def test_report_accounts_for_every_arrival(self):
+        result = run_scenario(self.SCENARIO)
+        rep = result.report
+        assert rep.arrivals == len(_kinds(result.events, "arrival"))
+        assert rep.arrivals == rep.started + rep.rejected
+        assert rep.started == rep.finished  # the run drains fully
+        assert rep.total_energy_j == pytest.approx(
+            sum(e.joules for e in _kinds(result.events, "finish"))
+        )
+        assert {s.shard for s in rep.shards} == {"alpha", "beta", "gamma"}
+
+
+class TestQueueDynamics:
+    ARRIVALS = [
+        Arrival(0.0, Job("first", "FT", "B")),
+        Arrival(1.0, Job("slow", "FT", "B")),
+        Arrival(2.0, Job("quick", "EP", "B")),
+    ]
+
+    def test_fifo_preserves_arrival_order(self):
+        result = run_scenario(_trace_scenario(self.ARRIVALS, queue="fifo"))
+        starts = [e.job for e in _kinds(result.events, "start")]
+        assert starts == ["first", "slow", "quick"]
+        assert len(_kinds(result.events, "enqueue")) == 2
+
+    def test_priority_runs_shortest_job_first(self):
+        result = run_scenario(_trace_scenario(self.ARRIVALS, queue="priority"))
+        starts = [e.job for e in _kinds(result.events, "start")]
+        # EP.B's cheapest rung is ~3.6x faster than FT.B's: SJF jumps it
+        assert starts == ["first", "quick", "slow"]
+
+    def test_waits_show_up_in_the_report(self):
+        result = run_scenario(_trace_scenario(self.ARRIVALS))
+        rep = result.report
+        assert rep.wait_p99_s > 0.0
+        assert rep.mean_wait_s > 0.0
+        assert max(s.max_queue_depth for s in rep.shards) == 2
+
+    def test_queue_depth_cap_rejects_overflow(self):
+        result = run_scenario(
+            _trace_scenario(self.ARRIVALS, max_queue_depth=1)
+        )
+        rejects = _kinds(result.events, "reject")
+        assert [e.job for e in rejects] == ["quick"]
+        assert "queue full on shard solo" in rejects[0].detail
+        assert result.report.rejected == 1
+        assert result.report.finished == 2
+
+
+class TestRejection:
+    def test_power_floor_above_every_allocation(self):
+        result = run_scenario(
+            _trace_scenario([Arrival(0.0, Job("big", "FT", "B"))],
+                            budget_w=60.0)
+        )
+        rejects = _kinds(result.events, "reject")
+        assert len(rejects) == 1
+        assert rejects[0].detail == (
+            "needs 83 W on its cheapest eligible shard"
+        )
+        assert result.report.rejected == 1
+        assert result.report.started == 0
+
+    def test_no_shard_admits_the_workload(self):
+        scenario = ScenarioSpec(
+            shards=(ShardSpec("strict", "systemg", 4, 1000.0,
+                              policy="ee_floor", ee_floor=1e9),),
+            budget_w=500.0,
+            demand=DemandSpec(kind="trace",
+                              trace='{"t": 0.0, "name": "j"}\n'),
+        )
+        result = run_scenario(scenario)
+        rejects = _kinds(result.events, "reject")
+        assert len(rejects) == 1
+        assert rejects[0].detail == "meets no shard's placement rules"
+
+    def test_rejection_never_aborts_the_run(self):
+        # offline, this site raises InfeasibleJobsError; online, every
+        # arrival becomes a reject event and the run still completes
+        arrivals = [
+            Arrival(0.0, Job("a", "EP", "B")),
+            Arrival(1.0, Job("b", "FT", "B")),
+        ]
+        result = run_scenario(_trace_scenario(arrivals, budget_w=60.0))
+        assert result.report.rejected == 2
+        assert result.report.finished == 0
+        assert result.report.arrivals == 2
+
+
+class TestSlo:
+    def test_deadline_violations_counted(self):
+        result = run_scenario(
+            _trace_scenario([Arrival(0.0, Job("j", "FT", "B"))],
+                            slo=SloSpec(deadline_s=1.0))
+        )
+        assert result.report.slo_violations == 1
+
+    def test_max_wait_violations_counted(self):
+        result = run_scenario(
+            _trace_scenario(TestQueueDynamics.ARRIVALS,
+                            slo=SloSpec(max_wait_s=5.0))
+        )
+        assert result.report.slo_violations == 2  # both queued jobs waited
+
+    def test_loose_slo_is_clean(self):
+        result = run_scenario(
+            _trace_scenario([Arrival(0.0, Job("j", "EP", "B"))],
+                            slo=SloSpec(deadline_s=1e6, max_wait_s=1e6))
+        )
+        assert result.report.slo_violations == 0
+
+
+class TestScenarioValidation:
+    @pytest.mark.parametrize("kwargs,match", [
+        ({"metric": "bogus"}, "routing metric"),
+        ({"queue": "lifo"}, "queue discipline"),
+        ({"max_queue_depth": 0}, "max queue depth"),
+        ({"slo": SloSpec(deadline_s=-1.0)}, "deadline"),
+        ({"slo": SloSpec(max_wait_s=0.0)}, "wait"),
+    ])
+    def test_bad_scenarios_rejected(self, kwargs, match):
+        scenario = ScenarioSpec(shards=(SOLO,), budget_w=500.0, **kwargs)
+        with pytest.raises(ParameterError, match=match):
+            run_scenario(scenario)
+
+
+class TestObservability:
+    def test_gauges_reflect_the_last_run(self):
+        from repro.obs.metrics import registry
+
+        result = run_scenario(
+            _trace_scenario([Arrival(0.0, Job("j", "EP", "B"))])
+        )
+        assert registry().value("repro_sim_active_runs") == 0.0
+        assert registry().value("repro_sim_last_run_events") == float(
+            len(result.events)
+        )
+
+    def test_placement_outcomes_counted(self):
+        from repro.obs.metrics import registry
+
+        before = registry().value("repro_sim_placements_total")
+        run_scenario(_trace_scenario(TestQueueDynamics.ARRIVALS))
+        assert registry().value("repro_sim_placements_total") == before + 3

@@ -1,0 +1,132 @@
+"""Wire round-trips for the simulate operation and its nested records."""
+
+import json
+
+import pytest
+
+from repro.api.schemas import request_from_dict, response_from_dict
+from repro.api.service import clear_caches, dispatch
+from repro.api.types import SimulateRequest, SimulateResponse
+from repro.errors import WireError
+from repro.federation.registry import ShardSpec
+from repro.optimize.schedule import Job
+from repro.sim import DemandSpec, ScenarioSpec, SloSpec
+
+SCENARIO = ScenarioSpec(
+    shards=(
+        ShardSpec("alpha", "systemg", 16, 4000.0),
+        ShardSpec("beta", "dori", 8, 2000.0, policy="energy"),
+    ),
+    budget_w=5000.0,
+    strategy="proportional",
+    metric="ee",
+    demand=DemandSpec(kind="burst", burst_size=2, burst_every_s=200.0,
+                      jobs=(Job("ft", "FT", "B"), Job("cg", "CG", "A", 30))),
+    slo=SloSpec(deadline_s=500.0, max_wait_s=60.0),
+    horizon_s=450.0,
+    seed=9,
+    queue="priority",
+    max_queue_depth=4,
+)
+
+REQUEST = SimulateRequest(scenario=SCENARIO, include_events=True)
+
+
+class TestRequestWire:
+    def test_json_round_trip_identity(self):
+        payload = json.loads(json.dumps(REQUEST.to_dict()))
+        assert request_from_dict(payload) == REQUEST
+
+    def test_default_request_round_trips(self):
+        payload = json.loads(json.dumps(SimulateRequest().to_dict()))
+        assert request_from_dict(payload) == SimulateRequest()
+
+    def test_scenario_needs_only_shards_on_the_wire(self):
+        req = request_from_dict({
+            "op": "simulate",
+            "scenario": {"shards": [{"name": "m", "power_envelope_w": 900.0}]},
+        })
+        assert req.scenario.shards == (ShardSpec("m", power_envelope_w=900.0),)
+        # everything else falls back to the dataclass defaults
+        assert req.scenario.demand == DemandSpec()
+        assert req.scenario.slo == SloSpec()
+        assert req.scenario.queue == "fifo"
+        assert req.include_events is False
+
+    def test_nested_demand_and_slo_defaults_apply(self):
+        req = request_from_dict({
+            "op": "simulate",
+            "scenario": {
+                "shards": [],
+                "demand": {"kind": "burst", "burst_size": 5},
+                "slo": {"deadline_s": 100.0},
+            },
+        })
+        assert req.scenario.demand.burst_size == 5
+        assert req.scenario.demand.rate_per_s == DemandSpec().rate_per_s
+        assert req.scenario.slo == SloSpec(deadline_s=100.0)
+
+    def test_unknown_scenario_field_rejected(self):
+        with pytest.raises(WireError, match="unknown ScenarioSpec"):
+            request_from_dict({
+                "op": "simulate",
+                "scenario": {"shards": [], "weather": "sunny"},
+            })
+
+    def test_mistyped_seed_rejected(self):
+        with pytest.raises(WireError, match="expected an integer"):
+            request_from_dict({
+                "op": "simulate",
+                "scenario": {"shards": [], "seed": "lucky"},
+            })
+
+
+class TestResponseWire:
+    def _response(self) -> SimulateResponse:
+        clear_caches()
+        resp = dispatch(REQUEST)
+        assert isinstance(resp, SimulateResponse)
+        return resp
+
+    def test_json_round_trip_identity(self):
+        resp = self._response()
+        payload = json.loads(json.dumps(resp.to_dict()))
+        assert response_from_dict(payload) == resp
+
+    def test_events_carried_only_on_request(self):
+        resp = self._response()
+        assert resp.events  # include_events=True above
+        lean = dispatch(SimulateRequest(scenario=SCENARIO))
+        assert lean.events == ()
+        assert lean.report == resp.report
+
+    def test_missing_report_field_rejected(self):
+        payload = self._response().to_dict()
+        del payload["report"]["energy_per_job_j"]
+        with pytest.raises(WireError, match="missing SimReport"):
+            response_from_dict(payload)
+
+    def test_unknown_event_field_rejected(self):
+        payload = self._response().to_dict()
+        payload["events"][0]["speed"] = 1
+        with pytest.raises(WireError, match="unknown SimEvent"):
+            response_from_dict(payload)
+
+
+class TestDispatch:
+    def test_dispatch_is_deterministic_across_cache_clears(self):
+        clear_caches()
+        one = dispatch(REQUEST)
+        clear_caches()
+        two = dispatch(REQUEST)
+        assert one == two
+        assert json.dumps(one.to_dict()) == json.dumps(two.to_dict())
+
+    def test_repeat_dispatch_hits_the_response_cache(self):
+        from repro.api.service import cache_info
+
+        clear_caches()
+        dispatch(REQUEST)
+        hits_before = cache_info()["responses"].hits
+        dispatch(REQUEST)
+        assert cache_info()["responses"].hits == hits_before + 1

@@ -382,3 +382,105 @@ def test_cache_stats_json_shape(capsys):
     assert set(payload) == {"responses", "models", "spaces", "grid_store"}
     assert "superset_hits" in payload["grid_store"]
     assert "hetero_hits" in payload["grid_store"]
+
+
+# -- simulate ---------------------------------------------------------------
+
+
+SIM_ARGS = [
+    "simulate", "--budget", "7000",
+    "--shard", "alpha:systemg:16:4000",
+    "--shard", "beta:dori:8:2000:energy",
+    "--job", "ft:FT:B", "--rate", "0.05",
+    "--horizon", "600", "--seed", "42",
+]
+
+
+def test_simulate_text_report(capsys):
+    code, out, _ = run_cli(capsys, *SIM_ARGS)
+    assert code == 0
+    assert "simulated" in out and "arrivals" in out
+    assert "started / finished" in out
+    assert "alpha" in out and "beta" in out
+
+
+def test_simulate_json_is_reproducible_and_matches_dispatch(capsys):
+    import json
+
+    from repro.api.service import clear_caches, dispatch
+    from repro.api.types import SimulateRequest
+    from repro.federation.registry import ShardSpec
+    from repro.optimize.schedule import Job
+    from repro.sim import DemandSpec, ScenarioSpec
+
+    code, one, _ = run_cli(capsys, *SIM_ARGS, "--json")
+    assert code == 0
+    clear_caches()
+    code, two, _ = run_cli(capsys, *SIM_ARGS, "--json")
+    assert code == 0
+    assert one == two  # byte-identical across runs
+    expected = dispatch(SimulateRequest(scenario=ScenarioSpec(
+        shards=(ShardSpec("alpha", "systemg", 16, 4000.0),
+                ShardSpec("beta", "dori", 8, 2000.0, policy="energy")),
+        budget_w=7000.0,
+        demand=DemandSpec(kind="poisson", rate_per_s=0.05,
+                          jobs=(Job("ft", "FT", "B"),)),
+        horizon_s=600.0,
+        seed=42,
+    ))).to_dict()
+    assert json.loads(one) == expected
+
+
+def test_simulate_scenario_file(capsys, tmp_path):
+    import json
+
+    path = tmp_path / "scenario.json"
+    path.write_text(json.dumps({
+        "shards": [{"name": "solo", "cluster": "systemg", "nodes": 4,
+                    "power_envelope_w": 1000.0}],
+        "budget_w": 500.0,
+        "demand": {"kind": "burst", "burst_size": 2, "burst_every_s": 300.0},
+        "horizon_s": 400.0,
+    }))
+    code, out, _ = run_cli(capsys, "simulate", "--file", str(path))
+    assert code == 0
+    assert "simulated" in out
+
+
+def test_simulate_needs_shards_or_file(capsys):
+    code, _, err = run_cli(capsys, "simulate", "--budget", "100")
+    assert code == 2
+    assert "error:" in err
+
+
+def test_simulate_bad_json_file_is_a_clean_error(capsys, tmp_path):
+    path = tmp_path / "broken.json"
+    path.write_text("{not json")
+    code, _, err = run_cli(capsys, "simulate", "--file", str(path))
+    assert code == 2
+    assert err.startswith("error:")
+    assert "not valid JSON" in err
+
+
+def test_simulate_wire_invalid_scenario_is_a_clean_error(capsys, tmp_path):
+    import json
+
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"shards": [], "weather": "sunny"}))
+    code, _, err = run_cli(capsys, "simulate", "--file", str(path))
+    assert code == 2
+    assert err.startswith("error:")
+    assert "unknown ScenarioSpec" in err
+
+
+def test_unexpected_exception_is_structured_not_a_traceback(capsys,
+                                                            monkeypatch):
+    import repro.cli as cli
+
+    def boom(_req):
+        raise RuntimeError("wires crossed")
+
+    monkeypatch.setattr(cli, "dispatch", boom)
+    code, _, err = run_cli(capsys, "metrics")
+    assert code == 3
+    assert err == "error [RuntimeError]: wires crossed\n"
