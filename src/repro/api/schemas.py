@@ -12,6 +12,8 @@ from typing import Any, Mapping
 
 from repro.api.types import (
     API_VERSION,
+    AlertsRequest,
+    AlertsResponse,
     BatchRequest,
     BatchResponse,
     BudgetQuery,
@@ -39,6 +41,10 @@ from repro.api.types import (
     SurfaceResponse,
     SweepRequest,
     SweepResponse,
+    TimeSeriesRequest,
+    TimeSeriesResponse,
+    TraceRequest,
+    TraceResponse,
     ValidateRequest,
     ValidateResponse,
     WireRecord,
@@ -63,6 +69,9 @@ REQUEST_TYPES: dict[str, type[WireRecord]] = {
         SimulateRequest,
         BatchRequest,
         MetricsRequest,
+        TraceRequest,
+        TimeSeriesRequest,
+        AlertsRequest,
     )
 }
 
@@ -84,6 +93,9 @@ RESPONSE_TYPES: dict[str, type[Response]] = {
         SimulateResponse,
         BatchResponse,
         MetricsResponse,
+        TraceResponse,
+        TimeSeriesResponse,
+        AlertsResponse,
     )
 }
 

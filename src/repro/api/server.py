@@ -41,9 +41,12 @@ from typing import Any
 
 from repro.api.schemas import API_VERSION, operations, request_from_dict
 from repro.api.service import cache_stats_payload, dispatch
+from repro.api.types import AlertsRequest
 from repro.errors import ReproError, WireError
 from repro.obs import log as obs_log
 from repro.obs import metrics as obs_metrics
+from repro.obs import slo as obs_slo
+from repro.obs import store as obs_store
 from repro.obs import trace as obs_trace
 
 #: default bind address of ``repro serve``.
@@ -366,6 +369,15 @@ async def _handle_one(
                 obs_metrics.registry().render().encode(),
                 obs_metrics.CONTENT_TYPE,
             )
+        elif path == "/alerts":
+            # scraper-friendly GET twin of POST /v1/alerts — the same
+            # dispatch path, so the payload is byte-identical
+            if method != "GET":
+                raise _HttpReply(
+                    405,
+                    _error_payload("WireError", "/alerts accepts GET only"),
+                )
+            status, payload = 200, dispatch(AlertsRequest()).to_dict()
         else:
             op = _route(method, path)  # raises for non-dispatch paths
             request = _parse_body(op, body)
@@ -523,8 +535,24 @@ async def start_server(
         raise
 
 
+async def _sampling_ticker(every_s: float) -> None:
+    """Feed the retained time-series ring and keep SLO clocks advancing.
+
+    Evaluating on every tick matters for ``for_s`` rules: a breach can
+    only escalate from pending to firing if something keeps checking.
+    """
+    while True:
+        await asyncio.sleep(every_s)
+        obs_store.recorder().sample()
+        obs_slo.engine().evaluate()
+
+
 async def _serve_forever(
-    host: str, port: int, ready, max_concurrency: int | None
+    host: str,
+    port: int,
+    ready,
+    max_concurrency: int | None,
+    sample_every_s: float | None = 5.0,
 ) -> None:
     global _STARTED_AT
     server = await start_server(host, port, max_concurrency=max_concurrency)
@@ -533,14 +561,22 @@ async def _serve_forever(
     limit = f", max {max_concurrency} in flight" if max_concurrency else ""
     print(
         f"repro api v{API_VERSION} listening on http://{addr[0]}:{addr[1]} "
-        f"(POST /v1/<op>, GET /healthz, keep-alive{limit})",
+        f"(POST /v1/<op>, GET /healthz|/metrics|/alerts, keep-alive{limit})",
         flush=True,
     )
+    ticker: asyncio.Task | None = None
+    if sample_every_s is not None and sample_every_s > 0.0:
+        obs_store.recorder().sample()  # a first point before the first tick
+        ticker = asyncio.create_task(_sampling_ticker(sample_every_s))
     if ready is not None:
         ready.address = (addr[0], addr[1])  # port 0 resolves to the real bind
         ready.set()
-    async with server:
-        await server.serve_forever()
+    try:
+        async with server:
+            await server.serve_forever()
+    finally:
+        if ticker is not None:
+            ticker.cancel()
 
 
 def serve(
@@ -548,14 +584,22 @@ def serve(
     port: int = DEFAULT_PORT,
     ready=None,
     max_concurrency: int | None = None,
+    sample_every_s: float | None = 5.0,
 ) -> int:
     """Run the server until interrupted (the ``repro serve`` entry point).
 
     ``ready`` (a ``threading.Event``-alike) is set once the socket is
     listening — the hook tests and embedding supervisors use.
+    ``sample_every_s`` paces the retained-telemetry ticker (time-series
+    samples + SLO evaluation); ``None`` or 0 disables it, which is what
+    the deterministic in-loop test servers use.
     """
     try:
-        asyncio.run(_serve_forever(host, port, ready, max_concurrency))
+        asyncio.run(
+            _serve_forever(
+                host, port, ready, max_concurrency, sample_every_s
+            )
+        )
     except KeyboardInterrupt:  # pragma: no cover - interactive teardown
         print("repro api: shutting down")
     return 0

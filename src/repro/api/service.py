@@ -20,6 +20,9 @@ from functools import lru_cache
 
 from repro.analysis.surface import surface_from_grid
 from repro.api.types import (
+    API_VERSION,
+    AlertsRequest,
+    AlertsResponse,
     BatchError,
     BatchItem,
     BatchRequest,
@@ -50,6 +53,10 @@ from repro.api.types import (
     SurfaceResponse,
     SweepRequest,
     SweepResponse,
+    TimeSeriesRequest,
+    TimeSeriesResponse,
+    TraceRequest,
+    TraceResponse,
     ValidateRequest,
     ValidateResponse,
     WireRecord,
@@ -62,6 +69,9 @@ from repro.federation.router import route_jobs
 from repro.hetero import solve as hetero_solve
 from repro.hetero.space import HeteroSpace, PoolSpec
 from repro.obs import metrics as obs_metrics
+from repro.obs import slo as obs_slo
+from repro.obs import store as obs_store
+from repro.obs.trace import span
 from repro.optimize import (
     default_store,
     grid_for,
@@ -137,6 +147,27 @@ _GRID_STORE_BYTES = obs_metrics.registry().gauge(
     "Resident bytes of cached grids.",
     labelnames=("kind",),
 )
+
+# build identity as a constant-1 gauge with informative labels — the
+# Prometheus idiom for exposing versions (joinable against any series).
+# Populated lazily by the collector: repro/__init__ imports this module,
+# so __version__ does not exist yet at our own import time.
+_BUILD_INFO = obs_metrics.registry().gauge(
+    "repro_build_info",
+    "Build identity: package version and the wire version this build speaks.",
+    labelnames=("version", "api"),
+)
+
+
+def _collect_build_info() -> None:
+    import repro
+
+    _BUILD_INFO.labels(
+        getattr(repro, "__version__", "unknown"), f"v{API_VERSION}"
+    ).set(1)
+
+
+obs_metrics.registry().register_collector(_collect_build_info)
 
 
 def _collect_cache_metrics() -> None:
@@ -448,7 +479,63 @@ def _simulate(req: SimulateRequest) -> SimulateResponse:
 
 def _metrics(req: MetricsRequest) -> MetricsResponse:
     """The registry snapshot — never memoised (it changes per call)."""
-    return MetricsResponse(text=obs_metrics.registry().render())
+    return MetricsResponse(
+        text=obs_metrics.registry().render(
+            prefix=req.filter if req.filter else None
+        )
+    )
+
+
+def _trace(req: TraceRequest) -> TraceResponse:
+    """One retained span tree — never memoised (rings churn)."""
+    if not req.trace_id:
+        raise ParameterError("trace query needs a trace_id")
+    record = obs_store.trace_store().get(req.trace_id)
+    if record is None:
+        known = obs_store.trace_store().stats()
+        raise ParameterError(
+            f"trace {req.trace_id!r} is not retained "
+            f"({known['recent_traces']} recent / {known['slow_traces']} "
+            f"slow traces in the store)"
+        )
+    return TraceResponse(
+        trace_id=record.trace_id,
+        slow=record.slow,
+        dropped=record.dropped,
+        duration_s=record.duration_s,
+        spans=record.spans,
+    )
+
+
+def _timeseries(req: TimeSeriesRequest) -> TimeSeriesResponse:
+    """Window rollups — never memoised; forces one fresh sample so
+    in-process callers (the CLI without a serving ticker) always have a
+    current point to roll up against."""
+    if req.window_s <= 0.0:
+        raise ParameterError(
+            f"window_s must be positive, got {req.window_s!r}"
+        )
+    rec = obs_store.recorder()
+    rec.sample()
+    rollup = rec.rollup(req.window_s, prefix=req.prefix)
+    return TimeSeriesResponse(
+        window_s=rollup.window_s,
+        samples=rollup.samples,
+        span_s=rollup.span_s,
+        series=rollup.series,
+    )
+
+
+def _alerts(req: AlertsRequest) -> AlertsResponse:
+    """SLO rule evaluation — never memoised; samples first so rules see
+    the registry as of now even without a serving ticker."""
+    obs_store.recorder().sample()
+    states = obs_slo.engine().evaluate()
+    return AlertsResponse(
+        firing=sum(1 for s in states if s.state == "firing"),
+        pending=sum(1 for s in states if s.state == "pending"),
+        alerts=states,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -463,11 +550,19 @@ def _error_item(exc: ReproError) -> BatchItem:
 
 
 def _run_item(item: WireRecord) -> BatchItem:
-    """One non-grouped batch item through the ordinary dispatch path."""
+    """One non-grouped batch item through the ordinary dispatch path.
+
+    The per-item span nests under the batch's ``dispatch.batch`` span
+    (same trace id), so a batch renders as one waterfall with a child
+    per slot instead of disconnected fragments.
+    """
     try:
-        if type(item) in _UNCACHED:
-            return BatchItem(ok=True, response=_HANDLERS[type(item)](item))
-        return BatchItem(ok=True, response=_dispatch_cached(item))
+        with span(f"batch.{item.op}"):
+            if type(item) in _UNCACHED:
+                return BatchItem(
+                    ok=True, response=_HANDLERS[type(item)](item)
+                )
+            return BatchItem(ok=True, response=_dispatch_cached(item))
     except ReproError as exc:
         return _error_item(exc)
 
@@ -559,7 +654,9 @@ def _batch(req: BatchRequest) -> BatchResponse:
         else:
             results[i] = _run_item(item)
     for indices in groups.values():
-        answers = _solve_constraint_group([req.items[i] for i in indices])
+        group = [req.items[i] for i in indices]
+        with span(f"batch.{group[0].op}"):
+            answers = _solve_constraint_group(group)
         for i, answer in zip(indices, answers):
             results[i] = answer
     for item, result in zip(req.items, results):
@@ -582,10 +679,15 @@ _HANDLERS = {
     SimulateRequest: _simulate,
     BatchRequest: _batch,
     MetricsRequest: _metrics,
+    TraceRequest: _trace,
+    TimeSeriesRequest: _timeseries,
+    AlertsRequest: _alerts,
 }
 
 #: request types whose answers change over time — never memoised.
-_UNCACHED = frozenset({MetricsRequest})
+_UNCACHED = frozenset(
+    {MetricsRequest, TraceRequest, TimeSeriesRequest, AlertsRequest}
+)
 
 
 @lru_cache(maxsize=RESPONSE_CACHE_SIZE)
@@ -622,9 +724,13 @@ def dispatch(request: WireRecord) -> Response:
         )
     t0 = time.perf_counter()
     try:
-        if type(request) in _UNCACHED:
-            return _HANDLERS[type(request)](request)
-        return _dispatch_cached(request)
+        # the dispatch span is every trace's root: when a trace id is
+        # active (HTTP request, CLI invocation), engine spans underneath
+        # (grid.evaluate, sim.run, batch.*) nest under it in the store
+        with span(f"dispatch.{request.op}"):
+            if type(request) in _UNCACHED:
+                return _HANDLERS[type(request)](request)
+            return _dispatch_cached(request)
     except Exception as exc:
         _DISPATCH_ERRORS.labels(request.op, type(exc).__name__).inc()
         raise
@@ -658,11 +764,17 @@ def cache_stats_payload() -> dict[str, dict[str, int]]:
     ``repro cache-stats --json`` prints.
     """
     info = cache_info()
+    recorder = obs_store.recorder()
     return {
         "responses": dict(info["responses"]._asdict()),
         "models": dict(info["models"]._asdict()),
         "spaces": dict(info["spaces"]._asdict()),
         "grid_store": dict(info["grid_store"]),
+        "trace_store": obs_store.trace_store().stats(),
+        "timeseries": {
+            "samples": len(recorder),
+            "capacity": recorder.capacity,
+        },
     }
 
 

@@ -38,6 +38,8 @@ from repro.federation.registry import ShardSpec
 from repro.federation.router import ShardPlan
 from repro.hetero.solve import HeteroRecommendation, PolicyGap
 from repro.hetero.space import PoolChoice, PoolSpec
+from repro.obs.slo import AlertState
+from repro.obs.store import SeriesSummary, SpanNode
 from repro.optimize.budget import Recommendation
 from repro.optimize.contour import ContourPoint
 from repro.optimize.schedule import Assignment, Job
@@ -62,7 +64,13 @@ from repro.sim.site import ScenarioSpec
 #: v6: the ``simulate`` operation — discrete-event site simulation with
 #: nested ``ScenarioSpec``/``DemandSpec``/``SloSpec`` on the request and
 #: ``SimReport``/``SimEvent`` records on the response.
-API_VERSION = 6
+#: v7: retained telemetry — the ``trace`` operation (a stored span tree
+#: as nested ``SpanNode`` records), the ``timeseries`` operation
+#: (rolling-window rollups as nested ``SeriesSummary`` records), the
+#: ``alerts`` operation (SLO rule evaluations as nested ``AlertState``
+#: records, also served at ``GET /alerts``), and the optional
+#: ``filter`` field on ``metrics`` requests.
+API_VERSION = 7
 
 # ---------------------------------------------------------------------------
 # Field coercers — the "typed" in typed facade
@@ -283,6 +291,31 @@ _SHARD_LOAD = _nested(
         "shard": _str, "allocation_w": _float, "jobs": _int,
         "utilization": _float, "mean_queue_depth": _float,
         "max_queue_depth": _int, "peak_power_w": _float, "energy_j": _float,
+    },
+)
+_SPAN_NODE = _nested(
+    SpanNode,
+    {
+        "span_id": _int, "parent_id": _optional(_int), "name": _str,
+        "start_s": _float, "duration_s": _float,
+    },
+)
+_SERIES_SUMMARY = _nested(
+    SeriesSummary,
+    {
+        "name": _str, "kind": _str, "labels": _str, "samples": _int,
+        "last": _float, "rate_per_s": _optional(_float),
+        "minimum": _optional(_float), "maximum": _optional(_float),
+        "mean": _optional(_float), "p50_s": _optional(_float),
+        "p95_s": _optional(_float), "p99_s": _optional(_float),
+    },
+)
+_ALERT_STATE = _nested(
+    AlertState,
+    {
+        "rule": _str, "kind": _str, "state": _str, "value": _float,
+        "threshold": _float, "window_s": _float, "for_s": _float,
+        "breached_for_s": _float, "detail": _str,
     },
 )
 _SIM_REPORT = _nested(
@@ -642,13 +675,17 @@ class HeteroRequest(WireRecord):
 class MetricsRequest(WireRecord):
     """A snapshot of the process metrics registry (``repro metrics``).
 
-    Carries no parameters; the response's ``text`` is the Prometheus
-    exposition body — byte-identical to what ``GET /metrics`` serves
-    from the same process at the same instant.
+    The response's ``text`` is the Prometheus exposition body —
+    byte-identical to what ``GET /metrics`` serves from the same
+    process at the same instant.  ``filter`` (``--filter`` on the CLI)
+    subsets the exposition to families whose name starts with it; the
+    empty default returns everything.
     """
 
     op: ClassVar[str] = "metrics"
-    coercers: ClassVar[dict[str, Coercer]] = {}
+    coercers: ClassVar[dict[str, Coercer]] = {"filter": _str}
+
+    filter: str = ""
 
 
 @dataclass(frozen=True)
@@ -671,6 +708,47 @@ class SimulateRequest(WireRecord):
 
     scenario: ScenarioSpec = ScenarioSpec()
     include_events: bool = False
+
+
+@dataclass(frozen=True)
+class TraceRequest(WireRecord):
+    """Query one retained trace as a span tree (``repro trace <id>``).
+
+    ``trace_id`` is the id stamped on the request's response headers /
+    error payloads (or printed by the CLI); the trace must still be in
+    the store's recent or slow ring.
+    """
+
+    op: ClassVar[str] = "trace"
+    coercers: ClassVar[dict[str, Coercer]] = {"trace_id": _str}
+
+    trace_id: str = ""
+
+
+@dataclass(frozen=True)
+class TimeSeriesRequest(WireRecord):
+    """Rolling-window rollups of the retained metric time series.
+
+    ``window_s`` bounds how far back the rollup looks; ``prefix``
+    subsets the (large) series list by metric-name prefix, mirroring
+    ``metrics.filter``.
+    """
+
+    op: ClassVar[str] = "timeseries"
+    coercers: ClassVar[dict[str, Coercer]] = {
+        "window_s": _float, "prefix": _str,
+    }
+
+    window_s: float = 60.0
+    prefix: str = ""
+
+
+@dataclass(frozen=True)
+class AlertsRequest(WireRecord):
+    """Evaluate every SLO rule right now (``repro alerts``)."""
+
+    op: ClassVar[str] = "alerts"
+    coercers: ClassVar[dict[str, Coercer]] = {}
 
 
 def _sub_request(value: Any) -> "WireRecord":
@@ -953,6 +1031,61 @@ class SimulateResponse(Response):
 
     report: SimReport
     events: tuple[SimEvent, ...]
+
+
+@dataclass(frozen=True)
+class TraceResponse(Response):
+    """One retained span tree, offsets relative to the trace start.
+
+    ``slow`` marks traces pinned by the slow ring; ``dropped`` counts
+    spans beyond the per-trace cap; ``duration_s`` is the extent of the
+    whole tree (latest span end minus earliest span start).
+    """
+
+    op: ClassVar[str] = "trace"
+    coercers: ClassVar[dict[str, Coercer]] = {
+        "trace_id": _str, "slow": _bool, "dropped": _int,
+        "duration_s": _float, "spans": _tuple_of(_SPAN_NODE),
+    }
+
+    trace_id: str
+    slow: bool
+    dropped: int
+    duration_s: float
+    spans: tuple[SpanNode, ...]
+
+
+@dataclass(frozen=True)
+class TimeSeriesResponse(Response):
+    """Window rollups: one :class:`~repro.obs.store.SeriesSummary` per
+    metric child, plus how much retained history backed them
+    (``samples`` snapshots spanning ``span_s`` seconds)."""
+
+    op: ClassVar[str] = "timeseries"
+    coercers: ClassVar[dict[str, Coercer]] = {
+        "window_s": _float, "samples": _int, "span_s": _float,
+        "series": _tuple_of(_SERIES_SUMMARY),
+    }
+
+    window_s: float
+    samples: int
+    span_s: float
+    series: tuple[SeriesSummary, ...]
+
+
+@dataclass(frozen=True)
+class AlertsResponse(Response):
+    """Every SLO rule's current state, with firing/pending rollup counts."""
+
+    op: ClassVar[str] = "alerts"
+    coercers: ClassVar[dict[str, Coercer]] = {
+        "firing": _int, "pending": _int,
+        "alerts": _tuple_of(_ALERT_STATE),
+    }
+
+    firing: int
+    pending: int
+    alerts: tuple[AlertState, ...]
 
 
 @dataclass(frozen=True)

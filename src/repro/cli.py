@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Twelve commands cover the everyday workflows:
+Fifteen commands cover the everyday workflows:
 
 * ``evaluate``  — EE/EEF/energy at one (benchmark, cluster, p, f, class)
 * ``sweep``     — the EE-vs-p table for a benchmark
@@ -20,7 +20,12 @@ Twelve commands cover the everyday workflows:
 * ``cache-stats`` — the serving-side memo-layer census (responses,
   models, grid store)
 * ``metrics``   — the process-wide observability registry in Prometheus
-  text exposition (``--json`` wraps it in the ``metrics`` op payload)
+  text exposition (``--json`` wraps it in the ``metrics`` op payload;
+  ``--filter`` subsets by metric-name prefix)
+* ``trace``     — one retained request trace as an ASCII span waterfall
+* ``timeseries`` — rolling-window rollups (rates, percentiles) of the
+  retained metric time series
+* ``alerts``    — the SLO rules evaluated into ok/pending/firing states
 * ``serve``     — the asyncio HTTP/JSON API over the same operations
 
 Every query command builds a typed :mod:`repro.api` request, routes it
@@ -42,6 +47,7 @@ import numpy as np
 from repro.analysis.report import ascii_heatmap, ascii_table, format_si
 from repro.api.service import cache_info, cache_stats_payload, dispatch
 from repro.api.types import (
+    AlertsRequest,
     BatchRequest,
     BudgetQuery,
     DeadlineQuery,
@@ -54,6 +60,8 @@ from repro.api.types import (
     SimulateRequest,
     SurfaceRequest,
     SweepRequest,
+    TimeSeriesRequest,
+    TraceRequest,
     ValidateRequest,
 )
 from repro.api.types import HeteroRequest
@@ -660,16 +668,94 @@ def cmd_cache_stats(args) -> int:
                          f"{store['hetero_entries']} grids, "
                          f"{store['hetero_bytes']} bytes"),
     ]
+    retained = cache_stats_payload()
+    traces, series = retained["trace_store"], retained["timeseries"]
+    rows.append((
+        "trace store",
+        f"{traces['recent_traces']}/{traces['max_traces']} recent + "
+        f"{traces['slow_traces']}/{traces['max_slow']} slow traces, "
+        f"{traces['recent_spans'] + traces['slow_spans']} spans",
+    ))
+    rows.append((
+        "timeseries",
+        f"{series['samples']}/{series['capacity']} snapshots",
+    ))
     print(ascii_table(["layer", "statistics"], rows))
     return 0
 
 
 def cmd_metrics(args) -> int:
-    resp = dispatch(MetricsRequest())
+    resp = dispatch(MetricsRequest(filter=args.filter))
     if args.json:
         return _emit_json([resp])
     # text mode prints the exposition body exactly as GET /metrics would
     print(resp.text, end="")
+    return 0
+
+
+def _fmt_opt(value, digits: int = 6) -> str:
+    """A rollup cell: '-' for undefined, compact fixed-point otherwise."""
+    return "-" if value is None else f"{value:.{digits}g}"
+
+
+def cmd_trace(args) -> int:
+    resp = dispatch(TraceRequest(trace_id=args.trace_id))
+    if args.json:
+        return _emit_json([resp])
+    from repro.obs.store import TraceRecord, render_waterfall
+
+    record = TraceRecord(
+        trace_id=resp.trace_id, slow=resp.slow, dropped=resp.dropped,
+        duration_s=resp.duration_s, spans=resp.spans,
+    )
+    print(render_waterfall(record))
+    return 0
+
+
+def cmd_timeseries(args) -> int:
+    resp = dispatch(
+        TimeSeriesRequest(window_s=args.window, prefix=args.prefix)
+    )
+    if args.json:
+        return _emit_json([resp])
+    print(
+        f"rollup over the last {resp.window_s:g} s "
+        f"({resp.samples} snapshots spanning {resp.span_s:.1f} s)"
+    )
+    rows = [
+        (
+            f"{s.name}{s.labels}", s.kind, _fmt_opt(s.last),
+            _fmt_opt(s.rate_per_s, 4), _fmt_opt(s.mean, 4),
+            _fmt_opt(s.p95_s, 4), _fmt_opt(s.p99_s, 4),
+        )
+        for s in resp.series
+    ]
+    print(ascii_table(
+        ["series", "kind", "last", "rate/s", "mean", "p95", "p99"], rows
+    ))
+    return 0
+
+
+def cmd_alerts(args) -> int:
+    resp = dispatch(AlertsRequest())
+    if args.json:
+        return _emit_json([resp])
+    print(
+        f"{resp.firing} firing, {resp.pending} pending, "
+        f"{len(resp.alerts) - resp.firing - resp.pending} ok"
+    )
+    rows = [
+        (
+            a.rule, a.kind, a.state, f"{a.value:.6g}", f"{a.threshold:g}",
+            f"{a.window_s:g}", f"{a.for_s:g}", f"{a.breached_for_s:.1f}",
+        )
+        for a in resp.alerts
+    ]
+    print(ascii_table(
+        ["rule", "kind", "state", "value", "threshold", "window (s)",
+         "for (s)", "breached (s)"],
+        rows,
+    ))
     return 0
 
 
@@ -682,7 +768,8 @@ def cmd_serve(args) -> int:
     configure_logging(json_lines=args.log_json)
     set_slow_threshold_ms(args.slow_ms)
     return serve(host=args.host, port=args.port,
-                 max_concurrency=args.max_concurrency)
+                 max_concurrency=args.max_concurrency,
+                 sample_every_s=args.sample_every)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -884,9 +971,42 @@ def build_parser() -> argparse.ArgumentParser:
         "metrics",
         help="dump the observability registry (Prometheus text format)",
     )
+    p_met.add_argument(
+        "--filter", default="", metavar="PREFIX",
+        help="only families whose name starts with this prefix",
+    )
     p_met.add_argument("--json", action="store_true",
                        help="emit the 'metrics' op response payload as JSON")
     p_met.set_defaults(func=cmd_metrics)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="render one retained request trace as an ASCII waterfall",
+    )
+    p_trace.add_argument("trace_id", help="the trace id to look up")
+    p_trace.add_argument("--json", action="store_true",
+                         help="emit the 'trace' op response payload as JSON")
+    p_trace.set_defaults(func=cmd_trace)
+
+    p_ts = sub.add_parser(
+        "timeseries",
+        help="rolling-window rollups of the retained metric time series",
+    )
+    p_ts.add_argument("--window", type=float, default=60.0, metavar="S",
+                      help="rollup window in seconds")
+    p_ts.add_argument("--prefix", default="", metavar="PREFIX",
+                      help="only series whose metric name starts with this")
+    p_ts.add_argument("--json", action="store_true",
+                      help="emit the 'timeseries' op response payload as JSON")
+    p_ts.set_defaults(func=cmd_timeseries)
+
+    p_al = sub.add_parser(
+        "alerts",
+        help="evaluate the SLO rules into ok/pending/firing alert states",
+    )
+    p_al.add_argument("--json", action="store_true",
+                      help="emit the 'alerts' op response payload as JSON")
+    p_al.set_defaults(func=cmd_alerts)
 
     p_srv = sub.add_parser(
         "serve", help="HTTP/JSON API server over the same operations"
@@ -905,7 +1025,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_srv.add_argument(
         "--slow-ms", type=float, default=None, metavar="MS",
-        help="WARN on instrumented spans slower than this many milliseconds",
+        help="WARN on instrumented spans slower than this many milliseconds "
+             "and pin their traces in the slow ring",
+    )
+    p_srv.add_argument(
+        "--sample-every", type=float, default=5.0, metavar="S",
+        help="retained-telemetry ticker period (time-series sampling + SLO "
+             "evaluation); 0 disables",
     )
     p_srv.set_defaults(func=cmd_serve)
 

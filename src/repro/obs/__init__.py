@@ -14,7 +14,14 @@ layers, one registry:
   hetero enumeration) feeding per-span duration histograms and an
   optional slow-query log;
 * :mod:`repro.obs.log` — structured stdlib logging (JSON lines under
-  ``repro serve --log-json``) carrying trace_id/op/duration/status.
+  ``repro serve --log-json``) carrying trace_id/op/duration/status;
+* :mod:`repro.obs.store` — *retained* telemetry: a bounded span-tree
+  :class:`~repro.obs.store.TraceStore` (``repro trace <id>`` renders a
+  waterfall) and a :class:`~repro.obs.store.TimeSeriesRecorder` ring of
+  registry snapshots with rolling-window rollups (``repro timeseries``);
+* :mod:`repro.obs.slo` — declarative SLO rules (latency ceilings,
+  error-rate, multiwindow burn-rate, sim-KPI gauges) evaluated into
+  ok/pending/firing alert states (``repro alerts``, ``GET /alerts``).
 
 Instrumentation is near-free by construction:
 ``benchmarks/bench_obs_overhead.py`` holds the span+metrics overhead on
@@ -27,6 +34,7 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     Registry,
+    histogram_quantile,
     registry,
 )
 from repro.obs.trace import (
@@ -37,6 +45,16 @@ from repro.obs.trace import (
     span,
     trace_context,
 )
+from repro.obs.store import (
+    SpanNode,
+    TimeSeriesRecorder,
+    TraceRecord,
+    TraceStore,
+    recorder,
+    render_waterfall,
+    trace_store,
+)
+from repro.obs.slo import AlertState, SloEngine, SloRule, default_rules, engine
 from repro.obs.log import configure as configure_logging
 from repro.obs.log import get_logger
 
@@ -46,6 +64,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "Registry",
+    "histogram_quantile",
     "registry",
     "current_trace_id",
     "ensure_trace_id",
@@ -53,6 +72,16 @@ __all__ = [
     "set_slow_threshold_ms",
     "span",
     "trace_context",
-    "configure_logging",
-    "get_logger",
+    "SpanNode",
+    "TimeSeriesRecorder",
+    "TraceRecord",
+    "TraceStore",
+    "recorder",
+    "render_waterfall",
+    "trace_store",
+    "AlertState",
+    "SloEngine",
+    "SloRule",
+    "default_rules",
+    "engine",
 ]

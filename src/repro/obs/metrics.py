@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import math
 import threading
-from typing import Callable, Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Mapping, NamedTuple, Sequence
 
 from repro.errors import ParameterError
 
@@ -75,6 +75,68 @@ def _label_suffix(labelnames: Sequence[str], values: Sequence[str]) -> str:
         for name, value in zip(labelnames, values)
     )
     return "{" + inner + "}"
+
+
+def label_string(labelnames: Sequence[str], values: Sequence[str]) -> str:
+    """The exposition-style label suffix (``{a="x",b="y"}`` or ``""``).
+
+    The display form the retained time-series layer uses to name one
+    child, so a series in ``repro timeseries`` output matches the line
+    a scrape of ``/metrics`` would show.
+    """
+    return _label_suffix(labelnames, values)
+
+
+class Sample(NamedTuple):
+    """One child's state at one instant (see :meth:`Registry.snapshot`).
+
+    ``value`` is the counter/gauge value; for histograms it is the
+    observation *count*, with ``sum``/``counts``/``buckets`` carrying
+    the distribution (per-bucket, non-cumulative — observations above
+    the top bucket appear only in ``value``).
+    """
+
+    kind: str
+    labelnames: tuple[str, ...]
+    labels: tuple[str, ...]
+    value: float
+    sum: float
+    counts: tuple[int, ...]
+    buckets: tuple[float, ...]
+
+
+def histogram_quantile(
+    buckets: Sequence[float],
+    counts: Sequence[int],
+    total: int,
+    q: float,
+) -> float:
+    """Estimate the ``q``-quantile from per-bucket (delta) counts.
+
+    The Prometheus ``histogram_quantile`` estimator: find the bucket the
+    target rank lands in and interpolate linearly inside it (from the
+    previous bucket's upper bound).  ``counts`` are non-cumulative and
+    may be a *delta* between two snapshots — that is the whole point:
+    percentiles over a rolling window come from subtracting ring
+    samples, never from retaining raw observations.  Ranks beyond the
+    top finite bucket clamp to its bound.  Returns 0.0 when ``total``
+    is not positive.
+    """
+    if not 0.0 < q < 1.0:
+        raise ParameterError(f"quantile must be in (0, 1), got {q!r}")
+    if total <= 0:
+        return 0.0
+    target = q * total
+    cumulative = 0.0
+    prev_bound = 0.0
+    for bound, count in zip(buckets, counts):
+        if count > 0:
+            cumulative += count
+            if cumulative >= target:
+                inside = target - (cumulative - count)
+                return prev_bound + (bound - prev_bound) * inside / count
+        prev_bound = bound
+    return float(buckets[-1])
 
 
 class _Child:
@@ -387,8 +449,13 @@ class Registry:
         )
         return 0.0 if child is None else child.value  # type: ignore[union-attr]
 
-    def render(self) -> str:
-        """The full Prometheus text exposition of every family."""
+    def render(self, *, prefix: str | None = None) -> str:
+        """The Prometheus text exposition of every family.
+
+        ``prefix`` subsets the output to families whose name starts with
+        it (``repro metrics --filter``) — collectors still run, so the
+        filtered view stays as fresh as the full one.
+        """
         with self._lock:
             collectors = list(self._collectors)
             families = sorted(self._families.values(), key=lambda f: f.name)
@@ -396,10 +463,50 @@ class Registry:
             fn()
         lines: list[str] = []
         for family in families:
+            if prefix is not None and not family.name.startswith(prefix):
+                continue
             lines.append(f"# HELP {family.name} {family.help}")
             lines.append(f"# TYPE {family.name} {family.kind}")
             lines.extend(family.render())  # type: ignore[union-attr]
         return "\n".join(lines) + "\n"
+
+    def snapshot(self, *, run_collectors: bool = True) -> dict[
+        tuple[str, tuple[str, ...]], Sample
+    ]:
+        """Every child's state right now, keyed ``(name, label values)``.
+
+        The snapshot-delta primitive behind the retained time-series
+        layer: a :class:`~repro.obs.store.TimeSeriesRecorder` stores
+        one of these per tick, and rolling-window rates / percentiles
+        come from subtracting two of them (see
+        :func:`histogram_quantile`).  Collectors run first by default so
+        re-exported gauges (grid store, dispatch caches) are current.
+        """
+        with self._lock:
+            collectors = list(self._collectors)
+            families = list(self._families.values())
+        if run_collectors:
+            for fn in collectors:
+                fn()
+        out: dict[tuple[str, tuple[str, ...]], Sample] = {}
+        for family in families:
+            for values, child in family._snapshot():
+                if isinstance(child, _HistogramChild):
+                    with child._lock:
+                        counts = tuple(child.counts)
+                        total = child.count
+                        vsum = child.sum
+                    sample = Sample(
+                        family.kind, family.labelnames, values,
+                        float(total), vsum, counts, family.buckets,  # type: ignore[attr-defined]
+                    )
+                else:
+                    sample = Sample(
+                        family.kind, family.labelnames, values,
+                        float(child.value), 0.0, (), (),  # type: ignore[union-attr]
+                    )
+                out[(family.name, values)] = sample
+        return out
 
     def reset(self) -> None:
         """Drop every family and collector (test isolation only)."""

@@ -1,0 +1,335 @@
+"""Declarative SLO rules evaluated against the retained time series.
+
+An :class:`SloRule` names a metric, a rule kind, and a threshold; the
+:class:`SloEngine` evaluates every rule against the
+:class:`~repro.obs.store.TimeSeriesRecorder` ring into one
+:class:`AlertState` each — ``ok``, ``pending`` (breached but not yet
+sustained for ``for_s``), or ``firing``.  Four rule kinds cover the
+serving stack's SLOs:
+
+* ``latency`` — a percentile of a histogram's *window delta* (p99 of
+  the last 5 min, not of all time) against a ceiling in seconds;
+* ``error_rate`` — Δnumerator / Δdenominator over the window (0.0 when
+  there was no traffic: an idle service is not failing);
+* ``burn_rate`` — the Google SRE multiwindow form: the error ratio
+  divided by the error budget ``1 - objective``, taken over a short
+  *and* a long window, alerting on the minimum of the two burns so a
+  brief blip (fails the long window) and a slow bleed (fails the short
+  window) are both filtered;
+* ``gauge`` — the newest sampled value of a gauge against a ceiling
+  (e.g. SLO violations counted by the last ``repro.sim`` run).
+
+Everything is computed from registry snapshots already retained by the
+recorder — evaluation allocates nothing per observation and needs no
+extra sampling beyond the serving ticker.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+from repro.obs.metrics import histogram_quantile
+from repro.obs.store import TimeSeriesRecorder, recorder as _default_recorder
+
+__all__ = [
+    "RULE_KINDS",
+    "SloRule",
+    "AlertState",
+    "SloEngine",
+    "default_rules",
+    "engine",
+]
+
+RULE_KINDS = ("latency", "error_rate", "burn_rate", "gauge")
+
+
+@dataclass(frozen=True, slots=True)
+class SloRule:
+    """One declarative SLO: *metric, condition, how long to tolerate it*.
+
+    ``labels`` filters metric children by ``(name, value)`` pairs (a
+    child matches when every pair is present).  ``denominator`` names
+    the traffic metric for ratio kinds.  ``for_s`` is the sustain
+    duration before a breach escalates from ``pending`` to ``firing``
+    (0 fires immediately).
+    """
+
+    name: str
+    kind: str
+    metric: str
+    threshold: float
+    denominator: str = ""
+    labels: tuple[tuple[str, str], ...] = ()
+    percentile: float = 0.99
+    window_s: float = 300.0
+    long_window_s: float = 3600.0
+    objective: float = 0.999
+    for_s: float = 0.0
+
+    def validate(self) -> None:
+        if self.kind not in RULE_KINDS:
+            raise ParameterError(
+                f"rule {self.name!r}: kind must be one of {RULE_KINDS}, "
+                f"got {self.kind!r}"
+            )
+        if not self.metric:
+            raise ParameterError(f"rule {self.name!r}: metric is required")
+        if self.kind in ("error_rate", "burn_rate") and not self.denominator:
+            raise ParameterError(
+                f"rule {self.name!r}: {self.kind} needs a denominator metric"
+            )
+        if self.kind == "latency" and not 0.0 < self.percentile < 1.0:
+            raise ParameterError(
+                f"rule {self.name!r}: percentile must be in (0, 1)"
+            )
+        if self.kind == "burn_rate" and not 0.0 < self.objective < 1.0:
+            raise ParameterError(
+                f"rule {self.name!r}: objective must be in (0, 1)"
+            )
+        if self.window_s <= 0.0 or self.for_s < 0.0:
+            raise ParameterError(
+                f"rule {self.name!r}: window_s must be > 0 and for_s >= 0"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class AlertState:
+    """One rule's evaluation: where it stands and for how long."""
+
+    rule: str
+    kind: str
+    state: str  # "ok" | "pending" | "firing"
+    value: float
+    threshold: float
+    window_s: float
+    for_s: float
+    breached_for_s: float
+    detail: str
+
+
+def _matches(rule_labels, labelnames, labelvalues) -> bool:
+    if not rule_labels:
+        return True
+    pairs = dict(zip(labelnames, labelvalues))
+    return all(pairs.get(k) == v for k, v in rule_labels)
+
+
+class SloEngine:
+    """Evaluates a rule set against the recorder ring, with memory.
+
+    The only mutable state is when each rule's current breach *started*
+    (for the pending→firing escalation); everything else is recomputed
+    from retained snapshots on every :meth:`evaluate`.
+    """
+
+    def __init__(
+        self,
+        recorder: TimeSeriesRecorder | None = None,
+        rules: tuple[SloRule, ...] | None = None,
+    ) -> None:
+        self._recorder = (
+            recorder if recorder is not None else _default_recorder()
+        )
+        self.rules = tuple(rules) if rules is not None else default_rules()
+        for rule in self.rules:
+            rule.validate()
+        self._lock = threading.Lock()
+        self._since: dict[str, float] = {}
+
+    # -- window aggregation ------------------------------------------------------
+
+    def _window_delta(
+        self, metric: str, labels, window_s: float, now: float
+    ):
+        """Δvalue, Δsum, Δcounts, buckets across matching children.
+
+        Sums over every child of ``metric`` passing the label filter,
+        subtracting the window's oldest snapshot from its newest (a
+        child absent from the oldest contributes its full value — it
+        was born inside the window).
+        """
+        window = self._recorder.samples_in(window_s, now=now)
+        if not window:
+            return 0.0, 0.0, (), ()
+        _, first = window[0]
+        _, last = window[-1]
+        dvalue = 0.0
+        dsum = 0.0
+        dcounts: list[float] = []
+        buckets: tuple[float, ...] = ()
+        for key, cur in last.items():
+            name, _ = key
+            if name != metric:
+                continue
+            if not _matches(labels, cur.labelnames, cur.labels):
+                continue
+            old = first.get(key)
+            dvalue += cur.value - (old.value if old else 0.0)
+            dsum += cur.sum - (old.sum if old else 0.0)
+            if cur.counts:
+                buckets = cur.buckets
+                oc = old.counts if old is not None and old.counts else (
+                    (0,) * len(cur.counts)
+                )
+                if not dcounts:
+                    dcounts = [0.0] * len(cur.counts)
+                for i, (c, o) in enumerate(zip(cur.counts, oc)):
+                    dcounts[i] += c - o
+        return dvalue, dsum, tuple(dcounts), buckets
+
+    def _error_ratio(self, rule: SloRule, window_s: float, now: float) -> float:
+        derr, _, _, _ = self._window_delta(
+            rule.metric, rule.labels, window_s, now
+        )
+        dtotal, _, _, _ = self._window_delta(
+            rule.denominator, (), window_s, now
+        )
+        if dtotal <= 0.0:
+            return 0.0
+        return max(0.0, derr) / dtotal
+
+    # -- evaluation --------------------------------------------------------------
+
+    def _value(self, rule: SloRule, now: float) -> tuple[float, str]:
+        if rule.kind == "latency":
+            dcount, _, dcounts, buckets = self._window_delta(
+                rule.metric, rule.labels, rule.window_s, now
+            )
+            if dcount <= 0 or not buckets:
+                return 0.0, "no observations in window"
+            in_buckets = int(sum(dcounts))
+            if in_buckets <= 0:
+                value = float(buckets[-1])
+            else:
+                value = histogram_quantile(
+                    buckets, dcounts, in_buckets, rule.percentile
+                )
+            return value, (
+                f"p{rule.percentile * 100:g} of {int(dcount)} obs "
+                f"over {rule.window_s:g}s"
+            )
+        if rule.kind == "error_rate":
+            ratio = self._error_ratio(rule, rule.window_s, now)
+            return ratio, f"error ratio over {rule.window_s:g}s"
+        if rule.kind == "burn_rate":
+            budget = 1.0 - rule.objective
+            short = self._error_ratio(rule, rule.window_s, now) / budget
+            long_ = self._error_ratio(rule, rule.long_window_s, now) / budget
+            return min(short, long_), (
+                f"min burn over {rule.window_s:g}s/{rule.long_window_s:g}s "
+                f"(objective {rule.objective:g})"
+            )
+        # gauge
+        latest = None
+        window = self._recorder.samples_in(rule.window_s, now=now)
+        if window:
+            _, snap = window[-1]
+            total = 0.0
+            seen = False
+            for key, cur in snap.items():
+                if key[0] != rule.metric:
+                    continue
+                if not _matches(rule.labels, cur.labelnames, cur.labels):
+                    continue
+                total += cur.value
+                seen = True
+            if seen:
+                latest = total
+        if latest is None:
+            return 0.0, "gauge not sampled in window"
+        return latest, "latest sampled value"
+
+    def evaluate(self, now: float | None = None) -> tuple[AlertState, ...]:
+        """Every rule's current state, in declaration order."""
+        ts = time.monotonic() if now is None else float(now)
+        states: list[AlertState] = []
+        for rule in self.rules:
+            value, detail = self._value(rule, ts)
+            breached = value > rule.threshold
+            with self._lock:
+                if breached:
+                    since = self._since.setdefault(rule.name, ts)
+                    breached_for = ts - since
+                    state = (
+                        "firing" if breached_for >= rule.for_s else "pending"
+                    )
+                else:
+                    self._since.pop(rule.name, None)
+                    breached_for = 0.0
+                    state = "ok"
+            states.append(
+                AlertState(
+                    rule.name, rule.kind, state, value, rule.threshold,
+                    rule.window_s, rule.for_s, breached_for, detail,
+                )
+            )
+        return tuple(states)
+
+    def reset(self) -> None:
+        """Forget breach start times (test isolation)."""
+        with self._lock:
+            self._since.clear()
+
+
+def default_rules() -> tuple[SloRule, ...]:
+    """The serving stack's built-in SLOs.
+
+    The sim rule is the acceptance hinge: a seeded ``repro.sim`` run
+    with an impossible SLO sets ``repro_sim_last_run_slo_violations``
+    above 0 and the alert fires on the next evaluation.
+    """
+    return (
+        SloRule(
+            name="http-latency-p99",
+            kind="latency",
+            metric="repro_http_request_duration_seconds",
+            percentile=0.99,
+            threshold=2.5,
+            window_s=300.0,
+        ),
+        SloRule(
+            name="http-error-rate",
+            kind="error_rate",
+            metric="repro_http_errors_total",
+            denominator="repro_http_requests_total",
+            threshold=0.05,
+            window_s=300.0,
+            for_s=60.0,
+        ),
+        SloRule(
+            name="http-availability-burn",
+            kind="burn_rate",
+            metric="repro_http_errors_total",
+            denominator="repro_http_requests_total",
+            objective=0.999,
+            threshold=14.4,
+            window_s=300.0,
+            long_window_s=3600.0,
+            for_s=60.0,
+        ),
+        SloRule(
+            name="sim-slo-violations",
+            kind="gauge",
+            metric="repro_sim_last_run_slo_violations",
+            threshold=0.0,
+            window_s=3600.0,
+            for_s=0.0,
+        ),
+    )
+
+
+_ENGINE: SloEngine | None = None
+_ENGINE_LOCK = threading.Lock()
+
+
+def engine() -> SloEngine:
+    """The process-wide engine over the default recorder and rules."""
+    global _ENGINE
+    if _ENGINE is None:
+        with _ENGINE_LOCK:
+            if _ENGINE is None:
+                _ENGINE = SloEngine()
+    return _ENGINE

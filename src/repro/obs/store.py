@@ -1,0 +1,484 @@
+"""Retained telemetry: span-tree traces and metric time-series rings.
+
+PR 6's observability is point-in-time — a scrape shows totals, a slow
+request's span breakdown is gone the moment it logs.  This module keeps
+a bounded, queryable history of both, dependency-free and thread-safe:
+
+* :class:`TraceStore` — every :func:`repro.obs.trace.span` that closes
+  inside an active trace records one :class:`SpanNode` (with its parent
+  span id, so a trace is a *tree*).  The store keeps a FIFO ring of the
+  last N traces plus a separate ring of *slow* traces (any span beyond
+  the ``--slow-ms`` threshold pins its whole trace), each bounded, with
+  a per-trace span cap so one runaway request cannot eat the process.
+  :func:`render_waterfall` turns a retained trace into the ASCII
+  waterfall ``repro trace <id>`` prints.
+* :class:`TimeSeriesRecorder` — samples the metrics registry
+  (:meth:`repro.obs.metrics.Registry.snapshot`) on a ticker into a
+  fixed-size ring, and computes rolling-window rollups purely from
+  snapshot *deltas*: counter rates, gauge min/max/mean, histogram
+  p50/p95/p99 via :func:`repro.obs.metrics.histogram_quantile`.  Raw
+  observations are never retained — memory is O(children × capacity).
+
+Both stores export their own occupancy as gauges (ring sizes, span
+counts, sample counts) so the retention layer is itself observable.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Iterable, NamedTuple
+
+from repro.obs import metrics
+from repro.obs.metrics import Sample, histogram_quantile, label_string
+
+__all__ = [
+    "SpanNode",
+    "TraceRecord",
+    "TraceStore",
+    "SeriesSummary",
+    "RollupResult",
+    "TimeSeriesRecorder",
+    "render_waterfall",
+    "trace_store",
+    "recorder",
+]
+
+
+# ---------------------------------------------------------------------------
+# trace store
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class SpanNode:
+    """One closed span inside a retained trace.
+
+    ``start_s`` is the offset from the trace's earliest span start (not
+    wall time), so a stored trace is self-contained and reproducible in
+    JSON.  ``parent_id`` is ``None`` for root spans.
+    """
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    start_s: float
+    duration_s: float
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """A queryable span tree: what ``repro trace <id>`` renders."""
+
+    trace_id: str
+    slow: bool
+    dropped: int
+    duration_s: float
+    spans: tuple[SpanNode, ...]
+
+
+class _Entry:
+    """Mutable per-trace accumulator (raw perf_counter timestamps)."""
+
+    __slots__ = ("spans", "dropped", "slow")
+
+    def __init__(self) -> None:
+        # (span_id, parent_id, name, t0, duration_s)
+        self.spans: list[tuple[int, int | None, str, float, float]] = []
+        self.dropped = 0
+        self.slow = False
+
+
+class TraceStore:
+    """Bounded, thread-safe retention of span trees per trace id.
+
+    Two FIFO rings: ``recent`` holds the last ``max_traces`` traces of
+    any kind; ``slow`` pins up to ``max_slow`` traces that contained at
+    least one slow span (promotion moves the whole entry, so a slow
+    trace survives recent-ring churn).  Per-trace spans are capped at
+    ``max_spans``; excess spans increment ``dropped`` instead of
+    growing without bound.
+    """
+
+    def __init__(
+        self,
+        max_traces: int = 256,
+        max_slow: int = 64,
+        max_spans: int = 512,
+    ) -> None:
+        self.max_traces = int(max_traces)
+        self.max_slow = int(max_slow)
+        self.max_spans = int(max_spans)
+        self._lock = threading.Lock()
+        self._recent: OrderedDict[str, _Entry] = OrderedDict()
+        self._slow: OrderedDict[str, _Entry] = OrderedDict()
+
+    # -- hot path -----------------------------------------------------------------
+
+    def record(
+        self,
+        trace_id: str,
+        span_id: int,
+        parent_id: int | None,
+        name: str,
+        t0: float,
+        duration_s: float,
+        slow: bool,
+    ) -> None:
+        """Retain one closed span (called from ``span.__exit__``)."""
+        with self._lock:
+            entry = self._slow.get(trace_id)
+            if entry is None:
+                entry = self._recent.get(trace_id)
+                if entry is None:
+                    entry = _Entry()
+                    self._recent[trace_id] = entry
+                    while len(self._recent) > self.max_traces:
+                        self._recent.popitem(last=False)
+            if len(entry.spans) >= self.max_spans:
+                entry.dropped += 1
+            else:
+                entry.spans.append((span_id, parent_id, name, t0, duration_s))
+            if slow and not entry.slow:
+                entry.slow = True
+                self._recent.pop(trace_id, None)
+                self._slow[trace_id] = entry
+                while len(self._slow) > self.max_slow:
+                    self._slow.popitem(last=False)
+
+    # -- queries ------------------------------------------------------------------
+
+    def get(self, trace_id: str) -> TraceRecord | None:
+        """The retained trace as an offset-based span tree, or None."""
+        with self._lock:
+            entry = self._slow.get(trace_id) or self._recent.get(trace_id)
+            if entry is None:
+                return None
+            raw = list(entry.spans)
+            dropped = entry.dropped
+            slow = entry.slow
+        if not raw:
+            return TraceRecord(trace_id, slow, dropped, 0.0, ())
+        base = min(t0 for _, _, _, t0, _ in raw)
+        spans = tuple(
+            sorted(
+                (
+                    SpanNode(sid, pid, name, t0 - base, dur)
+                    for sid, pid, name, t0, dur in raw
+                ),
+                key=lambda s: (s.start_s, s.span_id),
+            )
+        )
+        duration = max(s.start_s + s.duration_s for s in spans)
+        return TraceRecord(trace_id, slow, dropped, duration, spans)
+
+    def trace_ids(self) -> tuple[str, ...]:
+        """Retained ids, slow ring first, each oldest-to-newest."""
+        with self._lock:
+            return tuple(self._slow) + tuple(self._recent)
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "recent_traces": len(self._recent),
+                "slow_traces": len(self._slow),
+                "recent_spans": sum(
+                    len(e.spans) for e in self._recent.values()
+                ),
+                "slow_spans": sum(len(e.spans) for e in self._slow.values()),
+                "max_traces": self.max_traces,
+                "max_slow": self.max_slow,
+                "max_spans": self.max_spans,
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._recent.clear()
+            self._slow.clear()
+
+
+# ---------------------------------------------------------------------------
+# time-series recorder
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class SeriesSummary:
+    """One child's rolling-window rollup (a row of ``repro timeseries``).
+
+    ``labels`` is the exposition-style suffix (``{op="budget"}``) so a
+    row matches the line a scrape of ``/metrics`` would show.  Fields
+    that need two samples (``rate_per_s``) or in-window histogram
+    observations (``mean``/percentiles) are ``None`` when undefined.
+    A dataclass (not a tuple) so the wire encoder emits JSON objects.
+    """
+
+    name: str
+    kind: str
+    labels: str
+    samples: int
+    last: float
+    rate_per_s: float | None
+    minimum: float | None
+    maximum: float | None
+    mean: float | None
+    p50_s: float | None
+    p95_s: float | None
+    p99_s: float | None
+
+
+class RollupResult(NamedTuple):
+    """A window rollup: how much history backed it, plus the rows."""
+
+    window_s: float
+    samples: int
+    span_s: float
+    series: tuple[SeriesSummary, ...]
+
+
+class TimeSeriesRecorder:
+    """Fixed-size ring of registry snapshots with window rollups.
+
+    ``sample()`` is called by the serving ticker (``repro serve
+    --sample-every``) and forced once by the ``timeseries``/``alerts``
+    ops so in-process CLI calls always have at least one point.
+    """
+
+    def __init__(
+        self,
+        registry: metrics.Registry | None = None,
+        capacity: int = 512,
+    ) -> None:
+        self._registry = registry if registry is not None else metrics.registry()
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._ring: deque[
+            tuple[float, dict[tuple[str, tuple[str, ...]], Sample]]
+        ] = deque(maxlen=self.capacity)
+
+    def sample(self, now: float | None = None) -> float:
+        """Snapshot the registry into the ring; returns the timestamp."""
+        ts = time.monotonic() if now is None else float(now)
+        snap = self._registry.snapshot()
+        with self._lock:
+            self._ring.append((ts, snap))
+        return ts
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+
+    def samples_in(
+        self, window_s: float, now: float | None = None
+    ) -> list[tuple[float, dict[tuple[str, tuple[str, ...]], Sample]]]:
+        """The retained (ts, snapshot) pairs within the window, oldest first."""
+        with self._lock:
+            items = list(self._ring)
+        if not items:
+            return []
+        end = (time.monotonic() if now is None else float(now))
+        cutoff = end - float(window_s)
+        return [item for item in items if item[0] >= cutoff]
+
+    def rollup(
+        self,
+        window_s: float,
+        prefix: str = "",
+        now: float | None = None,
+    ) -> RollupResult:
+        """Rolling-window rollups from snapshot deltas (no raw samples).
+
+        Counters report ``rate_per_s`` = Δvalue / Δt across the window's
+        oldest and newest snapshots; gauges report min/max/mean of the
+        retained points; histograms report a window observation rate,
+        mean, and p50/p95/p99 interpolated from the bucket-count delta.
+        """
+        window = self.samples_in(window_s, now=now)
+        if not window:
+            return RollupResult(float(window_s), 0, 0.0, ())
+        first_ts, first = window[0]
+        last_ts, last = window[-1]
+        span_s = last_ts - first_ts
+        n = len(window)
+        rows: list[SeriesSummary] = []
+        for key in sorted(last):
+            name, values = key
+            if prefix and not name.startswith(prefix):
+                continue
+            cur = last[key]
+            old = first.get(key)
+            labels = label_string(cur.labelnames, cur.labels)
+            rate: float | None = None
+            minimum: float | None = None
+            maximum: float | None = None
+            mean: float | None = None
+            p50 = p95 = p99 = None
+            if cur.kind == "histogram":
+                dcount = cur.value - (old.value if old else 0.0)
+                dsum = cur.sum - (old.sum if old else 0.0)
+                if old is not None and old.counts:
+                    dcounts = tuple(
+                        c - o for c, o in zip(cur.counts, old.counts)
+                    )
+                else:
+                    dcounts = cur.counts
+                if n >= 2 and span_s > 0.0:
+                    rate = dcount / span_s
+                if dcount > 0:
+                    mean = dsum / dcount
+                    in_buckets = sum(dcounts)
+                    p50 = histogram_quantile(
+                        cur.buckets, dcounts, in_buckets, 0.50
+                    ) if in_buckets > 0 else float(cur.buckets[-1])
+                    p95 = histogram_quantile(
+                        cur.buckets, dcounts, in_buckets, 0.95
+                    ) if in_buckets > 0 else float(cur.buckets[-1])
+                    p99 = histogram_quantile(
+                        cur.buckets, dcounts, in_buckets, 0.99
+                    ) if in_buckets > 0 else float(cur.buckets[-1])
+            else:
+                points = [
+                    snap[key].value for _, snap in window if key in snap
+                ]
+                minimum = min(points)
+                maximum = max(points)
+                mean = sum(points) / len(points)
+                if cur.kind == "counter" and n >= 2 and span_s > 0.0:
+                    rate = (cur.value - (old.value if old else 0.0)) / span_s
+            rows.append(
+                SeriesSummary(
+                    name, cur.kind, labels, n, cur.value,
+                    rate, minimum, maximum, mean, p50, p95, p99,
+                )
+            )
+        return RollupResult(float(window_s), n, span_s, tuple(rows))
+
+    def latest(
+        self, name: str, labels: tuple[str, ...] = ()
+    ) -> Sample | None:
+        """The newest retained sample of one child (SLO gauge rules)."""
+        with self._lock:
+            if not self._ring:
+                return None
+            _, snap = self._ring[-1]
+        return snap.get((name, labels))
+
+
+# ---------------------------------------------------------------------------
+# waterfall rendering
+# ---------------------------------------------------------------------------
+
+
+def render_waterfall(record: TraceRecord, width: int = 48) -> str:
+    """The ASCII span-tree waterfall ``repro trace <id>`` prints.
+
+    Children indent under their parent; each bar is positioned by the
+    span's offset within the trace and scaled to its duration.  Spans
+    whose parent was evicted (or capped) render as roots.
+    """
+    header = (
+        f"trace {record.trace_id}  "
+        f"({len(record.spans)} spans, {record.duration_s * 1000.0:.2f} ms"
+    )
+    if record.slow:
+        header += ", slow"
+    if record.dropped:
+        header += f", {record.dropped} spans dropped"
+    header += ")"
+    if not record.spans:
+        return header + "\n  (no spans retained)"
+    ids = {s.span_id for s in record.spans}
+    children: dict[int | None, list[SpanNode]] = {}
+    roots: list[SpanNode] = []
+    for node in record.spans:  # already (start, id)-sorted
+        if node.parent_id is None or node.parent_id not in ids:
+            roots.append(node)
+        else:
+            children.setdefault(node.parent_id, []).append(node)
+
+    ordered: list[tuple[int, SpanNode]] = []
+
+    def _walk(node: SpanNode, depth: int) -> None:
+        ordered.append((depth, node))
+        for child in children.get(node.span_id, ()):
+            _walk(child, depth + 1)
+
+    for root in roots:
+        _walk(root, 0)
+
+    name_w = max(
+        (len(f"{'  ' * d}{s.name}") for d, s in ordered), default=0
+    )
+    name_w = max(name_w, 12)
+    total = record.duration_s
+    lines = [header]
+    for depth, node in ordered:
+        label = f"{'  ' * depth}{node.name}"
+        if total > 0.0:
+            lo = int(node.start_s / total * width)
+            hi = int((node.start_s + node.duration_s) / total * width)
+            lo = min(lo, width - 1)
+            hi = min(max(hi, lo + 1), width)
+        else:
+            lo, hi = 0, width
+        bar = "·" * lo + "█" * (hi - lo) + "·" * (width - hi)
+        lines.append(
+            f"{label:<{name_w}}  |{bar}|  {node.duration_s * 1000.0:>9.3f} ms"
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# process-wide singletons + occupancy gauges
+# ---------------------------------------------------------------------------
+
+
+_TRACE_STORE = TraceStore()
+_RECORDER = TimeSeriesRecorder()
+
+
+def trace_store() -> TraceStore:
+    """The process-wide trace store ``span()`` records into."""
+    return _TRACE_STORE
+
+
+def recorder() -> TimeSeriesRecorder:
+    """The process-wide time-series recorder the ticker samples into."""
+    return _RECORDER
+
+
+def _collect_occupancy() -> None:
+    """Export ring occupancy so the retention layer observes itself."""
+    reg = metrics.registry()
+    stats = _TRACE_STORE.stats()
+    traces = reg.gauge(
+        "repro_trace_store_traces",
+        "Retained traces per ring of the span-tree store.",
+        labelnames=("ring",),
+    )
+    spans_g = reg.gauge(
+        "repro_trace_store_spans",
+        "Retained spans per ring of the span-tree store.",
+        labelnames=("ring",),
+    )
+    traces.labels("recent").set(stats["recent_traces"])
+    traces.labels("slow").set(stats["slow_traces"])
+    spans_g.labels("recent").set(stats["recent_spans"])
+    spans_g.labels("slow").set(stats["slow_spans"])
+    reg.gauge(
+        "repro_timeseries_samples",
+        "Registry snapshots retained in the time-series ring.",
+    ).set(len(_RECORDER))
+    reg.gauge(
+        "repro_timeseries_capacity",
+        "Capacity of the time-series snapshot ring.",
+    ).set(_RECORDER.capacity)
+
+
+metrics.registry().register_collector(_collect_occupancy)

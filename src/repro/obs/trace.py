@@ -20,6 +20,7 @@ carrying the span name, duration, and current trace ID.
 from __future__ import annotations
 
 import contextvars
+import itertools
 import time
 import uuid
 
@@ -35,6 +36,28 @@ SPAN_HISTOGRAM = metrics.registry().histogram(
 _TRACE_ID: contextvars.ContextVar[str | None] = contextvars.ContextVar(
     "repro_trace_id", default=None
 )
+
+#: the span id the *current* context is inside — children read it as
+#: their parent, so nested spans form a tree without any registration.
+_PARENT_SPAN: contextvars.ContextVar[int | None] = contextvars.ContextVar(
+    "repro_parent_span", default=None
+)
+
+_SPAN_IDS = itertools.count(1)
+
+# the TraceStore is imported lazily (repro.obs.store imports metrics,
+# which sits beside this module) and cached so the recording path pays
+# one global read, not an import, per span exit.
+_trace_store = None
+
+
+def _store():
+    global _trace_store
+    if _trace_store is None:
+        from repro.obs.store import trace_store
+
+        _trace_store = trace_store()
+    return _trace_store
 
 #: slow-span threshold in seconds; ``None`` disables the slow log.
 _slow_threshold_s: float | None = None
@@ -100,18 +123,29 @@ class span:
     """``with span("grid.evaluate"):`` — time one hot-path region.
 
     The instance is a plain context manager (no generator machinery);
-    the only hot-path work is two clock reads and one histogram
-    observation.  Exceptions propagate untouched — the duration is
-    recorded either way, so error latencies stay visible.
+    outside a trace the only hot-path work is two clock reads, one
+    contextvar read, and one histogram observation.  Inside a trace
+    (an HTTP request, a CLI invocation) the span additionally links
+    itself under the enclosing span and records into the
+    :class:`~repro.obs.store.TraceStore` on exit, so the request is
+    queryable as a waterfall afterwards.  Exceptions propagate
+    untouched — the duration is recorded either way, so error
+    latencies stay visible.
     """
 
-    __slots__ = ("name", "_child", "_t0")
+    __slots__ = ("name", "_child", "_t0", "_span_id", "_parent_id", "_token")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self._child = SPAN_HISTOGRAM.labels(name)
 
     def __enter__(self) -> "span":
+        if _TRACE_ID.get() is None:
+            self._token = None
+        else:
+            self._parent_id = _PARENT_SPAN.get()
+            self._span_id = next(_SPAN_IDS)
+            self._token = _PARENT_SPAN.set(self._span_id)
         self._t0 = time.perf_counter()
         return self
 
@@ -119,7 +153,17 @@ class span:
         duration = time.perf_counter() - self._t0
         self._child.observe(duration)
         threshold = _slow_threshold_s
-        if threshold is not None and duration >= threshold:
+        slow = threshold is not None and duration >= threshold
+        token = self._token
+        if token is not None:
+            _PARENT_SPAN.reset(token)
+            trace_id = _TRACE_ID.get()
+            if trace_id is not None:
+                _store().record(
+                    trace_id, self._span_id, self._parent_id,
+                    self.name, self._t0, duration, slow,
+                )
+        if slow:
             from repro.obs.log import slow_span
 
             slow_span(self.name, duration)

@@ -67,6 +67,14 @@ _LAST_RUN_EVENTS = obs_registry().gauge(
     "repro_sim_last_run_events",
     "Events in the most recently completed simulation run.",
 )
+_LAST_RUN_SLO_VIOLATIONS = obs_registry().gauge(
+    "repro_sim_last_run_slo_violations",
+    "SLO violations counted by the most recently completed run.",
+)
+_LAST_RUN_REJECTED = obs_registry().gauge(
+    "repro_sim_last_run_rejected",
+    "Arrivals rejected by the most recently completed run.",
+)
 
 
 @dataclass(frozen=True)
@@ -362,4 +370,6 @@ def run_scenario(
         horizon_s=scenario.horizon_s,
         slo=scenario.slo,
     )
+    _LAST_RUN_SLO_VIOLATIONS.set(report.slo_violations)
+    _LAST_RUN_REJECTED.set(report.rejected)
     return SimResult(scenario=scenario, report=report, events=events)

@@ -168,6 +168,155 @@ class TestHealthz:
         assert after["requests_total"] >= before["requests_total"] + 2
 
 
+def _post_with_id(base: str, path: str, body, request_id: str):
+    request = urllib.request.Request(
+        f"{base}{path}", data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json",
+                 "X-Request-Id": request_id},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return response.status, json.loads(response.read())
+
+
+class TestTraceEndpoint:
+    def test_trace_of_a_prior_request(self, live_server):
+        """A served request's X-Request-Id queries back its span tree."""
+        rid = "trace-me-00000001"
+        status, _ = _post_with_id(
+            live_server, "/v1/budget",
+            {"benchmark": "FT", "budget_w": 3100.0}, rid,
+        )
+        assert status == 200
+        status, payload = _post(live_server, "/v1/trace", {"trace_id": rid})
+        assert status == 200
+        assert payload["op"] == "trace" and payload["v"] == API_VERSION
+        assert payload["trace_id"] == rid
+        names = [s["name"] for s in payload["spans"]]
+        assert "dispatch.budget" in names
+        roots = [s for s in payload["spans"] if s["parent_id"] is None]
+        assert len(roots) == 1 and roots[0]["name"] == "dispatch.budget"
+        assert payload["duration_s"] > 0.0
+        assert payload["dropped"] == 0
+
+    def test_batch_spans_land_in_one_waterfall(self, live_server):
+        """Batch items nest under the batch dispatch span — one tree."""
+        rid = "trace-me-batch-01"
+        status, _ = _post_with_id(
+            live_server, "/v1/batch",
+            {"items": [{"op": "evaluate", "p": 8},
+                       {"op": "evaluate", "p": 16}]},
+            rid,
+        )
+        assert status == 200
+        status, payload = _post(live_server, "/v1/trace", {"trace_id": rid})
+        assert status == 200
+        spans = payload["spans"]
+        by_id = {s["span_id"]: s for s in spans}
+        roots = [s for s in spans if s["parent_id"] is None]
+        assert len(roots) == 1 and roots[0]["name"] == "dispatch.batch"
+        items = [s for s in spans if s["name"] == "batch.evaluate"]
+        assert len(items) == 2
+        for item in items:
+            assert by_id[item["parent_id"]]["name"] == "dispatch.batch"
+
+    def test_unknown_trace_is_a_structured_error(self, live_server):
+        status, payload = _post(
+            live_server, "/v1/trace", {"trace_id": "never-served"}
+        )
+        assert status == 400
+        assert payload["error"]["type"] == "ParameterError"
+        assert "not retained" in payload["error"]["message"]
+
+    def test_empty_trace_id_is_rejected(self, live_server):
+        status, payload = _post(live_server, "/v1/trace", {})
+        assert status == 400
+        assert payload["error"]["type"] == "ParameterError"
+
+
+class TestTimeSeriesEndpoint:
+    def test_rollup_round_trip(self, live_server):
+        _post(live_server, "/v1/evaluate", {"p": 16})
+        status, payload = _post(
+            live_server, "/v1/timeseries",
+            {"window_s": 600.0, "prefix": "repro_http"},
+        )
+        assert status == 200
+        assert payload["op"] == "timeseries" and payload["v"] == API_VERSION
+        assert payload["window_s"] == 600.0
+        assert payload["samples"] >= 1
+        names = {s["name"] for s in payload["series"]}
+        assert names  # the handler samples before rolling up
+        assert all(n.startswith("repro_http") for n in names)
+        assert "repro_http_requests_total" in names
+
+    def test_bad_window_is_rejected(self, live_server):
+        status, payload = _post(
+            live_server, "/v1/timeseries", {"window_s": 0.0}
+        )
+        assert status == 400
+        assert payload["error"]["type"] == "ParameterError"
+
+
+class TestAlertsEndpoint:
+    def test_get_route_matches_wire_op(self, live_server):
+        """GET /alerts is the same evaluation as POST /v1/alerts."""
+        get_status, get_payload = _get(live_server, "/alerts")
+        post_status, post_payload = _post(live_server, "/v1/alerts", {})
+        assert get_status == post_status == 200
+        assert get_payload["op"] == post_payload["op"] == "alerts"
+        assert get_payload["v"] == post_payload["v"] == API_VERSION
+        assert set(get_payload) == set(post_payload)
+        names = lambda p: [a["rule"] for a in p["alerts"]]  # noqa: E731
+        assert names(get_payload) == names(post_payload)
+
+    def test_default_rules_cover_the_serving_stack(self, live_server):
+        _, payload = _get(live_server, "/alerts")
+        rules = {a["rule"]: a for a in payload["alerts"]}
+        assert "http-latency-p99" in rules
+        assert "http-error-rate" in rules
+        assert "http-availability-burn" in rules
+        assert "sim-slo-violations" in rules
+        for alert in payload["alerts"]:
+            assert alert["state"] in ("ok", "pending", "firing")
+
+    def test_post_to_alerts_route_is_405(self, live_server):
+        status, payload = _post(live_server, "/alerts", {})
+        assert status == 405
+        assert payload["error"]["type"] == "WireError"
+
+    def test_impossible_slo_sim_drives_firing(self, live_server):
+        """A seeded run that cannot meet its SLO fires the gauge rule."""
+        scenario = {
+            "shards": [
+                {"name": "alpha", "cluster": "systemg", "nodes": 16,
+                 "power_envelope_w": 4000.0},
+            ],
+            "budget_w": 4000.0,
+            "demand": {"kind": "poisson", "rate_per_s": 0.05,
+                       "jobs": [{"name": "ft", "benchmark": "FT",
+                                 "klass": "B"}]},
+            "horizon_s": 400.0,
+            "seed": 42,
+            "slo": {"deadline_s": 0.001},
+        }
+        status, payload = _post(
+            live_server, "/v1/simulate",
+            {"scenario": scenario},
+        )
+        assert status == 200
+        assert payload["report"]["slo_violations"] > 0
+
+        status, alerts = _get(live_server, "/alerts")
+        assert status == 200
+        sim = next(
+            a for a in alerts["alerts"] if a["rule"] == "sim-slo-violations"
+        )
+        assert sim["state"] == "firing"
+        assert sim["value"] > 0.0
+        assert alerts["firing"] >= 1
+
+
 class TestConsistency:
     def test_metrics_agree_with_cache_info(self):
         """The registry re-export equals the cache layer's own census."""

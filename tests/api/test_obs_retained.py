@@ -1,0 +1,186 @@
+"""Wire v7 retained telemetry: trace/timeseries/alerts round-trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api.schemas import (
+    API_VERSION,
+    request_from_dict,
+    response_from_dict,
+)
+from repro.api.service import dispatch
+from repro.api.types import (
+    AlertsRequest,
+    BatchRequest,
+    BudgetQuery,
+    EvaluateRequest,
+    MetricsRequest,
+    TimeSeriesRequest,
+    TraceRequest,
+)
+from repro.errors import ParameterError
+from repro.obs import trace_context, trace_store
+
+
+def _wire(record):
+    """Encode → JSON → decode, as a network hop would."""
+    return json.loads(json.dumps(record.to_dict()))
+
+
+class TestRequestParsing:
+    def test_trace_request_round_trips(self):
+        req = request_from_dict({"op": "trace", "trace_id": "abc123"})
+        assert isinstance(req, TraceRequest)
+        assert req.trace_id == "abc123"
+        assert request_from_dict(_wire(req)) == req
+
+    def test_timeseries_request_defaults(self):
+        req = request_from_dict({"op": "timeseries"})
+        assert isinstance(req, TimeSeriesRequest)
+        assert req.window_s == 60.0 and req.prefix == ""
+        req = request_from_dict(
+            {"op": "timeseries", "window_s": 30, "prefix": "repro_http"}
+        )
+        assert req.window_s == 30.0 and req.prefix == "repro_http"
+
+    def test_alerts_request_is_bare(self):
+        req = request_from_dict({"op": "alerts"})
+        assert isinstance(req, AlertsRequest)
+        assert request_from_dict(_wire(req)) == req
+
+    def test_metrics_request_filter_field(self):
+        req = request_from_dict({"op": "metrics", "filter": "repro_sim"})
+        assert isinstance(req, MetricsRequest)
+        assert req.filter == "repro_sim"
+
+
+class TestTraceDispatch:
+    def test_retained_trace_round_trips_as_a_tree(self):
+        from repro.api.service import clear_caches
+
+        clear_caches()  # a cold dispatch records engine child spans
+        with trace_context("wire-trace-1"):
+            dispatch(BudgetQuery(budget_w=3000.0))
+        resp = dispatch(TraceRequest(trace_id="wire-trace-1"))
+        assert _wire(resp)["v"] == API_VERSION
+        assert resp.trace_id == "wire-trace-1"
+        names = [s.name for s in resp.spans]
+        assert "dispatch.budget" in names
+        roots = [s for s in resp.spans if s.parent_id is None]
+        assert roots and roots[0].name == "dispatch.budget"
+        # children carry the root's span id
+        root_id = roots[0].span_id
+        assert any(s.parent_id == root_id for s in resp.spans)
+
+        decoded = response_from_dict(_wire(resp))
+        assert decoded == resp
+        # SpanNodes encode as JSON objects, not arrays
+        assert isinstance(_wire(resp)["spans"][0], dict)
+
+    def test_batch_items_nest_under_the_batch_span(self):
+        with trace_context("wire-trace-batch"):
+            dispatch(BatchRequest(items=(
+                EvaluateRequest(p=8),
+                BudgetQuery(budget_w=3000.0),
+                BudgetQuery(budget_w=3500.0),
+            )))
+        resp = dispatch(TraceRequest(trace_id="wire-trace-batch"))
+        by_id = {s.span_id: s for s in resp.spans}
+        roots = [s for s in resp.spans if s.parent_id is None]
+        assert len(roots) == 1 and roots[0].name == "dispatch.batch"
+        item_spans = [s for s in resp.spans if s.name.startswith("batch.")]
+        # the two budget items share one constraint group → one span
+        assert sorted(s.name for s in item_spans) == [
+            "batch.budget", "batch.evaluate",
+        ]
+        for item in item_spans:
+            assert by_id[item.parent_id].name == "dispatch.batch"
+
+    def test_missing_trace_id_is_a_parameter_error(self):
+        with pytest.raises(ParameterError, match="trace_id"):
+            dispatch(TraceRequest())
+
+    def test_unknown_trace_is_a_parameter_error_with_census(self):
+        with pytest.raises(ParameterError, match="not retained"):
+            dispatch(TraceRequest(trace_id="no-such-trace"))
+
+    def test_untraced_dispatch_records_nothing(self):
+        before = trace_store().stats()["recent_traces"]
+        dispatch(BudgetQuery(budget_w=2600.0))
+        assert trace_store().stats()["recent_traces"] == before
+
+
+class TestTimeSeriesDispatch:
+    def test_rollup_round_trips(self):
+        dispatch(BudgetQuery(budget_w=3000.0))
+        resp = dispatch(
+            TimeSeriesRequest(window_s=600.0, prefix="repro_dispatch")
+        )
+        assert _wire(resp)["v"] == API_VERSION
+        assert resp.samples >= 1
+        names = {s.name for s in resp.series}
+        assert "repro_dispatch_total" in names
+        decoded = response_from_dict(_wire(resp))
+        assert decoded == resp
+        assert isinstance(_wire(resp)["series"][0], dict)
+
+    def test_never_cached(self):
+        """Identical requests re-sample: the ring grows between calls."""
+        first = dispatch(TimeSeriesRequest(window_s=3600.0))
+        second = dispatch(TimeSeriesRequest(window_s=3600.0))
+        assert second.samples > first.samples
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ParameterError, match="window_s"):
+            dispatch(TimeSeriesRequest(window_s=-5.0))
+
+
+class TestAlertsDispatch:
+    def test_states_round_trip(self):
+        resp = dispatch(AlertsRequest())
+        assert _wire(resp)["v"] == API_VERSION
+        assert {a.rule for a in resp.alerts} >= {
+            "http-latency-p99", "http-error-rate",
+            "http-availability-burn", "sim-slo-violations",
+        }
+        assert resp.firing == sum(
+            1 for a in resp.alerts if a.state == "firing"
+        )
+        assert resp.pending == sum(
+            1 for a in resp.alerts if a.state == "pending"
+        )
+        decoded = response_from_dict(_wire(resp))
+        assert decoded == resp
+        assert isinstance(_wire(resp)["alerts"][0], dict)
+
+
+class TestBuildInfo:
+    def test_build_info_carries_version_and_wire_labels(self):
+        import repro
+
+        resp = dispatch(MetricsRequest(filter="repro_build_info"))
+        expected = (
+            f'repro_build_info{{version="{repro.__version__}",'
+            f'api="v{API_VERSION}"}} 1'
+        )
+        assert expected in resp.text
+
+    def test_filter_narrows_the_exposition(self):
+        full = dispatch(MetricsRequest()).text
+        narrowed = dispatch(MetricsRequest(filter="repro_build_info")).text
+        assert len(narrowed) < len(full)
+        assert "repro_dispatch_total" in full
+        assert "repro_dispatch_total" not in narrowed
+
+    def test_occupancy_gauges_exported(self):
+        with trace_context("occupancy-probe"):
+            dispatch(BudgetQuery(budget_w=2700.0))
+        text = dispatch(MetricsRequest(filter="repro_trace_store")).text
+        assert 'repro_trace_store_traces{ring="recent"}' in text
+        assert 'repro_trace_store_spans{ring="slow"}' in text
+        text = dispatch(MetricsRequest(filter="repro_timeseries")).text
+        assert "repro_timeseries_samples" in text
+        assert "repro_timeseries_capacity" in text

@@ -85,11 +85,16 @@ class TestHealth:
         status, payload = _get(live_server, "/healthz")
         assert status == 200
         caches = payload["caches"]
-        assert set(caches) == {"responses", "models", "spaces", "grid_store"}
+        assert set(caches) == {
+            "responses", "models", "spaces", "grid_store",
+            "trace_store", "timeseries",
+        }
         store = caches["grid_store"]
         for key in ("hits", "superset_hits", "misses", "entries", "bytes"):
             assert isinstance(store[key], int)
         assert store["misses"] >= 1  # the budget grid above was evaluated
+        assert caches["trace_store"]["recent_traces"] >= 1  # the POST above
+        assert caches["timeseries"]["capacity"] >= 1
 
 
 class TestDispatchOverHttp:

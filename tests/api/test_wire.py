@@ -67,12 +67,15 @@ SAMPLE_RESPONSES = [
 class TestRegistry:
     def test_every_op_has_request_and_response(self):
         assert set(REQUEST_TYPES) == set(RESPONSE_TYPES) == set(operations())
-        assert len(operations()) == 14
+        assert len(operations()) == 17
         assert "simulate" in operations()
         assert "federate" in operations()
         assert "batch" in operations()
         assert "hetero" in operations()
         assert "metrics" in operations()
+        assert "trace" in operations()
+        assert "timeseries" in operations()
+        assert "alerts" in operations()
 
     def test_request_and_response_share_the_op_name(self):
         for op, cls in REQUEST_TYPES.items():

@@ -238,3 +238,107 @@ class TestProcessRegistry:
             "repro_span_duration_seconds",
         ):
             assert registry.get(name) is not None, name
+
+
+class TestSnapshot:
+    def test_snapshot_captures_every_kind(self):
+        registry = Registry()
+        registry.counter("jobs_total", "x", labelnames=("op",)).labels(
+            "a"
+        ).inc(3)
+        registry.gauge("level", "x").labels().set(7)
+        h = registry.histogram("latency_seconds", "x").labels()
+        h.observe(0.002)
+        h.observe(0.002)
+        snap = registry.snapshot()
+        counter = snap[("jobs_total", ("a",))]
+        assert (counter.kind, counter.value) == ("counter", 3.0)
+        assert counter.labelnames == ("op",)
+        gauge = snap[("level", ())]
+        assert (gauge.kind, gauge.value) == ("gauge", 7.0)
+        hist = snap[("latency_seconds", ())]
+        assert hist.kind == "histogram"
+        assert hist.value == 2.0  # observation count
+        assert hist.sum == pytest.approx(0.004)
+        assert sum(hist.counts) == 2
+        assert len(hist.counts) == len(hist.buckets)
+
+    def test_snapshot_runs_collectors_by_default(self):
+        registry = Registry()
+        gauge = registry.gauge("derived", "x")
+        registry.register_collector(lambda: gauge.labels().set(42))
+        assert registry.snapshot()[("derived", ())].value == 42.0
+        gauge.labels().set(0)
+        snap = registry.snapshot(run_collectors=False)
+        assert snap[("derived", ())].value == 0.0
+
+    def test_snapshots_are_independent_of_later_mutation(self):
+        registry = Registry()
+        counter = registry.counter("jobs_total", "x").labels()
+        counter.inc()
+        snap = registry.snapshot()
+        counter.inc(10)
+        assert snap[("jobs_total", ())].value == 1.0
+
+
+class TestRenderPrefix:
+    def test_prefix_filters_families_not_collectors(self):
+        registry = Registry()
+        registry.counter("aaa_total", "x").labels().inc()
+        registry.counter("bbb_total", "x").labels().inc()
+        gauge = registry.gauge("aaa_derived", "x")
+        registry.register_collector(lambda: gauge.labels().set(5))
+        text = registry.render(prefix="aaa")
+        assert "aaa_total 1" in text
+        assert "aaa_derived 5" in text
+        assert "bbb_total" not in text
+
+    def test_no_prefix_renders_everything(self):
+        registry = Registry()
+        registry.counter("aaa_total", "x").labels().inc()
+        registry.counter("bbb_total", "x").labels().inc()
+        text = registry.render()
+        assert "aaa_total 1" in text and "bbb_total 1" in text
+
+
+class TestHistogramQuantile:
+    BUCKETS = (0.1, 0.2, 0.4, 0.8)
+
+    def test_interpolates_inside_the_target_bucket(self):
+        # 10 obs in (0.1, 0.2]: the median interpolates to the middle
+        counts = (0, 10, 0, 0)
+        value = metrics.histogram_quantile(self.BUCKETS, counts, 10, 0.5)
+        assert value == pytest.approx(0.15)
+
+    def test_spans_buckets_by_rank(self):
+        counts = (5, 5, 5, 5)
+        assert metrics.histogram_quantile(
+            self.BUCKETS, counts, 20, 0.25
+        ) == pytest.approx(0.1)
+        assert metrics.histogram_quantile(
+            self.BUCKETS, counts, 20, 0.75
+        ) == pytest.approx(0.4)
+
+    def test_overflow_clamps_to_top_finite_bucket(self):
+        counts = (0, 0, 0, 0)
+        # all 10 observations overflowed past the top finite bucket
+        value = metrics.histogram_quantile(self.BUCKETS, counts, 10, 0.99)
+        assert value == 0.8
+
+    def test_no_observations_is_zero(self):
+        assert metrics.histogram_quantile(self.BUCKETS, (0,) * 4, 0, 0.5) == 0.0
+
+    def test_quantile_outside_open_interval_rejected(self):
+        for q in (0.0, 1.0, -1.0, 2.0):
+            with pytest.raises(ParameterError):
+                metrics.histogram_quantile(self.BUCKETS, (1,) * 4, 4, q)
+
+
+class TestLabelString:
+    def test_empty_labels_render_empty(self):
+        assert metrics.label_string((), ()) == ""
+
+    def test_pairs_render_exposition_style(self):
+        assert metrics.label_string(("op", "kind"), ("eval", "x")) == (
+            '{op="eval",kind="x"}'
+        )

@@ -1,0 +1,282 @@
+"""SLO rules and the alert state machine over retained time series."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.obs.metrics import Registry
+from repro.obs.slo import RULE_KINDS, SloEngine, SloRule, default_rules
+from repro.obs.store import TimeSeriesRecorder
+
+
+def _http_registry():
+    """A registry shaped like the serving stack's error/traffic pair."""
+    registry = Registry()
+    errors = registry.counter("errors_total", "x").labels()
+    requests = registry.counter("requests_total", "x").labels()
+    return registry, errors, requests
+
+
+class TestRuleValidation:
+    def test_unknown_kind_rejected(self):
+        rule = SloRule(name="r", kind="median", metric="m", threshold=1.0)
+        with pytest.raises(ParameterError, match="kind"):
+            rule.validate()
+
+    def test_metric_required(self):
+        rule = SloRule(name="r", kind="gauge", metric="", threshold=1.0)
+        with pytest.raises(ParameterError, match="metric"):
+            rule.validate()
+
+    def test_ratio_kinds_need_a_denominator(self):
+        for kind in ("error_rate", "burn_rate"):
+            rule = SloRule(name="r", kind=kind, metric="m", threshold=1.0)
+            with pytest.raises(ParameterError, match="denominator"):
+                rule.validate()
+
+    def test_latency_percentile_must_be_open_interval(self):
+        rule = SloRule(name="r", kind="latency", metric="m",
+                       threshold=1.0, percentile=1.0)
+        with pytest.raises(ParameterError, match="percentile"):
+            rule.validate()
+
+    def test_burn_objective_must_be_open_interval(self):
+        rule = SloRule(name="r", kind="burn_rate", metric="m",
+                       denominator="d", threshold=1.0, objective=1.0)
+        with pytest.raises(ParameterError, match="objective"):
+            rule.validate()
+
+    def test_windows_must_be_sane(self):
+        rule = SloRule(name="r", kind="gauge", metric="m",
+                       threshold=1.0, window_s=0.0)
+        with pytest.raises(ParameterError, match="window_s"):
+            rule.validate()
+
+    def test_default_rules_all_validate(self):
+        rules = default_rules()
+        names = [r.name for r in rules]
+        assert "sim-slo-violations" in names
+        assert "http-availability-burn" in names
+        for rule in rules:
+            rule.validate()
+            assert rule.kind in RULE_KINDS
+
+
+class TestGaugeRules:
+    def test_gauge_fires_immediately_at_for_zero(self):
+        registry = Registry()
+        gauge = registry.gauge("violations", "x").labels()
+        recorder = TimeSeriesRecorder(registry)
+        engine = SloEngine(recorder, rules=(
+            SloRule(name="viol", kind="gauge", metric="violations",
+                    threshold=0.0, window_s=60.0, for_s=0.0),
+        ))
+        recorder.sample(now=0.0)
+        (state,) = engine.evaluate(now=0.0)
+        assert state.state == "ok" and state.value == 0.0
+
+        gauge.set(7)
+        recorder.sample(now=1.0)
+        (state,) = engine.evaluate(now=1.0)
+        assert state.state == "firing"
+        assert state.value == 7.0
+
+        gauge.set(0)
+        recorder.sample(now=2.0)
+        (state,) = engine.evaluate(now=2.0)
+        assert state.state == "ok"
+
+    def test_unsampled_gauge_is_ok_with_detail(self):
+        recorder = TimeSeriesRecorder(Registry())
+        engine = SloEngine(recorder, rules=(
+            SloRule(name="viol", kind="gauge", metric="violations",
+                    threshold=0.0),
+        ))
+        (state,) = engine.evaluate(now=0.0)
+        assert state.state == "ok"
+        assert "not sampled" in state.detail
+
+    def test_label_filter_selects_children(self):
+        registry = Registry()
+        gauge = registry.gauge("level", "x", labelnames=("shard",))
+        gauge.labels("a").set(1)
+        gauge.labels("b").set(9)
+        recorder = TimeSeriesRecorder(registry)
+        engine = SloEngine(recorder, rules=(
+            SloRule(name="a-only", kind="gauge", metric="level",
+                    threshold=5.0, labels=(("shard", "a"),)),
+        ))
+        recorder.sample(now=0.0)
+        (state,) = engine.evaluate(now=0.0)
+        assert state.state == "ok" and state.value == 1.0
+
+
+class TestErrorRateAndBurn:
+    def test_idle_service_is_not_failing(self):
+        registry, _, _ = _http_registry()
+        recorder = TimeSeriesRecorder(registry)
+        engine = SloEngine(recorder, rules=(
+            SloRule(name="err", kind="error_rate", metric="errors_total",
+                    denominator="requests_total", threshold=0.05),
+        ))
+        recorder.sample(now=0.0)
+        recorder.sample(now=10.0)
+        (state,) = engine.evaluate(now=10.0)
+        assert state.state == "ok" and state.value == 0.0
+
+    def test_error_ratio_is_a_window_delta(self):
+        registry, errors, requests = _http_registry()
+        recorder = TimeSeriesRecorder(registry)
+        engine = SloEngine(recorder, rules=(
+            SloRule(name="err", kind="error_rate", metric="errors_total",
+                    denominator="requests_total", threshold=0.05,
+                    window_s=100.0),
+        ))
+        # history outside the window must not count
+        errors.inc(1000)
+        requests.inc(1000)
+        recorder.sample(now=0.0)
+        recorder.sample(now=1000.0)
+        requests.inc(100)
+        errors.inc(2)
+        recorder.sample(now=1010.0)
+        (state,) = engine.evaluate(now=1010.0)
+        assert state.value == pytest.approx(0.02)
+        assert state.state == "ok"
+
+    def test_burn_rate_pending_then_firing_then_ok(self):
+        """The full ok → pending → firing → ok escalation."""
+        registry, errors, requests = _http_registry()
+        recorder = TimeSeriesRecorder(registry)
+        engine = SloEngine(recorder, rules=(
+            SloRule(name="burn", kind="burn_rate", metric="errors_total",
+                    denominator="requests_total", threshold=10.0,
+                    objective=0.99, window_s=100.0, long_window_s=100.0,
+                    for_s=30.0),
+        ))
+        recorder.sample(now=0.0)
+        (state,) = engine.evaluate(now=0.0)
+        assert state.state == "ok"
+
+        # 50% errors against a 1% budget: burn = 50 > 10 → pending
+        requests.inc(100)
+        errors.inc(50)
+        recorder.sample(now=10.0)
+        (state,) = engine.evaluate(now=10.0)
+        assert state.state == "pending"
+        assert state.value == pytest.approx(50.0)
+        assert state.breached_for_s == 0.0
+
+        # still breached but not yet sustained for for_s
+        (state,) = engine.evaluate(now=30.0)
+        assert state.state == "pending"
+        assert state.breached_for_s == pytest.approx(20.0)
+
+        # sustained past for_s → firing
+        (state,) = engine.evaluate(now=45.0)
+        assert state.state == "firing"
+        assert state.breached_for_s == pytest.approx(35.0)
+
+        # errors age out of the window → back to ok, memory cleared
+        recorder.sample(now=200.0)
+        (state,) = engine.evaluate(now=200.0)
+        assert state.state == "ok"
+        assert state.breached_for_s == 0.0
+
+    def test_min_of_short_and_long_burn_filters_blips(self):
+        """A brief spike breaches the short window only — no alert."""
+        registry, errors, requests = _http_registry()
+        recorder = TimeSeriesRecorder(registry)
+        engine = SloEngine(recorder, rules=(
+            SloRule(name="burn", kind="burn_rate", metric="errors_total",
+                    denominator="requests_total", threshold=10.0,
+                    objective=0.99, window_s=50.0, long_window_s=1000.0),
+        ))
+        # long history: lots of clean traffic inside the long window
+        recorder.sample(now=0.0)
+        requests.inc(10_000)
+        recorder.sample(now=960.0)
+        # short burst of errors
+        requests.inc(100)
+        errors.inc(50)
+        recorder.sample(now=970.0)
+        (state,) = engine.evaluate(now=970.0)
+        # short burn = 50; long burn = (50/10100)/0.01 ≈ 0.5 → min wins
+        assert state.value < 1.0
+        assert state.state == "ok"
+
+
+class TestLatencyRules:
+    def test_window_percentile_breaches_ceiling(self):
+        registry = Registry()
+        histogram = registry.histogram("latency_seconds", "x").labels()
+        recorder = TimeSeriesRecorder(registry)
+        engine = SloEngine(recorder, rules=(
+            SloRule(name="p99", kind="latency", metric="latency_seconds",
+                    threshold=0.5, percentile=0.99, window_s=100.0),
+        ))
+        recorder.sample(now=0.0)
+        (state,) = engine.evaluate(now=0.0)
+        assert state.state == "ok"
+        assert "no observations" in state.detail
+
+        for _ in range(100):
+            histogram.observe(0.9)
+        recorder.sample(now=10.0)
+        (state,) = engine.evaluate(now=10.0)
+        assert state.state == "firing"
+        assert state.value > 0.5
+
+    def test_stale_slowness_outside_window_is_forgiven(self):
+        registry = Registry()
+        histogram = registry.histogram("latency_seconds", "x").labels()
+        recorder = TimeSeriesRecorder(registry)
+        engine = SloEngine(recorder, rules=(
+            SloRule(name="p99", kind="latency", metric="latency_seconds",
+                    threshold=0.5, window_s=100.0),
+        ))
+        for _ in range(100):
+            histogram.observe(9.0)
+        recorder.sample(now=0.0)
+        recorder.sample(now=1000.0)
+        for _ in range(100):
+            histogram.observe(0.001)
+        recorder.sample(now=1010.0)
+        (state,) = engine.evaluate(now=1010.0)
+        assert state.state == "ok"
+        assert state.value < 0.5
+
+
+class TestEngineHousekeeping:
+    def test_reset_forgets_breach_memory(self):
+        registry = Registry()
+        gauge = registry.gauge("violations", "x").labels()
+        recorder = TimeSeriesRecorder(registry)
+        engine = SloEngine(recorder, rules=(
+            SloRule(name="viol", kind="gauge", metric="violations",
+                    threshold=0.0, for_s=100.0),
+        ))
+        gauge.set(1)
+        recorder.sample(now=0.0)
+        engine.evaluate(now=0.0)
+        (state,) = engine.evaluate(now=50.0)
+        assert state.breached_for_s == pytest.approx(50.0)
+        engine.reset()
+        (state,) = engine.evaluate(now=60.0)
+        assert state.breached_for_s == 0.0
+        assert state.state == "pending"
+
+    def test_invalid_rules_rejected_at_construction(self):
+        with pytest.raises(ParameterError):
+            SloEngine(TimeSeriesRecorder(Registry()), rules=(
+                SloRule(name="r", kind="nope", metric="m", threshold=1.0),
+            ))
+
+    def test_states_come_back_in_declaration_order(self):
+        recorder = TimeSeriesRecorder(Registry())
+        engine = SloEngine(recorder, rules=(
+            SloRule(name="b", kind="gauge", metric="m", threshold=1.0),
+            SloRule(name="a", kind="gauge", metric="m", threshold=1.0),
+        ))
+        assert [s.rule for s in engine.evaluate(now=0.0)] == ["b", "a"]

@@ -1,0 +1,281 @@
+"""Retained telemetry: the trace store, time-series rings, waterfalls."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.metrics import Registry
+from repro.obs.store import (
+    SpanNode,
+    TimeSeriesRecorder,
+    TraceRecord,
+    TraceStore,
+    render_waterfall,
+)
+
+
+def _fill(store: TraceStore, trace_id: str, spans: int = 1,
+          slow: bool = False) -> None:
+    for i in range(spans):
+        store.record(trace_id, i + 1, None if i == 0 else 1,
+                     f"s{i}", float(i), 0.5, slow and i == spans - 1)
+
+
+class TestTraceStoreRetention:
+    def test_round_trip_preserves_tree_shape(self):
+        store = TraceStore()
+        store.record("t", 7, None, "root", 100.0, 0.9, False)
+        store.record("t", 8, 7, "child", 100.2, 0.3, False)
+        record = store.get("t")
+        assert record.trace_id == "t"
+        assert record.dropped == 0 and not record.slow
+        root, child = record.spans
+        assert (root.name, root.parent_id) == ("root", None)
+        assert (child.name, child.parent_id) == ("child", 7)
+        # offsets rebase to the earliest start; duration spans to the
+        # latest end
+        assert root.start_s == 0.0
+        assert abs(child.start_s - 0.2) < 1e-9
+        assert abs(record.duration_s - 0.9) < 1e-9
+
+    def test_recent_ring_evicts_fifo(self):
+        store = TraceStore(max_traces=3)
+        for i in range(5):
+            _fill(store, f"t{i}")
+        assert store.get("t0") is None and store.get("t1") is None
+        assert store.trace_ids() == ("t2", "t3", "t4")
+
+    def test_slow_trace_survives_recent_churn(self):
+        store = TraceStore(max_traces=2, max_slow=2)
+        _fill(store, "slow-one", spans=2, slow=True)
+        for i in range(10):
+            _fill(store, f"churn{i}")
+        record = store.get("slow-one")
+        assert record is not None and record.slow
+        # slow ids list first, then the surviving recent ids
+        assert store.trace_ids()[0] == "slow-one"
+
+    def test_slow_ring_is_bounded_fifo_too(self):
+        store = TraceStore(max_slow=2)
+        for i in range(4):
+            _fill(store, f"s{i}", slow=True)
+        assert store.get("s0") is None and store.get("s1") is None
+        assert store.get("s2").slow and store.get("s3").slow
+
+    def test_span_cap_counts_dropped_spans(self):
+        store = TraceStore(max_spans=4)
+        for i in range(10):
+            store.record("t", i + 1, None, f"s{i}", float(i), 0.1, False)
+        record = store.get("t")
+        assert len(record.spans) == 4
+        assert record.dropped == 6
+        assert "6 spans dropped" in render_waterfall(record)
+
+    def test_late_slow_span_promotes_the_whole_trace(self):
+        store = TraceStore()
+        store.record("t", 1, None, "root", 0.0, 0.1, False)
+        store.record("t", 2, 1, "slow-child", 0.05, 2.0, True)
+        assert store.stats()["slow_traces"] == 1
+        assert store.stats()["recent_traces"] == 0
+        assert len(store.get("t").spans) == 2
+
+    def test_unknown_trace_is_none(self):
+        assert TraceStore().get("nope") is None
+
+    def test_clear_empties_both_rings(self):
+        store = TraceStore()
+        _fill(store, "a")
+        _fill(store, "b", slow=True)
+        store.clear()
+        assert store.trace_ids() == ()
+
+    def test_concurrent_recording_stays_bounded(self):
+        """Hammering from threads never exceeds the configured caps."""
+        store = TraceStore(max_traces=16, max_slow=4, max_spans=8)
+
+        def worker(seed: int) -> None:
+            for i in range(500):
+                trace = f"t{(seed * 500 + i) % 40}"
+                store.record(trace, seed * 1000 + i, None, "s",
+                             float(i), 0.001, i % 97 == 0)
+
+        threads = [
+            threading.Thread(target=worker, args=(k,)) for k in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stats = store.stats()
+        assert stats["recent_traces"] <= 16
+        assert stats["slow_traces"] <= 4
+        assert stats["recent_spans"] <= 16 * 8
+        assert stats["slow_spans"] <= 4 * 8
+        for trace_id in store.trace_ids():
+            assert len(store.get(trace_id).spans) <= 8
+
+
+class TestTimeSeriesRecorder:
+    def test_ring_capacity_evicts_oldest(self):
+        recorder = TimeSeriesRecorder(Registry(), capacity=3)
+        for ts in range(5):
+            recorder.sample(now=float(ts))
+        assert len(recorder) == 3
+        window = recorder.samples_in(100.0, now=4.0)
+        assert [ts for ts, _ in window] == [2.0, 3.0, 4.0]
+
+    def test_window_filter_drops_stale_samples(self):
+        recorder = TimeSeriesRecorder(Registry())
+        for ts in (0.0, 10.0, 20.0, 30.0):
+            recorder.sample(now=ts)
+        window = recorder.samples_in(15.0, now=30.0)
+        assert [ts for ts, _ in window] == [20.0, 30.0]
+
+    def test_counter_rate_from_window_delta(self):
+        registry = Registry()
+        counter = registry.counter("jobs_total", "x").labels()
+        recorder = TimeSeriesRecorder(registry)
+        recorder.sample(now=0.0)
+        counter.inc(30)
+        recorder.sample(now=10.0)
+        rollup = recorder.rollup(60.0, now=10.0)
+        assert rollup.samples == 2 and rollup.span_s == 10.0
+        row = next(s for s in rollup.series if s.name == "jobs_total")
+        assert row.kind == "counter"
+        assert row.last == 30.0
+        assert row.rate_per_s == 3.0
+
+    def test_gauge_min_max_mean(self):
+        registry = Registry()
+        gauge = registry.gauge("level", "x").labels()
+        recorder = TimeSeriesRecorder(registry)
+        for ts, value in ((0.0, 2.0), (1.0, 8.0), (2.0, 5.0)):
+            gauge.set(value)
+            recorder.sample(now=ts)
+        row = recorder.rollup(60.0, now=2.0).series[0]
+        assert row.kind == "gauge"
+        assert (row.minimum, row.maximum, row.mean) == (2.0, 8.0, 5.0)
+        assert row.rate_per_s is None
+        assert row.p99_s is None
+
+    def test_single_sample_has_no_rate(self):
+        registry = Registry()
+        registry.counter("jobs_total", "x").labels().inc()
+        recorder = TimeSeriesRecorder(registry)
+        recorder.sample(now=0.0)
+        row = recorder.rollup(60.0, now=0.0).series[0]
+        assert row.rate_per_s is None
+        assert row.last == 1.0
+
+    def test_prefix_filters_series(self):
+        registry = Registry()
+        registry.counter("a_total", "x").labels().inc()
+        registry.counter("b_total", "x").labels().inc()
+        recorder = TimeSeriesRecorder(registry)
+        recorder.sample(now=0.0)
+        rollup = recorder.rollup(60.0, prefix="a_", now=0.0)
+        assert [s.name for s in rollup.series] == ["a_total"]
+
+    def test_histogram_percentiles_match_scalar_reference(self):
+        """Window p50/p95/p99 agree with the sorted-data quantiles to
+        within one bucket's width (the estimator's resolution)."""
+        buckets = tuple((i + 1) / 100.0 for i in range(100))  # 10ms steps
+        registry = Registry()
+        histogram = registry.histogram(
+            "latency_seconds", "x", buckets=buckets
+        ).labels()
+        recorder = TimeSeriesRecorder(registry)
+        recorder.sample(now=0.0)
+        observations = [(7 * k % 100) / 100.0 + 0.005 for k in range(100)]
+        for value in observations:
+            histogram.observe(value)
+        recorder.sample(now=10.0)
+        row = recorder.rollup(60.0, now=10.0).series[0]
+
+        def reference(q: float) -> float:
+            data = sorted(observations)
+            return data[min(int(q * len(data)), len(data) - 1)]
+
+        for got, q in ((row.p50_s, 0.50), (row.p95_s, 0.95),
+                       (row.p99_s, 0.99)):
+            assert abs(got - reference(q)) <= 0.011, (q, got, reference(q))
+        assert abs(row.mean - sum(observations) / 100.0) < 1e-9
+        assert row.rate_per_s == 10.0
+
+    def test_histogram_delta_excludes_prior_observations(self):
+        """Only in-window observations shape the window percentiles."""
+        registry = Registry()
+        histogram = registry.histogram("latency_seconds", "x").labels()
+        recorder = TimeSeriesRecorder(registry)
+        for _ in range(50):
+            histogram.observe(9.0)  # stale: before the window's start
+        recorder.sample(now=0.0)
+        for _ in range(50):
+            histogram.observe(0.002)
+        recorder.sample(now=10.0)
+        row = recorder.rollup(60.0, now=10.0).series[0]
+        assert row.p99_s < 0.01  # the stale 9s observations don't leak
+        assert abs(row.mean - 0.002) < 1e-9
+
+    def test_quiet_histogram_reports_no_percentiles(self):
+        registry = Registry()
+        registry.histogram("latency_seconds", "x").labels()
+        recorder = TimeSeriesRecorder(registry)
+        recorder.sample(now=0.0)
+        recorder.sample(now=10.0)
+        row = recorder.rollup(60.0, now=10.0).series[0]
+        assert row.p50_s is None and row.mean is None
+        assert row.rate_per_s == 0.0
+
+    def test_empty_ring_rolls_up_to_nothing(self):
+        recorder = TimeSeriesRecorder(Registry())
+        rollup = recorder.rollup(60.0, now=0.0)
+        assert rollup.samples == 0 and rollup.series == ()
+
+    def test_latest_reads_the_newest_snapshot(self):
+        registry = Registry()
+        gauge = registry.gauge("level", "x").labels()
+        recorder = TimeSeriesRecorder(registry)
+        assert recorder.latest("level") is None
+        gauge.set(4.0)
+        recorder.sample(now=0.0)
+        gauge.set(9.0)
+        recorder.sample(now=1.0)
+        assert recorder.latest("level").value == 9.0
+        assert recorder.latest("missing") is None
+
+
+class TestWaterfall:
+    def test_tree_renders_indented_and_positioned(self):
+        record = TraceRecord(
+            trace_id="abc", slow=False, dropped=0, duration_s=1.0,
+            spans=(
+                SpanNode(1, None, "dispatch.budget", 0.0, 1.0),
+                SpanNode(2, 1, "grid.slice", 0.0, 0.25),
+                SpanNode(3, 1, "grid.evaluate", 0.5, 0.5),
+            ),
+        )
+        text = render_waterfall(record, width=8)
+        lines = text.splitlines()
+        assert lines[0].startswith("trace abc  (3 spans, 1000.00 ms)")
+        assert lines[1].lstrip().startswith("dispatch.budget")
+        assert lines[2].lstrip().startswith("grid.slice")
+        assert "  grid.slice" in lines[2]  # children indent two spaces
+        assert "|████████|" in lines[1]    # root fills the whole track
+        assert "|██······|" in lines[2]    # first quarter
+        assert "|····████|" in lines[3]    # second half
+        assert lines[1].rstrip().endswith("1000.000 ms")
+
+    def test_orphan_spans_render_as_roots(self):
+        record = TraceRecord(
+            trace_id="x", slow=True, dropped=2, duration_s=0.5,
+            spans=(SpanNode(9, 4, "orphan", 0.0, 0.5),),
+        )
+        text = render_waterfall(record)
+        assert "slow" in text.splitlines()[0]
+        assert "2 spans dropped" in text.splitlines()[0]
+        assert text.splitlines()[1].startswith("orphan")
+
+    def test_empty_trace_renders_placeholder(self):
+        record = TraceRecord("x", False, 0, 0.0, ())
+        assert "(no spans retained)" in render_waterfall(record)

@@ -371,6 +371,8 @@ def test_cache_stats_text(capsys):
     assert code == 0
     assert "grid store" in out
     assert "contour pairs" in out
+    assert "trace store" in out
+    assert "timeseries" in out
 
 
 def test_cache_stats_json_shape(capsys):
@@ -379,9 +381,14 @@ def test_cache_stats_json_shape(capsys):
     code, out, _ = run_cli(capsys, "cache-stats", "--json")
     assert code == 0
     payload = json.loads(out)
-    assert set(payload) == {"responses", "models", "spaces", "grid_store"}
+    assert set(payload) == {
+        "responses", "models", "spaces", "grid_store",
+        "trace_store", "timeseries",
+    }
     assert "superset_hits" in payload["grid_store"]
     assert "hetero_hits" in payload["grid_store"]
+    assert "recent_traces" in payload["trace_store"]
+    assert "capacity" in payload["timeseries"]
 
 
 # -- simulate ---------------------------------------------------------------
@@ -484,3 +491,127 @@ def test_unexpected_exception_is_structured_not_a_traceback(capsys,
     code, _, err = run_cli(capsys, "metrics")
     assert code == 3
     assert err == "error [RuntimeError]: wires crossed\n"
+
+
+# -- retained telemetry: metrics --filter, trace, timeseries, alerts --------
+
+
+def test_metrics_filter_prefix(capsys):
+    code, out, _ = run_cli(
+        capsys, "metrics", "--filter", "repro_build_info"
+    )
+    assert code == 0
+    assert 'repro_build_info{' in out
+    payload_lines = [
+        l for l in out.splitlines() if l and not l.startswith("#")
+    ]
+    assert payload_lines
+    assert all(l.startswith("repro_build_info") for l in payload_lines)
+
+
+def test_metrics_filter_json_matches_dispatch(capsys):
+    import json
+
+    from repro.api.service import dispatch
+    from repro.api.types import MetricsRequest
+
+    code, out, _ = run_cli(
+        capsys, "metrics", "--filter", "repro_build_info", "--json"
+    )
+    assert code == 0
+    expected = dispatch(MetricsRequest(filter="repro_build_info")).to_dict()
+    assert json.dumps(expected, indent=2) + "\n" == out
+
+
+def _retain_trace(trace_id: str):
+    from repro.api.service import dispatch
+    from repro.api.types import BudgetQuery
+    from repro.obs import trace_context
+
+    with trace_context(trace_id):
+        dispatch(BudgetQuery(budget_w=3000.0))
+
+
+def test_trace_text_waterfall(capsys):
+    _retain_trace("cli-trace-text")
+    code, out, _ = run_cli(capsys, "trace", "cli-trace-text")
+    assert code == 0
+    lines = out.splitlines()
+    assert lines[0].startswith("trace cli-trace-text")
+    assert "dispatch.budget" in out
+    assert "█" in out and " ms" in out
+
+
+def test_trace_json_is_byte_identical_to_dispatch(capsys):
+    import json
+
+    from repro.api.service import dispatch
+    from repro.api.types import TraceRequest
+
+    _retain_trace("cli-trace-json")
+    code, out, _ = run_cli(capsys, "trace", "cli-trace-json", "--json")
+    assert code == 0
+    expected = dispatch(TraceRequest(trace_id="cli-trace-json")).to_dict()
+    assert json.dumps(expected, indent=2) + "\n" == out
+
+
+def test_trace_unknown_id_is_clean_error(capsys):
+    code, _, err = run_cli(capsys, "trace", "never-recorded-here")
+    assert code == 2
+    assert "not retained" in err
+
+
+def test_timeseries_text_table(capsys):
+    from repro.api.service import dispatch
+    from repro.api.types import BudgetQuery
+
+    dispatch(BudgetQuery(budget_w=3000.0))
+    code, out, _ = run_cli(
+        capsys, "timeseries", "--window", "600", "--prefix", "repro_dispatch"
+    )
+    assert code == 0
+    assert out.startswith("rollup over the last 600 s")
+    assert "repro_dispatch_total" in out
+    assert "rate/s" in out and "p99" in out
+
+
+def test_timeseries_json_round_trips(capsys):
+    import json
+
+    from repro.api import response_from_dict
+
+    code, out, _ = run_cli(capsys, "timeseries", "--json")
+    assert code == 0
+    resp = response_from_dict(json.loads(out))
+    assert resp.op == "timeseries"
+    assert resp.samples >= 1
+
+
+def test_timeseries_bad_window_is_clean_error(capsys):
+    code, _, err = run_cli(capsys, "timeseries", "--window", "0")
+    assert code == 2
+    assert "window_s" in err
+
+
+def test_alerts_text_summary(capsys):
+    code, out, _ = run_cli(capsys, "alerts")
+    assert code == 0
+    first = out.splitlines()[0]
+    assert "firing" in first and "pending" in first and "ok" in first
+    assert "http-latency-p99" in out
+    assert "sim-slo-violations" in out
+
+
+def test_alerts_json_matches_dispatch_shape(capsys):
+    import json
+
+    code, out, _ = run_cli(capsys, "alerts", "--json")
+    assert code == 0
+    payload = json.loads(out)
+    assert payload["op"] == "alerts"
+    assert {a["rule"] for a in payload["alerts"]} >= {
+        "http-latency-p99", "http-error-rate",
+        "http-availability-burn", "sim-slo-violations",
+    }
+    for alert in payload["alerts"]:
+        assert alert["state"] in ("ok", "pending", "firing")
