@@ -1,21 +1,33 @@
-"""Serving latency under concurrent load: p50/p95/p99 and RPS.
+"""Serving latency and scale-out under concurrent load: p50/p95/p99, RPS.
 
-An asyncio load generator drives a live server (real sockets, keep-alive
-connections) with warm-cache ``evaluate`` queries — the steady-state
-serving shape, where dispatch answers from the memo layer and the cost
-under test is the HTTP + executor + instrumentation stack itself.  The
-percentiles and throughput land in ``BENCH_serving.json`` at the repo
-root so every PR records the serving envelope next to the code that
-changed it.
+An asyncio load generator drives a live :class:`~repro.api.pool.WorkerPool`
+(real sockets, keep-alive connections, real forked workers) with
+warm-cache ``evaluate`` queries — the steady-state serving shape, where
+dispatch answers from the memo layer and the cost under test is the
+HTTP + executor + instrumentation stack itself.  The pool is measured at
+several worker counts; every ``{workers, rps, p50, p95, p99}`` row lands
+in ``BENCH_serving.json`` at the repo root so each PR records the
+serving envelope next to the code that changed it.
 
-The floor is deliberately loose (shared CI boxes jitter); the JSON
-artifact is the precise record.
+Two floors:
+
+* single-worker throughput ≥ ``RPS_FLOOR`` (a meaningful fraction of the
+  measured ~3.4k RPS, so regressions actually fail CI);
+* multi-worker scaling ≥ ``SCALE_FLOOR``× single-worker — only asserted
+  when the host has ≥2 cores (kernel SO_REUSEPORT load balancing cannot
+  scale a single core).
+
+Each connection performs ``WARMUP_PER_CONNECTION`` untimed requests
+before the timed window opens, so connection setup and first-request
+cache warming never pollute the percentiles (the p99-vs-p95 outlier the
+old single-phase bench recorded).
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import os
 import threading
 import time
 from pathlib import Path
@@ -23,13 +35,24 @@ from pathlib import Path
 from conftest import print_artifact
 
 from repro.analysis.report import ascii_table
-from repro.api.server import start_server
+from repro.api.pool import WorkerPool
 from repro.api.service import dispatch
 from repro.api.types import EvaluateRequest
+from repro.optimize.shm import shm_dir_entries
 
 CONNECTIONS = 8
 REQUESTS_PER_CONNECTION = 50
-RPS_FLOOR = 50.0
+WARMUP_PER_CONNECTION = 5
+WORKER_COUNTS = (1, 2)
+
+#: single-worker throughput floor (measured ~3.4k RPS on the dev box;
+#: shared CI runners jitter, so the floor sits well below steady state
+#: while still catching order-of-magnitude regressions).
+RPS_FLOOR = 1000.0
+
+#: multi-worker RPS must reach this multiple of single-worker RPS —
+#: enforced only on hosts with at least 2 cores.
+SCALE_FLOOR = 1.8
 
 ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
 
@@ -40,35 +63,55 @@ def _percentile(sorted_ms: list[float], q: float) -> float:
     return sorted_ms[rank]
 
 
-async def _drive_connection(
-    port: int, count: int, latencies_s: list[float]
+_BODY = json.dumps({"p": 16}).encode()
+_HEAD = (
+    "POST /v1/evaluate HTTP/1.1\r\n"
+    "Host: bench\r\n"
+    "Content-Type: application/json\r\n"
+    f"Content-Length: {len(_BODY)}\r\n"
+    "\r\n"
+).encode()
+
+
+async def _one_request(
+    reader: asyncio.StreamReader, writer: asyncio.StreamWriter
 ) -> None:
-    """One keep-alive connection issuing ``count`` sequential POSTs."""
+    writer.write(_HEAD + _BODY)
+    await writer.drain()
+    status_line = await reader.readline()
+    assert status_line.startswith(b"HTTP/1.1 200"), status_line
+    content_length = 0
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            content_length = int(value.strip())
+    await reader.readexactly(content_length)
+
+
+async def _open_and_warm(
+    port: int,
+) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+    """One keep-alive connection, past its untimed warmup phase."""
     reader, writer = await asyncio.open_connection("127.0.0.1", port)
-    body = json.dumps({"p": 16}).encode()
-    head = (
-        "POST /v1/evaluate HTTP/1.1\r\n"
-        "Host: bench\r\n"
-        "Content-Type: application/json\r\n"
-        f"Content-Length: {len(body)}\r\n"
-        "\r\n"
-    ).encode()
+    for _ in range(WARMUP_PER_CONNECTION):
+        await _one_request(reader, writer)
+    return reader, writer
+
+
+async def _drive_connection(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    count: int,
+    latencies_s: list[float],
+) -> None:
+    """``count`` timed sequential POSTs on an already-warm connection."""
     try:
         for _ in range(count):
             t0 = time.perf_counter()
-            writer.write(head + body)
-            await writer.drain()
-            status_line = await reader.readline()
-            assert status_line.startswith(b"HTTP/1.1 200"), status_line
-            content_length = 0
-            while True:
-                line = await reader.readline()
-                if line in (b"\r\n", b"\n", b""):
-                    break
-                name, _, value = line.decode("latin-1").partition(":")
-                if name.strip().lower() == "content-length":
-                    content_length = int(value.strip())
-            await reader.readexactly(content_length)
+            await _one_request(reader, writer)
             latencies_s.append(time.perf_counter() - t0)
     finally:
         writer.close()
@@ -79,11 +122,16 @@ async def _drive_connection(
 
 
 async def _run_load(port: int) -> tuple[list[float], float]:
+    # phase 1 (untimed): connection setup + per-connection cache warmup
+    connections = await asyncio.gather(
+        *(_open_and_warm(port) for _ in range(CONNECTIONS))
+    )
+    # phase 2 (timed): every connection is warm before the clock starts
     latencies_s: list[float] = []
     t0 = time.perf_counter()
     await asyncio.gather(*(
-        _drive_connection(port, REQUESTS_PER_CONNECTION, latencies_s)
-        for _ in range(CONNECTIONS)
+        _drive_connection(r, w, REQUESTS_PER_CONNECTION, latencies_s)
+        for r, w in connections
     ))
     return latencies_s, time.perf_counter() - t0
 
@@ -91,11 +139,10 @@ async def _run_load(port: int) -> tuple[list[float], float]:
 def _run_load_in_thread(port: int) -> tuple[list[float], float]:
     """Run the generator loop in a worker thread, not the pytest main one.
 
-    Two event loops must run concurrently (server + generator).  Hosting
-    the second ``asyncio.run`` in the main thread trips a CPython 3.11
+    Hosting ``asyncio.run`` in the main thread trips a CPython 3.11
     recursion-accounting bug that later crashes unrelated ``compile()``
-    calls in that thread ("AST constructor recursion depth mismatch"), so
-    the generator gets a thread of its own.
+    calls in that thread ("AST constructor recursion depth mismatch"),
+    so the generator gets a thread of its own.
     """
     result: list = []
     errors: list[BaseException] = []
@@ -108,51 +155,71 @@ def _run_load_in_thread(port: int) -> tuple[list[float], float]:
 
     thread = threading.Thread(target=run)
     thread.start()
-    thread.join(timeout=120)
+    thread.join(timeout=180)
     if errors:
         raise errors[0]
     assert result, "load generator did not finish"
     return result[0]
 
 
-def test_serving_latency_under_load(benchmark):
-    # warm the dispatch memo so the bench times the serving stack
-    dispatch(EvaluateRequest(p=16))
-
-    server_loop = asyncio.new_event_loop()
-    server = server_loop.run_until_complete(start_server("127.0.0.1", 0))
-    port = server.sockets[0].getsockname()[1]
-    thread = threading.Thread(target=server_loop.run_forever, daemon=True)
-    thread.start()
+def _measure_pool(workers: int) -> dict:
+    """One BENCH row: the pool's latency/throughput at one worker count."""
+    pool = WorkerPool(
+        "127.0.0.1", 0, workers, sample_every_s=None, quiet=True
+    )
+    pool.start()
     try:
-        latencies_s, wall_s = _run_load_in_thread(port)
+        latencies_s, wall_s = _run_load_in_thread(pool.port)
     finally:
-        async def shutdown() -> None:
-            server.close()
-            await server.wait_closed()
-            server_loop.stop()
-
-        asyncio.run_coroutine_threadsafe(shutdown(), server_loop)
-        thread.join(timeout=5)
-        server_loop.close()
-
+        pool.stop()
     total = CONNECTIONS * REQUESTS_PER_CONNECTION
     assert len(latencies_s) == total
     sorted_ms = sorted(v * 1e3 for v in latencies_s)
-    p50 = _percentile(sorted_ms, 0.50)
-    p95 = _percentile(sorted_ms, 0.95)
-    p99 = _percentile(sorted_ms, 0.99)
-    rps = total / wall_s
+    return {
+        "workers": workers,
+        "requests": total,
+        "p50_ms": round(_percentile(sorted_ms, 0.50), 3),
+        "p95_ms": round(_percentile(sorted_ms, 0.95), 3),
+        "p99_ms": round(_percentile(sorted_ms, 0.99), 3),
+        "rps": round(total / wall_s, 1),
+        "wall_s": round(wall_s, 3),
+    }
+
+
+def test_serving_latency_under_load(benchmark):
+    # warm the dispatch memo *before* the forks: every worker inherits
+    # the warm response cache, so the bench times the serving stack
+    dispatch(EvaluateRequest(p=16))
+
+    rows = [_measure_pool(workers) for workers in WORKER_COUNTS]
+
+    # no leaked shm segments from this process's pools
+    leaked = [
+        name for name in shm_dir_entries()
+        if f"-{os.getpid():x}p" in name
+    ]
+    assert not leaked, f"pool shutdown leaked shm segments: {leaked}"
+
+    single = rows[0]
+    best_multi = max(
+        (row for row in rows if row["workers"] > 1),
+        key=lambda row: row["rps"],
+        default=None,
+    )
+    speedup = (
+        round(best_multi["rps"] / single["rps"], 3) if best_multi else None
+    )
+    cores = os.cpu_count() or 1
 
     record = {
+        "op": "evaluate (warm cache, pre-forked pool)",
         "connections": CONNECTIONS,
-        "requests": total,
-        "op": "evaluate (warm cache)",
-        "p50_ms": round(p50, 3),
-        "p95_ms": round(p95, 3),
-        "p99_ms": round(p99, 3),
-        "rps": round(rps, 1),
-        "wall_s": round(wall_s, 3),
+        "warmup_per_connection": WARMUP_PER_CONNECTION,
+        "cpu_count": cores,
+        "rows": rows,
+        "speedup_multi": speedup,
+        "rps_floor": RPS_FLOOR,
+        "scale_floor": SCALE_FLOOR,
     }
     ARTIFACT.write_text(json.dumps(record, indent=2) + "\n")
 
@@ -160,21 +227,37 @@ def test_serving_latency_under_load(benchmark):
         lambda: dispatch(EvaluateRequest(p=16)), rounds=3, iterations=1
     )
 
-    body = ascii_table(
-        ["quantity", "value"],
-        [
-            ("load", f"{CONNECTIONS} conns x {REQUESTS_PER_CONNECTION} reqs"),
-            ("p50", f"{p50:.2f} ms"),
-            ("p95", f"{p95:.2f} ms"),
-            ("p99", f"{p99:.2f} ms"),
-            ("throughput", f"{rps:.0f} req/s"),
-            ("floor", f"{RPS_FLOOR:.0f} req/s"),
-            ("artifact", str(ARTIFACT.name)),
-        ],
-    )
-    print_artifact("api.server — serving latency under load", body)
+    table_rows = [
+        (
+            f"workers={row['workers']}",
+            f"p50 {row['p50_ms']:.2f} / p95 {row['p95_ms']:.2f} / "
+            f"p99 {row['p99_ms']:.2f} ms, {row['rps']:.0f} req/s",
+        )
+        for row in rows
+    ]
+    table_rows.append((
+        "load",
+        f"{CONNECTIONS} conns x {REQUESTS_PER_CONNECTION} reqs "
+        f"(+{WARMUP_PER_CONNECTION} untimed warmup each)",
+    ))
+    table_rows.append((
+        "scaling",
+        f"{speedup if speedup is not None else '-'}x on {cores} core(s) "
+        f"(floor {SCALE_FLOOR}x, enforced on >=2 cores)",
+    ))
+    table_rows.append(("artifact", str(ARTIFACT.name)))
+    print_artifact("api.pool — serving latency under load", body=ascii_table(
+        ["quantity", "value"], table_rows
+    ))
 
-    assert rps >= RPS_FLOOR, (
-        f"serving throughput {rps:.0f} req/s under {CONNECTIONS} keep-alive "
-        f"connections (floor {RPS_FLOOR:.0f})"
+    assert single["rps"] >= RPS_FLOOR, (
+        f"single-worker throughput {single['rps']:.0f} req/s under "
+        f"{CONNECTIONS} keep-alive connections (floor {RPS_FLOOR:.0f})"
     )
+    if cores >= 2 and best_multi is not None:
+        assert best_multi["rps"] >= SCALE_FLOOR * single["rps"], (
+            f"{best_multi['workers']}-worker throughput "
+            f"{best_multi['rps']:.0f} req/s did not reach "
+            f"{SCALE_FLOOR}x the single-worker {single['rps']:.0f} req/s "
+            f"on a {cores}-core host"
+        )

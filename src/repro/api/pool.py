@@ -1,0 +1,621 @@
+"""Pre-forked multi-worker serving: N processes, one port, one grid plane.
+
+``repro serve --workers N`` runs this module instead of a bare
+:func:`repro.api.server.serve`.  The parent binds the listening
+socket(s), creates the cross-process grid plane
+(:class:`~repro.optimize.shm.SharedGridPlane`) and a stats board
+(:class:`~repro.optimize.shm.PoolBoard`), then forks N workers that each
+run the existing asyncio serve loop unchanged.  Two accept strategies:
+
+* **SO_REUSEPORT** (Linux, modern BSD/macOS): every worker gets its own
+  listening socket bound to the same address, and the kernel load-
+  balances accepts across them — no accept mutex, no thundering herd.
+* **Inherited socket** (fallback, or ``reuse_port=False``): the parent
+  binds once and every forked worker polls the same fd; the kernel
+  wakes one on each connection.
+
+Either way the bind happens *before* the fork, so the port is accepting
+(connections queue) the moment :meth:`WorkerPool.start` returns.
+
+Lifecycle: the parent supervises — a worker that dies is reaped and a
+replacement forked into the same slot; ``SIGTERM``/``SIGINT`` to the
+parent fans out as SIGTERM to the workers, each of which stops
+accepting, drains in-flight connections, and exits; the parent then
+unlinks the shm segments (plane + board) so ``/dev/shm`` is left clean.
+
+Observability: each worker publishes its own counters (requests, errors,
+shared-plane traffic) to its board slot; ``/healthz`` answers from *any*
+worker with a ``pool`` block listing every member by pid, and
+``/metrics`` exports per-pid ``repro_pool_worker_*`` gauges — so the
+PR-6/8 dashboards see the whole pool, not one process.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import signal
+import socket
+import threading
+import time
+import traceback
+from contextlib import suppress
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import ReproError
+from repro.obs import metrics as obs_metrics
+from repro.optimize.engine import default_store
+from repro.optimize.shm import (
+    DEFAULT_MAX_BYTES,
+    HAVE_SHARED_MEMORY,
+    PoolBoard,
+    SharedGridPlane,
+)
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8080
+
+#: seconds a worker gets to drain in-flight connections after SIGTERM
+#: before the parent escalates to SIGKILL.
+DEFAULT_GRACE_S = 5.0
+
+_LISTEN_BACKLOG = 1024
+
+#: how many workers a single pool may run — a sanity bound, not a tuning
+#: knob (each worker is a full process with its own interpreter).
+MAX_WORKERS = 64
+
+#: per-pool shm namespace uniquifier so sequential pools in one process
+#: (tests) never collide on plane/board segment names.
+_POOL_SEQ = 0
+
+
+# ---------------------------------------------------------------------------
+# Worker-side runtime: what a forked worker knows about its pool.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PoolRuntime:
+    """The pool context a worker process carries (None outside pools)."""
+
+    board: PoolBoard
+    plane: SharedGridPlane
+    slot: int
+    workers: int
+    so_reuseport: bool
+    started: float
+
+
+#: set inside each forked worker by :meth:`WorkerPool._worker_main`;
+#: stays None in single-process serves and in the supervisor parent.
+_RUNTIME: PoolRuntime | None = None
+
+_SHARED_EVENTS = ("hits", "superset_hits", "misses", "published")
+
+
+def _watch_parent(parent_pid: int, poll_every_s: float = 1.0) -> None:
+    """Daemon thread: self-SIGTERM when the supervisor disappears.
+
+    A worker whose parent died (crash, SIGKILL) would otherwise serve
+    forever as an orphan holding the port and the shm plane open;
+    SIGTERM routes it through the normal graceful drain instead.
+    """
+    while True:
+        time.sleep(poll_every_s)
+        if os.getppid() != parent_pid:
+            os.kill(os.getpid(), signal.SIGTERM)
+            return
+
+
+def _pid_alive(pid: int) -> bool:
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, not ours
+        return True
+    return True
+
+
+def _worker_stats() -> dict[str, Any]:
+    """This worker's board payload: serving + shared-plane counters."""
+    rt = _RUNTIME
+    assert rt is not None
+    registry = obs_metrics.registry()
+    shared = default_store().stats()["shared"]
+    now = time.time()
+    return {
+        "pid": os.getpid(),
+        "slot": rt.slot,
+        "started": round(rt.started, 3),
+        "updated": round(now, 3),
+        "uptime_s": round(now - rt.started, 3),
+        "requests_total": int(registry.value("repro_http_requests_total")),
+        "errors_total": int(registry.value("repro_http_errors_total")),
+        "connections_total": int(
+            registry.value("repro_http_connections_total")
+        ),
+        "shared": {event: int(shared[event]) for event in _SHARED_EVENTS},
+    }
+
+
+def publish_worker_stats() -> None:
+    """Write this worker's current counters to its board slot."""
+    rt = _RUNTIME
+    if rt is not None:
+        rt.board.write(rt.slot, _worker_stats())
+
+
+def health_block() -> dict[str, Any] | None:
+    """The ``pool`` block of ``/healthz`` — None outside ``--workers``.
+
+    Any worker can answer for the whole pool: it refreshes its own board
+    slot, then reads every member's last-published counters.  ``up`` is
+    a live kill-0 probe, so a crashed-but-not-yet-respawned sibling
+    shows ``up: false`` rather than vanishing.
+    """
+    rt = _RUNTIME
+    if rt is None:
+        return None
+    publish_worker_stats()
+    members: list[dict[str, Any]] = []
+    totals = {
+        "requests_total": 0,
+        "errors_total": 0,
+        "shared_hits": 0,
+        "shared_superset_hits": 0,
+        "shared_misses": 0,
+        "shared_published": 0,
+    }
+    for payload in rt.board.read_all():
+        member = dict(payload)
+        member["up"] = _pid_alive(int(member.get("pid", 0)))
+        members.append(member)
+        totals["requests_total"] += int(member.get("requests_total", 0))
+        totals["errors_total"] += int(member.get("errors_total", 0))
+        shared = member.get("shared", {})
+        for event in _SHARED_EVENTS:
+            totals[f"shared_{event}"] += int(shared.get(event, 0))
+    members.sort(key=lambda m: int(m.get("slot", 0)))
+    return {
+        "workers": rt.workers,
+        "pid": os.getpid(),
+        "slot": rt.slot,
+        "so_reuseport": rt.so_reuseport,
+        "members": members,
+        "totals": totals,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Worker-side /metrics: per-pid pool gauges, refreshed per render.
+# ---------------------------------------------------------------------------
+
+_POOL_FAMILIES: dict[str, Any] | None = None
+
+
+def _pool_families() -> dict[str, Any]:
+    global _POOL_FAMILIES
+    if _POOL_FAMILIES is None:
+        registry = obs_metrics.registry()
+        _POOL_FAMILIES = {
+            "workers": registry.gauge(
+                "repro_pool_workers",
+                "Configured worker count of the serving pool.",
+            ),
+            "up": registry.gauge(
+                "repro_pool_worker_up",
+                "1 while a pool worker answers kill-0, by pid and slot.",
+                labelnames=("pid", "slot"),
+            ),
+            "requests": registry.gauge(
+                "repro_pool_worker_requests_total",
+                "HTTP requests answered by one pool worker.",
+                labelnames=("pid",),
+            ),
+            "errors": registry.gauge(
+                "repro_pool_worker_errors_total",
+                "HTTP 4xx/5xx responses from one pool worker.",
+                labelnames=("pid",),
+            ),
+            "shared": registry.gauge(
+                "repro_pool_worker_grid_shared",
+                "Shared-plane grid events in one pool worker, by event.",
+                labelnames=("pid", "event"),
+            ),
+        }
+    return _POOL_FAMILIES
+
+
+def _collect_pool_metrics() -> None:
+    """Render hook: mirror the board into per-pid gauges.
+
+    A respawned worker reuses its predecessor's board slot, so dead
+    pids drop off the board on their own; this hook then removes their
+    now-stale label children so ``/metrics`` doesn't export ghosts.
+    """
+    rt = _RUNTIME
+    if rt is None:
+        return
+    publish_worker_stats()
+    families = _pool_families()
+    families["workers"].set(rt.workers)
+    live_keys: set[tuple[str, str]] = set()
+    live_pids: set[str] = set()
+    for member in rt.board.read_all():
+        pid = str(member.get("pid", 0))
+        slot = str(member.get("slot", 0))
+        up = 1.0 if _pid_alive(int(member.get("pid", 0))) else 0.0
+        families["up"].labels(pid, slot).set(up)
+        families["requests"].labels(pid).set(
+            float(member.get("requests_total", 0))
+        )
+        families["errors"].labels(pid).set(
+            float(member.get("errors_total", 0))
+        )
+        shared = member.get("shared", {})
+        for event in _SHARED_EVENTS:
+            families["shared"].labels(pid, event).set(
+                float(shared.get(event, 0))
+            )
+        live_keys.add((pid, slot))
+        live_pids.add(pid)
+    for key, _child in families["up"]._snapshot():
+        if key not in live_keys:
+            families["up"].remove(*key)
+    for name in ("requests", "errors", "shared"):
+        for key, _child in families[name]._snapshot():
+            if key[0] not in live_pids:
+                families[name].remove(*key)
+
+
+# ---------------------------------------------------------------------------
+# The pool itself (parent side).
+# ---------------------------------------------------------------------------
+
+
+class WorkerPool:
+    """Pre-fork N serving workers sharing one port and one grid plane.
+
+    The parent process never serves: it binds, forks, supervises
+    (respawn on death), and owns shm teardown.  ``reuse_port=None``
+    auto-detects ``SO_REUSEPORT``; ``True`` requires it; ``False``
+    forces the inherited-socket fallback (useful in tests and on
+    platforms where per-socket load balancing misbehaves).
+    """
+
+    def __init__(
+        self,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        workers: int = 2,
+        *,
+        max_concurrency: int | None = None,
+        sample_every_s: float | None = 5.0,
+        shm_max_bytes: int | None = None,
+        reuse_port: bool | None = None,
+        quiet: bool = False,
+        grace_s: float = DEFAULT_GRACE_S,
+        worker_setup: Callable[[int], None] | None = None,
+    ) -> None:
+        if not 1 <= workers <= MAX_WORKERS:
+            raise ReproError(
+                f"workers must be between 1 and {MAX_WORKERS}, got {workers}"
+            )
+        if not HAVE_SHARED_MEMORY:
+            raise ReproError(
+                "multi-worker serving needs POSIX shared memory "
+                "(multiprocessing.shared_memory + fcntl), unavailable here"
+            )
+        if not hasattr(os, "fork"):  # pragma: no cover - non-POSIX
+            raise ReproError("multi-worker serving requires os.fork")
+        self.host = host
+        self.port = port  # rewritten to the resolved port by start()
+        self.workers = workers
+        self.max_concurrency = max_concurrency
+        self.sample_every_s = sample_every_s
+        self.shm_max_bytes = (
+            DEFAULT_MAX_BYTES if shm_max_bytes is None else shm_max_bytes
+        )
+        self.quiet = quiet
+        self.grace_s = grace_s
+        self.respawns = 0
+        self.so_reuseport = False
+        self._reuse_port_req = reuse_port
+        self._worker_setup = worker_setup
+        self._sockets: list[socket.socket] = []
+        self._children: dict[int, int] = {}  # pid -> slot
+        self._plane: SharedGridPlane | None = None
+        self._board: PoolBoard | None = None
+        self._stopping = False
+        self._stopped = False
+        self._stop_requested = False
+
+    # -- binding ----------------------------------------------------------------
+
+    @staticmethod
+    def _listen_socket(
+        host: str, port: int, *, reuse_port: bool
+    ) -> socket.socket:
+        family = socket.AF_INET6 if ":" in host else socket.AF_INET
+        sock = socket.socket(family, socket.SOCK_STREAM)
+        try:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            if reuse_port:
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+            sock.bind((host, port))
+            sock.listen(_LISTEN_BACKLOG)
+            sock.setblocking(False)
+        except OSError as exc:
+            sock.close()
+            if exc.errno in (errno.EADDRINUSE, errno.EACCES):
+                raise ReproError(
+                    f"cannot listen on {host}:{port} — "
+                    f"{exc.strerror or 'address already in use'}"
+                ) from None
+            raise
+        return sock
+
+    def _bind_sockets(self) -> None:
+        want = self._reuse_port_req
+        use = (
+            want
+            if want is not None
+            else hasattr(socket, "SO_REUSEPORT")
+        )
+        if use and not hasattr(socket, "SO_REUSEPORT"):
+            raise ReproError(
+                "SO_REUSEPORT is not available on this platform; "
+                "pass reuse_port=False for the inherited-socket fallback"
+            )
+        if use:
+            # the first bind resolves port 0; siblings join the result
+            first = self._listen_socket(self.host, self.port, reuse_port=True)
+            port = first.getsockname()[1]
+            sockets = [first]
+            try:
+                for _ in range(self.workers - 1):
+                    sockets.append(
+                        self._listen_socket(self.host, port, reuse_port=True)
+                    )
+            except BaseException:
+                for sock in sockets:
+                    sock.close()
+                raise
+            self._sockets, self.port, self.so_reuseport = sockets, port, True
+            return
+        sock = self._listen_socket(self.host, self.port, reuse_port=False)
+        self._sockets = [sock]
+        self.port = sock.getsockname()[1]
+        self.so_reuseport = False
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start(self) -> None:
+        """Bind, create the shm plane/board, and fork every worker."""
+        global _POOL_SEQ
+        if self._sockets:
+            raise ReproError("pool already started")
+        _POOL_SEQ += 1
+        self._bind_sockets()
+        name = f"{os.getpid():x}p{_POOL_SEQ}"
+        try:
+            self._plane = SharedGridPlane(
+                name, create=True, max_bytes=self.shm_max_bytes
+            )
+            self._board = PoolBoard(name, self.workers, create=True)
+        except BaseException:
+            self.stop()
+            raise
+        for slot in range(self.workers):
+            self._spawn(slot)
+        if not self.quiet:
+            mode = (
+                "SO_REUSEPORT" if self.so_reuseport else "inherited socket"
+            )
+            print(
+                f"repro api pool: {self.workers} worker(s) on "
+                f"http://{self.host}:{self.port} ({mode}, "
+                f"shared grid plane {name!r})",
+                flush=True,
+            )
+
+    def _spawn(self, slot: int) -> int:
+        pid = os.fork()
+        if pid > 0:
+            self._children[pid] = slot
+            return pid
+        # -- child: run the serve loop, then leave WITHOUT unwinding the
+        # parent's stack (atexit/pytest hooks belong to the parent)
+        code = 70
+        try:
+            code = self._worker_main(slot)
+        except BaseException:  # noqa: BLE001 - the child must never return
+            traceback.print_exc()
+        finally:
+            os._exit(code)
+        return 0  # unreachable
+
+    def _worker_main(self, slot: int) -> int:
+        global _RUNTIME
+        # Ctrl-C goes to the whole foreground group: the parent turns it
+        # into per-worker SIGTERM, which the serve loop drains on — a
+        # raw KeyboardInterrupt here would skip the drain.
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+        threading.Thread(
+            target=_watch_parent, args=(os.getppid(),), daemon=True
+        ).start()
+        assert self._plane is not None and self._board is not None
+        sock = (
+            self._sockets[slot] if self.so_reuseport else self._sockets[0]
+        )
+        for other in self._sockets:
+            if other is not sock:
+                other.close()
+        default_store().attach_plane(self._plane)
+        _RUNTIME = PoolRuntime(
+            board=self._board,
+            plane=self._plane,
+            slot=slot,
+            workers=self.workers,
+            so_reuseport=self.so_reuseport,
+            started=time.time(),
+        )
+        # register the gauge families eagerly: render() snapshots the
+        # family list *before* running collectors, so families created
+        # lazily inside the hook would miss their first exposition
+        _pool_families()
+        obs_metrics.registry().register_collector(_collect_pool_metrics)
+        publish_worker_stats()
+        if self._worker_setup is not None:
+            self._worker_setup(slot)
+        from repro.api.server import serve
+
+        return serve(
+            self.host,
+            self.port,
+            max_concurrency=self.max_concurrency,
+            sample_every_s=self.sample_every_s,
+            sock=sock,
+            handle_sigterm=True,
+            quiet=True,  # the parent prints the pool banner
+            drain_grace_s=self.grace_s,
+        )
+
+    # -- supervision ------------------------------------------------------------
+
+    @property
+    def pids(self) -> list[int]:
+        return sorted(self._children)
+
+    def request_stop(self) -> None:
+        """Ask :meth:`wait` to return (signal-handler safe)."""
+        self._stop_requested = True
+
+    def poll(self) -> None:
+        """Reap exited workers; respawn them unless the pool is stopping."""
+        for pid in list(self._children):
+            try:
+                done, _status = os.waitpid(pid, os.WNOHANG)
+            except ChildProcessError:  # pragma: no cover - reaped elsewhere
+                done = pid
+            if done == 0:
+                continue
+            slot = self._children.pop(pid)
+            if not self._stopping and not self._stop_requested:
+                self.respawns += 1
+                self._spawn(slot)
+
+    def wait(self, poll_every_s: float = 0.1) -> None:
+        """Supervise until :meth:`request_stop` (then tear down)."""
+        try:
+            while self._children and not self._stop_requested:
+                self.poll()
+                time.sleep(poll_every_s)
+        finally:
+            self.stop()
+
+    def stop(self) -> None:
+        """SIGTERM-drain every worker, escalate, and unlink all shm."""
+        if self._stopped:
+            return
+        self._stopping = True
+        for pid in list(self._children):
+            with suppress(ProcessLookupError):
+                os.kill(pid, signal.SIGTERM)
+        deadline = time.monotonic() + self.grace_s + 2.0
+        while self._children and time.monotonic() < deadline:
+            self._reap()
+            if self._children:
+                time.sleep(0.05)
+        for pid in list(self._children):  # drain took too long: escalate
+            with suppress(ProcessLookupError):
+                os.kill(pid, signal.SIGKILL)
+        while self._children:
+            pid = next(iter(self._children))
+            with suppress(ChildProcessError):
+                os.waitpid(pid, 0)
+            self._children.pop(pid, None)
+        for sock in self._sockets:
+            sock.close()
+        self._sockets = []
+        if self._board is not None:
+            self._board.destroy()
+            self._board = None
+        if self._plane is not None:
+            self._plane.destroy()
+            self._plane = None
+        self._stopped = True
+
+    def _reap(self) -> None:
+        for pid in list(self._children):
+            try:
+                done, _status = os.waitpid(pid, os.WNOHANG)
+            except ChildProcessError:  # pragma: no cover
+                done = pid
+            if done:
+                self._children.pop(pid, None)
+
+    def __enter__(self) -> "WorkerPool":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def serve_pool(
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    workers: int = 2,
+    *,
+    max_concurrency: int | None = None,
+    sample_every_s: float | None = 5.0,
+    shm_max_bytes: int | None = None,
+    reuse_port: bool | None = None,
+    quiet: bool = False,
+    grace_s: float = DEFAULT_GRACE_S,
+    ready=None,
+) -> int:
+    """Run a supervised worker pool until SIGTERM/SIGINT (CLI entry).
+
+    Mirrors :func:`repro.api.server.serve`: ``ready`` (an Event-alike)
+    gets ``.address`` and is set once the port is bound and accepting.
+    """
+    pool = WorkerPool(
+        host,
+        port,
+        workers,
+        max_concurrency=max_concurrency,
+        sample_every_s=sample_every_s,
+        shm_max_bytes=shm_max_bytes,
+        reuse_port=reuse_port,
+        quiet=quiet,
+        grace_s=grace_s,
+    )
+    pool.start()
+    if ready is not None:
+        ready.address = (pool.host, pool.port)
+        ready.pool = pool  # embedding hook: callers drive request_stop()
+        ready.set()
+    previous = {}
+    if threading.current_thread() is threading.main_thread():
+        # embedded supervisors (tests) drive request_stop() themselves;
+        # installing handlers off the main thread is a ValueError
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            previous[signum] = signal.signal(
+                signum, lambda *_args: pool.request_stop()
+            )
+    try:
+        pool.wait()
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        pool.stop()
+    if not quiet:
+        print("repro api pool: shut down cleanly", flush=True)
+    return 0

@@ -36,6 +36,8 @@ import contextvars
 import errno
 import json
 import os
+import signal
+import socket
 import time
 from typing import Any
 
@@ -137,8 +139,11 @@ def _error_payload(kind: str, message: str) -> dict[str, Any]:
 def _health_payload() -> dict[str, Any]:
     from repro import __version__
 
+    # late import: repro.api.pool imports this module for the serve loop
+    from repro.api.pool import health_block
+
     registry = obs_metrics.registry()
-    return {
+    payload = {
         "status": "ok",
         "version": __version__,
         "api_version": API_VERSION,
@@ -161,6 +166,12 @@ def _health_payload() -> dict[str, Any]:
             ),
         },
     }
+    pool = health_block()
+    if pool is not None:
+        # multi-worker serve: this worker's slot plus a board-aggregated
+        # view of every sibling (per-pid counters + pool totals)
+        payload["pool"] = pool
+    return payload
 
 
 async def _read_request(
@@ -435,8 +446,14 @@ async def _handle_one(
     return keep_alive
 
 
-def _make_handler(max_concurrency: int | None):
-    """The per-connection coroutine, closing over the saturation gate."""
+def _make_handler(max_concurrency: int | None, active: list[int] | None = None):
+    """The per-connection coroutine, closing over the saturation gate.
+
+    ``active`` (a one-cell list) tracks live connections for graceful
+    drain: on SIGTERM the serve loop closes the listener, then waits for
+    this count to reach zero before exiting — ``Server.wait_closed`` on
+    3.11 does not wait for handler tasks.
+    """
     semaphore = (
         asyncio.Semaphore(max_concurrency) if max_concurrency else None
     )
@@ -445,6 +462,8 @@ def _make_handler(max_concurrency: int | None):
         reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         _HTTP_CONNECTIONS.inc()
+        if active is not None:
+            active[0] += 1
         try:
             if semaphore is not None and semaphore.locked():
                 # every slot busy: shed load *now* with a structured 503
@@ -481,6 +500,8 @@ def _make_handler(max_concurrency: int | None):
             else:
                 await _serve_connection(reader, writer)
         finally:
+            if active is not None:
+                active[0] -= 1
             writer.close()
             try:
                 await writer.wait_closed()
@@ -512,20 +533,36 @@ async def start_server(
     port: int = DEFAULT_PORT,
     *,
     max_concurrency: int | None = None,
+    sock: socket.socket | None = None,
+    reuse_port: bool = False,
+    _active: list[int] | None = None,
 ) -> asyncio.base_events.Server:
     """Bind and return the listening server (caller drives the loop).
 
     ``max_concurrency`` caps in-flight connections; beyond it new
-    arrivals get an immediate 503.  Raises
+    arrivals get an immediate 503.  ``sock`` serves an already-bound
+    listening socket (the pool's pre-fork path) instead of binding
+    ``host:port``; ``reuse_port`` sets ``SO_REUSEPORT`` on the bind so
+    sibling workers can share the port.  Raises
     :class:`~repro.errors.ReproError` with a clean message when the port
     is already taken.
     """
     if max_concurrency is not None and max_concurrency < 1:
         raise ReproError("max_concurrency must be at least 1")
+    handler = _make_handler(max_concurrency, _active)
     try:
-        return await asyncio.start_server(
-            _make_handler(max_concurrency), host, port
-        )
+        if sock is not None:
+            return await asyncio.start_server(handler, sock=sock)
+        if reuse_port:
+            if not hasattr(socket, "SO_REUSEPORT"):
+                raise ReproError(
+                    "SO_REUSEPORT is not available on this platform; "
+                    "use the inherited-socket pool mode instead"
+                )
+            return await asyncio.start_server(
+                handler, host, port, reuse_port=True
+            )
+        return await asyncio.start_server(handler, host, port)
     except OSError as exc:
         if exc.errno in (errno.EADDRINUSE, errno.EACCES):
             raise ReproError(
@@ -541,10 +578,16 @@ async def _sampling_ticker(every_s: float) -> None:
     Evaluating on every tick matters for ``for_s`` rules: a breach can
     only escalate from pending to firing if something keeps checking.
     """
+    from repro.api.pool import publish_worker_stats
+
     while True:
         await asyncio.sleep(every_s)
         obs_store.recorder().sample()
         obs_slo.engine().evaluate()
+        # pool workers refresh their board slot on the same cadence so
+        # siblings' /healthz aggregation never reads minutes-stale
+        # counters (no-op outside --workers mode)
+        publish_worker_stats()
 
 
 async def _serve_forever(
@@ -553,17 +596,33 @@ async def _serve_forever(
     ready,
     max_concurrency: int | None,
     sample_every_s: float | None = 5.0,
+    *,
+    sock: socket.socket | None = None,
+    handle_sigterm: bool = False,
+    quiet: bool = False,
+    drain_grace_s: float = 5.0,
 ) -> None:
     global _STARTED_AT
-    server = await start_server(host, port, max_concurrency=max_concurrency)
+    active: list[int] = [0]
+    server = await start_server(
+        host, port, max_concurrency=max_concurrency, sock=sock, _active=active
+    )
     _STARTED_AT = time.time()  # /healthz uptime counts from bind, not import
     addr = server.sockets[0].getsockname() if server.sockets else (host, port)
     limit = f", max {max_concurrency} in flight" if max_concurrency else ""
-    print(
-        f"repro api v{API_VERSION} listening on http://{addr[0]}:{addr[1]} "
-        f"(POST /v1/<op>, GET /healthz|/metrics|/alerts, keep-alive{limit})",
-        flush=True,
-    )
+    if not quiet:
+        print(
+            f"repro api v{API_VERSION} listening on "
+            f"http://{addr[0]}:{addr[1]} "
+            f"(POST /v1/<op>, GET /healthz|/metrics|/alerts, "
+            f"keep-alive{limit})",
+            flush=True,
+        )
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    if handle_sigterm:
+        # pool workers: SIGTERM means drain, not die mid-reply
+        loop.add_signal_handler(signal.SIGTERM, stop.set)
     ticker: asyncio.Task | None = None
     if sample_every_s is not None and sample_every_s > 0.0:
         obs_store.recorder().sample()  # a first point before the first tick
@@ -571,12 +630,27 @@ async def _serve_forever(
     if ready is not None:
         ready.address = (addr[0], addr[1])  # port 0 resolves to the real bind
         ready.set()
+    serving = asyncio.create_task(server.serve_forever())
+    stopping = asyncio.create_task(stop.wait())
     try:
-        async with server:
-            await server.serve_forever()
+        await asyncio.wait(
+            {serving, stopping}, return_when=asyncio.FIRST_COMPLETED
+        )
     finally:
+        for task in (serving, stopping):
+            task.cancel()
         if ticker is not None:
             ticker.cancel()
+        # graceful drain: stop accepting, then let in-flight connections
+        # finish (bounded — a stuck client cannot hold shutdown hostage)
+        server.close()
+        try:
+            await server.wait_closed()
+        except (asyncio.CancelledError, ConnectionError):  # pragma: no cover
+            pass
+        deadline = loop.time() + max(drain_grace_s, 0.0)
+        while active[0] > 0 and loop.time() < deadline:
+            await asyncio.sleep(0.02)
 
 
 def serve(
@@ -585,6 +659,11 @@ def serve(
     ready=None,
     max_concurrency: int | None = None,
     sample_every_s: float | None = 5.0,
+    *,
+    sock: socket.socket | None = None,
+    handle_sigterm: bool = False,
+    quiet: bool = False,
+    drain_grace_s: float = 5.0,
 ) -> int:
     """Run the server until interrupted (the ``repro serve`` entry point).
 
@@ -592,12 +671,22 @@ def serve(
     listening — the hook tests and embedding supervisors use.
     ``sample_every_s`` paces the retained-telemetry ticker (time-series
     samples + SLO evaluation); ``None`` or 0 disables it, which is what
-    the deterministic in-loop test servers use.
+    the deterministic in-loop test servers use.  ``sock`` /
+    ``handle_sigterm`` / ``quiet`` are the pool-worker mode: serve an
+    inherited pre-bound socket and drain gracefully on SIGTERM.
     """
     try:
         asyncio.run(
             _serve_forever(
-                host, port, ready, max_concurrency, sample_every_s
+                host,
+                port,
+                ready,
+                max_concurrency,
+                sample_every_s,
+                sock=sock,
+                handle_sigterm=handle_sigterm,
+                quiet=quiet,
+                drain_grace_s=drain_grace_s,
             )
         )
     except KeyboardInterrupt:  # pragma: no cover - interactive teardown

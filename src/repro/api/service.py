@@ -189,6 +189,13 @@ def _collect_cache_metrics() -> None:
     _CACHE_ENTRIES.labels("grid_store_hetero").set(store["hetero_entries"])
     _GRID_STORE_BYTES.labels("homogeneous").set(store["bytes"])
     _GRID_STORE_BYTES.labels("hetero").set(store["hetero_bytes"])
+    # cross-process plane traffic (all zeros outside --workers mode)
+    shared = store["shared"]
+    for event in ("hits", "superset_hits", "misses", "published", "evicted"):
+        _GRID_STORE_EVENTS.labels(f"shared_{event}").set(shared[event])
+    _GRID_STORE_BYTES.labels("shared").set(shared["shared_bytes"])
+    _GRID_STORE_BYTES.labels("shared_segments").set(shared["segment_bytes"])
+    _CACHE_ENTRIES.labels("grid_store_shared").set(shared["attached_segments"])
 
 
 obs_metrics.registry().register_collector(_collect_cache_metrics)

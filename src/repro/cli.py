@@ -668,6 +668,15 @@ def cmd_cache_stats(args) -> int:
                          f"{store['hetero_entries']} grids, "
                          f"{store['hetero_bytes']} bytes"),
     ]
+    shared = store["shared"]
+    rows.append((
+        "shared plane",
+        ("detached" if not shared["plane"] else
+         f"{shared['hits']} hits + {shared['superset_hits']} superset / "
+         f"{shared['misses']} misses, {shared['published']} published, "
+         f"{shared['attached_segments']}/{shared['segments']} segments "
+         f"attached, {shared['shared_bytes']} bytes"),
+    ))
     retained = cache_stats_payload()
     traces, series = retained["trace_store"], retained["timeseries"]
     rows.append((
@@ -765,8 +774,25 @@ def cmd_serve(args) -> int:
 
     # logging/slow-log policy belongs to the *process entry point*, not
     # to serve() itself — embedded/test servers stay quiet by default
+    # (workers fork after this, so the pool inherits the configuration)
     configure_logging(json_lines=args.log_json)
     set_slow_threshold_ms(args.slow_ms)
+    from repro.api.pool import MAX_WORKERS
+
+    if not 1 <= args.workers <= MAX_WORKERS:
+        raise ReproError(
+            f"--workers must be between 1 and {MAX_WORKERS}, "
+            f"got {args.workers}"
+        )
+    if args.workers > 1:
+        from repro.api.pool import serve_pool
+
+        return serve_pool(
+            host=args.host, port=args.port, workers=args.workers,
+            max_concurrency=args.max_concurrency,
+            sample_every_s=args.sample_every,
+            shm_max_bytes=args.shm_max_mb * (1 << 20),
+        )
     return serve(host=args.host, port=args.port,
                  max_concurrency=args.max_concurrency,
                  sample_every_s=args.sample_every)
@@ -1032,6 +1058,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--sample-every", type=float, default=5.0, metavar="S",
         help="retained-telemetry ticker period (time-series sampling + SLO "
              "evaluation); 0 disables",
+    )
+    p_srv.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="pre-fork N serving workers sharing the port (SO_REUSEPORT "
+             "where available) and one shared-memory grid plane",
+    )
+    p_srv.add_argument(
+        "--shm-max-mb", type=int, default=256, metavar="MB",
+        help="byte budget of the shared grid plane before FIFO eviction "
+             "(multi-worker mode only)",
     )
     p_srv.set_defaults(func=cmd_serve)
 

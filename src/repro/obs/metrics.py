@@ -258,6 +258,17 @@ class _Family:
                 child = self._children.setdefault(values, self._make_child())
         return child
 
+    def remove(self, *values) -> None:
+        """Forget one labelled child (no-op when absent).
+
+        Collectors that mirror external membership — e.g. the pool's
+        per-``pid`` worker gauges — use this so series for departed
+        members stop being exported instead of flatlining forever.
+        """
+        key = tuple(str(v) for v in values)
+        with self._lock:
+            self._children.pop(key, None)
+
     def _snapshot(self) -> list[tuple[tuple[str, ...], _Child]]:
         with self._lock:
             return list(self._children.items())

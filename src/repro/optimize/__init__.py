@@ -42,6 +42,11 @@ from repro.optimize.engine import (
     ee_pairs,
     grid_for,
 )
+from repro.optimize.shm import (
+    HAVE_SHARED_MEMORY,
+    PoolBoard,
+    SharedGridPlane,
+)
 from repro.optimize.grid import (
     GridResult,
     ee_at_pairs,
@@ -87,4 +92,7 @@ __all__ = [
     "eligible_rungs",
     "power_ladder",
     "schedule_jobs",
+    "HAVE_SHARED_MEMORY",
+    "PoolBoard",
+    "SharedGridPlane",
 ]

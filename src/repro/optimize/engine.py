@@ -37,6 +37,7 @@ full evaluation traffic in one place).
 
 from __future__ import annotations
 
+import json
 import threading
 from collections import OrderedDict
 from typing import Any, Callable, Sequence
@@ -44,7 +45,7 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from repro.core.model import IsoEnergyModel
-from repro.errors import ParameterError
+from repro.errors import ParameterError, ReproError
 from repro.obs.trace import span
 from repro.optimize.grid import GRID_METRICS, GridResult, ee_at_pairs, evaluate_grid
 
@@ -82,10 +83,16 @@ class GridStore:
             raise ParameterError("GridStore needs max_entries >= 1")
         self._max_entries = max_entries
         self._lock = threading.Lock()
-        # key -> (model, grid); OrderedDict gives LRU order
-        self._entries: OrderedDict[tuple, tuple[IsoEnergyModel, GridResult]] = (
-            OrderedDict()
-        )
+        # key -> (model, grid, local heap bytes); OrderedDict gives LRU
+        # order.  Grids attached from the shared plane carry 0 local
+        # bytes — their payload is resident in the shm segment, counted
+        # once plane-wide under ``shared_bytes``.
+        self._entries: OrderedDict[
+            tuple, tuple[IsoEnergyModel, GridResult, int]
+        ] = OrderedDict()
+        # optional cross-process plane (repro.optimize.shm); attached by
+        # the worker pool so forked workers serve each other's grids
+        self._plane = None
         self._axes: dict[tuple, tuple] = {}
         # owner-keyed side table for heterogeneous-pool grids (the owner
         # is the HeteroSpace; entries hold a strong reference so its id
@@ -104,6 +111,10 @@ class GridStore:
         self.hetero_misses = 0
         self.hetero_evictions = 0
         self.hetero_bytes = 0
+        self.shared_hits = 0
+        self.shared_superset_hits = 0
+        self.shared_misses = 0
+        self.shared_published = 0
 
     # -- key construction ---------------------------------------------------------
 
@@ -126,6 +137,56 @@ class GridStore:
         fs = self._intern(tuple(model.machine_at(f).f for f in fs_raw))
         ns = self._intern(tuple(float(n) for n in n_values))
         return (id(model), ps, fs, ns)
+
+    # -- cross-process plane ------------------------------------------------------
+
+    def attach_plane(self, plane) -> None:
+        """Join a :class:`~repro.optimize.shm.SharedGridPlane`.
+
+        Once attached, grids published by *any* process on the plane are
+        served here (exact attach or superset slice) before evaluating,
+        and grids this store evaluates for fingerprinted models are
+        published for the others.  Pass ``None`` to detach (the plane
+        itself is not closed — its views may still be cached).
+        """
+        with self._lock:
+            self._plane = plane
+
+    def plane(self):
+        """The attached shared plane, or None."""
+        return self._plane
+
+    @staticmethod
+    def _shared_model_key(model: IsoEnergyModel) -> str | None:
+        """The cross-process model fingerprint, or None to stay local.
+
+        Object identity (the in-process key) means nothing across
+        workers, so cross-process sharing is opt-in: models carrying a
+        ``shared_key`` — a content fingerprint of Θ1 and the workload
+        selector, set by deterministic factories like
+        :func:`repro.paperdata.paper_model` — participate; anything
+        else (ad-hoc calibration models, mutated registries) is served
+        process-locally only.
+        """
+        shared = getattr(model, "shared_key", None)
+        if shared is None:
+            return None
+        try:
+            return json.dumps(shared, separators=(",", ":"))
+        except (TypeError, ValueError):
+            return None
+
+    def _from_plane(self, plane, model_json: str, key: tuple):
+        """(grid, kind) attached from the shared plane, or (None, '')."""
+        _, ps, fs, ns = key
+        with span("grid.shared_attach"):
+            grid = plane.lookup(model_json, ps, fs, ns)
+            if grid is not None:
+                return grid, "exact"
+            grid = plane.lookup_superset(model_json, ps, fs, ns)
+        if grid is not None:
+            return grid, "superset"
+        return None, ""
 
     # -- lookup -------------------------------------------------------------------
 
@@ -162,6 +223,29 @@ class GridStore:
                 self.superset_hits += 1
                 self._put_locked(key, model, sliced)
                 return sliced
+            plane = self._plane
+        # consult the cross-process plane before evaluating: a sibling
+        # worker may have published this grid already.  Plane reads are
+        # lock-free (seqlock), so this happens outside the store lock.
+        model_json = (
+            self._shared_model_key(model) if plane is not None else None
+        )
+        if model_json is not None:
+            try:
+                grid, kind = self._from_plane(plane, model_json, key)
+            except ReproError:  # wedged index: fall back to evaluating
+                grid, kind = None, ""
+            if grid is not None:
+                with self._lock:
+                    if kind == "exact":
+                        self.shared_hits += 1
+                        # payload is shm-resident: 0 local heap bytes
+                        self._put_locked(key, model, grid, nbytes=0)
+                    else:
+                        self.shared_superset_hits += 1
+                        self._put_locked(key, model, grid)
+                return grid
+            self.shared_misses += 1
         # evaluate outside the lock: concurrent identical misses may race,
         # but the evaluation is pure and the second put is a harmless no-op
         with span("grid.evaluate"):
@@ -170,6 +254,13 @@ class GridStore:
                     model, p_values=key[1], f_values=key[2], n_values=key[3]
                 )
             )
+        if model_json is not None:
+            with span("grid.shared_publish"):
+                try:
+                    if plane.publish(model_json, grid):
+                        self.shared_published += 1
+                except ReproError:  # index overflow/wedge: stay local
+                    pass
         with self._lock:
             self.misses += 1
             self._put_locked(key, model, grid)
@@ -190,7 +281,7 @@ class GridStore:
                 and all(v in pos_f for v in fs)
                 and all(v in pos_n for v in ns)
             ):
-                _, cached = self._entries[other_key]
+                _, cached, _ = self._entries[other_key]
                 self._entries.move_to_end(other_key)
                 ix = np.ix_(
                     [pos_p[v] for v in ps],
@@ -212,15 +303,22 @@ class GridStore:
         return None
 
     def _put_locked(
-        self, key: tuple, model: IsoEnergyModel, grid: GridResult
+        self,
+        key: tuple,
+        model: IsoEnergyModel,
+        grid: GridResult,
+        nbytes: int | None = None,
     ) -> None:
+        """Insert one grid; ``nbytes`` overrides the local-heap charge
+        (0 for shm-attached views whose payload lives plane-side)."""
         if key in self._entries:
             return
-        self._entries[key] = (model, grid)
-        self.bytes += _grid_nbytes(grid)
+        charged = _grid_nbytes(grid) if nbytes is None else nbytes
+        self._entries[key] = (model, grid, charged)
+        self.bytes += charged
         while len(self._entries) > self._max_entries:
-            _, (_, evicted) = self._entries.popitem(last=False)
-            self.bytes -= _grid_nbytes(evicted)
+            _, (_, _, freed) = self._entries.popitem(last=False)
+            self.bytes -= freed
             self.evictions += 1
 
     # -- heterogeneous-pool grids -------------------------------------------------
@@ -264,10 +362,18 @@ class GridStore:
             self.pair_batches += 1
             self.pair_points += int(n_points)
 
-    def stats(self) -> dict[str, int]:
-        """Hit/miss/size counters as a JSON-ready mapping."""
+    def stats(self) -> dict[str, int | dict[str, int]]:
+        """Hit/miss/size counters as a JSON-ready mapping.
+
+        The ``shared`` block reports the cross-process plane: this
+        store's attach/publish traffic plus the plane-wide segment
+        census (``shared_bytes`` = bytes of segments this process has
+        attached; ``attached_segments`` = how many).  Without a plane
+        the block is all zeros with ``"plane": 0``.
+        """
         with self._lock:
-            return {
+            plane = self._plane
+            stats: dict[str, int | dict[str, int]] = {
                 "hits": self.hits,
                 "superset_hits": self.superset_hits,
                 "misses": self.misses,
@@ -283,15 +389,46 @@ class GridStore:
                 "hetero_bytes": self.hetero_bytes,
                 "hetero_evictions": self.hetero_evictions,
             }
+            shared: dict[str, int] = {
+                "plane": int(plane is not None),
+                "hits": self.shared_hits,
+                "superset_hits": self.shared_superset_hits,
+                "misses": self.shared_misses,
+                "published": self.shared_published,
+                "segments": 0,
+                "segment_bytes": 0,
+                "attached_segments": 0,
+                "shared_bytes": 0,
+                "evicted": 0,
+            }
+        if plane is not None:
+            ps = plane.stats()
+            shared.update(
+                segments=ps["segments"],
+                segment_bytes=ps["segment_bytes"],
+                attached_segments=ps["attached_segments"],
+                shared_bytes=ps["attached_bytes"],
+                evicted=ps["evicted"],
+            )
+        stats["shared"] = shared
+        return stats
 
     def clear(self) -> None:
-        """Drop every cached grid (counters survive; entries/bytes reset)."""
+        """Drop every cached grid (counters survive; entries/bytes reset).
+
+        With a plane attached, published segments are unlinked too — a
+        cache clear must not leave stale shared state that other workers
+        would keep serving after e.g. a registry mutation.
+        """
         with self._lock:
+            plane = self._plane
             self._entries.clear()
             self._axes.clear()
             self._hetero_entries.clear()
             self.bytes = 0
             self.hetero_bytes = 0
+        if plane is not None:
+            plane.clear()
 
 
 _DEFAULT_STORE = GridStore()

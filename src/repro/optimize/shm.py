@@ -1,0 +1,621 @@
+"""The shared-memory grid plane: one evaluation, many *processes*.
+
+:mod:`repro.optimize.engine` made grids shareable across every consumer
+inside one process.  This module extends the same idea across a pre-fork
+worker pool (:mod:`repro.api.pool`): the frozen NumPy payloads of a
+:class:`~repro.optimize.grid.GridResult` live in POSIX shared-memory
+segments (``multiprocessing.shared_memory``), published through a small
+shared *index* so that a grid computed by one worker is attached
+read-only — zero-copy — by every other worker instead of being
+recomputed.  Grids are immutable once published, which is exactly the
+read-mostly model state that makes multicore scaling cheap.
+
+Concurrency design
+------------------
+
+* **The index is a seqlock** (generation-counted directory).  A single
+  fixed-size segment holds ``(generation, length)`` followed by a JSON
+  payload listing every published grid.  Writers bump the generation to
+  an odd value, rewrite the payload, then bump it even again; readers
+  spin until they observe the same even generation before and after the
+  payload copy.  Reads therefore take **no lock at all** — the common
+  case (every worker checking the directory on a cache miss) never
+  serializes.
+* **Writers serialize on a file lock** (``fcntl.flock`` on a lockfile
+  derived from the plane name).  File locks work between arbitrary
+  processes with no inheritance requirements, so tests can attach to a
+  plane they did not create.
+* **Unlink is safe under concurrent readers**: POSIX keeps a mapping
+  alive after the name is unlinked, so evicting a segment another
+  worker has attached never invalidates that worker's arrays — the
+  memory is reclaimed when the last mapping closes.
+
+Every created or attached segment is *unregistered* from CPython's
+``resource_tracker``: before 3.13 the tracker registers attachments too,
+and would unlink segments still in use when any single worker exits.
+Lifecycle is explicit instead — eviction and :meth:`SharedGridPlane.clear`
+unlink segments, and :meth:`SharedGridPlane.destroy` (the pool parent's
+shutdown path) removes everything including the index, verified leak-free
+by ``tests/optimize/test_shm.py``.
+
+:class:`PoolBoard` rides the same segment machinery: a slot of
+seqlock-framed JSON per worker, each slot single-writer, so any worker
+can aggregate pool-wide serving stats for ``/healthz`` and ``/metrics``
+without IPC round trips.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import struct
+import tempfile
+import threading
+import time
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError, ReproError
+from repro.optimize.grid import GRID_METRICS, GridResult
+
+try:  # POSIX-only pieces; the plane degrades to unavailable elsewhere
+    import fcntl
+    from multiprocessing import shared_memory as _shared_memory
+
+    HAVE_SHARED_MEMORY = True
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    HAVE_SHARED_MEMORY = False
+
+#: every segment this module creates starts with this prefix — the
+#: leak-scan hook tests and ``destroy()`` key on.
+SEGMENT_PREFIX = "reprogs"
+
+#: default capacity of the index segment (JSON directory + header).
+DEFAULT_INDEX_BYTES = 1 << 20
+
+#: default ceiling on resident published-grid bytes; FIFO eviction
+#: (publish order) beyond it, oldest first.
+DEFAULT_MAX_BYTES = 256 << 20
+
+#: (generation, payload-length) little-endian header of the index and of
+#: each board slot.
+_HEADER = struct.Struct("<QQ")
+
+#: arrays carried by every published grid, in segment layout order.
+_GRID_ARRAYS = (*GRID_METRICS, "bottleneck")
+
+#: bound on seqlock read retries before declaring the writer wedged.
+_READ_RETRIES = 2000
+
+
+def _unregister(segment) -> None:
+    """Opt a *created* segment out of the resource tracker.
+
+    The tracker would otherwise unlink every segment when its creating
+    worker exits — even segments sibling workers still serve from.
+    Lifecycle is explicit here instead (eviction / ``clear`` /
+    ``destroy``).  Attach-only handles are never registered on the
+    CPythons we support, so this is only called after creation.
+    """
+    try:  # pragma: no branch
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker variations across 3.x
+        pass
+
+
+def shm_dir_entries(prefix: str = SEGMENT_PREFIX) -> list[str]:
+    """Live ``/dev/shm`` entries starting with ``prefix`` (Linux only).
+
+    The leak-scan primitive the lifecycle tests use; returns ``[]`` where
+    the kernel does not expose segments as files.
+    """
+    try:
+        return sorted(
+            name for name in os.listdir("/dev/shm") if name.startswith(prefix)
+        )
+    except OSError:  # pragma: no cover - non-Linux
+        return []
+
+
+def grid_nbytes(grid: GridResult) -> int:
+    """Total payload bytes of one grid's arrays."""
+    return sum(getattr(grid, name).nbytes for name in _GRID_ARRAYS)
+
+
+class SharedGridPlane:
+    """A cross-process directory of published :class:`GridResult` grids.
+
+    One process creates the plane (``create=True`` — the pool parent);
+    any number of others attach by name.  Keys are caller-provided JSON
+    strings for the *model* part (a content fingerprint — see
+    ``shared_key`` in :func:`repro.paperdata.paper_model`) plus the
+    value-level p/f/n axes, so forked workers resolving the same request
+    agree on the key without sharing object identity.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        create: bool = False,
+        index_bytes: int = DEFAULT_INDEX_BYTES,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+    ) -> None:
+        if not HAVE_SHARED_MEMORY:  # pragma: no cover - non-POSIX
+            raise ReproError(
+                "shared-memory grid plane needs POSIX shared memory "
+                "(multiprocessing.shared_memory + fcntl)"
+            )
+        if index_bytes < 4096:
+            raise ParameterError("index_bytes must be at least 4096")
+        if max_bytes < 1:
+            raise ParameterError("max_bytes must be positive")
+        self.name = name
+        self.max_bytes = int(max_bytes)
+        self._index_name = f"{SEGMENT_PREFIX}-{name}-idx"
+        self._lock_path = os.path.join(
+            tempfile.gettempdir(), f"{SEGMENT_PREFIX}-{name}.lock"
+        )
+        self._owner = bool(create)
+        self._tlock = threading.Lock()
+        # attached data segments, kept open for the plane's lifetime:
+        # numpy views into their buffers may be cached by any GridStore,
+        # so handles are only closed (best-effort) at detach/destroy
+        self._attached: dict[str, tuple[Any, int]] = {}
+        self._closed = False
+        # process-local traffic counters (plane-level census lives in
+        # the index itself)
+        self.published = 0
+        self.publish_races = 0
+        self.publish_rejects = 0
+        self.attach_hits = 0
+        self.superset_attach_hits = 0
+        self.attach_misses = 0
+        self.evicted = 0
+        if create:
+            self._index = _shared_memory.SharedMemory(
+                name=self._index_name, create=True, size=index_bytes + 16
+            )
+            _unregister(self._index)
+            with self._locked():
+                self._write_index_locked({"seq": 0, "entries": []})
+        else:
+            try:
+                self._index = _shared_memory.SharedMemory(name=self._index_name)
+            except FileNotFoundError:
+                raise ReproError(
+                    f"shared grid plane {name!r} does not exist "
+                    f"(no index segment {self._index_name!r})"
+                ) from None
+
+    # -- index access -------------------------------------------------------------
+
+    @contextlib.contextmanager
+    def _locked(self):
+        """Exclusive writer section: thread lock + cross-process flock."""
+        with self._tlock:
+            fd = os.open(self._lock_path, os.O_CREAT | os.O_RDWR, 0o600)
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+                yield
+            finally:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+                os.close(fd)
+
+    def _read_index(self) -> dict[str, Any]:
+        """One consistent directory snapshot (lock-free seqlock read)."""
+        buf = self._index.buf
+        for _ in range(_READ_RETRIES):
+            gen1, length = _HEADER.unpack_from(buf, 0)
+            if gen1 % 2:  # a writer is mid-update
+                time.sleep(0.0002)
+                continue
+            payload = bytes(buf[16 : 16 + length])
+            gen2, _ = _HEADER.unpack_from(buf, 0)
+            if gen1 == gen2:
+                if not length:
+                    return {"seq": 0, "entries": []}
+                return json.loads(payload)
+            time.sleep(0.0002)
+        raise ReproError(
+            f"shared grid index of plane {self.name!r} stayed "
+            "write-locked; a writer likely died mid-update"
+        )
+
+    def _write_index_locked(self, index: dict[str, Any]) -> None:
+        """Publish a new directory (writer lock held by the caller)."""
+        payload = json.dumps(index, separators=(",", ":")).encode()
+        capacity = self._index.size - 16
+        if len(payload) > capacity:
+            raise ReproError(
+                f"shared grid index overflow: {len(payload)} bytes of "
+                f"directory exceed the {capacity}-byte index segment"
+            )
+        buf = self._index.buf
+        gen, _ = _HEADER.unpack_from(buf, 0)
+        _HEADER.pack_into(buf, 0, gen + 1, len(payload))  # odd: in progress
+        buf[16 : 16 + len(payload)] = payload
+        _HEADER.pack_into(buf, 0, gen + 2, len(payload))  # even: stable
+
+    # -- publishing ---------------------------------------------------------------
+
+    @staticmethod
+    def _match(entry: dict, model_json: str, ps, fs, ns) -> bool:
+        return (
+            entry["model"] == model_json
+            and entry["p"] == list(ps)
+            and entry["f"] == list(fs)
+            and entry["n"] == list(ns)
+        )
+
+    def publish(self, model_json: str, grid: GridResult) -> bool:
+        """Copy ``grid`` into a fresh segment and list it in the index.
+
+        Returns True on publish; False when another worker already
+        published the same key (first write wins — readers may already
+        hold attachments to it) or the grid alone exceeds the plane's
+        byte budget.  Publishing past the budget evicts oldest-published
+        entries, unlinking their segments.
+        """
+        total = grid_nbytes(grid)
+        if total > self.max_bytes:
+            self.publish_rejects += 1
+            return False
+        ps, fs, ns = grid.p_values, grid.f_values, grid.n_values
+        with self._locked():
+            index = self._read_index()
+            for entry in index["entries"]:
+                if self._match(entry, model_json, ps, fs, ns):
+                    self.publish_races += 1
+                    return False
+            seq = index["seq"]
+            index["seq"] = seq + 1
+            segment_name = f"{SEGMENT_PREFIX}-{self.name}-g{seq}"
+            segment = _shared_memory.SharedMemory(
+                name=segment_name, create=True, size=total
+            )
+            _unregister(segment)
+            offset = 0
+            arrays = []
+            for array_name in _GRID_ARRAYS:
+                src = getattr(grid, array_name)
+                dst = np.ndarray(
+                    src.shape, src.dtype, buffer=segment.buf, offset=offset
+                )
+                dst[...] = src
+                arrays.append(
+                    {
+                        "name": array_name,
+                        "dtype": src.dtype.str,
+                        "shape": list(src.shape),
+                        "offset": offset,
+                    }
+                )
+                offset += src.nbytes
+            del dst, src
+            index["entries"].append(
+                {
+                    "model": model_json,
+                    "p": list(ps),
+                    "f": list(fs),
+                    "n": list(ns),
+                    "label": grid.label,
+                    "segment": segment_name,
+                    "nbytes": total,
+                    "arrays": arrays,
+                }
+            )
+            # FIFO eviction beyond the byte budget (publish order — the
+            # directory carries no cross-process access clock); evicted
+            # names are unlinked, surviving attachments stay valid
+            evicted: list[str] = []
+            while (
+                sum(e["nbytes"] for e in index["entries"]) > self.max_bytes
+                and len(index["entries"]) > 1
+            ):
+                evicted.append(index["entries"].pop(0)["segment"])
+            self._write_index_locked(index)
+            segment.close()
+            for name in evicted:
+                self._unlink_segment(name)
+                self.evicted += 1
+        self.published += 1
+        return True
+
+    def _unlink_segment(self, name: str) -> None:
+        try:
+            stale = _shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            return
+        with contextlib.suppress(OSError):
+            stale.unlink()
+        with contextlib.suppress(BufferError, OSError):
+            stale.close()
+
+    # -- attaching ----------------------------------------------------------------
+
+    def _attach_entry(self, entry: dict) -> GridResult | None:
+        """A read-only :class:`GridResult` over an entry's segment."""
+        segment_name = entry["segment"]
+        handle = self._attached.get(segment_name)
+        if handle is None:
+            try:
+                segment = _shared_memory.SharedMemory(name=segment_name)
+            except FileNotFoundError:
+                # evicted between the index snapshot and the attach
+                return None
+            with self._tlock:
+                handle = self._attached.setdefault(
+                    segment_name, (segment, int(entry["nbytes"]))
+                )
+                if handle[0] is not segment:  # lost a racing attach
+                    with contextlib.suppress(BufferError, OSError):
+                        segment.close()
+        segment = handle[0]
+        views: dict[str, np.ndarray] = {}
+        for spec in entry["arrays"]:
+            view = np.ndarray(
+                tuple(spec["shape"]),
+                np.dtype(spec["dtype"]),
+                buffer=segment.buf,
+                offset=spec["offset"],
+            )
+            view.flags.writeable = False
+            views[spec["name"]] = view
+        return GridResult(
+            label=entry["label"],
+            p_values=tuple(int(p) for p in entry["p"]),
+            f_values=tuple(float(f) for f in entry["f"]),
+            n_values=tuple(float(n) for n in entry["n"]),
+            **views,
+        )
+
+    def lookup(
+        self,
+        model_json: str,
+        p_values: Sequence[int],
+        f_values: Sequence[float],
+        n_values: Sequence[float],
+    ) -> GridResult | None:
+        """The exact published grid for this key, attached, or None."""
+        index = self._read_index()
+        for entry in reversed(index["entries"]):
+            if self._match(entry, model_json, p_values, f_values, n_values):
+                grid = self._attach_entry(entry)
+                if grid is not None:
+                    self.attach_hits += 1
+                    return grid
+        self.attach_misses += 1
+        return None
+
+    def lookup_superset(
+        self,
+        model_json: str,
+        p_values: Sequence[int],
+        f_values: Sequence[float],
+        n_values: Sequence[float],
+    ) -> GridResult | None:
+        """A sub-grid sliced out of a published superset, or None.
+
+        Every grid quantity is elementwise in (p, f, n), so the slice is
+        bit-identical to evaluating the sub-grid directly — the same
+        invariant the in-process store relies on, now across workers.
+        The slice itself is a process-local copy (fancy indexing); only
+        the superset stays in shared memory.
+        """
+        ps, fs, ns = list(p_values), list(f_values), list(n_values)
+        index = self._read_index()
+        for entry in reversed(index["entries"]):
+            if entry["model"] != model_json:
+                continue
+            pos_p = {v: i for i, v in enumerate(entry["p"])}
+            pos_f = {v: i for i, v in enumerate(entry["f"])}
+            pos_n = {v: i for i, v in enumerate(entry["n"])}
+            if not (
+                all(v in pos_p for v in ps)
+                and all(v in pos_f for v in fs)
+                and all(v in pos_n for v in ns)
+            ):
+                continue
+            superset = self._attach_entry(entry)
+            if superset is None:
+                continue
+            ix = np.ix_(
+                [pos_p[v] for v in ps],
+                [pos_f[v] for v in fs],
+                [pos_n[v] for v in ns],
+            )
+            views: dict[str, np.ndarray] = {}
+            for array_name in _GRID_ARRAYS:
+                sliced = getattr(superset, array_name)[ix]
+                sliced.flags.writeable = False
+                views[array_name] = sliced
+            self.superset_attach_hits += 1
+            return GridResult(
+                label=superset.label,
+                p_values=tuple(int(p) for p in ps),
+                f_values=tuple(float(f) for f in fs),
+                n_values=tuple(float(n) for n in ns),
+                **views,
+            )
+        return None
+
+    # -- observability / lifecycle ------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        """Plane census + this process's traffic counters (JSON-ready)."""
+        try:
+            index = self._read_index()
+            segments = len(index["entries"])
+            segment_bytes = sum(e["nbytes"] for e in index["entries"])
+            generation = _HEADER.unpack_from(self._index.buf, 0)[0]
+        except (ReproError, ValueError):  # pragma: no cover - plane torn down
+            segments, segment_bytes, generation = 0, 0, 0
+        with self._tlock:
+            attached = len(self._attached)
+            attached_bytes = sum(n for _, n in self._attached.values())
+        return {
+            "segments": segments,
+            "segment_bytes": segment_bytes,
+            "generation": int(generation),
+            "attached_segments": attached,
+            "attached_bytes": attached_bytes,
+            "published": self.published,
+            "publish_races": self.publish_races,
+            "publish_rejects": self.publish_rejects,
+            "attach_hits": self.attach_hits,
+            "superset_attach_hits": self.superset_attach_hits,
+            "attach_misses": self.attach_misses,
+            "evicted": self.evicted,
+        }
+
+    def clear(self) -> None:
+        """Unlink every published segment and empty the directory.
+
+        Attached handles stay open — cached views elsewhere must remain
+        valid — but the names are gone, so a fresh scan of ``/dev/shm``
+        shows no data segments.
+        """
+        with self._locked():
+            index = self._read_index()
+            names = [e["segment"] for e in index["entries"]]
+            self._write_index_locked({"seq": index["seq"], "entries": []})
+            for name in names:
+                self._unlink_segment(name)
+
+    def detach(self) -> None:
+        """Close this process's handles (reader shutdown; nothing unlinked)."""
+        if self._closed:
+            return
+        self._closed = True
+        with self._tlock:
+            attached = list(self._attached.values())
+            self._attached.clear()
+        for segment, _ in attached:
+            with contextlib.suppress(BufferError, OSError):
+                segment.close()
+        with contextlib.suppress(BufferError, OSError):
+            self._index.close()
+
+    def destroy(self) -> None:
+        """Tear the whole plane down: segments, index, lockfile.
+
+        The pool parent's shutdown path; idempotent.  Verified leak-free
+        against ``/dev/shm`` by the lifecycle tests.
+        """
+        if not self._closed:
+            with contextlib.suppress(ReproError, OSError, ValueError):
+                self.clear()
+        self.detach()
+        self._unlink_segment(self._index_name)
+        with contextlib.suppress(FileNotFoundError, OSError):
+            os.unlink(self._lock_path)
+
+
+class PoolBoard:
+    """Fixed worker-stat slots in one shared segment (single writer each).
+
+    Every slot is ``(generation, length, JSON)`` with the same seqlock
+    framing as the plane index, but needs no writer lock: each worker
+    owns exactly one slot.  Any process reads all slots to build the
+    pool-wide ``/healthz`` and ``/metrics`` aggregates.
+    """
+
+    SLOT_BYTES = 32768
+
+    def __init__(self, name: str, slots: int, *, create: bool = False) -> None:
+        if not HAVE_SHARED_MEMORY:  # pragma: no cover - non-POSIX
+            raise ReproError("pool board needs POSIX shared memory")
+        if slots < 1:
+            raise ParameterError("a pool board needs at least one slot")
+        self.name = name
+        self.slots = int(slots)
+        self._segment_name = f"{SEGMENT_PREFIX}-{name}-board"
+        size = self.slots * self.SLOT_BYTES
+        if create:
+            self._segment = _shared_memory.SharedMemory(
+                name=self._segment_name, create=True, size=size
+            )
+            _unregister(self._segment)
+        else:
+            self._segment = _shared_memory.SharedMemory(name=self._segment_name)
+        self._closed = False
+
+    def write(self, slot: int, payload: dict[str, Any]) -> None:
+        """Publish one worker's stats into its slot (seqlock-framed)."""
+        if not 0 <= slot < self.slots:
+            raise ParameterError(
+                f"slot {slot} out of range for a {self.slots}-slot board"
+            )
+        data = json.dumps(payload, separators=(",", ":")).encode()
+        if len(data) > self.SLOT_BYTES - 16:
+            raise ReproError(
+                f"pool board payload of {len(data)} bytes exceeds the "
+                f"{self.SLOT_BYTES - 16}-byte slot"
+            )
+        base = slot * self.SLOT_BYTES
+        buf = self._segment.buf
+        gen, _ = _HEADER.unpack_from(buf, base)
+        _HEADER.pack_into(buf, base, gen + 1, len(data))
+        buf[base + 16 : base + 16 + len(data)] = data
+        _HEADER.pack_into(buf, base, gen + 2, len(data))
+
+    def read(self, slot: int) -> dict[str, Any] | None:
+        """One slot's latest stats, or None while it was never written."""
+        if not 0 <= slot < self.slots:
+            raise ParameterError(
+                f"slot {slot} out of range for a {self.slots}-slot board"
+            )
+        base = slot * self.SLOT_BYTES
+        buf = self._segment.buf
+        for _ in range(_READ_RETRIES):
+            gen1, length = _HEADER.unpack_from(buf, base)
+            if gen1 == 0 and length == 0:
+                return None
+            if gen1 % 2:
+                time.sleep(0.0002)
+                continue
+            data = bytes(buf[base + 16 : base + 16 + length])
+            gen2, _ = _HEADER.unpack_from(buf, base)
+            if gen1 == gen2:
+                try:
+                    return json.loads(data)
+                except ValueError:  # pragma: no cover - torn first write
+                    return None
+            time.sleep(0.0002)
+        raise ReproError(
+            f"pool board slot {slot} stayed write-locked; the owning "
+            "worker likely died mid-update"
+        )
+
+    def read_all(self) -> list[dict[str, Any]]:
+        """Every written slot's stats, slot order."""
+        out = []
+        for slot in range(self.slots):
+            payload = self.read(slot)
+            if payload is not None:
+                out.append(payload)
+        return out
+
+    def detach(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        with contextlib.suppress(BufferError, OSError):
+            self._segment.close()
+
+    def destroy(self) -> None:
+        """Close and unlink the board segment (pool parent only)."""
+        self.detach()
+        try:
+            stale = _shared_memory.SharedMemory(name=self._segment_name)
+        except FileNotFoundError:
+            return
+        with contextlib.suppress(OSError):
+            stale.unlink()
+        with contextlib.suppress(BufferError, OSError):
+            stale.close()

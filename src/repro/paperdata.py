@@ -9,7 +9,7 @@ functional forms — see DESIGN.md §2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import astuple, dataclass
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.presets import dori, system_g
@@ -108,14 +108,24 @@ def paper_model(
     cluster = cluster or system_g(1)
     bench, n = benchmark_for(benchmark, klass, niter)
     machine = derive_machine_params(cluster, cpi_factor=bench.cpi_factor)
-    return (
-        IsoEnergyModel(
-            machine,
-            bench.workload,
-            name=name or f"{bench.name}.{ProblemClass(klass).value}",
-        ),
-        n,
+    model = IsoEnergyModel(
+        machine,
+        bench.workload,
+        name=name or f"{bench.name}.{ProblemClass(klass).value}",
     )
+    # Cross-process grid identity: forked serving workers cannot compare
+    # models by object id, so paper models carry a *content* fingerprint
+    # — the workload selector plus the full Θ1 value vector — that the
+    # shared GridStore plane (repro.optimize.shm) keys published grids
+    # on.  Same fingerprint ⇒ bit-identical grids by construction.
+    model.shared_key = (
+        "paper",
+        bench.name,
+        ProblemClass(klass).value,
+        niter,
+        astuple(machine),
+    )
+    return model, n
 
 
 def paper_clusters() -> dict[str, Cluster]:

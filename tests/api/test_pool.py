@@ -1,0 +1,263 @@
+"""Multi-worker serving pool: real forks, one port, shared grid plane.
+
+Everything here drives live :class:`~repro.api.pool.WorkerPool`
+instances over real sockets: worker distribution (distinct pids), the
+``/healthz`` pool block, wire byte-identity against in-process dispatch,
+cross-process grid serving via the shared plane, crash respawn, and
+shm-clean shutdown.  Skipped wholesale where POSIX shared memory is
+unavailable.
+"""
+
+import http.client
+import json
+import os
+import signal
+import time
+
+import pytest
+
+from repro.api.pool import WorkerPool, health_block, serve_pool
+from repro.api.service import dispatch
+from repro.api.types import BudgetQuery, EvaluateRequest
+from repro.errors import ReproError
+from repro.optimize.shm import HAVE_SHARED_MEMORY, shm_dir_entries
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_SHARED_MEMORY,
+    reason="needs POSIX shared memory (multiprocessing.shared_memory + fcntl)",
+)
+
+
+def _get(port: int, path: str) -> tuple[int, bytes]:
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=20)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        return response.status, response.read()
+    finally:
+        conn.close()
+
+
+def _post(port: int, op: str, payload: dict) -> tuple[int, bytes]:
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+    try:
+        conn.request(
+            "POST", f"/v1/{op}", json.dumps(payload),
+            {"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        return response.status, response.read()
+    finally:
+        conn.close()
+
+
+def _wait_healthy(port: int, timeout_s: float = 20.0) -> dict:
+    deadline = time.monotonic() + timeout_s
+    while True:
+        try:
+            status, body = _get(port, "/healthz")
+            if status == 200:
+                return json.loads(body)
+        except OSError:
+            pass
+        if time.monotonic() > deadline:
+            raise AssertionError(f"pool on :{port} never became healthy")
+        time.sleep(0.05)
+
+
+@pytest.fixture(scope="module")
+def pool():
+    pool = WorkerPool("127.0.0.1", 0, 2, sample_every_s=None, quiet=True)
+    pool.start()
+    _wait_healthy(pool.port)
+    try:
+        yield pool
+    finally:
+        pool.stop()
+
+
+class TestServing:
+    def test_health_reports_the_whole_pool(self, pool):
+        health = _wait_healthy(pool.port)
+        block = health["pool"]
+        assert block["workers"] == 2
+        assert block["so_reuseport"] == pool.so_reuseport
+        assert len(block["members"]) == 2
+        assert all(member["up"] for member in block["members"])
+        assert {m["slot"] for m in block["members"]} == {0, 1}
+        member_pids = {m["pid"] for m in block["members"]}
+        assert member_pids == set(pool.pids)
+
+    def test_fresh_connections_reach_both_workers(self, pool):
+        seen = set()
+        for _ in range(300):
+            _, body = _get(pool.port, "/healthz")
+            seen.add(json.loads(body)["pid"])
+            if len(seen) == 2:
+                break
+        assert seen == set(pool.pids), f"only saw {seen} of {pool.pids}"
+
+    def test_wire_bytes_match_in_process_dispatch(self, pool):
+        request = EvaluateRequest(benchmark="FT", p=16)
+        expected = json.dumps(dispatch(request).to_dict()).encode()
+        answers = set()
+        for _ in range(10):  # spread across workers; all must agree
+            status, body = _post(
+                pool.port, "evaluate", {"benchmark": "FT", "p": 16}
+            )
+            assert status == 200
+            answers.add(body)
+        assert answers == {expected}
+
+    def test_grid_computed_in_one_worker_serves_the_other(self, pool):
+        """Cross-process counters prove shared-plane serving."""
+        expected = json.dumps(dispatch(
+            BudgetQuery(benchmark="CG", budget_w=3500.0)
+        ).to_dict()).encode()
+        for _ in range(150):
+            status, body = _post(
+                pool.port, "budget",
+                {"benchmark": "CG", "budget_w": 3500.0},
+            )
+            assert status == 200
+            assert body == expected
+            _, health = _get(pool.port, "/healthz")
+            totals = json.loads(health)["pool"]["totals"]
+            if (
+                totals["shared_published"] >= 1
+                and totals["shared_hits"] + totals["shared_superset_hits"]
+                >= 1
+            ):
+                break
+        else:
+            raise AssertionError(
+                f"no cross-worker shared grid traffic: {totals}"
+            )
+
+    def test_metrics_export_per_pid_pool_gauges(self, pool):
+        status, body = _get(pool.port, "/metrics")
+        assert status == 200
+        text = body.decode()
+        assert "repro_pool_workers 2" in text
+        for pid in pool.pids:
+            assert f'repro_pool_worker_requests_total{{pid="{pid}"}}' in text
+        assert "repro_pool_worker_up{" in text
+
+    def test_healthz_caches_include_the_shared_block(self, pool):
+        health = _wait_healthy(pool.port)
+        shared = health["caches"]["grid_store"]["shared"]
+        assert shared["plane"] == 1
+        for key in ("hits", "superset_hits", "misses", "published",
+                    "shared_bytes", "attached_segments", "segments"):
+            assert key in shared
+
+
+class TestLifecycle:
+    def test_killed_worker_is_respawned(self, pool):
+        victim = pool.pids[0]
+        os.kill(victim, signal.SIGKILL)
+        deadline = time.monotonic() + 15
+        while victim in pool.pids or len(pool.pids) < 2:
+            pool.poll()
+            if time.monotonic() > deadline:
+                raise AssertionError("dead worker was not respawned")
+            time.sleep(0.05)
+        assert pool.respawns >= 1
+        health = _wait_healthy(pool.port)
+        assert len(health["pool"]["members"]) == 2
+        # the respawned worker still serves shared-plane requests
+        status, _ = _post(pool.port, "evaluate", {"p": 4})
+        assert status == 200
+
+    def test_stop_reaps_workers_and_unlinks_all_shm(self):
+        pool = WorkerPool(
+            "127.0.0.1", 0, 2, sample_every_s=None, quiet=True
+        )
+        pool.start()
+        _wait_healthy(pool.port)
+        name = pool._plane.name
+        assert any(name in entry for entry in shm_dir_entries())
+        pids = pool.pids
+        pool.stop()
+        assert not any(name in entry for entry in shm_dir_entries()), (
+            "pool shutdown must unlink its plane and board segments"
+        )
+        for pid in pids:  # every worker reaped — no zombies, no orphans
+            with pytest.raises(OSError):
+                os.kill(pid, 0)
+        pool.stop()  # idempotent
+
+    def test_inherited_socket_fallback_serves(self):
+        """reuse_port=False: all workers accept from one parent socket."""
+        pool = WorkerPool(
+            "127.0.0.1", 0, 2, sample_every_s=None, quiet=True,
+            reuse_port=False,
+        )
+        pool.start()
+        try:
+            assert not pool.so_reuseport
+            health = _wait_healthy(pool.port)
+            assert len(health["pool"]["members"]) == 2
+            assert not health["pool"]["so_reuseport"]
+            status, _ = _post(pool.port, "evaluate", {"p": 8})
+            assert status == 200
+        finally:
+            pool.stop()
+
+    def test_single_worker_pool_is_valid(self):
+        pool = WorkerPool(
+            "127.0.0.1", 0, 1, sample_every_s=None, quiet=True
+        )
+        pool.start()
+        try:
+            health = _wait_healthy(pool.port)
+            assert health["pool"]["workers"] == 1
+            assert len(health["pool"]["members"]) == 1
+        finally:
+            pool.stop()
+
+    def test_worker_bounds_are_validated(self):
+        with pytest.raises(ReproError):
+            WorkerPool("127.0.0.1", 0, 0)
+        with pytest.raises(ReproError):
+            WorkerPool("127.0.0.1", 0, 1000)
+
+    def test_port_conflict_is_a_clean_error(self, pool):
+        with pytest.raises(ReproError, match="cannot listen"):
+            conflicting = WorkerPool(
+                "127.0.0.1", pool.port, 1, quiet=True, reuse_port=False
+            )
+            conflicting.start()
+
+
+class TestServePoolEntry:
+    def test_serve_pool_runs_and_stops_cleanly(self):
+        """The CLI entry serves, then drains on a stop request."""
+        import threading
+
+        ready = threading.Event()
+        holder: dict = {}
+
+        def run():
+            holder["rc"] = serve_pool(
+                "127.0.0.1", 0, 2, sample_every_s=None, quiet=True,
+                ready=ready,
+            )
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        try:
+            assert ready.wait(30), "serve_pool never became ready"
+            port = ready.address[1]
+            health = _wait_healthy(port)
+            assert health["pool"]["workers"] == 2
+            assert health["pool"]["pid"] != os.getpid()
+            plane_name = ready.pool._plane.name
+        finally:
+            ready.pool.request_stop()  # the signal handler's code path
+            thread.join(timeout=30)
+        assert not thread.is_alive(), "serve_pool did not stop"
+        assert holder["rc"] == 0
+        assert not any(
+            plane_name in entry for entry in shm_dir_entries()
+        ), "serve_pool teardown must unlink its shm"

@@ -1,0 +1,374 @@
+"""Shared-memory grid plane: publish/attach parity, lifecycle, forks.
+
+These tests exercise :mod:`repro.optimize.shm` directly (the pool-level
+behaviour lives in ``tests/api/test_pool.py``): bit-parity of attached
+grids against in-process evaluation, superset slicing across the plane,
+eviction unlinking segments, clean ``/dev/shm`` after ``clear()`` and
+``destroy()``, contention, and true cross-process traffic via fork.
+"""
+
+import json
+import os
+import threading
+import uuid
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.optimize.engine import GridStore, grid_for
+from repro.optimize.grid import GRID_METRICS, evaluate_grid
+from repro.optimize.shm import (
+    HAVE_SHARED_MEMORY,
+    SEGMENT_PREFIX,
+    PoolBoard,
+    SharedGridPlane,
+    grid_nbytes,
+    shm_dir_entries,
+)
+from repro.paperdata import paper_model
+from repro.units import GHZ
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_SHARED_MEMORY,
+    reason="needs POSIX shared memory (multiprocessing.shared_memory + fcntl)",
+)
+
+P_AXIS = [1, 2, 4, 8, 16, 32]
+F_AXIS = [1.6 * GHZ, 2.0 * GHZ, 2.4 * GHZ, 2.8 * GHZ]
+ARRAYS = (*GRID_METRICS, "bottleneck")
+
+
+@pytest.fixture(scope="module")
+def cg():
+    return paper_model("CG", klass="B")
+
+
+@pytest.fixture()
+def plane():
+    plane = SharedGridPlane(uuid.uuid4().hex[:12], create=True)
+    try:
+        yield plane
+    finally:
+        plane.destroy()
+
+
+def _model_json(model) -> str:
+    key = GridStore._shared_model_key(model)
+    assert key is not None, "paper_model must carry a shared_key"
+    return key
+
+
+def _grid(model, n, ps=P_AXIS, fs=F_AXIS, ns=None):
+    return evaluate_grid(
+        model, p_values=ps, f_values=fs, n_values=ns or [n]
+    )
+
+
+def _segments(plane) -> list[str]:
+    prefix = f"{SEGMENT_PREFIX}-{plane.name}-g"
+    return [e for e in shm_dir_entries() if e.startswith(prefix)]
+
+
+class TestPublishAttach:
+    def test_attached_grid_is_bit_identical(self, plane, cg):
+        model, n = cg
+        grid = _grid(model, n)
+        assert plane.publish(_model_json(model), grid)
+        attached = plane.lookup(
+            _model_json(model), grid.p_values, grid.f_values, grid.n_values
+        )
+        assert attached is not None
+        for name in ARRAYS:
+            np.testing.assert_array_equal(
+                getattr(attached, name), getattr(grid, name), err_msg=name
+            )
+            assert not getattr(attached, name).flags.writeable
+        assert attached.p_values == grid.p_values
+        assert plane.stats()["attach_hits"] == 1
+
+    def test_lookup_miss_counts(self, plane, cg):
+        model, n = cg
+        assert plane.lookup(_model_json(model), [1], [2.8e9], [n]) is None
+        assert plane.stats()["attach_misses"] == 1
+
+    def test_first_write_wins_on_racing_publish(self, plane, cg):
+        model, n = cg
+        grid = _grid(model, n)
+        assert plane.publish(_model_json(model), grid)
+        assert not plane.publish(_model_json(model), grid)
+        stats = plane.stats()
+        assert stats["published"] == 1
+        assert stats["publish_races"] == 1
+        assert stats["segments"] == 1
+
+    def test_oversized_grid_is_rejected(self, cg):
+        model, n = cg
+        plane = SharedGridPlane(uuid.uuid4().hex[:12], create=True,
+                                max_bytes=64)
+        try:
+            assert not plane.publish(_model_json(model), _grid(model, n))
+            assert plane.stats()["publish_rejects"] == 1
+            assert plane.stats()["segments"] == 0
+        finally:
+            plane.destroy()
+
+    def test_superset_slice_matches_direct_evaluation(self, plane, cg):
+        model, n = cg
+        superset = _grid(model, n, ns=[0.5 * n, n, 2.0 * n])
+        assert plane.publish(_model_json(model), superset)
+        sub = plane.lookup_superset(
+            _model_json(model), [2, 16], F_AXIS[1:3], [n]
+        )
+        assert sub is not None
+        direct = _grid(model, n, ps=[2, 16], fs=F_AXIS[1:3])
+        for name in ARRAYS:
+            np.testing.assert_array_equal(
+                getattr(sub, name), getattr(direct, name), err_msg=name
+            )
+        assert plane.stats()["superset_attach_hits"] == 1
+
+
+class TestLifecycle:
+    def test_eviction_unlinks_oldest_segments(self, cg):
+        model, n = cg
+        one = grid_nbytes(_grid(model, n))
+        plane = SharedGridPlane(uuid.uuid4().hex[:12], create=True,
+                                max_bytes=2 * one + 16)
+        try:
+            for i, p_axis in enumerate(([1, 2], [4, 8], [16, 32])):
+                grid = _grid(model, n, ps=p_axis + P_AXIS[:4])
+                assert plane.publish(_model_json(model), grid)
+            stats = plane.stats()
+            assert stats["evicted"] >= 1
+            assert stats["segment_bytes"] <= plane.max_bytes
+            # evicted segments are unlinked from /dev/shm, not just
+            # dropped from the directory
+            assert len(_segments(plane)) == stats["segments"]
+            # the newest publish always survives eviction
+            assert plane.lookup(
+                _model_json(model), grid.p_values, grid.f_values,
+                grid.n_values,
+            ) is not None
+        finally:
+            plane.destroy()
+
+    def test_clear_unlinks_every_data_segment(self, plane, cg):
+        model, n = cg
+        assert plane.publish(_model_json(model), _grid(model, n))
+        assert _segments(plane)
+        plane.clear()
+        assert _segments(plane) == []
+        assert plane.stats()["segments"] == 0
+
+    def test_destroy_leaves_no_shm_entries(self, cg):
+        model, n = cg
+        name = uuid.uuid4().hex[:12]
+        plane = SharedGridPlane(name, create=True)
+        plane.publish(_model_json(model), _grid(model, n))
+        assert any(name in e for e in shm_dir_entries())
+        plane.destroy()
+        assert not any(name in e for e in shm_dir_entries())
+        plane.destroy()  # idempotent
+
+    def test_eviction_does_not_invalidate_live_attachments(self, cg):
+        model, n = cg
+        one = grid_nbytes(_grid(model, n))
+        plane = SharedGridPlane(uuid.uuid4().hex[:12], create=True,
+                                max_bytes=one + 16)
+        try:
+            first = _grid(model, n, ps=[1, 2, 4, 8])
+            assert plane.publish(_model_json(model), first)
+            attached = plane.lookup(
+                _model_json(model), first.p_values, first.f_values,
+                first.n_values,
+            )
+            assert attached is not None
+            held = attached.tp.copy()
+            # publishing a second grid evicts (and unlinks) the first —
+            # POSIX keeps the mapping alive until the reader detaches
+            assert plane.publish(
+                _model_json(model), _grid(model, n, ps=[16, 32, 64])
+            )
+            assert plane.stats()["evicted"] >= 1
+            np.testing.assert_array_equal(attached.tp, held)
+        finally:
+            plane.destroy()
+
+
+class TestContention:
+    def test_concurrent_publish_and_attach(self, plane, cg):
+        model, n = cg
+        model_json = _model_json(model)
+        grids = [
+            _grid(model, n, ps=[p, 2 * p]) for p in (1, 2, 4, 8, 16, 32)
+        ]
+        errors: list[BaseException] = []
+
+        def worker(grid):
+            try:
+                for _ in range(5):
+                    plane.publish(model_json, grid)
+                    got = plane.lookup(
+                        model_json, grid.p_values, grid.f_values,
+                        grid.n_values,
+                    )
+                    assert got is not None
+                    np.testing.assert_array_equal(got.ee, grid.ee)
+            except BaseException as exc:  # surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(g,)) for g in grids
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors, errors
+        stats = plane.stats()
+        assert stats["segments"] == len(grids)
+        assert stats["published"] == len(grids)
+
+
+def _in_fork(fn) -> int:
+    """Run ``fn`` in a forked child; return its exit status (0 = ok)."""
+    pid = os.fork()
+    if pid == 0:
+        code = 1
+        try:
+            fn()
+            code = 0
+        except BaseException:  # pragma: no cover - exercised on failure
+            import traceback
+
+            traceback.print_exc()
+        finally:
+            os._exit(code)
+    _, status = os.waitpid(pid, 0)
+    return os.waitstatus_to_exitcode(status)
+
+
+class TestCrossProcess:
+    def test_child_publish_parent_attach(self, plane, cg):
+        model, n = cg
+        grid = _grid(model, n)
+        model_json = _model_json(model)
+
+        def child():
+            attach = SharedGridPlane(plane.name)
+            assert attach.publish(model_json, grid)
+            attach.detach()
+
+        assert _in_fork(child) == 0
+        attached = plane.lookup(
+            model_json, grid.p_values, grid.f_values, grid.n_values
+        )
+        assert attached is not None, "parent must see the child's publish"
+        for name in ARRAYS:
+            np.testing.assert_array_equal(
+                getattr(attached, name), getattr(grid, name), err_msg=name
+            )
+
+    def test_parent_publish_child_superset_slice(self, plane, cg):
+        model, n = cg
+        superset = _grid(model, n, ns=[0.5 * n, n, 2.0 * n])
+        model_json = _model_json(model)
+        assert plane.publish(model_json, superset)
+        direct = _grid(model, n, ps=[2, 16], fs=F_AXIS[1:3])
+
+        def child():
+            attach = SharedGridPlane(plane.name)
+            sub = attach.lookup_superset(
+                model_json, [2, 16], F_AXIS[1:3], [n]
+            )
+            assert sub is not None
+            for name in ARRAYS:
+                np.testing.assert_array_equal(
+                    getattr(sub, name), getattr(direct, name), err_msg=name
+                )
+            attach.detach()
+
+        assert _in_fork(child) == 0
+
+    def test_grid_store_serves_from_sibling_store(self, plane, cg):
+        """The engine-level flow: store A evaluates+publishes, B attaches."""
+        model, n = cg
+        writer = GridStore()
+        writer.attach_plane(plane)
+        published = grid_for(
+            model, p_values=P_AXIS, f_values=F_AXIS, n_values=[n],
+            store=writer,
+        )
+        assert writer.stats()["shared"]["published"] == 1
+
+        reader = GridStore()
+        reader.attach_plane(plane)
+        served = grid_for(
+            model, p_values=P_AXIS, f_values=F_AXIS, n_values=[n],
+            store=reader,
+        )
+        stats = reader.stats()["shared"]
+        assert stats["hits"] == 1
+        assert stats["misses"] == 0
+        assert stats["attached_segments"] >= 1
+        assert stats["shared_bytes"] > 0
+        for name in ARRAYS:
+            np.testing.assert_array_equal(
+                getattr(served, name), getattr(published, name),
+                err_msg=name,
+            )
+
+    def test_store_without_fingerprint_stays_local(self, plane, cg):
+        model, n = cg
+        bare = type(model)(model.machine, model._workload, name="adhoc")
+        store = GridStore()
+        store.attach_plane(plane)
+        grid_for(model=bare, p_values=[1, 2], n_values=[n], store=store)
+        stats = store.stats()["shared"]
+        assert stats["published"] == 0
+        assert stats["misses"] == 0, "unfingerprinted models skip the plane"
+
+
+class TestPoolBoard:
+    def test_roundtrip_and_unwritten_slots(self):
+        board = PoolBoard(uuid.uuid4().hex[:12], slots=3, create=True)
+        try:
+            assert board.read(0) is None
+            board.write(0, {"pid": 123, "requests_total": 7})
+            board.write(2, {"pid": 456})
+            assert board.read(0)["requests_total"] == 7
+            assert board.read(1) is None
+            assert [m["pid"] for m in board.read_all()] == [123, 456]
+        finally:
+            board.destroy()
+
+    def test_cross_process_write_is_visible(self):
+        board = PoolBoard(uuid.uuid4().hex[:12], slots=2, create=True)
+        try:
+            def child():
+                attach = PoolBoard(board.name, slots=2)
+                attach.write(1, {"pid": os.getpid(), "requests_total": 3})
+                attach.detach()
+
+            assert _in_fork(child) == 0
+            entry = board.read(1)
+            assert entry is not None
+            assert entry["requests_total"] == 3
+        finally:
+            board.destroy()
+
+    def test_destroy_unlinks_the_segment(self):
+        name = uuid.uuid4().hex[:12]
+        board = PoolBoard(name, slots=1, create=True)
+        assert any(name in e for e in shm_dir_entries())
+        board.destroy()
+        assert not any(name in e for e in shm_dir_entries())
+
+    def test_oversized_payload_is_rejected(self):
+        board = PoolBoard(uuid.uuid4().hex[:12], slots=1, create=True)
+        try:
+            with pytest.raises(ReproError):
+                board.write(0, {"blob": "x" * (1 << 20)})
+        finally:
+            board.destroy()

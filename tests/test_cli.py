@@ -223,6 +223,14 @@ def test_serve_exits_cleanly_when_port_is_busy():
     assert "Traceback" not in result.stderr
 
 
+@pytest.mark.parametrize("workers", ["0", "-1", "99"])
+def test_serve_rejects_out_of_range_workers(capsys, workers):
+    """--workers 0 must be a clean error, not a silent single worker."""
+    code, _, err = run_cli(capsys, "serve", "--workers", workers)
+    assert code == 2
+    assert "--workers must be between" in err
+
+
 def test_federate_text_output(capsys):
     code, out, _ = run_cli(
         capsys, "federate", "--budget", "7000",
